@@ -1,0 +1,97 @@
+//! Data structure micro-benchmarks: the linked implementations behind the
+//! abstract interfaces (ListSet vs HashSet, AssociationList vs HashTable,
+//! ArrayList shifting costs).
+//!
+//! These are not evaluated in the paper (its evaluation is about
+//! verification), but they document the concrete substrate this reproduction
+//! adds and catch performance regressions in it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semcommute_logic::ElemId;
+use semcommute_structures::{
+    ArrayList, AssociationList, HashSet, HashTable, ListInterface, ListSet, MapInterface,
+    SetInterface,
+};
+
+const N: u32 = 1_000;
+
+fn bench_set_implementations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_insert_then_lookup");
+    for name in ["ListSet", "HashSet"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| match name {
+                "ListSet" => {
+                    let mut s = ListSet::new();
+                    for i in 1..=N {
+                        s.add(ElemId(i));
+                    }
+                    (1..=N).filter(|&i| s.contains(ElemId(i))).count()
+                }
+                _ => {
+                    let mut s = HashSet::new();
+                    for i in 1..=N {
+                        s.add(ElemId(i));
+                    }
+                    (1..=N).filter(|&i| s.contains(ElemId(i))).count()
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_implementations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_put_then_get");
+    for name in ["AssociationList", "HashTable"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| match name {
+                "AssociationList" => {
+                    let mut m = AssociationList::new();
+                    for i in 1..=N {
+                        m.put(ElemId(i), ElemId(i + N));
+                    }
+                    (1..=N).filter(|&i| m.get(ElemId(i)).is_some()).count()
+                }
+                _ => {
+                    let mut m = HashTable::new();
+                    for i in 1..=N {
+                        m.put(ElemId(i), ElemId(i + N));
+                    }
+                    (1..=N).filter(|&i| m.get(ElemId(i)).is_some()).count()
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_array_list_shifting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_list");
+    group.bench_function("append_then_index_of", |b| {
+        b.iter(|| {
+            let mut l = ArrayList::new();
+            for i in 1..=N {
+                l.add_at(l.size(), ElemId(i));
+            }
+            l.index_of(ElemId(N))
+        })
+    });
+    group.bench_function("front_insertions_shift_everything", |b| {
+        b.iter(|| {
+            let mut l = ArrayList::new();
+            for i in 1..=N {
+                l.add_at(0, ElemId(i));
+            }
+            l.size()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_set_implementations,
+    bench_map_implementations,
+    bench_array_list_shifting
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Table 5.1: before/between/after commutativity conditions on Accumulator.
+
+use semcommute_bench::banner;
+use semcommute_core::{report, ConditionKind};
+use semcommute_spec::InterfaceId;
+
+fn main() {
+    banner("Table 5.1 — Before/Between/After Commutativity Conditions on Accumulator");
+    for kind in ConditionKind::ALL {
+        println!("{}", report::condition_table(InterfaceId::Accumulator, kind));
+    }
+}

@@ -1,0 +1,10 @@
+//! Table 5.2: before commutativity conditions on ListSet and HashSet.
+
+use semcommute_bench::banner;
+use semcommute_core::{report, ConditionKind};
+use semcommute_spec::InterfaceId;
+
+fn main() {
+    banner("Table 5.2 — Before Commutativity Conditions on ListSet and HashSet");
+    println!("{}", report::condition_table(InterfaceId::Set, ConditionKind::Before));
+}

@@ -1,0 +1,10 @@
+//! Table 5.3: between commutativity conditions on ListSet and HashSet.
+
+use semcommute_bench::banner;
+use semcommute_core::{report, ConditionKind};
+use semcommute_spec::InterfaceId;
+
+fn main() {
+    banner("Table 5.3 — Between Commutativity Conditions on ListSet and HashSet");
+    println!("{}", report::condition_table(InterfaceId::Set, ConditionKind::Between));
+}

@@ -1,0 +1,10 @@
+//! Table 5.4: before commutativity conditions on AssociationList and HashTable.
+
+use semcommute_bench::banner;
+use semcommute_core::{report, ConditionKind};
+use semcommute_spec::InterfaceId;
+
+fn main() {
+    banner("Table 5.4 — Before Commutativity Conditions on AssociationList and HashTable");
+    println!("{}", report::condition_table(InterfaceId::Map, ConditionKind::Before));
+}

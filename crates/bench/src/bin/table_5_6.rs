@@ -1,0 +1,10 @@
+//! Table 5.6: between commutativity conditions on ArrayList.
+
+use semcommute_bench::banner;
+use semcommute_core::{report, ConditionKind};
+use semcommute_spec::InterfaceId;
+
+fn main() {
+    banner("Table 5.6 — Between Commutativity Conditions on ArrayList");
+    println!("{}", report::condition_table(InterfaceId::List, ConditionKind::Between));
+}

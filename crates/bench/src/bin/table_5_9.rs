@@ -1,0 +1,11 @@
+//! Table 5.9: proof-language commands for the hard ArrayList testing methods.
+
+use semcommute_bench::banner;
+use semcommute_core::hints::hint_summary;
+use semcommute_core::report;
+
+fn main() {
+    banner("Table 5.9 — Additional Proof Language Commands for the Hard ArrayList Methods");
+    println!("{}", report::hint_table(&hint_summary()));
+    println!("Paper reference: 57 methods, 128 note + 51 assuming + 22 pickWitness = 201 commands.");
+}

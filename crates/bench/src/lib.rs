@@ -1,0 +1,74 @@
+//! Shared helpers for the `semcommute` benchmark harness.
+//!
+//! The `table_5_*` binaries in `src/bin/` regenerate the paper's evaluation
+//! tables (run them with `cargo run -p semcommute-bench --release --bin
+//! table_5_8`); the Criterion benches in `benches/` measure prover, runtime,
+//! and data structure performance, including the ablations called out in
+//! `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use semcommute_core::report;
+use semcommute_core::verify::{verify_interface, InterfaceReport, VerifyOptions};
+use semcommute_spec::InterfaceId;
+
+/// Prints a table header in a consistent style.
+pub fn banner(title: &str) {
+    println!("{}", "=".repeat(title.len()));
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+}
+
+/// Parses the common command-line options of the table binaries: an optional
+/// per-interface condition limit and `--seq-len N`.
+pub fn parse_options() -> VerifyOptions {
+    let mut options = VerifyOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seq-len" => {
+                options.seq_len = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seq-len needs a number");
+            }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            other => options.limit = Some(other.parse().expect("numeric limit expected")),
+        }
+    }
+    options
+}
+
+/// Runs the full verification (as `table_5_8` needs) and returns the
+/// per-interface reports.
+pub fn run_full_verification(options: &VerifyOptions) -> Vec<InterfaceReport> {
+    InterfaceId::ALL
+        .into_iter()
+        .map(|id| verify_interface(id, options))
+        .collect()
+}
+
+/// Prints the verification-time table from a set of reports.
+pub fn print_verification_table(reports: &[InterfaceReport]) {
+    println!("{}", report::verification_time_table(reports));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_verification_produces_reports_for_every_interface() {
+        let reports = run_full_verification(&VerifyOptions::quick(3));
+        assert_eq!(reports.len(), 4);
+        for r in &reports {
+            assert_eq!(r.verified_count(), r.total());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Commutativity conditions for the Accumulator (Table 5.1).
+
+use semcommute_logic::build::*;
+use semcommute_logic::Term;
+
+use super::helpers::{v1_int, v2_int};
+use crate::kind::ConditionKind;
+use crate::variant::OpVariant;
+
+/// The commutativity condition for `first(…); second(…)` on an Accumulator.
+///
+/// * `increase` / `increase` — always commute (integer addition commutes).
+/// * `increase(v1)` / `read()` — commute exactly when `v1 = 0`: otherwise the
+///   `read` observes a different counter value in the two orders.
+/// * `read()` / `increase(v2)` — commute exactly when `v2 = 0`.
+/// * `read` / `read` — always commute.
+///
+/// The conditions are the same for all three kinds: they reference only the
+/// operation arguments.
+pub fn condition(first: &OpVariant, second: &OpVariant, _kind: ConditionKind) -> Term {
+    match (first.op.as_str(), second.op.as_str()) {
+        ("increase", "increase") => tru(),
+        ("increase", "read") => eq(v1_int(), int(0)),
+        ("read", "increase") => eq(v2_int(), int(0)),
+        ("read", "read") => tru(),
+        (a, b) => unreachable!("unknown Accumulator operation pair {a}/{b}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::ConditionKind::*;
+
+    fn rec(op: &str) -> OpVariant {
+        OpVariant::recorded(op)
+    }
+
+    #[test]
+    fn increase_pairs_always_commute() {
+        for kind in [Before, Between, After] {
+            assert!(condition(&rec("increase"), &rec("increase"), kind).is_true());
+            assert!(condition(&rec("read"), &rec("read"), kind).is_true());
+        }
+    }
+
+    #[test]
+    fn increase_read_requires_zero_amount() {
+        let c = condition(&rec("increase"), &rec("read"), Before);
+        assert_eq!(c, eq(var_int("v1"), int(0)));
+        let c = condition(&rec("read"), &rec("increase"), Between);
+        assert_eq!(c, eq(var_int("v2"), int(0)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Shared term-building helpers for the condition catalogs.
+//!
+//! Conditions are written over the canonical variables of
+//! [`crate::condition::names`]; these helpers keep the catalog code close to
+//! the notation of the paper's tables (`s1`, `s2`, `v1`, `k2`, `r1`, …).
+
+use semcommute_logic::build::*;
+use semcommute_logic::Term;
+
+use crate::condition::names;
+
+/// The initial abstract state `s1`, as a set.
+pub fn s1_set() -> Term {
+    var_set(names::INITIAL)
+}
+
+/// The initial abstract state `s1`, as a map.
+pub fn s1_map() -> Term {
+    var_map(names::INITIAL)
+}
+
+/// The initial abstract state `s1`, as a sequence.
+pub fn s1_seq() -> Term {
+    var_seq(names::INITIAL)
+}
+
+/// The first operation's return value `r1`, as a boolean.
+pub fn r1_bool() -> Term {
+    var_bool(names::RESULT1)
+}
+
+/// The first operation's return value `r1`, as an element.
+pub fn r1_elem() -> Term {
+    var_elem(names::RESULT1)
+}
+
+/// The first operation's return value `r1`, as an integer.
+pub fn r1_int() -> Term {
+    var_int(names::RESULT1)
+}
+
+/// The first operation's element argument `v1`.
+pub fn v1() -> Term {
+    var_elem("v1")
+}
+
+/// The second operation's element argument `v2`.
+pub fn v2() -> Term {
+    var_elem("v2")
+}
+
+/// The first operation's key argument `k1`.
+pub fn k1() -> Term {
+    var_elem("k1")
+}
+
+/// The second operation's key argument `k2`.
+pub fn k2() -> Term {
+    var_elem("k2")
+}
+
+/// The first operation's index argument `i1`.
+pub fn i1() -> Term {
+    var_int("i1")
+}
+
+/// The second operation's index argument `i2`.
+pub fn i2() -> Term {
+    var_int("i2")
+}
+
+/// The first operation's integer argument `v1` (Accumulator `increase`).
+pub fn v1_int() -> Term {
+    var_int("v1")
+}
+
+/// The second operation's integer argument `v2` (Accumulator `increase`).
+pub fn v2_int() -> Term {
+    var_int("v2")
+}
+
+/// `v1 ~= v2` over elements.
+pub fn args_differ() -> Term {
+    neq(v1(), v2())
+}
+
+/// `k1 ~= k2` over keys.
+pub fn keys_differ() -> Term {
+    neq(k1(), k2())
+}
+
+/// `v1 : s1` — the first element argument is in the initial set.
+pub fn v1_in_s1() -> Term {
+    member(v1(), s1_set())
+}
+
+/// `v2 : s1` — the second element argument is in the initial set.
+pub fn v2_in_s1() -> Term {
+    member(v2(), s1_set())
+}
+
+/// `s1.containsKey(k1)`.
+pub fn k1_mapped() -> Term {
+    map_has_key(s1_map(), k1())
+}
+
+/// `s1.containsKey(k2)`.
+pub fn k2_mapped() -> Term {
+    map_has_key(s1_map(), k2())
+}
+
+/// `s1.get(k1)`.
+pub fn get_k1() -> Term {
+    map_get(s1_map(), k1())
+}
+
+/// `s1.get(i)` on the initial sequence.
+pub fn at(i: Term) -> Term {
+    seq_at(s1_seq(), i)
+}
+
+/// `s1.indexOf(v)` on the initial sequence.
+pub fn index_of(v: Term) -> Term {
+    seq_index_of(s1_seq(), v)
+}
+
+/// `s1.lastIndexOf(v)` on the initial sequence.
+pub fn last_index_of(v: Term) -> Term {
+    seq_last_index_of(s1_seq(), v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::{free_vars, Sort};
+
+    #[test]
+    fn helpers_use_the_canonical_names() {
+        let t = and2(args_differ(), v1_in_s1());
+        let fv = free_vars(&t);
+        assert_eq!(fv["v1"], Sort::Elem);
+        assert_eq!(fv["v2"], Sort::Elem);
+        assert_eq!(fv["s1"], Sort::Set);
+    }
+
+    #[test]
+    fn map_and_seq_helpers_are_well_sorted() {
+        assert_eq!(
+            semcommute_logic::sort_of(&get_k1()).unwrap(),
+            Sort::Elem
+        );
+        assert_eq!(
+            semcommute_logic::sort_of(&index_of(v1())).unwrap(),
+            Sort::Int
+        );
+        assert_eq!(semcommute_logic::sort_of(&at(i1())).unwrap(), Sort::Elem);
+        assert_eq!(
+            semcommute_logic::sort_of(&keys_differ()).unwrap(),
+            Sort::Bool
+        );
+        assert_eq!(
+            semcommute_logic::sort_of(&last_index_of(v2())).unwrap(),
+            Sort::Int
+        );
+    }
+}

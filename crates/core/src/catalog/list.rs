@@ -1,0 +1,417 @@
+//! Commutativity conditions for the ArrayList interface (Tables 5.6 and 5.7).
+//!
+//! These are by far the most intricate conditions in the catalog: `addAt` and
+//! `removeAt` shift the index ranges above the affected position, so whether
+//! two operations commute depends on how their index arguments relate and on
+//! the contents of the shifted region (the paper attributes the complexity of
+//! the ArrayList conditions "in part to the use of integer indexing and in
+//! part to the presence of operations that shift the indexing relationships
+//! across large regions of the data structure").
+//!
+//! Every condition below is stated over the *initial* abstract sequence `s1`
+//! and the operation arguments. The paper's Tables 5.6 and 5.7 phrase the
+//! between/after forms over the intermediate (`s2`) and final (`s3`) states;
+//! because the conditions are sound and complete, the two phrasings are
+//! equivalent (Section 4.1.2: "the before, between, and after conditions are
+//! equivalent even if they reference different return values or elements of
+//! different abstract states"). For pairs whose first operation is `indexOf`,
+//! the between/after forms use the recorded return value `r1`, following
+//! Table 5.6. Soundness and completeness of every entry is established by the
+//! verification driver.
+
+use semcommute_logic::build::*;
+use semcommute_logic::Term;
+
+use super::helpers::{at, i1, i2, index_of, last_index_of, r1_int, v1, v2};
+use crate::kind::ConditionKind;
+use crate::variant::OpVariant;
+
+/// `a = b` on integers.
+fn ieq(a: Term, b: Term) -> Term {
+    eq(a, b)
+}
+
+/// `t - 1`.
+fn minus1(t: Term) -> Term {
+    sub(t, int(1))
+}
+
+/// `t + 1`.
+fn plus1(t: Term) -> Term {
+    add(t, int(1))
+}
+
+/// The commutativity condition for `first(…); second(…)` on the ArrayList
+/// interface.
+pub fn condition(first: &OpVariant, second: &OpVariant, kind: ConditionKind) -> Term {
+    let neither_recorded = !first.recorded && !second.recorded;
+    // For observer-first pairs, between/after conditions may use r1 instead of
+    // re-querying the initial state; we do so for indexOf, following Table 5.6.
+    let io1 = || {
+        if kind.allows_first_result() && first.recorded && first.op == "indexOf" {
+            r1_int()
+        } else {
+            index_of(v1())
+        }
+    };
+
+    match (first.op.as_str(), second.op.as_str()) {
+        // ---------------------------------------------------------------
+        // Pure observers against each other always commute.
+        // ---------------------------------------------------------------
+        (
+            "get" | "indexOf" | "lastIndexOf" | "size",
+            "get" | "indexOf" | "lastIndexOf" | "size",
+        ) => tru(),
+        // `set` never changes the length, so it commutes with `size`.
+        ("set", "size") | ("size", "set") => tru(),
+        // `addAt` and `removeAt` always change the length observed by `size`.
+        ("addAt" | "removeAt", "size") | ("size", "addAt" | "removeAt") => fls(),
+
+        // ---------------------------------------------------------------
+        // addAt first
+        // ---------------------------------------------------------------
+        ("addAt", "addAt") => or3(
+            and2(lt(i1(), i2()), ieq(at(minus1(i2())), v2())),
+            and2(ieq(i1(), i2()), eq(v1(), v2())),
+            and2(gt(i1(), i2()), ieq(at(minus1(i1())), v1())),
+        ),
+        ("addAt", "get") => or3(
+            lt(i2(), i1()),
+            and2(ieq(i2(), i1()), eq(at(i1()), v1())),
+            and2(gt(i2(), i1()), eq(at(minus1(i2())), at(i2()))),
+        ),
+        ("addAt", "indexOf") => or3(
+            and2(lt(index_of(v2()), int(0)), neq(v1(), v2())),
+            and2(le(int(0), index_of(v2())), lt(index_of(v2()), i1())),
+            and2(eq(v1(), v2()), ieq(index_of(v2()), i1())),
+        ),
+        ("addAt", "lastIndexOf") => and2(neq(v1(), v2()), lt(last_index_of(v2()), i1())),
+        ("addAt", "removeAt") => or2(
+            and2(le(i2(), i1()), eq(at(i1()), v1())),
+            and2(gt(i2(), i1()), eq(at(minus1(i2())), at(i2()))),
+        ),
+        ("addAt", "set") => or3(
+            lt(i2(), i1()),
+            and3(ieq(i2(), i1()), eq(v1(), v2()), eq(at(i1()), v2())),
+            and3(gt(i2(), i1()), eq(at(minus1(i2())), v2()), eq(at(i2()), v2())),
+        ),
+
+        // ---------------------------------------------------------------
+        // get first
+        // ---------------------------------------------------------------
+        ("get", "addAt") => or3(
+            lt(i1(), i2()),
+            and2(ieq(i1(), i2()), eq(at(i1()), v2())),
+            and2(gt(i1(), i2()), eq(at(minus1(i1())), at(i1()))),
+        ),
+        ("get", "removeAt") => or2(
+            lt(i1(), i2()),
+            and2(ge(i1(), i2()), eq(at(i1()), at(plus1(i1())))),
+        ),
+        ("get", "set") => or2(neq(i1(), i2()), eq(at(i1()), v2())),
+
+        // ---------------------------------------------------------------
+        // indexOf first
+        // ---------------------------------------------------------------
+        ("indexOf", "addAt") => or3(
+            and2(lt(io1(), int(0)), neq(v1(), v2())),
+            and2(le(int(0), io1()), lt(io1(), i2())),
+            and2(ieq(io1(), i2()), eq(v1(), v2())),
+        ),
+        ("indexOf", "removeAt") => or2(
+            lt(io1(), i2()),
+            and2(ieq(io1(), i2()), eq(at(plus1(i2())), v1())),
+        ),
+        ("indexOf", "set") => or([
+            and2(lt(io1(), int(0)), neq(v1(), v2())),
+            and2(le(int(0), io1()), lt(io1(), i2())),
+            and2(ieq(io1(), i2()), eq(v1(), v2())),
+            and2(gt(io1(), i2()), neq(v1(), v2())),
+        ]),
+
+        // ---------------------------------------------------------------
+        // lastIndexOf first
+        // ---------------------------------------------------------------
+        ("lastIndexOf", "addAt") => and2(neq(v1(), v2()), lt(last_index_of(v1()), i2())),
+        ("lastIndexOf", "removeAt") => lt(last_index_of(v1()), i2()),
+        ("lastIndexOf", "set") => or2(
+            and2(eq(v1(), v2()), ge(last_index_of(v1()), i2())),
+            and2(neq(v1(), v2()), neq(last_index_of(v1()), i2())),
+        ),
+
+        // ---------------------------------------------------------------
+        // removeAt first
+        // ---------------------------------------------------------------
+        ("removeAt", "addAt") => or2(
+            and2(le(i1(), i2()), eq(at(i2()), v2())),
+            and2(gt(i1(), i2()), eq(at(minus1(i1())), at(i1()))),
+        ),
+        ("removeAt", "get") => or2(
+            lt(i2(), i1()),
+            and2(ge(i2(), i1()), eq(at(i2()), at(plus1(i2())))),
+        ),
+        ("removeAt", "indexOf") => or2(
+            lt(index_of(v2()), i1()),
+            and2(ieq(index_of(v2()), i1()), eq(at(plus1(i1())), v2())),
+        ),
+        ("removeAt", "lastIndexOf") => lt(last_index_of(v2()), i1()),
+        ("removeAt", "removeAt") => {
+            if neither_recorded {
+                or3(
+                    ieq(i1(), i2()),
+                    and2(lt(i1(), i2()), eq(at(i2()), at(plus1(i2())))),
+                    and2(lt(i2(), i1()), eq(at(i1()), at(plus1(i1())))),
+                )
+            } else {
+                or2(
+                    and2(lt(i1(), i2()), eq(at(i2()), at(plus1(i2())))),
+                    and2(ge(i1(), i2()), eq(at(i1()), at(plus1(i1())))),
+                )
+            }
+        }
+        ("removeAt", "set") => {
+            let same_index = if neither_recorded {
+                and2(ieq(i1(), i2()), eq(at(plus1(i1())), v2()))
+            } else {
+                and3(ieq(i1(), i2()), eq(at(i1()), v2()), eq(at(plus1(i1())), v2()))
+            };
+            or3(
+                lt(i2(), i1()),
+                and3(lt(i1(), i2()), eq(at(i2()), v2()), eq(at(plus1(i2())), v2())),
+                same_index,
+            )
+        }
+
+        // ---------------------------------------------------------------
+        // set first
+        // ---------------------------------------------------------------
+        ("set", "addAt") => or3(
+            lt(i1(), i2()),
+            and3(ieq(i1(), i2()), eq(v1(), v2()), eq(at(i1()), v1())),
+            and3(gt(i1(), i2()), eq(at(minus1(i1())), v1()), eq(at(i1()), v1())),
+        ),
+        ("set", "get") => or2(neq(i1(), i2()), eq(at(i1()), v1())),
+        ("set", "indexOf") => or2(
+            and3(eq(v1(), v2()), le(int(0), index_of(v2())), le(index_of(v2()), i1())),
+            and2(neq(v1(), v2()), neq(index_of(v2()), i1())),
+        ),
+        ("set", "lastIndexOf") => or2(
+            and2(eq(v1(), v2()), ge(last_index_of(v2()), i1())),
+            and2(neq(v1(), v2()), neq(last_index_of(v2()), i1())),
+        ),
+        ("set", "removeAt") => {
+            let same_index = if neither_recorded {
+                and2(ieq(i1(), i2()), eq(at(plus1(i1())), v1()))
+            } else {
+                and3(ieq(i1(), i2()), eq(at(i1()), v1()), eq(at(plus1(i1())), v1()))
+            };
+            or3(
+                lt(i1(), i2()),
+                and3(gt(i1(), i2()), eq(at(i1()), v1()), eq(at(plus1(i1())), v1())),
+                same_index,
+            )
+        }
+        ("set", "set") => {
+            if neither_recorded {
+                or2(neq(i1(), i2()), eq(v1(), v2()))
+            } else {
+                or2(
+                    neq(i1(), i2()),
+                    and2(eq(v1(), v2()), eq(at(i1()), v1())),
+                )
+            }
+        }
+
+        // ---------------------------------------------------------------
+        // size first (updating seconds handled above)
+        // ---------------------------------------------------------------
+        ("size", _) | (_, "size") => unreachable!("size pairs handled above"),
+        (a, b) => unreachable!("unknown ArrayList operation pair {a}/{b}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::ConditionKind::*;
+    use semcommute_logic::{eval_bool, ElemId, Model, Value};
+
+    fn rec(op: &str) -> OpVariant {
+        OpVariant::recorded(op)
+    }
+    fn dis(op: &str) -> OpVariant {
+        OpVariant::discarded(op)
+    }
+
+    /// Evaluates a condition under an explicit assignment of the initial list
+    /// and the arguments.
+    fn holds(c: &Term, list: &[u32], bindings: &[(&str, Value)]) -> bool {
+        let mut m = Model::new();
+        m.insert(
+            "s1",
+            Value::Seq(list.iter().map(|&i| ElemId(i)).collect()),
+        );
+        for (k, v) in bindings {
+            m.insert(*k, v.clone());
+        }
+        eval_bool(c, &m).unwrap()
+    }
+
+    #[test]
+    fn add_at_add_at_matches_table_5_6_shape() {
+        let c = condition(&dis("addAt"), &dis("addAt"), Before);
+        // i1 < i2 commutes when the element just below the second insertion
+        // point equals v2 (s1[i2-1] = v2).
+        assert!(holds(
+            &c,
+            &[7, 9, 9],
+            &[
+                ("i1", Value::Int(0)),
+                ("v1", Value::elem(5)),
+                ("i2", Value::Int(2)),
+                ("v2", Value::elem(9)),
+            ]
+        ));
+        assert!(!holds(
+            &c,
+            &[7, 8, 9],
+            &[
+                ("i1", Value::Int(0)),
+                ("v1", Value::elem(5)),
+                ("i2", Value::Int(2)),
+                ("v2", Value::elem(9)),
+            ]
+        ));
+        // Same insertion point commutes only for equal elements.
+        assert!(holds(
+            &c,
+            &[1, 2],
+            &[
+                ("i1", Value::Int(1)),
+                ("v1", Value::elem(4)),
+                ("i2", Value::Int(1)),
+                ("v2", Value::elem(4)),
+            ]
+        ));
+        assert!(!holds(
+            &c,
+            &[1, 2],
+            &[
+                ("i1", Value::Int(1)),
+                ("v1", Value::elem(4)),
+                ("i2", Value::Int(1)),
+                ("v2", Value::elem(5)),
+            ]
+        ));
+    }
+
+    #[test]
+    fn index_of_add_at_between_uses_r1_like_table_5_6() {
+        let c = condition(&rec("indexOf"), &dis("addAt"), Between);
+        // The between form references r1 instead of s1.indexOf(v1).
+        let fv = semcommute_logic::free_vars(&c);
+        assert!(fv.contains_key("r1"));
+        assert!(!fv.contains_key("s1"));
+        // Shape: (r1 < 0 & v1 ~= v2) | (0 <= r1 < i2) | (r1 = i2 & v1 = v2)
+        let mut m = Model::new();
+        m.insert("r1", Value::Int(-1));
+        m.insert("v1", Value::elem(1));
+        m.insert("v2", Value::elem(2));
+        m.insert("i2", Value::Int(0));
+        assert!(eval_bool(&c, &m).unwrap());
+        m.insert("v2", Value::elem(1));
+        assert!(!eval_bool(&c, &m).unwrap());
+    }
+
+    #[test]
+    fn size_pairs_are_constant() {
+        assert!(condition(&dis("addAt"), &rec("size"), Before).is_false());
+        assert!(condition(&rec("size"), &dis("removeAt"), After).is_false());
+        assert!(condition(&rec("size"), &rec("size"), Before).is_true());
+        assert!(condition(&dis("set"), &rec("size"), Between).is_true());
+        assert!(condition(&rec("get"), &rec("indexOf"), Before).is_true());
+    }
+
+    #[test]
+    fn remove_at_remove_at_distinguishes_variants() {
+        // Both discarded: removing the same index twice in either order gives
+        // the same abstract list, so i1 = i2 commutes unconditionally.
+        let dd = condition(&dis("removeAt"), &dis("removeAt"), Before);
+        assert!(holds(
+            &dd,
+            &[1, 2, 3],
+            &[("i1", Value::Int(1)), ("i2", Value::Int(1))]
+        ));
+        // With a recorded return value the removed elements are observed and
+        // must coincide (two adjacent equal elements).
+        let rr = condition(&rec("removeAt"), &rec("removeAt"), Before);
+        assert!(!holds(
+            &rr,
+            &[1, 2, 3],
+            &[("i1", Value::Int(1)), ("i2", Value::Int(1))]
+        ));
+        assert!(holds(
+            &rr,
+            &[1, 2, 2],
+            &[("i1", Value::Int(1)), ("i2", Value::Int(1))]
+        ));
+    }
+
+    #[test]
+    fn set_set_requires_equal_values_at_equal_indices() {
+        let dd = condition(&dis("set"), &dis("set"), Before);
+        assert!(holds(
+            &dd,
+            &[1, 2],
+            &[
+                ("i1", Value::Int(0)),
+                ("v1", Value::elem(9)),
+                ("i2", Value::Int(0)),
+                ("v2", Value::elem(9)),
+            ]
+        ));
+        assert!(!holds(
+            &dd,
+            &[1, 2],
+            &[
+                ("i1", Value::Int(0)),
+                ("v1", Value::elem(9)),
+                ("i2", Value::Int(0)),
+                ("v2", Value::elem(8)),
+            ]
+        ));
+        // Different indices always commute.
+        assert!(holds(
+            &dd,
+            &[1, 2],
+            &[
+                ("i1", Value::Int(0)),
+                ("v1", Value::elem(9)),
+                ("i2", Value::Int(1)),
+                ("v2", Value::elem(8)),
+            ]
+        ));
+    }
+
+    #[test]
+    fn every_pair_has_a_formula() {
+        // Exhaustiveness guard: every pair of ArrayList operation variants
+        // produces a well-sorted boolean formula for every kind.
+        use crate::variant::interface_variants;
+        let iface = semcommute_spec::list_interface();
+        for first in interface_variants(&iface) {
+            for second in interface_variants(&iface) {
+                for kind in [Before, Between, After] {
+                    let c = condition(&first, &second, kind);
+                    assert!(
+                        semcommute_logic::ty::check_formula(&c).is_ok(),
+                        "ill-sorted condition for {}/{}",
+                        first.label(),
+                        second.label()
+                    );
+                }
+            }
+        }
+    }
+}

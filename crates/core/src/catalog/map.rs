@@ -1,0 +1,207 @@
+//! Commutativity conditions for the map interface — AssociationList and
+//! HashTable (Tables 5.4 and 5.5).
+
+use semcommute_logic::build::*;
+use semcommute_logic::Term;
+
+use super::helpers::{get_k1, k1_mapped, k2_mapped, keys_differ, r1_bool, r1_elem, s1_map};
+use crate::kind::ConditionKind;
+use crate::variant::OpVariant;
+
+/// The commutativity condition for `first(…); second(…)` on the map
+/// interface.
+///
+/// Before conditions follow Table 5.4 (stated over the initial abstract map
+/// `s1`); after conditions follow Table 5.5 (when the first operation records
+/// its return value, the query on the initial state is replaced by the
+/// equivalent test of `r1`, as the paper does); between conditions use the
+/// `r1` form whenever it is available. Pairs not shown in the paper's
+/// representative tables (`containsKey` and `size` pairs, discarded-variant
+/// combinations) follow the same derivations and are verified sound and
+/// complete by the driver.
+pub fn condition(first: &OpVariant, second: &OpVariant, kind: ConditionKind) -> Term {
+    let use_r1 = kind.allows_first_result() && first.recorded;
+    let v1 = || var_elem("v1");
+    let v2 = || var_elem("v2");
+    match (first.op.as_str(), second.op.as_str()) {
+        // -- pure observers against each other ------------------------------
+        ("get" | "containsKey" | "size", "get" | "containsKey" | "size") => tru(),
+
+        // -- get first ------------------------------------------------------
+        ("get", "put") => {
+            // k1 ~= k2 | s1.get(k1) = v2      (after form: k1 ~= k2 | r1 = v2)
+            if use_r1 {
+                or2(keys_differ(), eq(r1_elem(), v2()))
+            } else {
+                or2(keys_differ(), eq(get_k1(), v2()))
+            }
+        }
+        ("get", "remove") => {
+            // k1 ~= k2 | s1.containsKey(k1) = false   (after: k1 ~= k2 | r1 = null)
+            if use_r1 {
+                or2(keys_differ(), eq(r1_elem(), null()))
+            } else {
+                or2(keys_differ(), not(k1_mapped()))
+            }
+        }
+
+        // -- containsKey first ----------------------------------------------
+        ("containsKey", "put") => {
+            if use_r1 {
+                or2(keys_differ(), r1_bool())
+            } else {
+                or2(keys_differ(), k1_mapped())
+            }
+        }
+        ("containsKey", "remove") => {
+            if use_r1 {
+                or2(keys_differ(), not(r1_bool()))
+            } else {
+                or2(keys_differ(), not(k1_mapped()))
+            }
+        }
+
+        // -- put first ------------------------------------------------------
+        ("put", "get") => or2(keys_differ(), eq(get_k1(), v1())),
+        ("put", "containsKey") => or2(keys_differ(), k1_mapped()),
+        ("put", "put") => {
+            if !first.recorded && !second.recorded {
+                // k1 ~= k2 | v1 = v2
+                or2(keys_differ(), eq(v1(), v2()))
+            } else {
+                // A recorded put also observes the previous value for the key.
+                or2(keys_differ(), and2(eq(v1(), v2()), eq(get_k1(), v1())))
+            }
+        }
+        ("put", "remove") => keys_differ(),
+        ("put", "size") => k1_mapped(),
+
+        // -- remove first ---------------------------------------------------
+        ("remove", "get") | ("remove", "containsKey") => or2(keys_differ(), not(k1_mapped())),
+        ("remove", "put") => keys_differ(),
+        ("remove", "remove") => {
+            if !first.recorded && !second.recorded {
+                tru()
+            } else if use_r1 {
+                or2(keys_differ(), eq(r1_elem(), null()))
+            } else {
+                or2(keys_differ(), not(k1_mapped()))
+            }
+        }
+        ("remove", "size") => {
+            if use_r1 {
+                eq(r1_elem(), null())
+            } else {
+                not(k1_mapped())
+            }
+        }
+
+        // -- size first -----------------------------------------------------
+        ("size", "put") => k2_mapped(),
+        ("size", "remove") => not(map_has_key(s1_map(), var_elem("k2"))),
+
+        (a, b) => unreachable!("unknown map operation pair {a}/{b}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::ConditionKind::*;
+
+    fn rec(op: &str) -> OpVariant {
+        OpVariant::recorded(op)
+    }
+    fn dis(op: &str) -> OpVariant {
+        OpVariant::discarded(op)
+    }
+
+    #[test]
+    fn table_5_4_before_conditions() {
+        // Row: r1 = get(k1) / put(k2, v2): k1 ~= k2 | s1.get(k1) = v2
+        assert_eq!(
+            condition(&rec("get"), &dis("put"), Before),
+            or2(
+                neq(var_elem("k1"), var_elem("k2")),
+                eq(map_get(var_map("s1"), var_elem("k1")), var_elem("v2"))
+            )
+        );
+        // Row: r1 = get(k1) / remove(k2): k1 ~= k2 | s1.containsKey(k1) = false
+        assert_eq!(
+            condition(&rec("get"), &dis("remove"), Before),
+            or2(
+                neq(var_elem("k1"), var_elem("k2")),
+                not(map_has_key(var_map("s1"), var_elem("k1")))
+            )
+        );
+        // Row: put(k1, v1) / put(k2, v2) (both discarded): k1 ~= k2 | v1 = v2
+        assert_eq!(
+            condition(&dis("put"), &dis("put"), Before),
+            or2(
+                neq(var_elem("k1"), var_elem("k2")),
+                eq(var_elem("v1"), var_elem("v2"))
+            )
+        );
+        // Row: put / remove and remove / put: k1 ~= k2
+        assert_eq!(
+            condition(&dis("put"), &dis("remove"), Before),
+            neq(var_elem("k1"), var_elem("k2"))
+        );
+        assert_eq!(
+            condition(&dis("remove"), &dis("put"), Before),
+            neq(var_elem("k1"), var_elem("k2"))
+        );
+        // Row: remove / remove (both discarded): true
+        assert!(condition(&dis("remove"), &dis("remove"), Before).is_true());
+        // Row: get / get: true
+        assert!(condition(&rec("get"), &rec("get"), Before).is_true());
+    }
+
+    #[test]
+    fn table_5_5_after_conditions_use_r1() {
+        // Row: r1 = get(k1) / put(k2, v2): k1 ~= k2 | r1 = v2
+        assert_eq!(
+            condition(&rec("get"), &dis("put"), After),
+            or2(neq(var_elem("k1"), var_elem("k2")), eq(var_elem("r1"), var_elem("v2")))
+        );
+        // Row: r1 = get(k1) / remove(k2): k1 ~= k2 | r1 = null
+        assert_eq!(
+            condition(&rec("get"), &dis("remove"), After),
+            or2(neq(var_elem("k1"), var_elem("k2")), eq(var_elem("r1"), null()))
+        );
+        // Row: put(k1, v1) / get(k2) keeps the initial-state form even after.
+        assert_eq!(
+            condition(&dis("put"), &rec("get"), After),
+            or2(
+                neq(var_elem("k1"), var_elem("k2")),
+                eq(map_get(var_map("s1"), var_elem("k1")), var_elem("v1"))
+            )
+        );
+    }
+
+    #[test]
+    fn size_pairs_depend_on_key_presence() {
+        assert_eq!(
+            condition(&dis("put"), &rec("size"), Before),
+            map_has_key(var_map("s1"), var_elem("k1"))
+        );
+        assert_eq!(
+            condition(&rec("size"), &dis("remove"), Before),
+            not(map_has_key(var_map("s1"), var_elem("k2")))
+        );
+        assert!(condition(&rec("size"), &rec("containsKey"), Between).is_true());
+    }
+
+    #[test]
+    fn recorded_put_put_also_constrains_previous_value() {
+        let c = condition(&rec("put"), &rec("put"), Before);
+        let expected = or2(
+            neq(var_elem("k1"), var_elem("k2")),
+            and2(
+                eq(var_elem("v1"), var_elem("v2")),
+                eq(map_get(var_map("s1"), var_elem("k1")), var_elem("v1")),
+            ),
+        );
+        assert_eq!(c, expected);
+    }
+}

@@ -1,0 +1,166 @@
+//! The commutativity-condition catalog: 765 conditions, as in the paper.
+//!
+//! For every interface, every *ordered* pair of operation variants, and every
+//! [`ConditionKind`], the catalog provides a sound and complete commutativity
+//! condition (Section 5.1, Tables 5.1–5.7). The per-interface condition
+//! formulas live in the submodules; this module assembles them into the full
+//! catalog and exposes the counting used by the paper:
+//!
+//! * per interface: 2² × 3 = 12 (Accumulator), 6² × 3 = 108 (set interface),
+//!   7² × 3 = 147 (map interface), 9² × 3 = 243 (ArrayList);
+//! * per data structure (counting ListSet/HashSet and
+//!   AssociationList/HashTable separately, as the paper does):
+//!   12 + 2·108 + 2·147 + 243 = **765**.
+
+pub mod accumulator;
+pub mod helpers;
+pub mod list;
+pub mod map;
+pub mod set;
+
+use semcommute_spec::{interface_by_id, InterfaceId};
+
+use crate::condition::CommutativityCondition;
+use crate::kind::ConditionKind;
+use crate::variant::{interface_variants, OpVariant};
+
+/// The condition formula for one ordered pair of operation variants of an
+/// interface.
+pub fn condition_formula(
+    id: InterfaceId,
+    first: &OpVariant,
+    second: &OpVariant,
+    kind: ConditionKind,
+) -> semcommute_logic::Term {
+    match id {
+        InterfaceId::Accumulator => accumulator::condition(first, second, kind),
+        InterfaceId::Set => set::condition(first, second, kind),
+        InterfaceId::Map => map::condition(first, second, kind),
+        InterfaceId::List => list::condition(first, second, kind),
+    }
+}
+
+/// The full catalog for one interface: all ordered pairs of operation
+/// variants × the three condition kinds.
+pub fn interface_catalog(id: InterfaceId) -> Vec<CommutativityCondition> {
+    let iface = interface_by_id(id);
+    let variants = interface_variants(&iface);
+    let mut out = Vec::new();
+    for first in &variants {
+        for second in &variants {
+            for kind in ConditionKind::ALL {
+                let formula = condition_formula(id, first, second, kind);
+                out.push(CommutativityCondition::new(
+                    id,
+                    first.clone(),
+                    second.clone(),
+                    kind,
+                    formula,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The catalogs of all four interfaces (510 distinct conditions; set and map
+/// conditions are shared between their two implementations).
+pub fn full_catalog() -> Vec<CommutativityCondition> {
+    InterfaceId::ALL
+        .into_iter()
+        .flat_map(interface_catalog)
+        .collect()
+}
+
+/// The catalog organised per concrete data structure, as the paper counts it:
+/// one entry per data structure name, each carrying the conditions of its
+/// interface. The total number of conditions across all entries is 765.
+pub fn data_structure_catalog() -> Vec<(&'static str, Vec<CommutativityCondition>)> {
+    let mut out = Vec::new();
+    for id in InterfaceId::ALL {
+        let conditions = interface_catalog(id);
+        for name in id.implementations() {
+            out.push((*name, conditions.clone()));
+        }
+    }
+    out
+}
+
+/// The paper's headline count: the number of (data structure, condition)
+/// entries, i.e. 765.
+pub fn paper_condition_count() -> usize {
+    data_structure_catalog()
+        .iter()
+        .map(|(_, conditions)| conditions.len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_spec::interface_by_id;
+
+    #[test]
+    fn interface_counts_match_section_5_1() {
+        assert_eq!(interface_catalog(InterfaceId::Accumulator).len(), 12);
+        assert_eq!(interface_catalog(InterfaceId::Set).len(), 108);
+        assert_eq!(interface_catalog(InterfaceId::Map).len(), 147);
+        assert_eq!(interface_catalog(InterfaceId::List).len(), 243);
+        assert_eq!(full_catalog().len(), 12 + 108 + 147 + 243);
+    }
+
+    #[test]
+    fn paper_count_is_765() {
+        assert_eq!(paper_condition_count(), 765);
+        assert_eq!(data_structure_catalog().len(), 6);
+    }
+
+    #[test]
+    fn every_condition_is_well_formed() {
+        for condition in full_catalog() {
+            let iface = interface_by_id(condition.interface);
+            condition
+                .validate(&iface)
+                .unwrap_or_else(|e| panic!("invalid condition {}: {e}", condition.id()));
+            assert!(
+                semcommute_logic::ty::check_formula(&condition.formula).is_ok(),
+                "{} is not a boolean formula",
+                condition.id()
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_has_no_duplicate_entries() {
+        let catalog = full_catalog();
+        let mut ids: Vec<String> = catalog.iter().map(|c| c.id()).collect();
+        ids.sort();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate condition identifiers");
+    }
+
+    #[test]
+    fn trivially_true_conditions_exist_for_observer_pairs() {
+        // contains/contains, get/get, read/read should all be `true` — the
+        // compile-time-friendly special case highlighted in Section 5.1.
+        for (iface, op) in [
+            (InterfaceId::Set, "contains"),
+            (InterfaceId::Map, "get"),
+            (InterfaceId::Accumulator, "read"),
+            (InterfaceId::List, "get"),
+        ] {
+            let c = interface_catalog(iface)
+                .into_iter()
+                .find(|c| {
+                    c.first.op == op
+                        && c.second.op == op
+                        && c.kind == ConditionKind::Before
+                        && c.first.recorded
+                        && c.second.recorded
+                })
+                .expect("pair exists");
+            assert!(c.is_trivially_true(), "{} should be `true`", c.id());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Commutativity conditions for the set interface — ListSet and HashSet
+//! (Tables 5.2 and 5.3).
+
+use semcommute_logic::build::*;
+use semcommute_logic::Term;
+
+use super::helpers::{args_differ, r1_bool, v1_in_s1, v2_in_s1};
+use crate::kind::ConditionKind;
+use crate::variant::OpVariant;
+
+/// The commutativity condition for `first(v1); second(v2)` on the set
+/// interface.
+///
+/// The before conditions follow Table 5.2; the between conditions follow
+/// Table 5.3 (when the first operation records its return value, the
+/// membership query on the initial state is replaced by the equivalent test
+/// of `r1`, as the paper's tables do); after conditions reuse the between
+/// form. Pairs that are not shown in the paper's (representative) tables —
+/// the `size` pairs and the discarded-variant combinations — follow the same
+/// derivations; the verification driver establishes soundness and
+/// completeness for every entry.
+pub fn condition(first: &OpVariant, second: &OpVariant, kind: ConditionKind) -> Term {
+    let use_r1 = kind.allows_first_result() && first.recorded;
+    match (first.op.as_str(), second.op.as_str()) {
+        // -- add first ------------------------------------------------------
+        ("add", "add") => {
+            if !first.recorded && !second.recorded {
+                // Neither client observes a return value; insertion order is
+                // irrelevant to the abstract set.
+                tru()
+            } else if use_r1 {
+                // v1 ~= v2 | ~r1   (r1 = "v1 was new", so ~r1 = v1 : s1)
+                or2(args_differ(), not(r1_bool()))
+            } else {
+                or2(args_differ(), v1_in_s1())
+            }
+        }
+        ("add", "contains") => {
+            if use_r1 {
+                or2(args_differ(), not(r1_bool()))
+            } else {
+                or2(args_differ(), v1_in_s1())
+            }
+        }
+        ("add", "remove") => args_differ(),
+        ("add", "size") => {
+            // size observes |s|, which changes exactly when v1 was new.
+            if use_r1 {
+                not(r1_bool())
+            } else {
+                v1_in_s1()
+            }
+        }
+
+        // -- contains first -------------------------------------------------
+        ("contains", "add") => {
+            if use_r1 {
+                or2(args_differ(), r1_bool())
+            } else {
+                or2(args_differ(), v1_in_s1())
+            }
+        }
+        ("contains", "remove") => {
+            if use_r1 {
+                or2(args_differ(), not(r1_bool()))
+            } else {
+                or2(args_differ(), not(v1_in_s1()))
+            }
+        }
+        ("contains", "contains") | ("contains", "size") => tru(),
+
+        // -- remove first ---------------------------------------------------
+        ("remove", "add") => args_differ(),
+        ("remove", "contains") => or2(args_differ(), not(v1_in_s1())),
+        ("remove", "remove") => {
+            if !first.recorded && !second.recorded {
+                tru()
+            } else if use_r1 {
+                or2(args_differ(), not(r1_bool()))
+            } else {
+                or2(args_differ(), not(v1_in_s1()))
+            }
+        }
+        ("remove", "size") => {
+            if use_r1 {
+                not(r1_bool())
+            } else {
+                not(v1_in_s1())
+            }
+        }
+
+        // -- size first -----------------------------------------------------
+        ("size", "add") => v2_in_s1(),
+        ("size", "remove") => not(v2_in_s1()),
+        ("size", "contains") | ("size", "size") => tru(),
+
+        (a, b) => unreachable!("unknown set operation pair {a}/{b}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::ConditionKind::*;
+
+    fn rec(op: &str) -> OpVariant {
+        OpVariant::recorded(op)
+    }
+    fn dis(op: &str) -> OpVariant {
+        OpVariant::discarded(op)
+    }
+
+    #[test]
+    fn table_5_2_before_conditions() {
+        // Row: s1.add(v1) / r2 = s2.contains(v2):  v1 ~= v2 | v1 : s1
+        assert_eq!(
+            condition(&dis("add"), &rec("contains"), Before),
+            or2(neq(var_elem("v1"), var_elem("v2")), member(var_elem("v1"), var_set("s1")))
+        );
+        // Row: s1.add(v1) / s2.remove(v2): v1 ~= v2
+        assert_eq!(
+            condition(&dis("add"), &dis("remove"), Before),
+            neq(var_elem("v1"), var_elem("v2"))
+        );
+        // Row: r1 = contains(v1) / s2.remove(v2): v1 ~= v2 | v1 ~: s1
+        assert_eq!(
+            condition(&rec("contains"), &dis("remove"), Before),
+            or2(
+                neq(var_elem("v1"), var_elem("v2")),
+                not(member(var_elem("v1"), var_set("s1")))
+            )
+        );
+        // Row: s1.remove(v1) / s2.remove(v2) (both discarded): true
+        assert!(condition(&dis("remove"), &dis("remove"), Before).is_true());
+        // Row: s1.add(v1) / s2.add(v2) (both discarded): true
+        assert!(condition(&dis("add"), &dis("add"), Before).is_true());
+    }
+
+    #[test]
+    fn table_5_3_between_conditions_use_r1() {
+        // Row: r1 = contains(v1) / s2.add(v2): v1 ~= v2 | r1 = true
+        assert_eq!(
+            condition(&rec("contains"), &dis("add"), Between),
+            or2(neq(var_elem("v1"), var_elem("v2")), var_bool("r1"))
+        );
+        // Row: r1 = contains(v1) / s2.remove(v2): v1 ~= v2 | r1 = false
+        assert_eq!(
+            condition(&rec("contains"), &dis("remove"), Between),
+            or2(neq(var_elem("v1"), var_elem("v2")), not(var_bool("r1")))
+        );
+    }
+
+    #[test]
+    fn recorded_add_add_between_matches_section_5_1() {
+        // "the between commutativity condition for the r1 = s.add(v1);
+        //  r2 = s.add(v2) pair is (v1 ~= v2 | ~r1)"
+        assert_eq!(
+            condition(&rec("add"), &rec("add"), Between),
+            or2(neq(var_elem("v1"), var_elem("v2")), not(var_bool("r1")))
+        );
+        // "while the commutativity condition for the s.add(v1), s.add(v2)
+        //  pair is simply true"
+        assert!(condition(&dis("add"), &dis("add"), Between).is_true());
+    }
+
+    #[test]
+    fn size_pairs_depend_on_membership() {
+        assert_eq!(
+            condition(&rec("size"), &dis("add"), Before),
+            member(var_elem("v2"), var_set("s1"))
+        );
+        assert_eq!(
+            condition(&rec("size"), &dis("remove"), After),
+            not(member(var_elem("v2"), var_set("s1")))
+        );
+        assert!(condition(&rec("size"), &rec("size"), Before).is_true());
+    }
+}

@@ -1,0 +1,311 @@
+//! Dynamic (run-time) evaluation of commutativity conditions, and the
+//! concrete-syntax rendering used in the right-hand columns of Tables 5.1–5.7.
+//!
+//! Static analyses work with the abstract-state form of a condition; systems
+//! that check conditions dynamically must evaluate them against the concrete
+//! data structure (Section 4.1). Because every concrete structure exposes its
+//! abstraction function, dynamic evaluation reduces to evaluating the
+//! condition formula under a model that binds `s1`/`s2`/`s3` to the abstract
+//! states observed at run time and `r1`/`r2` to the recorded return values.
+//! [`render_concrete`] prints a condition with the abstract-state queries
+//! replaced by the method calls a dynamic checker would issue
+//! (`s1.contains(v1) = true`, `s1.get(k1)`, `s2.indexOf(v2)`, …).
+
+use semcommute_logic::{eval_bool, Model, Term, Value};
+use semcommute_spec::AbstractState;
+
+use crate::condition::{names, CommutativityCondition};
+
+/// The run-time information available to a dynamic commutativity check.
+///
+/// Populate the fields that are available at the point of the check: for a
+/// *before* check only `initial_state` and the arguments; for a *between*
+/// check additionally `first_result` and `intermediate_state`; for an *after*
+/// check everything.
+#[derive(Debug, Clone, Default)]
+pub struct ConditionContext {
+    /// Arguments of the first operation, in declaration order.
+    pub first_args: Vec<Value>,
+    /// Arguments of the second operation, in declaration order.
+    pub second_args: Vec<Value>,
+    /// The abstract state before either operation.
+    pub initial_state: Option<AbstractState>,
+    /// The abstract state after the first operation.
+    pub intermediate_state: Option<AbstractState>,
+    /// The abstract state after both operations.
+    pub final_state: Option<AbstractState>,
+    /// The first operation's recorded return value.
+    pub first_result: Option<Value>,
+    /// The second operation's recorded return value.
+    pub second_result: Option<Value>,
+}
+
+impl ConditionContext {
+    /// A context for a *before* check.
+    pub fn before(
+        initial: AbstractState,
+        first_args: Vec<Value>,
+        second_args: Vec<Value>,
+    ) -> ConditionContext {
+        ConditionContext {
+            first_args,
+            second_args,
+            initial_state: Some(initial),
+            ..Default::default()
+        }
+    }
+
+    /// A context for a *between* check.
+    pub fn between(
+        initial: AbstractState,
+        intermediate: AbstractState,
+        first_args: Vec<Value>,
+        first_result: Option<Value>,
+        second_args: Vec<Value>,
+    ) -> ConditionContext {
+        ConditionContext {
+            first_args,
+            second_args,
+            initial_state: Some(initial),
+            intermediate_state: Some(intermediate),
+            first_result,
+            ..Default::default()
+        }
+    }
+
+    fn to_model(&self, condition: &CommutativityCondition) -> Model {
+        let iface = semcommute_spec::interface_by_id(condition.interface);
+        let mut model = Model::new();
+        if let Some(s) = &self.initial_state {
+            model.insert(names::INITIAL, s.to_value());
+        }
+        if let Some(s) = &self.intermediate_state {
+            model.insert(names::INTERMEDIATE, s.to_value());
+        }
+        if let Some(s) = &self.final_state {
+            model.insert(names::FINAL, s.to_value());
+        }
+        if let Some(r) = &self.first_result {
+            model.insert(names::RESULT1, r.clone());
+        }
+        if let Some(r) = &self.second_result {
+            model.insert(names::RESULT2, r.clone());
+        }
+        for (which, (variant, args)) in [
+            (&condition.first, &self.first_args),
+            (&condition.second, &self.second_args),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if let Some(op) = iface.op(&variant.op) {
+                for ((formal, _), value) in op.params.iter().zip(args) {
+                    model.insert(names::arg(formal, which + 1), value.clone());
+                }
+            }
+        }
+        model
+    }
+}
+
+/// Evaluates a commutativity condition against run-time information.
+///
+/// # Errors
+///
+/// Returns an error if the context does not provide a value for a variable
+/// the condition references (e.g. evaluating a between condition with a
+/// before-only context).
+pub fn evaluate(condition: &CommutativityCondition, ctx: &ConditionContext) -> Result<bool, String> {
+    let model = ctx.to_model(condition);
+    eval_bool(&condition.formula, &model).map_err(|e| format!("{}: {e}", condition.id()))
+}
+
+/// Renders a condition formula in the "concrete" column style of the paper's
+/// tables: abstract-state queries become data structure method calls.
+pub fn render_concrete(term: &Term) -> String {
+    render(term, false)
+}
+
+fn render(term: &Term, negated: bool) -> String {
+    use Term::*;
+    match term {
+        Not(inner) => match &**inner {
+            Member(_, _) | MapHasKey(_, _) | SeqContains(_, _) => render(inner, !negated),
+            Eq(a, b) => format!("{} ~= {}", render(a, false), render(b, false)),
+            other => format!("~({})", render(other, false)),
+        },
+        Member(v, s) => format!(
+            "{}.contains({}) = {}",
+            render(s, false),
+            render(v, false),
+            if negated { "false" } else { "true" }
+        ),
+        MapHasKey(m, k) => format!(
+            "{}.containsKey({}) = {}",
+            render(m, false),
+            render(k, false),
+            if negated { "false" } else { "true" }
+        ),
+        SeqContains(s, v) => format!(
+            "{}.contains({}) = {}",
+            render(s, false),
+            render(v, false),
+            if negated { "false" } else { "true" }
+        ),
+        MapGet(m, k) => format!("{}.get({})", render(m, false), render(k, false)),
+        Card(s) => format!("{}.size()", render(s, false)),
+        MapSize(m) => format!("{}.size()", render(m, false)),
+        SeqLen(s) => format!("{}.size()", render(s, false)),
+        SeqAt(s, i) => format!("{}.get({})", render(s, false), render(i, false)),
+        SeqIndexOf(s, v) => format!("{}.indexOf({})", render(s, false), render(v, false)),
+        SeqLastIndexOf(s, v) => {
+            format!("{}.lastIndexOf({})", render(s, false), render(v, false))
+        }
+        And(cs) => cs
+            .iter()
+            .map(|c| maybe_paren(c, render(c, false)))
+            .collect::<Vec<_>>()
+            .join(" & "),
+        Or(cs) => cs
+            .iter()
+            .map(|c| maybe_paren(c, render(c, false)))
+            .collect::<Vec<_>>()
+            .join(" | "),
+        Eq(a, b) => format!("{} = {}", render(a, false), render(b, false)),
+        Lt(a, b) => format!("{} < {}", render(a, false), render(b, false)),
+        Le(a, b) => format!("{} <= {}", render(a, false), render(b, false)),
+        Add(a, b) => format!("{} + {}", render(a, false), render(b, false)),
+        Sub(a, b) => format!("{} - {}", render(a, false), render(b, false)),
+        other => other.to_string(),
+    }
+}
+
+fn maybe_paren(term: &Term, rendered: String) -> String {
+    if matches!(term, Term::And(_) | Term::Or(_) | Term::Implies(_, _)) {
+        format!("({rendered})")
+    } else {
+        rendered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::interface_catalog;
+    use crate::kind::ConditionKind;
+    use semcommute_logic::ElemId;
+    use semcommute_spec::InterfaceId;
+
+    fn set_state(ids: &[u32]) -> AbstractState {
+        AbstractState::Set(ids.iter().map(|&i| ElemId(i)).collect())
+    }
+
+    fn find(
+        iface: InterfaceId,
+        first: &str,
+        second: &str,
+        kind: ConditionKind,
+    ) -> CommutativityCondition {
+        interface_catalog(iface)
+            .into_iter()
+            .find(|c| {
+                c.first.op == first
+                    && c.second.op == second
+                    && c.kind == kind
+                    && c.first.recorded
+                    && !c.second.recorded
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn before_condition_evaluates_against_initial_state() {
+        let cond = find(InterfaceId::Set, "contains", "add", ConditionKind::Before);
+        // v1 != v2: commutes.
+        let ctx = ConditionContext::before(
+            set_state(&[]),
+            vec![Value::elem(1)],
+            vec![Value::elem(2)],
+        );
+        assert!(evaluate(&cond, &ctx).unwrap());
+        // v1 = v2 and v1 not in the set: does not commute.
+        let ctx = ConditionContext::before(
+            set_state(&[]),
+            vec![Value::elem(1)],
+            vec![Value::elem(1)],
+        );
+        assert!(!evaluate(&cond, &ctx).unwrap());
+        // v1 = v2 but already present: commutes.
+        let ctx = ConditionContext::before(
+            set_state(&[1]),
+            vec![Value::elem(1)],
+            vec![Value::elem(1)],
+        );
+        assert!(evaluate(&cond, &ctx).unwrap());
+    }
+
+    #[test]
+    fn between_condition_uses_the_recorded_result() {
+        let cond = find(InterfaceId::Set, "contains", "add", ConditionKind::Between);
+        let ctx = ConditionContext::between(
+            set_state(&[]),
+            set_state(&[]),
+            vec![Value::elem(1)],
+            Some(Value::Bool(false)),
+            vec![Value::elem(1)],
+        );
+        assert!(!evaluate(&cond, &ctx).unwrap());
+        let ctx = ConditionContext::between(
+            set_state(&[1]),
+            set_state(&[1]),
+            vec![Value::elem(1)],
+            Some(Value::Bool(true)),
+            vec![Value::elem(1)],
+        );
+        assert!(evaluate(&cond, &ctx).unwrap());
+    }
+
+    #[test]
+    fn missing_context_is_an_error() {
+        let cond = find(InterfaceId::Set, "contains", "add", ConditionKind::Between);
+        let ctx = ConditionContext::before(
+            set_state(&[]),
+            vec![Value::elem(1)],
+            vec![Value::elem(2)],
+        );
+        // The between condition needs r1, which a before context lacks.
+        assert!(evaluate(&cond, &ctx).is_err());
+    }
+
+    #[test]
+    fn concrete_rendering_matches_table_style() {
+        use semcommute_logic::build::*;
+        // v1 ~= v2 | s1.contains(v1) = true
+        let t = or2(
+            neq(var_elem("v1"), var_elem("v2")),
+            member(var_elem("v1"), var_set("s1")),
+        );
+        assert_eq!(render_concrete(&t), "v1 ~= v2 | s1.contains(v1) = true");
+        // negated membership renders as "= false"
+        let t = or2(
+            neq(var_elem("k1"), var_elem("k2")),
+            not(map_has_key(var_map("s1"), var_elem("k1"))),
+        );
+        assert_eq!(
+            render_concrete(&t),
+            "k1 ~= k2 | s1.containsKey(k1) = false"
+        );
+        // map get and sizes
+        let t = eq(map_get(var_map("s1"), var_elem("k1")), var_elem("v2"));
+        assert_eq!(render_concrete(&t), "s1.get(k1) = v2");
+        assert_eq!(render_concrete(&card(var_set("s1"))), "s1.size()");
+        assert_eq!(
+            render_concrete(&seq_index_of(var_seq("s2"), var_elem("v2"))),
+            "s2.indexOf(v2)"
+        );
+        assert_eq!(
+            render_concrete(&seq_at(var_seq("s1"), sub(var_int("i2"), int(1)))),
+            "s1.get(i2 - 1)"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Commutativity conditions.
+
+use std::fmt;
+
+use semcommute_logic::{build, free_vars, Sort, Term};
+use semcommute_spec::{InterfaceId, InterfaceSpec};
+
+use crate::kind::ConditionKind;
+use crate::variant::OpVariant;
+
+/// Canonical names for the free variables a condition formula may mention.
+///
+/// A condition is always interpreted with respect to the *first* execution
+/// order (`m1(args1)` followed by `m2(args2)`, Section 4.1 of the paper):
+///
+/// * [`names::INITIAL`] (`s1`) — the abstract state before either operation,
+/// * [`names::INTERMEDIATE`] (`s2`) — the abstract state after the first
+///   operation,
+/// * [`names::FINAL`] (`s3`) — the abstract state after both operations,
+/// * [`names::RESULT1`] (`r1`) / [`names::RESULT2`] (`r2`) — the return
+///   values of the first and second operation (available only for recorded
+///   variants),
+/// * operation arguments — the first operation's formal parameter names
+///   suffixed with `1`, the second's with `2` (`v1`, `k1`, `i1`, `v2`, …).
+pub mod names {
+    /// The abstract state before either operation executes.
+    pub const INITIAL: &str = "s1";
+    /// The abstract state after the first operation executes.
+    pub const INTERMEDIATE: &str = "s2";
+    /// The abstract state after both operations execute (first order).
+    pub const FINAL: &str = "s3";
+    /// The first operation's return value.
+    pub const RESULT1: &str = "r1";
+    /// The second operation's return value.
+    pub const RESULT2: &str = "r2";
+
+    /// The canonical argument name for a formal parameter of the first
+    /// (`which = 1`) or second (`which = 2`) operation.
+    pub fn arg(formal: &str, which: usize) -> String {
+        format!("{formal}{which}")
+    }
+}
+
+/// A commutativity condition for an ordered pair of operation variants.
+///
+/// The condition states when `first(args1); second(args2)` can be reordered
+/// to `second(args2); first(args1)` without changing the observable return
+/// values or the final abstract state. The catalog (see [`crate::catalog`])
+/// provides a sound **and** complete condition for every ordered pair, every
+/// kind, and every recorded/discarded variant combination — 765 conditions in
+/// total, as in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommutativityCondition {
+    /// The interface the operations belong to.
+    pub interface: InterfaceId,
+    /// The operation that executes first.
+    pub first: OpVariant,
+    /// The operation that executes second.
+    pub second: OpVariant,
+    /// When the condition is meant to be evaluated.
+    pub kind: ConditionKind,
+    /// The condition formula, over the canonical variables of [`names`].
+    pub formula: Term,
+}
+
+impl CommutativityCondition {
+    /// Creates a condition.
+    pub fn new(
+        interface: InterfaceId,
+        first: OpVariant,
+        second: OpVariant,
+        kind: ConditionKind,
+        formula: Term,
+    ) -> CommutativityCondition {
+        CommutativityCondition {
+            interface,
+            first,
+            second,
+            kind,
+            formula,
+        }
+    }
+
+    /// A stable identifier, e.g. `Set::contains/add::between`.
+    pub fn id(&self) -> String {
+        format!(
+            "{}::{}/{}::{}",
+            self.interface,
+            self.first.label(),
+            self.second.label(),
+            self.kind
+        )
+    }
+
+    /// Returns `true` if the condition is the constant `true` (the
+    /// "particularly useful special case" of Section 5.1: the operations
+    /// commute in every state).
+    pub fn is_trivially_true(&self) -> bool {
+        build::tru() == semcommute_logic::simplify(&self.formula)
+    }
+
+    /// Returns `true` if the condition is the constant `false` (the
+    /// operations never commute, e.g. `addAt` with `size`).
+    pub fn is_trivially_false(&self) -> bool {
+        build::fls() == semcommute_logic::simplify(&self.formula)
+    }
+
+    /// The canonical argument variables (name and sort) of the first and
+    /// second operations.
+    pub fn argument_vars(&self, iface: &InterfaceSpec) -> Vec<(String, Sort)> {
+        let mut out = Vec::new();
+        for (which, variant) in [(1usize, &self.first), (2usize, &self.second)] {
+            if let Some(op) = iface.op(&variant.op) {
+                for (formal, sort) in &op.params {
+                    out.push((names::arg(formal, which), *sort));
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks that the condition only mentions variables it is allowed to
+    /// mention: the operation arguments, the states permitted by its
+    /// [`ConditionKind`], and the return values of *recorded* variants as
+    /// permitted by the kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self, iface: &InterfaceSpec) -> Result<(), String> {
+        if iface.op(&self.first.op).is_none() {
+            return Err(format!("unknown operation `{}`", self.first.op));
+        }
+        if iface.op(&self.second.op).is_none() {
+            return Err(format!("unknown operation `{}`", self.second.op));
+        }
+        let mut allowed: Vec<(String, Sort)> = self.argument_vars(iface);
+        allowed.push((names::INITIAL.to_string(), iface.state_sort));
+        if self.kind.allows_intermediate_state() {
+            allowed.push((names::INTERMEDIATE.to_string(), iface.state_sort));
+        }
+        if self.kind.allows_final_state() {
+            allowed.push((names::FINAL.to_string(), iface.state_sort));
+        }
+        let first_spec = iface.op(&self.first.op).expect("checked above");
+        let second_spec = iface.op(&self.second.op).expect("checked above");
+        if self.kind.allows_first_result() && self.first.recorded {
+            if let Some(sort) = first_spec.result_sort {
+                allowed.push((names::RESULT1.to_string(), sort));
+            }
+        }
+        if self.kind.allows_final_state() && self.second.recorded {
+            if let Some(sort) = second_spec.result_sort {
+                allowed.push((names::RESULT2.to_string(), sort));
+            }
+        }
+        for (name, sort) in free_vars(&self.formula) {
+            match allowed.iter().find(|(n, _)| *n == name) {
+                None => {
+                    return Err(format!(
+                        "{}: condition mentions `{name}`, which a {} condition for this pair may not reference",
+                        self.id(),
+                        self.kind
+                    ))
+                }
+                Some((_, expected)) if *expected != sort => {
+                    return Err(format!(
+                        "{}: `{name}` has sort {sort}, expected {expected}",
+                        self.id()
+                    ))
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CommutativityCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id(), self.formula)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::build::*;
+    use semcommute_spec::set_interface;
+
+    fn contains_add_between() -> CommutativityCondition {
+        CommutativityCondition::new(
+            InterfaceId::Set,
+            OpVariant::recorded("contains"),
+            OpVariant::recorded("add"),
+            ConditionKind::Between,
+            or2(neq(var_elem("v1"), var_elem("v2")), var_bool("r1")),
+        )
+    }
+
+    #[test]
+    fn id_and_display() {
+        let c = contains_add_between();
+        assert_eq!(c.id(), "Set::contains/add::between");
+        assert!(c.to_string().contains("~v1 = v2 | r1"));
+    }
+
+    #[test]
+    fn validation_accepts_legal_references() {
+        let c = contains_add_between();
+        assert!(c.validate(&set_interface()).is_ok());
+    }
+
+    #[test]
+    fn before_conditions_may_not_reference_results() {
+        let mut c = contains_add_between();
+        c.kind = ConditionKind::Before;
+        let err = c.validate(&set_interface()).unwrap_err();
+        assert!(err.contains("r1"));
+    }
+
+    #[test]
+    fn discarded_variants_may_not_reference_their_result() {
+        let mut c = contains_add_between();
+        c.first = OpVariant::discarded("contains");
+        // (contains is an observer so a discarded variant never appears in the
+        // catalog, but the validation rule still applies.)
+        let err = c.validate(&set_interface()).unwrap_err();
+        assert!(err.contains("r1"));
+    }
+
+    #[test]
+    fn sort_mismatches_are_reported() {
+        let c = CommutativityCondition::new(
+            InterfaceId::Set,
+            OpVariant::recorded("add"),
+            OpVariant::recorded("add"),
+            ConditionKind::Before,
+            eq(var_int("v1"), var_int("v2")),
+        );
+        let err = c.validate(&set_interface()).unwrap_err();
+        assert!(err.contains("sort"));
+    }
+
+    #[test]
+    fn triviality_checks() {
+        let mut c = contains_add_between();
+        assert!(!c.is_trivially_true());
+        c.formula = tru();
+        assert!(c.is_trivially_true());
+        c.formula = and2(tru(), fls());
+        assert!(c.is_trivially_false());
+    }
+
+    #[test]
+    fn argument_vars_use_suffixed_names() {
+        let c = contains_add_between();
+        let args = c.argument_vars(&set_interface());
+        assert_eq!(
+            args,
+            vec![("v1".to_string(), Sort::Elem), ("v2".to_string(), Sort::Elem)]
+        );
+    }
+
+    #[test]
+    fn unknown_operations_are_rejected() {
+        let mut c = contains_add_between();
+        c.first = OpVariant::recorded("frobnicate");
+        assert!(c.validate(&set_interface()).is_err());
+    }
+}

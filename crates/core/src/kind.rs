@@ -1,0 +1,98 @@
+//! Kinds of commutativity conditions: before, between, and after.
+
+use std::fmt;
+
+/// When a commutativity condition is evaluated (Section 4.1.2 of the paper).
+///
+/// * A **before** condition may mention only the operation arguments and the
+///   initial abstract state; it can be checked before either operation runs.
+/// * A **between** condition may additionally mention the first operation's
+///   return value and the intermediate abstract state; it can be checked
+///   after the first operation but before the second — the form a speculative
+///   system uses to decide whether an incoming operation commutes with
+///   already-executed ones.
+/// * An **after** condition may mention everything, including the second
+///   return value and the final abstract state; systems use after conditions
+///   to detect, after the fact, that executed operations did not commute and
+///   a rollback is required.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConditionKind {
+    /// Evaluated before either operation executes.
+    Before,
+    /// Evaluated after the first operation, before the second.
+    Between,
+    /// Evaluated after both operations execute.
+    After,
+}
+
+impl ConditionKind {
+    /// All kinds, in the paper's order.
+    pub const ALL: [ConditionKind; 3] = [
+        ConditionKind::Before,
+        ConditionKind::Between,
+        ConditionKind::After,
+    ];
+
+    /// The short tag used in generated testing-method names
+    /// (`contains_add_between_s_40`-style).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ConditionKind::Before => "before",
+            ConditionKind::Between => "between",
+            ConditionKind::After => "after",
+        }
+    }
+
+    /// Whether a condition of this kind may reference the first operation's
+    /// return value (`r1`).
+    pub fn allows_first_result(self) -> bool {
+        matches!(self, ConditionKind::Between | ConditionKind::After)
+    }
+
+    /// Whether a condition of this kind may reference the intermediate
+    /// abstract state (`s2`).
+    pub fn allows_intermediate_state(self) -> bool {
+        matches!(self, ConditionKind::Between | ConditionKind::After)
+    }
+
+    /// Whether a condition of this kind may reference the second operation's
+    /// return value (`r2`) or the final abstract state (`s3`).
+    pub fn allows_final_state(self) -> bool {
+        matches!(self, ConditionKind::After)
+    }
+}
+
+impl fmt::Display for ConditionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_match_method_name_fields() {
+        assert_eq!(ConditionKind::Before.tag(), "before");
+        assert_eq!(ConditionKind::Between.tag(), "between");
+        assert_eq!(ConditionKind::After.tag(), "after");
+        assert_eq!(ConditionKind::ALL.len(), 3);
+    }
+
+    #[test]
+    fn reference_permissions_are_monotone() {
+        assert!(!ConditionKind::Before.allows_first_result());
+        assert!(ConditionKind::Between.allows_first_result());
+        assert!(ConditionKind::After.allows_first_result());
+        assert!(!ConditionKind::Between.allows_final_state());
+        assert!(ConditionKind::After.allows_final_state());
+        assert!(!ConditionKind::Before.allows_intermediate_state());
+        assert!(ConditionKind::Between.allows_intermediate_state());
+    }
+
+    #[test]
+    fn display_uses_tag() {
+        assert_eq!(ConditionKind::Between.to_string(), "between");
+    }
+}

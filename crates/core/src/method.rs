@@ -1,0 +1,185 @@
+//! The testing-method intermediate representation.
+//!
+//! Generated commutativity and inverse testing methods (Figures 2-2, 2-3,
+//! 2-4, 3-1, and 3-2 of the paper) are represented as straight-line programs
+//! over abstract data structure states: operation calls, `assume` commands,
+//! and a final `assert`. The representation is deliberately close to the
+//! paper's generated Java/Jahob methods so that [`crate::render`] can
+//! reproduce the figures and [`crate::vcgen`] can symbolically execute the
+//! methods into proof obligations.
+
+use std::fmt;
+
+use semcommute_logic::{Sort, Term};
+use semcommute_prover::Hint;
+use semcommute_spec::InterfaceId;
+
+/// How a call's precondition is handled during verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PreMode {
+    /// The precondition is assumed (an `assume` command precedes the call in
+    /// the generated method). Used for the first execution order in both
+    /// templates and for the second execution order in the completeness
+    /// template.
+    Assume,
+    /// The precondition must be proved. Used for the second execution order
+    /// in the soundness template and for the inverse operation in inverse
+    /// testing methods (Property 1 and Property 3 of the paper).
+    Prove,
+}
+
+/// A call to a data structure operation inside a testing method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallStmt {
+    /// The receiver object name, for rendering (`sa`, `sb`, `s`).
+    pub object: String,
+    /// The operation name.
+    pub op: String,
+    /// The state variable holding the receiver's abstract state before the
+    /// call.
+    pub pre_state: String,
+    /// The state variable naming the receiver's abstract state after the
+    /// call, when the operation updates the state.
+    pub post_state: Option<String>,
+    /// Argument terms (typically the method's parameter variables).
+    pub args: Vec<Term>,
+    /// The variable binding the return value, if the testing method records
+    /// it.
+    pub result: Option<String>,
+    /// Whether the precondition is assumed or must be proved.
+    pub pre_mode: PreMode,
+}
+
+/// A statement of a testing method.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// An operation call.
+    Call(CallStmt),
+    /// A Jahob `assume` command.
+    Assume(Term),
+    /// The final `assert` command (the property the verifier must prove).
+    Assert(Term),
+}
+
+/// A generated testing method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestingMethod {
+    /// The method name, following the paper's naming scheme, e.g.
+    /// `contains_add_between_s_40`.
+    pub name: String,
+    /// The interface whose operations the method exercises.
+    pub interface: InterfaceId,
+    /// Method parameters: the shared initial abstract state and the operation
+    /// arguments.
+    pub params: Vec<(String, Sort)>,
+    /// The `requires` clause: state-independent preconditions (non-null
+    /// arguments, index bounds are handled per call).
+    pub requires: Vec<Term>,
+    /// The statements, in order.
+    pub statements: Vec<Stmt>,
+    /// Proof-language commands attached to the method (Table 5.9). Applied to
+    /// the final assertion obligation.
+    pub hints: Vec<Hint>,
+}
+
+impl TestingMethod {
+    /// The calls of the method, in order.
+    pub fn calls(&self) -> Vec<&CallStmt> {
+        self.statements
+            .iter()
+            .filter_map(|s| match s {
+                Stmt::Call(c) => Some(c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The final assertion of the method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method has no `Assert` statement (generated methods
+    /// always have exactly one).
+    pub fn final_assert(&self) -> &Term {
+        self.statements
+            .iter()
+            .rev()
+            .find_map(|s| match s {
+                Stmt::Assert(t) => Some(t),
+                _ => None,
+            })
+            .expect("testing method has a final assert")
+    }
+
+    /// The number of `assume` commands (used by reports).
+    pub fn assume_count(&self) -> usize {
+        self.statements
+            .iter()
+            .filter(|s| matches!(s, Stmt::Assume(_)))
+            .count()
+    }
+
+    /// Whether this is a soundness (`_s_`) or completeness (`_c_`) testing
+    /// method, judging by its name.
+    pub fn is_soundness(&self) -> bool {
+        self.name.contains("_s_")
+    }
+}
+
+impl fmt::Display for TestingMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::render::render_method(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::build::*;
+
+    fn sample() -> TestingMethod {
+        TestingMethod {
+            name: "contains_add_between_s_40".into(),
+            interface: InterfaceId::Set,
+            params: vec![
+                ("s1".into(), Sort::Set),
+                ("v1".into(), Sort::Elem),
+                ("v2".into(), Sort::Elem),
+            ],
+            requires: vec![neq(var_elem("v1"), null())],
+            statements: vec![
+                Stmt::Call(CallStmt {
+                    object: "sa".into(),
+                    op: "contains".into(),
+                    pre_state: "s1".into(),
+                    post_state: None,
+                    args: vec![var_elem("v1")],
+                    result: Some("r1a".into()),
+                    pre_mode: PreMode::Assume,
+                }),
+                Stmt::Assume(or2(neq(var_elem("v1"), var_elem("v2")), var_bool("r1a"))),
+                Stmt::Assert(eq(var_bool("r1a"), var_bool("r1b"))),
+            ],
+            hints: vec![],
+        }
+    }
+
+    #[test]
+    fn accessors_find_calls_and_assert() {
+        let m = sample();
+        assert_eq!(m.calls().len(), 1);
+        assert_eq!(m.calls()[0].op, "contains");
+        assert_eq!(m.assume_count(), 1);
+        assert!(m.is_soundness());
+        assert!(matches!(m.final_assert(), Term::Eq(_, _)));
+    }
+
+    #[test]
+    fn display_renders_like_a_jahob_method() {
+        let text = sample().to_string();
+        assert!(text.contains("void contains_add_between_s_40"));
+        assert!(text.contains("sa.contains(v1)"));
+        assert!(text.contains("assume"));
+        assert!(text.contains("assert"));
+    }
+}

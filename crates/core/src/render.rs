@@ -1,0 +1,184 @@
+//! Rendering of generated testing methods in the paper's Java + Jahob syntax.
+//!
+//! The renderer reproduces the shape of Figures 2-2 (commutativity testing
+//! methods), 2-3 / 2-4 (inverse testing methods), and the templates of
+//! Figures 3-1 / 3-2: a `void` Java method whose specification is carried in
+//! `/*: … */` annotations and whose body interleaves operation calls with
+//! Jahob `assume` commands and a final `assert`.
+
+use semcommute_logic::Sort;
+use semcommute_spec::{interface_by_id, InterfaceId};
+
+use crate::method::{PreMode, Stmt, TestingMethod};
+
+/// The Java class name the paper uses for an interface's representative
+/// implementation.
+pub fn class_name(id: InterfaceId) -> &'static str {
+    match id {
+        InterfaceId::Accumulator => "Accumulator",
+        InterfaceId::Set => "HashSet",
+        InterfaceId::Map => "HashTable",
+        InterfaceId::List => "ArrayList",
+    }
+}
+
+fn java_type(sort: Sort) -> &'static str {
+    match sort {
+        Sort::Bool => "boolean",
+        Sort::Int => "int",
+        Sort::Elem => "Object",
+        Sort::Set | Sort::Map | Sort::Seq => "Object /* abstract state */",
+    }
+}
+
+/// Renders a testing method as Java-with-Jahob-annotations text.
+pub fn render_method(method: &TestingMethod) -> String {
+    let iface = interface_by_id(method.interface);
+    let class = class_name(method.interface);
+    let mut out = String::new();
+
+    // Signature: the two data structure objects followed by the operation
+    // arguments (the shared abstract state parameter s1 is the contents of
+    // both objects).
+    let objects: Vec<&str> = {
+        let mut seen = Vec::new();
+        for call in method.calls() {
+            if !seen.contains(&call.object.as_str()) {
+                seen.push(call.object.as_str());
+            }
+        }
+        seen
+    };
+    let mut params: Vec<String> = objects.iter().map(|o| format!("{class} {o}")).collect();
+    for (name, sort) in &method.params {
+        if name == "s1" {
+            continue;
+        }
+        params.push(format!("{} {name}", java_type(*sort)));
+    }
+    out.push_str(&format!("void {}({})\n", method.name, params.join(", ")));
+
+    // Requires clause, in the style of Figure 2-2 / 3-1.
+    let mut requires: Vec<String> = Vec::new();
+    for o in &objects {
+        requires.push(format!("{o} ~= null"));
+        requires.push(format!("{o}..init"));
+    }
+    if objects.len() == 2 {
+        requires.push(format!("{} ~= {}", objects[0], objects[1]));
+        requires.push(format!(
+            "{}..contents = {}..contents",
+            objects[0], objects[1]
+        ));
+        requires.push(format!("{}..size = {}..size", objects[0], objects[1]));
+    }
+    for (name, sort) in &method.params {
+        if *sort == Sort::Elem {
+            requires.push(format!("{name} ~= null"));
+        }
+    }
+    for extra in &method.requires {
+        requires.push(extra.to_string());
+    }
+    out.push_str(&format!("/*: requires \"{}\"\n", requires.join(" & ")));
+    let modifies: Vec<String> = objects
+        .iter()
+        .map(|o| format!("\"{o}..contents\", \"{o}..size\""))
+        .collect();
+    out.push_str(&format!("    modifies {}\n", modifies.join(", ")));
+    out.push_str("    ensures \"True\" */\n{\n");
+
+    for stmt in &method.statements {
+        match stmt {
+            Stmt::Assume(t) => out.push_str(&format!("  /*: assume \"{t}\" */\n")),
+            Stmt::Assert(t) => out.push_str(&format!("  /*: assert \"{t}\" */\n")),
+            Stmt::Call(call) => {
+                if call.pre_mode == PreMode::Prove {
+                    out.push_str("  /* precondition proved, not assumed */\n");
+                }
+                let args: Vec<String> = call.args.iter().map(|a| a.to_string()).collect();
+                let invocation = format!("{}.{}({})", call.object, call.op, args.join(", "));
+                match (&call.result, iface.op(&call.op).and_then(|o| o.result_sort)) {
+                    (Some(result), Some(sort)) => out.push_str(&format!(
+                        "  {} {result} = {invocation};\n",
+                        java_type(sort)
+                    )),
+                    _ => out.push_str(&format!("  {invocation};\n")),
+                }
+            }
+        }
+    }
+    for hint in &method.hints {
+        out.push_str(&format!("  /*: {hint} */\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::interface_catalog;
+    use crate::kind::ConditionKind;
+    use crate::template::{completeness_method, soundness_method};
+
+    fn contains_add_between() -> crate::condition::CommutativityCondition {
+        interface_catalog(InterfaceId::Set)
+            .into_iter()
+            .find(|c| {
+                c.first.op == "contains"
+                    && c.second.op == "add"
+                    && !c.second.recorded
+                    && c.kind == ConditionKind::Between
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn rendered_soundness_method_resembles_figure_2_2() {
+        let text = render_method(&soundness_method(&contains_add_between(), 40));
+        // Signature and requires clause.
+        assert!(text.contains("void contains_add__between_s_40(HashSet sa, HashSet sb, Object v1, Object v2)"));
+        assert!(text.contains("sa ~= sb"));
+        assert!(text.contains("sa..contents = sb..contents"));
+        // Body: contains on sa, assumed condition, add on both, contains on sb.
+        assert!(text.contains("boolean r1a = sa.contains(v1);"));
+        assert!(text.contains("assume \"~v1 = v2 | r1a\""));
+        assert!(text.contains("sa.add(v2);"));
+        assert!(text.contains("sb.add(v2);"));
+        assert!(text.contains("boolean r1b = sb.contains(v1);"));
+        assert!(text.contains("assert"));
+    }
+
+    #[test]
+    fn rendered_completeness_method_negates_condition_and_assertion() {
+        let text = render_method(&completeness_method(&contains_add_between(), 40));
+        assert!(text.contains("contains_add__between_c_40"));
+        assert!(text.contains("assume \"~(~v1 = v2 | r1a)\""));
+        assert!(text.contains("assert \"~("));
+    }
+
+    #[test]
+    fn class_names_match_the_paper() {
+        assert_eq!(class_name(InterfaceId::Set), "HashSet");
+        assert_eq!(class_name(InterfaceId::Map), "HashTable");
+        assert_eq!(class_name(InterfaceId::List), "ArrayList");
+        assert_eq!(class_name(InterfaceId::Accumulator), "Accumulator");
+    }
+
+    #[test]
+    fn integer_arguments_render_with_int_type() {
+        let cond = interface_catalog(InterfaceId::List)
+            .into_iter()
+            .find(|c| {
+                c.first.op == "addAt"
+                    && c.second.op == "get"
+                    && c.kind == ConditionKind::Before
+            })
+            .unwrap();
+        let text = render_method(&soundness_method(&cond, 7));
+        assert!(text.contains("ArrayList sa"));
+        assert!(text.contains("int i1"));
+        assert!(text.contains("Object v1"));
+    }
+}

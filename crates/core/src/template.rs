@@ -1,0 +1,449 @@
+//! Testing-method templates (Figures 3-1 and 3-2 of the paper).
+//!
+//! The generator takes a commutativity condition and produces the soundness
+//! and completeness commutativity testing methods by filling in the template
+//! parameters: the two operations are executed in one order on one abstract
+//! state (`sa`), the condition (or its negation) is assumed at the position
+//! corresponding to its kind, the operations are executed in the reverse
+//! order on a second abstract state (`sb`) that starts out equal to the
+//! first, and the final assertion compares the recorded return values and the
+//! final abstract states.
+//!
+//! Both testing methods operate on a single shared initial abstract state
+//! variable `s1`; this encodes the `requires "sa..contents = sb..contents"`
+//! clause of the paper's template directly (the renderer still prints the
+//! clause for figure fidelity).
+
+use semcommute_logic::subst::rename_map;
+use semcommute_logic::{build, rename_vars, Sort, Term};
+use semcommute_spec::{interface_by_id, InterfaceSpec, OpSpec};
+
+use crate::condition::{names, CommutativityCondition};
+use crate::kind::ConditionKind;
+use crate::method::{CallStmt, PreMode, Stmt, TestingMethod};
+use crate::variant::OpVariant;
+
+/// Names used by the generated methods.
+mod method_names {
+    /// Return value of the first operation in the first execution order.
+    pub const R1A: &str = "r1a";
+    /// Return value of the second operation in the first execution order.
+    pub const R2A: &str = "r2a";
+    /// Return value of the second operation in the reverse execution order.
+    pub const R2B: &str = "r2b";
+    /// Return value of the first operation in the reverse execution order.
+    pub const R1B: &str = "r1b";
+    /// State of `sa` after the first operation.
+    pub const SA1: &str = "sa_1";
+    /// State of `sa` after both operations.
+    pub const SA2: &str = "sa_2";
+    /// State of `sb` after the (reordered) second operation.
+    pub const SB1: &str = "sb_1";
+    /// State of `sb` after both operations.
+    pub const SB2: &str = "sb_2";
+}
+
+/// The canonical argument terms of an operation within a testing method
+/// (formal parameter names suffixed by which operation this is).
+fn arg_terms(op: &OpSpec, which: usize) -> Vec<Term> {
+    op.params
+        .iter()
+        .map(|(formal, sort)| Term::var(names::arg(formal, which), *sort))
+        .collect()
+}
+
+/// The method parameters for a pair of operations: the shared initial state
+/// plus the suffixed arguments of both operations.
+fn method_params(iface: &InterfaceSpec, op1: &OpSpec, op2: &OpSpec) -> Vec<(String, Sort)> {
+    let mut params = vec![(names::INITIAL.to_string(), iface.state_sort)];
+    for (which, op) in [(1usize, op1), (2usize, op2)] {
+        for (formal, sort) in &op.params {
+            params.push((names::arg(formal, which), *sort));
+        }
+    }
+    params
+}
+
+/// Builds a call statement.
+#[allow(clippy::too_many_arguments)]
+fn call(
+    object: &str,
+    op: &OpSpec,
+    variant: &OpVariant,
+    which: usize,
+    pre_state: &str,
+    post_state: Option<&str>,
+    result: Option<&str>,
+    pre_mode: PreMode,
+) -> Stmt {
+    let record = variant.recorded && op.has_result();
+    Stmt::Call(CallStmt {
+        object: object.to_string(),
+        op: op.name.clone(),
+        pre_state: pre_state.to_string(),
+        post_state: post_state.map(str::to_string),
+        args: arg_terms(op, which),
+        result: if record { result.map(str::to_string) } else { None },
+        pre_mode,
+    })
+}
+
+/// Renames the canonical condition variables to the names used inside the
+/// generated method (intermediate and final states of `sa`, recorded return
+/// values of the first execution order).
+fn rename_condition(cond: &CommutativityCondition, op1_updates: bool, op2_updates: bool) -> Term {
+    let s2 = if op1_updates {
+        method_names::SA1
+    } else {
+        names::INITIAL
+    };
+    let s3 = if op2_updates {
+        method_names::SA2
+    } else {
+        s2
+    };
+    let renaming = rename_map([
+        (names::INTERMEDIATE, s2),
+        (names::FINAL, s3),
+        (names::RESULT1, method_names::R1A),
+        (names::RESULT2, method_names::R2A),
+    ]);
+    rename_vars(&cond.formula, &renaming)
+}
+
+/// The equality the soundness method asserts (and the completeness method
+/// negates): recorded return values and final abstract states agree across
+/// the two execution orders.
+fn agreement(
+    iface: &InterfaceSpec,
+    cond: &CommutativityCondition,
+    op1: &OpSpec,
+    op2: &OpSpec,
+) -> Term {
+    let mut parts = Vec::new();
+    if cond.first.recorded && op1.has_result() {
+        parts.push(build::eq(
+            Term::var(method_names::R1A, op1.result_sort.expect("has result")),
+            Term::var(method_names::R1B, op1.result_sort.expect("has result")),
+        ));
+    }
+    if cond.second.recorded && op2.has_result() {
+        parts.push(build::eq(
+            Term::var(method_names::R2A, op2.result_sort.expect("has result")),
+            Term::var(method_names::R2B, op2.result_sort.expect("has result")),
+        ));
+    }
+    let sa_final = final_state_of(op1, op2, true);
+    let sb_final = final_state_of(op1, op2, false);
+    parts.push(build::eq(
+        Term::var(sa_final, iface.state_sort),
+        Term::var(sb_final, iface.state_sort),
+    ));
+    build::and(parts)
+}
+
+/// The name of the final abstract state variable of `sa` (first order) or
+/// `sb` (reverse order), taking into account which operations update.
+fn final_state_of(op1: &OpSpec, op2: &OpSpec, first_order: bool) -> &'static str {
+    if first_order {
+        if op2.updates_state {
+            method_names::SA2
+        } else if op1.updates_state {
+            method_names::SA1
+        } else {
+            // Neither operation updates: both final states are the initial one.
+            // (The assert compares `s1 = s1`, which the structural prover
+            // discharges immediately.)
+            names::INITIAL
+        }
+    } else if op1.updates_state {
+        method_names::SB2
+    } else if op2.updates_state {
+        method_names::SB1
+    } else {
+        names::INITIAL
+    }
+}
+
+/// The statements shared by both templates: the two execution orders with the
+/// condition (or its negation) assumed at the position matching its kind.
+fn body(
+    cond: &CommutativityCondition,
+    op1: &OpSpec,
+    op2: &OpSpec,
+    condition_formula: Term,
+    second_order_pre: PreMode,
+) -> Vec<Stmt> {
+    let mut stmts = Vec::new();
+    let renamed = condition_formula;
+    if cond.kind == ConditionKind::Before {
+        stmts.push(Stmt::Assume(renamed.clone()));
+    }
+    // First execution order, on sa.
+    stmts.push(call(
+        "sa",
+        op1,
+        &cond.first,
+        1,
+        names::INITIAL,
+        op1.updates_state.then_some(method_names::SA1),
+        Some(method_names::R1A),
+        PreMode::Assume,
+    ));
+    if cond.kind == ConditionKind::Between {
+        stmts.push(Stmt::Assume(renamed.clone()));
+    }
+    let sa_after_op1 = if op1.updates_state {
+        method_names::SA1
+    } else {
+        names::INITIAL
+    };
+    stmts.push(call(
+        "sa",
+        op2,
+        &cond.second,
+        2,
+        sa_after_op1,
+        op2.updates_state.then_some(method_names::SA2),
+        Some(method_names::R2A),
+        PreMode::Assume,
+    ));
+    if cond.kind == ConditionKind::After {
+        stmts.push(Stmt::Assume(renamed));
+    }
+    // Reverse execution order, on sb (which starts from the same state s1).
+    stmts.push(call(
+        "sb",
+        op2,
+        &cond.second,
+        2,
+        names::INITIAL,
+        op2.updates_state.then_some(method_names::SB1),
+        Some(method_names::R2B),
+        second_order_pre,
+    ));
+    let sb_after_op2 = if op2.updates_state {
+        method_names::SB1
+    } else {
+        names::INITIAL
+    };
+    stmts.push(call(
+        "sb",
+        op1,
+        &cond.first,
+        1,
+        sb_after_op2,
+        op1.updates_state.then_some(method_names::SB2),
+        Some(method_names::R1B),
+        second_order_pre,
+    ));
+    stmts
+}
+
+/// Generates the soundness commutativity testing method for a condition
+/// (Section 3.2): the condition is assumed, the preconditions of the reverse
+/// execution order must be proved, and the final assertion states that the
+/// return values and final abstract states agree.
+pub fn soundness_method(cond: &CommutativityCondition, id: usize) -> TestingMethod {
+    build_method(cond, id, true)
+}
+
+/// Generates the completeness commutativity testing method for a condition
+/// (Section 3.1, Figure 3-1): the negation of the condition is assumed, the
+/// preconditions of both orders are assumed, and the final assertion states
+/// that some return value or the final abstract states differ.
+pub fn completeness_method(cond: &CommutativityCondition, id: usize) -> TestingMethod {
+    build_method(cond, id, false)
+}
+
+fn build_method(cond: &CommutativityCondition, id: usize, soundness: bool) -> TestingMethod {
+    let iface = interface_by_id(cond.interface);
+    let op1 = iface
+        .op(&cond.first.op)
+        .unwrap_or_else(|| panic!("unknown operation `{}`", cond.first.op))
+        .clone();
+    let op2 = iface
+        .op(&cond.second.op)
+        .unwrap_or_else(|| panic!("unknown operation `{}`", cond.second.op))
+        .clone();
+    let renamed = rename_condition(cond, op1.updates_state, op2.updates_state);
+    let (condition_formula, tag, second_order_pre) = if soundness {
+        (renamed, "s", PreMode::Prove)
+    } else {
+        (build::not(renamed), "c", PreMode::Assume)
+    };
+    let mut statements = body(cond, &op1, &op2, condition_formula, second_order_pre);
+    let agreement = agreement(&iface, cond, &op1, &op2);
+    let goal = if soundness {
+        agreement
+    } else {
+        build::not(agreement)
+    };
+    statements.push(Stmt::Assert(goal));
+    TestingMethod {
+        name: format!(
+            "{}_{}_{}_{}_{}",
+            cond.first.label(),
+            cond.second.label(),
+            cond.kind.tag(),
+            tag,
+            id
+        ),
+        interface: cond.interface,
+        params: method_params(&iface, &op1, &op2),
+        requires: vec![],
+        statements,
+        hints: crate::hints::hints_for(cond, soundness),
+    }
+}
+
+/// Generates both testing methods for a condition, using `id` in their names.
+pub fn testing_methods(cond: &CommutativityCondition, id: usize) -> (TestingMethod, TestingMethod) {
+    (soundness_method(cond, id), completeness_method(cond, id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use semcommute_spec::InterfaceId;
+
+    fn contains_add_between() -> CommutativityCondition {
+        catalog::interface_catalog(InterfaceId::Set)
+            .into_iter()
+            .find(|c| {
+                c.first.op == "contains"
+                    && c.second.op == "add"
+                    && !c.second.recorded
+                    && c.kind == ConditionKind::Between
+            })
+            .expect("condition exists")
+    }
+
+    #[test]
+    fn soundness_method_matches_figure_2_2_structure() {
+        let m = soundness_method(&contains_add_between(), 40);
+        assert_eq!(m.name, "contains_add__between_s_40");
+        // contains(v1); assume cond; add(v2); then reverse order on sb.
+        let calls = m.calls();
+        assert_eq!(calls.len(), 4);
+        assert_eq!(calls[0].op, "contains");
+        assert_eq!(calls[0].object, "sa");
+        assert_eq!(calls[1].op, "add");
+        assert_eq!(calls[2].op, "add");
+        assert_eq!(calls[2].object, "sb");
+        assert_eq!(calls[3].op, "contains");
+        // The condition is assumed between the two sa calls.
+        assert!(matches!(m.statements[1], Stmt::Assume(_)));
+        // The reverse-order preconditions must be proved in a soundness method.
+        assert_eq!(calls[2].pre_mode, PreMode::Prove);
+        assert_eq!(calls[3].pre_mode, PreMode::Prove);
+        // Final assert compares r1 and the final states (add is discarded, so
+        // r2 is not compared).
+        let assert = m.final_assert();
+        let text = assert.to_string();
+        assert!(text.contains("r1a = r1b"));
+        assert!(!text.contains("r2a"));
+        assert!(text.contains("sa_1 = sb_1") || text.contains("sb_1"));
+    }
+
+    #[test]
+    fn completeness_method_negates_condition_and_assertion() {
+        let m = completeness_method(&contains_add_between(), 40);
+        assert_eq!(m.name, "contains_add__between_c_40");
+        // All preconditions are assumed.
+        assert!(m.calls().iter().all(|c| c.pre_mode == PreMode::Assume));
+        // The assumed formula is the negated condition.
+        let assumed = m
+            .statements
+            .iter()
+            .find_map(|s| match s {
+                Stmt::Assume(t) => Some(t.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(matches!(assumed, Term::Not(_)));
+        // The final assertion is negated.
+        assert!(matches!(m.final_assert(), Term::Not(_)));
+    }
+
+    #[test]
+    fn before_conditions_are_assumed_before_any_call() {
+        let cond = catalog::interface_catalog(InterfaceId::Set)
+            .into_iter()
+            .find(|c| {
+                c.first.op == "add"
+                    && c.second.op == "remove"
+                    && c.kind == ConditionKind::Before
+                    && c.first.recorded
+                    && c.second.recorded
+            })
+            .unwrap();
+        let m = soundness_method(&cond, 7);
+        assert!(matches!(m.statements[0], Stmt::Assume(_)));
+        assert!(matches!(m.statements[1], Stmt::Call(_)));
+    }
+
+    #[test]
+    fn after_conditions_are_assumed_after_both_sa_calls() {
+        let cond = catalog::interface_catalog(InterfaceId::Map)
+            .into_iter()
+            .find(|c| {
+                c.first.op == "get" && c.second.op == "put" && c.kind == ConditionKind::After
+                    && !c.second.recorded
+            })
+            .unwrap();
+        let m = soundness_method(&cond, 3);
+        // statements: call, call, assume, call, call, assert
+        assert!(matches!(m.statements[2], Stmt::Assume(_)));
+        // The renamed r1 appears in the assumed condition.
+        if let Stmt::Assume(t) = &m.statements[2] {
+            assert!(semcommute_logic::free_vars(t).contains_key("r1a"));
+        }
+    }
+
+    #[test]
+    fn observer_only_pairs_compare_the_initial_state() {
+        let cond = catalog::interface_catalog(InterfaceId::Set)
+            .into_iter()
+            .find(|c| {
+                c.first.op == "contains"
+                    && c.second.op == "contains"
+                    && c.kind == ConditionKind::Before
+            })
+            .unwrap();
+        let m = soundness_method(&cond, 1);
+        // No updates: the state-agreement conjunct degenerates to s1 = s1.
+        assert!(m.final_assert().to_string().contains("s1 = s1"));
+    }
+
+    #[test]
+    fn discarded_variants_do_not_bind_results() {
+        let cond = catalog::interface_catalog(InterfaceId::Set)
+            .into_iter()
+            .find(|c| {
+                c.first.op == "add"
+                    && !c.first.recorded
+                    && c.second.op == "add"
+                    && !c.second.recorded
+                    && c.kind == ConditionKind::Before
+            })
+            .unwrap();
+        let m = soundness_method(&cond, 2);
+        assert!(m.calls().iter().all(|c| c.result.is_none()));
+    }
+
+    #[test]
+    fn method_params_include_state_and_suffixed_arguments() {
+        let cond = catalog::interface_catalog(InterfaceId::Map)
+            .into_iter()
+            .find(|c| {
+                c.first.op == "put" && c.second.op == "remove" && c.kind == ConditionKind::Before
+                    && c.first.recorded && c.second.recorded
+            })
+            .unwrap();
+        let m = soundness_method(&cond, 9);
+        let names: Vec<&str> = m.params.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["s1", "k1", "v1", "k2"]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Operation variants: recorded vs. discarded return values.
+
+use std::fmt;
+
+use semcommute_spec::{InterfaceSpec, OpSpec};
+
+/// An interface operation together with whether the client records its return
+/// value.
+///
+/// The paper verifies commutativity conditions for two variants of every
+/// state-updating operation that returns a value: one in which the client
+/// records the return value (and can therefore observe more about the data
+/// structure, making commutativity rarer) and one in which the client
+/// discards it. Observer operations and `void` updates have a single variant.
+/// This is how the paper arrives at 6 operations for the set interface, 7 for
+/// the map interface, 9 for ArrayList, and 2 for Accumulator (Section 5.1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpVariant {
+    /// The underlying operation name.
+    pub op: String,
+    /// Whether the client records the return value.
+    pub recorded: bool,
+}
+
+impl OpVariant {
+    /// A variant that records the return value.
+    pub fn recorded(op: impl Into<String>) -> OpVariant {
+        OpVariant {
+            op: op.into(),
+            recorded: true,
+        }
+    }
+
+    /// A variant that discards the return value.
+    pub fn discarded(op: impl Into<String>) -> OpVariant {
+        OpVariant {
+            op: op.into(),
+            recorded: false,
+        }
+    }
+
+    /// A label used in method names and reports: the operation name, with a
+    /// trailing underscore for the discarded variant (`add` vs `add_`).
+    pub fn label(&self) -> String {
+        if self.recorded {
+            self.op.clone()
+        } else {
+            format!("{}_", self.op)
+        }
+    }
+
+    /// How the variant is written in the paper's tables: `r1 = s1.add(v1)`
+    /// for recorded variants of value-returning operations, `s1.add(v1)` for
+    /// discarded ones.
+    pub fn table_form(&self, spec: &OpSpec, object: &str, result_name: &str) -> String {
+        let args: Vec<String> = spec
+            .params
+            .iter()
+            .map(|(name, _)| format!("{name}{}", suffix_of(result_name)))
+            .collect();
+        let call = format!("{object}.{}({})", self.op, args.join(", "));
+        if self.recorded && spec.has_result() {
+            format!("{result_name} = {call}")
+        } else {
+            call
+        }
+    }
+}
+
+fn suffix_of(result_name: &str) -> String {
+    // result names are "r1" / "r2"; the argument suffix matches the digit.
+    result_name
+        .chars()
+        .filter(|c| c.is_ascii_digit())
+        .collect()
+}
+
+impl fmt::Display for OpVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The operation variants of an interface, in specification order: every
+/// operation once, plus a discarded variant for each state-updating operation
+/// that returns a value.
+pub fn interface_variants(iface: &InterfaceSpec) -> Vec<OpVariant> {
+    let mut out = Vec::new();
+    for op in &iface.ops {
+        out.push(OpVariant::recorded(&op.name));
+        if op.updates_state && op.has_result() {
+            out.push(OpVariant::discarded(&op.name));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_spec::{
+        accumulator_interface, list_interface, map_interface, set_interface,
+    };
+
+    #[test]
+    fn variant_counts_match_section_5_1() {
+        assert_eq!(interface_variants(&accumulator_interface()).len(), 2);
+        assert_eq!(interface_variants(&set_interface()).len(), 6);
+        assert_eq!(interface_variants(&map_interface()).len(), 7);
+        assert_eq!(interface_variants(&list_interface()).len(), 9);
+    }
+
+    #[test]
+    fn labels_distinguish_variants() {
+        assert_eq!(OpVariant::recorded("add").label(), "add");
+        assert_eq!(OpVariant::discarded("add").label(), "add_");
+        assert_eq!(OpVariant::discarded("add").to_string(), "add_");
+    }
+
+    #[test]
+    fn discarded_variants_exist_only_for_updating_value_returning_ops() {
+        let iface = set_interface();
+        let variants = interface_variants(&iface);
+        let discarded: Vec<&OpVariant> = variants.iter().filter(|v| !v.recorded).collect();
+        let names: Vec<&str> = discarded.iter().map(|v| v.op.as_str()).collect();
+        assert_eq!(names, vec!["add", "remove"]);
+    }
+
+    #[test]
+    fn table_form_matches_paper_style() {
+        let iface = set_interface();
+        let add = iface.op("add").unwrap();
+        assert_eq!(
+            OpVariant::recorded("add").table_form(add, "s1", "r1"),
+            "r1 = s1.add(v1)"
+        );
+        assert_eq!(
+            OpVariant::discarded("add").table_form(add, "s2", "r2"),
+            "s2.add(v2)"
+        );
+        let size = iface.op("size").unwrap();
+        assert_eq!(
+            OpVariant::recorded("size").table_form(size, "s2", "r2"),
+            "r2 = s2.size()"
+        );
+    }
+}

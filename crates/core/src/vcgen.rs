@@ -1,0 +1,234 @@
+//! Verification-condition generation: symbolic execution of testing methods.
+//!
+//! A testing method is straight-line code, so symbolic execution is simple
+//! and deterministic: each call introduces functional definitions for its
+//! result and post-state (taken from the operation's specification), each
+//! `assume` adds a hypothesis, preconditions become hypotheses or proof
+//! obligations depending on the call's [`PreMode`], and the final `assert`
+//! becomes the main proof obligation. Proof hints attached to the method are
+//! applied to the main obligation, contributing their side obligations.
+
+use semcommute_logic::Term;
+use semcommute_prover::{apply_hints, Obligation};
+use semcommute_spec::interface_by_id;
+
+use crate::method::{PreMode, Stmt, TestingMethod};
+
+/// Symbolically executes a testing method, producing the proof obligations
+/// whose validity establishes the property the method encodes (Properties 1,
+/// 2, and 3 of the paper).
+///
+/// # Errors
+///
+/// Returns an error if the method calls an unknown operation, binds the
+/// result of a `void` operation, or carries malformed proof hints.
+pub fn generate_obligations(method: &TestingMethod) -> Result<Vec<Obligation>, String> {
+    let iface = interface_by_id(method.interface);
+    let mut defines: Vec<(String, Term)> = Vec::new();
+    let mut hypotheses: Vec<Term> = method.requires.clone();
+    let mut obligations: Vec<Obligation> = Vec::new();
+    let mut precondition_count = 0usize;
+
+    for stmt in &method.statements {
+        match stmt {
+            Stmt::Assume(t) => hypotheses.push(t.clone()),
+            Stmt::Assert(goal) => {
+                let main = Obligation {
+                    name: format!("{}::assert", method.name),
+                    defines: defines.clone(),
+                    hypotheses: hypotheses.clone(),
+                    goal: goal.clone(),
+                };
+                if method.hints.is_empty() {
+                    obligations.push(main);
+                } else {
+                    let hinted = apply_hints(&main, &method.hints).map_err(|e| e.to_string())?;
+                    obligations.extend(hinted.side_obligations);
+                    obligations.push(hinted.main);
+                }
+            }
+            Stmt::Call(call) => {
+                let op = iface
+                    .op(&call.op)
+                    .ok_or_else(|| format!("{}: unknown operation `{}`", method.name, call.op))?;
+                let state = Term::var(call.pre_state.clone(), iface.state_sort);
+                let precondition = op.instantiate_pre(&state, &call.args);
+                match call.pre_mode {
+                    PreMode::Assume => hypotheses.push(precondition),
+                    PreMode::Prove => {
+                        precondition_count += 1;
+                        obligations.push(Obligation {
+                            name: format!("{}::pre_{}", method.name, precondition_count),
+                            defines: defines.clone(),
+                            hypotheses: hypotheses.clone(),
+                            goal: precondition.clone(),
+                        });
+                        // Once proved, the precondition may be assumed for the
+                        // rest of the method.
+                        hypotheses.push(precondition);
+                    }
+                }
+                if let Some(result_var) = &call.result {
+                    let result = op.instantiate_result(&state, &call.args).ok_or_else(|| {
+                        format!(
+                            "{}: call to `{}` binds a result but the operation is void",
+                            method.name, call.op
+                        )
+                    })?;
+                    defines.push((result_var.clone(), result));
+                }
+                if let Some(post_var) = &call.post_state {
+                    defines.push((post_var.clone(), op.instantiate_post(&state, &call.args)));
+                }
+            }
+        }
+    }
+    Ok(obligations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::interface_catalog;
+    use crate::kind::ConditionKind;
+    use crate::template::{completeness_method, soundness_method};
+    use semcommute_prover::Portfolio;
+    use semcommute_spec::InterfaceId;
+
+    fn find_condition(
+        iface: InterfaceId,
+        first: &str,
+        first_recorded: bool,
+        second: &str,
+        second_recorded: bool,
+        kind: ConditionKind,
+    ) -> crate::condition::CommutativityCondition {
+        interface_catalog(iface)
+            .into_iter()
+            .find(|c| {
+                c.first.op == first
+                    && c.first.recorded == first_recorded
+                    && c.second.op == second
+                    && c.second.recorded == second_recorded
+                    && c.kind == kind
+            })
+            .expect("condition exists")
+    }
+
+    #[test]
+    fn soundness_method_produces_pre_and_assert_obligations() {
+        let cond = find_condition(
+            InterfaceId::Set,
+            "contains",
+            true,
+            "add",
+            false,
+            ConditionKind::Between,
+        );
+        let m = soundness_method(&cond, 40);
+        let obs = generate_obligations(&m).unwrap();
+        // Two reverse-order preconditions plus the final assertion.
+        assert_eq!(obs.len(), 3);
+        assert!(obs[0].name.ends_with("pre_1"));
+        assert!(obs[2].name.ends_with("assert"));
+        // Every obligation is provable (the catalog condition is sound).
+        let prover = Portfolio::small();
+        for ob in &obs {
+            let verdict = prover.prove(ob);
+            assert!(verdict.is_valid(), "{}: {verdict}", ob.name);
+        }
+    }
+
+    #[test]
+    fn completeness_method_produces_single_assert_obligation() {
+        let cond = find_condition(
+            InterfaceId::Set,
+            "contains",
+            true,
+            "add",
+            false,
+            ConditionKind::Between,
+        );
+        let m = completeness_method(&cond, 40);
+        let obs = generate_obligations(&m).unwrap();
+        assert_eq!(obs.len(), 1);
+        let verdict = Portfolio::small().prove(&obs[0]);
+        assert!(verdict.is_valid(), "{verdict}");
+    }
+
+    #[test]
+    fn unsound_condition_is_rejected_with_a_counterexample() {
+        // Claim (wrongly) that contains/add always commute.
+        let mut cond = find_condition(
+            InterfaceId::Set,
+            "contains",
+            true,
+            "add",
+            false,
+            ConditionKind::Between,
+        );
+        cond.formula = semcommute_logic::build::tru();
+        let m = soundness_method(&cond, 1);
+        let obs = generate_obligations(&m).unwrap();
+        let assert_ob = obs.last().unwrap();
+        let verdict = Portfolio::small().prove(assert_ob);
+        let model = verdict.counter_model().expect("expected a counterexample");
+        // In the counterexample v1 = v2 and v1 is not initially in the set.
+        assert_eq!(model.get("v1"), model.get("v2"));
+    }
+
+    #[test]
+    fn incomplete_condition_is_rejected() {
+        // Claim (wrongly) that add/remove never commute (condition false):
+        // completeness then demands that outcomes always differ, but they do
+        // not when v1 != v2.
+        let mut cond = find_condition(
+            InterfaceId::Set,
+            "add",
+            false,
+            "remove",
+            false,
+            ConditionKind::Before,
+        );
+        cond.formula = semcommute_logic::build::fls();
+        let m = completeness_method(&cond, 1);
+        let obs = generate_obligations(&m).unwrap();
+        let verdict = Portfolio::small().prove(&obs[0]);
+        assert!(verdict.is_counterexample());
+    }
+
+    #[test]
+    fn accumulator_methods_verify_within_integer_scope() {
+        let cond = find_condition(
+            InterfaceId::Accumulator,
+            "increase",
+            true,
+            "read",
+            true,
+            ConditionKind::Before,
+        );
+        for m in [soundness_method(&cond, 3), completeness_method(&cond, 3)] {
+            for ob in generate_obligations(&m).unwrap() {
+                let verdict = Portfolio::small().prove(&ob);
+                assert!(verdict.is_valid(), "{}: {verdict}", ob.name);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_method_reports_an_error() {
+        let cond = find_condition(
+            InterfaceId::Set,
+            "add",
+            true,
+            "add",
+            true,
+            ConditionKind::Before,
+        );
+        let mut m = soundness_method(&cond, 1);
+        if let Stmt::Call(c) = &mut m.statements[1] {
+            c.op = "frobnicate".into();
+        }
+        assert!(generate_obligations(&m).is_err());
+    }
+}

@@ -1,0 +1,317 @@
+//! The verification driver: discharging the generated testing methods.
+//!
+//! For every commutativity condition the driver generates the soundness and
+//! completeness testing methods, symbolically executes them into proof
+//! obligations, and discharges the obligations with the prover portfolio.
+//! This reproduces the experiment behind Table 5.8 (verification times per
+//! data structure) and the headline claim that all 765 conditions are sound
+//! and complete.
+
+use std::time::{Duration, Instant};
+
+use semcommute_prover::{Portfolio, ProverChoice, Scope, Verdict};
+use semcommute_spec::InterfaceId;
+
+use crate::catalog::interface_catalog;
+use crate::condition::CommutativityCondition;
+use crate::template::testing_methods;
+use crate::vcgen::generate_obligations;
+
+/// The scope the driver uses for an interface.
+///
+/// The counter/set/map obligations need only the named elements plus one
+/// anonymous element (see `prover::scope`); the ArrayList obligations use the
+/// explicit sequence scope, whose length bound is the verification parameter
+/// reported alongside the results.
+pub fn scope_for(interface: InterfaceId, seq_len: usize) -> Scope {
+    match interface {
+        InterfaceId::List => Scope::sequences(seq_len),
+        _ => Scope {
+            elem_padding: 1,
+            max_collection_entries: 3,
+            max_seq_len: 1,
+            int_min: -2,
+            int_max: 4,
+            max_models: 50_000_000,
+        },
+    }
+}
+
+/// Options controlling a verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Number of worker threads (conditions are verified independently).
+    pub threads: usize,
+    /// Sequence-length scope for ArrayList obligations.
+    pub seq_len: usize,
+    /// Verify only the first `n` conditions of the interface (for quick runs
+    /// and tests); `None` verifies the whole catalog.
+    pub limit: Option<usize>,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            seq_len: 4,
+            limit: None,
+        }
+    }
+}
+
+impl VerifyOptions {
+    /// A configuration suitable for unit/integration tests: small scope and a
+    /// bounded number of conditions.
+    pub fn quick(limit: usize) -> VerifyOptions {
+        VerifyOptions {
+            threads: 2,
+            seq_len: 3,
+            limit: Some(limit),
+        }
+    }
+}
+
+/// The outcome of verifying one commutativity condition: the verdicts of its
+/// soundness and completeness testing methods (each aggregating every proof
+/// obligation the method produced).
+#[derive(Debug, Clone)]
+pub struct ConditionReport {
+    /// The condition that was verified.
+    pub condition: CommutativityCondition,
+    /// Verdict of the soundness testing method.
+    pub soundness: Verdict,
+    /// Verdict of the completeness testing method.
+    pub completeness: Verdict,
+    /// Wall-clock time spent on this condition.
+    pub elapsed: Duration,
+    /// Whether the generated methods carried proof hints.
+    pub hinted: bool,
+}
+
+impl ConditionReport {
+    /// `true` when both the soundness and the completeness method verified.
+    pub fn verified(&self) -> bool {
+        self.soundness.is_valid() && self.completeness.is_valid()
+    }
+}
+
+/// The outcome of verifying an interface's full (or limited) catalog.
+#[derive(Debug, Clone)]
+pub struct InterfaceReport {
+    /// The interface.
+    pub interface: InterfaceId,
+    /// Per-condition reports, in catalog order.
+    pub reports: Vec<ConditionReport>,
+    /// Total wall-clock time of the run.
+    pub elapsed: Duration,
+    /// The sequence scope used (relevant for ArrayList).
+    pub seq_len: usize,
+}
+
+impl InterfaceReport {
+    /// Number of conditions whose soundness and completeness both verified.
+    pub fn verified_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.verified()).count()
+    }
+
+    /// Number of conditions verified.
+    pub fn total(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Number of generated testing methods (two per condition).
+    pub fn method_count(&self) -> usize {
+        self.reports.len() * 2
+    }
+
+    /// Number of testing methods that carried proof hints.
+    pub fn hinted_method_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.hinted).count()
+    }
+
+    /// Conditions that failed to verify, with the failing verdicts.
+    pub fn failures(&self) -> Vec<&ConditionReport> {
+        self.reports.iter().filter(|r| !r.verified()).collect()
+    }
+
+    /// How many obligations were decided by the structural prover vs. the
+    /// finite-model prover (the prover-portfolio ablation data).
+    pub fn prover_breakdown(&self) -> (usize, usize) {
+        let mut structural = 0;
+        let mut finite = 0;
+        for r in &self.reports {
+            for v in [&r.soundness, &r.completeness] {
+                match v.stats().prover {
+                    ProverChoice::Structural => structural += 1,
+                    ProverChoice::FiniteModel => finite += 1,
+                    ProverChoice::None => {}
+                }
+            }
+        }
+        (structural, finite)
+    }
+}
+
+/// Verifies a single condition with the given prover.
+pub fn verify_condition(
+    cond: &CommutativityCondition,
+    prover: &Portfolio,
+    id: usize,
+) -> ConditionReport {
+    let start = Instant::now();
+    let (soundness_method, completeness_method) = testing_methods(cond, id);
+    let hinted = !soundness_method.hints.is_empty() || !completeness_method.hints.is_empty();
+    let soundness = prove_method_obligations(&soundness_method, prover);
+    let completeness = prove_method_obligations(&completeness_method, prover);
+    ConditionReport {
+        condition: cond.clone(),
+        soundness,
+        completeness,
+        elapsed: start.elapsed(),
+        hinted,
+    }
+}
+
+/// Proves every obligation of a testing method, merging statistics. The
+/// verdict is `Valid` only if every obligation is valid; otherwise the first
+/// non-valid verdict is returned (with accumulated statistics).
+fn prove_method_obligations(
+    method: &crate::method::TestingMethod,
+    prover: &Portfolio,
+) -> Verdict {
+    let obligations = match generate_obligations(method) {
+        Ok(obs) => obs,
+        Err(e) => {
+            return Verdict::Unknown {
+                reason: format!("vcgen failed: {e}"),
+                stats: Default::default(),
+            }
+        }
+    };
+    let mut accumulated = semcommute_prover::ProofStats::none();
+    for ob in &obligations {
+        let mut verdict = prover.prove(ob);
+        accumulated.merge(verdict.stats());
+        if !verdict.is_valid() {
+            *verdict.stats_mut() = accumulated;
+            return verdict;
+        }
+    }
+    Verdict::Valid { stats: accumulated }
+}
+
+/// Verifies (a prefix of) an interface's catalog, in parallel.
+pub fn verify_interface(interface: InterfaceId, options: &VerifyOptions) -> InterfaceReport {
+    let start = Instant::now();
+    let mut catalog = interface_catalog(interface);
+    if let Some(limit) = options.limit {
+        catalog.truncate(limit);
+    }
+    let scope = scope_for(interface, options.seq_len);
+    let prover = Portfolio::new(scope);
+    let threads = options.threads.max(1);
+    let reports = if threads == 1 || catalog.len() <= 1 {
+        catalog
+            .iter()
+            .enumerate()
+            .map(|(i, c)| verify_condition(c, &prover, i))
+            .collect()
+    } else {
+        parallel_verify(&catalog, &prover, threads)
+    };
+    InterfaceReport {
+        interface,
+        reports,
+        elapsed: start.elapsed(),
+        seq_len: options.seq_len,
+    }
+}
+
+fn parallel_verify(
+    catalog: &[CommutativityCondition],
+    prover: &Portfolio,
+    threads: usize,
+) -> Vec<ConditionReport> {
+    let mut indexed: Vec<(usize, ConditionReport)> = std::thread::scope(|scope| {
+        let chunk_size = catalog.len().div_ceil(threads);
+        let mut handles = Vec::new();
+        for (chunk_index, chunk) in catalog.chunks(chunk_size).enumerate() {
+            let prover = prover.clone();
+            handles.push(scope.spawn(move || {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, cond)| {
+                        let id = chunk_index * chunk_size + offset;
+                        (id, verify_condition(cond, &prover, id))
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("verification worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Verifies every interface (with the same options), in the paper's order.
+pub fn verify_all(options: &VerifyOptions) -> Vec<InterfaceReport> {
+    InterfaceId::ALL
+        .into_iter()
+        .map(|id| verify_interface(id, options))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_catalog_fully_verifies() {
+        let report = verify_interface(InterfaceId::Accumulator, &VerifyOptions::quick(12));
+        assert_eq!(report.total(), 12);
+        assert_eq!(report.verified_count(), 12, "failures: {:#?}", report.failures().iter().map(|f| f.condition.id()).collect::<Vec<_>>());
+        assert_eq!(report.method_count(), 24);
+    }
+
+    #[test]
+    fn set_catalog_prefix_verifies() {
+        let report = verify_interface(InterfaceId::Set, &VerifyOptions::quick(24));
+        assert_eq!(report.verified_count(), report.total());
+        // Some obligations are discharged structurally, some need models.
+        let (structural, finite) = report.prover_breakdown();
+        assert!(structural + finite > 0);
+    }
+
+    #[test]
+    fn verify_condition_reports_hints_and_time() {
+        let cond = interface_catalog(InterfaceId::Set)
+            .into_iter()
+            .find(|c| c.first.op == "add" && c.second.op == "remove")
+            .unwrap();
+        let prover = Portfolio::new(scope_for(InterfaceId::Set, 3));
+        let report = verify_condition(&cond, &prover, 0);
+        assert!(report.verified());
+        assert!(!report.hinted);
+    }
+
+    #[test]
+    fn scope_for_list_uses_sequence_scope() {
+        let s = scope_for(InterfaceId::List, 4);
+        assert_eq!(s.max_seq_len, 4);
+        let s = scope_for(InterfaceId::Map, 4);
+        assert_eq!(s.elem_padding, 1);
+    }
+
+    #[test]
+    fn options_default_and_quick() {
+        let d = VerifyOptions::default();
+        assert!(d.threads >= 1);
+        assert!(d.limit.is_none());
+        let q = VerifyOptions::quick(5);
+        assert_eq!(q.limit, Some(5));
+    }
+}

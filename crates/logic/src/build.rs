@@ -1,0 +1,353 @@
+//! Ergonomic constructors for [`Term`]s.
+//!
+//! Specifications, commutativity conditions, and testing methods are built
+//! programmatically; this module provides a small DSL so that the catalog code
+//! reads close to the formulas in the paper's tables, e.g.
+//!
+//! ```
+//! use semcommute_logic::build::*;
+//! // v1 ~= v2  |  v1 : contents        (Table 5.2, contains/add)
+//! let cond = or2(neq(var_elem("v1"), var_elem("v2")),
+//!                member(var_elem("v1"), var_set("s1_contents")));
+//! assert_eq!(cond.size(), 8);
+//! ```
+
+use crate::sort::Sort;
+use crate::term::Term;
+
+// ---------------------------------------------------------------------------
+// Variables and literals
+// ---------------------------------------------------------------------------
+
+/// A boolean variable.
+pub fn var_bool(name: &str) -> Term {
+    Term::var(name, Sort::Bool)
+}
+
+/// An integer variable.
+pub fn var_int(name: &str) -> Term {
+    Term::var(name, Sort::Int)
+}
+
+/// An element (object) variable.
+pub fn var_elem(name: &str) -> Term {
+    Term::var(name, Sort::Elem)
+}
+
+/// A set variable.
+pub fn var_set(name: &str) -> Term {
+    Term::var(name, Sort::Set)
+}
+
+/// A map variable.
+pub fn var_map(name: &str) -> Term {
+    Term::var(name, Sort::Map)
+}
+
+/// A sequence variable.
+pub fn var_seq(name: &str) -> Term {
+    Term::var(name, Sort::Seq)
+}
+
+/// A variable of the given sort.
+pub fn var_of(name: &str, sort: Sort) -> Term {
+    Term::var(name, sort)
+}
+
+/// The literal `true`.
+pub fn tru() -> Term {
+    Term::BoolLit(true)
+}
+
+/// The literal `false`.
+pub fn fls() -> Term {
+    Term::BoolLit(false)
+}
+
+/// An integer literal.
+pub fn int(i: i64) -> Term {
+    Term::IntLit(i)
+}
+
+/// The `null` object literal.
+pub fn null() -> Term {
+    Term::Null
+}
+
+// ---------------------------------------------------------------------------
+// Boolean connectives
+// ---------------------------------------------------------------------------
+
+/// Logical negation.
+pub fn not(t: Term) -> Term {
+    Term::Not(Box::new(t))
+}
+
+/// N-ary conjunction.
+pub fn and(ts: impl IntoIterator<Item = Term>) -> Term {
+    Term::And(ts.into_iter().collect())
+}
+
+/// Binary conjunction.
+pub fn and2(a: Term, b: Term) -> Term {
+    and([a, b])
+}
+
+/// Ternary conjunction.
+pub fn and3(a: Term, b: Term, c: Term) -> Term {
+    and([a, b, c])
+}
+
+/// N-ary disjunction.
+pub fn or(ts: impl IntoIterator<Item = Term>) -> Term {
+    Term::Or(ts.into_iter().collect())
+}
+
+/// Binary disjunction.
+pub fn or2(a: Term, b: Term) -> Term {
+    or([a, b])
+}
+
+/// Ternary disjunction.
+pub fn or3(a: Term, b: Term, c: Term) -> Term {
+    or([a, b, c])
+}
+
+/// Implication `a --> b`.
+pub fn implies(a: Term, b: Term) -> Term {
+    Term::Implies(Box::new(a), Box::new(b))
+}
+
+/// Bi-implication `a <-> b`.
+pub fn iff(a: Term, b: Term) -> Term {
+    Term::Iff(Box::new(a), Box::new(b))
+}
+
+/// If-then-else.
+pub fn ite(c: Term, t: Term, e: Term) -> Term {
+    Term::Ite(Box::new(c), Box::new(t), Box::new(e))
+}
+
+/// Equality.
+pub fn eq(a: Term, b: Term) -> Term {
+    Term::Eq(Box::new(a), Box::new(b))
+}
+
+/// Disequality (`~(a = b)`).
+pub fn neq(a: Term, b: Term) -> Term {
+    not(eq(a, b))
+}
+
+// ---------------------------------------------------------------------------
+// Integer arithmetic
+// ---------------------------------------------------------------------------
+
+/// Integer addition.
+pub fn add(a: Term, b: Term) -> Term {
+    Term::Add(Box::new(a), Box::new(b))
+}
+
+/// Integer subtraction.
+pub fn sub(a: Term, b: Term) -> Term {
+    Term::Sub(Box::new(a), Box::new(b))
+}
+
+/// Integer negation.
+pub fn neg(a: Term) -> Term {
+    Term::Neg(Box::new(a))
+}
+
+/// Strict less-than.
+pub fn lt(a: Term, b: Term) -> Term {
+    Term::Lt(Box::new(a), Box::new(b))
+}
+
+/// Less-than-or-equal.
+pub fn le(a: Term, b: Term) -> Term {
+    Term::Le(Box::new(a), Box::new(b))
+}
+
+/// Strict greater-than.
+pub fn gt(a: Term, b: Term) -> Term {
+    lt(b, a)
+}
+
+/// Greater-than-or-equal.
+pub fn ge(a: Term, b: Term) -> Term {
+    le(b, a)
+}
+
+// ---------------------------------------------------------------------------
+// Sets
+// ---------------------------------------------------------------------------
+
+/// The empty set.
+pub fn empty_set() -> Term {
+    Term::EmptySet
+}
+
+/// `s ∪ {v}`.
+pub fn set_add(s: Term, v: Term) -> Term {
+    Term::SetAdd(Box::new(s), Box::new(v))
+}
+
+/// `s \ {v}`.
+pub fn set_remove(s: Term, v: Term) -> Term {
+    Term::SetRemove(Box::new(s), Box::new(v))
+}
+
+/// `v ∈ s`.
+pub fn member(v: Term, s: Term) -> Term {
+    Term::Member(Box::new(v), Box::new(s))
+}
+
+/// `v ∉ s`.
+pub fn not_member(v: Term, s: Term) -> Term {
+    not(member(v, s))
+}
+
+/// `|s|`.
+pub fn card(s: Term) -> Term {
+    Term::Card(Box::new(s))
+}
+
+// ---------------------------------------------------------------------------
+// Maps
+// ---------------------------------------------------------------------------
+
+/// The empty map.
+pub fn empty_map() -> Term {
+    Term::EmptyMap
+}
+
+/// `m[k := v]`.
+pub fn map_put(m: Term, k: Term, v: Term) -> Term {
+    Term::MapPut(Box::new(m), Box::new(k), Box::new(v))
+}
+
+/// `m` with `k` unmapped.
+pub fn map_remove(m: Term, k: Term) -> Term {
+    Term::MapRemove(Box::new(m), Box::new(k))
+}
+
+/// The value mapped to `k`, or `null`.
+pub fn map_get(m: Term, k: Term) -> Term {
+    Term::MapGet(Box::new(m), Box::new(k))
+}
+
+/// `true` iff `k` is mapped.
+pub fn map_has_key(m: Term, k: Term) -> Term {
+    Term::MapHasKey(Box::new(m), Box::new(k))
+}
+
+/// The number of mapped keys.
+pub fn map_size(m: Term) -> Term {
+    Term::MapSize(Box::new(m))
+}
+
+// ---------------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------------
+
+/// The empty sequence.
+pub fn empty_seq() -> Term {
+    Term::EmptySeq
+}
+
+/// `s` with `v` inserted at index `i`.
+pub fn seq_insert_at(s: Term, i: Term, v: Term) -> Term {
+    Term::SeqInsertAt(Box::new(s), Box::new(i), Box::new(v))
+}
+
+/// `s` with the element at index `i` removed.
+pub fn seq_remove_at(s: Term, i: Term) -> Term {
+    Term::SeqRemoveAt(Box::new(s), Box::new(i))
+}
+
+/// `s` with the element at index `i` replaced by `v`.
+pub fn seq_set_at(s: Term, i: Term, v: Term) -> Term {
+    Term::SeqSetAt(Box::new(s), Box::new(i), Box::new(v))
+}
+
+/// The element of `s` at index `i` (or `null` out of range).
+pub fn seq_at(s: Term, i: Term) -> Term {
+    Term::SeqAt(Box::new(s), Box::new(i))
+}
+
+/// The length of `s`.
+pub fn seq_len(s: Term) -> Term {
+    Term::SeqLen(Box::new(s))
+}
+
+/// The first index of `v` in `s`, or `-1`.
+pub fn seq_index_of(s: Term, v: Term) -> Term {
+    Term::SeqIndexOf(Box::new(s), Box::new(v))
+}
+
+/// The last index of `v` in `s`, or `-1`.
+pub fn seq_last_index_of(s: Term, v: Term) -> Term {
+    Term::SeqLastIndexOf(Box::new(s), Box::new(v))
+}
+
+/// `true` iff `v` occurs in `s`.
+pub fn seq_contains(s: Term, v: Term) -> Term {
+    Term::SeqContains(Box::new(s), Box::new(v))
+}
+
+// ---------------------------------------------------------------------------
+// Quantifiers
+// ---------------------------------------------------------------------------
+
+/// `∀ var ∈ [lo, hi). body`.
+pub fn forall_int(var: &str, lo: Term, hi: Term, body: Term) -> Term {
+    Term::ForallInt {
+        var: var.to_string(),
+        lo: Box::new(lo),
+        hi: Box::new(hi),
+        body: Box::new(body),
+    }
+}
+
+/// `∃ var ∈ [lo, hi). body`.
+pub fn exists_int(var: &str, lo: Term, hi: Term, body: Term) -> Term {
+    Term::ExistsInt {
+        var: var.to_string(),
+        lo: Box::new(lo),
+        hi: Box::new(hi),
+        body: Box::new(body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eval_bool, Model, Value};
+
+    #[test]
+    fn builders_build_expected_variants() {
+        assert!(matches!(tru(), Term::BoolLit(true)));
+        assert!(matches!(and2(tru(), fls()), Term::And(v) if v.len() == 2));
+        assert!(matches!(or3(tru(), fls(), tru()), Term::Or(v) if v.len() == 3));
+        assert!(matches!(gt(int(2), int(1)), Term::Lt(_, _)));
+        assert!(matches!(ge(int(2), int(1)), Term::Le(_, _)));
+    }
+
+    #[test]
+    fn neq_is_negated_eq() {
+        let t = neq(var_elem("a"), var_elem("b"));
+        assert!(matches!(t, Term::Not(inner) if matches!(*inner, Term::Eq(_, _))));
+    }
+
+    #[test]
+    fn doc_example_evaluates() {
+        let cond = or2(
+            neq(var_elem("v1"), var_elem("v2")),
+            member(var_elem("v1"), var_set("s")),
+        );
+        let mut m = Model::new();
+        m.insert("v1", Value::elem(1));
+        m.insert("v2", Value::elem(1));
+        m.insert("s", Value::set_of([]));
+        assert!(!eval_bool(&cond, &m).unwrap());
+    }
+}

@@ -1,0 +1,150 @@
+//! Models: assignments of values to free variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::Value;
+
+/// An assignment of [`Value`]s to variable names.
+///
+/// A model gives meaning to the free variables of a term; [`crate::eval`]
+/// evaluates a term under a model. Models are also the shape of
+/// counterexamples reported by the prover: a model under which the hypotheses
+/// of an obligation hold but its goal does not.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    bindings: BTreeMap<String, Value>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Binds `name` to `value`, replacing any previous binding.
+    pub fn insert(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        self.bindings.insert(name.into(), value);
+        self
+    }
+
+    /// Returns the value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.bindings.get(name)
+    }
+
+    /// Returns `true` if `name` is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.bindings.contains_key(name)
+    }
+
+    /// Removes the binding for `name`, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<Value> {
+        self.bindings.remove(name)
+    }
+
+    /// The number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Returns `true` if the model has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Iterates over `(name, value)` bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.bindings.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Builds a model from an iterator of bindings.
+    pub fn from_bindings<I, S>(bindings: I) -> Model
+    where
+        I: IntoIterator<Item = (S, Value)>,
+        S: Into<String>,
+    {
+        let mut m = Model::new();
+        for (k, v) in bindings {
+            m.insert(k, v);
+        }
+        m
+    }
+
+    /// Returns a new model extending `self` with `name = value`.
+    pub fn extended(&self, name: impl Into<String>, value: Value) -> Model {
+        let mut m = self.clone();
+        m.insert(name, value);
+        m
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "model {{")?;
+        for (k, v) in &self.bindings {
+            writeln!(f, "  {k} = {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<S: Into<String>> FromIterator<(S, Value)> for Model {
+    fn from_iter<T: IntoIterator<Item = (S, Value)>>(iter: T) -> Self {
+        Model::from_bindings(iter)
+    }
+}
+
+impl<S: Into<String>> Extend<(S, Value)> for Model {
+    fn extend<T: IntoIterator<Item = (S, Value)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ElemId;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = Model::new();
+        assert!(m.is_empty());
+        m.insert("x", Value::Int(3));
+        assert_eq!(m.get("x"), Some(&Value::Int(3)));
+        assert!(m.contains("x"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.remove("x"), Some(Value::Int(3)));
+        assert!(m.get("x").is_none());
+    }
+
+    #[test]
+    fn extended_does_not_mutate_original() {
+        let m = Model::from_bindings([("a", Value::Bool(true))]);
+        let m2 = m.extended("b", Value::elem(1));
+        assert!(!m.contains("b"));
+        assert!(m2.contains("b"));
+        assert!(m2.contains("a"));
+    }
+
+    #[test]
+    fn display_lists_bindings_in_order() {
+        let m = Model::from_bindings([
+            ("b", Value::set_of([ElemId(1)])),
+            ("a", Value::Int(0)),
+        ]);
+        let s = m.to_string();
+        let a_pos = s.find("a = 0").unwrap();
+        let b_pos = s.find("b = {o1}").unwrap();
+        assert!(a_pos < b_pos);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut m: Model = [("x", Value::Int(1))].into_iter().collect();
+        m.extend([("y", Value::Int(2))]);
+        assert_eq!(m.len(), 2);
+    }
+}

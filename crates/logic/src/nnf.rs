@@ -1,0 +1,206 @@
+//! Negation normal form.
+//!
+//! The finite-model prover and the proof-hint machinery (`pickWitness`)
+//! operate on formulas in negation normal form, where negation is pushed down
+//! to atoms and implications / bi-implications are eliminated. Quantifier
+//! duality (`¬∀ = ∃¬`, `¬∃ = ∀¬`) is applied so that existential hypotheses
+//! are visible for witness picking.
+
+use crate::term::Term;
+
+/// Converts a boolean term to negation normal form.
+///
+/// The result contains no `Implies`, `Iff`, and negations only directly above
+/// atoms (equalities, memberships, comparisons, …).
+pub fn to_nnf(term: &Term) -> Term {
+    nnf(term, false)
+}
+
+fn negate_atom(t: Term) -> Term {
+    Term::Not(Box::new(t))
+}
+
+fn nnf(term: &Term, negated: bool) -> Term {
+    use Term::*;
+    match term {
+        BoolLit(b) => BoolLit(*b != negated),
+        Not(a) => nnf(a, !negated),
+        And(cs) => {
+            let parts: Vec<Term> = cs.iter().map(|c| nnf(c, negated)).collect();
+            if negated {
+                Or(parts)
+            } else {
+                And(parts)
+            }
+        }
+        Or(cs) => {
+            let parts: Vec<Term> = cs.iter().map(|c| nnf(c, negated)).collect();
+            if negated {
+                And(parts)
+            } else {
+                Or(parts)
+            }
+        }
+        Implies(a, b) => {
+            // a --> b   ==   ~a | b
+            if negated {
+                // ~(a --> b) == a & ~b
+                And(vec![nnf(a, false), nnf(b, true)])
+            } else {
+                Or(vec![nnf(a, true), nnf(b, false)])
+            }
+        }
+        Iff(a, b) => {
+            // a <-> b == (a & b) | (~a & ~b);   negated: (a & ~b) | (~a & b)
+            if negated {
+                Or(vec![
+                    And(vec![nnf(a, false), nnf(b, true)]),
+                    And(vec![nnf(a, true), nnf(b, false)]),
+                ])
+            } else {
+                Or(vec![
+                    And(vec![nnf(a, false), nnf(b, false)]),
+                    And(vec![nnf(a, true), nnf(b, true)]),
+                ])
+            }
+        }
+        ForallInt { var, lo, hi, body } => {
+            let inner = nnf(body, negated);
+            if negated {
+                ExistsInt {
+                    var: var.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    body: Box::new(inner),
+                }
+            } else {
+                ForallInt {
+                    var: var.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    body: Box::new(inner),
+                }
+            }
+        }
+        ExistsInt { var, lo, hi, body } => {
+            let inner = nnf(body, negated);
+            if negated {
+                ForallInt {
+                    var: var.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    body: Box::new(inner),
+                }
+            } else {
+                ExistsInt {
+                    var: var.clone(),
+                    lo: lo.clone(),
+                    hi: hi.clone(),
+                    body: Box::new(inner),
+                }
+            }
+        }
+        // Ite at the boolean level: expand into a disjunction of guarded cases.
+        Ite(c, x, y) => {
+            let pos = And(vec![nnf(c, false), nnf(x, negated)]);
+            let neg = And(vec![nnf(c, true), nnf(y, negated)]);
+            Or(vec![pos, neg])
+        }
+        // Atoms: equalities, comparisons, memberships, etc.
+        atom => {
+            if negated {
+                negate_atom(atom.clone())
+            } else {
+                atom.clone()
+            }
+        }
+    }
+}
+
+/// Returns `true` if a term is in negation normal form.
+pub fn is_nnf(term: &Term) -> bool {
+    use Term::*;
+    match term {
+        Not(a) => !matches!(
+            **a,
+            Not(_) | And(_) | Or(_) | Implies(_, _) | Iff(_, _) | ForallInt { .. } | ExistsInt { .. }
+        ),
+        Implies(_, _) | Iff(_, _) => false,
+        And(cs) | Or(cs) => cs.iter().all(is_nnf),
+        ForallInt { body, .. } | ExistsInt { body, .. } => is_nnf(body),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::{eval_bool, Model, Value};
+
+    #[test]
+    fn implications_are_eliminated() {
+        let t = implies(var_bool("p"), var_bool("q"));
+        let n = to_nnf(&t);
+        assert!(is_nnf(&n));
+        assert!(!format!("{n:?}").contains("Implies"));
+    }
+
+    #[test]
+    fn negation_is_pushed_to_atoms() {
+        let t = not(and2(
+            var_bool("p"),
+            or2(var_bool("q"), not(var_bool("r"))),
+        ));
+        let n = to_nnf(&t);
+        assert!(is_nnf(&n));
+    }
+
+    #[test]
+    fn quantifier_duality() {
+        let t = not(exists_int("i", int(0), int(3), var_bool("p")));
+        let n = to_nnf(&t);
+        assert!(matches!(n, Term::ForallInt { .. }));
+        let t2 = not(forall_int("i", int(0), int(3), var_bool("p")));
+        assert!(matches!(to_nnf(&t2), Term::ExistsInt { .. }));
+    }
+
+    #[test]
+    fn nnf_preserves_truth_value() {
+        let cases = vec![
+            implies(var_bool("p"), var_bool("q")),
+            iff(var_bool("p"), var_bool("q")),
+            not(iff(var_bool("p"), var_bool("q"))),
+            not(implies(and2(var_bool("p"), var_bool("q")), var_bool("r"))),
+            ite(var_bool("p"), var_bool("q"), var_bool("r")),
+            not(ite(var_bool("p"), var_bool("q"), var_bool("r"))),
+        ];
+        for p in [false, true] {
+            for q in [false, true] {
+                for r in [false, true] {
+                    let m = Model::from_bindings([
+                        ("p", Value::Bool(p)),
+                        ("q", Value::Bool(q)),
+                        ("r", Value::Bool(r)),
+                    ]);
+                    for c in &cases {
+                        assert_eq!(
+                            eval_bool(c, &m).unwrap(),
+                            eval_bool(&to_nnf(c), &m).unwrap(),
+                            "NNF changed the meaning of {c:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_nnf_detects_violations() {
+        assert!(is_nnf(&var_bool("p")));
+        assert!(is_nnf(&not(var_bool("p"))));
+        assert!(!is_nnf(&not(not(var_bool("p")))));
+        assert!(!is_nnf(&implies(var_bool("p"), var_bool("q"))));
+        assert!(!is_nnf(&not(and2(var_bool("p"), var_bool("q")))));
+    }
+}

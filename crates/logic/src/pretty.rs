@@ -1,0 +1,338 @@
+//! Pretty-printing of terms in a Jahob-like concrete syntax.
+//!
+//! The printer is used for table output (the commutativity-condition catalogs
+//! of Tables 5.1–5.7), counterexample reports, and `Debug`-friendly logs. The
+//! syntax follows the paper: `v1 ~= v2 | v1 : s1`, `contents Un {v}`,
+//! `contents - {v}`, etc.
+
+use std::fmt;
+
+use crate::term::Term;
+
+/// A displayable wrapper that renders a term in Jahob-like syntax.
+pub struct JahobSyntax<'a>(pub &'a Term);
+
+impl fmt::Display for JahobSyntax<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_term(f, self.0, 0)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_term(f, self, 0)
+    }
+}
+
+/// Precedence levels, loosest binding first.
+const PREC_IFF: u8 = 1;
+const PREC_IMPLIES: u8 = 2;
+const PREC_OR: u8 = 3;
+const PREC_AND: u8 = 4;
+const PREC_NOT: u8 = 5;
+const PREC_CMP: u8 = 6;
+const PREC_ADD: u8 = 7;
+const PREC_ATOM: u8 = 10;
+
+fn write_paren(
+    f: &mut fmt::Formatter<'_>,
+    outer: u8,
+    inner: u8,
+    body: impl FnOnce(&mut fmt::Formatter<'_>) -> fmt::Result,
+) -> fmt::Result {
+    if inner < outer {
+        write!(f, "(")?;
+        body(f)?;
+        write!(f, ")")
+    } else {
+        body(f)
+    }
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, prec: u8) -> fmt::Result {
+    use Term::*;
+    match t {
+        Var(v) => write!(f, "{}", v.name),
+        BoolLit(b) => write!(f, "{}", if *b { "True" } else { "False" }),
+        IntLit(i) => write!(f, "{i}"),
+        Null => write!(f, "null"),
+
+        Not(a) => write_paren(f, prec, PREC_NOT, |f| {
+            write!(f, "~")?;
+            write_term(f, a, PREC_NOT + 1)
+        }),
+        And(cs) => {
+            if cs.is_empty() {
+                return write!(f, "True");
+            }
+            write_paren(f, prec, PREC_AND, |f| {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " & ")?;
+                    }
+                    write_term(f, c, PREC_AND + 1)?;
+                }
+                Ok(())
+            })
+        }
+        Or(cs) => {
+            if cs.is_empty() {
+                return write!(f, "False");
+            }
+            write_paren(f, prec, PREC_OR, |f| {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write_term(f, c, PREC_OR + 1)?;
+                }
+                Ok(())
+            })
+        }
+        Implies(a, b) => write_paren(f, prec, PREC_IMPLIES, |f| {
+            write_term(f, a, PREC_IMPLIES + 1)?;
+            write!(f, " --> ")?;
+            write_term(f, b, PREC_IMPLIES)
+        }),
+        Iff(a, b) => write_paren(f, prec, PREC_IFF, |f| {
+            write_term(f, a, PREC_IFF + 1)?;
+            write!(f, " <-> ")?;
+            write_term(f, b, PREC_IFF)
+        }),
+        Ite(c, x, y) => {
+            write!(f, "(if ")?;
+            write_term(f, c, 0)?;
+            write!(f, " then ")?;
+            write_term(f, x, 0)?;
+            write!(f, " else ")?;
+            write_term(f, y, 0)?;
+            write!(f, ")")
+        }
+        Eq(a, b) => {
+            // Special-case `~ (a = b)` is handled by Not; here print `a = b`.
+            write_paren(f, prec, PREC_CMP, |f| {
+                write_term(f, a, PREC_CMP + 1)?;
+                write!(f, " = ")?;
+                write_term(f, b, PREC_CMP + 1)
+            })
+        }
+
+        Add(a, b) => write_paren(f, prec, PREC_ADD, |f| {
+            write_term(f, a, PREC_ADD)?;
+            write!(f, " + ")?;
+            write_term(f, b, PREC_ADD + 1)
+        }),
+        Sub(a, b) => write_paren(f, prec, PREC_ADD, |f| {
+            write_term(f, a, PREC_ADD)?;
+            write!(f, " - ")?;
+            write_term(f, b, PREC_ADD + 1)
+        }),
+        Neg(a) => write_paren(f, prec, PREC_ADD, |f| {
+            write!(f, "-")?;
+            write_term(f, a, PREC_ATOM)
+        }),
+        Lt(a, b) => write_paren(f, prec, PREC_CMP, |f| {
+            write_term(f, a, PREC_CMP + 1)?;
+            write!(f, " < ")?;
+            write_term(f, b, PREC_CMP + 1)
+        }),
+        Le(a, b) => write_paren(f, prec, PREC_CMP, |f| {
+            write_term(f, a, PREC_CMP + 1)?;
+            write!(f, " <= ")?;
+            write_term(f, b, PREC_CMP + 1)
+        }),
+
+        EmptySet => write!(f, "{{}}"),
+        SetAdd(s, v) => write_paren(f, prec, PREC_ADD, |f| {
+            write_term(f, s, PREC_ADD)?;
+            write!(f, " Un {{")?;
+            write_term(f, v, 0)?;
+            write!(f, "}}")
+        }),
+        SetRemove(s, v) => write_paren(f, prec, PREC_ADD, |f| {
+            write_term(f, s, PREC_ADD)?;
+            write!(f, " - {{")?;
+            write_term(f, v, 0)?;
+            write!(f, "}}")
+        }),
+        Member(v, s) => write_paren(f, prec, PREC_CMP, |f| {
+            write_term(f, v, PREC_CMP + 1)?;
+            write!(f, " : ")?;
+            write_term(f, s, PREC_CMP + 1)
+        }),
+        Card(s) => {
+            write!(f, "card(")?;
+            write_term(f, s, 0)?;
+            write!(f, ")")
+        }
+
+        EmptyMap => write!(f, "{{||}}"),
+        MapPut(m, k, v) => {
+            write_term(f, m, PREC_ATOM)?;
+            write!(f, "[")?;
+            write_term(f, k, 0)?;
+            write!(f, " := ")?;
+            write_term(f, v, 0)?;
+            write!(f, "]")
+        }
+        MapRemove(m, k) => {
+            write_term(f, m, PREC_ATOM)?;
+            write!(f, " -- ")?;
+            write_term(f, k, PREC_ATOM)
+        }
+        MapGet(m, k) => {
+            write_term(f, m, PREC_ATOM)?;
+            write!(f, ".get(")?;
+            write_term(f, k, 0)?;
+            write!(f, ")")
+        }
+        MapHasKey(m, k) => {
+            write_term(f, m, PREC_ATOM)?;
+            write!(f, ".containsKey(")?;
+            write_term(f, k, 0)?;
+            write!(f, ")")
+        }
+        MapSize(m) => {
+            write!(f, "size(")?;
+            write_term(f, m, 0)?;
+            write!(f, ")")
+        }
+
+        EmptySeq => write!(f, "[]"),
+        SeqInsertAt(s, i, v) => {
+            write_term(f, s, PREC_ATOM)?;
+            write!(f, ".insertAt(")?;
+            write_term(f, i, 0)?;
+            write!(f, ", ")?;
+            write_term(f, v, 0)?;
+            write!(f, ")")
+        }
+        SeqRemoveAt(s, i) => {
+            write_term(f, s, PREC_ATOM)?;
+            write!(f, ".removeAt(")?;
+            write_term(f, i, 0)?;
+            write!(f, ")")
+        }
+        SeqSetAt(s, i, v) => {
+            write_term(f, s, PREC_ATOM)?;
+            write!(f, ".setAt(")?;
+            write_term(f, i, 0)?;
+            write!(f, ", ")?;
+            write_term(f, v, 0)?;
+            write!(f, ")")
+        }
+        SeqAt(s, i) => {
+            write_term(f, s, PREC_ATOM)?;
+            write!(f, "[")?;
+            write_term(f, i, 0)?;
+            write!(f, "]")
+        }
+        SeqLen(s) => {
+            write!(f, "len(")?;
+            write_term(f, s, 0)?;
+            write!(f, ")")
+        }
+        SeqIndexOf(s, v) => {
+            write_term(f, s, PREC_ATOM)?;
+            write!(f, ".indexOf(")?;
+            write_term(f, v, 0)?;
+            write!(f, ")")
+        }
+        SeqLastIndexOf(s, v) => {
+            write_term(f, s, PREC_ATOM)?;
+            write!(f, ".lastIndexOf(")?;
+            write_term(f, v, 0)?;
+            write!(f, ")")
+        }
+        SeqContains(s, v) => {
+            write_term(f, s, PREC_ATOM)?;
+            write!(f, ".contains(")?;
+            write_term(f, v, 0)?;
+            write!(f, ")")
+        }
+
+        ForallInt { var, lo, hi, body } => {
+            write_paren(f, prec, PREC_IFF, |f| {
+                write!(f, "ALL {var} : [")?;
+                write_term(f, lo, 0)?;
+                write!(f, ", ")?;
+                write_term(f, hi, 0)?;
+                write!(f, "). ")?;
+                write_term(f, body, PREC_IFF)
+            })
+        }
+        ExistsInt { var, lo, hi, body } => {
+            write_paren(f, prec, PREC_IFF, |f| {
+                write!(f, "EX {var} : [")?;
+                write_term(f, lo, 0)?;
+                write!(f, ", ")?;
+                write_term(f, hi, 0)?;
+                write!(f, "). ")?;
+                write_term(f, body, PREC_IFF)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn between_condition_prints_like_the_paper() {
+        // v1 ~= v2 | r1 = True
+        let t = or2(neq(var_elem("v1"), var_elem("v2")), eq(var_bool("r1"), tru()));
+        assert_eq!(t.to_string(), "~v1 = v2 | r1 = True");
+    }
+
+    #[test]
+    fn set_algebra_prints_jahob_style() {
+        let t = eq(
+            var_set("contents"),
+            set_add(var_set("old_contents"), var_elem("v")),
+        );
+        assert_eq!(t.to_string(), "contents = old_contents Un {v}");
+        let r = set_remove(var_set("s"), var_elem("v"));
+        assert_eq!(r.to_string(), "s - {v}");
+    }
+
+    #[test]
+    fn precedence_inserts_parentheses_where_needed() {
+        let t = and2(or2(var_bool("a"), var_bool("b")), var_bool("c"));
+        assert_eq!(t.to_string(), "(a | b) & c");
+        let t2 = or2(and2(var_bool("a"), var_bool("b")), var_bool("c"));
+        assert_eq!(t2.to_string(), "a & b | c");
+    }
+
+    #[test]
+    fn container_queries_print_readably() {
+        assert_eq!(
+            map_get(var_map("m"), var_elem("k")).to_string(),
+            "m.get(k)"
+        );
+        assert_eq!(
+            seq_index_of(var_seq("q"), var_elem("v")).to_string(),
+            "q.indexOf(v)"
+        );
+        assert_eq!(seq_at(var_seq("q"), var_int("i")).to_string(), "q[i]");
+        assert_eq!(card(var_set("s")).to_string(), "card(s)");
+    }
+
+    #[test]
+    fn quantifiers_print_with_ranges() {
+        let t = exists_int(
+            "i",
+            int(0),
+            seq_len(var_seq("q")),
+            eq(seq_at(var_seq("q"), var_int("i")), var_elem("v")),
+        );
+        assert_eq!(t.to_string(), "EX i : [0, len(q)). q[i] = v");
+    }
+
+    #[test]
+    fn jahob_syntax_wrapper_matches_display() {
+        let t = member(var_elem("v"), var_set("s"));
+        assert_eq!(JahobSyntax(&t).to_string(), t.to_string());
+    }
+}

@@ -1,0 +1,289 @@
+//! Structural simplification of terms.
+//!
+//! The simplifier performs sound, semantics-preserving rewriting: constant
+//! folding, boolean identities, flattening of nested conjunctions and
+//! disjunctions, syntactic-equality reasoning, and a few container-algebra
+//! identities. The prover uses it both as a fast first pass (many generated
+//! obligations become literally `true`) and to shrink obligations before
+//! finite-model search.
+//!
+//! Soundness is checked by property tests comparing evaluation of the original
+//! and the simplified term under random models.
+
+use crate::term::Term;
+
+/// Simplifies `term` bottom-up until a fixed point is reached.
+pub fn simplify(term: &Term) -> Term {
+    let mut current = term.clone();
+    // A small fixed iteration bound; each pass is itself bottom-up, so one or
+    // two passes almost always suffice.
+    for _ in 0..4 {
+        let next = simplify_once(&current);
+        if next == current {
+            return next;
+        }
+        current = next;
+    }
+    current
+}
+
+fn simplify_once(term: &Term) -> Term {
+    let t = term.map_children(|c| simplify_once(c));
+    rewrite(t)
+}
+
+fn rewrite(t: Term) -> Term {
+    use Term::*;
+    match t {
+        Not(a) => match *a {
+            BoolLit(b) => BoolLit(!b),
+            Not(inner) => *inner,
+            other => Not(Box::new(other)),
+        },
+        And(cs) => {
+            let mut flat = Vec::new();
+            for c in cs {
+                match c {
+                    BoolLit(true) => {}
+                    BoolLit(false) => return BoolLit(false),
+                    And(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            flat.dedup();
+            // a & ~a -> false (syntactic)
+            if has_complementary_pair(&flat) {
+                return BoolLit(false);
+            }
+            match flat.len() {
+                0 => BoolLit(true),
+                1 => flat.pop().expect("len checked"),
+                _ => And(flat),
+            }
+        }
+        Or(cs) => {
+            let mut flat = Vec::new();
+            for c in cs {
+                match c {
+                    BoolLit(false) => {}
+                    BoolLit(true) => return BoolLit(true),
+                    Or(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            flat.dedup();
+            if has_complementary_pair(&flat) {
+                return BoolLit(true);
+            }
+            match flat.len() {
+                0 => BoolLit(false),
+                1 => flat.pop().expect("len checked"),
+                _ => Or(flat),
+            }
+        }
+        Implies(a, b) => {
+            if a.is_false() || b.is_true() {
+                BoolLit(true)
+            } else if a.is_true() {
+                *b
+            } else if b.is_false() {
+                rewrite(Not(a))
+            } else if a == b {
+                BoolLit(true)
+            } else {
+                Implies(a, b)
+            }
+        }
+        Iff(a, b) => {
+            if a == b {
+                BoolLit(true)
+            } else if a.is_true() {
+                *b
+            } else if b.is_true() {
+                *a
+            } else if a.is_false() {
+                rewrite(Not(b))
+            } else if b.is_false() {
+                rewrite(Not(a))
+            } else {
+                Iff(a, b)
+            }
+        }
+        Ite(c, x, y) => {
+            if c.is_true() {
+                *x
+            } else if c.is_false() {
+                *y
+            } else if x == y {
+                *x
+            } else {
+                Ite(c, x, y)
+            }
+        }
+        Eq(a, b) => {
+            if a == b {
+                BoolLit(true)
+            } else {
+                match (&*a, &*b) {
+                    (IntLit(x), IntLit(y)) => BoolLit(x == y),
+                    (BoolLit(x), BoolLit(y)) => BoolLit(x == y),
+                    (BoolLit(true), _) => *b,
+                    (_, BoolLit(true)) => *a,
+                    (BoolLit(false), _) => rewrite(Not(b)),
+                    (_, BoolLit(false)) => rewrite(Not(a)),
+                    _ => Eq(a, b),
+                }
+            }
+        }
+
+        Add(a, b) => match (&*a, &*b) {
+            (IntLit(x), IntLit(y)) => IntLit(x.wrapping_add(*y)),
+            (IntLit(0), _) => *b,
+            (_, IntLit(0)) => *a,
+            _ => Add(a, b),
+        },
+        Sub(a, b) => match (&*a, &*b) {
+            (IntLit(x), IntLit(y)) => IntLit(x.wrapping_sub(*y)),
+            (_, IntLit(0)) => *a,
+            _ if a == b => IntLit(0),
+            _ => Sub(a, b),
+        },
+        Neg(a) => match &*a {
+            IntLit(x) => IntLit(x.wrapping_neg()),
+            _ => Neg(a),
+        },
+        Lt(a, b) => match (&*a, &*b) {
+            (IntLit(x), IntLit(y)) => BoolLit(x < y),
+            _ if a == b => BoolLit(false),
+            _ => Lt(a, b),
+        },
+        Le(a, b) => match (&*a, &*b) {
+            (IntLit(x), IntLit(y)) => BoolLit(x <= y),
+            _ if a == b => BoolLit(true),
+            _ => Le(a, b),
+        },
+
+        Member(v, s) => match &*s {
+            EmptySet => BoolLit(false),
+            // v ∈ (s ∪ {v})  — syntactic match only
+            SetAdd(_, added) if **added == *v => BoolLit(true),
+            _ => Member(v, s),
+        },
+        Card(s) => match &*s {
+            EmptySet => IntLit(0),
+            _ => Card(s),
+        },
+        MapHasKey(m, k) => match &*m {
+            EmptyMap => BoolLit(false),
+            MapPut(_, key, _) if **key == *k => BoolLit(true),
+            _ => MapHasKey(m, k),
+        },
+        MapGet(m, k) => match &*m {
+            EmptyMap => Null,
+            MapPut(_, key, value) if **key == *k => (**value).clone(),
+            _ => MapGet(m, k),
+        },
+        MapSize(m) => match &*m {
+            EmptyMap => IntLit(0),
+            _ => MapSize(m),
+        },
+        SeqLen(s) => match &*s {
+            EmptySeq => IntLit(0),
+            _ => SeqLen(s),
+        },
+        SeqContains(s, v) => match &*s {
+            EmptySeq => BoolLit(false),
+            _ => SeqContains(s, v),
+        },
+
+        other => other,
+    }
+}
+
+fn has_complementary_pair(terms: &[Term]) -> bool {
+    for (i, a) in terms.iter().enumerate() {
+        for b in &terms[i + 1..] {
+            if let Term::Not(inner) = a {
+                if **inner == *b {
+                    return true;
+                }
+            }
+            if let Term::Not(inner) = b {
+                if **inner == *a {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn boolean_identities() {
+        assert!(simplify(&and2(tru(), tru())).is_true());
+        assert!(simplify(&and2(tru(), fls())).is_false());
+        assert!(simplify(&or2(fls(), fls())).is_false());
+        assert!(simplify(&not(not(tru()))).is_true());
+        assert!(simplify(&implies(fls(), var_bool("p"))).is_true());
+        assert_eq!(simplify(&implies(tru(), var_bool("p"))), var_bool("p"));
+        assert!(simplify(&iff(var_bool("p"), var_bool("p"))).is_true());
+        assert!(simplify(&and2(var_bool("p"), not(var_bool("p")))).is_false());
+        assert!(simplify(&or2(var_bool("p"), not(var_bool("p")))).is_true());
+    }
+
+    #[test]
+    fn nested_and_or_flatten() {
+        let t = and2(and2(var_bool("a"), var_bool("b")), and2(tru(), var_bool("c")));
+        match simplify(&t) {
+            Term::And(cs) => assert_eq!(cs.len(), 3),
+            other => panic!("expected flattened conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_and_arithmetic_folding() {
+        assert!(simplify(&eq(var_set("s"), var_set("s"))).is_true());
+        assert_eq!(simplify(&eq(int(2), int(3))), fls());
+        assert_eq!(simplify(&add(int(2), int(3))), int(5));
+        assert_eq!(simplify(&sub(var_int("x"), int(0))), var_int("x"));
+        assert_eq!(simplify(&add(int(0), var_int("x"))), var_int("x"));
+        assert!(simplify(&le(var_int("x"), var_int("x"))).is_true());
+        assert!(simplify(&lt(var_int("x"), var_int("x"))).is_false());
+    }
+
+    #[test]
+    fn container_identities() {
+        assert!(simplify(&member(var_elem("v"), empty_set())).is_false());
+        assert!(simplify(&member(var_elem("v"), set_add(var_set("s"), var_elem("v")))).is_true());
+        assert_eq!(simplify(&card(empty_set())), int(0));
+        assert_eq!(
+            simplify(&map_get(map_put(var_map("m"), var_elem("k"), var_elem("v")), var_elem("k"))),
+            var_elem("v")
+        );
+        assert!(simplify(&map_has_key(empty_map(), var_elem("k"))).is_false());
+        assert_eq!(simplify(&map_get(empty_map(), var_elem("k"))), null());
+        assert_eq!(simplify(&seq_len(empty_seq())), int(0));
+        assert!(simplify(&seq_contains(empty_seq(), var_elem("v"))).is_false());
+    }
+
+    #[test]
+    fn ite_simplification() {
+        assert_eq!(simplify(&ite(tru(), int(1), int(2))), int(1));
+        assert_eq!(simplify(&ite(fls(), int(1), int(2))), int(2));
+        assert_eq!(
+            simplify(&ite(var_bool("c"), var_int("x"), var_int("x"))),
+            var_int("x")
+        );
+    }
+
+    #[test]
+    fn simplification_reaches_fixed_point() {
+        let t = implies(and2(tru(), var_bool("p")), or2(var_bool("p"), fls()));
+        assert!(simplify(&t).is_true());
+    }
+}

@@ -1,0 +1,95 @@
+//! Sorts (types) of the specification logic.
+
+use std::fmt;
+
+/// The sort (type) of a term in the specification logic.
+///
+/// Each sort corresponds to one component of the abstract state of a data
+/// structure in the paper, or to the primitive sorts used by specifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Sort {
+    /// Boolean truth values.
+    Bool,
+    /// Mathematical (unbounded) integers. Used for sizes, indices, and the
+    /// Accumulator counter.
+    Int,
+    /// Opaque object identities, including the distinguished `null` object.
+    /// Set elements, map keys, map values, and sequence elements all have this
+    /// sort.
+    Elem,
+    /// Finite sets of elements — the abstract state of `ListSet` / `HashSet`.
+    Set,
+    /// Finite partial maps from elements to elements — the abstract state of
+    /// `AssociationList` / `HashTable`.
+    Map,
+    /// Finite sequences of elements — the abstract state of `ArrayList`.
+    Seq,
+}
+
+impl Sort {
+    /// Returns `true` if values of this sort are "scalar" (not a collection).
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Sort::Bool | Sort::Int | Sort::Elem)
+    }
+
+    /// Returns `true` if this sort is a collection (abstract container state).
+    pub fn is_collection(self) -> bool {
+        !self.is_scalar()
+    }
+
+    /// All sorts, in a fixed order. Useful for exhaustive iteration in tests.
+    pub const ALL: [Sort; 6] = [
+        Sort::Bool,
+        Sort::Int,
+        Sort::Elem,
+        Sort::Set,
+        Sort::Map,
+        Sort::Seq,
+    ];
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sort::Bool => "bool",
+            Sort::Int => "int",
+            Sort::Elem => "obj",
+            Sort::Set => "obj set",
+            Sort::Map => "(obj, obj) map",
+            Sort::Seq => "obj seq",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_and_collection_partition() {
+        for s in Sort::ALL {
+            assert_ne!(s.is_scalar(), s.is_collection());
+        }
+        assert!(Sort::Bool.is_scalar());
+        assert!(Sort::Int.is_scalar());
+        assert!(Sort::Elem.is_scalar());
+        assert!(Sort::Set.is_collection());
+        assert!(Sort::Map.is_collection());
+        assert!(Sort::Seq.is_collection());
+    }
+
+    #[test]
+    fn display_is_jahob_like() {
+        assert_eq!(Sort::Set.to_string(), "obj set");
+        assert_eq!(Sort::Bool.to_string(), "bool");
+    }
+
+    #[test]
+    fn all_contains_every_sort_once() {
+        let mut sorted = Sort::ALL.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+}

@@ -1,0 +1,226 @@
+//! Free variables, renaming, and capture-avoiding substitution.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::sort::Sort;
+use crate::term::Term;
+
+/// Returns the free variables of `term` together with their sorts, in name
+/// order.
+///
+/// Bound quantifier variables are not reported (the quantifier bounds are
+/// evaluated outside the binder and are therefore free).
+pub fn free_vars(term: &Term) -> BTreeMap<String, Sort> {
+    let mut acc = BTreeMap::new();
+    collect_free(term, &mut BTreeSet::new(), &mut acc);
+    acc
+}
+
+fn collect_free(term: &Term, bound: &mut BTreeSet<String>, acc: &mut BTreeMap<String, Sort>) {
+    match term {
+        Term::Var(v) => {
+            if !bound.contains(&v.name) {
+                acc.insert(v.name.clone(), v.sort);
+            }
+        }
+        Term::ForallInt { var, lo, hi, body } | Term::ExistsInt { var, lo, hi, body } => {
+            collect_free(lo, bound, acc);
+            collect_free(hi, bound, acc);
+            let fresh = bound.insert(var.clone());
+            collect_free(body, bound, acc);
+            if fresh {
+                bound.remove(var);
+            }
+        }
+        other => {
+            for c in other.children() {
+                collect_free(c, bound, acc);
+            }
+        }
+    }
+}
+
+/// Substitutes terms for free variables.
+///
+/// Every free occurrence of a variable named `n` with `subst[n]` defined is
+/// replaced by `subst[n]`. Quantifier-bound variables shadow entries of the
+/// substitution. The substitution is *not* capture-avoiding in general, but
+/// the only binders in the logic are integer quantifier variables, which by
+/// convention are fresh names (`__q0`, `__q1`, …) distinct from all
+/// specification variables; [`rename_vars`] can be used first when this
+/// convention does not hold.
+pub fn substitute(term: &Term, subst: &BTreeMap<String, Term>) -> Term {
+    match term {
+        Term::Var(v) => subst.get(&v.name).cloned().unwrap_or_else(|| term.clone()),
+        Term::ForallInt { var, lo, hi, body } | Term::ExistsInt { var, lo, hi, body } => {
+            let lo2 = substitute(lo, subst);
+            let hi2 = substitute(hi, subst);
+            let body2 = if subst.contains_key(var) {
+                let mut narrowed = subst.clone();
+                narrowed.remove(var);
+                substitute(body, &narrowed)
+            } else {
+                substitute(body, subst)
+            };
+            match term {
+                Term::ForallInt { .. } => Term::ForallInt {
+                    var: var.clone(),
+                    lo: Box::new(lo2),
+                    hi: Box::new(hi2),
+                    body: Box::new(body2),
+                },
+                _ => Term::ExistsInt {
+                    var: var.clone(),
+                    lo: Box::new(lo2),
+                    hi: Box::new(hi2),
+                    body: Box::new(body2),
+                },
+            }
+        }
+        other => other.map_children(|c| substitute(c, subst)),
+    }
+}
+
+/// Renames free variables according to `renaming` (old name → new name).
+///
+/// The sort of each variable is preserved. This is how operation
+/// specifications (written in terms of formal parameter and state names) are
+/// instantiated with the actual names used by a testing method.
+pub fn rename_vars(term: &Term, renaming: &BTreeMap<String, String>) -> Term {
+    rename_rec(term, renaming)
+}
+
+fn rename_rec(term: &Term, renaming: &BTreeMap<String, String>) -> Term {
+    match term {
+        Term::Var(v) => {
+            if let Some(new_name) = renaming.get(&v.name) {
+                Term::var(new_name.clone(), v.sort)
+            } else {
+                term.clone()
+            }
+        }
+        Term::ForallInt { var, lo, hi, body } | Term::ExistsInt { var, lo, hi, body } => {
+            let lo2 = rename_rec(lo, renaming);
+            let hi2 = rename_rec(hi, renaming);
+            let body2 = if renaming.contains_key(var) {
+                let mut narrowed = renaming.clone();
+                narrowed.remove(var);
+                rename_rec(body, &narrowed)
+            } else {
+                rename_rec(body, renaming)
+            };
+            match term {
+                Term::ForallInt { .. } => Term::ForallInt {
+                    var: var.clone(),
+                    lo: Box::new(lo2),
+                    hi: Box::new(hi2),
+                    body: Box::new(body2),
+                },
+                _ => Term::ExistsInt {
+                    var: var.clone(),
+                    lo: Box::new(lo2),
+                    hi: Box::new(hi2),
+                    body: Box::new(body2),
+                },
+            }
+        }
+        other => other.map_children(|c| rename_rec(c, renaming)),
+    }
+}
+
+/// Builds a substitution map from `(name, term)` pairs.
+pub fn subst_map<I, S>(pairs: I) -> BTreeMap<String, Term>
+where
+    I: IntoIterator<Item = (S, Term)>,
+    S: Into<String>,
+{
+    pairs.into_iter().map(|(k, v)| (k.into(), v)).collect()
+}
+
+/// Builds a renaming map from `(old, new)` pairs.
+pub fn rename_map<I, A, B>(pairs: I) -> BTreeMap<String, String>
+where
+    I: IntoIterator<Item = (A, B)>,
+    A: Into<String>,
+    B: Into<String>,
+{
+    pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn free_vars_reports_names_and_sorts() {
+        let t = and2(
+            member(var_elem("v1"), var_set("s")),
+            lt(var_int("i"), card(var_set("s"))),
+        );
+        let fv = free_vars(&t);
+        assert_eq!(fv.len(), 3);
+        assert_eq!(fv["v1"], Sort::Elem);
+        assert_eq!(fv["s"], Sort::Set);
+        assert_eq!(fv["i"], Sort::Int);
+    }
+
+    #[test]
+    fn bound_variables_are_not_free() {
+        let t = exists_int(
+            "i",
+            int(0),
+            seq_len(var_seq("q")),
+            eq(seq_at(var_seq("q"), var_int("i")), var_elem("v")),
+        );
+        let fv = free_vars(&t);
+        assert!(fv.contains_key("q"));
+        assert!(fv.contains_key("v"));
+        assert!(!fv.contains_key("i"));
+    }
+
+    #[test]
+    fn substitute_replaces_free_occurrences_only() {
+        let t = exists_int(
+            "i",
+            int(0),
+            var_int("n"),
+            eq(var_int("i"), var_int("x")),
+        );
+        let s = subst_map([("x", int(7)), ("i", int(99)), ("n", int(3))]);
+        let t2 = substitute(&t, &s);
+        // the bound i is untouched, x and n are replaced
+        match &t2 {
+            Term::ExistsInt { hi, body, .. } => {
+                assert_eq!(**hi, int(3));
+                assert_eq!(**body, eq(var_int("i"), int(7)));
+            }
+            _ => panic!("expected quantifier"),
+        }
+    }
+
+    #[test]
+    fn rename_preserves_sorts() {
+        let t = member(var_elem("v"), var_set("s"));
+        let r = rename_map([("v", "v1"), ("s", "sa_contents")]);
+        let t2 = rename_vars(&t, &r);
+        let fv = free_vars(&t2);
+        assert_eq!(fv["v1"], Sort::Elem);
+        assert_eq!(fv["sa_contents"], Sort::Set);
+        assert!(!fv.contains_key("v"));
+    }
+
+    #[test]
+    fn rename_respects_binder_shadowing() {
+        let t = forall_int("i", int(0), int(3), eq(var_int("i"), var_int("j")));
+        let r = rename_map([("i", "k"), ("j", "j2")]);
+        let t2 = rename_vars(&t, &r);
+        match &t2 {
+            Term::ForallInt { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert_eq!(**body, eq(var_int("i"), var_int("j2")));
+            }
+            _ => panic!("expected quantifier"),
+        }
+    }
+}

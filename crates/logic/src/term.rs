@@ -1,0 +1,322 @@
+//! Terms of the specification logic.
+
+use crate::sort::Sort;
+
+/// A typed variable of the specification logic.
+///
+/// Variables carry their sort so that terms are self-describing; the sort
+/// checker ([`crate::ty::sort_of`]) only verifies that all occurrences of the
+/// same name agree.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var {
+    /// The variable name (e.g. `"v1"`, `"sa_contents"`).
+    pub name: String,
+    /// The sort of the variable.
+    pub sort: Sort,
+}
+
+impl Var {
+    /// Creates a new variable with the given name and sort.
+    pub fn new(name: impl Into<String>, sort: Sort) -> Var {
+        Var {
+            name: name.into(),
+            sort,
+        }
+    }
+}
+
+/// A term of the specification logic.
+///
+/// Terms cover boolean connectives, linear integer arithmetic, polymorphic
+/// equality, and the query/update algebra of the three abstract container
+/// sorts (sets, maps, sequences). Partial operations are *totalized* so that
+/// every term evaluates to a value under every model (see [`crate::eval`]):
+///
+/// * `MapGet` returns `null` for absent keys,
+/// * `SeqAt` returns `null` for out-of-range indices,
+/// * `SeqIndexOf` / `SeqLastIndexOf` return `-1` when the element is absent,
+/// * `SeqInsertAt` clamps the index into `[0, len]`, and `SeqRemoveAt` /
+///   `SeqSetAt` leave the sequence unchanged for out-of-range indices.
+///
+/// Proof obligations always carry the operation preconditions as hypotheses,
+/// so these totalizations never influence a verdict about specified behaviour;
+/// they only make the evaluator total, which the finite-model prover relies
+/// on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable occurrence.
+    Var(Var),
+    /// A boolean literal.
+    BoolLit(bool),
+    /// An integer literal.
+    IntLit(i64),
+    /// The `null` object literal.
+    Null,
+
+    /// Logical negation.
+    Not(Box<Term>),
+    /// N-ary conjunction. `And(vec![])` is `true`.
+    And(Vec<Term>),
+    /// N-ary disjunction. `Or(vec![])` is `false`.
+    Or(Vec<Term>),
+    /// Implication.
+    Implies(Box<Term>, Box<Term>),
+    /// Bi-implication.
+    Iff(Box<Term>, Box<Term>),
+    /// If-then-else over terms of any (equal) sort.
+    Ite(Box<Term>, Box<Term>, Box<Term>),
+    /// Polymorphic equality between two terms of the same sort.
+    Eq(Box<Term>, Box<Term>),
+
+    /// Integer addition.
+    Add(Box<Term>, Box<Term>),
+    /// Integer subtraction.
+    Sub(Box<Term>, Box<Term>),
+    /// Integer negation.
+    Neg(Box<Term>),
+    /// Strict less-than on integers.
+    Lt(Box<Term>, Box<Term>),
+    /// Less-than-or-equal on integers.
+    Le(Box<Term>, Box<Term>),
+
+    /// The empty set.
+    EmptySet,
+    /// `set ∪ {elem}`.
+    SetAdd(Box<Term>, Box<Term>),
+    /// `set \ {elem}`.
+    SetRemove(Box<Term>, Box<Term>),
+    /// `elem ∈ set`.
+    Member(Box<Term>, Box<Term>),
+    /// `|set|`.
+    Card(Box<Term>),
+
+    /// The empty map.
+    EmptyMap,
+    /// `map[key := value]`.
+    MapPut(Box<Term>, Box<Term>, Box<Term>),
+    /// `map` with `key` unmapped.
+    MapRemove(Box<Term>, Box<Term>),
+    /// The value `map` associates with `key`, or `null` if `key` is unmapped.
+    MapGet(Box<Term>, Box<Term>),
+    /// `true` iff `key` is mapped by `map`.
+    MapHasKey(Box<Term>, Box<Term>),
+    /// The number of mapped keys.
+    MapSize(Box<Term>),
+
+    /// The empty sequence.
+    EmptySeq,
+    /// `seq` with `elem` inserted at `idx` (everything at `idx` and above
+    /// shifted up by one).
+    SeqInsertAt(Box<Term>, Box<Term>, Box<Term>),
+    /// `seq` with the element at `idx` removed (everything above shifted
+    /// down by one).
+    SeqRemoveAt(Box<Term>, Box<Term>),
+    /// `seq` with the element at `idx` replaced by `elem`.
+    SeqSetAt(Box<Term>, Box<Term>, Box<Term>),
+    /// The element of `seq` at `idx`, or `null` when out of range.
+    SeqAt(Box<Term>, Box<Term>),
+    /// The length of `seq`.
+    SeqLen(Box<Term>),
+    /// The index of the first occurrence of `elem` in `seq`, or `-1`.
+    SeqIndexOf(Box<Term>, Box<Term>),
+    /// The index of the last occurrence of `elem` in `seq`, or `-1`.
+    SeqLastIndexOf(Box<Term>, Box<Term>),
+    /// `true` iff `elem` occurs in `seq`.
+    SeqContains(Box<Term>, Box<Term>),
+
+    /// Bounded universal quantification over integers:
+    /// `∀ var. lo ≤ var < hi → body`.
+    ForallInt {
+        /// The bound variable name (sort `Int`).
+        var: String,
+        /// Inclusive lower bound.
+        lo: Box<Term>,
+        /// Exclusive upper bound.
+        hi: Box<Term>,
+        /// The body, in which `var` may occur free.
+        body: Box<Term>,
+    },
+    /// Bounded existential quantification over integers:
+    /// `∃ var. lo ≤ var < hi ∧ body`.
+    ExistsInt {
+        /// The bound variable name (sort `Int`).
+        var: String,
+        /// Inclusive lower bound.
+        lo: Box<Term>,
+        /// Exclusive upper bound.
+        hi: Box<Term>,
+        /// The body, in which `var` may occur free.
+        body: Box<Term>,
+    },
+}
+
+impl Term {
+    /// Creates a variable term.
+    pub fn var(name: impl Into<String>, sort: Sort) -> Term {
+        Term::Var(Var::new(name, sort))
+    }
+
+    /// Returns `true` if this term is the literal `true`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Term::BoolLit(true)) || matches!(self, Term::And(cs) if cs.is_empty())
+    }
+
+    /// Returns `true` if this term is the literal `false`.
+    pub fn is_false(&self) -> bool {
+        matches!(self, Term::BoolLit(false)) || matches!(self, Term::Or(cs) if cs.is_empty())
+    }
+
+    /// Returns references to the immediate sub-terms of this term.
+    ///
+    /// Quantifier bounds and bodies are included; the bound variable itself is
+    /// not a sub-term.
+    pub fn children(&self) -> Vec<&Term> {
+        use Term::*;
+        match self {
+            Var(_) | BoolLit(_) | IntLit(_) | Null | EmptySet | EmptyMap | EmptySeq => vec![],
+            Not(a) | Neg(a) | Card(a) | MapSize(a) | SeqLen(a) => vec![a],
+            And(cs) | Or(cs) => cs.iter().collect(),
+            Implies(a, b)
+            | Iff(a, b)
+            | Eq(a, b)
+            | Add(a, b)
+            | Sub(a, b)
+            | Lt(a, b)
+            | Le(a, b)
+            | SetAdd(a, b)
+            | SetRemove(a, b)
+            | Member(a, b)
+            | MapRemove(a, b)
+            | MapGet(a, b)
+            | MapHasKey(a, b)
+            | SeqRemoveAt(a, b)
+            | SeqAt(a, b)
+            | SeqIndexOf(a, b)
+            | SeqLastIndexOf(a, b)
+            | SeqContains(a, b) => vec![a, b],
+            Ite(a, b, c) | MapPut(a, b, c) | SeqInsertAt(a, b, c) | SeqSetAt(a, b, c) => {
+                vec![a, b, c]
+            }
+            ForallInt { lo, hi, body, .. } | ExistsInt { lo, hi, body, .. } => vec![lo, hi, body],
+        }
+    }
+
+    /// Rebuilds this term, applying `f` to every immediate sub-term.
+    ///
+    /// The structure (variant, bound variable names) is preserved. This is the
+    /// workhorse used by substitution, normalization, and simplification to
+    /// avoid repeating the full variant match.
+    pub fn map_children(&self, mut f: impl FnMut(&Term) -> Term) -> Term {
+        use Term::*;
+        let b = |t: &Term, f: &mut dyn FnMut(&Term) -> Term| Box::new(f(t));
+        match self {
+            Var(_) | BoolLit(_) | IntLit(_) | Null | EmptySet | EmptyMap | EmptySeq => {
+                self.clone()
+            }
+            Not(a) => Not(b(a, &mut f)),
+            Neg(a) => Neg(b(a, &mut f)),
+            Card(a) => Card(b(a, &mut f)),
+            MapSize(a) => MapSize(b(a, &mut f)),
+            SeqLen(a) => SeqLen(b(a, &mut f)),
+            And(cs) => And(cs.iter().map(&mut f).collect()),
+            Or(cs) => Or(cs.iter().map(&mut f).collect()),
+            Implies(x, y) => Implies(b(x, &mut f), b(y, &mut f)),
+            Iff(x, y) => Iff(b(x, &mut f), b(y, &mut f)),
+            Eq(x, y) => Eq(b(x, &mut f), b(y, &mut f)),
+            Add(x, y) => Add(b(x, &mut f), b(y, &mut f)),
+            Sub(x, y) => Sub(b(x, &mut f), b(y, &mut f)),
+            Lt(x, y) => Lt(b(x, &mut f), b(y, &mut f)),
+            Le(x, y) => Le(b(x, &mut f), b(y, &mut f)),
+            SetAdd(x, y) => SetAdd(b(x, &mut f), b(y, &mut f)),
+            SetRemove(x, y) => SetRemove(b(x, &mut f), b(y, &mut f)),
+            Member(x, y) => Member(b(x, &mut f), b(y, &mut f)),
+            MapRemove(x, y) => MapRemove(b(x, &mut f), b(y, &mut f)),
+            MapGet(x, y) => MapGet(b(x, &mut f), b(y, &mut f)),
+            MapHasKey(x, y) => MapHasKey(b(x, &mut f), b(y, &mut f)),
+            SeqRemoveAt(x, y) => SeqRemoveAt(b(x, &mut f), b(y, &mut f)),
+            SeqAt(x, y) => SeqAt(b(x, &mut f), b(y, &mut f)),
+            SeqIndexOf(x, y) => SeqIndexOf(b(x, &mut f), b(y, &mut f)),
+            SeqLastIndexOf(x, y) => SeqLastIndexOf(b(x, &mut f), b(y, &mut f)),
+            SeqContains(x, y) => SeqContains(b(x, &mut f), b(y, &mut f)),
+            Ite(x, y, z) => Ite(b(x, &mut f), b(y, &mut f), b(z, &mut f)),
+            MapPut(x, y, z) => MapPut(b(x, &mut f), b(y, &mut f), b(z, &mut f)),
+            SeqInsertAt(x, y, z) => SeqInsertAt(b(x, &mut f), b(y, &mut f), b(z, &mut f)),
+            SeqSetAt(x, y, z) => SeqSetAt(b(x, &mut f), b(y, &mut f), b(z, &mut f)),
+            ForallInt { var, lo, hi, body } => ForallInt {
+                var: var.clone(),
+                lo: b(lo, &mut f),
+                hi: b(hi, &mut f),
+                body: b(body, &mut f),
+            },
+            ExistsInt { var, lo, hi, body } => ExistsInt {
+                var: var.clone(),
+                lo: b(lo, &mut f),
+                hi: b(hi, &mut f),
+                body: b(body, &mut f),
+            },
+        }
+    }
+
+    /// Returns the number of nodes in this term (a rough size/complexity
+    /// measure, used in reports and to order prover work).
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Returns the name of the bound variable if this term is a quantifier.
+    pub fn binder(&self) -> Option<&str> {
+        match self {
+            Term::ForallInt { var, .. } | Term::ExistsInt { var, .. } => Some(var),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn true_false_recognition() {
+        assert!(Term::BoolLit(true).is_true());
+        assert!(Term::And(vec![]).is_true());
+        assert!(Term::BoolLit(false).is_false());
+        assert!(Term::Or(vec![]).is_false());
+        assert!(!Term::BoolLit(true).is_false());
+    }
+
+    #[test]
+    fn children_and_map_children_round_trip() {
+        let t = and2(
+            eq(var_elem("v1"), var_elem("v2")),
+            member(var_elem("v1"), set_add(var_set("s"), var_elem("v2"))),
+        );
+        assert_eq!(t.children().len(), 2);
+        let copy = t.map_children(|c| c.clone());
+        assert_eq!(copy, t);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let v = var_elem("v");
+        assert_eq!(v.size(), 1);
+        let t = eq(v.clone(), v);
+        assert_eq!(t.size(), 3);
+    }
+
+    #[test]
+    fn binder_only_on_quantifiers() {
+        let q = exists_int("i", int(0), seq_len(var_seq("s")), tru());
+        assert_eq!(q.binder(), Some("i"));
+        assert_eq!(tru().binder(), None);
+    }
+
+    #[test]
+    fn map_children_preserves_quantifier_binder() {
+        let q = forall_int("i", int(0), int(5), eq(var_int("i"), int(3)));
+        let q2 = q.map_children(|c| c.clone());
+        assert_eq!(q, q2);
+        assert_eq!(q2.binder(), Some("i"));
+    }
+}

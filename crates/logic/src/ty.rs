@@ -1,0 +1,337 @@
+//! Sort checking for terms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::sort::Sort;
+use crate::term::Term;
+
+/// A sort error found while checking a term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortError {
+    /// An operand of an operation had the wrong sort.
+    Mismatch {
+        /// Description of the operation.
+        context: &'static str,
+        /// The expected sort.
+        expected: Sort,
+        /// The sort found.
+        found: Sort,
+    },
+    /// The two sides of an equality / branches of an `Ite` differ in sort.
+    Incomparable(Sort, Sort),
+    /// The same variable name is used at two different sorts.
+    InconsistentVariable {
+        /// The variable name.
+        name: String,
+        /// The first sort observed.
+        first: Sort,
+        /// The conflicting sort.
+        second: Sort,
+    },
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::Mismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "{context}: expected {expected}, found {found}"),
+            SortError::Incomparable(a, b) => write!(f, "incomparable sorts {a} and {b}"),
+            SortError::InconsistentVariable {
+                name,
+                first,
+                second,
+            } => write!(
+                f,
+                "variable `{name}` used at sorts {first} and {second}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SortError {}
+
+struct Checker {
+    vars: BTreeMap<String, Sort>,
+}
+
+impl Checker {
+    fn expect(&mut self, t: &Term, expected: Sort, context: &'static str) -> Result<(), SortError> {
+        let found = self.check(t)?;
+        if found == expected {
+            Ok(())
+        } else {
+            Err(SortError::Mismatch {
+                context,
+                expected,
+                found,
+            })
+        }
+    }
+
+    fn record_var(&mut self, name: &str, sort: Sort) -> Result<(), SortError> {
+        if let Some(&prev) = self.vars.get(name) {
+            if prev != sort {
+                return Err(SortError::InconsistentVariable {
+                    name: name.to_string(),
+                    first: prev,
+                    second: sort,
+                });
+            }
+        } else {
+            self.vars.insert(name.to_string(), sort);
+        }
+        Ok(())
+    }
+
+    fn check(&mut self, t: &Term) -> Result<Sort, SortError> {
+        use Term::*;
+        Ok(match t {
+            Var(v) => {
+                self.record_var(&v.name, v.sort)?;
+                v.sort
+            }
+            BoolLit(_) => Sort::Bool,
+            IntLit(_) => Sort::Int,
+            Null => Sort::Elem,
+
+            Not(a) => {
+                self.expect(a, Sort::Bool, "not")?;
+                Sort::Bool
+            }
+            And(cs) | Or(cs) => {
+                for c in cs {
+                    self.expect(c, Sort::Bool, "and/or")?;
+                }
+                Sort::Bool
+            }
+            Implies(a, b) | Iff(a, b) => {
+                self.expect(a, Sort::Bool, "implies/iff")?;
+                self.expect(b, Sort::Bool, "implies/iff")?;
+                Sort::Bool
+            }
+            Ite(c, x, y) => {
+                self.expect(c, Sort::Bool, "ite condition")?;
+                let sx = self.check(x)?;
+                let sy = self.check(y)?;
+                if sx != sy {
+                    return Err(SortError::Incomparable(sx, sy));
+                }
+                sx
+            }
+            Eq(a, b) => {
+                let sa = self.check(a)?;
+                let sb = self.check(b)?;
+                if sa != sb {
+                    return Err(SortError::Incomparable(sa, sb));
+                }
+                Sort::Bool
+            }
+
+            Add(a, b) | Sub(a, b) => {
+                self.expect(a, Sort::Int, "arithmetic")?;
+                self.expect(b, Sort::Int, "arithmetic")?;
+                Sort::Int
+            }
+            Neg(a) => {
+                self.expect(a, Sort::Int, "negation")?;
+                Sort::Int
+            }
+            Lt(a, b) | Le(a, b) => {
+                self.expect(a, Sort::Int, "comparison")?;
+                self.expect(b, Sort::Int, "comparison")?;
+                Sort::Bool
+            }
+
+            EmptySet => Sort::Set,
+            SetAdd(s, v) | SetRemove(s, v) => {
+                self.expect(s, Sort::Set, "set update")?;
+                self.expect(v, Sort::Elem, "set update")?;
+                Sort::Set
+            }
+            Member(v, s) => {
+                self.expect(v, Sort::Elem, "member")?;
+                self.expect(s, Sort::Set, "member")?;
+                Sort::Bool
+            }
+            Card(s) => {
+                self.expect(s, Sort::Set, "card")?;
+                Sort::Int
+            }
+
+            EmptyMap => Sort::Map,
+            MapPut(m, k, v) => {
+                self.expect(m, Sort::Map, "map put")?;
+                self.expect(k, Sort::Elem, "map put")?;
+                self.expect(v, Sort::Elem, "map put")?;
+                Sort::Map
+            }
+            MapRemove(m, k) => {
+                self.expect(m, Sort::Map, "map remove")?;
+                self.expect(k, Sort::Elem, "map remove")?;
+                Sort::Map
+            }
+            MapGet(m, k) => {
+                self.expect(m, Sort::Map, "map get")?;
+                self.expect(k, Sort::Elem, "map get")?;
+                Sort::Elem
+            }
+            MapHasKey(m, k) => {
+                self.expect(m, Sort::Map, "map has-key")?;
+                self.expect(k, Sort::Elem, "map has-key")?;
+                Sort::Bool
+            }
+            MapSize(m) => {
+                self.expect(m, Sort::Map, "map size")?;
+                Sort::Int
+            }
+
+            EmptySeq => Sort::Seq,
+            SeqInsertAt(s, i, v) | SeqSetAt(s, i, v) => {
+                self.expect(s, Sort::Seq, "seq update")?;
+                self.expect(i, Sort::Int, "seq update")?;
+                self.expect(v, Sort::Elem, "seq update")?;
+                Sort::Seq
+            }
+            SeqRemoveAt(s, i) => {
+                self.expect(s, Sort::Seq, "seq remove-at")?;
+                self.expect(i, Sort::Int, "seq remove-at")?;
+                Sort::Seq
+            }
+            SeqAt(s, i) => {
+                self.expect(s, Sort::Seq, "seq at")?;
+                self.expect(i, Sort::Int, "seq at")?;
+                Sort::Elem
+            }
+            SeqLen(s) => {
+                self.expect(s, Sort::Seq, "seq len")?;
+                Sort::Int
+            }
+            SeqIndexOf(s, v) | SeqLastIndexOf(s, v) => {
+                self.expect(s, Sort::Seq, "seq index-of")?;
+                self.expect(v, Sort::Elem, "seq index-of")?;
+                Sort::Int
+            }
+            SeqContains(s, v) => {
+                self.expect(s, Sort::Seq, "seq contains")?;
+                self.expect(v, Sort::Elem, "seq contains")?;
+                Sort::Bool
+            }
+
+            ForallInt { var, lo, hi, body } | ExistsInt { var, lo, hi, body } => {
+                self.expect(lo, Sort::Int, "quantifier bound")?;
+                self.expect(hi, Sort::Int, "quantifier bound")?;
+                // The bound variable shadows any outer use; check the body in a
+                // scope where `var` has sort Int.
+                let saved = self.vars.insert(var.clone(), Sort::Int);
+                self.expect(body, Sort::Bool, "quantifier body")?;
+                match saved {
+                    Some(s) => {
+                        self.vars.insert(var.clone(), s);
+                    }
+                    None => {
+                        self.vars.remove(var);
+                    }
+                }
+                Sort::Bool
+            }
+        })
+    }
+}
+
+/// Computes the sort of `term`, checking that it is well-sorted and that every
+/// variable name is used at a single sort.
+///
+/// # Errors
+///
+/// Returns a [`SortError`] describing the first problem found.
+pub fn sort_of(term: &Term) -> Result<Sort, SortError> {
+    Checker {
+        vars: BTreeMap::new(),
+    }
+    .check(term)
+}
+
+/// Checks that `term` is a well-sorted formula (sort [`Sort::Bool`]).
+///
+/// # Errors
+///
+/// Returns a [`SortError`] if the term is ill-sorted or not boolean.
+pub fn check_formula(term: &Term) -> Result<(), SortError> {
+    match sort_of(term)? {
+        Sort::Bool => Ok(()),
+        other => Err(SortError::Mismatch {
+            context: "formula",
+            expected: Sort::Bool,
+            found: other,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn well_sorted_formulas() {
+        assert_eq!(sort_of(&tru()).unwrap(), Sort::Bool);
+        assert_eq!(
+            sort_of(&member(var_elem("v"), set_add(var_set("s"), var_elem("v")))).unwrap(),
+            Sort::Bool
+        );
+        assert_eq!(sort_of(&map_get(var_map("m"), var_elem("k"))).unwrap(), Sort::Elem);
+        assert_eq!(sort_of(&seq_index_of(var_seq("q"), var_elem("v"))).unwrap(), Sort::Int);
+        assert!(check_formula(&eq(card(var_set("s")), int(3))).is_ok());
+    }
+
+    #[test]
+    fn ill_sorted_operands_are_rejected() {
+        assert!(matches!(
+            sort_of(&card(var_elem("v"))),
+            Err(SortError::Mismatch { .. })
+        ));
+        assert!(matches!(
+            sort_of(&eq(int(1), tru())),
+            Err(SortError::Incomparable(_, _))
+        ));
+        assert!(check_formula(&int(3)).is_err());
+    }
+
+    #[test]
+    fn inconsistent_variable_sorts_are_rejected() {
+        let t = and2(
+            member(var_elem("x"), var_set("s")),
+            eq(var_int("x"), int(1)),
+        );
+        assert!(matches!(
+            sort_of(&t),
+            Err(SortError::InconsistentVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn quantifier_binder_shadows_outer_sort() {
+        // Outer `i` is an element, inner quantified `i` is an integer: allowed,
+        // because the binder introduces a fresh scope.
+        let t = and2(
+            eq(var_elem("i"), null()),
+            exists_int("i", int(0), int(2), eq(var_int("i"), int(1))),
+        );
+        assert!(check_formula(&t).is_ok());
+    }
+
+    #[test]
+    fn error_display_mentions_details() {
+        let e = SortError::InconsistentVariable {
+            name: "x".into(),
+            first: Sort::Int,
+            second: Sort::Elem,
+        };
+        let s = e.to_string();
+        assert!(s.contains("x") && s.contains("int") && s.contains("obj"));
+    }
+}

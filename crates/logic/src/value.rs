@@ -1,0 +1,254 @@
+//! Concrete values of the specification logic.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::sort::Sort;
+
+/// An opaque object identity.
+///
+/// Elements are the universe over which the abstract sets, maps, and sequences
+/// range. The distinguished [`NULL_ELEM`] plays the role of Java's `null` in
+/// the paper's specifications (operation preconditions typically require
+/// arguments to be non-null; `get` and `put` return `null` to signal an absent
+/// mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ElemId(pub u32);
+
+/// The distinguished `null` object identity.
+pub const NULL_ELEM: ElemId = ElemId(u32::MAX);
+
+impl ElemId {
+    /// Returns `true` if this is the `null` object.
+    pub fn is_null(self) -> bool {
+        self == NULL_ELEM
+    }
+}
+
+impl fmt::Display for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "null")
+        } else {
+            write!(f, "o{}", self.0)
+        }
+    }
+}
+
+/// A concrete value of the specification logic.
+///
+/// Values are what terms evaluate to under a [`crate::Model`]. Collection
+/// values use ordered containers so that `Value` has a total order and a
+/// deterministic `Debug`/`Display` representation, which keeps counterexample
+/// reporting and test output stable.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// An object identity (possibly `null`).
+    Elem(ElemId),
+    /// A finite set of objects — abstract state of the set data structures.
+    Set(BTreeSet<ElemId>),
+    /// A finite partial map — abstract state of the map data structures.
+    Map(BTreeMap<ElemId, ElemId>),
+    /// A finite sequence — abstract state of `ArrayList`.
+    Seq(Vec<ElemId>),
+}
+
+impl Value {
+    /// The sort of this value.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Value::Bool(_) => Sort::Bool,
+            Value::Int(_) => Sort::Int,
+            Value::Elem(_) => Sort::Elem,
+            Value::Set(_) => Sort::Set,
+            Value::Map(_) => Sort::Map,
+            Value::Seq(_) => Sort::Seq,
+        }
+    }
+
+    /// Convenience constructor for a non-null element value.
+    pub fn elem(id: u32) -> Value {
+        Value::Elem(ElemId(id))
+    }
+
+    /// The `null` element value.
+    pub fn null() -> Value {
+        Value::Elem(NULL_ELEM)
+    }
+
+    /// Convenience constructor for a set value.
+    pub fn set_of<I: IntoIterator<Item = ElemId>>(items: I) -> Value {
+        Value::Set(items.into_iter().collect())
+    }
+
+    /// Convenience constructor for a map value.
+    pub fn map_of<I: IntoIterator<Item = (ElemId, ElemId)>>(items: I) -> Value {
+        Value::Map(items.into_iter().collect())
+    }
+
+    /// Convenience constructor for a sequence value.
+    pub fn seq_of<I: IntoIterator<Item = ElemId>>(items: I) -> Value {
+        Value::Seq(items.into_iter().collect())
+    }
+
+    /// Returns the boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the element payload, if this is an element.
+    pub fn as_elem(&self) -> Option<ElemId> {
+        match self {
+            Value::Elem(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Returns the set payload, if this is a set.
+    pub fn as_set(&self) -> Option<&BTreeSet<ElemId>> {
+        match self {
+            Value::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the map payload, if this is a map.
+    pub fn as_map(&self) -> Option<&BTreeMap<ElemId, ElemId>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the sequence payload, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&Vec<ElemId>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Elem(e) => write!(f, "{e}"),
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, e) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Map(m) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in m.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k} -> {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Seq(s) => {
+                write!(f, "[")?;
+                for (i, e) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<ElemId> for Value {
+    fn from(e: ElemId) -> Self {
+        Value::Elem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_null() {
+        assert!(NULL_ELEM.is_null());
+        assert!(!ElemId(0).is_null());
+        assert_eq!(Value::null(), Value::Elem(NULL_ELEM));
+    }
+
+    #[test]
+    fn sorts_of_values() {
+        assert_eq!(Value::Bool(true).sort(), Sort::Bool);
+        assert_eq!(Value::Int(3).sort(), Sort::Int);
+        assert_eq!(Value::elem(1).sort(), Sort::Elem);
+        assert_eq!(Value::set_of([ElemId(1)]).sort(), Sort::Set);
+        assert_eq!(Value::map_of([(ElemId(1), ElemId(2))]).sort(), Sort::Map);
+        assert_eq!(Value::seq_of([ElemId(1)]).sort(), Sort::Seq);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Value::set_of([ElemId(1), ElemId(2)]).to_string(), "{o1, o2}");
+        assert_eq!(
+            Value::map_of([(ElemId(1), ElemId(2))]).to_string(),
+            "{o1 -> o2}"
+        );
+        assert_eq!(Value::seq_of([ElemId(3), NULL_ELEM]).to_string(), "[o3, null]");
+        assert_eq!(Value::null().to_string(), "null");
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::elem(4).as_elem(), Some(ElemId(4)));
+        assert!(Value::Bool(true).as_int().is_none());
+        assert!(Value::set_of([]).as_set().is_some());
+        assert!(Value::map_of([]).as_map().is_some());
+        assert!(Value::seq_of([]).as_seq().is_some());
+    }
+
+    #[test]
+    fn set_deduplicates_and_orders() {
+        let v = Value::set_of([ElemId(2), ElemId(1), ElemId(2)]);
+        assert_eq!(v.as_set().unwrap().len(), 2);
+        assert_eq!(v.to_string(), "{o1, o2}");
+    }
+}

@@ -1,0 +1,280 @@
+//! The finite-model prover: exhaustive counter-model search over the relevant
+//! universe.
+
+use std::time::Instant;
+
+use semcommute_logic::{eval, eval_bool, Model};
+
+use crate::obligation::Obligation;
+use crate::scope::Scope;
+use crate::space::InputSpace;
+use crate::stats::ProofStats;
+use crate::verdict::Verdict;
+
+/// The finite-model prover.
+///
+/// For each candidate model of the obligation's input variables (see
+/// [`InputSpace`]), the prover computes the defined variables by evaluation —
+/// exactly the computation the generated testing method would perform — and
+/// then checks whether all hypotheses hold and the goal fails. If such a model
+/// exists the obligation is invalid and the model is reported; if no candidate
+/// model within the scope is a counter-model, the obligation is reported
+/// valid.
+///
+/// For the counter / set / map fragment the scope-derived universe is
+/// sufficient for this to be a complete decision procedure; for the sequence
+/// fragment validity is relative to the sequence-length scope (reported in the
+/// verdict statistics and by the verification driver).
+#[derive(Debug, Clone, Default)]
+pub struct FiniteModelProver {
+    scope: Scope,
+}
+
+impl FiniteModelProver {
+    /// Creates a prover with the given scope.
+    pub fn new(scope: Scope) -> FiniteModelProver {
+        FiniteModelProver { scope }
+    }
+
+    /// The scope used by this prover.
+    pub fn scope(&self) -> &Scope {
+        &self.scope
+    }
+
+    /// Attempts to prove the obligation by exhaustive counter-model search.
+    pub fn prove(&self, ob: &Obligation) -> Verdict {
+        let start = Instant::now();
+        if let Err(msg) = ob.validate() {
+            return Verdict::Unknown {
+                reason: format!("malformed obligation: {msg}"),
+                stats: ProofStats::finite(0, start.elapsed()),
+            };
+        }
+        let space = InputSpace::from_obligation(ob, self.scope.clone());
+        let estimate = space.estimated_size();
+        if estimate > self.scope.max_models as u128 {
+            return Verdict::Unknown {
+                reason: format!(
+                    "search space of ~{estimate} models exceeds the budget of {}",
+                    self.scope.max_models
+                ),
+                stats: ProofStats::finite(0, start.elapsed()),
+            };
+        }
+
+        let mut checked: u64 = 0;
+        for input in space.iter() {
+            checked += 1;
+            match self.check_model(ob, input) {
+                ModelOutcome::NotApplicable | ModelOutcome::GoalHolds => continue,
+                ModelOutcome::Counterexample(full) => {
+                    return Verdict::CounterModel {
+                        model: full,
+                        stats: ProofStats::finite(checked, start.elapsed()),
+                    }
+                }
+                ModelOutcome::Error(reason) => {
+                    return Verdict::Unknown {
+                        reason,
+                        stats: ProofStats::finite(checked, start.elapsed()),
+                    }
+                }
+            }
+        }
+        Verdict::Valid {
+            stats: ProofStats::finite(checked, start.elapsed()),
+        }
+    }
+
+    fn check_model(&self, ob: &Obligation, mut model: Model) -> ModelOutcome {
+        // Compute the defined variables in order.
+        for (name, term) in &ob.defines {
+            match eval(term, &model) {
+                Ok(value) => {
+                    model.insert(name.clone(), value);
+                }
+                Err(e) => return ModelOutcome::Error(format!("evaluating `{name}`: {e}")),
+            }
+        }
+        // Check the hypotheses.
+        for h in &ob.hypotheses {
+            match eval_bool(h, &model) {
+                Ok(true) => {}
+                Ok(false) => return ModelOutcome::NotApplicable,
+                Err(e) => return ModelOutcome::Error(format!("evaluating hypothesis: {e}")),
+            }
+        }
+        // Check the goal.
+        match eval_bool(&ob.goal, &model) {
+            Ok(true) => ModelOutcome::GoalHolds,
+            Ok(false) => ModelOutcome::Counterexample(model),
+            Err(e) => ModelOutcome::Error(format!("evaluating goal: {e}")),
+        }
+    }
+
+    /// Evaluates the obligation under one explicit input model, returning
+    /// `Some(full_model)` when the model is a counterexample. Used by tests
+    /// and by the runtime crate to replay reported counterexamples.
+    pub fn replay(&self, ob: &Obligation, input: &Model) -> Option<Model> {
+        match self.check_model(ob, input.clone()) {
+            ModelOutcome::Counterexample(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the input model restricted to the obligation's input variables
+    /// from a full counterexample model (inverse of the define computation).
+    pub fn project_inputs(&self, ob: &Obligation, full: &Model) -> Model {
+        let inputs = ob.input_vars();
+        Model::from_bindings(
+            full.iter()
+                .filter(|(name, _)| inputs.contains_key(*name))
+                .map(|(name, value)| (name.to_string(), value.clone())),
+        )
+    }
+}
+
+enum ModelOutcome {
+    /// A hypothesis was violated; the model is irrelevant.
+    NotApplicable,
+    /// Hypotheses and goal all hold.
+    GoalHolds,
+    /// Hypotheses hold but the goal fails: a counterexample.
+    Counterexample(Model),
+    /// Evaluation failed (ill-sorted term or unbounded variable).
+    Error(String),
+}
+
+/// Convenience: prove an obligation with [`Scope::standard`].
+pub fn prove_finite(ob: &Obligation) -> Verdict {
+    FiniteModelProver::new(Scope::standard()).prove(ob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::build::*;
+    use semcommute_logic::Value;
+
+    fn prover() -> FiniteModelProver {
+        FiniteModelProver::new(Scope::small())
+    }
+
+    #[test]
+    fn valid_obligation_is_proved() {
+        // r = (v in s), s1 = s Un {v}  |-  v in s1
+        let ob = Obligation::new("add_membership")
+            .define("r", member(var_elem("v"), var_set("s")))
+            .define("s1", set_add(var_set("s"), var_elem("v")))
+            .goal(member(var_elem("v"), var_set("s1")));
+        let verdict = prover().prove(&ob);
+        assert!(verdict.is_valid(), "{verdict}");
+        assert!(verdict.stats().models_checked > 0);
+    }
+
+    #[test]
+    fn invalid_obligation_yields_counterexample() {
+        // claim: v in s  (false in general)
+        let ob = Obligation::new("bogus").goal(member(var_elem("v"), var_set("s")));
+        let verdict = prover().prove(&ob);
+        let model = verdict.counter_model().expect("counterexample expected");
+        // In the counterexample v is indeed not a member of s.
+        let v = model.get("v").unwrap().as_elem().unwrap();
+        assert!(!model.get("s").unwrap().as_set().unwrap().contains(&v));
+    }
+
+    #[test]
+    fn hypotheses_restrict_the_search() {
+        // Under the hypothesis v in s, the goal v in s holds.
+        let ob = Obligation::new("hyp")
+            .assume(member(var_elem("v"), var_set("s")))
+            .goal(member(var_elem("v"), var_set("s")));
+        assert!(prover().prove(&ob).is_valid());
+    }
+
+    #[test]
+    fn conditional_commutativity_of_add_and_contains() {
+        // Between condition for contains(v1); add(v2):  v1 ~= v2 | r1a
+        // soundness: under the condition, contains returns the same value
+        // before and after the add.
+        let cond = or2(neq(var_elem("v1"), var_elem("v2")), var_bool("r1a"));
+        let ob = Obligation::new("contains_add_between_s")
+            .define("r1a", member(var_elem("v1"), var_set("s")))
+            .define("s_post", set_add(var_set("s"), var_elem("v2")))
+            .define("r1b", member(var_elem("v1"), var_set("s_post")))
+            .assume(cond.clone())
+            .goal(eq(var_bool("r1a"), var_bool("r1b")));
+        assert!(prover().prove(&ob).is_valid());
+
+        // completeness: under the negated condition the return values differ.
+        let ob_c = Obligation::new("contains_add_between_c")
+            .define("r1a", member(var_elem("v1"), var_set("s")))
+            .define("s_post", set_add(var_set("s"), var_elem("v2")))
+            .define("r1b", member(var_elem("v1"), var_set("s_post")))
+            .assume(not(cond))
+            .goal(neq(var_bool("r1a"), var_bool("r1b")));
+        assert!(prover().prove(&ob_c).is_valid());
+
+        // Without the condition, soundness fails and the counterexample has
+        // v1 = v2 with v1 not in s.
+        let ob_bad = Obligation::new("contains_add_unconditional")
+            .define("r1a", member(var_elem("v1"), var_set("s")))
+            .define("s_post", set_add(var_set("s"), var_elem("v2")))
+            .define("r1b", member(var_elem("v1"), var_set("s_post")))
+            .goal(eq(var_bool("r1a"), var_bool("r1b")));
+        let verdict = prover().prove(&ob_bad);
+        let model = verdict.counter_model().expect("counterexample expected");
+        assert_eq!(model.get("v1"), model.get("v2"));
+        assert_eq!(model.get("r1a"), Some(&Value::Bool(false)));
+        assert_eq!(model.get("r1b"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let tiny = Scope {
+            max_models: 1,
+            ..Scope::small()
+        };
+        let ob = Obligation::new("budget")
+            .goal(eq(var_set("s"), var_set("t")));
+        let verdict = FiniteModelProver::new(tiny).prove(&ob);
+        assert!(verdict.is_unknown());
+    }
+
+    #[test]
+    fn malformed_obligation_reports_unknown() {
+        let ob = Obligation::new("cyclic").define("x", add(var_int("x"), int(1)));
+        assert!(prover().prove(&ob).is_unknown());
+    }
+
+    #[test]
+    fn eval_error_reports_unknown() {
+        // ill-sorted goal: card of an element
+        let ob = Obligation::new("illsorted").goal(eq(card(var_elem("v")), int(0)));
+        assert!(prover().prove(&ob).is_unknown());
+    }
+
+    #[test]
+    fn replay_and_project_round_trip() {
+        let ob = Obligation::new("bogus")
+            .define("r", member(var_elem("v"), var_set("s")))
+            .goal(var_bool("r"));
+        let p = prover();
+        let verdict = p.prove(&ob);
+        let full = verdict.counter_model().unwrap();
+        let inputs = p.project_inputs(&ob, full);
+        assert!(inputs.contains("v") && inputs.contains("s") && !inputs.contains("r"));
+        let replayed = p.replay(&ob, &inputs).expect("still a counterexample");
+        assert_eq!(replayed.get("r"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn integer_reasoning_within_scope() {
+        // counter' = c + v; counter'' = counter' - v; goal counter'' = c
+        let ob = Obligation::new("inverse_increase")
+            .define("c1", add(var_int("c"), var_int("v")))
+            .define("c2", sub(var_int("c1"), var_int("v")))
+            .goal(eq(var_int("c2"), var_int("c")));
+        assert!(prover().prove(&ob).is_valid());
+    }
+}

@@ -1,0 +1,63 @@
+//! Proof obligations and decision procedures for the `semcommute` verifier.
+//!
+//! This crate plays the role of Jahob's "integrated reasoning" back-end in the
+//! original paper: the commutativity / inverse testing methods are symbolically
+//! executed (by `semcommute-core`) into [`Obligation`]s, and this crate decides
+//! them. Two cooperating provers are provided, mirroring the paper's portfolio
+//! of reasoning systems:
+//!
+//! * a **structural prover** ([`structural`]) that inlines the functional
+//!   definitions produced by symbolic execution, normalizes set/sequence update
+//!   chains, and simplifies — it discharges the obligations that are valid for
+//!   purely algebraic reasons (a large part of the catalog), and
+//! * a **finite-model prover** ([`finite`]) that exhaustively searches for a
+//!   counter-model over a *relevant universe* derived from the obligation
+//!   ([`scope`], [`space`]). For the counter / set / map fragment the derived
+//!   universe is large enough that the search is a sound and complete decision
+//!   procedure; for the sequence (ArrayList) fragment the sequence length is an
+//!   explicit, reported scope parameter (the analog of the paper's observation
+//!   that ArrayList obligations need extra help).
+//!
+//! The [`portfolio`] module combines the two (structural first, then
+//! finite-model), and [`hints`] implements the three Jahob proof-language
+//! commands the paper uses for the 57 hard ArrayList methods: `note`,
+//! `assuming`, and `pickWitness`.
+//!
+//! # Example
+//!
+//! ```
+//! use semcommute_logic::build::*;
+//! use semcommute_prover::{Obligation, Portfolio};
+//!
+//! // hypotheses: r = (v2 in s),  s' = s Un {v2}
+//! // goal:       v2 in s'
+//! let ob = Obligation::new("add_establishes_membership")
+//!     .define("r", member(var_elem("v2"), var_set("s")))
+//!     .define("s_post", set_add(var_set("s"), var_elem("v2")))
+//!     .goal(member(var_elem("v2"), var_set("s_post")));
+//! let verdict = Portfolio::default().prove(&ob);
+//! assert!(verdict.is_valid());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod finite;
+pub mod hints;
+pub mod obligation;
+pub mod portfolio;
+pub mod scope;
+pub mod space;
+pub mod stats;
+pub mod structural;
+pub mod verdict;
+
+pub use finite::FiniteModelProver;
+pub use hints::{apply_hints, Hint};
+pub use obligation::Obligation;
+pub use portfolio::Portfolio;
+pub use stats::ProverChoice;
+pub use scope::Scope;
+pub use space::InputSpace;
+pub use stats::ProofStats;
+pub use verdict::Verdict;

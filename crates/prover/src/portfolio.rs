@@ -1,0 +1,203 @@
+//! The prover portfolio: structural prover first, finite-model prover second.
+//!
+//! This mirrors the paper's "integrated reasoning" architecture, in which an
+//! obligation is dispatched to a collection of cooperating reasoning systems
+//! and the first conclusive answer wins.
+
+use crate::finite::FiniteModelProver;
+use crate::hints::{apply_hints, Hint, HintError};
+use crate::obligation::Obligation;
+use crate::scope::Scope;
+use crate::stats::{ProofStats, ProverChoice};
+use crate::structural::prove_structural;
+use crate::verdict::Verdict;
+
+pub use crate::stats::ProverChoice as Choice;
+
+/// The combined prover.
+#[derive(Debug, Clone)]
+pub struct Portfolio {
+    scope: Scope,
+    use_structural: bool,
+    use_finite: bool,
+}
+
+impl Default for Portfolio {
+    fn default() -> Self {
+        Portfolio::standard()
+    }
+}
+
+impl Portfolio {
+    /// Creates a portfolio with the given scope and both back-ends enabled.
+    pub fn new(scope: Scope) -> Portfolio {
+        Portfolio {
+            scope,
+            use_structural: true,
+            use_finite: true,
+        }
+    }
+
+    /// Creates a portfolio with the standard scope.
+    pub fn standard() -> Portfolio {
+        Portfolio::new(Scope::standard())
+    }
+
+    /// Creates a portfolio with the small (test) scope.
+    pub fn small() -> Portfolio {
+        Portfolio::new(Scope::small())
+    }
+
+    /// Disables the structural prover (used by the prover-ablation benchmark).
+    pub fn without_structural(mut self) -> Portfolio {
+        self.use_structural = false;
+        self
+    }
+
+    /// Disables the finite-model prover (structural only; many obligations
+    /// will come back `Unknown`).
+    pub fn without_finite(mut self) -> Portfolio {
+        self.use_finite = false;
+        self
+    }
+
+    /// The scope used by the finite-model back-end.
+    pub fn scope(&self) -> &Scope {
+        &self.scope
+    }
+
+    /// Replaces the scope.
+    pub fn with_scope(mut self, scope: Scope) -> Portfolio {
+        self.scope = scope;
+        self
+    }
+
+    /// Attempts to prove an obligation.
+    pub fn prove(&self, ob: &Obligation) -> Verdict {
+        if self.use_structural {
+            if let Some(stats) = prove_structural(ob) {
+                return Verdict::Valid { stats };
+            }
+        }
+        if self.use_finite {
+            FiniteModelProver::new(self.scope.clone()).prove(ob)
+        } else {
+            Verdict::Unknown {
+                reason: "structural prover could not decide and the finite-model prover is disabled"
+                    .to_string(),
+                stats: ProofStats {
+                    models_checked: 0,
+                    elapsed: std::time::Duration::ZERO,
+                    prover: ProverChoice::Structural,
+                },
+            }
+        }
+    }
+
+    /// Attempts to prove an obligation that carries proof hints.
+    ///
+    /// All side obligations introduced by the hints must be valid; their
+    /// statistics are accumulated into the returned verdict. If a side
+    /// obligation fails, its verdict is returned (with the side obligation's
+    /// name available through the failing obligation).
+    pub fn prove_with_hints(&self, ob: &Obligation, hints: &[Hint]) -> Result<Verdict, HintError> {
+        let hinted = apply_hints(ob, hints)?;
+        let mut accumulated = ProofStats::none();
+        for side in &hinted.side_obligations {
+            let verdict = self.prove(side);
+            accumulated.merge(verdict.stats());
+            if !verdict.is_valid() {
+                let mut verdict = verdict;
+                *verdict.stats_mut() = accumulated;
+                return Ok(verdict);
+            }
+        }
+        let mut verdict = self.prove(&hinted.main);
+        accumulated.merge(verdict.stats());
+        *verdict.stats_mut() = accumulated;
+        Ok(verdict)
+    }
+}
+
+/// Identifies which back-end proved an obligation (re-exported name used by
+/// reports).
+pub type ProverChoiceReport = ProverChoice;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::build::*;
+
+    fn add_add_obligation() -> Obligation {
+        Obligation::new("add_add")
+            .define(
+                "s1",
+                set_add(set_add(var_set("s"), var_elem("v1")), var_elem("v2")),
+            )
+            .define(
+                "s2",
+                set_add(set_add(var_set("s"), var_elem("v2")), var_elem("v1")),
+            )
+            .goal(eq(var_set("s1"), var_set("s2")))
+    }
+
+    #[test]
+    fn structural_obligations_avoid_model_search() {
+        let verdict = Portfolio::small().prove(&add_add_obligation());
+        assert!(verdict.is_valid());
+        assert_eq!(verdict.stats().prover, ProverChoice::Structural);
+        assert_eq!(verdict.stats().models_checked, 0);
+    }
+
+    #[test]
+    fn ablation_without_structural_still_valid_but_slower() {
+        let verdict = Portfolio::small()
+            .without_structural()
+            .prove(&add_add_obligation());
+        assert!(verdict.is_valid());
+        assert_eq!(verdict.stats().prover, ProverChoice::FiniteModel);
+        assert!(verdict.stats().models_checked > 0);
+    }
+
+    #[test]
+    fn structural_only_reports_unknown_when_undecided() {
+        let ob = Obligation::new("needs_models").goal(member(var_elem("v"), var_set("s")));
+        let verdict = Portfolio::small().without_finite().prove(&ob);
+        assert!(verdict.is_unknown());
+    }
+
+    #[test]
+    fn counterexamples_pass_through() {
+        let ob = Obligation::new("bogus").goal(member(var_elem("v"), var_set("s")));
+        let verdict = Portfolio::small().prove(&ob);
+        assert!(verdict.is_counterexample());
+    }
+
+    #[test]
+    fn hints_accumulate_statistics() {
+        let ob = Obligation::new("t")
+            .define("s1", set_add(var_set("s"), var_elem("v")))
+            .goal(member(var_elem("v"), var_set("s1")));
+        let hints = vec![Hint::Note(member(var_elem("v"), var_set("s1")))];
+        let verdict = Portfolio::small().prove_with_hints(&ob, &hints).unwrap();
+        assert!(verdict.is_valid());
+        // Both the side obligation and the main obligation were attempted.
+        assert!(verdict.stats().models_checked > 0 || verdict.stats().prover != ProverChoice::None);
+    }
+
+    #[test]
+    fn failing_side_obligation_is_reported() {
+        let ob = Obligation::new("t").goal(tru());
+        // A bogus note: claims v is always in s.
+        let hints = vec![Hint::Note(member(var_elem("v"), var_set("s")))];
+        let verdict = Portfolio::small().prove_with_hints(&ob, &hints).unwrap();
+        assert!(verdict.is_counterexample());
+    }
+
+    #[test]
+    fn with_scope_changes_budget() {
+        let p = Portfolio::small().with_scope(Scope::small().with_max_models(1));
+        let ob = Obligation::new("budget").goal(eq(var_map("m"), var_map("n")));
+        assert!(p.prove(&ob).is_unknown());
+    }
+}

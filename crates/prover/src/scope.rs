@@ -1,0 +1,128 @@
+//! Scope (bound) configuration for the finite-model prover.
+
+/// Bounds for the finite-model search.
+///
+/// The relevant-universe argument (see the crate documentation and DESIGN.md)
+/// says that for the counter / set / map fragment a counter-model, if one
+/// exists, exists within a universe consisting of the obligation's named
+/// element variables plus a small number of anonymous "padding" elements, with
+/// collections containing at most a few entries beyond the named ones. The
+/// scope records those paddings, plus the explicit sequence-length and integer
+/// bounds used for the ArrayList fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scope {
+    /// Number of anonymous elements added to the universe beyond the named
+    /// element variables of the obligation.
+    pub elem_padding: usize,
+    /// Maximum number of entries enumerated for set- and map-valued input
+    /// variables (named elements always fit; this bounds anonymous content).
+    pub max_collection_entries: usize,
+    /// Maximum length enumerated for sequence-valued input variables.
+    pub max_seq_len: usize,
+    /// Inclusive lower bound for integer-valued input variables that are not
+    /// recognizable as sequence indices.
+    pub int_min: i64,
+    /// Inclusive upper bound for integer-valued input variables.
+    pub int_max: i64,
+    /// Upper bound on the number of candidate models examined before the
+    /// prover gives up with an `Unknown` verdict. Guards against accidental
+    /// combinatorial explosions; the driver reports when it is hit.
+    pub max_models: u64,
+}
+
+impl Scope {
+    /// The default verification scope used by the catalog driver.
+    pub fn standard() -> Scope {
+        Scope {
+            elem_padding: 2,
+            max_collection_entries: 4,
+            max_seq_len: 4,
+            int_min: -2,
+            int_max: 5,
+            max_models: 50_000_000,
+        }
+    }
+
+    /// A small scope for fast unit tests and counterexample demos.
+    pub fn small() -> Scope {
+        Scope {
+            elem_padding: 1,
+            max_collection_entries: 3,
+            max_seq_len: 3,
+            int_min: -1,
+            int_max: 4,
+            max_models: 5_000_000,
+        }
+    }
+
+    /// A scope tuned for sequence-heavy (ArrayList) obligations: same element
+    /// padding as [`Scope::standard`] but integer bounds wide enough to cover
+    /// every index position of a maximal sequence plus one out-of-range value
+    /// on each side.
+    pub fn sequences(max_seq_len: usize) -> Scope {
+        Scope {
+            elem_padding: 2,
+            max_collection_entries: max_seq_len,
+            max_seq_len,
+            int_min: -1,
+            int_max: max_seq_len as i64 + 1,
+            max_models: 200_000_000,
+        }
+    }
+
+    /// Returns a copy with a different model budget.
+    pub fn with_max_models(mut self, max_models: u64) -> Scope {
+        self.max_models = max_models;
+        self
+    }
+
+    /// Returns a copy with a different sequence length bound (and matching
+    /// integer bounds).
+    pub fn with_max_seq_len(mut self, max_seq_len: usize) -> Scope {
+        self.max_seq_len = max_seq_len;
+        self.int_max = self.int_max.max(max_seq_len as i64 + 1);
+        self
+    }
+}
+
+impl Default for Scope {
+    fn default() -> Self {
+        Scope::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_standard() {
+        assert_eq!(Scope::default(), Scope::standard());
+    }
+
+    #[test]
+    fn small_is_smaller_than_standard() {
+        let s = Scope::small();
+        let d = Scope::standard();
+        assert!(s.elem_padding <= d.elem_padding);
+        assert!(s.max_collection_entries <= d.max_collection_entries);
+        assert!(s.max_seq_len <= d.max_seq_len);
+        assert!(s.max_models <= d.max_models);
+    }
+
+    #[test]
+    fn sequences_scope_covers_all_indices() {
+        let s = Scope::sequences(5);
+        assert_eq!(s.max_seq_len, 5);
+        assert!(s.int_min <= -1);
+        assert!(s.int_max >= 6);
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let s = Scope::small().with_max_models(10).with_max_seq_len(6);
+        assert_eq!(s.max_models, 10);
+        assert_eq!(s.max_seq_len, 6);
+        assert!(s.int_max >= 7);
+    }
+}

@@ -1,0 +1,422 @@
+//! Enumeration of candidate models over the relevant universe of an
+//! obligation.
+//!
+//! The finite-model prover searches for a counter-model of an obligation by
+//! enumerating assignments to the obligation's *input* variables only (defined
+//! variables are computed by evaluation). The enumeration is symmetry-reduced:
+//! element-sorted variables are assigned *partition patterns* (which variables
+//! are equal, which are `null`) rather than raw identities, because the logic
+//! cannot distinguish isomorphic renamings of the element universe.
+//!
+//! For each partition pattern the *universe* is the set of element classes
+//! named by the pattern plus [`Scope::elem_padding`] anonymous elements;
+//! collection-valued inputs are enumerated over that universe, bounded by
+//! [`Scope::max_collection_entries`] / [`Scope::max_seq_len`].
+
+use std::collections::BTreeMap;
+
+use semcommute_logic::{ElemId, Model, Sort, Value, NULL_ELEM};
+
+use crate::obligation::Obligation;
+use crate::scope::Scope;
+
+/// The search space of candidate models for one obligation.
+#[derive(Debug, Clone)]
+pub struct InputSpace {
+    scope: Scope,
+    elem_vars: Vec<String>,
+    other_vars: Vec<(String, Sort)>,
+}
+
+impl InputSpace {
+    /// Builds the input space for an explicit set of variables.
+    pub fn new(vars: &BTreeMap<String, Sort>, scope: Scope) -> InputSpace {
+        let mut elem_vars = Vec::new();
+        let mut other_vars = Vec::new();
+        for (name, sort) in vars {
+            if *sort == Sort::Elem {
+                elem_vars.push(name.clone());
+            } else {
+                other_vars.push((name.clone(), *sort));
+            }
+        }
+        InputSpace {
+            scope,
+            elem_vars,
+            other_vars,
+        }
+    }
+
+    /// Builds the input space of an obligation (its input variables under the
+    /// given scope).
+    pub fn from_obligation(ob: &Obligation, scope: Scope) -> InputSpace {
+        InputSpace::new(&ob.input_vars(), scope)
+    }
+
+    /// The scope used by this space.
+    pub fn scope(&self) -> &Scope {
+        &self.scope
+    }
+
+    /// The element-sorted input variables (assigned via partition patterns).
+    pub fn elem_vars(&self) -> &[String] {
+        &self.elem_vars
+    }
+
+    /// The non-element input variables.
+    pub fn other_vars(&self) -> &[(String, Sort)] {
+        &self.other_vars
+    }
+
+    /// All element-variable partition patterns: for each variable, either
+    /// `null` or an equivalence-class representative. Patterns are generated
+    /// as restricted-growth strings so that isomorphic assignments appear
+    /// exactly once.
+    fn elem_assignments(&self) -> Vec<Vec<ElemId>> {
+        let n = self.elem_vars.len();
+        let mut out = Vec::new();
+        // assignment[i] = 0 means null, k >= 1 means class k.
+        let mut current = vec![0u32; n];
+        fn rec(i: usize, max_class: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<ElemId>>) {
+            if i == current.len() {
+                out.push(
+                    current
+                        .iter()
+                        .map(|&c| if c == 0 { NULL_ELEM } else { ElemId(c) })
+                        .collect(),
+                );
+                return;
+            }
+            for choice in 0..=(max_class + 1) {
+                current[i] = choice;
+                let new_max = max_class.max(choice);
+                rec(i + 1, new_max, current, out);
+            }
+        }
+        rec(0, 0, &mut current, &mut out);
+        out
+    }
+
+    /// The collection universe for a given element assignment: the classes
+    /// used by the assignment plus `elem_padding` anonymous elements.
+    fn universe(&self, assignment: &[ElemId]) -> Vec<ElemId> {
+        let mut max_class = 0u32;
+        for e in assignment {
+            if !e.is_null() {
+                max_class = max_class.max(e.0);
+            }
+        }
+        let total = max_class as usize + self.scope.elem_padding;
+        (1..=total as u32).map(ElemId).collect()
+    }
+
+    /// Candidate values for a non-element variable over a given universe.
+    fn candidates(&self, sort: Sort, universe: &[ElemId]) -> Vec<Value> {
+        match sort {
+            Sort::Bool => vec![Value::Bool(false), Value::Bool(true)],
+            Sort::Int => (self.scope.int_min..=self.scope.int_max)
+                .map(Value::Int)
+                .collect(),
+            Sort::Elem => universe
+                .iter()
+                .map(|&e| Value::Elem(e))
+                .chain(std::iter::once(Value::Elem(NULL_ELEM)))
+                .collect(),
+            Sort::Set => subsets_up_to(universe, self.scope.max_collection_entries)
+                .into_iter()
+                .map(|s| Value::Set(s.into_iter().collect()))
+                .collect(),
+            Sort::Map => {
+                let mut out = Vec::new();
+                for keys in subsets_up_to(universe, self.scope.max_collection_entries) {
+                    let mut partial: Vec<BTreeMap<ElemId, ElemId>> = vec![BTreeMap::new()];
+                    for k in &keys {
+                        let mut next = Vec::new();
+                        for m in &partial {
+                            for &v in universe {
+                                let mut m2 = m.clone();
+                                m2.insert(*k, v);
+                                next.push(m2);
+                            }
+                        }
+                        partial = next;
+                    }
+                    out.extend(partial.into_iter().map(Value::Map));
+                }
+                out
+            }
+            Sort::Seq => {
+                let mut out: Vec<Vec<ElemId>> = vec![vec![]];
+                let mut frontier: Vec<Vec<ElemId>> = vec![vec![]];
+                for _ in 0..self.scope.max_seq_len {
+                    let mut next = Vec::new();
+                    for s in &frontier {
+                        for &e in universe {
+                            let mut s2 = s.clone();
+                            s2.push(e);
+                            next.push(s2);
+                        }
+                    }
+                    out.extend(next.iter().cloned());
+                    frontier = next;
+                }
+                out.into_iter().map(Value::Seq).collect()
+            }
+        }
+    }
+
+    /// An estimate of the number of candidate models (used for reporting and
+    /// for the `max_models` budget check).
+    pub fn estimated_size(&self) -> u128 {
+        let mut total: u128 = 0;
+        for assignment in self.elem_assignments() {
+            let universe = self.universe(&assignment);
+            let mut per: u128 = 1;
+            for (_, sort) in &self.other_vars {
+                per = per.saturating_mul(self.candidates(*sort, &universe).len() as u128);
+            }
+            total = total.saturating_add(per);
+        }
+        total.max(1)
+    }
+
+    /// Iterates over all candidate models in the space.
+    pub fn iter(&self) -> SpaceIter<'_> {
+        SpaceIter::new(self)
+    }
+}
+
+/// Generates all subsets of `universe` with at most `max_len` elements.
+fn subsets_up_to(universe: &[ElemId], max_len: usize) -> Vec<Vec<ElemId>> {
+    let mut out: Vec<Vec<ElemId>> = vec![vec![]];
+    for &e in universe {
+        let mut additions = Vec::new();
+        for s in &out {
+            if s.len() < max_len {
+                let mut s2 = s.clone();
+                s2.push(e);
+                additions.push(s2);
+            }
+        }
+        out.extend(additions);
+    }
+    out
+}
+
+/// Iterator over the candidate models of an [`InputSpace`].
+pub struct SpaceIter<'a> {
+    space: &'a InputSpace,
+    elem_assignments: Vec<Vec<ElemId>>,
+    elem_index: usize,
+    /// Candidate values for each non-element variable under the current
+    /// element assignment.
+    candidates: Vec<Vec<Value>>,
+    /// Odometer positions into `candidates`.
+    positions: Vec<usize>,
+    exhausted_current: bool,
+}
+
+impl<'a> SpaceIter<'a> {
+    fn new(space: &'a InputSpace) -> SpaceIter<'a> {
+        let elem_assignments = space.elem_assignments();
+        let mut it = SpaceIter {
+            space,
+            elem_assignments,
+            elem_index: 0,
+            candidates: Vec::new(),
+            positions: Vec::new(),
+            exhausted_current: true,
+        };
+        it.load_current();
+        it
+    }
+
+    fn load_current(&mut self) {
+        if self.elem_index >= self.elem_assignments.len() {
+            return;
+        }
+        let universe = self.space.universe(&self.elem_assignments[self.elem_index]);
+        self.candidates = self
+            .space
+            .other_vars
+            .iter()
+            .map(|(_, sort)| self.space.candidates(*sort, &universe))
+            .collect();
+        self.positions = vec![0; self.candidates.len()];
+        self.exhausted_current = self.candidates.iter().any(|c| c.is_empty());
+    }
+
+    fn current_model(&self) -> Model {
+        let mut m = Model::new();
+        let assignment = &self.elem_assignments[self.elem_index];
+        for (name, value) in self.space.elem_vars.iter().zip(assignment) {
+            m.insert(name.clone(), Value::Elem(*value));
+        }
+        for ((name, _), (cands, &pos)) in self
+            .space
+            .other_vars
+            .iter()
+            .zip(self.candidates.iter().zip(&self.positions))
+        {
+            m.insert(name.clone(), cands[pos].clone());
+        }
+        m
+    }
+
+    fn advance(&mut self) {
+        // Advance the odometer; on overflow move to the next element
+        // assignment.
+        for i in (0..self.positions.len()).rev() {
+            self.positions[i] += 1;
+            if self.positions[i] < self.candidates[i].len() {
+                return;
+            }
+            self.positions[i] = 0;
+        }
+        self.elem_index += 1;
+        self.load_current();
+    }
+}
+
+impl Iterator for SpaceIter<'_> {
+    type Item = Model;
+
+    fn next(&mut self) -> Option<Model> {
+        loop {
+            if self.elem_index >= self.elem_assignments.len() {
+                return None;
+            }
+            if self.exhausted_current {
+                // A variable had no candidates (cannot happen with the current
+                // sorts, but handled defensively).
+                self.elem_index += 1;
+                self.load_current();
+                continue;
+            }
+            let model = self.current_model();
+            // `advance` either moves the odometer or loads the next element
+            // assignment; when the odometer has a single state (no other
+            // vars), it must still move on.
+            if self.positions.is_empty() {
+                self.elem_index += 1;
+                self.load_current();
+            } else {
+                self.advance();
+            }
+            return Some(model);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::build::*;
+
+    fn vars(pairs: &[(&str, Sort)]) -> BTreeMap<String, Sort> {
+        pairs.iter().map(|(n, s)| (n.to_string(), *s)).collect()
+    }
+
+    #[test]
+    fn empty_space_yields_one_model() {
+        let space = InputSpace::new(&BTreeMap::new(), Scope::small());
+        let models: Vec<Model> = space.iter().collect();
+        assert_eq!(models.len(), 1);
+        assert!(models[0].is_empty());
+    }
+
+    #[test]
+    fn single_bool_var_yields_two_models() {
+        let space = InputSpace::new(&vars(&[("b", Sort::Bool)]), Scope::small());
+        assert_eq!(space.iter().count(), 2);
+        assert_eq!(space.estimated_size(), 2);
+    }
+
+    #[test]
+    fn elem_vars_are_symmetry_reduced() {
+        // Two element variables: null/null, null/c1, c1/null, c1=c1, c1!=c2.
+        let space = InputSpace::new(&vars(&[("a", Sort::Elem), ("b", Sort::Elem)]), Scope::small());
+        let models: Vec<Model> = space.iter().collect();
+        assert_eq!(models.len(), 5);
+        // At least one model has a == b != null and one has a != b.
+        let same = models.iter().any(|m| {
+            m.get("a") == m.get("b") && m.get("a").unwrap().as_elem() != Some(NULL_ELEM)
+        });
+        let diff = models.iter().any(|m| {
+            m.get("a") != m.get("b")
+                && m.get("a").unwrap().as_elem() != Some(NULL_ELEM)
+                && m.get("b").unwrap().as_elem() != Some(NULL_ELEM)
+        });
+        assert!(same && diff);
+    }
+
+    #[test]
+    fn set_candidates_cover_membership_patterns() {
+        let space = InputSpace::new(
+            &vars(&[("v", Sort::Elem), ("s", Sort::Set)]),
+            Scope::small(),
+        );
+        let models: Vec<Model> = space.iter().collect();
+        // There is a model where v is in s and one where it is not.
+        let member = models.iter().any(|m| {
+            let v = m.get("v").unwrap().as_elem().unwrap();
+            !v.is_null() && m.get("s").unwrap().as_set().unwrap().contains(&v)
+        });
+        let non_member = models.iter().any(|m| {
+            let v = m.get("v").unwrap().as_elem().unwrap();
+            !v.is_null() && !m.get("s").unwrap().as_set().unwrap().contains(&v)
+        });
+        assert!(member && non_member);
+    }
+
+    #[test]
+    fn map_candidates_are_bounded() {
+        let scope = Scope::small();
+        let space = InputSpace::new(&vars(&[("m", Sort::Map)]), scope.clone());
+        for model in space.iter() {
+            let m = model.get("m").unwrap().as_map().unwrap();
+            assert!(m.len() <= scope.max_collection_entries);
+        }
+    }
+
+    #[test]
+    fn seq_candidates_are_bounded() {
+        let scope = Scope::small();
+        let space = InputSpace::new(&vars(&[("q", Sort::Seq)]), scope.clone());
+        let mut max_len = 0;
+        for model in space.iter() {
+            max_len = max_len.max(model.get("q").unwrap().as_seq().unwrap().len());
+        }
+        assert_eq!(max_len, scope.max_seq_len);
+    }
+
+    #[test]
+    fn estimated_size_matches_iteration_for_small_spaces() {
+        let space = InputSpace::new(
+            &vars(&[("v", Sort::Elem), ("b", Sort::Bool), ("i", Sort::Int)]),
+            Scope::small(),
+        );
+        assert_eq!(space.estimated_size(), space.iter().count() as u128);
+    }
+
+    #[test]
+    fn from_obligation_uses_input_vars_only() {
+        let ob = Obligation::new("t")
+            .define("r", member(var_elem("v"), var_set("s")))
+            .goal(var_bool("r"));
+        let space = InputSpace::from_obligation(&ob, Scope::small());
+        assert_eq!(space.elem_vars(), &["v".to_string()]);
+        assert_eq!(space.other_vars().len(), 1);
+        assert_eq!(space.other_vars()[0].0, "s");
+    }
+
+    #[test]
+    fn int_candidates_respect_scope_bounds() {
+        let scope = Scope::small();
+        let space = InputSpace::new(&vars(&[("i", Sort::Int)]), scope.clone());
+        for model in space.iter() {
+            let i = model.get("i").unwrap().as_int().unwrap();
+            assert!(i >= scope.int_min && i <= scope.int_max);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Proof statistics and prover identification.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Which back-end produced a verdict.
+///
+/// The paper's verifier dispatches obligations to a portfolio of reasoning
+/// systems (first-order provers, SMT solvers, MONA, BAPA); our portfolio has a
+/// structural prover and a finite-model prover, plus the proof-hint machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProverChoice {
+    /// No prover has produced the verdict (e.g. the obligation was rejected
+    /// before any back-end ran).
+    None,
+    /// The structural (inline + normalize + simplify) prover.
+    Structural,
+    /// The finite-model (relevant-universe enumeration) prover.
+    FiniteModel,
+}
+
+impl fmt::Display for ProverChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProverChoice::None => "none",
+            ProverChoice::Structural => "structural",
+            ProverChoice::FiniteModel => "finite-model",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Statistics about a proof attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProofStats {
+    /// Number of candidate models examined by the finite-model prover
+    /// (zero when the structural prover decided the obligation).
+    pub models_checked: u64,
+    /// Wall-clock time spent on the obligation.
+    pub elapsed: Duration,
+    /// Which back-end produced the verdict.
+    pub prover: ProverChoice,
+}
+
+impl ProofStats {
+    /// Statistics for a structurally decided obligation.
+    pub fn structural(elapsed: Duration) -> ProofStats {
+        ProofStats {
+            models_checked: 0,
+            elapsed,
+            prover: ProverChoice::Structural,
+        }
+    }
+
+    /// Statistics for a finite-model decided obligation.
+    pub fn finite(models_checked: u64, elapsed: Duration) -> ProofStats {
+        ProofStats {
+            models_checked,
+            elapsed,
+            prover: ProverChoice::FiniteModel,
+        }
+    }
+
+    /// Empty statistics (no prover ran).
+    pub fn none() -> ProofStats {
+        ProofStats {
+            models_checked: 0,
+            elapsed: Duration::ZERO,
+            prover: ProverChoice::None,
+        }
+    }
+
+    /// Merges another set of statistics into this one (summing counters and
+    /// times, keeping the "stronger" prover label).
+    pub fn merge(&mut self, other: &ProofStats) {
+        self.models_checked += other.models_checked;
+        self.elapsed += other.elapsed;
+        if other.prover > self.prover {
+            self.prover = other.prover;
+        }
+    }
+}
+
+impl Default for ProofStats {
+    fn default() -> Self {
+        ProofStats::none()
+    }
+}
+
+impl fmt::Display for ProofStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} models, {:.3}s)",
+            self.prover,
+            self.models_checked,
+            self.elapsed.as_secs_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_prover() {
+        assert_eq!(ProofStats::structural(Duration::ZERO).prover, ProverChoice::Structural);
+        assert_eq!(ProofStats::finite(5, Duration::ZERO).models_checked, 5);
+        assert_eq!(ProofStats::none().prover, ProverChoice::None);
+        assert_eq!(ProofStats::default(), ProofStats::none());
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = ProofStats::structural(Duration::from_millis(10));
+        let b = ProofStats::finite(100, Duration::from_millis(20));
+        a.merge(&b);
+        assert_eq!(a.models_checked, 100);
+        assert_eq!(a.elapsed, Duration::from_millis(30));
+        assert_eq!(a.prover, ProverChoice::FiniteModel);
+    }
+
+    #[test]
+    fn display_mentions_prover_and_counts() {
+        let s = ProofStats::finite(42, Duration::from_millis(1)).to_string();
+        assert!(s.contains("finite-model"));
+        assert!(s.contains("42"));
+    }
+}

@@ -1,0 +1,96 @@
+//! The coarse-grained locking baseline.
+//!
+//! The simplest correct way to run transactions over a shared data structure
+//! is to hold one mutex for the whole transaction. It needs no commutativity
+//! information and no rollback, but it serializes *all* transactions — even
+//! ones whose operations semantically commute. The benchmark suite compares
+//! this baseline against the commutativity-aware [`crate::SpeculativeRuntime`]
+//! to reproduce the motivation of Chapter 1: exploiting commuting operations
+//! increases the amount of exploitable parallelism.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use semcommute_logic::Value;
+use semcommute_spec::AbstractState;
+
+use crate::structure::{AnyStructure, DispatchError};
+
+/// A shared data structure protected by a single transaction-scoped lock.
+#[derive(Clone)]
+pub struct CoarseLockRuntime {
+    structure: Arc<Mutex<AnyStructure>>,
+}
+
+/// A handle on the locked structure for the duration of one transaction.
+pub struct CoarseTransaction<'a> {
+    guard: parking_lot::MutexGuard<'a, AnyStructure>,
+}
+
+impl CoarseLockRuntime {
+    /// Wraps a concrete data structure.
+    pub fn new(structure: AnyStructure) -> CoarseLockRuntime {
+        CoarseLockRuntime {
+            structure: Arc::new(Mutex::new(structure)),
+        }
+    }
+
+    /// Runs a whole transaction while holding the lock.
+    pub fn run_transaction<T>(&self, body: impl FnOnce(&mut CoarseTransaction<'_>) -> T) -> T {
+        let guard = self.structure.lock();
+        let mut txn = CoarseTransaction { guard };
+        body(&mut txn)
+    }
+
+    /// The current abstract state.
+    pub fn snapshot(&self) -> AbstractState {
+        self.structure.lock().abstract_state()
+    }
+}
+
+impl CoarseTransaction<'_> {
+    /// Executes one operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DispatchError`] if the operation is unknown or its
+    /// arguments are invalid.
+    pub fn execute(&mut self, op: &str, args: &[Value]) -> Result<Option<Value>, DispatchError> {
+        self.guard.apply(op, args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::ElemId;
+
+    #[test]
+    fn transactions_are_serialized_but_correct() {
+        let rt = CoarseLockRuntime::new(AnyStructure::by_name("HashSet").unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let rt = rt.clone();
+                scope.spawn(move || {
+                    for i in 0..25u32 {
+                        rt.run_transaction(|txn| {
+                            txn.execute("add", &[Value::elem(t * 25 + i + 1)]).unwrap();
+                            txn.execute("size", &[]).unwrap();
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            rt.snapshot(),
+            AbstractState::Set((1..=100).map(ElemId).collect())
+        );
+    }
+
+    #[test]
+    fn errors_are_propagated_to_the_caller() {
+        let rt = CoarseLockRuntime::new(AnyStructure::by_name("ArrayList").unwrap());
+        let result = rt.run_transaction(|txn| txn.execute("get", &[Value::Int(3)]));
+        assert!(result.is_err());
+    }
+}

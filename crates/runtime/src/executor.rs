@@ -1,0 +1,403 @@
+//! The speculative transaction executor.
+//!
+//! Transactions execute operations on a shared data structure optimistically:
+//! before an operation runs, the commutativity gatekeeper checks (using the
+//! verified *between* conditions) that it semantically commutes with every
+//! operation executed by other uncommitted transactions. If it does, the
+//! operation executes and is logged together with its return value and
+//! pre-state; if it does not, the transaction observes a conflict and aborts,
+//! rolling back its own logged operations with the verified *inverse*
+//! operations. Because all interleaved operations of concurrent transactions
+//! pairwise commute at the abstract level, the committed execution is
+//! equivalent to some serial execution of the committed transactions — the
+//! correctness argument the paper's client systems rely on.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use semcommute_logic::Value;
+use semcommute_spec::AbstractState;
+
+use crate::gatekeeper::{CommutativityGatekeeper, Conflict};
+use crate::log::{LogEntry, OperationLog};
+use crate::rollback::InverseRollback;
+use crate::structure::{AnyStructure, DispatchError};
+
+/// An error observed by a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// The operation does not commute with an uncommitted operation of
+    /// another transaction; the transaction should abort (and typically
+    /// retry).
+    Conflict(Conflict),
+    /// The operation itself was rejected (unknown name, bad argument).
+    Dispatch(String),
+    /// The transaction has already been committed or aborted.
+    Finished,
+    /// The retry budget of [`SpeculativeRuntime::run`] was exhausted.
+    RetriesExhausted,
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Conflict(c) => write!(f, "conflict: {c}"),
+            TxnError::Dispatch(e) => write!(f, "operation rejected: {e}"),
+            TxnError::Finished => write!(f, "transaction already finished"),
+            TxnError::RetriesExhausted => write!(f, "retry budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+impl From<DispatchError> for TxnError {
+    fn from(e: DispatchError) -> Self {
+        TxnError::Dispatch(e.to_string())
+    }
+}
+
+/// Execution statistics of a [`SpeculativeRuntime`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted transactions.
+    pub aborts: u64,
+    /// Conflicts detected by the gatekeeper.
+    pub conflicts: u64,
+    /// Operations executed (including those later rolled back).
+    pub operations: u64,
+}
+
+struct Shared {
+    structure: Mutex<AnyStructure>,
+    log: Mutex<OperationLog>,
+    gatekeeper: CommutativityGatekeeper,
+    rollback: InverseRollback,
+    next_txn: AtomicU64,
+    stats: Mutex<RuntimeStats>,
+}
+
+/// A shared data structure with optimistic, commutativity-aware transactions.
+#[derive(Clone)]
+pub struct SpeculativeRuntime {
+    shared: Arc<Shared>,
+}
+
+impl SpeculativeRuntime {
+    /// Wraps a concrete data structure for speculative access.
+    pub fn new(structure: AnyStructure) -> SpeculativeRuntime {
+        let interface = structure.interface();
+        SpeculativeRuntime {
+            shared: Arc::new(Shared {
+                structure: Mutex::new(structure),
+                log: Mutex::new(OperationLog::new()),
+                gatekeeper: CommutativityGatekeeper::new(interface),
+                rollback: InverseRollback::new(interface),
+                next_txn: AtomicU64::new(1),
+                stats: Mutex::new(RuntimeStats::default()),
+            }),
+        }
+    }
+
+    /// Begins a new transaction.
+    pub fn begin(&self) -> Transaction {
+        Transaction {
+            runtime: self.clone(),
+            id: self.shared.next_txn.fetch_add(1, Ordering::Relaxed),
+            finished: false,
+        }
+    }
+
+    /// Runs a transaction body, retrying on conflicts up to `max_retries`
+    /// times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::RetriesExhausted`] if the body keeps conflicting,
+    /// or the body's own error if it fails for a non-conflict reason.
+    pub fn run<T>(
+        &self,
+        max_retries: usize,
+        mut body: impl FnMut(&mut Transaction) -> Result<T, TxnError>,
+    ) -> Result<T, TxnError> {
+        for _ in 0..=max_retries {
+            let mut txn = self.begin();
+            match body(&mut txn) {
+                Ok(value) => {
+                    txn.commit();
+                    return Ok(value);
+                }
+                Err(TxnError::Conflict(_)) => {
+                    txn.abort();
+                    std::thread::yield_now();
+                }
+                Err(other) => {
+                    txn.abort();
+                    return Err(other);
+                }
+            }
+        }
+        Err(TxnError::RetriesExhausted)
+    }
+
+    /// The current abstract state of the shared structure.
+    pub fn snapshot(&self) -> AbstractState {
+        self.shared.structure.lock().abstract_state()
+    }
+
+    /// Checks the representation invariant of the shared structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.shared.structure.lock().check_invariants()
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> RuntimeStats {
+        *self.shared.stats.lock()
+    }
+
+    /// The number of operations currently logged by uncommitted transactions.
+    pub fn pending_operations(&self) -> usize {
+        self.shared.log.lock().len()
+    }
+}
+
+/// An optimistic transaction on a [`SpeculativeRuntime`].
+pub struct Transaction {
+    runtime: SpeculativeRuntime,
+    id: u64,
+    finished: bool,
+}
+
+impl Transaction {
+    /// The transaction identifier.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Executes one operation inside the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::Conflict`] if the operation does not commute with
+    /// an operation of another uncommitted transaction (the caller should
+    /// abort), or [`TxnError::Dispatch`] if the operation itself is invalid.
+    pub fn execute(&mut self, op: &str, args: &[Value]) -> Result<Option<Value>, TxnError> {
+        if self.finished {
+            return Err(TxnError::Finished);
+        }
+        let shared = &self.runtime.shared;
+        // Take the structure lock first, then the log lock, everywhere, so the
+        // lock order is consistent.
+        let mut structure = shared.structure.lock();
+        let mut log = shared.log.lock();
+        if let Err(conflict) = shared.gatekeeper.admit(&log, self.id, op, args) {
+            shared.stats.lock().conflicts += 1;
+            return Err(TxnError::Conflict(conflict));
+        }
+        let pre_state = structure.abstract_state();
+        let result = structure.apply(op, args)?;
+        log.record(LogEntry {
+            txn: self.id,
+            op: op.to_string(),
+            args: args.to_vec(),
+            result: result.clone(),
+            pre_state,
+        });
+        shared.stats.lock().operations += 1;
+        Ok(result)
+    }
+
+    /// Commits the transaction: its operations become permanent and stop
+    /// constraining other transactions.
+    pub fn commit(mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        let shared = &self.runtime.shared;
+        let _structure = shared.structure.lock();
+        shared.log.lock().remove_transaction(self.id);
+        shared.stats.lock().commits += 1;
+    }
+
+    /// Aborts the transaction: its operations are rolled back with the
+    /// verified inverse operations, newest first.
+    pub fn abort(mut self) {
+        self.finished = true;
+        self.rollback();
+    }
+
+    fn rollback(&mut self) {
+        let shared = &self.runtime.shared;
+        let mut structure = shared.structure.lock();
+        let entries = shared.log.lock().remove_transaction(self.id);
+        if !entries.is_empty() {
+            shared
+                .rollback
+                .undo(&mut structure, &entries)
+                .expect("verified inverses always apply");
+        }
+        shared.stats.lock().aborts += 1;
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.rollback();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::ElemId;
+
+    fn set_runtime() -> SpeculativeRuntime {
+        SpeculativeRuntime::new(AnyStructure::by_name("HashSet").unwrap())
+    }
+
+    #[test]
+    fn commuting_transactions_interleave_and_commit() {
+        let rt = set_runtime();
+        let mut t1 = rt.begin();
+        let mut t2 = rt.begin();
+        // Interleaved adds of distinct elements commute.
+        t1.execute("add", &[Value::elem(1)]).unwrap();
+        t2.execute("add", &[Value::elem(2)]).unwrap();
+        t1.execute("add", &[Value::elem(3)]).unwrap();
+        t1.commit();
+        t2.commit();
+        let state = rt.snapshot();
+        assert_eq!(
+            state,
+            AbstractState::Set([ElemId(1), ElemId(2), ElemId(3)].into_iter().collect())
+        );
+        let stats = rt.stats();
+        assert_eq!(stats.commits, 2);
+        assert_eq!(stats.conflicts, 0);
+        assert_eq!(rt.pending_operations(), 0);
+    }
+
+    #[test]
+    fn conflicting_operation_is_detected_and_abort_rolls_back() {
+        let rt = set_runtime();
+        let mut t1 = rt.begin();
+        let mut t2 = rt.begin();
+        t1.execute("add", &[Value::elem(5)]).unwrap();
+        // Removing the element t1 speculatively added does not commute.
+        let err = t2.execute("remove", &[Value::elem(5)]).unwrap_err();
+        assert!(matches!(err, TxnError::Conflict(_)));
+        // t2 aborts (it executed nothing), t1 aborts too: its add is undone.
+        t2.abort();
+        t1.abort();
+        assert_eq!(rt.snapshot(), AbstractState::Set(Default::default()));
+        let stats = rt.stats();
+        assert_eq!(stats.aborts, 2);
+        assert_eq!(stats.conflicts, 1);
+    }
+
+    #[test]
+    fn dropped_transaction_rolls_back_automatically() {
+        let rt = set_runtime();
+        {
+            let mut t = rt.begin();
+            t.execute("add", &[Value::elem(9)]).unwrap();
+            // dropped without commit
+        }
+        assert_eq!(rt.snapshot(), AbstractState::Set(Default::default()));
+        assert_eq!(rt.stats().aborts, 1);
+    }
+
+    #[test]
+    fn run_retries_until_the_conflicting_transaction_finishes() {
+        let rt = set_runtime();
+        let mut t1 = rt.begin();
+        t1.execute("add", &[Value::elem(1)]).unwrap();
+        // A competing transaction that wants to remove element 1 conflicts
+        // while t1 is live…
+        let attempt = rt.run(0, |txn| {
+            txn.execute("remove", &[Value::elem(1)]).map(|_| ())
+        });
+        assert!(matches!(attempt, Err(TxnError::RetriesExhausted)));
+        // …but succeeds once t1 commits.
+        t1.commit();
+        rt.run(3, |txn| txn.execute("remove", &[Value::elem(1)]).map(|_| ()))
+            .unwrap();
+        assert_eq!(rt.snapshot(), AbstractState::Set(Default::default()));
+    }
+
+    #[test]
+    fn parallel_disjoint_insertions_produce_the_union() {
+        let rt = set_runtime();
+        let threads = 4;
+        let per_thread = 50u32;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let rt = rt.clone();
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let element = Value::elem(t * per_thread + i + 1);
+                        rt.run(16, |txn| {
+                            txn.execute("add", &[element.clone()])?;
+                            txn.execute("contains", &[element.clone()])
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let state = rt.snapshot();
+        assert_eq!(
+            state,
+            AbstractState::Set((1..=threads * per_thread).map(ElemId).collect())
+        );
+        assert!(rt.check_invariants().is_ok());
+        assert_eq!(rt.stats().commits as u32, threads * per_thread);
+    }
+
+    #[test]
+    fn finished_transactions_reject_further_operations() {
+        let rt = set_runtime();
+        let mut t = rt.begin();
+        t.execute("add", &[Value::elem(1)]).unwrap();
+        let id = t.id();
+        assert!(id > 0);
+        t.commit();
+        let mut t2 = rt.begin();
+        t2.execute("add", &[Value::elem(2)]).unwrap();
+        t2.abort();
+        // After abort, only the committed element remains.
+        assert_eq!(
+            rt.snapshot(),
+            AbstractState::Set([ElemId(1)].into_iter().collect())
+        );
+    }
+
+    #[test]
+    fn map_runtime_detects_key_conflicts() {
+        let rt = SpeculativeRuntime::new(AnyStructure::by_name("HashTable").unwrap());
+        let mut t1 = rt.begin();
+        let mut t2 = rt.begin();
+        t1.execute("put", &[Value::elem(1), Value::elem(10)]).unwrap();
+        // Different key: fine.
+        t2.execute("put", &[Value::elem(2), Value::elem(20)]).unwrap();
+        // Same key: conflict.
+        assert!(matches!(
+            t2.execute("get", &[Value::elem(1)]),
+            Err(TxnError::Conflict(_))
+        ));
+        t1.commit();
+        t2.commit();
+    }
+}

@@ -1,0 +1,222 @@
+//! The commutativity gatekeeper: dynamic conflict detection using the
+//! verified between conditions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use semcommute_core::concrete::{evaluate, ConditionContext};
+use semcommute_core::{interface_catalog, CommutativityCondition, ConditionKind};
+use semcommute_logic::Value;
+use semcommute_spec::InterfaceId;
+
+use crate::log::{LogEntry, OperationLog};
+
+/// A detected conflict: the incoming operation does not semantically commute
+/// with an operation another in-flight transaction has already executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// The transaction whose logged operation the incoming operation
+    /// conflicts with.
+    pub with_txn: u64,
+    /// The logged operation.
+    pub logged_op: String,
+    /// The incoming operation.
+    pub incoming_op: String,
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` does not commute with `{}` executed by transaction {}",
+            self.incoming_op, self.logged_op, self.with_txn
+        )
+    }
+}
+
+/// Dynamic commutativity checking for one interface.
+///
+/// The gatekeeper holds the *between* conditions of the interface (for the
+/// recorded variants — the runtime always records return values so that
+/// inverse operations can be applied later) and evaluates them against the
+/// run-time information captured in the operation log. This is the
+/// "forward gatekeeper" usage scenario of the paper's related-work
+/// discussion: before executing an operation, check that it commutes with
+/// every operation executed by other uncommitted transactions.
+#[derive(Debug, Clone)]
+pub struct CommutativityGatekeeper {
+    interface: InterfaceId,
+    /// Between conditions for recorded variants, keyed by
+    /// (first operation, second operation).
+    conditions: HashMap<(String, String), CommutativityCondition>,
+}
+
+impl CommutativityGatekeeper {
+    /// Builds the gatekeeper for an interface from the verified catalog.
+    pub fn new(interface: InterfaceId) -> CommutativityGatekeeper {
+        let mut conditions = HashMap::new();
+        for condition in interface_catalog(interface) {
+            if condition.kind == ConditionKind::Between
+                && condition.first.recorded
+                && condition.second.recorded
+            {
+                conditions.insert(
+                    (condition.first.op.clone(), condition.second.op.clone()),
+                    condition,
+                );
+            }
+        }
+        CommutativityGatekeeper {
+            interface,
+            conditions,
+        }
+    }
+
+    /// The interface this gatekeeper serves.
+    pub fn interface(&self) -> InterfaceId {
+        self.interface
+    }
+
+    /// The between condition for an ordered operation pair.
+    pub fn condition(&self, first_op: &str, second_op: &str) -> Option<&CommutativityCondition> {
+        self.conditions
+            .get(&(first_op.to_string(), second_op.to_string()))
+    }
+
+    /// Does the incoming operation commute with one logged operation?
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the pair is unknown or the condition cannot be
+    /// evaluated from the logged information.
+    pub fn commutes_with(
+        &self,
+        logged: &LogEntry,
+        incoming_op: &str,
+        incoming_args: &[Value],
+    ) -> Result<bool, String> {
+        let condition = self
+            .condition(&logged.op, incoming_op)
+            .ok_or_else(|| format!("no condition for pair {}/{incoming_op}", logged.op))?;
+        let ctx = ConditionContext {
+            first_args: logged.args.clone(),
+            second_args: incoming_args.to_vec(),
+            initial_state: Some(logged.pre_state.clone()),
+            intermediate_state: None,
+            final_state: None,
+            first_result: logged.result.clone(),
+            second_result: None,
+        };
+        evaluate(condition, &ctx)
+    }
+
+    /// Checks an incoming operation of transaction `txn` against every logged
+    /// operation of *other* transactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Conflict`] found. Evaluation problems are treated
+    /// conservatively as conflicts (the operation will be retried or the
+    /// transaction aborted).
+    pub fn admit(
+        &self,
+        log: &OperationLog,
+        txn: u64,
+        incoming_op: &str,
+        incoming_args: &[Value],
+    ) -> Result<(), Conflict> {
+        for logged in log.entries_of_others(txn) {
+            let commutes = self
+                .commutes_with(logged, incoming_op, incoming_args)
+                .unwrap_or(false);
+            if !commutes {
+                return Err(Conflict {
+                    with_txn: logged.txn,
+                    logged_op: logged.op.clone(),
+                    incoming_op: incoming_op.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_spec::AbstractState;
+
+    fn set_entry(txn: u64, op: &str, arg: u32, result: bool, state: &[u32]) -> LogEntry {
+        LogEntry {
+            txn,
+            op: op.to_string(),
+            args: vec![Value::elem(arg)],
+            result: Some(Value::Bool(result)),
+            pre_state: AbstractState::Set(
+                state.iter().map(|&i| semcommute_logic::ElemId(i)).collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn gatekeeper_has_conditions_for_all_recorded_pairs() {
+        let g = CommutativityGatekeeper::new(InterfaceId::Set);
+        for first in ["add", "contains", "remove", "size"] {
+            for second in ["add", "contains", "remove", "size"] {
+                assert!(g.condition(first, second).is_some(), "{first}/{second}");
+            }
+        }
+        assert_eq!(g.interface(), InterfaceId::Set);
+    }
+
+    #[test]
+    fn distinct_elements_commute_same_element_conflicts() {
+        let g = CommutativityGatekeeper::new(InterfaceId::Set);
+        let mut log = OperationLog::new();
+        // Transaction 1 added element 5, which was new (result = true).
+        log.record(set_entry(1, "add", 5, true, &[]));
+
+        // Transaction 2 adding a different element commutes.
+        assert!(g.admit(&log, 2, "add", &[Value::elem(7)]).is_ok());
+        // Transaction 2 removing the element transaction 1 just added does
+        // not commute.
+        let conflict = g.admit(&log, 2, "remove", &[Value::elem(5)]).unwrap_err();
+        assert_eq!(conflict.with_txn, 1);
+        assert_eq!(conflict.logged_op, "add");
+        assert!(conflict.to_string().contains("does not commute"));
+        // The same transaction is never in conflict with itself.
+        assert!(g.admit(&log, 1, "remove", &[Value::elem(5)]).is_ok());
+    }
+
+    #[test]
+    fn contains_conflicts_only_when_observation_would_change() {
+        let g = CommutativityGatekeeper::new(InterfaceId::Set);
+        let mut log = OperationLog::new();
+        // Transaction 1 observed that 3 was present (result = true, and 3 was
+        // in the pre-state).
+        log.record(set_entry(1, "contains", 3, true, &[3]));
+        // Adding 3 again commutes (it was already present).
+        assert!(g.admit(&log, 2, "add", &[Value::elem(3)]).is_ok());
+        // Removing 3 would invalidate the observation.
+        assert!(g.admit(&log, 2, "remove", &[Value::elem(3)]).is_err());
+    }
+
+    #[test]
+    fn map_gatekeeper_uses_key_based_conditions() {
+        let g = CommutativityGatekeeper::new(InterfaceId::Map);
+        let mut log = OperationLog::new();
+        log.record(LogEntry {
+            txn: 1,
+            op: "put".into(),
+            args: vec![Value::elem(1), Value::elem(10)],
+            result: Some(Value::null()),
+            pre_state: AbstractState::Map(Default::default()),
+        });
+        // A put to a different key commutes.
+        assert!(g
+            .admit(&log, 2, "put", &[Value::elem(2), Value::elem(20)])
+            .is_ok());
+        // A get of the same key does not.
+        assert!(g.admit(&log, 2, "get", &[Value::elem(1)]).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Speculative-execution runtime built on the verified commutativity
+//! conditions and inverse operations.
+//!
+//! Chapter 1 of the paper motivates the verified artifacts with optimistic
+//! parallel systems (Galois-style irregular parallelism, transaction
+//! monitors): such systems
+//!
+//! 1. dynamically detect whether a speculatively executed operation
+//!    *semantically commutes* with the operations other in-flight
+//!    transactions have already executed (using **between** commutativity
+//!    conditions), and
+//! 2. roll back the operations of an aborted transaction with **inverse
+//!    operations**, which restore the abstract state without saving and
+//!    restoring the whole structure.
+//!
+//! This crate implements that client system:
+//!
+//! * [`AnyStructure`] — a uniform handle over the six concrete data
+//!   structures (dispatching operation names to the trait implementations and
+//!   exposing the abstraction function),
+//! * [`OperationLog`] — the per-transaction log of executed operations with
+//!   their arguments, recorded return values, and pre-states,
+//! * [`gatekeeper`] — the dynamic commutativity check driven by the verified
+//!   between conditions,
+//! * [`SpeculativeRuntime`] / [`Transaction`] — optimistic transactions with
+//!   commutativity-based conflict detection and inverse-based rollback,
+//! * [`CoarseLockRuntime`] — the baseline that serializes whole transactions
+//!   with one lock, and
+//! * [`rollback`] — inverse-based vs. snapshot-based rollback, the comparison
+//!   behind the paper's efficiency claim for inverse operations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod executor;
+pub mod gatekeeper;
+pub mod log;
+pub mod rollback;
+pub mod structure;
+
+pub use baseline::CoarseLockRuntime;
+pub use executor::{SpeculativeRuntime, Transaction, TxnError};
+pub use gatekeeper::{CommutativityGatekeeper, Conflict};
+pub use log::{LogEntry, OperationLog};
+pub use rollback::{InverseRollback, SnapshotRollback};
+pub use structure::AnyStructure;

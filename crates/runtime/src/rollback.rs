@@ -1,0 +1,279 @@
+//! Rolling back speculative operations: inverse operations vs. snapshots.
+//!
+//! Section 1.3 of the paper argues that executing verified inverse operations
+//! "can be substantially more efficient than alternate approaches (such as
+//! pessimistically saving the data structure state before operations execute,
+//! then restoring the state)". This module provides both mechanisms so that
+//! the benchmark suite can reproduce that comparison:
+//!
+//! * [`InverseRollback`] undoes a transaction's logged operations, newest
+//!   first, by invoking the verified inverse of each (cost proportional to
+//!   the number of operations to undo);
+//! * [`SnapshotRollback`] captures the whole abstract state up front and
+//!   rebuilds the structure from it on abort (cost proportional to the size
+//!   of the data structure, paid even when no abort happens).
+
+use std::collections::HashMap;
+
+use semcommute_core::{inverse_catalog, InverseOperation};
+use semcommute_logic::ElemId;
+use semcommute_spec::{AbstractState, InterfaceId};
+
+use crate::log::LogEntry;
+use crate::structure::AnyStructure;
+
+/// Inverse-operation-based rollback for one interface.
+#[derive(Debug, Clone)]
+pub struct InverseRollback {
+    inverses: HashMap<String, InverseOperation>,
+}
+
+impl InverseRollback {
+    /// Builds the rollback helper from the verified inverse catalog
+    /// (Table 5.10).
+    pub fn new(interface: InterfaceId) -> InverseRollback {
+        let inverses = inverse_catalog()
+            .into_iter()
+            .filter(|inv| inv.interface == interface)
+            .map(|inv| (inv.op.clone(), inv))
+            .collect();
+        InverseRollback { inverses }
+    }
+
+    /// The inverse for an operation, if the operation updates the state.
+    pub fn inverse_of(&self, op: &str) -> Option<&InverseOperation> {
+        self.inverses.get(op)
+    }
+
+    /// Undoes the given log entries (a single transaction's operations),
+    /// newest first, by applying inverse operations to the structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if an inverse call is rejected by the structure —
+    /// which cannot happen for entries produced by the speculative runtime
+    /// (the inverse preconditions are verified).
+    pub fn undo(&self, structure: &mut AnyStructure, entries: &[LogEntry]) -> Result<(), String> {
+        for entry in entries.iter().rev() {
+            let Some(inverse) = self.inverses.get(&entry.op) else {
+                // Observer operations change nothing and need no undo.
+                continue;
+            };
+            let Some((op, args)) = inverse.concrete_call(&entry.args, entry.result.as_ref()) else {
+                // Nothing to undo (e.g. `add` returned false).
+                continue;
+            };
+            structure
+                .apply(&op, &args)
+                .map_err(|e| format!("rolling back `{}` with `{op}`: {e}", entry.op))?;
+        }
+        Ok(())
+    }
+}
+
+/// Snapshot-based rollback: save the abstract state, restore it on demand.
+#[derive(Debug, Clone)]
+pub struct SnapshotRollback {
+    snapshot: AbstractState,
+    name: &'static str,
+}
+
+impl SnapshotRollback {
+    /// Captures the abstract state of a structure.
+    pub fn capture(structure: &AnyStructure) -> SnapshotRollback {
+        SnapshotRollback {
+            snapshot: structure.abstract_state(),
+            name: structure.name(),
+        }
+    }
+
+    /// The captured abstract state.
+    pub fn snapshot(&self) -> &AbstractState {
+        &self.snapshot
+    }
+
+    /// Restores the captured state by rebuilding the structure from scratch.
+    pub fn restore(&self) -> AnyStructure {
+        rebuild(self.name, &self.snapshot)
+    }
+}
+
+/// Rebuilds a concrete structure of the given kind holding the given abstract
+/// state.
+pub fn rebuild(name: &str, state: &AbstractState) -> AnyStructure {
+    use semcommute_logic::Value;
+    let mut structure = AnyStructure::by_name(name).expect("known structure name");
+    match state {
+        AbstractState::Counter(c) => {
+            structure
+                .apply("increase", &[Value::Int(*c)])
+                .expect("increase accepts any amount");
+        }
+        AbstractState::Set(elems) => {
+            for &e in elems {
+                structure
+                    .apply("add", &[Value::Elem(e)])
+                    .expect("add accepts non-null elements");
+            }
+        }
+        AbstractState::Map(pairs) => {
+            for (&k, &v) in pairs {
+                structure
+                    .apply("put", &[Value::Elem(k), Value::Elem(v)])
+                    .expect("put accepts non-null keys and values");
+            }
+        }
+        AbstractState::List(items) => {
+            for (i, &e) in items.iter().enumerate() {
+                structure
+                    .apply("addAt", &[Value::Int(i as i64), Value::Elem(e)])
+                    .expect("addAt accepts in-range indices");
+            }
+        }
+    }
+    structure
+}
+
+/// Convenience used by tests and benchmarks: a set-shaped abstract state.
+pub fn set_state(ids: impl IntoIterator<Item = u32>) -> AbstractState {
+    AbstractState::Set(ids.into_iter().map(ElemId).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::Value;
+
+    fn logged(op: &str, args: Vec<Value>, result: Option<Value>, pre: AbstractState) -> LogEntry {
+        LogEntry {
+            txn: 1,
+            op: op.to_string(),
+            args,
+            result,
+            pre_state: pre,
+        }
+    }
+
+    #[test]
+    fn inverse_rollback_restores_the_abstract_state() {
+        let mut s = AnyStructure::by_name("HashSet").unwrap();
+        s.apply("add", &[Value::elem(1)]).unwrap();
+        let before = s.abstract_state();
+
+        // Execute two operations and log them.
+        let pre1 = s.abstract_state();
+        let r1 = s.apply("add", &[Value::elem(2)]).unwrap();
+        let pre2 = s.abstract_state();
+        let r2 = s.apply("remove", &[Value::elem(1)]).unwrap();
+        let entries = vec![
+            logged("add", vec![Value::elem(2)], r1, pre1),
+            logged("remove", vec![Value::elem(1)], r2, pre2),
+        ];
+
+        let rollback = InverseRollback::new(InterfaceId::Set);
+        rollback.undo(&mut s, &entries).unwrap();
+        assert_eq!(s.abstract_state(), before);
+        assert!(s.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn inverse_rollback_skips_noop_updates_and_observers() {
+        let mut s = AnyStructure::by_name("ListSet").unwrap();
+        s.apply("add", &[Value::elem(4)]).unwrap();
+        let before = s.abstract_state();
+        let pre = s.abstract_state();
+        // Adding an element that is already present returns false: nothing to
+        // undo. A contains observation also needs no undo.
+        let r = s.apply("add", &[Value::elem(4)]).unwrap();
+        let rc = s.apply("contains", &[Value::elem(4)]).unwrap();
+        let entries = vec![
+            logged("add", vec![Value::elem(4)], r, pre.clone()),
+            logged("contains", vec![Value::elem(4)], rc, pre),
+        ];
+        InverseRollback::new(InterfaceId::Set)
+            .undo(&mut s, &entries)
+            .unwrap();
+        assert_eq!(s.abstract_state(), before);
+    }
+
+    #[test]
+    fn inverse_rollback_handles_maps_and_lists() {
+        // Map: put over an existing key must restore the old value.
+        let mut m = AnyStructure::by_name("HashTable").unwrap();
+        m.apply("put", &[Value::elem(1), Value::elem(10)]).unwrap();
+        let before = m.abstract_state();
+        let pre = m.abstract_state();
+        let r = m.apply("put", &[Value::elem(1), Value::elem(20)]).unwrap();
+        InverseRollback::new(InterfaceId::Map)
+            .undo(
+                &mut m,
+                &[logged("put", vec![Value::elem(1), Value::elem(20)], r, pre)],
+            )
+            .unwrap();
+        assert_eq!(m.abstract_state(), before);
+
+        // List: removeAt must be undone by re-inserting the removed element.
+        let mut l = AnyStructure::by_name("ArrayList").unwrap();
+        for (i, e) in [5u32, 6, 7].iter().enumerate() {
+            l.apply("addAt", &[Value::Int(i as i64), Value::elem(*e)])
+                .unwrap();
+        }
+        let before = l.abstract_state();
+        let pre = l.abstract_state();
+        let r = l.apply("removeAt", &[Value::Int(1)]).unwrap();
+        InverseRollback::new(InterfaceId::List)
+            .undo(&mut l, &[logged("removeAt", vec![Value::Int(1)], r, pre)])
+            .unwrap();
+        assert_eq!(l.abstract_state(), before);
+    }
+
+    #[test]
+    fn snapshot_rollback_round_trips_every_structure() {
+        for name in ["HashSet", "ListSet", "HashTable", "AssociationList", "ArrayList", "Accumulator"] {
+            let mut s = AnyStructure::by_name(name).unwrap();
+            match s.interface() {
+                InterfaceId::Set => {
+                    s.apply("add", &[Value::elem(1)]).unwrap();
+                    s.apply("add", &[Value::elem(2)]).unwrap();
+                }
+                InterfaceId::Map => {
+                    s.apply("put", &[Value::elem(1), Value::elem(9)]).unwrap();
+                }
+                InterfaceId::List => {
+                    s.apply("addAt", &[Value::Int(0), Value::elem(3)]).unwrap();
+                }
+                InterfaceId::Accumulator => {
+                    s.apply("increase", &[Value::Int(7)]).unwrap();
+                }
+            }
+            let snapshot = SnapshotRollback::capture(&s);
+            // Mutate further, then restore.
+            match s.interface() {
+                InterfaceId::Set => {
+                    s.apply("remove", &[Value::elem(1)]).unwrap();
+                }
+                InterfaceId::Map => {
+                    s.apply("remove", &[Value::elem(1)]).unwrap();
+                }
+                InterfaceId::List => {
+                    s.apply("removeAt", &[Value::Int(0)]).unwrap();
+                }
+                InterfaceId::Accumulator => {
+                    s.apply("increase", &[Value::Int(1)]).unwrap();
+                }
+            }
+            let restored = snapshot.restore();
+            assert_eq!(restored.abstract_state(), *snapshot.snapshot(), "{name}");
+            assert!(restored.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn inverse_of_exists_only_for_updates() {
+        let r = InverseRollback::new(InterfaceId::Set);
+        assert!(r.inverse_of("add").is_some());
+        assert!(r.inverse_of("remove").is_some());
+        assert!(r.inverse_of("contains").is_none());
+        assert!(r.inverse_of("size").is_none());
+    }
+}

@@ -1,0 +1,371 @@
+//! A uniform handle over the six concrete data structures.
+
+use std::fmt;
+
+use semcommute_logic::{ElemId, Value, NULL_ELEM};
+use semcommute_spec::{AbstractState, InterfaceId};
+use semcommute_structures::{
+    Abstraction, Accumulator, ArrayList, AssociationList, HashSet, HashTable, ListInterface,
+    ListSet, MapInterface, SetInterface,
+};
+
+/// One of the six concrete data structures, together with name-based
+/// operation dispatch.
+///
+/// The speculative runtime manipulates data structures through this handle:
+/// operations are invoked by interface name (`"add"`, `"put"`, `"removeAt"`,
+/// …) with logical [`Value`] arguments, return their result as a logical
+/// value (using `null` for absent map values), and the abstraction function
+/// is available for the commutativity gatekeeper.
+#[derive(Debug, Clone)]
+pub enum AnyStructure {
+    /// An [`Accumulator`].
+    Accumulator(Accumulator),
+    /// A [`ListSet`].
+    ListSet(ListSet),
+    /// A [`HashSet`].
+    HashSet(HashSet),
+    /// An [`AssociationList`].
+    AssociationList(AssociationList),
+    /// A [`HashTable`].
+    HashTable(HashTable),
+    /// An [`ArrayList`].
+    ArrayList(ArrayList),
+}
+
+/// An error dispatching an operation to a concrete structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchError {
+    /// The operation is not part of the structure's interface.
+    UnknownOperation(String),
+    /// An argument had the wrong shape (e.g. an integer where an element was
+    /// expected, or a null element).
+    BadArgument {
+        /// The operation being invoked.
+        op: String,
+        /// A description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchError::UnknownOperation(op) => write!(f, "unknown operation `{op}`"),
+            DispatchError::BadArgument { op, reason } => {
+                write!(f, "bad argument to `{op}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+fn elem_arg(op: &str, args: &[Value], index: usize) -> Result<ElemId, DispatchError> {
+    match args.get(index) {
+        Some(Value::Elem(e)) if !e.is_null() => Ok(*e),
+        Some(Value::Elem(_)) => Err(DispatchError::BadArgument {
+            op: op.to_string(),
+            reason: format!("argument {index} must not be null"),
+        }),
+        other => Err(DispatchError::BadArgument {
+            op: op.to_string(),
+            reason: format!("argument {index} must be an element, got {other:?}"),
+        }),
+    }
+}
+
+fn int_arg(op: &str, args: &[Value], index: usize) -> Result<i64, DispatchError> {
+    match args.get(index) {
+        Some(Value::Int(i)) => Ok(*i),
+        other => Err(DispatchError::BadArgument {
+            op: op.to_string(),
+            reason: format!("argument {index} must be an integer, got {other:?}"),
+        }),
+    }
+}
+
+fn index_arg(op: &str, args: &[Value], index: usize, len: usize, inclusive: bool) -> Result<usize, DispatchError> {
+    let raw = int_arg(op, args, index)?;
+    let bound = if inclusive { len as i64 } else { len as i64 - 1 };
+    if raw < 0 || raw > bound {
+        return Err(DispatchError::BadArgument {
+            op: op.to_string(),
+            reason: format!("index {raw} out of range (size {len})"),
+        });
+    }
+    Ok(raw as usize)
+}
+
+fn opt_elem(value: Option<ElemId>) -> Option<Value> {
+    Some(Value::Elem(value.unwrap_or(NULL_ELEM)))
+}
+
+impl AnyStructure {
+    /// Creates an empty structure of the given concrete kind, by name.
+    /// Accepted names: `Accumulator`, `ListSet`, `HashSet`, `AssociationList`,
+    /// `HashTable`, `ArrayList`.
+    pub fn by_name(name: &str) -> Option<AnyStructure> {
+        Some(match name {
+            "Accumulator" => AnyStructure::Accumulator(Accumulator::new()),
+            "ListSet" => AnyStructure::ListSet(ListSet::new()),
+            "HashSet" => AnyStructure::HashSet(HashSet::new()),
+            "AssociationList" => AnyStructure::AssociationList(AssociationList::new()),
+            "HashTable" => AnyStructure::HashTable(HashTable::new()),
+            "ArrayList" => AnyStructure::ArrayList(ArrayList::new()),
+            _ => return None,
+        })
+    }
+
+    /// The interface this structure implements.
+    pub fn interface(&self) -> InterfaceId {
+        match self {
+            AnyStructure::Accumulator(_) => InterfaceId::Accumulator,
+            AnyStructure::ListSet(_) | AnyStructure::HashSet(_) => InterfaceId::Set,
+            AnyStructure::AssociationList(_) | AnyStructure::HashTable(_) => InterfaceId::Map,
+            AnyStructure::ArrayList(_) => InterfaceId::List,
+        }
+    }
+
+    /// The concrete structure's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnyStructure::Accumulator(_) => "Accumulator",
+            AnyStructure::ListSet(_) => "ListSet",
+            AnyStructure::HashSet(_) => "HashSet",
+            AnyStructure::AssociationList(_) => "AssociationList",
+            AnyStructure::HashTable(_) => "HashTable",
+            AnyStructure::ArrayList(_) => "ArrayList",
+        }
+    }
+
+    /// The abstraction function.
+    pub fn abstract_state(&self) -> AbstractState {
+        match self {
+            AnyStructure::Accumulator(s) => s.abstract_state(),
+            AnyStructure::ListSet(s) => s.abstract_state(),
+            AnyStructure::HashSet(s) => s.abstract_state(),
+            AnyStructure::AssociationList(s) => s.abstract_state(),
+            AnyStructure::HashTable(s) => s.abstract_state(),
+            AnyStructure::ArrayList(s) => s.abstract_state(),
+        }
+    }
+
+    /// Checks the representation invariant of the underlying structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, as a human-readable message.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        match self {
+            AnyStructure::Accumulator(s) => s.check_invariants(),
+            AnyStructure::ListSet(s) => s.check_invariants(),
+            AnyStructure::HashSet(s) => s.check_invariants(),
+            AnyStructure::AssociationList(s) => s.check_invariants(),
+            AnyStructure::HashTable(s) => s.check_invariants(),
+            AnyStructure::ArrayList(s) => s.check_invariants(),
+        }
+    }
+
+    /// Invokes an interface operation by name.
+    ///
+    /// Operations whose precondition is violated (out-of-range index, null
+    /// argument) return a [`DispatchError`] rather than panicking, so the
+    /// speculative runtime can treat them as application errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DispatchError`] for unknown operations or ill-formed
+    /// arguments.
+    pub fn apply(&mut self, op: &str, args: &[Value]) -> Result<Option<Value>, DispatchError> {
+        let unknown = || DispatchError::UnknownOperation(op.to_string());
+        match self {
+            AnyStructure::Accumulator(s) => match op {
+                "increase" => {
+                    s.increase(int_arg(op, args, 0)?);
+                    Ok(None)
+                }
+                "read" => Ok(Some(Value::Int(s.read()))),
+                _ => Err(unknown()),
+            },
+            AnyStructure::ListSet(s) => apply_set(s, op, args),
+            AnyStructure::HashSet(s) => apply_set(s, op, args),
+            AnyStructure::AssociationList(s) => apply_map(s, op, args),
+            AnyStructure::HashTable(s) => apply_map(s, op, args),
+            AnyStructure::ArrayList(s) => apply_list(s, op, args),
+        }
+    }
+}
+
+fn apply_set<S: SetInterface>(
+    s: &mut S,
+    op: &str,
+    args: &[Value],
+) -> Result<Option<Value>, DispatchError> {
+    match op {
+        "add" => Ok(Some(Value::Bool(s.add(elem_arg(op, args, 0)?)))),
+        "contains" => Ok(Some(Value::Bool(s.contains(elem_arg(op, args, 0)?)))),
+        "remove" => Ok(Some(Value::Bool(s.remove(elem_arg(op, args, 0)?)))),
+        "size" => Ok(Some(Value::Int(s.size() as i64))),
+        _ => Err(DispatchError::UnknownOperation(op.to_string())),
+    }
+}
+
+fn apply_map<M: MapInterface>(
+    m: &mut M,
+    op: &str,
+    args: &[Value],
+) -> Result<Option<Value>, DispatchError> {
+    match op {
+        "containsKey" => Ok(Some(Value::Bool(m.contains_key(elem_arg(op, args, 0)?)))),
+        "get" => Ok(opt_elem(m.get(elem_arg(op, args, 0)?))),
+        "put" => Ok(opt_elem(
+            m.put(elem_arg(op, args, 0)?, elem_arg(op, args, 1)?),
+        )),
+        "remove" => Ok(opt_elem(m.remove(elem_arg(op, args, 0)?))),
+        "size" => Ok(Some(Value::Int(m.size() as i64))),
+        _ => Err(DispatchError::UnknownOperation(op.to_string())),
+    }
+}
+
+fn apply_list<L: ListInterface>(
+    l: &mut L,
+    op: &str,
+    args: &[Value],
+) -> Result<Option<Value>, DispatchError> {
+    let len = l.size();
+    match op {
+        "addAt" => {
+            let i = index_arg(op, args, 0, len, true)?;
+            l.add_at(i, elem_arg(op, args, 1)?);
+            Ok(None)
+        }
+        "get" => {
+            let i = index_arg(op, args, 0, len, false)?;
+            Ok(Some(Value::Elem(l.get(i))))
+        }
+        "indexOf" => Ok(Some(Value::Int(
+            l.index_of(elem_arg(op, args, 0)?).map_or(-1, |i| i as i64),
+        ))),
+        "lastIndexOf" => Ok(Some(Value::Int(
+            l.last_index_of(elem_arg(op, args, 0)?)
+                .map_or(-1, |i| i as i64),
+        ))),
+        "removeAt" => {
+            let i = index_arg(op, args, 0, len, false)?;
+            Ok(Some(Value::Elem(l.remove_at(i))))
+        }
+        "set" => {
+            let i = index_arg(op, args, 0, len, false)?;
+            Ok(Some(Value::Elem(l.set(i, elem_arg(op, args, 1)?))))
+        }
+        "size" => Ok(Some(Value::Int(l.size() as i64))),
+        _ => Err(DispatchError::UnknownOperation(op.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_spec::apply_op;
+
+    #[test]
+    fn by_name_covers_all_structures() {
+        for name in [
+            "Accumulator",
+            "ListSet",
+            "HashSet",
+            "AssociationList",
+            "HashTable",
+            "ArrayList",
+        ] {
+            let s = AnyStructure::by_name(name).unwrap();
+            assert_eq!(s.name(), name);
+            assert!(s.check_invariants().is_ok());
+        }
+        assert!(AnyStructure::by_name("TreeSet").is_none());
+    }
+
+    #[test]
+    fn dispatch_matches_abstract_semantics() {
+        // Drive each structure through a short trace and check the return
+        // values and abstraction against the executable specification.
+        let traces: Vec<(&str, Vec<(&str, Vec<Value>)>)> = vec![
+            (
+                "HashSet",
+                vec![
+                    ("add", vec![Value::elem(1)]),
+                    ("add", vec![Value::elem(1)]),
+                    ("contains", vec![Value::elem(1)]),
+                    ("remove", vec![Value::elem(2)]),
+                    ("size", vec![]),
+                ],
+            ),
+            (
+                "AssociationList",
+                vec![
+                    ("put", vec![Value::elem(1), Value::elem(10)]),
+                    ("put", vec![Value::elem(1), Value::elem(11)]),
+                    ("get", vec![Value::elem(2)]),
+                    ("remove", vec![Value::elem(1)]),
+                    ("size", vec![]),
+                ],
+            ),
+            (
+                "ArrayList",
+                vec![
+                    ("addAt", vec![Value::Int(0), Value::elem(5)]),
+                    ("addAt", vec![Value::Int(1), Value::elem(6)]),
+                    ("set", vec![Value::Int(0), Value::elem(7)]),
+                    ("indexOf", vec![Value::elem(6)]),
+                    ("removeAt", vec![Value::Int(0)]),
+                ],
+            ),
+            (
+                "Accumulator",
+                vec![
+                    ("increase", vec![Value::Int(5)]),
+                    ("increase", vec![Value::Int(-2)]),
+                    ("read", vec![]),
+                ],
+            ),
+        ];
+        for (name, trace) in traces {
+            let mut concrete = AnyStructure::by_name(name).unwrap();
+            let iface = semcommute_spec::interface_by_id(concrete.interface());
+            let mut abstract_state = concrete.abstract_state();
+            for (op, args) in trace {
+                let got = concrete.apply(op, &args).unwrap();
+                let (next, expected) = apply_op(&iface, &abstract_state, op, &args).unwrap();
+                assert_eq!(got, expected, "{name}.{op} return value");
+                abstract_state = next;
+                assert_eq!(concrete.abstract_state(), abstract_state, "{name}.{op} state");
+                assert!(concrete.check_invariants().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn bad_arguments_are_reported_not_panicking() {
+        let mut l = AnyStructure::by_name("ArrayList").unwrap();
+        assert!(matches!(
+            l.apply("get", &[Value::Int(0)]),
+            Err(DispatchError::BadArgument { .. })
+        ));
+        assert!(matches!(
+            l.apply("addAt", &[Value::Int(3), Value::elem(1)]),
+            Err(DispatchError::BadArgument { .. })
+        ));
+        let mut s = AnyStructure::by_name("HashSet").unwrap();
+        assert!(matches!(
+            s.apply("add", &[Value::null()]),
+            Err(DispatchError::BadArgument { .. })
+        ));
+        assert!(matches!(
+            s.apply("push", &[]),
+            Err(DispatchError::UnknownOperation(_))
+        ));
+        let err = s.apply("add", &[Value::Int(3)]).unwrap_err();
+        assert!(err.to_string().contains("must be an element"));
+    }
+}

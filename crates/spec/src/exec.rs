@@ -1,0 +1,205 @@
+//! Executable abstract semantics.
+//!
+//! An operation is applied to an abstract state by *evaluating its
+//! specification*: the precondition is checked, and then the post-state and
+//! result terms are evaluated under a model binding [`STATE_VAR`] to the
+//! current state and the formal parameters to the supplied arguments. Because
+//! the same specification terms drive the verifier, this interpreter is the
+//! executable ground truth that concrete implementations are tested against
+//! and that the speculative runtime uses as its reference semantics.
+
+use std::fmt;
+
+use semcommute_logic::{eval, eval_bool, Model, Value};
+
+use crate::interface::{InterfaceSpec, OpSpec, STATE_VAR};
+use crate::state::AbstractState;
+
+/// An error applying an operation to an abstract state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The named operation does not exist on the interface.
+    NoSuchOperation(String),
+    /// The number of arguments does not match the operation's arity.
+    ArityMismatch {
+        /// Operation name.
+        op: String,
+        /// Expected number of arguments.
+        expected: usize,
+        /// Number of arguments supplied.
+        found: usize,
+    },
+    /// The supplied state has the wrong sort for the interface.
+    StateSortMismatch,
+    /// The operation's precondition is violated.
+    PreconditionViolated {
+        /// Operation name.
+        op: String,
+        /// The precondition, printed in Jahob-like syntax.
+        precondition: String,
+    },
+    /// Evaluating the specification failed (should not happen for the built-in
+    /// interfaces; indicates an ill-formed custom specification).
+    Evaluation(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoSuchOperation(op) => write!(f, "no such operation `{op}`"),
+            ExecError::ArityMismatch {
+                op,
+                expected,
+                found,
+            } => write!(f, "`{op}` expects {expected} arguments, got {found}"),
+            ExecError::StateSortMismatch => write!(f, "abstract state has the wrong sort"),
+            ExecError::PreconditionViolated { op, precondition } => {
+                write!(f, "precondition of `{op}` violated: {precondition}")
+            }
+            ExecError::Evaluation(e) => write!(f, "specification evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Builds the evaluation model for an operation application.
+fn op_model(op: &OpSpec, state: &AbstractState, args: &[Value]) -> Model {
+    let mut m = Model::new();
+    m.insert(STATE_VAR, state.to_value());
+    for ((name, _), value) in op.params.iter().zip(args) {
+        m.insert(name.clone(), value.clone());
+    }
+    m
+}
+
+/// Applies `op_name(args)` to `state`, returning the new abstract state and
+/// the return value (`None` for `void` operations).
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if the operation does not exist, the arguments do
+/// not match its arity, the state has the wrong sort, or the precondition is
+/// violated.
+pub fn apply_op(
+    iface: &InterfaceSpec,
+    state: &AbstractState,
+    op_name: &str,
+    args: &[Value],
+) -> Result<(AbstractState, Option<Value>), ExecError> {
+    let op = iface
+        .op(op_name)
+        .ok_or_else(|| ExecError::NoSuchOperation(op_name.to_string()))?;
+    if args.len() != op.arity() {
+        return Err(ExecError::ArityMismatch {
+            op: op_name.to_string(),
+            expected: op.arity(),
+            found: args.len(),
+        });
+    }
+    if state.sort() != iface.state_sort {
+        return Err(ExecError::StateSortMismatch);
+    }
+    let model = op_model(op, state, args);
+    let pre = eval_bool(&op.precondition, &model)
+        .map_err(|e| ExecError::Evaluation(e.to_string()))?;
+    if !pre {
+        return Err(ExecError::PreconditionViolated {
+            op: op_name.to_string(),
+            precondition: op.precondition.to_string(),
+        });
+    }
+    let post_value = eval(&op.post_state, &model).map_err(|e| ExecError::Evaluation(e.to_string()))?;
+    let new_state =
+        AbstractState::from_value(&post_value).ok_or(ExecError::StateSortMismatch)?;
+    let result = match &op.result {
+        Some(r) => Some(eval(r, &model).map_err(|e| ExecError::Evaluation(e.to_string()))?),
+        None => None,
+    };
+    Ok((new_state, result))
+}
+
+/// Checks whether the precondition of `op_name(args)` holds in `state`.
+///
+/// # Errors
+///
+/// Returns an [`ExecError`] if the operation does not exist or its arity does
+/// not match.
+pub fn precondition_holds(
+    iface: &InterfaceSpec,
+    state: &AbstractState,
+    op_name: &str,
+    args: &[Value],
+) -> Result<bool, ExecError> {
+    let op = iface
+        .op(op_name)
+        .ok_or_else(|| ExecError::NoSuchOperation(op_name.to_string()))?;
+    if args.len() != op.arity() {
+        return Err(ExecError::ArityMismatch {
+            op: op_name.to_string(),
+            expected: op.arity(),
+            found: args.len(),
+        });
+    }
+    let model = op_model(op, state, args);
+    eval_bool(&op.precondition, &model).map_err(|e| ExecError::Evaluation(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interfaces::map::map_interface;
+    use crate::interfaces::set::set_interface;
+    use semcommute_logic::ElemId;
+
+    #[test]
+    fn unknown_operation_and_arity_errors() {
+        let iface = set_interface();
+        let s = AbstractState::empty(iface.state_sort).unwrap();
+        assert!(matches!(
+            apply_op(&iface, &s, "frobnicate", &[]),
+            Err(ExecError::NoSuchOperation(_))
+        ));
+        assert!(matches!(
+            apply_op(&iface, &s, "add", &[]),
+            Err(ExecError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_state_sort_is_rejected() {
+        let iface = set_interface();
+        let map_state = AbstractState::Map(Default::default());
+        assert!(matches!(
+            apply_op(&iface, &map_state, "size", &[]),
+            Err(ExecError::StateSortMismatch)
+        ));
+    }
+
+    #[test]
+    fn precondition_check_matches_apply() {
+        let iface = map_interface();
+        let s = AbstractState::empty(iface.state_sort).unwrap();
+        assert!(precondition_holds(&iface, &s, "get", &[Value::elem(1)]).unwrap());
+        assert!(!precondition_holds(&iface, &s, "get", &[Value::null()]).unwrap());
+        assert!(apply_op(&iface, &s, "get", &[Value::null()]).is_err());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let iface = set_interface();
+        let s = AbstractState::Set([ElemId(1)].into_iter().collect());
+        let err = apply_op(&iface, &s, "add", &[Value::null()]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("precondition"));
+        assert!(msg.contains("add"));
+    }
+
+    #[test]
+    fn observers_preserve_state_exactly() {
+        let iface = set_interface();
+        let s = AbstractState::Set([ElemId(1), ElemId(4)].into_iter().collect());
+        let (s2, _) = apply_op(&iface, &s, "size", &[]).unwrap();
+        assert_eq!(s, s2);
+    }
+}

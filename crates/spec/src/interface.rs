@@ -1,0 +1,333 @@
+//! Operation and interface specifications.
+
+use std::fmt;
+
+use semcommute_logic::subst::subst_map;
+use semcommute_logic::{build, substitute, Sort, Term};
+
+/// The name of the abstract-state variable used inside specification terms.
+///
+/// Specifications are written over this variable plus the operation's formal
+/// parameters; [`OpSpec::instantiate_pre`] and friends substitute actual
+/// state/argument terms for them.
+pub const STATE_VAR: &str = "state";
+
+/// Identifies one of the four abstract interfaces of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InterfaceId {
+    /// The `Accumulator` counter interface.
+    Accumulator,
+    /// The set interface implemented by `ListSet` and `HashSet`.
+    Set,
+    /// The map interface implemented by `AssociationList` and `HashTable`.
+    Map,
+    /// The integer-indexed map interface implemented by `ArrayList`.
+    List,
+}
+
+impl InterfaceId {
+    /// All interfaces, in the order used by the paper's tables.
+    pub const ALL: [InterfaceId; 4] = [
+        InterfaceId::Accumulator,
+        InterfaceId::Set,
+        InterfaceId::Map,
+        InterfaceId::List,
+    ];
+
+    /// The names of the concrete data structures implementing this interface
+    /// in the paper.
+    pub fn implementations(self) -> &'static [&'static str] {
+        match self {
+            InterfaceId::Accumulator => &["Accumulator"],
+            InterfaceId::Set => &["ListSet", "HashSet"],
+            InterfaceId::Map => &["AssociationList", "HashTable"],
+            InterfaceId::List => &["ArrayList"],
+        }
+    }
+}
+
+impl fmt::Display for InterfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InterfaceId::Accumulator => "Accumulator",
+            InterfaceId::Set => "Set",
+            InterfaceId::Map => "Map",
+            InterfaceId::List => "ArrayList",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The specification of one data structure operation.
+///
+/// The specification is *functional*: `post_state` and `result` are terms
+/// denoting the new abstract state and the return value as functions of the
+/// old state (the variable [`STATE_VAR`]) and the formal parameters. The
+/// equivalent Jahob-style relational `ensures` clause is carried verbatim in
+/// [`OpSpec::ensures_doc`] for documentation and table output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpSpec {
+    /// The operation name (e.g. `"add"`, `"put"`, `"removeAt"`).
+    pub name: String,
+    /// Formal parameters (name and sort), excluding the receiver.
+    pub params: Vec<(String, Sort)>,
+    /// The sort of the return value, or `None` for `void` operations.
+    pub result_sort: Option<Sort>,
+    /// Whether the operation may change the abstract state.
+    pub updates_state: bool,
+    /// Precondition over [`STATE_VAR`] and the parameters.
+    pub precondition: Term,
+    /// The new abstract state as a term over [`STATE_VAR`] and the parameters.
+    /// Equal to `Var(STATE_VAR)` for pure observers.
+    pub post_state: Term,
+    /// The return value as a term over the *old* state and parameters;
+    /// `None` for `void` operations.
+    pub result: Option<Term>,
+    /// The Jahob-style relational `ensures` clause, as written in the paper's
+    /// specifications (documentation only).
+    pub ensures_doc: String,
+}
+
+impl OpSpec {
+    /// Starts building a specification for a named operation on a state of
+    /// the given sort. By default the operation has no parameters, no return
+    /// value, a `true` precondition, and leaves the state unchanged.
+    pub fn new(name: impl Into<String>, state_sort: Sort) -> OpSpec {
+        OpSpec {
+            name: name.into(),
+            params: Vec::new(),
+            result_sort: None,
+            updates_state: false,
+            precondition: build::tru(),
+            post_state: Term::var(STATE_VAR, state_sort),
+            result: None,
+            ensures_doc: String::new(),
+        }
+    }
+
+    /// Adds a formal parameter.
+    pub fn param(mut self, name: &str, sort: Sort) -> OpSpec {
+        self.params.push((name.to_string(), sort));
+        self
+    }
+
+    /// Declares the return sort.
+    pub fn returns(mut self, sort: Sort) -> OpSpec {
+        self.result_sort = Some(sort);
+        self
+    }
+
+    /// Sets the precondition.
+    pub fn pre(mut self, precondition: Term) -> OpSpec {
+        self.precondition = precondition;
+        self
+    }
+
+    /// Sets the post-state term and marks the operation as updating.
+    pub fn post(mut self, post_state: Term) -> OpSpec {
+        self.post_state = post_state;
+        self.updates_state = true;
+        self
+    }
+
+    /// Sets the result term.
+    pub fn result(mut self, result: Term) -> OpSpec {
+        self.result = Some(result);
+        self
+    }
+
+    /// Attaches the Jahob-style relational `ensures` documentation string.
+    pub fn ensures(mut self, doc: &str) -> OpSpec {
+        self.ensures_doc = doc.to_string();
+        self
+    }
+
+    /// The number of parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Returns `true` if the operation returns a value.
+    pub fn has_result(&self) -> bool {
+        self.result_sort.is_some()
+    }
+
+    fn instantiation(&self, state: &Term, args: &[Term]) -> std::collections::BTreeMap<String, Term> {
+        assert_eq!(
+            args.len(),
+            self.params.len(),
+            "operation `{}` expects {} arguments, got {}",
+            self.name,
+            self.params.len(),
+            args.len()
+        );
+        let mut pairs: Vec<(String, Term)> = vec![(STATE_VAR.to_string(), state.clone())];
+        for ((formal, _), actual) in self.params.iter().zip(args) {
+            pairs.push((formal.clone(), actual.clone()));
+        }
+        subst_map(pairs)
+    }
+
+    /// The precondition with the formal state and parameters replaced by the
+    /// given terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` does not match the operation's arity.
+    pub fn instantiate_pre(&self, state: &Term, args: &[Term]) -> Term {
+        substitute(&self.precondition, &self.instantiation(state, args))
+    }
+
+    /// The post-state term with the formal state and parameters replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` does not match the operation's arity.
+    pub fn instantiate_post(&self, state: &Term, args: &[Term]) -> Term {
+        substitute(&self.post_state, &self.instantiation(state, args))
+    }
+
+    /// The result term with the formal state and parameters replaced, if the
+    /// operation returns a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` does not match the operation's arity.
+    pub fn instantiate_result(&self, state: &Term, args: &[Term]) -> Option<Term> {
+        self.result
+            .as_ref()
+            .map(|r| substitute(r, &self.instantiation(state, args)))
+    }
+
+    /// A signature string such as `"put(k, v) -> obj"`, used in reports.
+    pub fn signature(&self) -> String {
+        let params: Vec<&str> = self.params.iter().map(|(n, _)| n.as_str()).collect();
+        match self.result_sort {
+            Some(sort) => format!("{}({}) -> {}", self.name, params.join(", "), sort),
+            None => format!("{}({})", self.name, params.join(", ")),
+        }
+    }
+}
+
+/// The specification of a complete data structure interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceSpec {
+    /// Which interface this is.
+    pub id: InterfaceId,
+    /// The sort of the abstract state.
+    pub state_sort: Sort,
+    /// The operations, in the order listed in Chapter 5 of the paper.
+    pub ops: Vec<OpSpec>,
+}
+
+impl InterfaceSpec {
+    /// Looks up an operation by name.
+    pub fn op(&self, name: &str) -> Option<&OpSpec> {
+        self.ops.iter().find(|o| o.name == name)
+    }
+
+    /// The operations that update the abstract state (those that need inverse
+    /// operations, Table 5.10).
+    pub fn update_ops(&self) -> Vec<&OpSpec> {
+        self.ops.iter().filter(|o| o.updates_state).collect()
+    }
+
+    /// The operations that only observe the abstract state.
+    pub fn observer_ops(&self) -> Vec<&OpSpec> {
+        self.ops.iter().filter(|o| !o.updates_state).collect()
+    }
+
+    /// The interface name (matches [`InterfaceId`]'s display form).
+    pub fn name(&self) -> String {
+        self.id.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::build::*;
+
+    fn add_spec() -> OpSpec {
+        OpSpec::new("add", Sort::Set)
+            .param("v", Sort::Elem)
+            .returns(Sort::Bool)
+            .pre(neq(var_elem("v"), null()))
+            .post(set_add(var_set(STATE_VAR), var_elem("v")))
+            .result(not_member(var_elem("v"), var_set(STATE_VAR)))
+            .ensures("(v ~: old contents --> contents = old contents Un {v} & result)")
+    }
+
+    #[test]
+    fn builder_populates_fields() {
+        let op = add_spec();
+        assert_eq!(op.name, "add");
+        assert_eq!(op.arity(), 1);
+        assert!(op.updates_state);
+        assert!(op.has_result());
+        assert_eq!(op.result_sort, Some(Sort::Bool));
+        assert_eq!(op.signature(), "add(v) -> bool");
+        assert!(op.ensures_doc.contains("old contents"));
+    }
+
+    #[test]
+    fn instantiation_substitutes_state_and_args() {
+        let op = add_spec();
+        let state = var_set("sa0");
+        let args = vec![var_elem("v2")];
+        assert_eq!(
+            op.instantiate_post(&state, &args),
+            set_add(var_set("sa0"), var_elem("v2"))
+        );
+        assert_eq!(
+            op.instantiate_result(&state, &args),
+            Some(not_member(var_elem("v2"), var_set("sa0")))
+        );
+        assert_eq!(
+            op.instantiate_pre(&state, &args),
+            neq(var_elem("v2"), null())
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 1 arguments")]
+    fn wrong_arity_panics() {
+        add_spec().instantiate_pre(&var_set("s"), &[]);
+    }
+
+    #[test]
+    fn interface_lookup_and_classification() {
+        let iface = InterfaceSpec {
+            id: InterfaceId::Set,
+            state_sort: Sort::Set,
+            ops: vec![
+                add_spec(),
+                OpSpec::new("size", Sort::Set)
+                    .returns(Sort::Int)
+                    .result(card(var_set(STATE_VAR))),
+            ],
+        };
+        assert!(iface.op("add").is_some());
+        assert!(iface.op("missing").is_none());
+        assert_eq!(iface.update_ops().len(), 1);
+        assert_eq!(iface.observer_ops().len(), 1);
+        assert_eq!(iface.name(), "Set");
+    }
+
+    #[test]
+    fn interface_id_metadata() {
+        assert_eq!(InterfaceId::ALL.len(), 4);
+        assert_eq!(InterfaceId::Set.implementations(), &["ListSet", "HashSet"]);
+        assert_eq!(InterfaceId::List.to_string(), "ArrayList");
+    }
+
+    #[test]
+    fn void_operation_has_no_result() {
+        let op = OpSpec::new("increase", Sort::Int)
+            .param("v", Sort::Int)
+            .post(add(var_int(STATE_VAR), var_int("v")));
+        assert!(!op.has_result());
+        assert_eq!(op.instantiate_result(&var_int("c"), &[int(3)]), None);
+        assert_eq!(op.signature(), "increase(v)");
+    }
+}

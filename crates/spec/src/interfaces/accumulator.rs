@@ -1,0 +1,66 @@
+//! The `Accumulator` interface: a counter that clients can increase and read.
+
+use semcommute_logic::build::*;
+use semcommute_logic::Sort;
+
+use crate::interface::{InterfaceId, InterfaceSpec, OpSpec, STATE_VAR};
+
+/// The `Accumulator` interface specification.
+///
+/// Operations (Chapter 5 of the paper):
+///
+/// * `increase(v)` — adds the number `v` to the counter,
+/// * `read()` — returns the value in the counter.
+pub fn accumulator_interface() -> InterfaceSpec {
+    let state = || var_int(STATE_VAR);
+    InterfaceSpec {
+        id: InterfaceId::Accumulator,
+        state_sort: Sort::Int,
+        ops: vec![
+            OpSpec::new("increase", Sort::Int)
+                .param("v", Sort::Int)
+                .post(add(state(), var_int("v")))
+                .ensures("value = old value + v"),
+            OpSpec::new("read", Sort::Int)
+                .returns(Sort::Int)
+                .result(state())
+                .ensures("result = value"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::apply_op;
+    use crate::state::AbstractState;
+    use semcommute_logic::Value;
+
+    #[test]
+    fn increase_and_read() {
+        let iface = accumulator_interface();
+        let s0 = AbstractState::Counter(0);
+        let (s1, r1) = apply_op(&iface, &s0, "increase", &[Value::Int(5)]).unwrap();
+        assert_eq!(s1, AbstractState::Counter(5));
+        assert_eq!(r1, None);
+        let (s2, r2) = apply_op(&iface, &s1, "read", &[]).unwrap();
+        assert_eq!(s2, s1);
+        assert_eq!(r2, Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn increase_accepts_negative_amounts() {
+        let iface = accumulator_interface();
+        let s0 = AbstractState::Counter(3);
+        let (s1, _) = apply_op(&iface, &s0, "increase", &[Value::Int(-7)]).unwrap();
+        assert_eq!(s1, AbstractState::Counter(-4));
+    }
+
+    #[test]
+    fn read_is_an_observer() {
+        let iface = accumulator_interface();
+        assert!(!iface.op("read").unwrap().updates_state);
+        assert!(iface.op("increase").unwrap().updates_state);
+        assert_eq!(iface.update_ops().len(), 1);
+    }
+}

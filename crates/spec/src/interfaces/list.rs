@@ -1,0 +1,177 @@
+//! The `ArrayList` interface: a map from a dense integer range to objects.
+
+use semcommute_logic::build::*;
+use semcommute_logic::Sort;
+
+use crate::interface::{InterfaceId, InterfaceSpec, OpSpec, STATE_VAR};
+
+/// The `ArrayList` interface specification.
+///
+/// Operations (Chapter 5):
+///
+/// * `addAt(i, v)` — shifts every element at index ≥ `i` up one position and
+///   stores `v` at index `i`,
+/// * `get(i)` — returns the element at index `i`,
+/// * `indexOf(v)` — returns the index of the first occurrence of `v`, or `-1`,
+/// * `lastIndexOf(v)` — returns the index of the last occurrence of `v`, or `-1`,
+/// * `removeAt(i)` — removes the element at index `i`, shifting higher
+///   elements down; returns the removed element,
+/// * `set(i, v)` — replaces the element at index `i` with `v`; returns the
+///   replaced element,
+/// * `size()` — returns the number of elements.
+pub fn list_interface() -> InterfaceSpec {
+    let state = || var_seq(STATE_VAR);
+    let i = || var_int("i");
+    let v = || var_elem("v");
+    let index_in_range = |inclusive_upper: bool| {
+        let upper = if inclusive_upper {
+            le(i(), seq_len(state()))
+        } else {
+            lt(i(), seq_len(state()))
+        };
+        and2(le(int(0), i()), upper)
+    };
+    InterfaceSpec {
+        id: InterfaceId::List,
+        state_sort: Sort::Seq,
+        ops: vec![
+            OpSpec::new("addAt", Sort::Seq)
+                .param("i", Sort::Int)
+                .param("v", Sort::Elem)
+                .pre(and2(index_in_range(true), neq(v(), null())))
+                .post(seq_insert_at(state(), i(), v()))
+                .ensures(
+                    "contents = (old contents)[0..i] @ [v] @ (old contents)[i..] & \
+                     size = old size + 1",
+                ),
+            OpSpec::new("get", Sort::Seq)
+                .param("i", Sort::Int)
+                .returns(Sort::Elem)
+                .pre(index_in_range(false))
+                .result(seq_at(state(), i()))
+                .ensures("result = contents[i]"),
+            OpSpec::new("indexOf", Sort::Seq)
+                .param("v", Sort::Elem)
+                .returns(Sort::Int)
+                .pre(neq(v(), null()))
+                .result(seq_index_of(state(), v()))
+                .ensures(
+                    "(result = -1 & ~(EX j. contents[j] = v)) | \
+                     (contents[result] = v & (ALL j < result. contents[j] ~= v))",
+                ),
+            OpSpec::new("lastIndexOf", Sort::Seq)
+                .param("v", Sort::Elem)
+                .returns(Sort::Int)
+                .pre(neq(v(), null()))
+                .result(seq_last_index_of(state(), v()))
+                .ensures(
+                    "(result = -1 & ~(EX j. contents[j] = v)) | \
+                     (contents[result] = v & (ALL j > result. contents[j] ~= v))",
+                ),
+            OpSpec::new("removeAt", Sort::Seq)
+                .param("i", Sort::Int)
+                .returns(Sort::Elem)
+                .pre(index_in_range(false))
+                .post(seq_remove_at(state(), i()))
+                .result(seq_at(state(), i()))
+                .ensures(
+                    "contents = (old contents)[0..i] @ (old contents)[i+1..] & \
+                     size = old size - 1 & result = (old contents)[i]",
+                ),
+            OpSpec::new("set", Sort::Seq)
+                .param("i", Sort::Int)
+                .param("v", Sort::Elem)
+                .returns(Sort::Elem)
+                .pre(and2(index_in_range(false), neq(v(), null())))
+                .post(seq_set_at(state(), i(), v()))
+                .result(seq_at(state(), i()))
+                .ensures(
+                    "contents = (old contents)[i := v] & size = old size & \
+                     result = (old contents)[i]",
+                ),
+            OpSpec::new("size", Sort::Seq)
+                .returns(Sort::Int)
+                .result(seq_len(state()))
+                .ensures("result = size"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::apply_op;
+    use crate::state::AbstractState;
+    use semcommute_logic::{ElemId, Value};
+
+    fn list_of(ids: &[u32]) -> AbstractState {
+        AbstractState::List(ids.iter().map(|&i| ElemId(i)).collect())
+    }
+
+    #[test]
+    fn add_at_shifts_elements_up() {
+        let iface = list_interface();
+        let s0 = list_of(&[1, 2, 3]);
+        let (s1, r) = apply_op(&iface, &s0, "addAt", &[Value::Int(1), Value::elem(9)]).unwrap();
+        assert_eq!(s1, list_of(&[1, 9, 2, 3]));
+        assert_eq!(r, None);
+        // Appending at the end is allowed (index = size).
+        let (s2, _) = apply_op(&iface, &s1, "addAt", &[Value::Int(4), Value::elem(7)]).unwrap();
+        assert_eq!(s2, list_of(&[1, 9, 2, 3, 7]));
+    }
+
+    #[test]
+    fn remove_at_shifts_elements_down_and_returns_removed() {
+        let iface = list_interface();
+        let s0 = list_of(&[1, 2, 3]);
+        let (s1, r) = apply_op(&iface, &s0, "removeAt", &[Value::Int(0)]).unwrap();
+        assert_eq!(s1, list_of(&[2, 3]));
+        assert_eq!(r, Some(Value::elem(1)));
+    }
+
+    #[test]
+    fn set_replaces_and_returns_previous() {
+        let iface = list_interface();
+        let s0 = list_of(&[1, 2, 3]);
+        let (s1, r) = apply_op(&iface, &s0, "set", &[Value::Int(2), Value::elem(8)]).unwrap();
+        assert_eq!(s1, list_of(&[1, 2, 8]));
+        assert_eq!(r, Some(Value::elem(3)));
+    }
+
+    #[test]
+    fn index_queries() {
+        let iface = list_interface();
+        let s0 = list_of(&[5, 6, 5]);
+        let (_, r) = apply_op(&iface, &s0, "indexOf", &[Value::elem(5)]).unwrap();
+        assert_eq!(r, Some(Value::Int(0)));
+        let (_, r) = apply_op(&iface, &s0, "lastIndexOf", &[Value::elem(5)]).unwrap();
+        assert_eq!(r, Some(Value::Int(2)));
+        let (_, r) = apply_op(&iface, &s0, "indexOf", &[Value::elem(9)]).unwrap();
+        assert_eq!(r, Some(Value::Int(-1)));
+        let (_, r) = apply_op(&iface, &s0, "get", &[Value::Int(1)]).unwrap();
+        assert_eq!(r, Some(Value::elem(6)));
+        let (_, r) = apply_op(&iface, &s0, "size", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn out_of_range_indices_violate_preconditions() {
+        let iface = list_interface();
+        let s0 = list_of(&[1, 2]);
+        assert!(apply_op(&iface, &s0, "get", &[Value::Int(2)]).is_err());
+        assert!(apply_op(&iface, &s0, "get", &[Value::Int(-1)]).is_err());
+        assert!(apply_op(&iface, &s0, "removeAt", &[Value::Int(5)]).is_err());
+        // addAt accepts index == size but not beyond.
+        assert!(apply_op(&iface, &s0, "addAt", &[Value::Int(2), Value::elem(1)]).is_ok());
+        assert!(apply_op(&iface, &s0, "addAt", &[Value::Int(3), Value::elem(1)]).is_err());
+        assert!(apply_op(&iface, &s0, "set", &[Value::Int(2), Value::elem(1)]).is_err());
+    }
+
+    #[test]
+    fn interface_shape_matches_the_paper() {
+        let iface = list_interface();
+        assert_eq!(iface.ops.len(), 7);
+        assert_eq!(iface.update_ops().len(), 3);
+        assert_eq!(iface.id.implementations(), &["ArrayList"]);
+    }
+}

@@ -1,0 +1,138 @@
+//! The map interface implemented by `AssociationList` and `HashTable`.
+
+use semcommute_logic::build::*;
+use semcommute_logic::Sort;
+
+use crate::interface::{InterfaceId, InterfaceSpec, OpSpec, STATE_VAR};
+
+/// The map interface specification.
+///
+/// Operations (Chapter 5):
+///
+/// * `containsKey(k)` — returns `true` iff `k` is mapped,
+/// * `get(k)` — returns the value for `k`, or `null` if unmapped,
+/// * `put(k, v)` — maps `k` to `v`; returns the previous value or `null`,
+/// * `remove(k)` — unmaps `k`; returns the previous value or `null`,
+/// * `size()` — returns the number of key/value pairs.
+pub fn map_interface() -> InterfaceSpec {
+    let state = || var_map(STATE_VAR);
+    let k = || var_elem("k");
+    let v = || var_elem("v");
+    InterfaceSpec {
+        id: InterfaceId::Map,
+        state_sort: Sort::Map,
+        ops: vec![
+            OpSpec::new("containsKey", Sort::Map)
+                .param("k", Sort::Elem)
+                .returns(Sort::Bool)
+                .pre(neq(k(), null()))
+                .result(map_has_key(state(), k()))
+                .ensures("result = (EX v. (k, v) : contents)"),
+            OpSpec::new("get", Sort::Map)
+                .param("k", Sort::Elem)
+                .returns(Sort::Elem)
+                .pre(neq(k(), null()))
+                .result(map_get(state(), k()))
+                .ensures(
+                    "((k, result) : contents & result ~= null) | \
+                     (result = null & ~(EX v. (k, v) : contents))",
+                ),
+            OpSpec::new("put", Sort::Map)
+                .param("k", Sort::Elem)
+                .param("v", Sort::Elem)
+                .returns(Sort::Elem)
+                .pre(and2(neq(k(), null()), neq(v(), null())))
+                .post(map_put(state(), k(), v()))
+                .result(map_get(state(), k()))
+                .ensures(
+                    "contents = old contents - {(k, old contents k)} Un {(k, v)} & \
+                     (result = old contents k | (result = null & k ~: dom (old contents)))",
+                ),
+            OpSpec::new("remove", Sort::Map)
+                .param("k", Sort::Elem)
+                .returns(Sort::Elem)
+                .pre(neq(k(), null()))
+                .post(map_remove(state(), k()))
+                .result(map_get(state(), k()))
+                .ensures(
+                    "contents = old contents - {(k, old contents k)} & \
+                     (result = old contents k | (result = null & k ~: dom (old contents)))",
+                ),
+            OpSpec::new("size", Sort::Map)
+                .returns(Sort::Int)
+                .result(map_size(state()))
+                .ensures("result = size"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::apply_op;
+    use crate::state::AbstractState;
+    use semcommute_logic::{ElemId, Value};
+
+    fn map_of(pairs: &[(u32, u32)]) -> AbstractState {
+        AbstractState::Map(pairs.iter().map(|&(k, v)| (ElemId(k), ElemId(v))).collect())
+    }
+
+    #[test]
+    fn put_returns_previous_value_or_null() {
+        let iface = map_interface();
+        let s0 = map_of(&[]);
+        let (s1, r1) = apply_op(&iface, &s0, "put", &[Value::elem(1), Value::elem(10)]).unwrap();
+        assert_eq!(s1, map_of(&[(1, 10)]));
+        assert_eq!(r1, Some(Value::null()));
+        let (s2, r2) = apply_op(&iface, &s1, "put", &[Value::elem(1), Value::elem(20)]).unwrap();
+        assert_eq!(s2, map_of(&[(1, 20)]));
+        assert_eq!(r2, Some(Value::elem(10)));
+    }
+
+    #[test]
+    fn remove_returns_previous_value_or_null() {
+        let iface = map_interface();
+        let s0 = map_of(&[(1, 10), (2, 20)]);
+        let (s1, r1) = apply_op(&iface, &s0, "remove", &[Value::elem(1)]).unwrap();
+        assert_eq!(s1, map_of(&[(2, 20)]));
+        assert_eq!(r1, Some(Value::elem(10)));
+        let (s2, r2) = apply_op(&iface, &s1, "remove", &[Value::elem(1)]).unwrap();
+        assert_eq!(s2, map_of(&[(2, 20)]));
+        assert_eq!(r2, Some(Value::null()));
+    }
+
+    #[test]
+    fn get_and_contains_key_and_size() {
+        let iface = map_interface();
+        let s0 = map_of(&[(1, 10)]);
+        let (_, r) = apply_op(&iface, &s0, "get", &[Value::elem(1)]).unwrap();
+        assert_eq!(r, Some(Value::elem(10)));
+        let (_, r) = apply_op(&iface, &s0, "get", &[Value::elem(2)]).unwrap();
+        assert_eq!(r, Some(Value::null()));
+        let (_, r) = apply_op(&iface, &s0, "containsKey", &[Value::elem(1)]).unwrap();
+        assert_eq!(r, Some(Value::Bool(true)));
+        let (_, r) = apply_op(&iface, &s0, "size", &[]).unwrap();
+        assert_eq!(r, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn null_keys_and_values_violate_preconditions() {
+        let iface = map_interface();
+        let s0 = map_of(&[]);
+        assert!(apply_op(&iface, &s0, "get", &[Value::null()]).is_err());
+        assert!(apply_op(&iface, &s0, "put", &[Value::null(), Value::elem(1)]).is_err());
+        assert!(apply_op(&iface, &s0, "put", &[Value::elem(1), Value::null()]).is_err());
+        assert!(apply_op(&iface, &s0, "remove", &[Value::null()]).is_err());
+    }
+
+    #[test]
+    fn interface_shape_matches_the_paper() {
+        let iface = map_interface();
+        assert_eq!(iface.ops.len(), 5);
+        assert_eq!(iface.update_ops().len(), 2);
+        assert_eq!(
+            iface.id.implementations(),
+            &["AssociationList", "HashTable"]
+        );
+    }
+}

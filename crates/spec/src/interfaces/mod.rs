@@ -1,0 +1,121 @@
+//! The four abstract interfaces evaluated in the paper.
+//!
+//! * [`accumulator::accumulator_interface`] — the `Accumulator` counter,
+//! * [`set::set_interface`] — the set interface of `ListSet` / `HashSet`,
+//! * [`map::map_interface`] — the map interface of `AssociationList` /
+//!   `HashTable`,
+//! * [`list::list_interface`] — the integer-indexed map interface of
+//!   `ArrayList`.
+
+pub mod accumulator;
+pub mod list;
+pub mod map;
+pub mod set;
+
+use crate::interface::{InterfaceId, InterfaceSpec};
+
+/// All four interface specifications, in the paper's order.
+pub fn all_interfaces() -> Vec<InterfaceSpec> {
+    vec![
+        accumulator::accumulator_interface(),
+        set::set_interface(),
+        map::map_interface(),
+        list::list_interface(),
+    ]
+}
+
+/// Looks up an interface specification by id.
+pub fn interface_by_id(id: InterfaceId) -> InterfaceSpec {
+    match id {
+        InterfaceId::Accumulator => accumulator::accumulator_interface(),
+        InterfaceId::Set => set::set_interface(),
+        InterfaceId::Map => map::map_interface(),
+        InterfaceId::List => list::list_interface(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operation_counts_match_chapter_5() {
+        // Chapter 5: "there are 2 operations for Accumulator, 6 for HashSet and
+        // ListSet, 7 for HashTable and AssociationList, and 9 for ArrayList",
+        // where updating operations with a return value are counted twice (a
+        // recorded and a discarded variant). The *base* operation counts are
+        // therefore 2, 4, 5, and 7.
+        let counts: Vec<usize> = all_interfaces().iter().map(|i| i.ops.len()).collect();
+        assert_eq!(counts, vec![2, 4, 5, 7]);
+    }
+
+    #[test]
+    fn interface_by_id_round_trips() {
+        for id in InterfaceId::ALL {
+            assert_eq!(interface_by_id(id).id, id);
+        }
+    }
+
+    #[test]
+    fn every_operation_is_well_sorted() {
+        use semcommute_logic::ty::sort_of;
+        for iface in all_interfaces() {
+            for op in &iface.ops {
+                assert_eq!(
+                    sort_of(&op.precondition).unwrap(),
+                    semcommute_logic::Sort::Bool,
+                    "{}::{} precondition",
+                    iface.name(),
+                    op.name
+                );
+                assert_eq!(
+                    sort_of(&op.post_state).unwrap(),
+                    iface.state_sort,
+                    "{}::{} post-state",
+                    iface.name(),
+                    op.name
+                );
+                if let (Some(result), Some(expected)) = (&op.result, op.result_sort) {
+                    assert_eq!(
+                        sort_of(result).unwrap(),
+                        expected,
+                        "{}::{} result",
+                        iface.name(),
+                        op.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observers_do_not_update_and_updates_do() {
+        for iface in all_interfaces() {
+            for op in &iface.ops {
+                if op.updates_state {
+                    assert_ne!(
+                        op.post_state,
+                        semcommute_logic::Term::var(crate::STATE_VAR, iface.state_sort),
+                        "{}::{} marked updating but leaves state unchanged",
+                        iface.name(),
+                        op.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_operation_has_a_jahob_ensures_doc() {
+        for iface in all_interfaces() {
+            for op in &iface.ops {
+                assert!(
+                    !op.ensures_doc.is_empty(),
+                    "{}::{} is missing its ensures documentation",
+                    iface.name(),
+                    op.name
+                );
+            }
+        }
+    }
+}

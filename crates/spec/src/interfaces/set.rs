@@ -1,0 +1,126 @@
+//! The set interface implemented by `ListSet` and `HashSet`.
+
+use semcommute_logic::build::*;
+use semcommute_logic::Sort;
+
+use crate::interface::{InterfaceId, InterfaceSpec, OpSpec, STATE_VAR};
+
+/// The set interface specification (Figure 2-1 of the paper).
+///
+/// Operations (Chapter 5):
+///
+/// * `add(v)` — adds `v`; returns `false` if it was already present and
+///   `true` otherwise,
+/// * `contains(v)` — returns `true` iff `v` is in the set,
+/// * `remove(v)` — removes `v`; returns `true` iff it was present,
+/// * `size()` — returns the number of elements.
+pub fn set_interface() -> InterfaceSpec {
+    let state = || var_set(STATE_VAR);
+    let v = || var_elem("v");
+    InterfaceSpec {
+        id: InterfaceId::Set,
+        state_sort: Sort::Set,
+        ops: vec![
+            OpSpec::new("add", Sort::Set)
+                .param("v", Sort::Elem)
+                .returns(Sort::Bool)
+                .pre(neq(v(), null()))
+                .post(set_add(state(), v()))
+                .result(not_member(v(), state()))
+                .ensures(
+                    "(v ~: old contents --> contents = old contents Un {v} & \
+                     size = old size + 1 & result) & \
+                     (v : old contents --> contents = old contents & \
+                     size = old size & ~result)",
+                ),
+            OpSpec::new("contains", Sort::Set)
+                .param("v", Sort::Elem)
+                .returns(Sort::Bool)
+                .pre(neq(v(), null()))
+                .result(member(v(), state()))
+                .ensures("result = (v : contents)"),
+            OpSpec::new("remove", Sort::Set)
+                .param("v", Sort::Elem)
+                .returns(Sort::Bool)
+                .pre(neq(v(), null()))
+                .post(set_remove(state(), v()))
+                .result(member(v(), state()))
+                .ensures(
+                    "(v : old contents --> contents = old contents - {v} & \
+                     size = old size - 1 & result) & \
+                     (v ~: old contents --> contents = old contents & \
+                     size = old size & ~result)",
+                ),
+            OpSpec::new("size", Sort::Set)
+                .returns(Sort::Int)
+                .result(card(state()))
+                .ensures("result = size"),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::apply_op;
+    use crate::state::AbstractState;
+    use semcommute_logic::{ElemId, Value};
+
+    fn set_of(ids: &[u32]) -> AbstractState {
+        AbstractState::Set(ids.iter().map(|&i| ElemId(i)).collect())
+    }
+
+    #[test]
+    fn add_reports_whether_the_element_was_new() {
+        let iface = set_interface();
+        let s0 = set_of(&[1]);
+        let (s1, r1) = apply_op(&iface, &s0, "add", &[Value::elem(2)]).unwrap();
+        assert_eq!(s1, set_of(&[1, 2]));
+        assert_eq!(r1, Some(Value::Bool(true)));
+        let (s2, r2) = apply_op(&iface, &s1, "add", &[Value::elem(2)]).unwrap();
+        assert_eq!(s2, set_of(&[1, 2]));
+        assert_eq!(r2, Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn remove_reports_whether_the_element_was_present() {
+        let iface = set_interface();
+        let s0 = set_of(&[1, 2]);
+        let (s1, r1) = apply_op(&iface, &s0, "remove", &[Value::elem(1)]).unwrap();
+        assert_eq!(s1, set_of(&[2]));
+        assert_eq!(r1, Some(Value::Bool(true)));
+        let (s2, r2) = apply_op(&iface, &s1, "remove", &[Value::elem(1)]).unwrap();
+        assert_eq!(s2, set_of(&[2]));
+        assert_eq!(r2, Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn contains_and_size_observe_without_updating() {
+        let iface = set_interface();
+        let s0 = set_of(&[1, 2, 3]);
+        let (s1, r1) = apply_op(&iface, &s0, "contains", &[Value::elem(2)]).unwrap();
+        assert_eq!(s1, s0);
+        assert_eq!(r1, Some(Value::Bool(true)));
+        let (_, r2) = apply_op(&iface, &s0, "contains", &[Value::elem(9)]).unwrap();
+        assert_eq!(r2, Some(Value::Bool(false)));
+        let (_, r3) = apply_op(&iface, &s0, "size", &[]).unwrap();
+        assert_eq!(r3, Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn null_arguments_violate_preconditions() {
+        let iface = set_interface();
+        let s0 = set_of(&[]);
+        for op in ["add", "contains", "remove"] {
+            assert!(apply_op(&iface, &s0, op, &[Value::null()]).is_err());
+        }
+    }
+
+    #[test]
+    fn interface_shape_matches_the_paper() {
+        let iface = set_interface();
+        assert_eq!(iface.ops.len(), 4);
+        assert_eq!(iface.update_ops().len(), 2);
+        assert_eq!(iface.id.implementations(), &["ListSet", "HashSet"]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Abstract data structure specifications for `semcommute`.
+//!
+//! The paper's technique reasons about the *abstract* state of verified linked
+//! data structure implementations: a `HashSet`'s abstract state is the set of
+//! objects it contains, a `HashTable`'s is the key→value map, an `ArrayList`'s
+//! is the sequence of stored objects, and an `Accumulator`'s is its counter
+//! value. Every operation is specified by a precondition and a postcondition
+//! over that abstract state (Figure 2-1 of the paper shows the Jahob
+//! specification of `HashSet`).
+//!
+//! This crate provides:
+//!
+//! * [`AbstractState`] — the four abstract state shapes,
+//! * [`OpSpec`] / [`InterfaceSpec`] — machine-readable operation
+//!   specifications, written as terms of the specification logic
+//!   (`semcommute-logic`). Each operation has a precondition, a *functional*
+//!   postcondition (the new abstract state as a term over the old state and
+//!   the arguments), and a result term; a Jahob-style relational `ensures`
+//!   string is attached for documentation fidelity,
+//! * the four concrete interfaces used in the paper's evaluation
+//!   ([`accumulator_interface`], [`set_interface`], [`map_interface`],
+//!   [`list_interface`]), and
+//! * [`exec`] — an executable abstract interpreter that applies an operation
+//!   to an abstract state by evaluating its specification terms. This is the
+//!   single source of truth: the verifier, the conformance tests of the
+//!   concrete implementations, and the speculative runtime all use it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod interface;
+pub mod interfaces;
+pub mod state;
+
+pub use exec::{apply_op, ExecError};
+pub use interface::{InterfaceId, InterfaceSpec, OpSpec, STATE_VAR};
+pub use interfaces::accumulator::accumulator_interface;
+pub use interfaces::list::list_interface;
+pub use interfaces::map::map_interface;
+pub use interfaces::set::set_interface;
+pub use interfaces::{all_interfaces, interface_by_id};
+pub use state::AbstractState;

@@ -1,0 +1,161 @@
+//! Abstract data structure states.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use semcommute_logic::{ElemId, Sort, Value};
+
+/// The abstract state of a data structure, as used by the specifications.
+///
+/// This is the state the paper's commutativity conditions and inverse
+/// operations are phrased over: a counter value for `Accumulator`, a set of
+/// objects for `ListSet` / `HashSet`, a key→value map for `AssociationList` /
+/// `HashTable`, and a sequence for `ArrayList`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AbstractState {
+    /// The counter value of an `Accumulator`.
+    Counter(i64),
+    /// The contents of a set data structure.
+    Set(BTreeSet<ElemId>),
+    /// The contents of a map data structure.
+    Map(BTreeMap<ElemId, ElemId>),
+    /// The contents of an `ArrayList`.
+    List(Vec<ElemId>),
+}
+
+impl AbstractState {
+    /// An empty state of the given sort (the state of a freshly constructed
+    /// data structure).
+    pub fn empty(sort: Sort) -> Option<AbstractState> {
+        match sort {
+            Sort::Int => Some(AbstractState::Counter(0)),
+            Sort::Set => Some(AbstractState::Set(BTreeSet::new())),
+            Sort::Map => Some(AbstractState::Map(BTreeMap::new())),
+            Sort::Seq => Some(AbstractState::List(Vec::new())),
+            _ => None,
+        }
+    }
+
+    /// The logical sort of this state.
+    pub fn sort(&self) -> Sort {
+        match self {
+            AbstractState::Counter(_) => Sort::Int,
+            AbstractState::Set(_) => Sort::Set,
+            AbstractState::Map(_) => Sort::Map,
+            AbstractState::List(_) => Sort::Seq,
+        }
+    }
+
+    /// The state as a value of the specification logic.
+    pub fn to_value(&self) -> Value {
+        match self {
+            AbstractState::Counter(c) => Value::Int(*c),
+            AbstractState::Set(s) => Value::Set(s.clone()),
+            AbstractState::Map(m) => Value::Map(m.clone()),
+            AbstractState::List(l) => Value::Seq(l.clone()),
+        }
+    }
+
+    /// Reconstructs a state from a logical value.
+    pub fn from_value(value: &Value) -> Option<AbstractState> {
+        match value {
+            Value::Int(c) => Some(AbstractState::Counter(*c)),
+            Value::Set(s) => Some(AbstractState::Set(s.clone())),
+            Value::Map(m) => Some(AbstractState::Map(m.clone())),
+            Value::Seq(l) => Some(AbstractState::List(l.clone())),
+            _ => None,
+        }
+    }
+
+    /// The number of entries (the `size` abstract variable of the paper's
+    /// specifications; the counter value for `Accumulator`).
+    pub fn size(&self) -> i64 {
+        match self {
+            AbstractState::Counter(c) => *c,
+            AbstractState::Set(s) => s.len() as i64,
+            AbstractState::Map(m) => m.len() as i64,
+            AbstractState::List(l) => l.len() as i64,
+        }
+    }
+
+    /// Returns `true` if the state contains no `null` objects — the data
+    /// structure representation invariant shared by every structure in the
+    /// paper (operation preconditions require non-null arguments).
+    pub fn null_free(&self) -> bool {
+        match self {
+            AbstractState::Counter(_) => true,
+            AbstractState::Set(s) => s.iter().all(|e| !e.is_null()),
+            AbstractState::Map(m) => m.iter().all(|(k, v)| !k.is_null() && !v.is_null()),
+            AbstractState::List(l) => l.iter().all(|e| !e.is_null()),
+        }
+    }
+}
+
+impl fmt::Display for AbstractState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_value())
+    }
+}
+
+impl From<AbstractState> for Value {
+    fn from(s: AbstractState) -> Value {
+        s.to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_states_have_size_zero() {
+        for sort in [Sort::Int, Sort::Set, Sort::Map, Sort::Seq] {
+            let s = AbstractState::empty(sort).unwrap();
+            assert_eq!(s.size(), 0);
+            assert_eq!(s.sort(), sort);
+            assert!(s.null_free());
+        }
+        assert!(AbstractState::empty(Sort::Bool).is_none());
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let states = [
+            AbstractState::Counter(7),
+            AbstractState::Set([ElemId(1), ElemId(2)].into_iter().collect()),
+            AbstractState::Map([(ElemId(1), ElemId(9))].into_iter().collect()),
+            AbstractState::List(vec![ElemId(3), ElemId(3)]),
+        ];
+        for s in states {
+            let v = s.to_value();
+            assert_eq!(AbstractState::from_value(&v), Some(s.clone()));
+            assert_eq!(Value::from(s.clone()), v);
+        }
+        assert_eq!(AbstractState::from_value(&Value::Bool(true)), None);
+    }
+
+    #[test]
+    fn size_counts_entries() {
+        assert_eq!(AbstractState::Counter(-4).size(), -4);
+        assert_eq!(
+            AbstractState::Set([ElemId(1), ElemId(2)].into_iter().collect()).size(),
+            2
+        );
+        assert_eq!(AbstractState::List(vec![ElemId(1)]).size(), 1);
+    }
+
+    #[test]
+    fn null_free_detects_null_entries() {
+        use semcommute_logic::NULL_ELEM;
+        assert!(!AbstractState::Set([NULL_ELEM].into_iter().collect()).null_free());
+        assert!(!AbstractState::Map([(ElemId(1), NULL_ELEM)].into_iter().collect()).null_free());
+        assert!(!AbstractState::List(vec![NULL_ELEM]).null_free());
+        assert!(AbstractState::List(vec![ElemId(1)]).null_free());
+    }
+
+    #[test]
+    fn display_matches_value_display() {
+        let s = AbstractState::Set([ElemId(1)].into_iter().collect());
+        assert_eq!(s.to_string(), "{o1}");
+    }
+}

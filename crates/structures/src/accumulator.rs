@@ -1,0 +1,97 @@
+//! The `Accumulator`: a counter that clients can increase and read.
+
+use semcommute_spec::AbstractState;
+
+use crate::traits::Abstraction;
+
+/// A counter supporting `increase` and `read`, as evaluated in the paper.
+///
+/// The abstract state is simply the counter value; the concrete state is the
+/// same integer, so the abstraction function is the identity. The structure
+/// is included because its commutativity conditions (Table 5.1) and inverse
+/// operation (`increase(-v)`, Table 5.10) exercise the integer fragment of
+/// the verifier.
+///
+/// # Example
+///
+/// ```
+/// use semcommute_structures::Accumulator;
+/// let mut acc = Accumulator::new();
+/// acc.increase(10);
+/// acc.increase(-3);
+/// assert_eq!(acc.read(), 7);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Accumulator {
+    value: i64,
+}
+
+impl Accumulator {
+    /// Creates an accumulator holding zero.
+    pub fn new() -> Accumulator {
+        Accumulator { value: 0 }
+    }
+
+    /// Creates an accumulator holding `value`.
+    pub fn with_value(value: i64) -> Accumulator {
+        Accumulator { value }
+    }
+
+    /// Adds `v` (possibly negative) to the counter.
+    pub fn increase(&mut self, v: i64) {
+        self.value = self.value.wrapping_add(v);
+    }
+
+    /// Returns the current counter value.
+    pub fn read(&self) -> i64 {
+        self.value
+    }
+}
+
+impl Abstraction for Accumulator {
+    fn abstract_state(&self) -> AbstractState {
+        AbstractState::Counter(self.value)
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        // The representation is the abstract state; nothing can go wrong.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_starts_at_zero() {
+        assert_eq!(Accumulator::new().read(), 0);
+        assert_eq!(Accumulator::default().read(), 0);
+    }
+
+    #[test]
+    fn increase_accumulates() {
+        let mut a = Accumulator::with_value(5);
+        a.increase(3);
+        a.increase(-10);
+        assert_eq!(a.read(), -2);
+    }
+
+    #[test]
+    fn abstraction_is_the_counter_value() {
+        let mut a = Accumulator::new();
+        a.increase(42);
+        assert_eq!(a.abstract_state(), AbstractState::Counter(42));
+        assert!(a.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn increase_then_inverse_restores_abstract_state() {
+        // The inverse of increase(v) is increase(-v) (Table 5.10).
+        let mut a = Accumulator::with_value(17);
+        let before = a.abstract_state();
+        a.increase(9);
+        a.increase(-9);
+        assert_eq!(a.abstract_state(), before);
+    }
+}

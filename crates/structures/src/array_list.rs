@@ -1,0 +1,288 @@
+//! `ArrayList`: a dense integer-indexed map backed by a growable array.
+
+use semcommute_logic::ElemId;
+use semcommute_spec::AbstractState;
+
+use crate::traits::{require_non_null, Abstraction, ListInterface};
+
+const INITIAL_CAPACITY: usize = 8;
+
+/// A map from a dense range of integers (starting at 0) to objects, backed by
+/// a growable array — the paper's `ArrayList`.
+///
+/// `add_at` and `remove_at` shift the elements above the affected index, which
+/// is what makes the ArrayList commutativity conditions (Tables 5.6 and 5.7)
+/// by far the most intricate in the catalog: the conditions must reason about
+/// how index ranges move.
+///
+/// The backing storage is managed manually (a boxed slice of optional
+/// elements plus a length field) rather than delegating to `Vec`, so that the
+/// representation invariant (`len ≤ capacity`, populated prefix, vacant
+/// suffix) is a real invariant checked by [`Abstraction::check_invariants`].
+///
+/// # Example
+///
+/// ```
+/// use semcommute_logic::ElemId;
+/// use semcommute_structures::{ArrayList, ListInterface};
+/// let mut l = ArrayList::new();
+/// l.add_at(0, ElemId(1));
+/// l.add_at(1, ElemId(2));
+/// l.add_at(1, ElemId(3));          // [1, 3, 2]
+/// assert_eq!(l.get(1), ElemId(3));
+/// assert_eq!(l.remove_at(0), ElemId(1));
+/// assert_eq!(l.index_of(ElemId(2)), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArrayList {
+    /// Backing storage; slots `0..len` are `Some`, slots `len..` are `None`.
+    slots: Box<[Option<ElemId>]>,
+    len: usize,
+}
+
+impl ArrayList {
+    /// Creates an empty list.
+    pub fn new() -> ArrayList {
+        ArrayList {
+            slots: vec![None; INITIAL_CAPACITY].into_boxed_slice(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty list with at least `capacity` slots preallocated.
+    pub fn with_capacity(capacity: usize) -> ArrayList {
+        ArrayList {
+            slots: vec![None; capacity.max(1)].into_boxed_slice(),
+            len: 0,
+        }
+    }
+
+    /// Returns `true` if the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The number of allocated slots (exposed for tests and benchmarks).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Iterates over the elements in index order.
+    pub fn iter(&self) -> impl Iterator<Item = ElemId> + '_ {
+        self.slots[..self.len].iter().map(|s| s.expect("populated prefix"))
+    }
+
+    fn ensure_capacity(&mut self, needed: usize) {
+        if needed <= self.slots.len() {
+            return;
+        }
+        let new_capacity = (self.slots.len() * 2).max(needed).max(INITIAL_CAPACITY);
+        let mut new_slots = vec![None; new_capacity].into_boxed_slice();
+        new_slots[..self.len].clone_from_slice(&self.slots[..self.len]);
+        self.slots = new_slots;
+    }
+}
+
+impl Default for ArrayList {
+    fn default() -> Self {
+        ArrayList::new()
+    }
+}
+
+impl ListInterface for ArrayList {
+    fn add_at(&mut self, i: usize, v: ElemId) {
+        require_non_null(v, "element");
+        assert!(i <= self.len, "index {i} out of bounds for add_at (len {})", self.len);
+        self.ensure_capacity(self.len + 1);
+        // Shift the suffix up by one position, from the top down.
+        let mut j = self.len;
+        while j > i {
+            self.slots[j] = self.slots[j - 1].take();
+            j -= 1;
+        }
+        self.slots[i] = Some(v);
+        self.len += 1;
+    }
+
+    fn get(&self, i: usize) -> ElemId {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.slots[i].expect("populated prefix")
+    }
+
+    fn index_of(&self, v: ElemId) -> Option<usize> {
+        require_non_null(v, "element");
+        self.iter().position(|e| e == v)
+    }
+
+    fn last_index_of(&self, v: ElemId) -> Option<usize> {
+        require_non_null(v, "element");
+        let mut found = None;
+        for (i, e) in self.iter().enumerate() {
+            if e == v {
+                found = Some(i);
+            }
+        }
+        found
+    }
+
+    fn remove_at(&mut self, i: usize) -> ElemId {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let removed = self.slots[i].take().expect("populated prefix");
+        // Shift the suffix down by one position.
+        for j in i..self.len - 1 {
+            self.slots[j] = self.slots[j + 1].take();
+        }
+        self.slots[self.len - 1] = None;
+        self.len -= 1;
+        removed
+    }
+
+    fn set(&mut self, i: usize, v: ElemId) -> ElemId {
+        require_non_null(v, "element");
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        let previous = self.slots[i].replace(v);
+        previous.expect("populated prefix")
+    }
+
+    fn size(&self) -> usize {
+        self.len
+    }
+}
+
+impl Abstraction for ArrayList {
+    fn abstract_state(&self) -> AbstractState {
+        AbstractState::List(self.iter().collect())
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        if self.len > self.slots.len() {
+            return Err(format!(
+                "length {} exceeds capacity {}",
+                self.len,
+                self.slots.len()
+            ));
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            match slot {
+                Some(e) if i < self.len => {
+                    if e.is_null() {
+                        return Err(format!("slot {i} stores the null element"));
+                    }
+                }
+                None if i < self.len => {
+                    return Err(format!("slot {i} inside the populated prefix is vacant"))
+                }
+                Some(_) => return Err(format!("slot {i} beyond the length is populated")),
+                None => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<ElemId> for ArrayList {
+    fn from_iter<T: IntoIterator<Item = ElemId>>(iter: T) -> Self {
+        let mut l = ArrayList::new();
+        for e in iter {
+            let end = l.size();
+            l.add_at(end, e);
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list_of(ids: &[u32]) -> ArrayList {
+        ids.iter().map(|&i| ElemId(i)).collect()
+    }
+
+    #[test]
+    fn add_at_inserts_and_shifts() {
+        let mut l = list_of(&[1, 2, 3]);
+        l.add_at(1, ElemId(9));
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![ElemId(1), ElemId(9), ElemId(2), ElemId(3)]);
+        l.add_at(4, ElemId(7));
+        assert_eq!(l.get(4), ElemId(7));
+        assert_eq!(l.size(), 5);
+        assert!(l.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn remove_at_returns_and_shifts() {
+        let mut l = list_of(&[1, 2, 3, 4]);
+        assert_eq!(l.remove_at(1), ElemId(2));
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![ElemId(1), ElemId(3), ElemId(4)]);
+        assert_eq!(l.remove_at(2), ElemId(4));
+        assert_eq!(l.size(), 2);
+        assert!(l.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn set_replaces_and_returns_previous() {
+        let mut l = list_of(&[1, 2, 3]);
+        assert_eq!(l.set(2, ElemId(8)), ElemId(3));
+        assert_eq!(l.get(2), ElemId(8));
+        assert_eq!(l.size(), 3);
+    }
+
+    #[test]
+    fn index_queries_find_first_and_last_occurrences() {
+        let l = list_of(&[5, 6, 5, 7]);
+        assert_eq!(l.index_of(ElemId(5)), Some(0));
+        assert_eq!(l.last_index_of(ElemId(5)), Some(2));
+        assert_eq!(l.index_of(ElemId(9)), None);
+        assert_eq!(l.last_index_of(ElemId(9)), None);
+    }
+
+    #[test]
+    fn grows_beyond_initial_capacity() {
+        let mut l = ArrayList::new();
+        let initial = l.capacity();
+        for i in 0..100u32 {
+            l.add_at(l.size(), ElemId(i + 1));
+        }
+        assert!(l.capacity() > initial);
+        assert_eq!(l.size(), 100);
+        assert_eq!(l.get(99), ElemId(100));
+        assert!(l.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn abstraction_is_the_sequence() {
+        let l = list_of(&[4, 4, 2]);
+        assert_eq!(
+            l.abstract_state(),
+            AbstractState::List(vec![ElemId(4), ElemId(4), ElemId(2)])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        list_of(&[1]).get(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn add_at_beyond_len_panics() {
+        let mut l = list_of(&[1]);
+        l.add_at(2, ElemId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be null")]
+    fn null_element_panics() {
+        let mut l = ArrayList::new();
+        l.add_at(0, semcommute_logic::NULL_ELEM);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let l = ArrayList::with_capacity(32);
+        assert!(l.capacity() >= 32);
+        assert!(l.is_empty());
+    }
+}

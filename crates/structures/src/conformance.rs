@@ -1,0 +1,412 @@
+//! Conformance checking of concrete structures against the abstract
+//! specifications.
+//!
+//! In the paper, Jahob verifies that each implementation satisfies its
+//! interface specification (including the abstraction function). Here the
+//! correspondence is established by running a concrete structure and the
+//! executable abstract semantics of `semcommute-spec` in lockstep over
+//! operation traces and checking after every step that
+//!
+//! 1. the return values agree,
+//! 2. the abstraction function maps the concrete state to the abstract state
+//!    computed by the specification, and
+//! 3. the representation invariant holds.
+//!
+//! The workspace test-suite drives these checkers from property-based tests
+//! with randomly generated traces.
+
+use semcommute_logic::{ElemId, Value};
+use semcommute_spec::{
+    apply_op, list_interface, map_interface, set_interface, AbstractState,
+};
+
+use crate::traits::{Abstraction, ListInterface, MapInterface, SetInterface};
+
+/// An operation of a set trace. Element identities are small integers; zero is
+/// remapped to a valid identity so that any `u8` makes a legal operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `add(v)`
+    Add(u8),
+    /// `contains(v)`
+    Contains(u8),
+    /// `remove(v)`
+    Remove(u8),
+    /// `size()`
+    Size,
+}
+
+/// An operation of a map trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOp {
+    /// `put(k, v)`
+    Put(u8, u8),
+    /// `get(k)`
+    Get(u8),
+    /// `remove(k)`
+    Remove(u8),
+    /// `containsKey(k)`
+    ContainsKey(u8),
+    /// `size()`
+    Size,
+}
+
+/// An operation of an ArrayList trace. Raw indices are reduced modulo the
+/// current size (plus one for `AddAt`) so that every generated operation
+/// satisfies its precondition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListOp {
+    /// `addAt(i, v)`
+    AddAt(u8, u8),
+    /// `get(i)`
+    Get(u8),
+    /// `indexOf(v)`
+    IndexOf(u8),
+    /// `lastIndexOf(v)`
+    LastIndexOf(u8),
+    /// `removeAt(i)`
+    RemoveAt(u8),
+    /// `set(i, v)`
+    Set(u8, u8),
+    /// `size()`
+    Size,
+}
+
+fn elem(raw: u8) -> ElemId {
+    // Avoid zero only to keep identities visually distinct from indices in
+    // failure output; any non-null id is legal.
+    ElemId(u32::from(raw) + 1)
+}
+
+fn check_state(
+    step: usize,
+    concrete: &dyn Abstraction,
+    expected: &AbstractState,
+) -> Result<(), String> {
+    concrete
+        .check_invariants()
+        .map_err(|e| format!("step {step}: representation invariant violated: {e}"))?;
+    let actual = concrete.abstract_state();
+    if actual != *expected {
+        return Err(format!(
+            "step {step}: abstraction mismatch: concrete abstracts to {actual}, specification says {expected}"
+        ));
+    }
+    Ok(())
+}
+
+fn check_result(step: usize, op: &str, got: &Value, expected: &Value) -> Result<(), String> {
+    if got != expected {
+        return Err(format!(
+            "step {step}: `{op}` returned {got}, specification says {expected}"
+        ));
+    }
+    Ok(())
+}
+
+/// Runs a trace against a set implementation and the set specification.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence (return value, abstraction,
+/// or invariant) found.
+pub fn run_set_trace<S: SetInterface>(concrete: &mut S, trace: &[SetOp]) -> Result<(), String> {
+    let iface = set_interface();
+    let mut abstract_state = concrete.abstract_state();
+    check_state(0, concrete, &abstract_state)?;
+    for (step, op) in trace.iter().enumerate() {
+        let step = step + 1;
+        match *op {
+            SetOp::Add(v) => {
+                let got = Value::Bool(concrete.add(elem(v)));
+                let (next, expected) =
+                    apply_op(&iface, &abstract_state, "add", &[Value::Elem(elem(v))])
+                        .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "add", &got, &expected.expect("add returns"))?;
+                abstract_state = next;
+            }
+            SetOp::Contains(v) => {
+                let got = Value::Bool(concrete.contains(elem(v)));
+                let (_, expected) =
+                    apply_op(&iface, &abstract_state, "contains", &[Value::Elem(elem(v))])
+                        .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "contains", &got, &expected.expect("contains returns"))?;
+            }
+            SetOp::Remove(v) => {
+                let got = Value::Bool(concrete.remove(elem(v)));
+                let (next, expected) =
+                    apply_op(&iface, &abstract_state, "remove", &[Value::Elem(elem(v))])
+                        .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "remove", &got, &expected.expect("remove returns"))?;
+                abstract_state = next;
+            }
+            SetOp::Size => {
+                let got = Value::Int(concrete.size() as i64);
+                let (_, expected) = apply_op(&iface, &abstract_state, "size", &[])
+                    .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "size", &got, &expected.expect("size returns"))?;
+            }
+        }
+        check_state(step, concrete, &abstract_state)?;
+    }
+    Ok(())
+}
+
+/// Runs a trace against a map implementation and the map specification.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence found.
+pub fn run_map_trace<M: MapInterface>(concrete: &mut M, trace: &[MapOp]) -> Result<(), String> {
+    let iface = map_interface();
+    let mut abstract_state = concrete.abstract_state();
+    check_state(0, concrete, &abstract_state)?;
+    let opt_to_value = |o: Option<ElemId>| Value::Elem(o.unwrap_or(semcommute_logic::NULL_ELEM));
+    for (step, op) in trace.iter().enumerate() {
+        let step = step + 1;
+        match *op {
+            MapOp::Put(k, v) => {
+                let got = opt_to_value(concrete.put(elem(k), elem(v)));
+                let (next, expected) = apply_op(
+                    &iface,
+                    &abstract_state,
+                    "put",
+                    &[Value::Elem(elem(k)), Value::Elem(elem(v))],
+                )
+                .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "put", &got, &expected.expect("put returns"))?;
+                abstract_state = next;
+            }
+            MapOp::Get(k) => {
+                let got = opt_to_value(concrete.get(elem(k)));
+                let (_, expected) =
+                    apply_op(&iface, &abstract_state, "get", &[Value::Elem(elem(k))])
+                        .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "get", &got, &expected.expect("get returns"))?;
+            }
+            MapOp::Remove(k) => {
+                let got = opt_to_value(concrete.remove(elem(k)));
+                let (next, expected) =
+                    apply_op(&iface, &abstract_state, "remove", &[Value::Elem(elem(k))])
+                        .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "remove", &got, &expected.expect("remove returns"))?;
+                abstract_state = next;
+            }
+            MapOp::ContainsKey(k) => {
+                let got = Value::Bool(concrete.contains_key(elem(k)));
+                let (_, expected) = apply_op(
+                    &iface,
+                    &abstract_state,
+                    "containsKey",
+                    &[Value::Elem(elem(k))],
+                )
+                .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "containsKey", &got, &expected.expect("containsKey returns"))?;
+            }
+            MapOp::Size => {
+                let got = Value::Int(concrete.size() as i64);
+                let (_, expected) = apply_op(&iface, &abstract_state, "size", &[])
+                    .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "size", &got, &expected.expect("size returns"))?;
+            }
+        }
+        check_state(step, concrete, &abstract_state)?;
+    }
+    Ok(())
+}
+
+/// Runs a trace against an ArrayList implementation and the list
+/// specification. Indices are reduced modulo the current size so that every
+/// operation satisfies its precondition; operations whose precondition cannot
+/// be satisfied (e.g. `get` on an empty list) are skipped.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence found.
+pub fn run_list_trace<L: ListInterface>(concrete: &mut L, trace: &[ListOp]) -> Result<(), String> {
+    let iface = list_interface();
+    let mut abstract_state = concrete.abstract_state();
+    check_state(0, concrete, &abstract_state)?;
+    for (step, op) in trace.iter().enumerate() {
+        let step = step + 1;
+        let len = concrete.size();
+        match *op {
+            ListOp::AddAt(i, v) => {
+                let i = (i as usize) % (len + 1);
+                concrete.add_at(i, elem(v));
+                let (next, _) = apply_op(
+                    &iface,
+                    &abstract_state,
+                    "addAt",
+                    &[Value::Int(i as i64), Value::Elem(elem(v))],
+                )
+                .map_err(|e| format!("step {step}: {e}"))?;
+                abstract_state = next;
+            }
+            ListOp::Get(i) => {
+                if len == 0 {
+                    continue;
+                }
+                let i = (i as usize) % len;
+                let got = Value::Elem(concrete.get(i));
+                let (_, expected) =
+                    apply_op(&iface, &abstract_state, "get", &[Value::Int(i as i64)])
+                        .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "get", &got, &expected.expect("get returns"))?;
+            }
+            ListOp::IndexOf(v) => {
+                let got = Value::Int(concrete.index_of(elem(v)).map_or(-1, |i| i as i64));
+                let (_, expected) =
+                    apply_op(&iface, &abstract_state, "indexOf", &[Value::Elem(elem(v))])
+                        .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "indexOf", &got, &expected.expect("indexOf returns"))?;
+            }
+            ListOp::LastIndexOf(v) => {
+                let got = Value::Int(concrete.last_index_of(elem(v)).map_or(-1, |i| i as i64));
+                let (_, expected) = apply_op(
+                    &iface,
+                    &abstract_state,
+                    "lastIndexOf",
+                    &[Value::Elem(elem(v))],
+                )
+                .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "lastIndexOf", &got, &expected.expect("lastIndexOf returns"))?;
+            }
+            ListOp::RemoveAt(i) => {
+                if len == 0 {
+                    continue;
+                }
+                let i = (i as usize) % len;
+                let got = Value::Elem(concrete.remove_at(i));
+                let (next, expected) =
+                    apply_op(&iface, &abstract_state, "removeAt", &[Value::Int(i as i64)])
+                        .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "removeAt", &got, &expected.expect("removeAt returns"))?;
+                abstract_state = next;
+            }
+            ListOp::Set(i, v) => {
+                if len == 0 {
+                    continue;
+                }
+                let i = (i as usize) % len;
+                let got = Value::Elem(concrete.set(i, elem(v)));
+                let (next, expected) = apply_op(
+                    &iface,
+                    &abstract_state,
+                    "set",
+                    &[Value::Int(i as i64), Value::Elem(elem(v))],
+                )
+                .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "set", &got, &expected.expect("set returns"))?;
+                abstract_state = next;
+            }
+            ListOp::Size => {
+                let got = Value::Int(concrete.size() as i64);
+                let (_, expected) = apply_op(&iface, &abstract_state, "size", &[])
+                    .map_err(|e| format!("step {step}: {e}"))?;
+                check_result(step, "size", &got, &expected.expect("size returns"))?;
+            }
+        }
+        check_state(step, concrete, &abstract_state)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ArrayList, AssociationList, HashSet, HashTable, ListSet};
+
+    #[test]
+    fn set_implementations_conform_on_a_fixed_trace() {
+        let trace = [
+            SetOp::Add(1),
+            SetOp::Add(2),
+            SetOp::Add(1),
+            SetOp::Contains(1),
+            SetOp::Remove(1),
+            SetOp::Contains(1),
+            SetOp::Size,
+            SetOp::Remove(9),
+        ];
+        run_set_trace(&mut ListSet::new(), &trace).unwrap();
+        run_set_trace(&mut HashSet::new(), &trace).unwrap();
+    }
+
+    #[test]
+    fn map_implementations_conform_on_a_fixed_trace() {
+        let trace = [
+            MapOp::Put(1, 10),
+            MapOp::Put(2, 20),
+            MapOp::Put(1, 11),
+            MapOp::Get(1),
+            MapOp::Get(3),
+            MapOp::ContainsKey(2),
+            MapOp::Remove(1),
+            MapOp::Remove(1),
+            MapOp::Size,
+        ];
+        run_map_trace(&mut AssociationList::new(), &trace).unwrap();
+        run_map_trace(&mut HashTable::new(), &trace).unwrap();
+    }
+
+    #[test]
+    fn array_list_conforms_on_a_fixed_trace() {
+        let trace = [
+            ListOp::AddAt(0, 1),
+            ListOp::AddAt(1, 2),
+            ListOp::AddAt(0, 3),
+            ListOp::Get(5),
+            ListOp::IndexOf(1),
+            ListOp::LastIndexOf(9),
+            ListOp::Set(2, 4),
+            ListOp::RemoveAt(1),
+            ListOp::Size,
+        ];
+        run_list_trace(&mut ArrayList::new(), &trace).unwrap();
+    }
+
+    #[test]
+    fn trace_on_empty_list_skips_unsatisfiable_operations() {
+        let trace = [ListOp::Get(0), ListOp::RemoveAt(0), ListOp::Set(0, 1), ListOp::Size];
+        run_list_trace(&mut ArrayList::new(), &trace).unwrap();
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        // A deliberately broken "set" that forgets to deduplicate.
+        #[derive(Default)]
+        struct BrokenSet(Vec<ElemId>);
+        impl Abstraction for BrokenSet {
+            fn abstract_state(&self) -> AbstractState {
+                AbstractState::Set(self.0.iter().copied().collect())
+            }
+            fn check_invariants(&self) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        impl SetInterface for BrokenSet {
+            fn add(&mut self, v: ElemId) -> bool {
+                self.0.push(v);
+                true // wrong: claims the element was always new
+            }
+            fn contains(&self, v: ElemId) -> bool {
+                self.0.contains(&v)
+            }
+            fn remove(&mut self, v: ElemId) -> bool {
+                if let Some(p) = self.0.iter().position(|&e| e == v) {
+                    self.0.remove(p);
+                    true
+                } else {
+                    false
+                }
+            }
+            fn size(&self) -> usize {
+                self.0.len()
+            }
+        }
+        let err = run_set_trace(&mut BrokenSet::default(), &[SetOp::Add(1), SetOp::Add(1)])
+            .unwrap_err();
+        assert!(err.contains("add"), "unexpected error: {err}");
+    }
+}

@@ -1,0 +1,298 @@
+//! `HashSet`: a set implemented as a separately chained hash table.
+
+use semcommute_logic::ElemId;
+use semcommute_spec::AbstractState;
+
+use crate::traits::{require_non_null, Abstraction, SetInterface};
+
+/// A node in a bucket chain.
+#[derive(Debug, Clone)]
+struct Node {
+    elem: ElemId,
+    next: Option<Box<Node>>,
+}
+
+/// Multiplicative hash used to spread element identities across buckets.
+fn bucket_of(elem: ElemId, buckets: usize) -> usize {
+    debug_assert!(buckets.is_power_of_two());
+    let h = elem.0.wrapping_mul(0x9E37_79B9);
+    (h as usize) & (buckets - 1)
+}
+
+/// A set of objects implemented with a separately chained hash table, as in
+/// Figure 2-1 of the paper: an array of linked lists plus a size field.
+///
+/// Like [`crate::ListSet`], two `HashSet`s holding the same elements can have
+/// different concrete states (different table sizes, different chain orders)
+/// while having the same abstract state; the commutativity conditions are
+/// stated over the abstract set and therefore apply to both.
+///
+/// # Example
+///
+/// ```
+/// use semcommute_logic::ElemId;
+/// use semcommute_structures::{HashSet, SetInterface};
+/// let mut s = HashSet::new();
+/// for i in 1..=100 {
+///     assert!(s.add(ElemId(i)));
+/// }
+/// assert_eq!(s.size(), 100);
+/// assert!(s.remove(ElemId(40)));
+/// assert!(!s.contains(ElemId(40)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashSet {
+    table: Vec<Option<Box<Node>>>,
+    size: usize,
+}
+
+const INITIAL_BUCKETS: usize = 8;
+/// The chain length / bucket ratio above which the table grows.
+const MAX_LOAD_NUMERATOR: usize = 3;
+const MAX_LOAD_DENOMINATOR: usize = 4;
+
+impl HashSet {
+    /// Creates an empty set.
+    pub fn new() -> HashSet {
+        HashSet {
+            table: (0..INITIAL_BUCKETS).map(|_| None).collect(),
+            size: 0,
+        }
+    }
+
+    /// Creates an empty set with at least `capacity` buckets.
+    pub fn with_capacity(capacity: usize) -> HashSet {
+        let buckets = capacity.next_power_of_two().max(INITIAL_BUCKETS);
+        HashSet {
+            table: (0..buckets).map(|_| None).collect(),
+            size: 0,
+        }
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The number of buckets currently allocated (exposed for tests and the
+    /// resize benchmarks).
+    pub fn buckets(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Iterates over the elements in bucket/chain order.
+    pub fn iter(&self) -> impl Iterator<Item = ElemId> + '_ {
+        self.table.iter().flat_map(|bucket| {
+            let mut out = Vec::new();
+            let mut cursor = bucket.as_deref();
+            while let Some(node) = cursor {
+                out.push(node.elem);
+                cursor = node.next.as_deref();
+            }
+            out
+        })
+    }
+
+    fn should_grow(&self) -> bool {
+        self.size * MAX_LOAD_DENOMINATOR >= self.table.len() * MAX_LOAD_NUMERATOR
+    }
+
+    fn grow(&mut self) {
+        let new_buckets = self.table.len() * 2;
+        let mut new_table: Vec<Option<Box<Node>>> = (0..new_buckets).map(|_| None).collect();
+        let old_table = std::mem::take(&mut self.table);
+        for bucket in old_table {
+            let mut cursor = bucket;
+            while let Some(mut node) = cursor {
+                cursor = node.next.take();
+                let idx = bucket_of(node.elem, new_buckets);
+                node.next = new_table[idx].take();
+                new_table[idx] = Some(node);
+            }
+        }
+        self.table = new_table;
+    }
+}
+
+impl Default for HashSet {
+    fn default() -> Self {
+        HashSet::new()
+    }
+}
+
+impl SetInterface for HashSet {
+    fn add(&mut self, v: ElemId) -> bool {
+        require_non_null(v, "element");
+        if self.contains(v) {
+            return false;
+        }
+        if self.should_grow() {
+            self.grow();
+        }
+        let idx = bucket_of(v, self.table.len());
+        let node = Box::new(Node {
+            elem: v,
+            next: self.table[idx].take(),
+        });
+        self.table[idx] = Some(node);
+        self.size += 1;
+        true
+    }
+
+    fn contains(&self, v: ElemId) -> bool {
+        require_non_null(v, "element");
+        let idx = bucket_of(v, self.table.len());
+        let mut cursor = self.table[idx].as_deref();
+        while let Some(node) = cursor {
+            if node.elem == v {
+                return true;
+            }
+            cursor = node.next.as_deref();
+        }
+        false
+    }
+
+    fn remove(&mut self, v: ElemId) -> bool {
+        require_non_null(v, "element");
+        let idx = bucket_of(v, self.table.len());
+        let mut cursor = &mut self.table[idx];
+        loop {
+            match cursor {
+                None => return false,
+                Some(node) if node.elem == v => {
+                    let next = node.next.take();
+                    *cursor = next;
+                    self.size -= 1;
+                    return true;
+                }
+                Some(node) => cursor = &mut node.next,
+            }
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Abstraction for HashSet {
+    fn abstract_state(&self) -> AbstractState {
+        AbstractState::Set(self.iter().collect())
+    }
+
+    fn check_invariants(&self) -> Result<(), String> {
+        if !self.table.len().is_power_of_two() {
+            return Err("bucket count is not a power of two".to_string());
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut count = 0usize;
+        for (idx, bucket) in self.table.iter().enumerate() {
+            let mut cursor = bucket.as_deref();
+            while let Some(node) = cursor {
+                if node.elem.is_null() {
+                    return Err("hash chain stores the null element".to_string());
+                }
+                if bucket_of(node.elem, self.table.len()) != idx {
+                    return Err(format!("element {} is in the wrong bucket", node.elem));
+                }
+                if !seen.insert(node.elem) {
+                    return Err(format!("duplicate element {} in the table", node.elem));
+                }
+                count += 1;
+                cursor = node.next.as_deref();
+            }
+        }
+        if count != self.size {
+            return Err(format!(
+                "size field is {} but the table holds {count} elements",
+                self.size
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<ElemId> for HashSet {
+    fn from_iter<T: IntoIterator<Item = ElemId>>(iter: T) -> Self {
+        let mut s = HashSet::new();
+        for e in iter {
+            s.add(e);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_contains_remove_size() {
+        let mut s = HashSet::new();
+        assert!(s.add(ElemId(1)));
+        assert!(!s.add(ElemId(1)));
+        assert!(s.add(ElemId(2)));
+        assert_eq!(s.size(), 2);
+        assert!(s.contains(ElemId(2)));
+        assert!(s.remove(ElemId(2)));
+        assert!(!s.remove(ElemId(2)));
+        assert!(!s.contains(ElemId(2)));
+        assert_eq!(s.size(), 1);
+        assert!(s.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn grows_and_rehashes_preserving_contents() {
+        let mut s = HashSet::new();
+        let initial_buckets = s.buckets();
+        for i in 1..=200u32 {
+            assert!(s.add(ElemId(i)));
+        }
+        assert!(s.buckets() > initial_buckets);
+        assert_eq!(s.size(), 200);
+        for i in 1..=200u32 {
+            assert!(s.contains(ElemId(i)), "lost element {i} after rehashing");
+        }
+        assert!(s.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn abstract_state_matches_listset_for_same_elements() {
+        use crate::list_set::ListSet;
+        let elems = [ElemId(3), ElemId(11), ElemId(19), ElemId(3)];
+        let hs: HashSet = elems.into_iter().collect();
+        let ls: ListSet = elems.into_iter().collect();
+        assert_eq!(hs.abstract_state(), ls.abstract_state());
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let s = HashSet::with_capacity(100);
+        assert!(s.buckets() >= 100);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be null")]
+    fn null_argument_panics() {
+        HashSet::new().contains(semcommute_logic::NULL_ELEM);
+    }
+
+    #[test]
+    fn colliding_elements_share_a_bucket_chain() {
+        // Elements whose ids differ by a multiple of the bucket count collide
+        // in the initial table.
+        let mut s = HashSet::new();
+        let b = s.buckets() as u32;
+        let colliding = [ElemId(1), ElemId(1 + b), ElemId(1 + 2 * b)];
+        for e in colliding {
+            assert!(s.add(e));
+        }
+        for e in colliding {
+            assert!(s.contains(e));
+        }
+        assert!(s.remove(colliding[1]));
+        assert!(s.contains(colliding[0]) && s.contains(colliding[2]));
+        assert!(s.check_invariants().is_ok());
+    }
+}

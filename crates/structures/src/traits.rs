@@ -1,0 +1,170 @@
+//! Interface traits and the abstraction function.
+
+use semcommute_logic::ElemId;
+use semcommute_spec::AbstractState;
+
+/// Connects a concrete data structure to its abstract state.
+///
+/// The abstraction function is the bridge the paper's technique relies on:
+/// commutativity conditions and inverse operations are stated and verified
+/// over [`AbstractState`]; because each implementation's operations preserve
+/// the correspondence with the abstract semantics (checked by the conformance
+/// tests), the verified conditions apply to the concrete structure that
+/// actually executes at run time.
+pub trait Abstraction {
+    /// The abstraction function: the abstract state this concrete state
+    /// represents.
+    fn abstract_state(&self) -> AbstractState;
+
+    /// Checks the representation invariant, returning a description of the
+    /// first violation found.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with a human-readable message when the representation is
+    /// corrupted (e.g. a stale size field or a `null` element stored in a
+    /// node).
+    fn check_invariants(&self) -> Result<(), String>;
+}
+
+/// The set interface implemented by [`crate::ListSet`] and [`crate::HashSet`].
+///
+/// Semantics follow the paper's `HashSet` specification (Figure 2-1); all
+/// methods taking an element panic if it is `null`, mirroring the `v ~= null`
+/// preconditions.
+pub trait SetInterface: Abstraction {
+    /// Adds `v` to the set. Returns `true` if the element was not already
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is the `null` element.
+    fn add(&mut self, v: ElemId) -> bool;
+
+    /// Returns `true` iff `v` is in the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is the `null` element.
+    fn contains(&self, v: ElemId) -> bool;
+
+    /// Removes `v` from the set. Returns `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is the `null` element.
+    fn remove(&mut self, v: ElemId) -> bool;
+
+    /// The number of elements in the set.
+    fn size(&self) -> usize;
+}
+
+/// The map interface implemented by [`crate::AssociationList`] and
+/// [`crate::HashTable`].
+pub trait MapInterface: Abstraction {
+    /// Returns `true` iff `k` is mapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is the `null` element.
+    fn contains_key(&self, k: ElemId) -> bool;
+
+    /// Returns the value mapped to `k`, or `None` if `k` is unmapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is the `null` element.
+    fn get(&self, k: ElemId) -> Option<ElemId>;
+
+    /// Maps `k` to `v`, returning the previously mapped value if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `v` is the `null` element.
+    fn put(&mut self, k: ElemId, v: ElemId) -> Option<ElemId>;
+
+    /// Removes the mapping for `k`, returning the previously mapped value if
+    /// any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is the `null` element.
+    fn remove(&mut self, k: ElemId) -> Option<ElemId>;
+
+    /// The number of key/value pairs.
+    fn size(&self) -> usize;
+}
+
+/// The integer-indexed map interface implemented by [`crate::ArrayList`].
+pub trait ListInterface: Abstraction {
+    /// Inserts `v` at index `i`, shifting every element at index ≥ `i` up one
+    /// position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > self.size()` or `v` is the `null` element.
+    fn add_at(&mut self, i: usize, v: ElemId);
+
+    /// Returns the element at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.size()`.
+    fn get(&self, i: usize) -> ElemId;
+
+    /// Returns the index of the first occurrence of `v`, or `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is the `null` element.
+    fn index_of(&self, v: ElemId) -> Option<usize>;
+
+    /// Returns the index of the last occurrence of `v`, or `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is the `null` element.
+    fn last_index_of(&self, v: ElemId) -> Option<usize>;
+
+    /// Removes and returns the element at index `i`, shifting every element
+    /// above `i` down one position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.size()`.
+    fn remove_at(&mut self, i: usize) -> ElemId;
+
+    /// Replaces the element at index `i` with `v`, returning the previous
+    /// element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.size()` or `v` is the `null` element.
+    fn set(&mut self, i: usize, v: ElemId) -> ElemId;
+
+    /// The number of elements.
+    fn size(&self) -> usize;
+}
+
+/// Panics with a consistent message when a `null` element is passed where the
+/// specification requires a non-null argument.
+pub(crate) fn require_non_null(v: ElemId, what: &str) {
+    assert!(!v.is_null(), "{what} must not be null");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::NULL_ELEM;
+
+    #[test]
+    fn require_non_null_accepts_real_elements() {
+        require_non_null(ElemId(1), "element");
+    }
+
+    #[test]
+    #[should_panic(expected = "element must not be null")]
+    fn require_non_null_panics_on_null() {
+        require_non_null(NULL_ELEM, "element");
+    }
+}

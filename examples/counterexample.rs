@@ -1,0 +1,78 @@
+//! What happens when a commutativity condition is wrong?
+//!
+//! A developer-specified condition can fail in two ways (Chapter 4):
+//!
+//! * it is **unsound** — it claims two operations commute in a state where
+//!   they do not (dangerous: a parallel system relying on it would produce a
+//!   non-serializable execution), or
+//! * it is **incomplete** — it misses states in which the operations do
+//!   commute (safe but loses parallelism).
+//!
+//! This example deliberately mis-specifies both directions for the
+//! `remove(k)` / `get(k)` pair of the map interface and shows the
+//! counterexamples the verifier produces.
+//!
+//! Run with `cargo run --example counterexample`.
+
+use semcommute::core::template::testing_methods;
+use semcommute::core::vcgen::generate_obligations;
+use semcommute::core::verify::scope_for;
+use semcommute::core::{interface_catalog, ConditionKind};
+use semcommute::logic::build;
+use semcommute::prover::Portfolio;
+use semcommute::spec::InterfaceId;
+
+fn main() {
+    let correct = interface_catalog(InterfaceId::Map)
+        .into_iter()
+        .find(|c| {
+            c.first.op == "remove"
+                && c.first.recorded
+                && c.second.op == "get"
+                && c.kind == ConditionKind::Before
+        })
+        .expect("catalog covers every pair");
+    println!("Correct condition: {}\n", correct);
+
+    let prover = Portfolio::new(scope_for(InterfaceId::Map, 3));
+
+    // --- Unsound: claim the operations always commute. -------------------
+    let mut unsound = correct.clone();
+    unsound.formula = build::tru();
+    let (soundness_method, _) = testing_methods(&unsound, 1);
+    println!("Claiming `remove(k1); get(k2)` always commute…");
+    for ob in generate_obligations(&soundness_method).unwrap() {
+        let verdict = prover.prove(&ob);
+        if let Some(model) = verdict.counter_model() {
+            println!("REJECTED — counterexample found by {}:", ob.name);
+            println!("{model}");
+            println!(
+                "(k1 = k2 and the key is mapped: the get observes a different value\n\
+                 depending on whether the remove ran first.)\n"
+            );
+        }
+    }
+
+    // --- Incomplete: claim the operations never commute. -----------------
+    let mut incomplete = correct.clone();
+    incomplete.formula = build::fls();
+    let (_, completeness_method) = testing_methods(&incomplete, 2);
+    println!("Claiming `remove(k1); get(k2)` never commute…");
+    for ob in generate_obligations(&completeness_method).unwrap() {
+        let verdict = prover.prove(&ob);
+        if let Some(model) = verdict.counter_model() {
+            println!("REJECTED — counterexample found by {}:", ob.name);
+            println!("{model}");
+            println!("(distinct keys commute, so the all-false condition is not complete.)");
+        }
+    }
+
+    // --- The catalog condition passes both checks. ------------------------
+    let report = semcommute::core::verify_condition(&correct, &prover, 3);
+    println!(
+        "\nCatalog condition `{}`: sound = {}, complete = {}",
+        correct.formula,
+        report.soundness.is_valid(),
+        report.completeness.is_valid()
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: specify a commutativity condition, verify it, and use it.
+//!
+//! This walks through the paper's running example (Chapter 2): the `HashSet`
+//! operations `contains(v1)` and `add(v2)` commute if and only if
+//! `v1 ≠ v2 ∨ v1 ∈ s`. We (1) look the condition up in the catalog, (2) show
+//! the generated soundness/completeness testing methods, (3) verify them, and
+//! (4) evaluate the condition dynamically against a concrete `HashSet`.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use semcommute::core::concrete::{evaluate, ConditionContext};
+use semcommute::core::template::testing_methods;
+use semcommute::core::verify::{scope_for, verify_condition};
+use semcommute::core::{interface_catalog, ConditionKind};
+use semcommute::logic::Value;
+use semcommute::prover::Portfolio;
+use semcommute::spec::InterfaceId;
+use semcommute::structures::{Abstraction, HashSet, SetInterface};
+
+fn main() {
+    // 1. The between condition for contains(v1); add(v2) from the catalog.
+    let condition = interface_catalog(InterfaceId::Set)
+        .into_iter()
+        .find(|c| {
+            c.first.op == "contains"
+                && c.second.op == "add"
+                && !c.second.recorded
+                && c.kind == ConditionKind::Between
+        })
+        .expect("catalog covers every pair");
+    println!("Condition {}:\n  {}\n", condition.id(), condition.formula);
+
+    // 2. The generated testing methods (Figure 2-2 of the paper).
+    let (soundness, completeness) = testing_methods(&condition, 40);
+    println!("Generated soundness testing method:\n{soundness}");
+    println!("Generated completeness testing method:\n{completeness}");
+
+    // 3. Verify both methods.
+    let prover = Portfolio::new(scope_for(InterfaceId::Set, 4));
+    let report = verify_condition(&condition, &prover, 40);
+    println!(
+        "soundness: {}\ncompleteness: {}\n",
+        report.soundness, report.completeness
+    );
+    assert!(report.verified());
+
+    // 4. Use the condition dynamically against a concrete HashSet.
+    let mut set = HashSet::new();
+    set.add(semcommute::logic::ElemId(7));
+    let state = set.abstract_state();
+    for (v1, v2) in [(7u32, 9u32), (9, 9), (7, 7)] {
+        let r1 = set.contains(semcommute::logic::ElemId(v1));
+        let ctx = ConditionContext::between(
+            state.clone(),
+            state.clone(),
+            vec![Value::elem(v1)],
+            Some(Value::Bool(r1)),
+            vec![Value::elem(v2)],
+        );
+        println!(
+            "contains({v1}); add({v2}) on {state}: commute = {}",
+            evaluate(&condition, &ctx).unwrap()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduce the paper's figures: the generated testing methods.
+//!
+//! * Figure 2-2 — the soundness and completeness commutativity testing
+//!   methods for the between condition of `contains(v1)` / `add(v2)`,
+//! * Figure 2-3 — the inverse testing method for `HashSet.add(v)`,
+//! * Figure 2-4 — the inverse testing method for `HashTable.put(k, v)`.
+//!
+//! Run with `cargo run --example testing_methods`.
+
+use semcommute::core::template::testing_methods;
+use semcommute::core::{interface_catalog, inverse_catalog, ConditionKind};
+use semcommute::spec::InterfaceId;
+
+fn main() {
+    let condition = interface_catalog(InterfaceId::Set)
+        .into_iter()
+        .find(|c| {
+            c.first.op == "contains"
+                && c.second.op == "add"
+                && !c.second.recorded
+                && c.kind == ConditionKind::Between
+        })
+        .expect("condition exists");
+    let (soundness, completeness) = testing_methods(&condition, 40);
+
+    println!("--- Figure 2-2 (soundness testing method) ---------------------");
+    println!("{soundness}");
+    println!("--- Figure 2-2 (completeness testing method) -------------------");
+    println!("{completeness}");
+
+    for (figure, interface, op) in [
+        ("Figure 2-3", InterfaceId::Set, "add"),
+        ("Figure 2-4", InterfaceId::Map, "put"),
+    ] {
+        let inverse = inverse_catalog()
+            .into_iter()
+            .find(|i| i.interface == interface && i.op == op)
+            .expect("inverse exists");
+        println!("--- {figure} (inverse testing method for {op}) -----------------");
+        println!("{}", inverse.render());
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's headline accounting (Section 5.1): 765 commutativity
+//! conditions, 1530 generated testing methods, 8 inverse operations.
+
+use semcommute::core::template::testing_methods;
+use semcommute::core::{full_catalog, interface_catalog, inverse_catalog, ConditionKind};
+use semcommute::core::{interface_variants, OpVariant};
+use semcommute::spec::{interface_by_id, InterfaceId};
+
+#[test]
+fn condition_counts_match_the_paper() {
+    // (3 * 2^2) + 2 * (3 * 6^2) + 2 * (3 * 7^2) + (3 * 9^2) = 765
+    assert_eq!(interface_catalog(InterfaceId::Accumulator).len(), 3 * 2 * 2);
+    assert_eq!(interface_catalog(InterfaceId::Set).len(), 3 * 6 * 6);
+    assert_eq!(interface_catalog(InterfaceId::Map).len(), 3 * 7 * 7);
+    assert_eq!(interface_catalog(InterfaceId::List).len(), 3 * 9 * 9);
+    assert_eq!(semcommute::core::catalog::paper_condition_count(), 765);
+}
+
+#[test]
+fn testing_method_count_matches_the_paper() {
+    // Two generated methods (soundness + completeness) per condition; counted
+    // per data structure this gives the paper's 1530.
+    let per_interface: usize = full_catalog().len() * 2;
+    assert_eq!(per_interface, 510 * 2);
+    let per_data_structure: usize = semcommute::core::catalog::data_structure_catalog()
+        .iter()
+        .map(|(_, conditions)| conditions.len() * 2)
+        .sum();
+    assert_eq!(per_data_structure, 1530);
+}
+
+#[test]
+fn operation_variant_counts_match_section_5_1() {
+    let counts: Vec<usize> = InterfaceId::ALL
+        .into_iter()
+        .map(|id| interface_variants(&interface_by_id(id)).len())
+        .collect();
+    assert_eq!(counts, vec![2, 6, 7, 9]);
+}
+
+#[test]
+fn inverse_catalog_covers_every_updating_operation_once() {
+    let catalog = inverse_catalog();
+    assert_eq!(catalog.len(), 8);
+    for id in InterfaceId::ALL {
+        let iface = interface_by_id(id);
+        for op in iface.update_ops() {
+            assert_eq!(
+                catalog
+                    .iter()
+                    .filter(|inv| inv.interface == id && inv.op == op.name)
+                    .count(),
+                1,
+                "{}::{}",
+                id,
+                op.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_condition_produces_two_well_formed_methods() {
+    // Spot-check that method generation works across the whole catalog (all
+    // 510 distinct conditions) and produces obligations without errors.
+    for (i, condition) in full_catalog().iter().enumerate() {
+        let (s, c) = testing_methods(condition, i);
+        assert!(s.is_soundness());
+        assert!(!c.is_soundness());
+        let sound_obs = semcommute::core::vcgen::generate_obligations(&s)
+            .unwrap_or_else(|e| panic!("{}: {e}", condition.id()));
+        let complete_obs = semcommute::core::vcgen::generate_obligations(&c)
+            .unwrap_or_else(|e| panic!("{}: {e}", condition.id()));
+        assert!(!sound_obs.is_empty());
+        assert!(!complete_obs.is_empty());
+        for ob in sound_obs.iter().chain(&complete_obs) {
+            ob.validate()
+                .unwrap_or_else(|e| panic!("{}: malformed obligation {}: {e}", condition.id(), ob.name));
+        }
+    }
+}
+
+#[test]
+fn trivially_true_and_false_conditions_are_where_expected() {
+    // Observer/observer pairs are `true`; addAt/size pairs are `false`.
+    let list = interface_catalog(InterfaceId::List);
+    let find = |first: &OpVariant, second: &OpVariant, kind| {
+        list.iter()
+            .find(|c| c.first == *first && c.second == *second && c.kind == kind)
+            .unwrap()
+            .clone()
+    };
+    assert!(find(
+        &OpVariant::recorded("indexOf"),
+        &OpVariant::recorded("lastIndexOf"),
+        ConditionKind::Before
+    )
+    .is_trivially_true());
+    assert!(find(
+        &OpVariant::recorded("addAt"),
+        &OpVariant::recorded("size"),
+        ConditionKind::Before
+    )
+    .is_trivially_false());
+    // The paper highlights that `set` commutes with `size` (it never changes
+    // the length).
+    assert!(find(
+        &OpVariant::discarded("set"),
+        &OpVariant::recorded("size"),
+        ConditionKind::After
+    )
+    .is_trivially_true());
+}

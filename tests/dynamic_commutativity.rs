@@ -1,0 +1,220 @@
+//! Property-based cross-validation of the condition catalog.
+//!
+//! The verifier establishes soundness and completeness symbolically; this
+//! suite checks the same property *dynamically* and independently: for random
+//! abstract states and random operation arguments, the catalog condition
+//! holds **iff** executing the two operations in both orders produces the
+//! same recorded return values and the same abstract state (using the
+//! executable abstract semantics of `semcommute-spec`). Pairs whose
+//! preconditions do not transfer to the reverse order count as
+//! non-commuting, exactly as in Properties 1 and 2 of the paper.
+
+use proptest::prelude::*;
+
+use semcommute::core::concrete::{evaluate, ConditionContext};
+use semcommute::core::{interface_catalog, CommutativityCondition, ConditionKind};
+use semcommute::logic::{ElemId, Value};
+use semcommute::spec::{apply_op, interface_by_id, AbstractState, InterfaceId};
+
+/// Executes `first(args1); second(args2)` and the reverse order, and reports
+/// whether both orders are admissible and agree on recorded results and the
+/// final abstract state.
+fn orders_agree(
+    condition: &CommutativityCondition,
+    state: &AbstractState,
+    args1: &[Value],
+    args2: &[Value],
+) -> Option<bool> {
+    let iface = interface_by_id(condition.interface);
+    // First order; preconditions must hold or the sample is discarded.
+    let (s_mid, r1a) = apply_op(&iface, state, &condition.first.op, args1).ok()?;
+    let (s_final, r2a) = apply_op(&iface, &s_mid, &condition.second.op, args2).ok()?;
+    // Reverse order; a failing precondition means "does not commute".
+    let reverse = (|| {
+        let (t_mid, r2b) = apply_op(&iface, state, &condition.second.op, args2).ok()?;
+        let (t_final, r1b) = apply_op(&iface, &t_mid, &condition.first.op, args1).ok()?;
+        Some((t_final, r1b, r2b))
+    })();
+    let agree = match reverse {
+        None => false,
+        Some((t_final, r1b, r2b)) => {
+            let results_agree = (!condition.first.recorded || r1a == r1b)
+                && (!condition.second.recorded || r2a == r2b);
+            results_agree && s_final == t_final
+        }
+    };
+    Some(agree)
+}
+
+fn check_condition_dynamically(
+    condition: &CommutativityCondition,
+    state: AbstractState,
+    args1: Vec<Value>,
+    args2: Vec<Value>,
+) -> Result<(), TestCaseError> {
+    let iface = interface_by_id(condition.interface);
+    let Some(agree) = orders_agree(condition, &state, &args1, &args2) else {
+        // First-order preconditions violated: the condition makes no claim.
+        return Ok(());
+    };
+    // Evaluate the condition in its natural context (compute intermediate
+    // state and first result for between/after kinds).
+    let (s_mid, r1) = apply_op(&iface, &state, &condition.first.op, &args1).expect("pre checked");
+    let (s_final, r2) = apply_op(&iface, &s_mid, &condition.second.op, &args2).expect("pre checked");
+    let ctx = ConditionContext {
+        first_args: args1.clone(),
+        second_args: args2.clone(),
+        initial_state: Some(state.clone()),
+        intermediate_state: Some(s_mid),
+        final_state: Some(s_final),
+        first_result: if condition.first.recorded { r1 } else { None },
+        second_result: if condition.second.recorded { r2 } else { None },
+    };
+    let predicted = evaluate(condition, &ctx)
+        .map_err(|e| TestCaseError::fail(format!("{}: {e}", condition.id())))?;
+    prop_assert_eq!(
+        predicted,
+        agree,
+        "{} mispredicts for state {} args {:?} / {:?}",
+        condition.id(),
+        state,
+        args1,
+        args2
+    );
+    Ok(())
+}
+
+fn elem_strategy() -> impl Strategy<Value = Value> {
+    (1u32..6).prop_map(Value::elem)
+}
+
+prop_compose! {
+    fn set_state()(elems in proptest::collection::btree_set(1u32..6, 0..5)) -> AbstractState {
+        AbstractState::Set(elems.into_iter().map(ElemId).collect())
+    }
+}
+
+prop_compose! {
+    fn map_state()(pairs in proptest::collection::btree_map(1u32..6, 1u32..6, 0..5)) -> AbstractState {
+        AbstractState::Map(pairs.into_iter().map(|(k, v)| (ElemId(k), ElemId(v + 10))).collect())
+    }
+}
+
+prop_compose! {
+    fn list_state()(items in proptest::collection::vec(1u32..5, 0..6)) -> AbstractState {
+        AbstractState::List(items.into_iter().map(ElemId).collect())
+    }
+}
+
+/// Strategy selecting a random condition of an interface.
+fn condition_strategy(interface: InterfaceId) -> impl Strategy<Value = CommutativityCondition> {
+    let catalog = interface_catalog(interface);
+    (0..catalog.len()).prop_map(move |i| catalog[i].clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn set_conditions_predict_commutation(
+        condition in condition_strategy(InterfaceId::Set),
+        state in set_state(),
+        seed1 in elem_strategy(),
+        seed2 in elem_strategy(),
+    ) {
+        let iface = interface_by_id(InterfaceId::Set);
+        let arity1 = iface.op(&condition.first.op).unwrap().arity();
+        let arity2 = iface.op(&condition.second.op).unwrap().arity();
+        let args1 = vec![seed1; arity1];
+        let args2 = vec![seed2; arity2];
+        check_condition_dynamically(&condition, state, args1, args2)?;
+    }
+
+    #[test]
+    fn map_conditions_predict_commutation(
+        condition in condition_strategy(InterfaceId::Map),
+        state in map_state(),
+        k1 in elem_strategy(),
+        v1 in elem_strategy(),
+        k2 in elem_strategy(),
+        v2 in elem_strategy(),
+    ) {
+        let iface = interface_by_id(InterfaceId::Map);
+        let build_args = |op: &str, k: &Value, v: &Value| {
+            match iface.op(op).unwrap().arity() {
+                0 => vec![],
+                1 => vec![k.clone()],
+                _ => vec![k.clone(), v.clone()],
+            }
+        };
+        let args1 = build_args(&condition.first.op, &k1, &v1);
+        let args2 = build_args(&condition.second.op, &k2, &v2);
+        check_condition_dynamically(&condition, state, args1, args2)?;
+    }
+
+    #[test]
+    fn accumulator_conditions_predict_commutation(
+        condition in condition_strategy(InterfaceId::Accumulator),
+        counter in -5i64..6,
+        v1 in -3i64..4,
+        v2 in -3i64..4,
+    ) {
+        let iface = interface_by_id(InterfaceId::Accumulator);
+        let build_args = |op: &str, v: i64| {
+            if iface.op(op).unwrap().arity() == 1 { vec![Value::Int(v)] } else { vec![] }
+        };
+        let args1 = build_args(&condition.first.op, v1);
+        let args2 = build_args(&condition.second.op, v2);
+        check_condition_dynamically(&condition, AbstractState::Counter(counter), args1, args2)?;
+    }
+}
+
+proptest! {
+    // The ArrayList conditions are the most intricate; give them their own
+    // budget with index/element strategies tailored to short lists.
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn array_list_conditions_predict_commutation(
+        condition in condition_strategy(InterfaceId::List),
+        state in list_state(),
+        i1 in -1i64..7,
+        i2 in -1i64..7,
+        v1 in elem_strategy(),
+        v2 in elem_strategy(),
+    ) {
+        let iface = interface_by_id(InterfaceId::List);
+        let build_args = |op: &str, i: i64, v: &Value| {
+            let spec = iface.op(op).unwrap();
+            spec.params
+                .iter()
+                .map(|(_, sort)| match sort {
+                    semcommute::logic::Sort::Int => Value::Int(i),
+                    _ => v.clone(),
+                })
+                .collect::<Vec<_>>()
+        };
+        let args1 = build_args(&condition.first.op, i1, &v1);
+        let args2 = build_args(&condition.second.op, i2, &v2);
+        check_condition_dynamically(&condition, state, args1, args2)?;
+    }
+}
+
+#[test]
+fn every_before_condition_is_checkable_before_execution() {
+    // Before conditions must be evaluable from the initial state and the
+    // arguments alone — the defining property of the kind.
+    for condition in interface_catalog(InterfaceId::Set)
+        .into_iter()
+        .chain(interface_catalog(InterfaceId::Map))
+        .chain(interface_catalog(InterfaceId::List))
+        .filter(|c| c.kind == ConditionKind::Before)
+    {
+        let vars = semcommute::logic::free_vars(&condition.formula);
+        assert!(
+            !vars.contains_key("r1") && !vars.contains_key("r2") && !vars.contains_key("s2"),
+            "{} references run-time-only information",
+            condition.id()
+        );
+    }
+}

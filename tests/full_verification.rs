@@ -1,0 +1,78 @@
+//! Cross-crate verification smoke tests: the headline result of the paper on
+//! a budgeted sample (the full catalog is exercised by
+//! `cargo run --release --example verify_catalog` and the `table_5_8`
+//! binary; an `#[ignore]`d test runs it here too).
+
+use semcommute::core::inverse::{inverse_catalog, verify_inverse};
+use semcommute::core::verify::{scope_for, verify_interface, VerifyOptions};
+use semcommute::prover::Portfolio;
+use semcommute::spec::InterfaceId;
+
+#[test]
+fn accumulator_and_set_catalogs_fully_verify() {
+    for (interface, expected) in [(InterfaceId::Accumulator, 12), (InterfaceId::Set, 108)] {
+        let report = verify_interface(interface, &VerifyOptions::quick(expected));
+        assert_eq!(report.total(), expected);
+        assert_eq!(
+            report.verified_count(),
+            expected,
+            "{interface} failures: {:?}",
+            report
+                .failures()
+                .iter()
+                .map(|f| f.condition.id())
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn map_catalog_sample_verifies() {
+    let report = verify_interface(InterfaceId::Map, &VerifyOptions::quick(60));
+    assert_eq!(report.verified_count(), report.total());
+}
+
+#[test]
+fn array_list_catalog_sample_verifies() {
+    let report = verify_interface(InterfaceId::List, &VerifyOptions::quick(60));
+    assert_eq!(
+        report.verified_count(),
+        report.total(),
+        "failures: {:?}",
+        report
+            .failures()
+            .iter()
+            .map(|f| f.condition.id())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn all_eight_inverse_operations_verify() {
+    for inverse in inverse_catalog() {
+        let prover = Portfolio::new(scope_for(inverse.interface, 3));
+        let verdict = verify_inverse(&inverse, &prover);
+        assert!(verdict.is_valid(), "{inverse}: {verdict}");
+    }
+}
+
+/// The full 765-condition catalog. Run with
+/// `cargo test --release -- --ignored full_catalog`.
+#[test]
+#[ignore = "several minutes in debug builds; run in release or use the verify_catalog example"]
+fn full_catalog_verifies() {
+    let options = VerifyOptions {
+        limit: None,
+        ..VerifyOptions::default()
+    };
+    let mut conditions = 0;
+    let mut verified = 0;
+    for interface in InterfaceId::ALL {
+        let report = verify_interface(interface, &options);
+        let weight = interface.implementations().len();
+        conditions += report.total() * weight;
+        verified += report.verified_count() * weight;
+    }
+    assert_eq!(conditions, 765);
+    assert_eq!(verified, 765);
+}

@@ -1,0 +1,139 @@
+//! Property-based validation of the inverse-operation catalog (Table 5.10):
+//! for every state-updating operation, executing the operation and then the
+//! inverse the catalog prescribes restores the original *abstract* state —
+//! both at the specification level and on the concrete structures (where the
+//! concrete state may legitimately differ, e.g. a reinserted list node ends
+//! up in a different position).
+
+use proptest::prelude::*;
+
+use semcommute::core::inverse_catalog;
+use semcommute::logic::{ElemId, Value};
+use semcommute::runtime::AnyStructure;
+use semcommute::spec::{apply_op, interface_by_id, AbstractState, InterfaceId};
+
+fn run_roundtrip_abstract(
+    interface: InterfaceId,
+    op: &str,
+    state: &AbstractState,
+    args: &[Value],
+) -> Result<(), TestCaseError> {
+    let iface = interface_by_id(interface);
+    let inverse = inverse_catalog()
+        .into_iter()
+        .find(|inv| inv.interface == interface && inv.op == op)
+        .expect("every updating operation has an inverse");
+    let Ok((mid, result)) = apply_op(&iface, state, op, args) else {
+        // Precondition violated: nothing to check for this sample.
+        return Ok(());
+    };
+    let restored = match inverse.concrete_call(args, result.as_ref()) {
+        None => mid,
+        Some((inv_op, inv_args)) => {
+            let (restored, _) = apply_op(&iface, &mid, &inv_op, &inv_args)
+                .map_err(|e| TestCaseError::fail(format!("inverse precondition failed: {e}")))?;
+            restored
+        }
+    };
+    prop_assert_eq!(&restored, state, "{}::{} not undone", interface, op);
+    Ok(())
+}
+
+fn run_roundtrip_concrete(
+    name: &str,
+    op: &str,
+    seed_elems: &[u32],
+    args: &[Value],
+) -> Result<(), TestCaseError> {
+    let mut structure = AnyStructure::by_name(name).expect("known structure");
+    // Seed the structure.
+    for (i, &e) in seed_elems.iter().enumerate() {
+        match structure.interface() {
+            InterfaceId::Set => {
+                structure.apply("add", &[Value::elem(e)]).unwrap();
+            }
+            InterfaceId::Map => {
+                structure
+                    .apply("put", &[Value::elem(e), Value::elem(e + 100)])
+                    .unwrap();
+            }
+            InterfaceId::List => {
+                structure
+                    .apply("addAt", &[Value::Int(i as i64), Value::elem(e)])
+                    .unwrap();
+            }
+            InterfaceId::Accumulator => {
+                structure.apply("increase", &[Value::Int(e as i64)]).unwrap();
+            }
+        }
+    }
+    let before = structure.abstract_state();
+    let inverse = inverse_catalog()
+        .into_iter()
+        .find(|inv| inv.interface == structure.interface() && inv.op == op)
+        .expect("inverse exists");
+    let Ok(result) = structure.apply(op, args) else {
+        return Ok(()); // precondition violated, e.g. out-of-range index
+    };
+    if let Some((inv_op, inv_args)) = inverse.concrete_call(args, result.as_ref()) {
+        structure
+            .apply(&inv_op, &inv_args)
+            .map_err(|e| TestCaseError::fail(format!("inverse rejected: {e}")))?;
+    }
+    prop_assert_eq!(structure.abstract_state(), before);
+    structure
+        .check_invariants()
+        .map_err(TestCaseError::fail)?;
+    Ok(())
+}
+
+prop_compose! {
+    fn small_elems()(elems in proptest::collection::btree_set(1u32..8, 0..6)) -> Vec<u32> {
+        elems.into_iter().collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn set_add_and_remove_round_trip(elems in small_elems(), v in 1u32..8) {
+        let state = AbstractState::Set(elems.iter().copied().map(ElemId).collect());
+        run_roundtrip_abstract(InterfaceId::Set, "add", &state, &[Value::elem(v)])?;
+        run_roundtrip_abstract(InterfaceId::Set, "remove", &state, &[Value::elem(v)])?;
+        run_roundtrip_concrete("ListSet", "add", &elems, &[Value::elem(v)])?;
+        run_roundtrip_concrete("HashSet", "remove", &elems, &[Value::elem(v)])?;
+    }
+
+    #[test]
+    fn map_put_and_remove_round_trip(elems in small_elems(), k in 1u32..8, v in 1u32..8) {
+        let state = AbstractState::Map(
+            elems.iter().map(|&e| (ElemId(e), ElemId(e + 100))).collect(),
+        );
+        run_roundtrip_abstract(InterfaceId::Map, "put", &state, &[Value::elem(k), Value::elem(v)])?;
+        run_roundtrip_abstract(InterfaceId::Map, "remove", &state, &[Value::elem(k)])?;
+        run_roundtrip_concrete("HashTable", "put", &elems, &[Value::elem(k), Value::elem(v)])?;
+        run_roundtrip_concrete("AssociationList", "remove", &elems, &[Value::elem(k)])?;
+    }
+
+    #[test]
+    fn list_updates_round_trip(items in proptest::collection::vec(1u32..6, 0..6), i in 0i64..7, v in 1u32..6) {
+        let state = AbstractState::List(items.iter().copied().map(ElemId).collect());
+        run_roundtrip_abstract(InterfaceId::List, "addAt", &state, &[Value::Int(i), Value::elem(v)])?;
+        run_roundtrip_abstract(InterfaceId::List, "removeAt", &state, &[Value::Int(i)])?;
+        run_roundtrip_abstract(InterfaceId::List, "set", &state, &[Value::Int(i), Value::elem(v)])?;
+        run_roundtrip_concrete("ArrayList", "addAt", &items, &[Value::Int(i), Value::elem(v)])?;
+        run_roundtrip_concrete("ArrayList", "removeAt", &items, &[Value::Int(i)])?;
+        run_roundtrip_concrete("ArrayList", "set", &items, &[Value::Int(i), Value::elem(v)])?;
+    }
+
+    #[test]
+    fn accumulator_increase_round_trips(c in -100i64..100, v in -50i64..50) {
+        run_roundtrip_abstract(
+            InterfaceId::Accumulator,
+            "increase",
+            &AbstractState::Counter(c),
+            &[Value::Int(v)],
+        )?;
+    }
+}

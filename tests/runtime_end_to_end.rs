@@ -1,0 +1,147 @@
+//! End-to-end tests of the speculative runtime against the sequential
+//! semantics, plus the commutativity-lattice behaviour discussed in
+//! Section 5.1 / related work (dropping clauses keeps a condition sound but
+//! loses completeness and therefore concurrency).
+
+use proptest::prelude::*;
+
+use semcommute::core::concrete::{evaluate, ConditionContext};
+use semcommute::core::{interface_catalog, ConditionKind};
+use semcommute::logic::{ElemId, Value};
+use semcommute::runtime::{AnyStructure, CoarseLockRuntime, SpeculativeRuntime};
+use semcommute::spec::{AbstractState, InterfaceId};
+
+#[test]
+fn speculative_and_coarse_lock_agree_on_disjoint_workloads() {
+    let speculative = SpeculativeRuntime::new(AnyStructure::by_name("HashSet").unwrap());
+    let coarse = CoarseLockRuntime::new(AnyStructure::by_name("HashSet").unwrap());
+    std::thread::scope(|scope| {
+        for t in 0..4u32 {
+            let speculative = speculative.clone();
+            let coarse = coarse.clone();
+            scope.spawn(move || {
+                for i in 0..30u32 {
+                    let e = Value::elem(t * 30 + i + 1);
+                    speculative
+                        .run(8, |txn| txn.execute("add", &[e.clone()]).map(|_| ()))
+                        .unwrap();
+                    coarse.run_transaction(|txn| {
+                        txn.execute("add", &[e.clone()]).unwrap();
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(speculative.snapshot(), coarse.snapshot());
+    assert_eq!(
+        speculative.snapshot(),
+        AbstractState::Set((1..=120).map(ElemId).collect())
+    );
+}
+
+#[test]
+fn aborted_transactions_leave_no_trace() {
+    let rt = SpeculativeRuntime::new(AnyStructure::by_name("ArrayList").unwrap());
+    // Seed with committed data.
+    rt.run(1, |txn| {
+        txn.execute("addAt", &[Value::Int(0), Value::elem(1)])?;
+        txn.execute("addAt", &[Value::Int(1), Value::elem(2)])?;
+        Ok(())
+    })
+    .unwrap();
+    let before = rt.snapshot();
+    // A transaction mutates heavily and then aborts.
+    let mut txn = rt.begin();
+    txn.execute("addAt", &[Value::Int(0), Value::elem(9)]).unwrap();
+    txn.execute("set", &[Value::Int(2), Value::elem(8)]).unwrap();
+    txn.execute("removeAt", &[Value::Int(1)]).unwrap();
+    txn.abort();
+    assert_eq!(rt.snapshot(), before);
+    assert!(rt.check_invariants().is_ok());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random single-threaded transaction sequences on the speculative
+    /// runtime produce exactly the same abstract state as applying the same
+    /// committed operations sequentially (aborted transactions contribute
+    /// nothing).
+    #[test]
+    fn committed_operations_match_sequential_execution(
+        ops in proptest::collection::vec((0u8..3, 1u32..6, proptest::bool::ANY), 1..40)
+    ) {
+        let rt = SpeculativeRuntime::new(AnyStructure::by_name("HashSet").unwrap());
+        let mut reference = AnyStructure::by_name("HashSet").unwrap();
+        for (kind, elem, commit) in ops {
+            let op = match kind { 0 => "add", 1 => "remove", _ => "contains" };
+            let mut txn = rt.begin();
+            txn.execute(op, &[Value::elem(elem)]).unwrap();
+            if commit {
+                txn.commit();
+                reference.apply(op, &[Value::elem(elem)]).unwrap();
+            } else {
+                txn.abort();
+            }
+        }
+        prop_assert_eq!(rt.snapshot(), reference.abstract_state());
+        prop_assert_eq!(rt.pending_operations(), 0);
+    }
+}
+
+#[test]
+fn dropping_clauses_is_sound_but_incomplete() {
+    // Start from the sound and complete between condition for
+    // contains(v1)/add(v2):  v1 ~= v2 | r1.  Dropping the `r1` clause gives
+    // the simpler condition `v1 ~= v2`, which is still sound (it implies the
+    // full condition) but no longer complete: it forgoes the concurrency of
+    // re-adding an element that was already observed present.
+    let full = interface_catalog(InterfaceId::Set)
+        .into_iter()
+        .find(|c| {
+            c.first.op == "contains"
+                && c.second.op == "add"
+                && !c.second.recorded
+                && c.kind == ConditionKind::Between
+        })
+        .unwrap();
+    let mut dropped = full.clone();
+    dropped.formula = semcommute::logic::build::neq(
+        semcommute::logic::build::var_elem("v1"),
+        semcommute::logic::build::var_elem("v2"),
+    );
+
+    // Soundness is preserved: wherever the dropped condition admits the pair,
+    // the full condition does too (checked exhaustively over small states).
+    let state: AbstractState = AbstractState::Set([ElemId(1)].into_iter().collect());
+    let mut admitted_full = 0u32;
+    let mut admitted_dropped = 0u32;
+    for v1 in 1..=3u32 {
+        for v2 in 1..=3u32 {
+            let r1 = matches!(&state, AbstractState::Set(s) if s.contains(&ElemId(v1)));
+            let ctx = ConditionContext::between(
+                state.clone(),
+                state.clone(),
+                vec![Value::elem(v1)],
+                Some(Value::Bool(r1)),
+                vec![Value::elem(v2)],
+            );
+            let full_ok = evaluate(&full, &ctx).unwrap();
+            let dropped_ok = evaluate(&dropped, &ctx).unwrap();
+            if dropped_ok {
+                assert!(full_ok, "dropped condition admitted a non-commuting pair");
+            }
+            admitted_full += u32::from(full_ok);
+            admitted_dropped += u32::from(dropped_ok);
+        }
+    }
+    // …but it admits strictly fewer commuting pairs (lost concurrency).
+    assert!(admitted_dropped < admitted_full);
+
+    // And the completeness testing method for the dropped condition is
+    // rejected by the verifier.
+    let (_, completeness) = semcommute::core::template::testing_methods(&dropped, 1);
+    let obligations = semcommute::core::vcgen::generate_obligations(&completeness).unwrap();
+    let prover = semcommute::prover::Portfolio::small();
+    assert!(obligations.iter().any(|ob| prover.prove(ob).is_counterexample()));
+}
