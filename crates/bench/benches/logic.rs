@@ -1,0 +1,136 @@
+//! Term-level benchmarks for the specification logic: the `simplify` / `nnf` /
+//! `substitute` passes that dominate the structural prover, and the raw
+//! finite-model search loop. These are the hot paths the hash-consed term
+//! arena accelerates; run them before and after arena changes to quantify the
+//! effect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use semcommute_logic::build::*;
+use semcommute_logic::{simplify, subst::subst_map, substitute, to_nnf, Term};
+use semcommute_prover::{FiniteModelProver, Obligation, Scope};
+
+/// A formula with heavy structural sharing: the same commutativity-style
+/// sub-formula repeated across a conjunction, as produced by inlining
+/// definitions into a generated obligation (each occurrence of a defined
+/// variable duplicates its definition).
+fn shared_formula(copies: usize) -> Term {
+    let s_post = set_add(set_add(var_set("s"), var_elem("v1")), var_elem("v2"));
+    let membership = iff(
+        member(var_elem("v1"), s_post.clone()),
+        or2(
+            eq(var_elem("v1"), var_elem("v2")),
+            member(var_elem("v1"), var_set("s")),
+        ),
+    );
+    let guard = implies(
+        and2(
+            neq(var_elem("v1"), null()),
+            lt(card(var_set("s")), add(card(s_post), int(1))),
+        ),
+        membership,
+    );
+    and((0..copies).map(|i| {
+        and2(
+            guard.clone(),
+            // A per-copy twist so the conjunction does not collapse to one
+            // literal under deduplication.
+            le(int(i as i64), card(var_set("s"))),
+        )
+    }))
+}
+
+/// Clears the calling thread's arena so each iteration measures real
+/// rewriting instead of memo-cache hits. Kept inside the timed closure —
+/// the reset itself is cheap next to the pass being measured.
+fn fresh_arena() {
+    semcommute_logic::with_arena(|arena| arena.clear());
+}
+
+fn bench_simplify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplify");
+    for copies in [4usize, 16, 64] {
+        let term = shared_formula(copies);
+        group.bench_with_input(BenchmarkId::from_parameter(copies), &term, |b, term| {
+            b.iter(|| {
+                fresh_arena();
+                simplify(term)
+            })
+        });
+    }
+    // The memoized repeat path (what a catalog run sees after the first
+    // occurrence of a shared obligation): same term, warm arena.
+    let term = shared_formula(64);
+    simplify(&term);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("64_memoized"),
+        &term,
+        |b, term| b.iter(|| simplify(term)),
+    );
+    group.finish();
+}
+
+fn bench_nnf(c: &mut Criterion) {
+    let term = not(shared_formula(32));
+    c.bench_function("nnf/32_copies", |b| {
+        b.iter(|| {
+            fresh_arena();
+            to_nnf(&term)
+        })
+    });
+}
+
+fn bench_subst(c: &mut Criterion) {
+    let term = shared_formula(32);
+    let map = subst_map([
+        ("v1", var_elem("w1")),
+        ("v2", var_elem("w2")),
+        ("s", set_add(var_set("t"), var_elem("w3"))),
+    ]);
+    c.bench_function("substitute/32_copies", |b| {
+        b.iter(|| {
+            fresh_arena();
+            substitute(&term, &map)
+        })
+    });
+}
+
+fn bench_finite_search(c: &mut Criterion) {
+    // A valid obligation, so the search space is fully enumerated (worst
+    // case: no early counter-model exit).
+    let ob = Obligation::new("bench_valid")
+        .define("r1", member(var_elem("v1"), var_set("s")))
+        .define("s1", set_add(var_set("s"), var_elem("v2")))
+        .define("r2", member(var_elem("v1"), var_set("s1")))
+        .assume(neq(var_elem("v1"), var_elem("v2")))
+        .goal(eq(var_bool("r1"), var_bool("r2")));
+    let mut group = c.benchmark_group("finite_search");
+    group.sample_size(10);
+    group.bench_function("valid_exhaustive", |b| {
+        let prover = FiniteModelProver::new(Scope::standard());
+        b.iter(|| {
+            let verdict = prover.prove(&ob);
+            assert!(verdict.is_valid());
+            verdict
+        })
+    });
+    group.bench_function("counterexample_early_exit", |b| {
+        let bogus = Obligation::new("bench_invalid").goal(member(var_elem("v"), var_set("s")));
+        let prover = FiniteModelProver::new(Scope::standard());
+        b.iter(|| {
+            let verdict = prover.prove(&bogus);
+            assert!(verdict.is_counterexample());
+            verdict
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simplify,
+    bench_nnf,
+    bench_subst,
+    bench_finite_search
+);
+criterion_main!(benches);

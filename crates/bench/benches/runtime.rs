@@ -37,9 +37,9 @@ fn speculative_workload() -> u64 {
                 for i in 0..OPS_PER_THREAD {
                     let element = Value::elem(t * OPS_PER_THREAD + i + 1);
                     rt.run(8, |txn| {
-                        txn.execute("add", &[element.clone()])?;
+                        txn.execute("add", std::slice::from_ref(&element))?;
                         think();
-                        txn.execute("contains", &[element.clone()])?;
+                        txn.execute("contains", std::slice::from_ref(&element))?;
                         Ok(())
                     })
                     .unwrap();
@@ -61,9 +61,10 @@ fn coarse_workload() -> u64 {
                 for i in 0..OPS_PER_THREAD {
                     let element = Value::elem(t * OPS_PER_THREAD + i + 1);
                     rt.run_transaction(|txn| {
-                        txn.execute("add", &[element.clone()]).unwrap();
+                        txn.execute("add", std::slice::from_ref(&element)).unwrap();
                         think();
-                        txn.execute("contains", &[element.clone()]).unwrap();
+                        txn.execute("contains", std::slice::from_ref(&element))
+                            .unwrap();
                     });
                     committed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }

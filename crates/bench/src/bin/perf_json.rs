@@ -1,0 +1,57 @@
+//! Machine-readable performance snapshot of the verification pipeline.
+//!
+//! Runs the catalog verification (all four interfaces) and prints a JSON
+//! report — wall-clock, obligations/sec, models checked, and dedup-cache
+//! hits per interface — to stdout. With `--out FILE` the report is also
+//! written to `FILE` (conventionally `BENCH_<label>.json` at the repo root),
+//! so successive changes leave a comparable perf trail in version control.
+//!
+//! ```text
+//! cargo run --release -p semcommute-bench --bin perf_json -- [limit] \
+//!     [--seq-len N] [--threads N] [--prover-threads N] [--out FILE]
+//! ```
+
+use semcommute_bench::{perf_report_json, run_full_verification};
+use semcommute_core::verify::VerifyOptions;
+
+fn main() {
+    let mut options = VerifyOptions::default();
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seq-len" => {
+                options.seq_len = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seq-len needs a number");
+            }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--prover-threads" => {
+                options.prover_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--prover-threads needs a number");
+            }
+            "--out" => {
+                out_path = Some(args.next().expect("--out needs a path"));
+            }
+            other => options.limit = Some(other.parse().expect("numeric limit expected")),
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let reports = run_full_verification(&options);
+    let total_wall = start.elapsed();
+    let json = perf_report_json(&reports, &options, total_wall);
+    println!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{json}\n")).expect("writing the JSON report failed");
+        eprintln!("wrote {path}");
+    }
+}

@@ -7,6 +7,9 @@ use semcommute_spec::InterfaceId;
 fn main() {
     banner("Table 5.1 — Before/Between/After Commutativity Conditions on Accumulator");
     for kind in ConditionKind::ALL {
-        println!("{}", report::condition_table(InterfaceId::Accumulator, kind));
+        println!(
+            "{}",
+            report::condition_table(InterfaceId::Accumulator, kind)
+        );
     }
 }

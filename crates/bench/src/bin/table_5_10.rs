@@ -17,7 +17,11 @@ fn main() {
         println!(
             "  {:<62} {}",
             inverse.to_string(),
-            if verdict.is_valid() { "verified" } else { "FAILED" }
+            if verdict.is_valid() {
+                "verified"
+            } else {
+                "FAILED"
+            }
         );
         if verdict.is_valid() {
             verified += 1;

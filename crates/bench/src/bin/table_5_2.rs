@@ -6,5 +6,8 @@ use semcommute_spec::InterfaceId;
 
 fn main() {
     banner("Table 5.2 — Before Commutativity Conditions on ListSet and HashSet");
-    println!("{}", report::condition_table(InterfaceId::Set, ConditionKind::Before));
+    println!(
+        "{}",
+        report::condition_table(InterfaceId::Set, ConditionKind::Before)
+    );
 }

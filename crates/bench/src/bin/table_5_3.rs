@@ -6,5 +6,8 @@ use semcommute_spec::InterfaceId;
 
 fn main() {
     banner("Table 5.3 — Between Commutativity Conditions on ListSet and HashSet");
-    println!("{}", report::condition_table(InterfaceId::Set, ConditionKind::Between));
+    println!(
+        "{}",
+        report::condition_table(InterfaceId::Set, ConditionKind::Between)
+    );
 }

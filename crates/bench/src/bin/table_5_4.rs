@@ -6,5 +6,8 @@ use semcommute_spec::InterfaceId;
 
 fn main() {
     banner("Table 5.4 — Before Commutativity Conditions on AssociationList and HashTable");
-    println!("{}", report::condition_table(InterfaceId::Map, ConditionKind::Before));
+    println!(
+        "{}",
+        report::condition_table(InterfaceId::Map, ConditionKind::Before)
+    );
 }

@@ -6,5 +6,8 @@ use semcommute_spec::InterfaceId;
 
 fn main() {
     banner("Table 5.5 — After Commutativity Conditions on AssociationList and HashTable");
-    println!("{}", report::condition_table(InterfaceId::Map, ConditionKind::After));
+    println!(
+        "{}",
+        report::condition_table(InterfaceId::Map, ConditionKind::After)
+    );
 }

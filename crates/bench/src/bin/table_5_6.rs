@@ -6,5 +6,8 @@ use semcommute_spec::InterfaceId;
 
 fn main() {
     banner("Table 5.6 — Between Commutativity Conditions on ArrayList");
-    println!("{}", report::condition_table(InterfaceId::List, ConditionKind::Between));
+    println!(
+        "{}",
+        report::condition_table(InterfaceId::List, ConditionKind::Between)
+    );
 }

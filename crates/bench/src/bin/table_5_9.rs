@@ -7,5 +7,7 @@ use semcommute_core::report;
 fn main() {
     banner("Table 5.9 — Additional Proof Language Commands for the Hard ArrayList Methods");
     println!("{}", report::hint_table(&hint_summary()));
-    println!("Paper reference: 57 methods, 128 note + 51 assuming + 22 pickWitness = 201 commands.");
+    println!(
+        "Paper reference: 57 methods, 128 note + 51 assuming + 22 pickWitness = 201 commands."
+    );
 }

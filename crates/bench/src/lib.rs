@@ -10,8 +10,7 @@
 #![warn(missing_docs)]
 
 use semcommute_core::report;
-use semcommute_core::verify::{verify_interface, InterfaceReport, VerifyOptions};
-use semcommute_spec::InterfaceId;
+use semcommute_core::verify::{InterfaceReport, VerifyOptions};
 
 /// Prints a table header in a consistent style.
 pub fn banner(title: &str) {
@@ -21,7 +20,8 @@ pub fn banner(title: &str) {
 }
 
 /// Parses the common command-line options of the table binaries: an optional
-/// per-interface condition limit and `--seq-len N`.
+/// per-interface condition limit, `--seq-len N`, `--threads N`, and
+/// `--prover-threads N` (finite-model space sharding per obligation).
 pub fn parse_options() -> VerifyOptions {
     let mut options = VerifyOptions::default();
     let mut args = std::env::args().skip(1);
@@ -39,6 +39,12 @@ pub fn parse_options() -> VerifyOptions {
                     .and_then(|v| v.parse().ok())
                     .expect("--threads needs a number");
             }
+            "--prover-threads" => {
+                options.prover_threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--prover-threads needs a number");
+            }
             other => options.limit = Some(other.parse().expect("numeric limit expected")),
         }
     }
@@ -46,17 +52,83 @@ pub fn parse_options() -> VerifyOptions {
 }
 
 /// Runs the full verification (as `table_5_8` needs) and returns the
-/// per-interface reports.
+/// per-interface reports. Interfaces run concurrently when
+/// `options.threads > 1` (see [`semcommute_core::verify::verify_all`]).
 pub fn run_full_verification(options: &VerifyOptions) -> Vec<InterfaceReport> {
-    InterfaceId::ALL
-        .into_iter()
-        .map(|id| verify_interface(id, options))
-        .collect()
+    semcommute_core::verify::verify_all(options)
 }
 
 /// Prints the verification-time table from a set of reports.
 pub fn print_verification_table(reports: &[InterfaceReport]) {
     println!("{}", report::verification_time_table(reports));
+}
+
+/// Renders a machine-readable performance report as JSON (hand-rolled — the
+/// workspace is offline and carries no serde). One object per interface with
+/// wall-clock, throughput, and prover-work counters, plus run metadata, so
+/// future changes can track the perf trajectory in committed `BENCH_*.json`
+/// files.
+///
+/// `total_wall` must be the measured wall-clock of the whole run: interfaces
+/// verify concurrently when `options.threads > 1`, so summing per-interface
+/// elapsed times would overstate the total.
+pub fn perf_report_json(
+    reports: &[InterfaceReport],
+    options: &VerifyOptions,
+    total_wall: std::time::Duration,
+) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"options\": {{\"threads\": {}, \"prover_threads\": {}, \"seq_len\": {}, \"limit\": {}}},\n",
+        options.threads,
+        options.prover_threads,
+        options.seq_len,
+        options
+            .limit
+            .map_or("null".to_string(), |l| l.to_string())
+    ));
+    out.push_str("  \"interfaces\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let wall = r.elapsed.as_secs_f64();
+        let methods = r.method_count();
+        let throughput = if wall > 0.0 {
+            methods as f64 / wall
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"interface\": \"{}\", \"conditions\": {}, \"methods\": {}, \"verified\": {}, \
+             \"wall_s\": {:.6}, \"obligations_per_sec\": {:.2}, \"models_checked\": {}, \
+             \"cache_hits\": {}}}{}\n",
+            esc(&r.interface.to_string()),
+            r.total(),
+            methods,
+            r.verified_count(),
+            wall,
+            throughput,
+            r.models_checked(),
+            r.cache_hits(),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let total_wall = total_wall.as_secs_f64();
+    let total_methods: usize = reports.iter().map(|r| r.method_count()).sum();
+    out.push_str(&format!(
+        "  \"total\": {{\"methods\": {}, \"wall_s\": {:.6}, \"obligations_per_sec\": {:.2}}}\n",
+        total_methods,
+        total_wall,
+        if total_wall > 0.0 {
+            total_methods as f64 / total_wall
+        } else {
+            0.0
+        }
+    ));
+    out.push('}');
+    out
 }
 
 #[cfg(test)]
@@ -70,5 +142,30 @@ mod tests {
         for r in &reports {
             assert_eq!(r.verified_count(), r.total());
         }
+    }
+
+    #[test]
+    fn perf_report_json_is_well_formed() {
+        let options = VerifyOptions::quick(2);
+        let start = std::time::Instant::now();
+        let reports = run_full_verification(&options);
+        let json = perf_report_json(&reports, &options, start.elapsed());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "\"options\"",
+            "\"interfaces\"",
+            "\"obligations_per_sec\"",
+            "\"models_checked\"",
+            "\"cache_hits\"",
+            "\"total\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Braces and brackets balance (cheap well-formedness check).
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
     }
 }

@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn map_and_seq_helpers_are_well_sorted() {
-        assert_eq!(
-            semcommute_logic::sort_of(&get_k1()).unwrap(),
-            Sort::Elem
-        );
+        assert_eq!(semcommute_logic::sort_of(&get_k1()).unwrap(), Sort::Elem);
         assert_eq!(
             semcommute_logic::sort_of(&index_of(v1())).unwrap(),
             Sort::Int

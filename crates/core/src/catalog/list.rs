@@ -94,7 +94,11 @@ pub fn condition(first: &OpVariant, second: &OpVariant, kind: ConditionKind) -> 
         ("addAt", "set") => or3(
             lt(i2(), i1()),
             and3(ieq(i2(), i1()), eq(v1(), v2()), eq(at(i1()), v2())),
-            and3(gt(i2(), i1()), eq(at(minus1(i2())), v2()), eq(at(i2()), v2())),
+            and3(
+                gt(i2(), i1()),
+                eq(at(minus1(i2())), v2()),
+                eq(at(i2()), v2()),
+            ),
         ),
 
         // ---------------------------------------------------------------
@@ -174,11 +178,19 @@ pub fn condition(first: &OpVariant, second: &OpVariant, kind: ConditionKind) -> 
             let same_index = if neither_recorded {
                 and2(ieq(i1(), i2()), eq(at(plus1(i1())), v2()))
             } else {
-                and3(ieq(i1(), i2()), eq(at(i1()), v2()), eq(at(plus1(i1())), v2()))
+                and3(
+                    ieq(i1(), i2()),
+                    eq(at(i1()), v2()),
+                    eq(at(plus1(i1())), v2()),
+                )
             };
             or3(
                 lt(i2(), i1()),
-                and3(lt(i1(), i2()), eq(at(i2()), v2()), eq(at(plus1(i2())), v2())),
+                and3(
+                    lt(i1(), i2()),
+                    eq(at(i2()), v2()),
+                    eq(at(plus1(i2())), v2()),
+                ),
                 same_index,
             )
         }
@@ -189,11 +201,19 @@ pub fn condition(first: &OpVariant, second: &OpVariant, kind: ConditionKind) -> 
         ("set", "addAt") => or3(
             lt(i1(), i2()),
             and3(ieq(i1(), i2()), eq(v1(), v2()), eq(at(i1()), v1())),
-            and3(gt(i1(), i2()), eq(at(minus1(i1())), v1()), eq(at(i1()), v1())),
+            and3(
+                gt(i1(), i2()),
+                eq(at(minus1(i1())), v1()),
+                eq(at(i1()), v1()),
+            ),
         ),
         ("set", "get") => or2(neq(i1(), i2()), eq(at(i1()), v1())),
         ("set", "indexOf") => or2(
-            and3(eq(v1(), v2()), le(int(0), index_of(v2())), le(index_of(v2()), i1())),
+            and3(
+                eq(v1(), v2()),
+                le(int(0), index_of(v2())),
+                le(index_of(v2()), i1()),
+            ),
             and2(neq(v1(), v2()), neq(index_of(v2()), i1())),
         ),
         ("set", "lastIndexOf") => or2(
@@ -204,11 +224,19 @@ pub fn condition(first: &OpVariant, second: &OpVariant, kind: ConditionKind) -> 
             let same_index = if neither_recorded {
                 and2(ieq(i1(), i2()), eq(at(plus1(i1())), v1()))
             } else {
-                and3(ieq(i1(), i2()), eq(at(i1()), v1()), eq(at(plus1(i1())), v1()))
+                and3(
+                    ieq(i1(), i2()),
+                    eq(at(i1()), v1()),
+                    eq(at(plus1(i1())), v1()),
+                )
             };
             or3(
                 lt(i1(), i2()),
-                and3(gt(i1(), i2()), eq(at(i1()), v1()), eq(at(plus1(i1())), v1())),
+                and3(
+                    gt(i1(), i2()),
+                    eq(at(i1()), v1()),
+                    eq(at(plus1(i1())), v1()),
+                ),
                 same_index,
             )
         }
@@ -216,10 +244,7 @@ pub fn condition(first: &OpVariant, second: &OpVariant, kind: ConditionKind) -> 
             if neither_recorded {
                 or2(neq(i1(), i2()), eq(v1(), v2()))
             } else {
-                or2(
-                    neq(i1(), i2()),
-                    and2(eq(v1(), v2()), eq(at(i1()), v1())),
-                )
+                or2(neq(i1(), i2()), and2(eq(v1(), v2()), eq(at(i1()), v1())))
             }
         }
 
@@ -248,10 +273,7 @@ mod tests {
     /// and the arguments.
     fn holds(c: &Term, list: &[u32], bindings: &[(&str, Value)]) -> bool {
         let mut m = Model::new();
-        m.insert(
-            "s1",
-            Value::Seq(list.iter().map(|&i| ElemId(i)).collect()),
-        );
+        m.insert("s1", Value::Seq(list.iter().map(|&i| ElemId(i)).collect()));
         for (k, v) in bindings {
             m.insert(*k, v.clone());
         }

@@ -162,12 +162,18 @@ mod tests {
         // Row: r1 = get(k1) / put(k2, v2): k1 ~= k2 | r1 = v2
         assert_eq!(
             condition(&rec("get"), &dis("put"), After),
-            or2(neq(var_elem("k1"), var_elem("k2")), eq(var_elem("r1"), var_elem("v2")))
+            or2(
+                neq(var_elem("k1"), var_elem("k2")),
+                eq(var_elem("r1"), var_elem("v2"))
+            )
         );
         // Row: r1 = get(k1) / remove(k2): k1 ~= k2 | r1 = null
         assert_eq!(
             condition(&rec("get"), &dis("remove"), After),
-            or2(neq(var_elem("k1"), var_elem("k2")), eq(var_elem("r1"), null()))
+            or2(
+                neq(var_elem("k1"), var_elem("k2")),
+                eq(var_elem("r1"), null())
+            )
         );
         // Row: put(k1, v1) / get(k2) keeps the initial-state form even after.
         assert_eq!(

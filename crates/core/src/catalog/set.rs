@@ -115,7 +115,10 @@ mod tests {
         // Row: s1.add(v1) / r2 = s2.contains(v2):  v1 ~= v2 | v1 : s1
         assert_eq!(
             condition(&dis("add"), &rec("contains"), Before),
-            or2(neq(var_elem("v1"), var_elem("v2")), member(var_elem("v1"), var_set("s1")))
+            or2(
+                neq(var_elem("v1"), var_elem("v2")),
+                member(var_elem("v1"), var_set("s1"))
+            )
         );
         // Row: s1.add(v1) / s2.remove(v2): v1 ~= v2
         assert_eq!(

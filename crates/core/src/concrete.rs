@@ -115,7 +115,10 @@ impl ConditionContext {
 /// Returns an error if the context does not provide a value for a variable
 /// the condition references (e.g. evaluating a between condition with a
 /// before-only context).
-pub fn evaluate(condition: &CommutativityCondition, ctx: &ConditionContext) -> Result<bool, String> {
+pub fn evaluate(
+    condition: &CommutativityCondition,
+    ctx: &ConditionContext,
+) -> Result<bool, String> {
     let model = ctx.to_model(condition);
     eval_bool(&condition.formula, &model).map_err(|e| format!("{}: {e}", condition.id()))
 }
@@ -222,25 +225,16 @@ mod tests {
     fn before_condition_evaluates_against_initial_state() {
         let cond = find(InterfaceId::Set, "contains", "add", ConditionKind::Before);
         // v1 != v2: commutes.
-        let ctx = ConditionContext::before(
-            set_state(&[]),
-            vec![Value::elem(1)],
-            vec![Value::elem(2)],
-        );
+        let ctx =
+            ConditionContext::before(set_state(&[]), vec![Value::elem(1)], vec![Value::elem(2)]);
         assert!(evaluate(&cond, &ctx).unwrap());
         // v1 = v2 and v1 not in the set: does not commute.
-        let ctx = ConditionContext::before(
-            set_state(&[]),
-            vec![Value::elem(1)],
-            vec![Value::elem(1)],
-        );
+        let ctx =
+            ConditionContext::before(set_state(&[]), vec![Value::elem(1)], vec![Value::elem(1)]);
         assert!(!evaluate(&cond, &ctx).unwrap());
         // v1 = v2 but already present: commutes.
-        let ctx = ConditionContext::before(
-            set_state(&[1]),
-            vec![Value::elem(1)],
-            vec![Value::elem(1)],
-        );
+        let ctx =
+            ConditionContext::before(set_state(&[1]), vec![Value::elem(1)], vec![Value::elem(1)]);
         assert!(evaluate(&cond, &ctx).unwrap());
     }
 
@@ -268,11 +262,8 @@ mod tests {
     #[test]
     fn missing_context_is_an_error() {
         let cond = find(InterfaceId::Set, "contains", "add", ConditionKind::Between);
-        let ctx = ConditionContext::before(
-            set_state(&[]),
-            vec![Value::elem(1)],
-            vec![Value::elem(2)],
-        );
+        let ctx =
+            ConditionContext::before(set_state(&[]), vec![Value::elem(1)], vec![Value::elem(2)]);
         // The between condition needs r1, which a before context lacks.
         assert!(evaluate(&cond, &ctx).is_err());
     }
@@ -291,10 +282,7 @@ mod tests {
             neq(var_elem("k1"), var_elem("k2")),
             not(map_has_key(var_map("s1"), var_elem("k1"))),
         );
-        assert_eq!(
-            render_concrete(&t),
-            "k1 ~= k2 | s1.containsKey(k1) = false"
-        );
+        assert_eq!(render_concrete(&t), "k1 ~= k2 | s1.containsKey(k1) = false");
         // map get and sizes
         let t = eq(map_get(var_map("s1"), var_elem("k1")), var_elem("v2"));
         assert_eq!(render_concrete(&t), "s1.get(k1) = v2");

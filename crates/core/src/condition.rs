@@ -258,7 +258,10 @@ mod tests {
         let args = c.argument_vars(&set_interface());
         assert_eq!(
             args,
-            vec![("v1".to_string(), Sort::Elem), ("v2".to_string(), Sort::Elem)]
+            vec![
+                ("v1".to_string(), Sort::Elem),
+                ("v2".to_string(), Sort::Elem)
+            ]
         );
     }
 

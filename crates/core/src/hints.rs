@@ -176,7 +176,10 @@ fn query_then_shift_hints(
     let shifted = || var_seq(shifted_state);
     match shift_op {
         "addAt" => vec![
-            Hint::Note(implies(seq_contains(s1(), v()), seq_contains(shifted(), v()))),
+            Hint::Note(implies(
+                seq_contains(s1(), v()),
+                seq_contains(shifted(), v()),
+            )),
             Hint::Assuming {
                 hypothesis: lt(seq_index_of(shifted(), v()), int(0)),
                 conclusion: lt(seq_index_of(s1(), v()), int(0)),

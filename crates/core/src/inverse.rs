@@ -484,12 +484,8 @@ mod tests {
 
     #[test]
     fn table_rows_match_table_5_10() {
-        let rows: Vec<(String, String)> =
-            inverse_catalog().iter().map(|i| i.table_row()).collect();
-        assert!(rows.contains(&(
-            "s1.increase(v)".to_string(),
-            "s2.increase(-v)".to_string()
-        )));
+        let rows: Vec<(String, String)> = inverse_catalog().iter().map(|i| i.table_row()).collect();
+        assert!(rows.contains(&("s1.increase(v)".to_string(), "s2.increase(-v)".to_string())));
         assert!(rows.contains(&(
             "r = s1.add(v)".to_string(),
             "if r = true then s2.remove(v)".to_string()

@@ -99,10 +99,9 @@ pub fn render_method(method: &TestingMethod) -> String {
                 let args: Vec<String> = call.args.iter().map(|a| a.to_string()).collect();
                 let invocation = format!("{}.{}({})", call.object, call.op, args.join(", "));
                 match (&call.result, iface.op(&call.op).and_then(|o| o.result_sort)) {
-                    (Some(result), Some(sort)) => out.push_str(&format!(
-                        "  {} {result} = {invocation};\n",
-                        java_type(sort)
-                    )),
+                    (Some(result), Some(sort)) => {
+                        out.push_str(&format!("  {} {result} = {invocation};\n", java_type(sort)))
+                    }
                     _ => out.push_str(&format!("  {invocation};\n")),
                 }
             }
@@ -138,7 +137,9 @@ mod tests {
     fn rendered_soundness_method_resembles_figure_2_2() {
         let text = render_method(&soundness_method(&contains_add_between(), 40));
         // Signature and requires clause.
-        assert!(text.contains("void contains_add__between_s_40(HashSet sa, HashSet sb, Object v1, Object v2)"));
+        assert!(text.contains(
+            "void contains_add__between_s_40(HashSet sa, HashSet sb, Object v1, Object v2)"
+        ));
         assert!(text.contains("sa ~= sb"));
         assert!(text.contains("sa..contents = sb..contents"));
         // Body: contains on sa, assumed condition, add on both, contains on sb.
@@ -171,9 +172,7 @@ mod tests {
         let cond = interface_catalog(InterfaceId::List)
             .into_iter()
             .find(|c| {
-                c.first.op == "addAt"
-                    && c.second.op == "get"
-                    && c.kind == ConditionKind::Before
+                c.first.op == "addAt" && c.second.op == "get" && c.kind == ConditionKind::Before
             })
             .unwrap();
         let text = render_method(&soundness_method(&cond, 7));

@@ -33,8 +33,8 @@ pub fn condition_table(interface: InterfaceId, kind: ConditionKind) -> String {
     let _ = writeln!(out, "{:-<110}", "");
     let _ = writeln!(
         out,
-        "{:<22} {:<22} | {:<40} | {}",
-        "first", "second", "abstract condition", "concrete condition"
+        "{:<22} {:<22} | {:<40} | concrete condition",
+        "first", "second", "abstract condition"
     );
     let _ = writeln!(out, "{:-<110}", "");
     for cond in interface_catalog(interface)
@@ -142,8 +142,8 @@ pub fn inverse_table() -> String {
     let _ = writeln!(out, "{:-<88}", "");
     let _ = writeln!(
         out,
-        "{:<18} {:<28} {}",
-        "Data structure", "Operation", "Inverse operation"
+        "{:<18} {:<28} Inverse operation",
+        "Data structure", "Operation"
     );
     let _ = writeln!(out, "{:-<88}", "");
     for inverse in inverse_catalog() {

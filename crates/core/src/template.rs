@@ -83,7 +83,11 @@ fn call(
         pre_state: pre_state.to_string(),
         post_state: post_state.map(str::to_string),
         args: arg_terms(op, which),
-        result: if record { result.map(str::to_string) } else { None },
+        result: if record {
+            result.map(str::to_string)
+        } else {
+            None
+        },
         pre_mode,
     })
 }
@@ -97,11 +101,7 @@ fn rename_condition(cond: &CommutativityCondition, op1_updates: bool, op2_update
     } else {
         names::INITIAL
     };
-    let s3 = if op2_updates {
-        method_names::SA2
-    } else {
-        s2
-    };
+    let s3 = if op2_updates { method_names::SA2 } else { s2 };
     let renaming = rename_map([
         (names::INTERMEDIATE, s2),
         (names::FINAL, s3),
@@ -389,7 +389,9 @@ mod tests {
         let cond = catalog::interface_catalog(InterfaceId::Map)
             .into_iter()
             .find(|c| {
-                c.first.op == "get" && c.second.op == "put" && c.kind == ConditionKind::After
+                c.first.op == "get"
+                    && c.second.op == "put"
+                    && c.kind == ConditionKind::After
                     && !c.second.recorded
             })
             .unwrap();
@@ -438,8 +440,11 @@ mod tests {
         let cond = catalog::interface_catalog(InterfaceId::Map)
             .into_iter()
             .find(|c| {
-                c.first.op == "put" && c.second.op == "remove" && c.kind == ConditionKind::Before
-                    && c.first.recorded && c.second.recorded
+                c.first.op == "put"
+                    && c.second.op == "remove"
+                    && c.kind == ConditionKind::Before
+                    && c.first.recorded
+                    && c.second.recorded
             })
             .unwrap();
         let m = soundness_method(&cond, 9);

@@ -69,10 +69,7 @@ impl OpVariant {
 
 fn suffix_of(result_name: &str) -> String {
     // result names are "r1" / "r2"; the argument suffix matches the digit.
-    result_name
-        .chars()
-        .filter(|c| c.is_ascii_digit())
-        .collect()
+    result_name.chars().filter(|c| c.is_ascii_digit()).collect()
 }
 
 impl fmt::Display for OpVariant {
@@ -98,9 +95,7 @@ pub fn interface_variants(iface: &InterfaceSpec) -> Vec<OpVariant> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use semcommute_spec::{
-        accumulator_interface, list_interface, map_interface, set_interface,
-    };
+    use semcommute_spec::{accumulator_interface, list_interface, map_interface, set_interface};
 
     #[test]
     fn variant_counts_match_section_5_1() {

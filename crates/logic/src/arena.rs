@@ -1,0 +1,1256 @@
+//! Hash-consed term arena: interned terms with structural sharing and
+//! memoized rewriting.
+//!
+//! [`Term`] is a boxed tree: every `simplify` / `substitute` / `to_nnf` pass
+//! deep-clones it, and syntactic equality tests walk both operands. The
+//! obligations generated from the catalog's testing methods are extremely
+//! repetitive — the same pre-state expressions, membership conditions, and
+//! update chains appear in thousands of obligations — so the prover hot paths
+//! pay for the same rewrites over and over.
+//!
+//! The arena fixes this by *interning*: structurally equal terms get the same
+//! [`TermId`], so
+//!
+//! * equality of sub-terms is an integer comparison,
+//! * every node carries precomputed metadata (node count, a 128-bit
+//!   structural hash that is stable across arenas and threads, and the sorted
+//!   free-variable list), and
+//! * `simplify` / `nnf` are memoized **per id**: a sub-DAG shared by many
+//!   obligations is rewritten once, not once per occurrence, and repeated
+//!   proves of the same formula are O(1) after the first.
+//!
+//! Each thread owns one arena (see [`with_arena`]); ids are meaningful only
+//! within their arena, while [`structural_hash`]es are portable and are used
+//! by the prover's cross-thread obligation dedup cache.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+
+use crate::sort::Sort;
+use crate::term::{Term, Var};
+
+/// Handle to an interned term. Ids are arena-local: two ids compare equal if
+/// and only if they were produced by the same arena for structurally equal
+/// terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(u32);
+
+impl TermId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Handle to an interned variable name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interned representation of one term node: children are [`TermId`]s.
+/// Mirrors the [`Term`] variants one-to-one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Node {
+    Var(Sym, Sort),
+    BoolLit(bool),
+    IntLit(i64),
+    Null,
+    EmptySet,
+    EmptyMap,
+    EmptySeq,
+    Not(TermId),
+    Neg(TermId),
+    Card(TermId),
+    MapSize(TermId),
+    SeqLen(TermId),
+    And(Rc<[TermId]>),
+    Or(Rc<[TermId]>),
+    Implies(TermId, TermId),
+    Iff(TermId, TermId),
+    Eq(TermId, TermId),
+    Add(TermId, TermId),
+    Sub(TermId, TermId),
+    Lt(TermId, TermId),
+    Le(TermId, TermId),
+    SetAdd(TermId, TermId),
+    SetRemove(TermId, TermId),
+    Member(TermId, TermId),
+    MapRemove(TermId, TermId),
+    MapGet(TermId, TermId),
+    MapHasKey(TermId, TermId),
+    SeqRemoveAt(TermId, TermId),
+    SeqAt(TermId, TermId),
+    SeqIndexOf(TermId, TermId),
+    SeqLastIndexOf(TermId, TermId),
+    SeqContains(TermId, TermId),
+    Ite(TermId, TermId, TermId),
+    MapPut(TermId, TermId, TermId),
+    SeqInsertAt(TermId, TermId, TermId),
+    SeqSetAt(TermId, TermId, TermId),
+    ForallInt(Sym, TermId, TermId, TermId),
+    ExistsInt(Sym, TermId, TermId, TermId),
+}
+
+/// Precomputed per-node metadata.
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    /// Number of nodes in the term (counting shared sub-DAGs once per
+    /// occurrence, i.e. the size of the equivalent tree).
+    size: u64,
+    /// Arena-independent structural hash (two independent 64-bit streams).
+    hash: u128,
+}
+
+fn mix(h: u64, x: u64) -> u64 {
+    // 64-bit FNV-1a over 8-byte words, with an avalanche rotation.
+    (h ^ x).wrapping_mul(0x0000_0100_0000_01B3).rotate_left(23)
+}
+
+fn str_hash(s: &str, seed: u64) -> u64 {
+    let mut h = seed ^ 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A hash-consing interner for [`Term`]s.
+///
+/// Obtain the calling thread's arena with [`with_arena`]; standalone arenas
+/// can be created with [`TermArena::new`] (useful in tests).
+#[derive(Debug, Default)]
+pub struct TermArena {
+    nodes: Vec<Node>,
+    meta: Vec<Meta>,
+    /// Sorted-by-symbol free variable list of each node.
+    free: Vec<Rc<[(Sym, Sort)]>>,
+    dedup: HashMap<Node, TermId>,
+    sym_names: Vec<Rc<str>>,
+    sym_hashes: Vec<u128>,
+    sym_ids: HashMap<Rc<str>, Sym>,
+    simplify_memo: HashMap<TermId, TermId>,
+    nnf_memo: HashMap<(TermId, bool), TermId>,
+    normalize_memo: HashMap<TermId, TermId>,
+}
+
+impl TermArena {
+    /// Creates an empty arena.
+    pub fn new() -> TermArena {
+        TermArena::default()
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Discards every interned term, symbol, and memo table, returning the
+    /// arena to its freshly-created state.
+    ///
+    /// Interning is otherwise monotonic: every `simplify` / `substitute` /
+    /// `to_nnf` call permanently retains its inputs, outputs, and memo
+    /// entries. Batch runs (a catalog verification) want exactly that; a
+    /// long-lived process generating unboundedly many fresh terms should
+    /// call `with_arena(|a| a.clear())` at a phase boundary. All previously
+    /// issued [`TermId`]s and [`Sym`]s are invalidated.
+    pub fn clear(&mut self) {
+        *self = TermArena::default();
+    }
+
+    /// Interns a variable name.
+    pub fn sym(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.sym_ids.get(name) {
+            return s;
+        }
+        let rc: Rc<str> = Rc::from(name);
+        let s = Sym(self.sym_names.len() as u32);
+        self.sym_names.push(Rc::clone(&rc));
+        self.sym_hashes
+            .push(u128::from(str_hash(name, 0)) | (u128::from(str_hash(name, 0x9E37)) << 64));
+        self.sym_ids.insert(rc, s);
+        s
+    }
+
+    /// The name behind a symbol.
+    pub fn sym_name(&self, s: Sym) -> &str {
+        &self.sym_names[s.idx()]
+    }
+
+    /// The arena-independent 128-bit hash of a symbol's name (computed once
+    /// at interning time; equal for equal names on every thread). Callers
+    /// building cross-thread cache keys should use this instead of rehashing
+    /// the name.
+    pub fn sym_hash(&self, s: Sym) -> u128 {
+        self.sym_hashes[s.idx()]
+    }
+
+    fn node(&self, id: TermId) -> &Node {
+        &self.nodes[id.idx()]
+    }
+
+    /// The number of nodes of the (tree view of the) interned term.
+    pub fn size_of(&self, id: TermId) -> u64 {
+        self.meta[id.idx()].size
+    }
+
+    /// Arena-independent 128-bit structural hash of the interned term: equal
+    /// for structurally equal terms regardless of which arena (or thread)
+    /// interned them. Used as the key of the prover's obligation dedup cache.
+    pub fn structural_hash(&self, id: TermId) -> u128 {
+        self.meta[id.idx()].hash
+    }
+
+    /// The free variables of the interned term with their sorts, sorted by
+    /// symbol.
+    pub fn free_vars_of(&self, id: TermId) -> &[(Sym, Sort)] {
+        &self.free[id.idx()]
+    }
+
+    /// The free variables as a name-ordered map (the [`crate::free_vars`]
+    /// result shape).
+    pub fn free_vars_map(&self, id: TermId) -> BTreeMap<String, Sort> {
+        self.free[id.idx()]
+            .iter()
+            .map(|&(s, sort)| (self.sym_names[s.idx()].to_string(), sort))
+            .collect()
+    }
+
+    /// Returns `true` if the interned term is the literal `true` (or an empty
+    /// conjunction).
+    pub fn is_true_id(&self, id: TermId) -> bool {
+        match self.node(id) {
+            Node::BoolLit(true) => true,
+            Node::And(cs) => cs.is_empty(),
+            _ => false,
+        }
+    }
+
+    /// Returns `true` if the interned term is the literal `false` (or an
+    /// empty disjunction).
+    pub fn is_false_id(&self, id: TermId) -> bool {
+        match self.node(id) {
+            Node::BoolLit(false) => true,
+            Node::Or(cs) => cs.is_empty(),
+            _ => false,
+        }
+    }
+
+    fn intern_node(&mut self, node: Node) -> TermId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let meta = self.compute_meta(&node);
+        let free = self.compute_free(&node);
+        let id = TermId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.meta.push(meta);
+        self.free.push(free);
+        self.dedup.insert(node, id);
+        id
+    }
+
+    fn compute_meta(&self, node: &Node) -> Meta {
+        let tag = node_tag(node);
+        let mut h1 = mix(0x517C_C1B7_2722_0A95, u64::from(tag));
+        let mut h2 = mix(0x2545_F491_4F6C_DD1D, u64::from(tag) ^ 0xA5A5);
+        let mut size = 1u64;
+        match node {
+            Node::Var(s, sort) => {
+                let sh = self.sym_hashes[s.idx()];
+                h1 = mix(h1, sh as u64);
+                h2 = mix(h2, (sh >> 64) as u64);
+                h1 = mix(h1, *sort as u64);
+                h2 = mix(h2, *sort as u64);
+            }
+            Node::BoolLit(b) => {
+                h1 = mix(h1, u64::from(*b));
+                h2 = mix(h2, u64::from(*b));
+            }
+            Node::IntLit(i) => {
+                h1 = mix(h1, *i as u64);
+                h2 = mix(h2, (*i as u64).rotate_left(17));
+            }
+            Node::ForallInt(s, ..) | Node::ExistsInt(s, ..) => {
+                let sh = self.sym_hashes[s.idx()];
+                h1 = mix(h1, sh as u64);
+                h2 = mix(h2, (sh >> 64) as u64);
+            }
+            _ => {}
+        }
+        for_each_child_node(node, |c| {
+            let m = &self.meta[c.idx()];
+            size += m.size;
+            h1 = mix(h1, m.hash as u64);
+            h2 = mix(h2, (m.hash >> 64) as u64);
+        });
+        Meta {
+            size,
+            hash: u128::from(h1) | (u128::from(h2) << 64),
+        }
+    }
+
+    fn compute_free(&self, node: &Node) -> Rc<[(Sym, Sort)]> {
+        match node {
+            Node::Var(s, sort) => Rc::from(vec![(*s, *sort)]),
+            Node::ForallInt(var, lo, hi, body) | Node::ExistsInt(var, lo, hi, body) => {
+                let mut out: Vec<(Sym, Sort)> = Vec::new();
+                out.extend(self.free[lo.idx()].iter().copied());
+                out.extend(self.free[hi.idx()].iter().copied());
+                out.extend(
+                    self.free[body.idx()]
+                        .iter()
+                        .copied()
+                        .filter(|(s, _)| s != var),
+                );
+                out.sort_unstable();
+                out.dedup();
+                Rc::from(out)
+            }
+            _ => {
+                let mut out: Vec<(Sym, Sort)> = Vec::new();
+                let mut child_count = 0usize;
+                let mut only: Option<TermId> = None;
+                for_each_child_node(node, |c| {
+                    child_count += 1;
+                    only = Some(c);
+                    out.extend(self.free[c.idx()].iter().copied());
+                });
+                if child_count == 1 {
+                    // Single child: share its list instead of copying.
+                    return Rc::clone(&self.free[only.expect("one child").idx()]);
+                }
+                out.sort_unstable();
+                out.dedup();
+                Rc::from(out)
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Interning and reconstruction
+    // -----------------------------------------------------------------------
+
+    /// Interns a boxed term, returning its id. Structurally equal terms
+    /// always return the same id.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        use Term as T;
+        let node = match term {
+            T::Var(v) => {
+                let s = self.sym(&v.name);
+                Node::Var(s, v.sort)
+            }
+            T::BoolLit(b) => Node::BoolLit(*b),
+            T::IntLit(i) => Node::IntLit(*i),
+            T::Null => Node::Null,
+            T::EmptySet => Node::EmptySet,
+            T::EmptyMap => Node::EmptyMap,
+            T::EmptySeq => Node::EmptySeq,
+            T::Not(a) => Node::Not(self.intern(a)),
+            T::Neg(a) => Node::Neg(self.intern(a)),
+            T::Card(a) => Node::Card(self.intern(a)),
+            T::MapSize(a) => Node::MapSize(self.intern(a)),
+            T::SeqLen(a) => Node::SeqLen(self.intern(a)),
+            T::And(cs) => Node::And(cs.iter().map(|c| self.intern(c)).collect()),
+            T::Or(cs) => Node::Or(cs.iter().map(|c| self.intern(c)).collect()),
+            T::Implies(a, b) => Node::Implies(self.intern(a), self.intern(b)),
+            T::Iff(a, b) => Node::Iff(self.intern(a), self.intern(b)),
+            T::Eq(a, b) => Node::Eq(self.intern(a), self.intern(b)),
+            T::Add(a, b) => Node::Add(self.intern(a), self.intern(b)),
+            T::Sub(a, b) => Node::Sub(self.intern(a), self.intern(b)),
+            T::Lt(a, b) => Node::Lt(self.intern(a), self.intern(b)),
+            T::Le(a, b) => Node::Le(self.intern(a), self.intern(b)),
+            T::SetAdd(a, b) => Node::SetAdd(self.intern(a), self.intern(b)),
+            T::SetRemove(a, b) => Node::SetRemove(self.intern(a), self.intern(b)),
+            T::Member(a, b) => Node::Member(self.intern(a), self.intern(b)),
+            T::MapRemove(a, b) => Node::MapRemove(self.intern(a), self.intern(b)),
+            T::MapGet(a, b) => Node::MapGet(self.intern(a), self.intern(b)),
+            T::MapHasKey(a, b) => Node::MapHasKey(self.intern(a), self.intern(b)),
+            T::SeqRemoveAt(a, b) => Node::SeqRemoveAt(self.intern(a), self.intern(b)),
+            T::SeqAt(a, b) => Node::SeqAt(self.intern(a), self.intern(b)),
+            T::SeqIndexOf(a, b) => Node::SeqIndexOf(self.intern(a), self.intern(b)),
+            T::SeqLastIndexOf(a, b) => Node::SeqLastIndexOf(self.intern(a), self.intern(b)),
+            T::SeqContains(a, b) => Node::SeqContains(self.intern(a), self.intern(b)),
+            T::Ite(a, b, c) => Node::Ite(self.intern(a), self.intern(b), self.intern(c)),
+            T::MapPut(a, b, c) => Node::MapPut(self.intern(a), self.intern(b), self.intern(c)),
+            T::SeqInsertAt(a, b, c) => {
+                Node::SeqInsertAt(self.intern(a), self.intern(b), self.intern(c))
+            }
+            T::SeqSetAt(a, b, c) => Node::SeqSetAt(self.intern(a), self.intern(b), self.intern(c)),
+            T::ForallInt { var, lo, hi, body } => {
+                let s = self.sym(var);
+                Node::ForallInt(s, self.intern(lo), self.intern(hi), self.intern(body))
+            }
+            T::ExistsInt { var, lo, hi, body } => {
+                let s = self.sym(var);
+                Node::ExistsInt(s, self.intern(lo), self.intern(hi), self.intern(body))
+            }
+        };
+        self.intern_node(node)
+    }
+
+    /// Reconstructs the boxed tree of an interned term.
+    pub fn to_term(&self, id: TermId) -> Term {
+        let b = |t: &TermId| Box::new(self.to_term(*t));
+        match self.node(id) {
+            Node::Var(s, sort) => Term::Var(Var::new(self.sym_names[s.idx()].to_string(), *sort)),
+            Node::BoolLit(x) => Term::BoolLit(*x),
+            Node::IntLit(i) => Term::IntLit(*i),
+            Node::Null => Term::Null,
+            Node::EmptySet => Term::EmptySet,
+            Node::EmptyMap => Term::EmptyMap,
+            Node::EmptySeq => Term::EmptySeq,
+            Node::Not(a) => Term::Not(b(a)),
+            Node::Neg(a) => Term::Neg(b(a)),
+            Node::Card(a) => Term::Card(b(a)),
+            Node::MapSize(a) => Term::MapSize(b(a)),
+            Node::SeqLen(a) => Term::SeqLen(b(a)),
+            Node::And(cs) => Term::And(cs.iter().map(|&c| self.to_term(c)).collect()),
+            Node::Or(cs) => Term::Or(cs.iter().map(|&c| self.to_term(c)).collect()),
+            Node::Implies(x, y) => Term::Implies(b(x), b(y)),
+            Node::Iff(x, y) => Term::Iff(b(x), b(y)),
+            Node::Eq(x, y) => Term::Eq(b(x), b(y)),
+            Node::Add(x, y) => Term::Add(b(x), b(y)),
+            Node::Sub(x, y) => Term::Sub(b(x), b(y)),
+            Node::Lt(x, y) => Term::Lt(b(x), b(y)),
+            Node::Le(x, y) => Term::Le(b(x), b(y)),
+            Node::SetAdd(x, y) => Term::SetAdd(b(x), b(y)),
+            Node::SetRemove(x, y) => Term::SetRemove(b(x), b(y)),
+            Node::Member(x, y) => Term::Member(b(x), b(y)),
+            Node::MapRemove(x, y) => Term::MapRemove(b(x), b(y)),
+            Node::MapGet(x, y) => Term::MapGet(b(x), b(y)),
+            Node::MapHasKey(x, y) => Term::MapHasKey(b(x), b(y)),
+            Node::SeqRemoveAt(x, y) => Term::SeqRemoveAt(b(x), b(y)),
+            Node::SeqAt(x, y) => Term::SeqAt(b(x), b(y)),
+            Node::SeqIndexOf(x, y) => Term::SeqIndexOf(b(x), b(y)),
+            Node::SeqLastIndexOf(x, y) => Term::SeqLastIndexOf(b(x), b(y)),
+            Node::SeqContains(x, y) => Term::SeqContains(b(x), b(y)),
+            Node::Ite(x, y, z) => Term::Ite(b(x), b(y), b(z)),
+            Node::MapPut(x, y, z) => Term::MapPut(b(x), b(y), b(z)),
+            Node::SeqInsertAt(x, y, z) => Term::SeqInsertAt(b(x), b(y), b(z)),
+            Node::SeqSetAt(x, y, z) => Term::SeqSetAt(b(x), b(y), b(z)),
+            Node::ForallInt(s, lo, hi, body) => Term::ForallInt {
+                var: self.sym_names[s.idx()].to_string(),
+                lo: b(lo),
+                hi: b(hi),
+                body: b(body),
+            },
+            Node::ExistsInt(s, lo, hi, body) => Term::ExistsInt {
+                var: self.sym_names[s.idx()].to_string(),
+                lo: b(lo),
+                hi: b(hi),
+                body: b(body),
+            },
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Constructors over ids (used by the structural prover)
+    // -----------------------------------------------------------------------
+
+    /// Interns a boolean literal.
+    pub fn bool_id(&mut self, value: bool) -> TermId {
+        self.intern_node(Node::BoolLit(value))
+    }
+
+    /// Interns `And` over the given conjuncts.
+    pub fn and_ids(&mut self, conjuncts: Vec<TermId>) -> TermId {
+        self.intern_node(Node::And(conjuncts.into()))
+    }
+
+    /// Interns `lhs --> rhs`.
+    pub fn implies_ids(&mut self, lhs: TermId, rhs: TermId) -> TermId {
+        self.intern_node(Node::Implies(lhs, rhs))
+    }
+
+    // -----------------------------------------------------------------------
+    // Memoized simplification
+    // -----------------------------------------------------------------------
+
+    /// Rebuilds `id`, mapping every child id through `f`; leaves are
+    /// returned unchanged, quantifier binders and literal payloads are
+    /// preserved, and the rebuilt node is interned. This is the single
+    /// exhaustive child walker shared by simplification, substitution, and
+    /// set-run normalization, so a new `Term` variant is wired up in exactly
+    /// one place.
+    fn map_children_with(
+        &mut self,
+        id: TermId,
+        f: &mut dyn FnMut(&mut TermArena, TermId) -> TermId,
+    ) -> TermId {
+        let node = self.node(id).clone();
+        let new = match node {
+            Node::Var(..)
+            | Node::BoolLit(_)
+            | Node::IntLit(_)
+            | Node::Null
+            | Node::EmptySet
+            | Node::EmptyMap
+            | Node::EmptySeq => return id,
+            Node::Not(a) => Node::Not(f(self, a)),
+            Node::Neg(a) => Node::Neg(f(self, a)),
+            Node::Card(a) => Node::Card(f(self, a)),
+            Node::MapSize(a) => Node::MapSize(f(self, a)),
+            Node::SeqLen(a) => Node::SeqLen(f(self, a)),
+            Node::And(cs) => Node::And(cs.iter().map(|&c| f(self, c)).collect()),
+            Node::Or(cs) => Node::Or(cs.iter().map(|&c| f(self, c)).collect()),
+            Node::Implies(x, y) => Node::Implies(f(self, x), f(self, y)),
+            Node::Iff(x, y) => Node::Iff(f(self, x), f(self, y)),
+            Node::Eq(x, y) => Node::Eq(f(self, x), f(self, y)),
+            Node::Add(x, y) => Node::Add(f(self, x), f(self, y)),
+            Node::Sub(x, y) => Node::Sub(f(self, x), f(self, y)),
+            Node::Lt(x, y) => Node::Lt(f(self, x), f(self, y)),
+            Node::Le(x, y) => Node::Le(f(self, x), f(self, y)),
+            Node::SetAdd(x, y) => Node::SetAdd(f(self, x), f(self, y)),
+            Node::SetRemove(x, y) => Node::SetRemove(f(self, x), f(self, y)),
+            Node::Member(x, y) => Node::Member(f(self, x), f(self, y)),
+            Node::MapRemove(x, y) => Node::MapRemove(f(self, x), f(self, y)),
+            Node::MapGet(x, y) => Node::MapGet(f(self, x), f(self, y)),
+            Node::MapHasKey(x, y) => Node::MapHasKey(f(self, x), f(self, y)),
+            Node::SeqRemoveAt(x, y) => Node::SeqRemoveAt(f(self, x), f(self, y)),
+            Node::SeqAt(x, y) => Node::SeqAt(f(self, x), f(self, y)),
+            Node::SeqIndexOf(x, y) => Node::SeqIndexOf(f(self, x), f(self, y)),
+            Node::SeqLastIndexOf(x, y) => Node::SeqLastIndexOf(f(self, x), f(self, y)),
+            Node::SeqContains(x, y) => Node::SeqContains(f(self, x), f(self, y)),
+            Node::Ite(x, y, z) => Node::Ite(f(self, x), f(self, y), f(self, z)),
+            Node::MapPut(x, y, z) => Node::MapPut(f(self, x), f(self, y), f(self, z)),
+            Node::SeqInsertAt(x, y, z) => Node::SeqInsertAt(f(self, x), f(self, y), f(self, z)),
+            Node::SeqSetAt(x, y, z) => Node::SeqSetAt(f(self, x), f(self, y), f(self, z)),
+            Node::ForallInt(s, lo, hi, body) => {
+                Node::ForallInt(s, f(self, lo), f(self, hi), f(self, body))
+            }
+            Node::ExistsInt(s, lo, hi, body) => {
+                Node::ExistsInt(s, f(self, lo), f(self, hi), f(self, body))
+            }
+        };
+        self.intern_node(new)
+    }
+
+    /// Simplifies an interned term to fixpoint, memoized per id.
+    ///
+    /// The rewrite rules are exactly those of [`crate::simplify`] (constant
+    /// folding, boolean identities, flattening, syntactic-equality reasoning,
+    /// container identities); the difference is that equality checks are id
+    /// comparisons and results are cached, so a sub-DAG occurring in many
+    /// obligations is rewritten once.
+    pub fn simplify_id(&mut self, id: TermId) -> TermId {
+        if let Some(&r) = self.simplify_memo.get(&id) {
+            return r;
+        }
+        let rebuilt = self.simplify_children(id);
+        let result = self.rewrite_fix(rebuilt);
+        self.simplify_memo.insert(id, result);
+        self.simplify_memo.insert(rebuilt, result);
+        self.simplify_memo.insert(result, result);
+        result
+    }
+
+    fn simplify_children(&mut self, id: TermId) -> TermId {
+        self.map_children_with(id, &mut |arena, child| arena.simplify_id(child))
+    }
+
+    /// Applies root rewrite steps until none fires (bounded defensively).
+    fn rewrite_fix(&mut self, mut id: TermId) -> TermId {
+        for _ in 0..128 {
+            match self.rewrite_step(id) {
+                Some(next) if next != id => id = next,
+                _ => return id,
+            }
+        }
+        id
+    }
+
+    /// One root rewrite step; children are assumed already simplified.
+    /// Mirrors the rule set of the boxed-tree simplifier exactly.
+    fn rewrite_step(&mut self, id: TermId) -> Option<TermId> {
+        let node = self.node(id).clone();
+        match node {
+            Node::Not(a) => match *self.node(a) {
+                Node::BoolLit(b) => Some(self.bool_id(!b)),
+                Node::Not(inner) => Some(inner),
+                _ => None,
+            },
+            Node::And(cs) => {
+                let mut flat: Vec<TermId> = Vec::with_capacity(cs.len());
+                let mut changed = false;
+                for &c in cs.iter() {
+                    match self.node(c) {
+                        Node::BoolLit(true) => changed = true,
+                        Node::BoolLit(false) => return Some(self.bool_id(false)),
+                        Node::And(inner) => {
+                            changed = true;
+                            flat.extend(inner.iter().copied());
+                        }
+                        _ => flat.push(c),
+                    }
+                }
+                let before = flat.len();
+                flat.dedup();
+                changed |= flat.len() != before;
+                if self.has_complementary_pair(&flat) {
+                    return Some(self.bool_id(false));
+                }
+                match flat.len() {
+                    0 => Some(self.bool_id(true)),
+                    1 => Some(flat[0]),
+                    _ if changed => Some(self.intern_node(Node::And(flat.into()))),
+                    _ => None,
+                }
+            }
+            Node::Or(cs) => {
+                let mut flat: Vec<TermId> = Vec::with_capacity(cs.len());
+                let mut changed = false;
+                for &c in cs.iter() {
+                    match self.node(c) {
+                        Node::BoolLit(false) => changed = true,
+                        Node::BoolLit(true) => return Some(self.bool_id(true)),
+                        Node::Or(inner) => {
+                            changed = true;
+                            flat.extend(inner.iter().copied());
+                        }
+                        _ => flat.push(c),
+                    }
+                }
+                let before = flat.len();
+                flat.dedup();
+                changed |= flat.len() != before;
+                if self.has_complementary_pair(&flat) {
+                    return Some(self.bool_id(true));
+                }
+                match flat.len() {
+                    0 => Some(self.bool_id(false)),
+                    1 => Some(flat[0]),
+                    _ if changed => Some(self.intern_node(Node::Or(flat.into()))),
+                    _ => None,
+                }
+            }
+            Node::Implies(a, b) => {
+                if self.is_false_id(a) || self.is_true_id(b) {
+                    Some(self.bool_id(true))
+                } else if self.is_true_id(a) {
+                    Some(b)
+                } else if self.is_false_id(b) {
+                    let n = self.intern_node(Node::Not(a));
+                    Some(self.rewrite_fix(n))
+                } else if a == b {
+                    Some(self.bool_id(true))
+                } else {
+                    None
+                }
+            }
+            Node::Iff(a, b) => {
+                if a == b {
+                    Some(self.bool_id(true))
+                } else if self.is_true_id(a) {
+                    Some(b)
+                } else if self.is_true_id(b) {
+                    Some(a)
+                } else if self.is_false_id(a) {
+                    let n = self.intern_node(Node::Not(b));
+                    Some(self.rewrite_fix(n))
+                } else if self.is_false_id(b) {
+                    let n = self.intern_node(Node::Not(a));
+                    Some(self.rewrite_fix(n))
+                } else {
+                    None
+                }
+            }
+            Node::Ite(c, x, y) => {
+                if self.is_true_id(c) {
+                    Some(x)
+                } else if self.is_false_id(c) {
+                    Some(y)
+                } else if x == y {
+                    Some(x)
+                } else {
+                    None
+                }
+            }
+            Node::Eq(a, b) => {
+                if a == b {
+                    return Some(self.bool_id(true));
+                }
+                match (self.node(a).clone(), self.node(b).clone()) {
+                    (Node::IntLit(x), Node::IntLit(y)) => Some(self.bool_id(x == y)),
+                    (Node::BoolLit(x), Node::BoolLit(y)) => Some(self.bool_id(x == y)),
+                    (Node::BoolLit(true), _) => Some(b),
+                    (_, Node::BoolLit(true)) => Some(a),
+                    (Node::BoolLit(false), _) => {
+                        let n = self.intern_node(Node::Not(b));
+                        Some(self.rewrite_fix(n))
+                    }
+                    (_, Node::BoolLit(false)) => {
+                        let n = self.intern_node(Node::Not(a));
+                        Some(self.rewrite_fix(n))
+                    }
+                    _ => None,
+                }
+            }
+            Node::Add(a, b) => match (self.node(a).clone(), self.node(b).clone()) {
+                (Node::IntLit(x), Node::IntLit(y)) => {
+                    Some(self.intern_node(Node::IntLit(x.wrapping_add(y))))
+                }
+                (Node::IntLit(0), _) => Some(b),
+                (_, Node::IntLit(0)) => Some(a),
+                _ => None,
+            },
+            Node::Sub(a, b) => match (self.node(a).clone(), self.node(b).clone()) {
+                (Node::IntLit(x), Node::IntLit(y)) => {
+                    Some(self.intern_node(Node::IntLit(x.wrapping_sub(y))))
+                }
+                (_, Node::IntLit(0)) => Some(a),
+                _ if a == b => Some(self.intern_node(Node::IntLit(0))),
+                _ => None,
+            },
+            Node::Neg(a) => match *self.node(a) {
+                Node::IntLit(x) => Some(self.intern_node(Node::IntLit(x.wrapping_neg()))),
+                _ => None,
+            },
+            Node::Lt(a, b) => match (self.node(a), self.node(b)) {
+                (Node::IntLit(x), Node::IntLit(y)) => {
+                    let r = x < y;
+                    Some(self.bool_id(r))
+                }
+                _ if a == b => Some(self.bool_id(false)),
+                _ => None,
+            },
+            Node::Le(a, b) => match (self.node(a), self.node(b)) {
+                (Node::IntLit(x), Node::IntLit(y)) => {
+                    let r = x <= y;
+                    Some(self.bool_id(r))
+                }
+                _ if a == b => Some(self.bool_id(true)),
+                _ => None,
+            },
+            Node::Member(v, s) => match self.node(s) {
+                Node::EmptySet => Some(self.bool_id(false)),
+                // v ∈ (s ∪ {v}) — syntactic match only.
+                Node::SetAdd(_, added) if *added == v => Some(self.bool_id(true)),
+                _ => None,
+            },
+            Node::Card(s) => match self.node(s) {
+                Node::EmptySet => Some(self.intern_node(Node::IntLit(0))),
+                _ => None,
+            },
+            Node::MapHasKey(m, k) => match self.node(m) {
+                Node::EmptyMap => Some(self.bool_id(false)),
+                Node::MapPut(_, key, _) if *key == k => Some(self.bool_id(true)),
+                _ => None,
+            },
+            Node::MapGet(m, k) => match self.node(m) {
+                Node::EmptyMap => Some(self.intern_node(Node::Null)),
+                Node::MapPut(_, key, value) if *key == k => Some(*value),
+                _ => None,
+            },
+            Node::MapSize(m) => match self.node(m) {
+                Node::EmptyMap => Some(self.intern_node(Node::IntLit(0))),
+                _ => None,
+            },
+            Node::SeqLen(s) => match self.node(s) {
+                Node::EmptySeq => Some(self.intern_node(Node::IntLit(0))),
+                _ => None,
+            },
+            Node::SeqContains(s, _) => match self.node(s) {
+                Node::EmptySeq => Some(self.bool_id(false)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn has_complementary_pair(&self, terms: &[TermId]) -> bool {
+        for (i, &a) in terms.iter().enumerate() {
+            for &b in &terms[i + 1..] {
+                if let Node::Not(inner) = self.node(a) {
+                    if *inner == b {
+                        return true;
+                    }
+                }
+                if let Node::Not(inner) = self.node(b) {
+                    if *inner == a {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    // -----------------------------------------------------------------------
+    // Memoized negation normal form
+    // -----------------------------------------------------------------------
+
+    /// Converts an interned boolean term to negation normal form, memoized on
+    /// `(id, negated)`. Mirrors [`crate::to_nnf`].
+    pub fn nnf_id(&mut self, id: TermId, negated: bool) -> TermId {
+        if let Some(&r) = self.nnf_memo.get(&(id, negated)) {
+            return r;
+        }
+        let node = self.node(id).clone();
+        let result = match node {
+            Node::BoolLit(b) => self.bool_id(b != negated),
+            Node::Not(a) => self.nnf_id(a, !negated),
+            Node::And(cs) => {
+                let parts: Vec<TermId> = cs.iter().map(|&c| self.nnf_id(c, negated)).collect();
+                if negated {
+                    self.intern_node(Node::Or(parts.into()))
+                } else {
+                    self.intern_node(Node::And(parts.into()))
+                }
+            }
+            Node::Or(cs) => {
+                let parts: Vec<TermId> = cs.iter().map(|&c| self.nnf_id(c, negated)).collect();
+                if negated {
+                    self.intern_node(Node::And(parts.into()))
+                } else {
+                    self.intern_node(Node::Or(parts.into()))
+                }
+            }
+            Node::Implies(a, b) => {
+                if negated {
+                    // ~(a --> b) == a & ~b
+                    let pa = self.nnf_id(a, false);
+                    let pb = self.nnf_id(b, true);
+                    self.intern_node(Node::And(vec![pa, pb].into()))
+                } else {
+                    // a --> b == ~a | b
+                    let pa = self.nnf_id(a, true);
+                    let pb = self.nnf_id(b, false);
+                    self.intern_node(Node::Or(vec![pa, pb].into()))
+                }
+            }
+            Node::Iff(a, b) => {
+                let (pp, pn) = (self.nnf_id(a, false), self.nnf_id(a, true));
+                let (qp, qn) = (self.nnf_id(b, false), self.nnf_id(b, true));
+                if negated {
+                    // (a & ~b) | (~a & b)
+                    let left = self.intern_node(Node::And(vec![pp, qn].into()));
+                    let right = self.intern_node(Node::And(vec![pn, qp].into()));
+                    self.intern_node(Node::Or(vec![left, right].into()))
+                } else {
+                    // (a & b) | (~a & ~b)
+                    let left = self.intern_node(Node::And(vec![pp, qp].into()));
+                    let right = self.intern_node(Node::And(vec![pn, qn].into()));
+                    self.intern_node(Node::Or(vec![left, right].into()))
+                }
+            }
+            Node::ForallInt(s, lo, hi, body) => {
+                let inner = self.nnf_id(body, negated);
+                if negated {
+                    self.intern_node(Node::ExistsInt(s, lo, hi, inner))
+                } else {
+                    self.intern_node(Node::ForallInt(s, lo, hi, inner))
+                }
+            }
+            Node::ExistsInt(s, lo, hi, body) => {
+                let inner = self.nnf_id(body, negated);
+                if negated {
+                    self.intern_node(Node::ForallInt(s, lo, hi, inner))
+                } else {
+                    self.intern_node(Node::ExistsInt(s, lo, hi, inner))
+                }
+            }
+            // Ite at the boolean level: expand into guarded cases.
+            Node::Ite(c, x, y) => {
+                let cp = self.nnf_id(c, false);
+                let cn = self.nnf_id(c, true);
+                let xb = self.nnf_id(x, negated);
+                let yb = self.nnf_id(y, negated);
+                let pos = self.intern_node(Node::And(vec![cp, xb].into()));
+                let neg = self.intern_node(Node::And(vec![cn, yb].into()));
+                self.intern_node(Node::Or(vec![pos, neg].into()))
+            }
+            // Atoms.
+            _ => {
+                if negated {
+                    self.intern_node(Node::Not(id))
+                } else {
+                    id
+                }
+            }
+        };
+        self.nnf_memo.insert((id, negated), result);
+        result
+    }
+
+    // -----------------------------------------------------------------------
+    // Substitution (per-call memo over the shared DAG)
+    // -----------------------------------------------------------------------
+
+    /// Substitutes interned terms for free variables.
+    ///
+    /// Semantics match [`crate::substitute`]: quantifier-bound variables
+    /// shadow substitution entries. Within one call every shared sub-DAG is
+    /// rewritten once (per-call memo), and sub-terms whose cached free
+    /// variables are disjoint from the substitution domain are returned
+    /// untouched.
+    pub fn substitute_id(&mut self, id: TermId, subst: &HashMap<Sym, TermId>) -> TermId {
+        if subst.is_empty() {
+            return id;
+        }
+        let mut memo: HashMap<TermId, TermId> = HashMap::new();
+        self.subst_rec(id, subst, &mut memo)
+    }
+
+    fn subst_rec(
+        &mut self,
+        id: TermId,
+        subst: &HashMap<Sym, TermId>,
+        memo: &mut HashMap<TermId, TermId>,
+    ) -> TermId {
+        if self.free[id.idx()]
+            .iter()
+            .all(|(s, _)| !subst.contains_key(s))
+        {
+            return id;
+        }
+        if let Some(&r) = memo.get(&id) {
+            return r;
+        }
+        let node = self.node(id).clone();
+        let result = match node {
+            Node::Var(s, _) => subst.get(&s).copied().unwrap_or(id),
+            Node::ForallInt(s, lo, hi, body) | Node::ExistsInt(s, lo, hi, body) => {
+                let lo2 = self.subst_rec(lo, subst, memo);
+                let hi2 = self.subst_rec(hi, subst, memo);
+                let body2 = if subst.contains_key(&s) {
+                    // The binder shadows the substitution: narrow the map and
+                    // use a fresh memo (results under a different map must
+                    // not leak into this one).
+                    let mut narrowed = subst.clone();
+                    narrowed.remove(&s);
+                    let mut inner_memo = HashMap::new();
+                    if narrowed.is_empty() {
+                        body
+                    } else {
+                        self.subst_rec(body, &narrowed, &mut inner_memo)
+                    }
+                } else {
+                    self.subst_rec(body, subst, memo)
+                };
+                let new = match self.node(id) {
+                    Node::ForallInt(..) => Node::ForallInt(s, lo2, hi2, body2),
+                    _ => Node::ExistsInt(s, lo2, hi2, body2),
+                };
+                self.intern_node(new)
+            }
+            _ => {
+                self.map_children_with(id, &mut |arena, child| arena.subst_rec(child, subst, memo))
+            }
+        };
+        memo.insert(id, result);
+        result
+    }
+
+    // -----------------------------------------------------------------------
+    // Set-update-run normalization (used by the structural prover)
+    // -----------------------------------------------------------------------
+
+    /// Normalizes maximal runs of `SetAdd` (and of `SetRemove`) updates by
+    /// sorting the inserted (removed) elements into a canonical order and
+    /// collapsing duplicates, bottom-up and memoized.
+    ///
+    /// Insertions commute with insertions and removals with removals, so any
+    /// deterministic order is semantics-preserving; the arena orders by id,
+    /// which is stable within a thread. Runs are not merged across an
+    /// add/remove boundary.
+    pub fn normalize_sets_id(&mut self, id: TermId) -> TermId {
+        if let Some(&r) = self.normalize_memo.get(&id) {
+            return r;
+        }
+        let rebuilt = self.normalize_children(id);
+        let result = match self.node(rebuilt) {
+            Node::SetAdd(..) => self.sort_run(rebuilt, true),
+            Node::SetRemove(..) => self.sort_run(rebuilt, false),
+            _ => rebuilt,
+        };
+        self.normalize_memo.insert(id, result);
+        self.normalize_memo.insert(result, result);
+        result
+    }
+
+    fn normalize_children(&mut self, id: TermId) -> TermId {
+        self.map_children_with(id, &mut |arena, child| arena.normalize_sets_id(child))
+    }
+
+    fn sort_run(&mut self, id: TermId, adds: bool) -> TermId {
+        // Collect the maximal run of same-kind updates.
+        let mut elems: Vec<TermId> = Vec::new();
+        let mut base = id;
+        while let (&Node::SetAdd(s, v), true) | (&Node::SetRemove(s, v), false) =
+            (self.node(base), adds)
+        {
+            elems.push(v);
+            base = s;
+        }
+        // Canonical order + idempotence (duplicate adds/removes collapse).
+        elems.sort_unstable();
+        elems.dedup();
+        let mut rebuilt = base;
+        for v in elems {
+            rebuilt = if adds {
+                self.intern_node(Node::SetAdd(rebuilt, v))
+            } else {
+                self.intern_node(Node::SetRemove(rebuilt, v))
+            };
+        }
+        rebuilt
+    }
+}
+
+fn node_tag(node: &Node) -> u32 {
+    match node {
+        Node::Var(..) => 0,
+        Node::BoolLit(_) => 1,
+        Node::IntLit(_) => 2,
+        Node::Null => 3,
+        Node::EmptySet => 4,
+        Node::EmptyMap => 5,
+        Node::EmptySeq => 6,
+        Node::Not(_) => 7,
+        Node::Neg(_) => 8,
+        Node::Card(_) => 9,
+        Node::MapSize(_) => 10,
+        Node::SeqLen(_) => 11,
+        Node::And(_) => 12,
+        Node::Or(_) => 13,
+        Node::Implies(..) => 14,
+        Node::Iff(..) => 15,
+        Node::Eq(..) => 16,
+        Node::Add(..) => 17,
+        Node::Sub(..) => 18,
+        Node::Lt(..) => 19,
+        Node::Le(..) => 20,
+        Node::SetAdd(..) => 21,
+        Node::SetRemove(..) => 22,
+        Node::Member(..) => 23,
+        Node::MapRemove(..) => 24,
+        Node::MapGet(..) => 25,
+        Node::MapHasKey(..) => 26,
+        Node::SeqRemoveAt(..) => 27,
+        Node::SeqAt(..) => 28,
+        Node::SeqIndexOf(..) => 29,
+        Node::SeqLastIndexOf(..) => 30,
+        Node::SeqContains(..) => 31,
+        Node::Ite(..) => 32,
+        Node::MapPut(..) => 33,
+        Node::SeqInsertAt(..) => 34,
+        Node::SeqSetAt(..) => 35,
+        Node::ForallInt(..) => 36,
+        Node::ExistsInt(..) => 37,
+    }
+}
+
+fn for_each_child_node(node: &Node, mut f: impl FnMut(TermId)) {
+    match node {
+        Node::Var(..)
+        | Node::BoolLit(_)
+        | Node::IntLit(_)
+        | Node::Null
+        | Node::EmptySet
+        | Node::EmptyMap
+        | Node::EmptySeq => {}
+        Node::Not(a) | Node::Neg(a) | Node::Card(a) | Node::MapSize(a) | Node::SeqLen(a) => f(*a),
+        Node::And(cs) | Node::Or(cs) => cs.iter().copied().for_each(f),
+        Node::Implies(a, b)
+        | Node::Iff(a, b)
+        | Node::Eq(a, b)
+        | Node::Add(a, b)
+        | Node::Sub(a, b)
+        | Node::Lt(a, b)
+        | Node::Le(a, b)
+        | Node::SetAdd(a, b)
+        | Node::SetRemove(a, b)
+        | Node::Member(a, b)
+        | Node::MapRemove(a, b)
+        | Node::MapGet(a, b)
+        | Node::MapHasKey(a, b)
+        | Node::SeqRemoveAt(a, b)
+        | Node::SeqAt(a, b)
+        | Node::SeqIndexOf(a, b)
+        | Node::SeqLastIndexOf(a, b)
+        | Node::SeqContains(a, b) => {
+            f(*a);
+            f(*b);
+        }
+        Node::Ite(a, b, c)
+        | Node::MapPut(a, b, c)
+        | Node::SeqInsertAt(a, b, c)
+        | Node::SeqSetAt(a, b, c) => {
+            f(*a);
+            f(*b);
+            f(*c);
+        }
+        Node::ForallInt(_, lo, hi, body) | Node::ExistsInt(_, lo, hi, body) => {
+            f(*lo);
+            f(*hi);
+            f(*body);
+        }
+    }
+}
+
+thread_local! {
+    static ARENA: RefCell<TermArena> = RefCell::new(TermArena::new());
+}
+
+/// Runs `f` with exclusive access to the calling thread's arena.
+///
+/// Re-entrant calls are not allowed: `f` must not itself call `with_arena`
+/// (directly or through an arena-backed public function like
+/// [`crate::simplify`]).
+pub fn with_arena<R>(f: impl FnOnce(&mut TermArena) -> R) -> R {
+    ARENA.with(|arena| f(&mut arena.borrow_mut()))
+}
+
+/// The arena-independent 128-bit structural hash of a term: equal terms hash
+/// equally on every thread. Used as the key of cross-thread caches (e.g. the
+/// prover's obligation dedup cache).
+pub fn structural_hash(term: &Term) -> u128 {
+    with_arena(|arena| {
+        let id = arena.intern(term);
+        arena.structural_hash(id)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut arena = TermArena::new();
+        let t1 = and2(
+            member(var_elem("v"), var_set("s")),
+            eq(var_elem("v"), var_elem("w")),
+        );
+        let t2 = and2(
+            member(var_elem("v"), var_set("s")),
+            eq(var_elem("v"), var_elem("w")),
+        );
+        let t3 = and2(
+            member(var_elem("w"), var_set("s")),
+            eq(var_elem("v"), var_elem("w")),
+        );
+        assert_eq!(arena.intern(&t1), arena.intern(&t2));
+        assert_ne!(arena.intern(&t1), arena.intern(&t3));
+    }
+
+    #[test]
+    fn round_trip_reconstructs_the_term() {
+        let mut arena = TermArena::new();
+        let t = implies(
+            and2(
+                member(var_elem("v"), var_set("s")),
+                forall_int("i", int(0), seq_len(var_seq("q")), var_bool("p")),
+            ),
+            or2(eq(var_elem("v"), null()), lt(int(1), card(var_set("s")))),
+        );
+        let id = arena.intern(&t);
+        assert_eq!(arena.to_term(id), t);
+    }
+
+    #[test]
+    fn metadata_matches_tree_measures() {
+        let mut arena = TermArena::new();
+        let shared = set_add(var_set("s"), var_elem("v"));
+        let t = eq(shared.clone(), shared.clone());
+        let id = arena.intern(&t);
+        assert_eq!(arena.size_of(id), t.size() as u64);
+        assert_eq!(arena.free_vars_map(id), crate::free_vars(&t));
+    }
+
+    #[test]
+    fn structural_hash_is_arena_independent() {
+        let t = iff(
+            member(var_elem("x"), set_add(var_set("s"), var_elem("y"))),
+            var_bool("r"),
+        );
+        let mut a = TermArena::new();
+        let mut b = TermArena::new();
+        // Populate arena `b` differently first so ids diverge.
+        b.intern(&card(var_set("zzz")));
+        let ia = a.intern(&t);
+        let ib = b.intern(&t);
+        assert_eq!(a.structural_hash(ia), b.structural_hash(ib));
+        let ic = a.intern(&var_bool("r"));
+        assert_ne!(a.structural_hash(ia), a.structural_hash(ic));
+    }
+
+    #[test]
+    fn simplify_id_is_memoized_and_interned() {
+        let mut arena = TermArena::new();
+        let t = and2(tru(), or2(var_bool("p"), fls()));
+        let id = arena.intern(&t);
+        let s1 = arena.simplify_id(id);
+        let s2 = arena.simplify_id(id);
+        assert_eq!(s1, s2);
+        assert_eq!(arena.to_term(s1), var_bool("p"));
+        // The result is a fixpoint.
+        assert_eq!(arena.simplify_id(s1), s1);
+    }
+
+    #[test]
+    fn substitute_id_respects_binders() {
+        let mut arena = TermArena::new();
+        let t = exists_int("i", int(0), var_int("n"), eq(var_int("i"), var_int("x")));
+        let id = arena.intern(&t);
+        let subst: HashMap<Sym, TermId> = [
+            (arena.sym("x"), arena.intern(&int(7))),
+            (arena.sym("i"), arena.intern(&int(99))),
+            (arena.sym("n"), arena.intern(&int(3))),
+        ]
+        .into_iter()
+        .collect();
+        let out = arena.substitute_id(id, &subst);
+        let expected = exists_int("i", int(0), int(3), eq(var_int("i"), int(7)));
+        assert_eq!(arena.to_term(out), expected);
+    }
+
+    #[test]
+    fn normalize_sets_sorts_and_collapses_runs() {
+        let mut arena = TermArena::new();
+        let t1 = set_add(set_add(var_set("s"), var_elem("a")), var_elem("b"));
+        let t2 = set_add(set_add(var_set("s"), var_elem("b")), var_elem("a"));
+        let n1 = {
+            let id = arena.intern(&t1);
+            arena.normalize_sets_id(id)
+        };
+        let n2 = {
+            let id = arena.intern(&t2);
+            arena.normalize_sets_id(id)
+        };
+        assert_eq!(n1, n2);
+        let dup = set_add(set_add(var_set("s"), var_elem("a")), var_elem("a"));
+        let nd = {
+            let id = arena.intern(&dup);
+            arena.normalize_sets_id(id)
+        };
+        assert_eq!(arena.to_term(nd), set_add(var_set("s"), var_elem("a")));
+    }
+
+    #[test]
+    fn nnf_id_matches_tree_nnf() {
+        let mut arena = TermArena::new();
+        let cases = [
+            not(implies(var_bool("p"), var_bool("q"))),
+            not(iff(var_bool("p"), var_bool("q"))),
+            not(exists_int("i", int(0), int(3), var_bool("p"))),
+            ite(var_bool("p"), var_bool("q"), var_bool("r")),
+        ];
+        for t in cases {
+            let id = arena.intern(&t);
+            let n = arena.nnf_id(id, false);
+            assert_eq!(arena.to_term(n), crate::to_nnf(&t), "case {t:?}");
+        }
+    }
+}

@@ -200,12 +200,12 @@ pub fn eval(term: &Term, model: &Model) -> Result<Value> {
             expect_int(eval(a, model)?, "sub")?.wrapping_sub(expect_int(eval(b, model)?, "sub")?),
         ),
         Neg(a) => Value::Int(expect_int(eval(a, model)?, "neg")?.wrapping_neg()),
-        Lt(a, b) => Value::Bool(
-            expect_int(eval(a, model)?, "lt")? < expect_int(eval(b, model)?, "lt")?,
-        ),
-        Le(a, b) => Value::Bool(
-            expect_int(eval(a, model)?, "le")? <= expect_int(eval(b, model)?, "le")?,
-        ),
+        Lt(a, b) => {
+            Value::Bool(expect_int(eval(a, model)?, "lt")? < expect_int(eval(b, model)?, "lt")?)
+        }
+        Le(a, b) => {
+            Value::Bool(expect_int(eval(a, model)?, "le")? <= expect_int(eval(b, model)?, "le")?)
+        }
 
         EmptySet => Value::Set(Default::default()),
         SetAdd(s, v) => {
@@ -427,7 +427,11 @@ mod tests {
             Value::null()
         );
         assert_eq!(
-            eval(&map_size(map_put(var_map("mp"), var_elem("v2"), var_elem("v1"))), &m).unwrap(),
+            eval(
+                &map_size(map_put(var_map("mp"), var_elem("v2"), var_elem("v1"))),
+                &m
+            )
+            .unwrap(),
             Value::Int(2)
         );
         assert_eq!(
@@ -436,7 +440,11 @@ mod tests {
         );
         // overwriting a key keeps the size
         assert_eq!(
-            eval(&map_size(map_put(var_map("mp"), var_elem("v1"), var_elem("v2"))), &m).unwrap(),
+            eval(
+                &map_size(map_put(var_map("mp"), var_elem("v1"), var_elem("v2"))),
+                &m
+            )
+            .unwrap(),
             Value::Int(1)
         );
     }
@@ -446,18 +454,27 @@ mod tests {
         let m = m();
         let q = var_seq("q");
         assert_eq!(eval(&seq_len(q.clone()), &m).unwrap(), Value::Int(3));
-        assert_eq!(eval(&seq_at(q.clone(), int(0)), &m).unwrap(), Value::elem(5));
+        assert_eq!(
+            eval(&seq_at(q.clone(), int(0)), &m).unwrap(),
+            Value::elem(5)
+        );
         assert_eq!(eval(&seq_at(q.clone(), int(5)), &m).unwrap(), Value::null());
-        assert_eq!(eval(&seq_at(q.clone(), int(-1)), &m).unwrap(), Value::null());
+        assert_eq!(
+            eval(&seq_at(q.clone(), int(-1)), &m).unwrap(),
+            Value::null()
+        );
         assert_eq!(
             eval(&seq_index_of(q.clone(), var_elem("v1")), &m).unwrap(),
             Value::Int(-1)
         );
         assert_eq!(
-            eval(&seq_index_of(q.clone(), Term::var("e5", Sort::Elem)), &Model::from_bindings([
-                ("q", Value::seq_of([ElemId(5), ElemId(6), ElemId(5)])),
-                ("e5", Value::elem(5)),
-            ]))
+            eval(
+                &seq_index_of(q.clone(), Term::var("e5", Sort::Elem)),
+                &Model::from_bindings([
+                    ("q", Value::seq_of([ElemId(5), ElemId(6), ElemId(5)])),
+                    ("e5", Value::elem(5)),
+                ])
+            )
             .unwrap(),
             Value::Int(0)
         );
@@ -469,16 +486,28 @@ mod tests {
 
         // insert / remove / set
         assert_eq!(
-            eval(&seq_len(seq_insert_at(q.clone(), int(1), var_elem("v1"))), &m).unwrap(),
+            eval(
+                &seq_len(seq_insert_at(q.clone(), int(1), var_elem("v1"))),
+                &m
+            )
+            .unwrap(),
             Value::Int(4)
         );
         assert_eq!(
-            eval(&seq_at(seq_insert_at(q.clone(), int(1), var_elem("v1")), int(1)), &m).unwrap(),
+            eval(
+                &seq_at(seq_insert_at(q.clone(), int(1), var_elem("v1")), int(1)),
+                &m
+            )
+            .unwrap(),
             Value::elem(1)
         );
         // clamp: inserting far out of range appends
         assert_eq!(
-            eval(&seq_at(seq_insert_at(q.clone(), int(99), var_elem("v1")), int(3)), &m).unwrap(),
+            eval(
+                &seq_at(seq_insert_at(q.clone(), int(99), var_elem("v1")), int(3)),
+                &m
+            )
+            .unwrap(),
             Value::elem(1)
         );
         assert_eq!(
@@ -491,7 +520,11 @@ mod tests {
             Value::Int(3)
         );
         assert_eq!(
-            eval(&seq_at(seq_set_at(q.clone(), int(2), var_elem("v2")), int(2)), &m).unwrap(),
+            eval(
+                &seq_at(seq_set_at(q.clone(), int(2), var_elem("v2")), int(2)),
+                &m
+            )
+            .unwrap(),
             Value::elem(2)
         );
     }

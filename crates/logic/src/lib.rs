@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod build;
 pub mod eval;
 pub mod model;
@@ -62,6 +63,7 @@ pub mod term;
 pub mod ty;
 pub mod value;
 
+pub use arena::{structural_hash, with_arena, Sym, TermArena, TermId};
 pub use eval::{eval, eval_bool, EvalError};
 pub use model::Model;
 pub use nnf::to_nnf;

@@ -131,10 +131,7 @@ mod tests {
 
     #[test]
     fn display_lists_bindings_in_order() {
-        let m = Model::from_bindings([
-            ("b", Value::set_of([ElemId(1)])),
-            ("a", Value::Int(0)),
-        ]);
+        let m = Model::from_bindings([("b", Value::set_of([ElemId(1)])), ("a", Value::Int(0))]);
         let s = m.to_string();
         let a_pos = s.find("a = 0").unwrap();
         let b_pos = s.find("b = {o1}").unwrap();

@@ -6,115 +6,22 @@
 //! duality (`¬∀ = ∃¬`, `¬∃ = ∀¬`) is applied so that existential hypotheses
 //! are visible for witness picking.
 
+use crate::arena::with_arena;
 use crate::term::Term;
 
 /// Converts a boolean term to negation normal form.
 ///
 /// The result contains no `Implies`, `Iff`, and negations only directly above
-/// atoms (equalities, memberships, comparisons, …).
+/// atoms (equalities, memberships, comparisons, …). The conversion runs on
+/// the calling thread's hash-consed arena, memoized on `(sub-term, polarity)`
+/// (see [`crate::arena::TermArena::nnf_id`]), so shared sub-DAGs are
+/// converted once per polarity.
 pub fn to_nnf(term: &Term) -> Term {
-    nnf(term, false)
-}
-
-fn negate_atom(t: Term) -> Term {
-    Term::Not(Box::new(t))
-}
-
-fn nnf(term: &Term, negated: bool) -> Term {
-    use Term::*;
-    match term {
-        BoolLit(b) => BoolLit(*b != negated),
-        Not(a) => nnf(a, !negated),
-        And(cs) => {
-            let parts: Vec<Term> = cs.iter().map(|c| nnf(c, negated)).collect();
-            if negated {
-                Or(parts)
-            } else {
-                And(parts)
-            }
-        }
-        Or(cs) => {
-            let parts: Vec<Term> = cs.iter().map(|c| nnf(c, negated)).collect();
-            if negated {
-                And(parts)
-            } else {
-                Or(parts)
-            }
-        }
-        Implies(a, b) => {
-            // a --> b   ==   ~a | b
-            if negated {
-                // ~(a --> b) == a & ~b
-                And(vec![nnf(a, false), nnf(b, true)])
-            } else {
-                Or(vec![nnf(a, true), nnf(b, false)])
-            }
-        }
-        Iff(a, b) => {
-            // a <-> b == (a & b) | (~a & ~b);   negated: (a & ~b) | (~a & b)
-            if negated {
-                Or(vec![
-                    And(vec![nnf(a, false), nnf(b, true)]),
-                    And(vec![nnf(a, true), nnf(b, false)]),
-                ])
-            } else {
-                Or(vec![
-                    And(vec![nnf(a, false), nnf(b, false)]),
-                    And(vec![nnf(a, true), nnf(b, true)]),
-                ])
-            }
-        }
-        ForallInt { var, lo, hi, body } => {
-            let inner = nnf(body, negated);
-            if negated {
-                ExistsInt {
-                    var: var.clone(),
-                    lo: lo.clone(),
-                    hi: hi.clone(),
-                    body: Box::new(inner),
-                }
-            } else {
-                ForallInt {
-                    var: var.clone(),
-                    lo: lo.clone(),
-                    hi: hi.clone(),
-                    body: Box::new(inner),
-                }
-            }
-        }
-        ExistsInt { var, lo, hi, body } => {
-            let inner = nnf(body, negated);
-            if negated {
-                ForallInt {
-                    var: var.clone(),
-                    lo: lo.clone(),
-                    hi: hi.clone(),
-                    body: Box::new(inner),
-                }
-            } else {
-                ExistsInt {
-                    var: var.clone(),
-                    lo: lo.clone(),
-                    hi: hi.clone(),
-                    body: Box::new(inner),
-                }
-            }
-        }
-        // Ite at the boolean level: expand into a disjunction of guarded cases.
-        Ite(c, x, y) => {
-            let pos = And(vec![nnf(c, false), nnf(x, negated)]);
-            let neg = And(vec![nnf(c, true), nnf(y, negated)]);
-            Or(vec![pos, neg])
-        }
-        // Atoms: equalities, comparisons, memberships, etc.
-        atom => {
-            if negated {
-                negate_atom(atom.clone())
-            } else {
-                atom.clone()
-            }
-        }
-    }
+    with_arena(|arena| {
+        let id = arena.intern(term);
+        let converted = arena.nnf_id(id, false);
+        arena.to_term(converted)
+    })
 }
 
 /// Returns `true` if a term is in negation normal form.
@@ -123,7 +30,13 @@ pub fn is_nnf(term: &Term) -> bool {
     match term {
         Not(a) => !matches!(
             **a,
-            Not(_) | And(_) | Or(_) | Implies(_, _) | Iff(_, _) | ForallInt { .. } | ExistsInt { .. }
+            Not(_)
+                | And(_)
+                | Or(_)
+                | Implies(_, _)
+                | Iff(_, _)
+                | ForallInt { .. }
+                | ExistsInt { .. }
         ),
         Implies(_, _) | Iff(_, _) => false,
         And(cs) | Or(cs) => cs.iter().all(is_nnf),
@@ -148,10 +61,7 @@ mod tests {
 
     #[test]
     fn negation_is_pushed_to_atoms() {
-        let t = not(and2(
-            var_bool("p"),
-            or2(var_bool("q"), not(var_bool("r"))),
-        ));
+        let t = not(and2(var_bool("p"), or2(var_bool("q"), not(var_bool("r")))));
         let n = to_nnf(&t);
         assert!(is_nnf(&n));
     }

@@ -251,26 +251,22 @@ fn write_term(f: &mut fmt::Formatter<'_>, t: &Term, prec: u8) -> fmt::Result {
             write!(f, ")")
         }
 
-        ForallInt { var, lo, hi, body } => {
-            write_paren(f, prec, PREC_IFF, |f| {
-                write!(f, "ALL {var} : [")?;
-                write_term(f, lo, 0)?;
-                write!(f, ", ")?;
-                write_term(f, hi, 0)?;
-                write!(f, "). ")?;
-                write_term(f, body, PREC_IFF)
-            })
-        }
-        ExistsInt { var, lo, hi, body } => {
-            write_paren(f, prec, PREC_IFF, |f| {
-                write!(f, "EX {var} : [")?;
-                write_term(f, lo, 0)?;
-                write!(f, ", ")?;
-                write_term(f, hi, 0)?;
-                write!(f, "). ")?;
-                write_term(f, body, PREC_IFF)
-            })
-        }
+        ForallInt { var, lo, hi, body } => write_paren(f, prec, PREC_IFF, |f| {
+            write!(f, "ALL {var} : [")?;
+            write_term(f, lo, 0)?;
+            write!(f, ", ")?;
+            write_term(f, hi, 0)?;
+            write!(f, "). ")?;
+            write_term(f, body, PREC_IFF)
+        }),
+        ExistsInt { var, lo, hi, body } => write_paren(f, prec, PREC_IFF, |f| {
+            write!(f, "EX {var} : [")?;
+            write_term(f, lo, 0)?;
+            write!(f, ", ")?;
+            write_term(f, hi, 0)?;
+            write!(f, "). ")?;
+            write_term(f, body, PREC_IFF)
+        }),
     }
 }
 
@@ -282,7 +278,10 @@ mod tests {
     #[test]
     fn between_condition_prints_like_the_paper() {
         // v1 ~= v2 | r1 = True
-        let t = or2(neq(var_elem("v1"), var_elem("v2")), eq(var_bool("r1"), tru()));
+        let t = or2(
+            neq(var_elem("v1"), var_elem("v2")),
+            eq(var_bool("r1"), tru()),
+        );
         assert_eq!(t.to_string(), "~v1 = v2 | r1 = True");
     }
 
@@ -307,10 +306,7 @@ mod tests {
 
     #[test]
     fn container_queries_print_readably() {
-        assert_eq!(
-            map_get(var_map("m"), var_elem("k")).to_string(),
-            "m.get(k)"
-        );
+        assert_eq!(map_get(var_map("m"), var_elem("k")).to_string(), "m.get(k)");
         assert_eq!(
             seq_index_of(var_seq("q"), var_elem("v")).to_string(),
             "q.indexOf(v)"

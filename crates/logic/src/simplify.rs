@@ -10,212 +10,24 @@
 //! Soundness is checked by property tests comparing evaluation of the original
 //! and the simplified term under random models.
 
+use crate::arena::with_arena;
 use crate::term::Term;
 
 /// Simplifies `term` bottom-up until a fixed point is reached.
+///
+/// The rewriting runs on the calling thread's hash-consed term arena (see
+/// [`crate::arena`]): the term is interned, simplified with per-node
+/// memoization — so a sub-DAG shared by many call sites is rewritten once,
+/// and repeated calls on already-seen terms are cache hits — and the result
+/// is reconstructed as a boxed tree. The rule set (constant folding, boolean
+/// identities, flattening, syntactic-equality reasoning, container
+/// identities) lives in [`crate::arena::TermArena::simplify_id`].
 pub fn simplify(term: &Term) -> Term {
-    let mut current = term.clone();
-    // A small fixed iteration bound; each pass is itself bottom-up, so one or
-    // two passes almost always suffice.
-    for _ in 0..4 {
-        let next = simplify_once(&current);
-        if next == current {
-            return next;
-        }
-        current = next;
-    }
-    current
-}
-
-fn simplify_once(term: &Term) -> Term {
-    let t = term.map_children(|c| simplify_once(c));
-    rewrite(t)
-}
-
-fn rewrite(t: Term) -> Term {
-    use Term::*;
-    match t {
-        Not(a) => match *a {
-            BoolLit(b) => BoolLit(!b),
-            Not(inner) => *inner,
-            other => Not(Box::new(other)),
-        },
-        And(cs) => {
-            let mut flat = Vec::new();
-            for c in cs {
-                match c {
-                    BoolLit(true) => {}
-                    BoolLit(false) => return BoolLit(false),
-                    And(inner) => flat.extend(inner),
-                    other => flat.push(other),
-                }
-            }
-            flat.dedup();
-            // a & ~a -> false (syntactic)
-            if has_complementary_pair(&flat) {
-                return BoolLit(false);
-            }
-            match flat.len() {
-                0 => BoolLit(true),
-                1 => flat.pop().expect("len checked"),
-                _ => And(flat),
-            }
-        }
-        Or(cs) => {
-            let mut flat = Vec::new();
-            for c in cs {
-                match c {
-                    BoolLit(false) => {}
-                    BoolLit(true) => return BoolLit(true),
-                    Or(inner) => flat.extend(inner),
-                    other => flat.push(other),
-                }
-            }
-            flat.dedup();
-            if has_complementary_pair(&flat) {
-                return BoolLit(true);
-            }
-            match flat.len() {
-                0 => BoolLit(false),
-                1 => flat.pop().expect("len checked"),
-                _ => Or(flat),
-            }
-        }
-        Implies(a, b) => {
-            if a.is_false() || b.is_true() {
-                BoolLit(true)
-            } else if a.is_true() {
-                *b
-            } else if b.is_false() {
-                rewrite(Not(a))
-            } else if a == b {
-                BoolLit(true)
-            } else {
-                Implies(a, b)
-            }
-        }
-        Iff(a, b) => {
-            if a == b {
-                BoolLit(true)
-            } else if a.is_true() {
-                *b
-            } else if b.is_true() {
-                *a
-            } else if a.is_false() {
-                rewrite(Not(b))
-            } else if b.is_false() {
-                rewrite(Not(a))
-            } else {
-                Iff(a, b)
-            }
-        }
-        Ite(c, x, y) => {
-            if c.is_true() {
-                *x
-            } else if c.is_false() {
-                *y
-            } else if x == y {
-                *x
-            } else {
-                Ite(c, x, y)
-            }
-        }
-        Eq(a, b) => {
-            if a == b {
-                BoolLit(true)
-            } else {
-                match (&*a, &*b) {
-                    (IntLit(x), IntLit(y)) => BoolLit(x == y),
-                    (BoolLit(x), BoolLit(y)) => BoolLit(x == y),
-                    (BoolLit(true), _) => *b,
-                    (_, BoolLit(true)) => *a,
-                    (BoolLit(false), _) => rewrite(Not(b)),
-                    (_, BoolLit(false)) => rewrite(Not(a)),
-                    _ => Eq(a, b),
-                }
-            }
-        }
-
-        Add(a, b) => match (&*a, &*b) {
-            (IntLit(x), IntLit(y)) => IntLit(x.wrapping_add(*y)),
-            (IntLit(0), _) => *b,
-            (_, IntLit(0)) => *a,
-            _ => Add(a, b),
-        },
-        Sub(a, b) => match (&*a, &*b) {
-            (IntLit(x), IntLit(y)) => IntLit(x.wrapping_sub(*y)),
-            (_, IntLit(0)) => *a,
-            _ if a == b => IntLit(0),
-            _ => Sub(a, b),
-        },
-        Neg(a) => match &*a {
-            IntLit(x) => IntLit(x.wrapping_neg()),
-            _ => Neg(a),
-        },
-        Lt(a, b) => match (&*a, &*b) {
-            (IntLit(x), IntLit(y)) => BoolLit(x < y),
-            _ if a == b => BoolLit(false),
-            _ => Lt(a, b),
-        },
-        Le(a, b) => match (&*a, &*b) {
-            (IntLit(x), IntLit(y)) => BoolLit(x <= y),
-            _ if a == b => BoolLit(true),
-            _ => Le(a, b),
-        },
-
-        Member(v, s) => match &*s {
-            EmptySet => BoolLit(false),
-            // v ∈ (s ∪ {v})  — syntactic match only
-            SetAdd(_, added) if **added == *v => BoolLit(true),
-            _ => Member(v, s),
-        },
-        Card(s) => match &*s {
-            EmptySet => IntLit(0),
-            _ => Card(s),
-        },
-        MapHasKey(m, k) => match &*m {
-            EmptyMap => BoolLit(false),
-            MapPut(_, key, _) if **key == *k => BoolLit(true),
-            _ => MapHasKey(m, k),
-        },
-        MapGet(m, k) => match &*m {
-            EmptyMap => Null,
-            MapPut(_, key, value) if **key == *k => (**value).clone(),
-            _ => MapGet(m, k),
-        },
-        MapSize(m) => match &*m {
-            EmptyMap => IntLit(0),
-            _ => MapSize(m),
-        },
-        SeqLen(s) => match &*s {
-            EmptySeq => IntLit(0),
-            _ => SeqLen(s),
-        },
-        SeqContains(s, v) => match &*s {
-            EmptySeq => BoolLit(false),
-            _ => SeqContains(s, v),
-        },
-
-        other => other,
-    }
-}
-
-fn has_complementary_pair(terms: &[Term]) -> bool {
-    for (i, a) in terms.iter().enumerate() {
-        for b in &terms[i + 1..] {
-            if let Term::Not(inner) = a {
-                if **inner == *b {
-                    return true;
-                }
-            }
-            if let Term::Not(inner) = b {
-                if **inner == *a {
-                    return true;
-                }
-            }
-        }
-    }
-    false
+    with_arena(|arena| {
+        let id = arena.intern(term);
+        let simplified = arena.simplify_id(id);
+        arena.to_term(simplified)
+    })
 }
 
 #[cfg(test)]
@@ -238,7 +50,10 @@ mod tests {
 
     #[test]
     fn nested_and_or_flatten() {
-        let t = and2(and2(var_bool("a"), var_bool("b")), and2(tru(), var_bool("c")));
+        let t = and2(
+            and2(var_bool("a"), var_bool("b")),
+            and2(tru(), var_bool("c")),
+        );
         match simplify(&t) {
             Term::And(cs) => assert_eq!(cs.len(), 3),
             other => panic!("expected flattened conjunction, got {other:?}"),
@@ -262,7 +77,10 @@ mod tests {
         assert!(simplify(&member(var_elem("v"), set_add(var_set("s"), var_elem("v")))).is_true());
         assert_eq!(simplify(&card(empty_set())), int(0));
         assert_eq!(
-            simplify(&map_get(map_put(var_map("m"), var_elem("k"), var_elem("v")), var_elem("k"))),
+            simplify(&map_get(
+                map_put(var_map("m"), var_elem("k"), var_elem("v")),
+                var_elem("k")
+            )),
             var_elem("v")
         );
         assert!(simplify(&map_has_key(empty_map(), var_elem("k"))).is_false());

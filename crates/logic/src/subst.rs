@@ -10,7 +10,20 @@ use crate::term::Term;
 ///
 /// Bound quantifier variables are not reported (the quantifier bounds are
 /// evaluated outside the binder and are therefore free).
+///
+/// The result comes from the calling thread's hash-consed arena, where every
+/// interned node caches its free-variable list — asking again for any
+/// already-seen term (or a term sharing sub-DAGs with one) is cheap.
 pub fn free_vars(term: &Term) -> BTreeMap<String, Sort> {
+    crate::arena::with_arena(|arena| {
+        let id = arena.intern(term);
+        arena.free_vars_map(id)
+    })
+}
+
+/// Tree-walking free-variable collection, kept as the reference
+/// implementation for the arena's cached lists (compared by property tests).
+pub fn free_vars_uncached(term: &Term) -> BTreeMap<String, Sort> {
     let mut acc = BTreeMap::new();
     collect_free(term, &mut BTreeSet::new(), &mut acc);
     acc
@@ -49,36 +62,24 @@ fn collect_free(term: &Term, bound: &mut BTreeSet<String>, acc: &mut BTreeMap<St
 /// convention are fresh names (`__q0`, `__q1`, …) distinct from all
 /// specification variables; [`rename_vars`] can be used first when this
 /// convention does not hold.
+///
+/// The walk runs on the calling thread's hash-consed arena (see
+/// [`crate::arena::TermArena::substitute_id`]): shared sub-DAGs are rewritten
+/// once per call, and sub-terms whose cached free variables are disjoint from
+/// the substitution domain are skipped entirely.
 pub fn substitute(term: &Term, subst: &BTreeMap<String, Term>) -> Term {
-    match term {
-        Term::Var(v) => subst.get(&v.name).cloned().unwrap_or_else(|| term.clone()),
-        Term::ForallInt { var, lo, hi, body } | Term::ExistsInt { var, lo, hi, body } => {
-            let lo2 = substitute(lo, subst);
-            let hi2 = substitute(hi, subst);
-            let body2 = if subst.contains_key(var) {
-                let mut narrowed = subst.clone();
-                narrowed.remove(var);
-                substitute(body, &narrowed)
-            } else {
-                substitute(body, subst)
-            };
-            match term {
-                Term::ForallInt { .. } => Term::ForallInt {
-                    var: var.clone(),
-                    lo: Box::new(lo2),
-                    hi: Box::new(hi2),
-                    body: Box::new(body2),
-                },
-                _ => Term::ExistsInt {
-                    var: var.clone(),
-                    lo: Box::new(lo2),
-                    hi: Box::new(hi2),
-                    body: Box::new(body2),
-                },
-            }
-        }
-        other => other.map_children(|c| substitute(c, subst)),
+    if subst.is_empty() {
+        return term.clone();
     }
+    crate::arena::with_arena(|arena| {
+        let id = arena.intern(term);
+        let map = subst
+            .iter()
+            .map(|(name, replacement)| (arena.sym(name), arena.intern(replacement)))
+            .collect();
+        let out = arena.substitute_id(id, &map);
+        arena.to_term(out)
+    })
 }
 
 /// Renames free variables according to `renaming` (old name → new name).
@@ -144,7 +145,10 @@ where
     A: Into<String>,
     B: Into<String>,
 {
-    pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect()
+    pairs
+        .into_iter()
+        .map(|(k, v)| (k.into(), v.into()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -181,12 +185,7 @@ mod tests {
 
     #[test]
     fn substitute_replaces_free_occurrences_only() {
-        let t = exists_int(
-            "i",
-            int(0),
-            var_int("n"),
-            eq(var_int("i"), var_int("x")),
-        );
+        let t = exists_int("i", int(0), var_int("n"), eq(var_int("i"), var_int("x")));
         let s = subst_map([("x", int(7)), ("i", int(99)), ("n", int(3))]);
         let t2 = substitute(&t, &s);
         // the bound i is untouched, x and n are replaced

@@ -201,6 +201,51 @@ impl Term {
         }
     }
 
+    /// Calls `f` on every immediate sub-term, in the same order as
+    /// [`Term::children`], without allocating.
+    ///
+    /// Quantifier bounds and bodies are included; the bound variable itself is
+    /// not a sub-term.
+    pub fn for_each_child<'a>(&'a self, f: &mut impl FnMut(&'a Term)) {
+        use Term::*;
+        match self {
+            Var(_) | BoolLit(_) | IntLit(_) | Null | EmptySet | EmptyMap | EmptySeq => {}
+            Not(a) | Neg(a) | Card(a) | MapSize(a) | SeqLen(a) => f(a),
+            And(cs) | Or(cs) => cs.iter().for_each(f),
+            Implies(a, b)
+            | Iff(a, b)
+            | Eq(a, b)
+            | Add(a, b)
+            | Sub(a, b)
+            | Lt(a, b)
+            | Le(a, b)
+            | SetAdd(a, b)
+            | SetRemove(a, b)
+            | Member(a, b)
+            | MapRemove(a, b)
+            | MapGet(a, b)
+            | MapHasKey(a, b)
+            | SeqRemoveAt(a, b)
+            | SeqAt(a, b)
+            | SeqIndexOf(a, b)
+            | SeqLastIndexOf(a, b)
+            | SeqContains(a, b) => {
+                f(a);
+                f(b);
+            }
+            Ite(a, b, c) | MapPut(a, b, c) | SeqInsertAt(a, b, c) | SeqSetAt(a, b, c) => {
+                f(a);
+                f(b);
+                f(c);
+            }
+            ForallInt { lo, hi, body, .. } | ExistsInt { lo, hi, body, .. } => {
+                f(lo);
+                f(hi);
+                f(body);
+            }
+        }
+    }
+
     /// Rebuilds this term, applying `f` to every immediate sub-term.
     ///
     /// The structure (variant, bound variable names) is preserved. This is the
@@ -210,9 +255,7 @@ impl Term {
         use Term::*;
         let b = |t: &Term, f: &mut dyn FnMut(&Term) -> Term| Box::new(f(t));
         match self {
-            Var(_) | BoolLit(_) | IntLit(_) | Null | EmptySet | EmptyMap | EmptySeq => {
-                self.clone()
-            }
+            Var(_) | BoolLit(_) | IntLit(_) | Null | EmptySet | EmptyMap | EmptySeq => self.clone(),
             Not(a) => Not(b(a, &mut f)),
             Neg(a) => Neg(b(a, &mut f)),
             Card(a) => Card(b(a, &mut f)),
@@ -259,8 +302,19 @@ impl Term {
 
     /// Returns the number of nodes in this term (a rough size/complexity
     /// measure, used in reports and to order prover work).
+    ///
+    /// The traversal is iterative with a single explicit stack, so counting a
+    /// term never allocates a per-node `Vec` (unlike [`Term::children`]) and
+    /// cannot overflow the call stack on deep terms. Arena-interned terms get
+    /// the same measure for free via [`crate::arena::TermArena::size_of`].
     pub fn size(&self) -> usize {
-        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+        let mut count = 0usize;
+        let mut stack: Vec<&Term> = vec![self];
+        while let Some(t) = stack.pop() {
+            count += 1;
+            t.for_each_child(&mut |c| stack.push(c));
+        }
+        count
     }
 
     /// Returns the name of the bound variable if this term is a quantifier.

@@ -44,10 +44,7 @@ impl fmt::Display for SortError {
                 name,
                 first,
                 second,
-            } => write!(
-                f,
-                "variable `{name}` used at sorts {first} and {second}"
-            ),
+            } => write!(f, "variable `{name}` used at sorts {first} and {second}"),
         }
     }
 }
@@ -283,8 +280,14 @@ mod tests {
             sort_of(&member(var_elem("v"), set_add(var_set("s"), var_elem("v")))).unwrap(),
             Sort::Bool
         );
-        assert_eq!(sort_of(&map_get(var_map("m"), var_elem("k"))).unwrap(), Sort::Elem);
-        assert_eq!(sort_of(&seq_index_of(var_seq("q"), var_elem("v"))).unwrap(), Sort::Int);
+        assert_eq!(
+            sort_of(&map_get(var_map("m"), var_elem("k"))).unwrap(),
+            Sort::Elem
+        );
+        assert_eq!(
+            sort_of(&seq_index_of(var_seq("q"), var_elem("v"))).unwrap(),
+            Sort::Int
+        );
         assert!(check_formula(&eq(card(var_set("s")), int(3))).is_ok());
     }
 

@@ -225,12 +225,18 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(Value::set_of([ElemId(1), ElemId(2)]).to_string(), "{o1, o2}");
+        assert_eq!(
+            Value::set_of([ElemId(1), ElemId(2)]).to_string(),
+            "{o1, o2}"
+        );
         assert_eq!(
             Value::map_of([(ElemId(1), ElemId(2))]).to_string(),
             "{o1 -> o2}"
         );
-        assert_eq!(Value::seq_of([ElemId(3), NULL_ELEM]).to_string(), "[o3, null]");
+        assert_eq!(
+            Value::seq_of([ElemId(3), NULL_ELEM]).to_string(),
+            "[o3, null]"
+        );
         assert_eq!(Value::null().to_string(), "null");
     }
 

@@ -1,0 +1,159 @@
+//! Property-based tests of the hash-consed term arena: interning is
+//! canonical (same id iff structurally equal), metadata matches the tree
+//! measures, round trips are lossless, and the arena-backed `simplify` /
+//! `nnf` / `substitute` passes agree with direct evaluation under random
+//! models — i.e. arena-interned terms behave exactly like the boxed baseline.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use semcommute_logic::build::*;
+use semcommute_logic::subst::{free_vars_uncached, subst_map};
+use semcommute_logic::{
+    eval_bool, free_vars, simplify, substitute, to_nnf, ElemId, Model, Term, TermArena, Value,
+};
+
+/// Small boolean formulas over booleans, elements, a set, and a sequence —
+/// wide enough to cover every connective and a few container atoms.
+fn formula(depth: u32) -> BoxedStrategy<Term> {
+    let leaf = prop_oneof![
+        Just(tru()),
+        Just(fls()),
+        Just(var_bool("p")),
+        Just(var_bool("q")),
+        Just(member(var_elem("x"), var_set("s"))),
+        Just(member(var_elem("y"), set_add(var_set("s"), var_elem("x")))),
+        Just(eq(var_elem("x"), var_elem("y"))),
+        Just(le(card(var_set("s")), int(2))),
+        Just(lt(seq_len(var_seq("w")), int(3))),
+        Just(seq_contains(var_seq("w"), var_elem("x"))),
+        Just(exists_int(
+            "i",
+            int(0),
+            seq_len(var_seq("w")),
+            eq(seq_at(var_seq("w"), var_int("i")), var_elem("x"))
+        )),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let inner = formula(depth - 1);
+    prop_oneof![
+        leaf,
+        inner.clone().prop_map(not),
+        (formula(depth - 1), formula(depth - 1)).prop_map(|(a, b)| and2(a, b)),
+        (formula(depth - 1), formula(depth - 1)).prop_map(|(a, b)| or2(a, b)),
+        (formula(depth - 1), formula(depth - 1)).prop_map(|(a, b)| implies(a, b)),
+        (formula(depth - 1), formula(depth - 1)).prop_map(|(a, b)| iff(a, b)),
+        (inner.clone(), formula(depth - 1), formula(depth - 1)).prop_map(|(c, t, e)| ite(c, t, e)),
+    ]
+    .boxed()
+}
+
+prop_compose! {
+    fn model()(
+        p in proptest::bool::ANY,
+        q in proptest::bool::ANY,
+        x in 1u32..4,
+        y in 1u32..4,
+        s in proptest::collection::btree_set(1u32..4, 0..3),
+        w in proptest::collection::vec(1u32..4, 0..4),
+    ) -> Model {
+        Model::from_bindings([
+            ("p", Value::Bool(p)),
+            ("q", Value::Bool(q)),
+            ("x", Value::elem(x)),
+            ("y", Value::elem(y)),
+            ("s", Value::Set(s.into_iter().map(ElemId).collect())),
+            ("w", Value::Seq(w.into_iter().map(ElemId).collect())),
+        ])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// intern(t) == intern(t') iff t == t', and the round trip is lossless.
+    #[test]
+    fn interning_is_canonical(t1 in formula(3), t2 in formula(3)) {
+        let mut arena = TermArena::new();
+        let id1 = arena.intern(&t1);
+        let id2 = arena.intern(&t2);
+        prop_assert_eq!(id1 == id2, t1 == t2, "ids {:?}/{:?} for {} vs {}", id1, id2, t1, t2);
+        prop_assert_eq!(arena.to_term(id1), t1);
+        prop_assert_eq!(arena.to_term(id2), t2);
+    }
+
+    /// Cached metadata (size, free variables, structural hash) agrees with
+    /// the tree-walking reference implementations.
+    #[test]
+    fn metadata_matches_tree_walks(t in formula(3)) {
+        let mut arena = TermArena::new();
+        let id = arena.intern(&t);
+        prop_assert_eq!(arena.size_of(id), t.size() as u64);
+        prop_assert_eq!(arena.free_vars_map(id), free_vars_uncached(&t));
+        prop_assert_eq!(free_vars(&t), free_vars_uncached(&t));
+        // Structural hashes are stable across arenas.
+        let mut other = TermArena::new();
+        other.intern(&var_bool("prepopulate"));
+        let other_id = other.intern(&t);
+        prop_assert_eq!(arena.structural_hash(id), other.structural_hash(other_id));
+    }
+
+    /// Arena-backed simplification evaluates identically to the original
+    /// term under random models (the boxed-baseline soundness property).
+    #[test]
+    fn arena_simplify_preserves_evaluation(t in formula(3), m in model()) {
+        let original = eval_bool(&t, &m).unwrap();
+        let simplified = simplify(&t);
+        prop_assert_eq!(original, eval_bool(&simplified, &m).unwrap(),
+            "simplify changed the meaning of {}", t);
+        // Simplification is idempotent on its own output.
+        prop_assert_eq!(simplify(&simplified), simplified);
+    }
+
+    /// Arena-backed NNF conversion is semantics-preserving and in NNF.
+    #[test]
+    fn arena_nnf_preserves_evaluation(t in formula(3), m in model()) {
+        let n = to_nnf(&t);
+        prop_assert!(semcommute_logic::nnf::is_nnf(&n));
+        prop_assert_eq!(eval_bool(&t, &m).unwrap(), eval_bool(&n, &m).unwrap());
+    }
+
+    /// Arena-backed substitution behaves like textual replacement: composing
+    /// substitution with evaluation equals evaluating under the extended
+    /// model.
+    #[test]
+    fn arena_substitute_agrees_with_model_extension(t in formula(3), m in model()) {
+        // Replace x by y and p by a formula.
+        let subst = subst_map([
+            ("x", var_elem("y")),
+            ("p", member(var_elem("y"), var_set("s"))),
+        ]);
+        let replaced = substitute(&t, &subst);
+        // Reference: evaluate the substituted values first, then bind them.
+        let x_val = m.get("y").unwrap().clone();
+        let p_val = eval_bool(&member(var_elem("y"), var_set("s")), &m).unwrap();
+        let mut extended = m.clone();
+        extended.insert("x", x_val);
+        extended.insert("p", Value::Bool(p_val));
+        prop_assert_eq!(
+            eval_bool(&replaced, &m).unwrap(),
+            eval_bool(&t, &extended).unwrap(),
+            "substitution changed the meaning of {}", t
+        );
+    }
+
+    /// The free variables of a substituted term never include substituted
+    /// names (all our binders use distinct bound names).
+    #[test]
+    fn substitution_eliminates_the_domain(t in formula(3)) {
+        let subst: BTreeMap<String, Term> = subst_map([("p", tru()), ("x", var_elem("y"))]);
+        let replaced = substitute(&t, &subst);
+        let fv = free_vars(&replaced);
+        prop_assert!(!fv.contains_key("p"), "p still free in {}", replaced);
+        prop_assert!(!fv.contains_key("x"), "x still free in {}", replaced);
+    }
+}

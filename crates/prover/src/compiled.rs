@@ -1,0 +1,712 @@
+//! Slot-compiled obligations: the finite-model prover's fast evaluation path.
+//!
+//! The reference evaluator ([`semcommute_logic::eval`]) looks free variables
+//! up by name in a `BTreeMap`-backed [`Model`] and clones the whole model to
+//! bind a quantifier variable. That is fine for one evaluation, but the
+//! finite-model prover evaluates the same obligation under *millions* of
+//! candidate models, so per-candidate name lookups, string-keyed map
+//! construction, and quantifier model clones dominate the search.
+//!
+//! A [`CompiledObligation`] resolves every variable occurrence to a dense
+//! *slot* index once, up front: candidate enumeration writes values straight
+//! into a flat slot vector (no names, no maps), defined variables evaluate
+//! into their slots, and quantifiers save/restore a single slot. Semantics
+//! (including the totalization of partial operations and the error cases)
+//! mirror the reference evaluator exactly; the property tests cross-check
+//! counterexamples against it.
+
+use std::collections::HashMap;
+
+use semcommute_logic::eval::MAX_QUANTIFIER_RANGE;
+use semcommute_logic::{Model, Term, Value, NULL_ELEM};
+
+use crate::obligation::Obligation;
+
+/// A term with every variable occurrence resolved to a slot index.
+#[derive(Debug, Clone)]
+enum CTerm {
+    Slot(u32),
+    BoolLit(bool),
+    IntLit(i64),
+    Null,
+    EmptySet,
+    EmptyMap,
+    EmptySeq,
+    Not(Box<CTerm>),
+    Neg(Box<CTerm>),
+    Card(Box<CTerm>),
+    MapSize(Box<CTerm>),
+    SeqLen(Box<CTerm>),
+    And(Vec<CTerm>),
+    Or(Vec<CTerm>),
+    Implies(Box<CTerm>, Box<CTerm>),
+    Iff(Box<CTerm>, Box<CTerm>),
+    Eq(Box<CTerm>, Box<CTerm>),
+    Add(Box<CTerm>, Box<CTerm>),
+    Sub(Box<CTerm>, Box<CTerm>),
+    Lt(Box<CTerm>, Box<CTerm>),
+    Le(Box<CTerm>, Box<CTerm>),
+    SetAdd(Box<CTerm>, Box<CTerm>),
+    SetRemove(Box<CTerm>, Box<CTerm>),
+    Member(Box<CTerm>, Box<CTerm>),
+    MapPut(Box<CTerm>, Box<CTerm>, Box<CTerm>),
+    MapRemove(Box<CTerm>, Box<CTerm>),
+    MapGet(Box<CTerm>, Box<CTerm>),
+    MapHasKey(Box<CTerm>, Box<CTerm>),
+    SeqInsertAt(Box<CTerm>, Box<CTerm>, Box<CTerm>),
+    SeqRemoveAt(Box<CTerm>, Box<CTerm>),
+    SeqSetAt(Box<CTerm>, Box<CTerm>, Box<CTerm>),
+    SeqAt(Box<CTerm>, Box<CTerm>),
+    SeqIndexOf(Box<CTerm>, Box<CTerm>),
+    SeqLastIndexOf(Box<CTerm>, Box<CTerm>),
+    SeqContains(Box<CTerm>, Box<CTerm>),
+    Ite(Box<CTerm>, Box<CTerm>, Box<CTerm>),
+    Quantifier {
+        universal: bool,
+        slot: u32,
+        lo: Box<CTerm>,
+        hi: Box<CTerm>,
+        body: Box<CTerm>,
+    },
+}
+
+/// An obligation compiled against a fixed input-variable order.
+#[derive(Debug, Clone)]
+pub struct CompiledObligation {
+    /// Slots `0..input_count` hold the input variables, in the order given to
+    /// [`CompiledObligation::compile`] (the enumeration order of the space).
+    input_count: usize,
+    /// `(target slot, definition)` in definition order.
+    defines: Vec<(u32, CTerm)>,
+    hypotheses: Vec<CTerm>,
+    goal: CTerm,
+    /// Slot index → variable name, for reconstructing counter-models.
+    /// Quantifier-bound slots have synthetic names and are excluded from
+    /// reconstruction.
+    slot_names: Vec<String>,
+    /// Number of named slots (inputs + defines); the rest are binder slots.
+    named_slots: usize,
+}
+
+/// Evaluation environment: one value per slot, reused across candidates.
+pub struct SlotEnv {
+    values: Vec<Option<Value>>,
+}
+
+impl CompiledObligation {
+    /// Compiles `ob` against the given input-variable order (name, sort per
+    /// slot). Every free variable of the obligation must appear in
+    /// `input_order` or be defined; quantifier binders get private slots.
+    pub fn compile(ob: &Obligation, input_order: &[String]) -> CompiledObligation {
+        let mut slots: HashMap<String, u32> = HashMap::new();
+        let mut slot_names: Vec<String> = Vec::new();
+        for name in input_order {
+            slots.insert(name.clone(), slot_names.len() as u32);
+            slot_names.push(name.clone());
+        }
+        let input_count = slot_names.len();
+        for (name, _) in &ob.defines {
+            slots.entry(name.clone()).or_insert_with(|| {
+                slot_names.push(name.clone());
+                (slot_names.len() - 1) as u32
+            });
+        }
+        let named_slots = slot_names.len();
+        let mut compiler = Compiler {
+            slots,
+            slot_names,
+            binders: Vec::new(),
+        };
+        let defines = ob
+            .defines
+            .iter()
+            .map(|(name, term)| {
+                let slot = compiler.slots[name.as_str()];
+                (slot, compiler.compile_term(term))
+            })
+            .collect();
+        let hypotheses = ob
+            .hypotheses
+            .iter()
+            .map(|h| compiler.compile_term(h))
+            .collect();
+        let goal = compiler.compile_term(&ob.goal);
+        CompiledObligation {
+            input_count,
+            defines,
+            hypotheses,
+            goal,
+            slot_names: compiler.slot_names,
+            named_slots,
+        }
+    }
+
+    /// Creates a reusable environment sized for this obligation.
+    pub fn env(&self) -> SlotEnv {
+        SlotEnv {
+            values: vec![None; self.slot_names.len()],
+        }
+    }
+
+    /// Number of input slots (the prefix of the environment the enumerator
+    /// fills).
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Checks one candidate: `inputs` are the values of the input variables
+    /// in compile order.
+    ///
+    /// Returns `Ok(None)` when the candidate is not a counterexample (a
+    /// hypothesis failed or the goal held), `Ok(Some(()))` when hypotheses
+    /// hold and the goal fails — call [`CompiledObligation::reconstruct`] on
+    /// the same env to obtain the full model — and `Err` on an evaluation
+    /// error.
+    pub fn check(&self, inputs: &mut Vec<Value>, env: &mut SlotEnv) -> Result<Option<()>, String> {
+        debug_assert_eq!(inputs.len(), self.input_count);
+        for (slot, value) in inputs.drain(..).enumerate() {
+            env.values[slot] = Some(value);
+        }
+        for (slot, term) in &self.defines {
+            let value = eval_c(term, &mut env.values)
+                .map_err(|e| format!("evaluating `{}`: {e}", self.slot_names[*slot as usize]))?;
+            env.values[*slot as usize] = Some(value);
+        }
+        for h in &self.hypotheses {
+            match eval_c(h, &mut env.values).map_err(|e| format!("evaluating hypothesis: {e}"))? {
+                Value::Bool(true) => {}
+                Value::Bool(false) => return Ok(None),
+                other => {
+                    return Err(format!(
+                        "evaluating hypothesis: expected bool, found {}",
+                        other.sort()
+                    ))
+                }
+            }
+        }
+        match eval_c(&self.goal, &mut env.values).map_err(|e| format!("evaluating goal: {e}"))? {
+            Value::Bool(true) => Ok(None),
+            Value::Bool(false) => Ok(Some(())),
+            other => Err(format!(
+                "evaluating goal: expected bool, found {}",
+                other.sort()
+            )),
+        }
+    }
+
+    /// Rebuilds the named-variable [`Model`] (inputs plus computed defines)
+    /// from the environment of the last [`CompiledObligation::check`] call.
+    pub fn reconstruct(&self, env: &SlotEnv) -> Model {
+        let mut model = Model::new();
+        for (slot, name) in self.slot_names.iter().enumerate().take(self.named_slots) {
+            if let Some(value) = &env.values[slot] {
+                model.insert(name.clone(), value.clone());
+            }
+        }
+        model
+    }
+}
+
+struct Compiler {
+    slots: HashMap<String, u32>,
+    slot_names: Vec<String>,
+    /// Stack of active quantifier binders (name → slot), innermost last.
+    binders: Vec<(String, u32)>,
+}
+
+impl Compiler {
+    fn fresh_binder_slot(&mut self, name: &str) -> u32 {
+        let slot = self.slot_names.len() as u32;
+        self.slot_names.push(format!("__q{slot}:{name}"));
+        slot
+    }
+
+    fn resolve(&self, name: &str) -> Option<u32> {
+        if let Some(&(_, slot)) = self.binders.iter().rev().find(|(n, _)| n == name) {
+            return Some(slot);
+        }
+        self.slots.get(name).copied()
+    }
+
+    fn compile_term(&mut self, term: &Term) -> CTerm {
+        use Term as T;
+        let b = |c: &mut Compiler, t: &Term| Box::new(c.compile_term(t));
+        match term {
+            T::Var(v) => match self.resolve(&v.name) {
+                Some(slot) => CTerm::Slot(slot),
+                // Defensive: an unbound name becomes a slot that is never
+                // filled, which evaluates to an unbound-variable error.
+                None => {
+                    let slot = self.slot_names.len() as u32;
+                    self.slot_names.push(v.name.clone());
+                    self.slots.insert(v.name.clone(), slot);
+                    CTerm::Slot(slot)
+                }
+            },
+            T::BoolLit(x) => CTerm::BoolLit(*x),
+            T::IntLit(i) => CTerm::IntLit(*i),
+            T::Null => CTerm::Null,
+            T::EmptySet => CTerm::EmptySet,
+            T::EmptyMap => CTerm::EmptyMap,
+            T::EmptySeq => CTerm::EmptySeq,
+            T::Not(a) => CTerm::Not(b(self, a)),
+            T::Neg(a) => CTerm::Neg(b(self, a)),
+            T::Card(a) => CTerm::Card(b(self, a)),
+            T::MapSize(a) => CTerm::MapSize(b(self, a)),
+            T::SeqLen(a) => CTerm::SeqLen(b(self, a)),
+            T::And(cs) => CTerm::And(cs.iter().map(|c| self.compile_term(c)).collect()),
+            T::Or(cs) => CTerm::Or(cs.iter().map(|c| self.compile_term(c)).collect()),
+            T::Implies(x, y) => CTerm::Implies(b(self, x), b(self, y)),
+            T::Iff(x, y) => CTerm::Iff(b(self, x), b(self, y)),
+            T::Eq(x, y) => CTerm::Eq(b(self, x), b(self, y)),
+            T::Add(x, y) => CTerm::Add(b(self, x), b(self, y)),
+            T::Sub(x, y) => CTerm::Sub(b(self, x), b(self, y)),
+            T::Lt(x, y) => CTerm::Lt(b(self, x), b(self, y)),
+            T::Le(x, y) => CTerm::Le(b(self, x), b(self, y)),
+            T::SetAdd(x, y) => CTerm::SetAdd(b(self, x), b(self, y)),
+            T::SetRemove(x, y) => CTerm::SetRemove(b(self, x), b(self, y)),
+            T::Member(x, y) => CTerm::Member(b(self, x), b(self, y)),
+            T::MapPut(x, y, z) => CTerm::MapPut(b(self, x), b(self, y), b(self, z)),
+            T::MapRemove(x, y) => CTerm::MapRemove(b(self, x), b(self, y)),
+            T::MapGet(x, y) => CTerm::MapGet(b(self, x), b(self, y)),
+            T::MapHasKey(x, y) => CTerm::MapHasKey(b(self, x), b(self, y)),
+            T::SeqInsertAt(x, y, z) => CTerm::SeqInsertAt(b(self, x), b(self, y), b(self, z)),
+            T::SeqRemoveAt(x, y) => CTerm::SeqRemoveAt(b(self, x), b(self, y)),
+            T::SeqSetAt(x, y, z) => CTerm::SeqSetAt(b(self, x), b(self, y), b(self, z)),
+            T::SeqAt(x, y) => CTerm::SeqAt(b(self, x), b(self, y)),
+            T::SeqIndexOf(x, y) => CTerm::SeqIndexOf(b(self, x), b(self, y)),
+            T::SeqLastIndexOf(x, y) => CTerm::SeqLastIndexOf(b(self, x), b(self, y)),
+            T::SeqContains(x, y) => CTerm::SeqContains(b(self, x), b(self, y)),
+            T::Ite(x, y, z) => CTerm::Ite(b(self, x), b(self, y), b(self, z)),
+            T::ForallInt { var, lo, hi, body } | T::ExistsInt { var, lo, hi, body } => {
+                let lo = b(self, lo);
+                let hi = b(self, hi);
+                let slot = self.fresh_binder_slot(var);
+                self.binders.push((var.clone(), slot));
+                let body = b(self, body);
+                self.binders.pop();
+                CTerm::Quantifier {
+                    universal: matches!(term, T::ForallInt { .. }),
+                    slot,
+                    lo,
+                    hi,
+                    body,
+                }
+            }
+        }
+    }
+}
+
+fn expect_bool_c(v: Value, context: &'static str) -> Result<bool, String> {
+    match v {
+        Value::Bool(x) => Ok(x),
+        other => Err(format!("{context}: expected bool, found {}", other.sort())),
+    }
+}
+
+fn expect_int_c(v: Value, context: &'static str) -> Result<i64, String> {
+    match v {
+        Value::Int(x) => Ok(x),
+        other => Err(format!("{context}: expected int, found {}", other.sort())),
+    }
+}
+
+fn expect_elem_c(v: Value, context: &'static str) -> Result<semcommute_logic::ElemId, String> {
+    match v {
+        Value::Elem(x) => Ok(x),
+        other => Err(format!("{context}: expected elem, found {}", other.sort())),
+    }
+}
+
+fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
+    use CTerm::*;
+    Ok(match term {
+        Slot(i) => env[*i as usize]
+            .clone()
+            .ok_or_else(|| format!("unbound slot {i}"))?,
+        BoolLit(b) => Value::Bool(*b),
+        IntLit(i) => Value::Int(*i),
+        Null => Value::Elem(NULL_ELEM),
+        EmptySet => Value::Set(Default::default()),
+        EmptyMap => Value::Map(Default::default()),
+        EmptySeq => Value::Seq(vec![]),
+
+        Not(a) => Value::Bool(!expect_bool_c(eval_c(a, env)?, "not")?),
+        And(cs) => {
+            let mut acc = true;
+            for c in cs {
+                acc &= expect_bool_c(eval_c(c, env)?, "and")?;
+            }
+            Value::Bool(acc)
+        }
+        Or(cs) => {
+            let mut acc = false;
+            for c in cs {
+                acc |= expect_bool_c(eval_c(c, env)?, "or")?;
+            }
+            Value::Bool(acc)
+        }
+        Implies(a, b) => {
+            let a = expect_bool_c(eval_c(a, env)?, "implies")?;
+            let b = expect_bool_c(eval_c(b, env)?, "implies")?;
+            Value::Bool(!a || b)
+        }
+        Iff(a, b) => {
+            let a = expect_bool_c(eval_c(a, env)?, "iff")?;
+            let b = expect_bool_c(eval_c(b, env)?, "iff")?;
+            Value::Bool(a == b)
+        }
+        Ite(c, t, e) => {
+            let c = expect_bool_c(eval_c(c, env)?, "ite condition")?;
+            let tv = eval_c(t, env)?;
+            let ev = eval_c(e, env)?;
+            if tv.sort() != ev.sort() {
+                return Err(format!(
+                    "cannot merge ite branches of sorts {} and {}",
+                    tv.sort(),
+                    ev.sort()
+                ));
+            }
+            if c {
+                tv
+            } else {
+                ev
+            }
+        }
+        Eq(a, b) => {
+            let av = eval_c(a, env)?;
+            let bv = eval_c(b, env)?;
+            if av.sort() != bv.sort() {
+                return Err(format!(
+                    "cannot compare values of sorts {} and {}",
+                    av.sort(),
+                    bv.sort()
+                ));
+            }
+            Value::Bool(av == bv)
+        }
+
+        Add(a, b) => Value::Int(
+            expect_int_c(eval_c(a, env)?, "add")?
+                .wrapping_add(expect_int_c(eval_c(b, env)?, "add")?),
+        ),
+        Sub(a, b) => Value::Int(
+            expect_int_c(eval_c(a, env)?, "sub")?
+                .wrapping_sub(expect_int_c(eval_c(b, env)?, "sub")?),
+        ),
+        Neg(a) => Value::Int(expect_int_c(eval_c(a, env)?, "neg")?.wrapping_neg()),
+        Lt(a, b) => {
+            Value::Bool(expect_int_c(eval_c(a, env)?, "lt")? < expect_int_c(eval_c(b, env)?, "lt")?)
+        }
+        Le(a, b) => Value::Bool(
+            expect_int_c(eval_c(a, env)?, "le")? <= expect_int_c(eval_c(b, env)?, "le")?,
+        ),
+
+        SetAdd(s, v) => {
+            let mut s = match eval_c(s, env)? {
+                Value::Set(s) => s,
+                other => return Err(format!("set add: expected set, found {}", other.sort())),
+            };
+            s.insert(expect_elem_c(eval_c(v, env)?, "set add")?);
+            Value::Set(s)
+        }
+        SetRemove(s, v) => {
+            let mut s = match eval_c(s, env)? {
+                Value::Set(s) => s,
+                other => return Err(format!("set remove: expected set, found {}", other.sort())),
+            };
+            s.remove(&expect_elem_c(eval_c(v, env)?, "set remove")?);
+            Value::Set(s)
+        }
+        Member(v, s) => {
+            let v = expect_elem_c(eval_c(v, env)?, "member")?;
+            match eval_c(s, env)? {
+                Value::Set(s) => Value::Bool(s.contains(&v)),
+                other => return Err(format!("member: expected set, found {}", other.sort())),
+            }
+        }
+        Card(s) => match eval_c(s, env)? {
+            Value::Set(s) => Value::Int(s.len() as i64),
+            other => return Err(format!("card: expected set, found {}", other.sort())),
+        },
+
+        MapPut(m, k, v) => {
+            let mut m = match eval_c(m, env)? {
+                Value::Map(m) => m,
+                other => return Err(format!("map put: expected map, found {}", other.sort())),
+            };
+            let k = expect_elem_c(eval_c(k, env)?, "map put key")?;
+            let v = expect_elem_c(eval_c(v, env)?, "map put value")?;
+            m.insert(k, v);
+            Value::Map(m)
+        }
+        MapRemove(m, k) => {
+            let mut m = match eval_c(m, env)? {
+                Value::Map(m) => m,
+                other => return Err(format!("map remove: expected map, found {}", other.sort())),
+            };
+            let k = expect_elem_c(eval_c(k, env)?, "map remove key")?;
+            m.remove(&k);
+            Value::Map(m)
+        }
+        MapGet(m, k) => {
+            let m = match eval_c(m, env)? {
+                Value::Map(m) => m,
+                other => return Err(format!("map get: expected map, found {}", other.sort())),
+            };
+            let k = expect_elem_c(eval_c(k, env)?, "map get key")?;
+            Value::Elem(m.get(&k).copied().unwrap_or(NULL_ELEM))
+        }
+        MapHasKey(m, k) => {
+            let m = match eval_c(m, env)? {
+                Value::Map(m) => m,
+                other => return Err(format!("map has-key: expected map, found {}", other.sort())),
+            };
+            let k = expect_elem_c(eval_c(k, env)?, "map has-key key")?;
+            Value::Bool(m.contains_key(&k))
+        }
+        MapSize(m) => match eval_c(m, env)? {
+            Value::Map(m) => Value::Int(m.len() as i64),
+            other => return Err(format!("map size: expected map, found {}", other.sort())),
+        },
+
+        SeqInsertAt(s, i, v) => {
+            let mut s = match eval_c(s, env)? {
+                Value::Seq(s) => s,
+                other => {
+                    return Err(format!(
+                        "seq insert-at: expected seq, found {}",
+                        other.sort()
+                    ))
+                }
+            };
+            let i = expect_int_c(eval_c(i, env)?, "seq insert-at index")?;
+            let v = expect_elem_c(eval_c(v, env)?, "seq insert-at value")?;
+            let idx = i.clamp(0, s.len() as i64) as usize;
+            s.insert(idx, v);
+            Value::Seq(s)
+        }
+        SeqRemoveAt(s, i) => {
+            let mut s = match eval_c(s, env)? {
+                Value::Seq(s) => s,
+                other => {
+                    return Err(format!(
+                        "seq remove-at: expected seq, found {}",
+                        other.sort()
+                    ))
+                }
+            };
+            let i = expect_int_c(eval_c(i, env)?, "seq remove-at index")?;
+            if i >= 0 && (i as usize) < s.len() {
+                s.remove(i as usize);
+            }
+            Value::Seq(s)
+        }
+        SeqSetAt(s, i, v) => {
+            let mut s = match eval_c(s, env)? {
+                Value::Seq(s) => s,
+                other => return Err(format!("seq set-at: expected seq, found {}", other.sort())),
+            };
+            let i = expect_int_c(eval_c(i, env)?, "seq set-at index")?;
+            let v = expect_elem_c(eval_c(v, env)?, "seq set-at value")?;
+            if i >= 0 && (i as usize) < s.len() {
+                s[i as usize] = v;
+            }
+            Value::Seq(s)
+        }
+        SeqAt(s, i) => {
+            let s = match eval_c(s, env)? {
+                Value::Seq(s) => s,
+                other => return Err(format!("seq at: expected seq, found {}", other.sort())),
+            };
+            let i = expect_int_c(eval_c(i, env)?, "seq at index")?;
+            let e = if i >= 0 && (i as usize) < s.len() {
+                s[i as usize]
+            } else {
+                NULL_ELEM
+            };
+            Value::Elem(e)
+        }
+        SeqLen(s) => match eval_c(s, env)? {
+            Value::Seq(s) => Value::Int(s.len() as i64),
+            other => return Err(format!("seq len: expected seq, found {}", other.sort())),
+        },
+        SeqIndexOf(s, v) => {
+            let s = match eval_c(s, env)? {
+                Value::Seq(s) => s,
+                other => {
+                    return Err(format!(
+                        "seq index-of: expected seq, found {}",
+                        other.sort()
+                    ))
+                }
+            };
+            let v = expect_elem_c(eval_c(v, env)?, "seq index-of value")?;
+            Value::Int(s.iter().position(|&e| e == v).map_or(-1, |i| i as i64))
+        }
+        SeqLastIndexOf(s, v) => {
+            let s = match eval_c(s, env)? {
+                Value::Seq(s) => s,
+                other => {
+                    return Err(format!(
+                        "seq last-index-of: expected seq, found {}",
+                        other.sort()
+                    ))
+                }
+            };
+            let v = expect_elem_c(eval_c(v, env)?, "seq last-index-of value")?;
+            Value::Int(s.iter().rposition(|&e| e == v).map_or(-1, |i| i as i64))
+        }
+        SeqContains(s, v) => {
+            let s = match eval_c(s, env)? {
+                Value::Seq(s) => s,
+                other => {
+                    return Err(format!(
+                        "seq contains: expected seq, found {}",
+                        other.sort()
+                    ))
+                }
+            };
+            let v = expect_elem_c(eval_c(v, env)?, "seq contains value")?;
+            Value::Bool(s.contains(&v))
+        }
+
+        Quantifier {
+            universal,
+            slot,
+            lo,
+            hi,
+            body,
+        } => {
+            let lo = expect_int_c(eval_c(lo, env)?, "quantifier lower bound")?;
+            let hi = expect_int_c(eval_c(hi, env)?, "quantifier upper bound")?;
+            if hi - lo > MAX_QUANTIFIER_RANGE {
+                return Err(format!(
+                    "quantifier range of width {} is too large to enumerate",
+                    hi - lo
+                ));
+            }
+            let saved = env[*slot as usize].take();
+            let mut result = *universal;
+            let mut error = None;
+            for i in lo..hi {
+                env[*slot as usize] = Some(Value::Int(i));
+                match eval_c(body, env) {
+                    Ok(v) => match expect_bool_c(v, "quantifier body") {
+                        Ok(b) => {
+                            if *universal && !b {
+                                result = false;
+                                break;
+                            }
+                            if !*universal && b {
+                                result = true;
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            error = Some(e);
+                            break;
+                        }
+                    },
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            env[*slot as usize] = saved;
+            if let Some(e) = error {
+                return Err(e);
+            }
+            Value::Bool(result)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::build::*;
+    use semcommute_logic::{eval_bool, ElemId};
+
+    fn check_against_reference(ob: &Obligation, inputs: Vec<(&str, Value)>) {
+        let order: Vec<String> = inputs.iter().map(|(n, _)| n.to_string()).collect();
+        let compiled = CompiledObligation::compile(ob, &order);
+        let mut env = compiled.env();
+        let mut vals: Vec<Value> = inputs.iter().map(|(_, v)| v.clone()).collect();
+        let compiled_cex = compiled.check(&mut vals, &mut env).unwrap().is_some();
+
+        // Reference: evaluate with the tree evaluator.
+        let mut model =
+            Model::from_bindings(inputs.iter().map(|(n, v)| (n.to_string(), v.clone())));
+        for (name, term) in &ob.defines {
+            let v = semcommute_logic::eval(term, &model).unwrap();
+            model.insert(name.clone(), v);
+        }
+        let hyps_hold = ob.hypotheses.iter().all(|h| eval_bool(h, &model).unwrap());
+        let reference_cex = hyps_hold && !eval_bool(&ob.goal, &model).unwrap();
+        assert_eq!(compiled_cex, reference_cex);
+        if compiled_cex {
+            assert_eq!(compiled.reconstruct(&env), model);
+        }
+    }
+
+    #[test]
+    fn compiled_check_agrees_with_reference_evaluator() {
+        let ob = Obligation::new("t")
+            .define("r1", member(var_elem("v1"), var_set("s")))
+            .define("s1", set_add(var_set("s"), var_elem("v2")))
+            .define("r2", member(var_elem("v1"), var_set("s1")))
+            .goal(eq(var_bool("r1"), var_bool("r2")));
+        check_against_reference(
+            &ob,
+            vec![
+                ("v1", Value::elem(1)),
+                ("v2", Value::elem(1)),
+                ("s", Value::set_of([])),
+            ],
+        );
+        check_against_reference(
+            &ob,
+            vec![
+                ("v1", Value::elem(1)),
+                ("v2", Value::elem(2)),
+                ("s", Value::set_of([ElemId(1)])),
+            ],
+        );
+    }
+
+    #[test]
+    fn quantifier_slots_are_scoped() {
+        // exists i in [0, len(q)). q[i] = v — with a nested shadowing binder.
+        let ob = Obligation::new("q").goal(exists_int(
+            "i",
+            int(0),
+            seq_len(var_seq("q")),
+            and2(
+                eq(seq_at(var_seq("q"), var_int("i")), var_elem("v")),
+                forall_int("i", int(0), int(2), le(int(0), var_int("i"))),
+            ),
+        ));
+        check_against_reference(
+            &ob,
+            vec![
+                ("q", Value::seq_of([ElemId(4), ElemId(7)])),
+                ("v", Value::elem(7)),
+            ],
+        );
+        check_against_reference(
+            &ob,
+            vec![("q", Value::seq_of([ElemId(4)])), ("v", Value::elem(7))],
+        );
+    }
+
+    #[test]
+    fn ill_sorted_terms_error() {
+        let ob = Obligation::new("bad").goal(eq(card(var_elem("v")), int(0)));
+        let compiled = CompiledObligation::compile(&ob, &["v".to_string()]);
+        let mut env = compiled.env();
+        let mut vals = vec![Value::elem(1)];
+        assert!(compiled.check(&mut vals, &mut env).is_err());
+    }
+}

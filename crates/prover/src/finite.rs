@@ -1,9 +1,11 @@
 //! The finite-model prover: exhaustive counter-model search over the relevant
 //! universe.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use semcommute_logic::{eval, eval_bool, Model};
+use semcommute_logic::{Model, Value};
 
 use crate::obligation::Obligation;
 use crate::scope::Scope;
@@ -25,20 +27,42 @@ use crate::verdict::Verdict;
 /// sufficient for this to be a complete decision procedure; for the sequence
 /// fragment validity is relative to the sequence-length scope (reported in the
 /// verdict statistics and by the verification driver).
+///
+/// With [`FiniteModelProver::with_threads`] the candidate-model space is
+/// sharded across scoped worker threads: worker `w` of `n` strides through
+/// positions `w, w+n, w+2n, …` of the enumeration (skipped positions cost an
+/// odometer increment, not a model allocation), and an `AtomicBool` stops all
+/// workers as soon as any of them finds a counter-model or an error.
 #[derive(Debug, Clone, Default)]
 pub struct FiniteModelProver {
     scope: Scope,
+    threads: usize,
 }
 
 impl FiniteModelProver {
-    /// Creates a prover with the given scope.
+    /// Creates a (single-threaded) prover with the given scope.
     pub fn new(scope: Scope) -> FiniteModelProver {
-        FiniteModelProver { scope }
+        FiniteModelProver { scope, threads: 1 }
+    }
+
+    /// Returns a copy searching with `threads` worker threads per obligation.
+    ///
+    /// Useful when obligations are proved one at a time; when many
+    /// obligations are already being proved concurrently (the catalog
+    /// driver), per-obligation threads only add oversubscription.
+    pub fn with_threads(mut self, threads: usize) -> FiniteModelProver {
+        self.threads = threads.max(1);
+        self
     }
 
     /// The scope used by this prover.
     pub fn scope(&self) -> &Scope {
         &self.scope
+    }
+
+    /// The number of worker threads used per obligation.
+    pub fn threads(&self) -> usize {
+        self.threads.max(1)
     }
 
     /// Attempts to prove the obligation by exhaustive counter-model search.
@@ -62,18 +86,37 @@ impl FiniteModelProver {
             };
         }
 
+        // The obligation is compiled once per prove: every variable
+        // occurrence becomes a slot index, so the per-candidate loop never
+        // builds a name-keyed model or looks anything up by string.
+        let compiled = crate::compiled::CompiledObligation::compile(ob, &space.var_order());
+
+        // Sharding only pays off when the space is large enough to amortize
+        // thread startup.
+        let threads = if estimate >= 4_096 {
+            self.threads().min(estimate as usize)
+        } else {
+            1
+        };
+        if threads > 1 {
+            return self.prove_sharded(&compiled, &space, threads, start);
+        }
+
+        let mut env = compiled.env();
+        let mut buf = Vec::with_capacity(compiled.input_count());
+        let mut it = space.iter();
         let mut checked: u64 = 0;
-        for input in space.iter() {
+        while it.next_values(&mut buf) {
             checked += 1;
-            match self.check_model(ob, input) {
-                ModelOutcome::NotApplicable | ModelOutcome::GoalHolds => continue,
-                ModelOutcome::Counterexample(full) => {
+            match compiled.check(&mut buf, &mut env) {
+                Ok(None) => continue,
+                Ok(Some(())) => {
                     return Verdict::CounterModel {
-                        model: full,
+                        model: compiled.reconstruct(&env),
                         stats: ProofStats::finite(checked, start.elapsed()),
                     }
                 }
-                ModelOutcome::Error(reason) => {
+                Err(reason) => {
                     return Verdict::Unknown {
                         reason,
                         stats: ProofStats::finite(checked, start.elapsed()),
@@ -86,29 +129,83 @@ impl FiniteModelProver {
         }
     }
 
-    fn check_model(&self, ob: &Obligation, mut model: Model) -> ModelOutcome {
-        // Compute the defined variables in order.
-        for (name, term) in &ob.defines {
-            match eval(term, &model) {
-                Ok(value) => {
-                    model.insert(name.clone(), value);
-                }
-                Err(e) => return ModelOutcome::Error(format!("evaluating `{name}`: {e}")),
-            }
+    /// Counter-model search sharded across `threads` scoped workers.
+    fn prove_sharded(
+        &self,
+        compiled: &crate::compiled::CompiledObligation,
+        space: &InputSpace,
+        threads: usize,
+        start: Instant,
+    ) -> Verdict {
+        /// Worker findings, each tagged with its global enumeration index.
+        /// A counter-model stops the whole search (any counter-model is a
+        /// genuine one, so racing is sound); an evaluation error only stops
+        /// the worker that hit it — stopping everyone could mask a real
+        /// counter-model at a lower index and flip the verdict between runs.
+        /// At the end a counter-model (lowest observed index) takes
+        /// precedence over an error.
+        #[derive(Default)]
+        struct Findings {
+            counterexample: Option<(u64, Model)>,
+            error: Option<(u64, String)>,
         }
-        // Check the hypotheses.
-        for h in &ob.hypotheses {
-            match eval_bool(h, &model) {
-                Ok(true) => {}
-                Ok(false) => return ModelOutcome::NotApplicable,
-                Err(e) => return ModelOutcome::Error(format!("evaluating hypothesis: {e}")),
+        let stop = AtomicBool::new(false);
+        let checked = AtomicU64::new(0);
+        let findings: Mutex<Findings> = Mutex::new(Findings::default());
+
+        std::thread::scope(|scope| {
+            for worker in 0..threads {
+                let (stop, checked, findings) = (&stop, &checked, &findings);
+                scope.spawn(move || {
+                    let mut it = space.iter();
+                    it.skip_positions(worker);
+                    let mut env = compiled.env();
+                    let mut buf = Vec::with_capacity(compiled.input_count());
+                    let mut index = worker as u64;
+                    let mut local_checked = 0u64;
+                    while it.next_values(&mut buf) {
+                        local_checked += 1;
+                        match compiled.check(&mut buf, &mut env) {
+                            Ok(None) => {}
+                            Ok(Some(())) => {
+                                let model = compiled.reconstruct(&env);
+                                let mut f = findings.lock().unwrap_or_else(|p| p.into_inner());
+                                match &f.counterexample {
+                                    Some((existing, _)) if *existing <= index => {}
+                                    _ => f.counterexample = Some((index, model)),
+                                }
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            Err(reason) => {
+                                let mut f = findings.lock().unwrap_or_else(|p| p.into_inner());
+                                match &f.error {
+                                    Some((existing, _)) if *existing <= index => {}
+                                    _ => f.error = Some((index, reason)),
+                                }
+                                break;
+                            }
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        it.skip_positions(threads - 1);
+                        index += threads as u64;
+                    }
+                    checked.fetch_add(local_checked, Ordering::Relaxed);
+                });
             }
-        }
-        // Check the goal.
-        match eval_bool(&ob.goal, &model) {
-            Ok(true) => ModelOutcome::GoalHolds,
-            Ok(false) => ModelOutcome::Counterexample(model),
-            Err(e) => ModelOutcome::Error(format!("evaluating goal: {e}")),
+        });
+
+        let checked = checked.load(Ordering::Relaxed);
+        let stats = ProofStats::finite(checked, start.elapsed());
+        let findings = findings.into_inner().unwrap_or_else(|p| p.into_inner());
+        if let Some((_, model)) = findings.counterexample {
+            Verdict::CounterModel { model, stats }
+        } else if let Some((_, reason)) = findings.error {
+            Verdict::Unknown { reason, stats }
+        } else {
+            Verdict::Valid { stats }
         }
     }
 
@@ -116,8 +213,15 @@ impl FiniteModelProver {
     /// `Some(full_model)` when the model is a counterexample. Used by tests
     /// and by the runtime crate to replay reported counterexamples.
     pub fn replay(&self, ob: &Obligation, input: &Model) -> Option<Model> {
-        match self.check_model(ob, input.clone()) {
-            ModelOutcome::Counterexample(m) => Some(m),
+        let order: Vec<String> = ob.input_vars().keys().cloned().collect();
+        let compiled = crate::compiled::CompiledObligation::compile(ob, &order);
+        let mut env = compiled.env();
+        let mut buf: Vec<Value> = order
+            .iter()
+            .map(|name| input.get(name).cloned())
+            .collect::<Option<_>>()?;
+        match compiled.check(&mut buf, &mut env) {
+            Ok(Some(())) => Some(compiled.reconstruct(&env)),
             _ => None,
         }
     }
@@ -132,17 +236,6 @@ impl FiniteModelProver {
                 .map(|(name, value)| (name.to_string(), value.clone())),
         )
     }
-}
-
-enum ModelOutcome {
-    /// A hypothesis was violated; the model is irrelevant.
-    NotApplicable,
-    /// Hypotheses and goal all hold.
-    GoalHolds,
-    /// Hypotheses hold but the goal fails: a counterexample.
-    Counterexample(Model),
-    /// Evaluation failed (ill-sorted term or unbounded variable).
-    Error(String),
 }
 
 /// Convenience: prove an obligation with [`Scope::standard`].
@@ -235,8 +328,7 @@ mod tests {
             max_models: 1,
             ..Scope::small()
         };
-        let ob = Obligation::new("budget")
-            .goal(eq(var_set("s"), var_set("t")));
+        let ob = Obligation::new("budget").goal(eq(var_set("s"), var_set("t")));
         let verdict = FiniteModelProver::new(tiny).prove(&ob);
         assert!(verdict.is_unknown());
     }
@@ -266,6 +358,39 @@ mod tests {
         assert!(inputs.contains("v") && inputs.contains("s") && !inputs.contains("r"));
         let replayed = p.replay(&ob, &inputs).expect("still a counterexample");
         assert_eq!(replayed.get("r"), Some(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn sharded_search_agrees_with_sequential() {
+        // A valid obligation over a space large enough to trigger sharding:
+        // both provers must enumerate the whole space and agree on the count.
+        let ob = Obligation::new("sharded_valid")
+            .define("r1", member(var_elem("v1"), var_set("s")))
+            .define("s1", set_add(var_set("s"), var_elem("v2")))
+            .define("r2", member(var_elem("v1"), var_set("s1")))
+            .assume(not(eq(var_elem("v1"), var_elem("v2"))))
+            .goal(eq(var_bool("r1"), var_bool("r2")));
+        let sequential = FiniteModelProver::new(Scope::standard()).prove(&ob);
+        let sharded = FiniteModelProver::new(Scope::standard())
+            .with_threads(4)
+            .prove(&ob);
+        assert!(sequential.is_valid() && sharded.is_valid());
+        assert_eq!(
+            sequential.stats().models_checked,
+            sharded.stats().models_checked,
+            "a valid obligation must enumerate the full space in both modes"
+        );
+
+        // An invalid obligation: the sharded prover must still produce a real
+        // counterexample (early exit makes the counts differ).
+        let bogus = Obligation::new("sharded_bogus")
+            .define("r", member(var_elem("v"), var_set("s")))
+            .goal(var_bool("r"));
+        let verdict = FiniteModelProver::new(Scope::standard())
+            .with_threads(4)
+            .prove(&bogus);
+        let model = verdict.counter_model().expect("counterexample expected");
+        assert!(!semcommute_logic::eval_bool(&member(var_elem("v"), var_set("s")), model).unwrap());
     }
 
     #[test]

@@ -278,9 +278,7 @@ mod tests {
     #[test]
     fn witness_name_clash_is_rejected() {
         let existential = exists_int("i", int(0), int(3), eq(var_int("i"), var_int("x")));
-        let ob = Obligation::new("t")
-            .assume(existential.clone())
-            .goal(tru());
+        let ob = Obligation::new("t").assume(existential.clone()).goal(tru());
         let err = apply_hints(
             &ob,
             &[Hint::PickWitness {

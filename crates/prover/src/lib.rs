@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod finite;
 pub mod hints;
 pub mod obligation;
@@ -56,8 +57,8 @@ pub use finite::FiniteModelProver;
 pub use hints::{apply_hints, Hint};
 pub use obligation::Obligation;
 pub use portfolio::Portfolio;
-pub use stats::ProverChoice;
 pub use scope::Scope;
 pub use space::InputSpace;
 pub use stats::ProofStats;
+pub use stats::ProverChoice;
 pub use verdict::Verdict;

@@ -1,8 +1,23 @@
-//! The prover portfolio: structural prover first, finite-model prover second.
+//! The prover portfolio: structural prover first, finite-model prover second,
+//! with an obligation dedup cache in front of both.
 //!
 //! This mirrors the paper's "integrated reasoning" architecture, in which an
 //! obligation is dispatched to a collection of cooperating reasoning systems
 //! and the first conclusive answer wins.
+//!
+//! The catalog's generated testing methods produce many obligations that are
+//! canonically identical (the same formula modulo already-performed
+//! simplification). The portfolio therefore keys every verdict by the
+//! 128-bit structural hash of the *simplified* obligation (definitions,
+//! hypotheses, goal) and answers repeats from the cache. The cache is shared
+//! between clones of the portfolio — the verification driver clones one
+//! portfolio per worker thread, so a verdict computed on any thread is
+//! reused by all of them.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use semcommute_logic::with_arena;
 
 use crate::finite::FiniteModelProver;
 use crate::hints::{apply_hints, Hint, HintError};
@@ -20,6 +35,9 @@ pub struct Portfolio {
     scope: Scope,
     use_structural: bool,
     use_finite: bool,
+    prover_threads: usize,
+    /// Canonical obligation hash → verdict, shared across clones.
+    cache: Arc<Mutex<HashMap<u128, Verdict>>>,
 }
 
 impl Default for Portfolio {
@@ -35,6 +53,8 @@ impl Portfolio {
             scope,
             use_structural: true,
             use_finite: true,
+            prover_threads: 1,
+            cache: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 
@@ -51,6 +71,7 @@ impl Portfolio {
     /// Disables the structural prover (used by the prover-ablation benchmark).
     pub fn without_structural(mut self) -> Portfolio {
         self.use_structural = false;
+        self.cache = Arc::new(Mutex::new(HashMap::new()));
         self
     }
 
@@ -58,6 +79,7 @@ impl Portfolio {
     /// will come back `Unknown`).
     pub fn without_finite(mut self) -> Portfolio {
         self.use_finite = false;
+        self.cache = Arc::new(Mutex::new(HashMap::new()));
         self
     }
 
@@ -66,29 +88,101 @@ impl Portfolio {
         &self.scope
     }
 
-    /// Replaces the scope.
+    /// Replaces the scope (verdicts cached under the old scope are dropped).
     pub fn with_scope(mut self, scope: Scope) -> Portfolio {
         self.scope = scope;
+        self.cache = Arc::new(Mutex::new(HashMap::new()));
         self
     }
 
+    /// Sets the number of worker threads the finite-model back-end uses per
+    /// obligation (see [`FiniteModelProver::with_threads`]).
+    pub fn with_prover_threads(mut self, threads: usize) -> Portfolio {
+        self.prover_threads = threads.max(1);
+        self
+    }
+
+    /// Number of verdicts currently held by the dedup cache.
+    pub fn cached_verdicts(&self) -> usize {
+        self.cache.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// The canonical cache key of an obligation: a structural hash of its
+    /// simplified definitions, hypotheses, and goal. Stable across threads
+    /// (the hash does not depend on arena ids; defined-variable names reuse
+    /// the arena's cached symbol hashes).
+    fn canonical_key(&self, ob: &Obligation) -> u128 {
+        fn mix(h: u128, x: u128) -> u128 {
+            (h ^ x).wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013B) ^ (h >> 61)
+        }
+        with_arena(|arena| {
+            let mut key: u128 = 0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C834;
+            for (name, term) in &ob.defines {
+                let id = arena.intern(term);
+                let simplified = arena.simplify_id(id);
+                let name_sym = arena.sym(name);
+                key = mix(key, arena.sym_hash(name_sym));
+                key = mix(key, arena.structural_hash(simplified));
+            }
+            for h in &ob.hypotheses {
+                let id = arena.intern(h);
+                let simplified = arena.simplify_id(id);
+                key = mix(key, arena.structural_hash(simplified));
+            }
+            let goal = arena.intern(&ob.goal);
+            let goal_simplified = arena.simplify_id(goal);
+            mix(key, arena.structural_hash(goal_simplified))
+        })
+    }
+
     /// Attempts to prove an obligation.
+    ///
+    /// Canonically identical obligations are answered from the shared dedup
+    /// cache; the cached verdict is returned with zeroed work counters and
+    /// `cache_hits = 1` so accumulated statistics stay meaningful.
     pub fn prove(&self, ob: &Obligation) -> Verdict {
+        let key = self.canonical_key(ob);
+        {
+            let cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(verdict) = cache.get(&key) {
+                let mut hit = verdict.clone();
+                *hit.stats_mut() = ProofStats {
+                    models_checked: 0,
+                    elapsed: std::time::Duration::ZERO,
+                    prover: hit.stats().prover,
+                    cache_hits: 1,
+                };
+                return hit;
+            }
+        }
+        let verdict = self.prove_uncached(ob);
+        self.cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(key, verdict.clone());
+        verdict
+    }
+
+    fn prove_uncached(&self, ob: &Obligation) -> Verdict {
         if self.use_structural {
             if let Some(stats) = prove_structural(ob) {
                 return Verdict::Valid { stats };
             }
         }
         if self.use_finite {
-            FiniteModelProver::new(self.scope.clone()).prove(ob)
+            FiniteModelProver::new(self.scope.clone())
+                .with_threads(self.prover_threads)
+                .prove(ob)
         } else {
             Verdict::Unknown {
-                reason: "structural prover could not decide and the finite-model prover is disabled"
-                    .to_string(),
+                reason:
+                    "structural prover could not decide and the finite-model prover is disabled"
+                        .to_string(),
                 stats: ProofStats {
                     models_checked: 0,
                     elapsed: std::time::Duration::ZERO,
                     prover: ProverChoice::Structural,
+                    cache_hits: 0,
                 },
             }
         }
@@ -199,5 +293,35 @@ mod tests {
         let p = Portfolio::small().with_scope(Scope::small().with_max_models(1));
         let ob = Obligation::new("budget").goal(eq(var_map("m"), var_map("n")));
         assert!(p.prove(&ob).is_unknown());
+    }
+
+    #[test]
+    fn canonically_identical_obligations_hit_the_cache() {
+        let p = Portfolio::small();
+        let first = p.prove(&add_add_obligation());
+        assert!(first.is_valid());
+        assert_eq!(first.stats().cache_hits, 0);
+        // Same obligation under a different name: same canonical form.
+        let mut renamed = add_add_obligation();
+        renamed.name = "another_name".to_string();
+        let second = p.prove(&renamed);
+        assert!(second.is_valid());
+        assert_eq!(second.stats().cache_hits, 1);
+        assert_eq!(second.stats().models_checked, 0);
+        assert_eq!(p.cached_verdicts(), 1);
+        // Clones share the cache.
+        let clone = p.clone();
+        let third = clone.prove(&add_add_obligation());
+        assert_eq!(third.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_different_obligations() {
+        let p = Portfolio::small();
+        let valid = p.prove(&add_add_obligation());
+        let bogus = p.prove(&Obligation::new("bogus").goal(member(var_elem("v"), var_set("s"))));
+        assert!(valid.is_valid());
+        assert!(bogus.is_counterexample());
+        assert_eq!(p.cached_verdicts(), 2);
     }
 }

@@ -68,6 +68,17 @@ impl InputSpace {
         &self.other_vars
     }
 
+    /// The enumeration order of all input variables: element variables first,
+    /// then the rest — the order in which [`SpaceIter::next_values`] emits
+    /// values, and the slot order the compiled prover path binds them to.
+    pub fn var_order(&self) -> Vec<String> {
+        self.elem_vars
+            .iter()
+            .cloned()
+            .chain(self.other_vars.iter().map(|(n, _)| n.clone()))
+            .collect()
+    }
+
     /// All element-variable partition patterns: for each variable, either
     /// `null` or an equivalence-class representative. Patterns are generated
     /// as restricted-growth strings so that isomorphic assignments appear
@@ -228,7 +239,55 @@ impl<'a> SpaceIter<'a> {
             exhausted_current: true,
         };
         it.load_current();
+        it.settle();
         it
+    }
+
+    fn done(&self) -> bool {
+        self.elem_index >= self.elem_assignments.len()
+    }
+
+    /// Skips past element assignments for which some variable has no
+    /// candidate values (cannot happen with the current sorts, but handled
+    /// defensively), so that `current_model` is valid whenever `!done()`.
+    fn settle(&mut self) {
+        while !self.done() && self.exhausted_current {
+            self.elem_index += 1;
+            self.load_current();
+        }
+    }
+
+    /// Moves to the next candidate position without building a model. The
+    /// parallel prover uses this to stride its shard through the space:
+    /// skipping a position costs an odometer increment instead of a full
+    /// `Model` allocation.
+    pub fn skip_positions(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.done() {
+                return;
+            }
+            self.advance();
+        }
+    }
+
+    /// Writes the current candidate's values into `buf` in
+    /// [`InputSpace::var_order`] order and advances; returns `false` when the
+    /// space is exhausted. This is the allocation-lean counterpart of
+    /// `next()` used by the prover's compiled evaluation path: no names, no
+    /// `Model` map — just the values.
+    pub fn next_values(&mut self, buf: &mut Vec<Value>) -> bool {
+        if self.done() {
+            return false;
+        }
+        buf.clear();
+        for v in &self.elem_assignments[self.elem_index] {
+            buf.push(Value::Elem(*v));
+        }
+        for (cands, &pos) in self.candidates.iter().zip(&self.positions) {
+            buf.push(cands[pos].clone());
+        }
+        self.advance();
+        true
     }
 
     fn load_current(&mut self) {
@@ -264,8 +323,8 @@ impl<'a> SpaceIter<'a> {
     }
 
     fn advance(&mut self) {
-        // Advance the odometer; on overflow move to the next element
-        // assignment.
+        // Advance the odometer; on overflow (or when there is no odometer at
+        // all) move to the next element assignment.
         for i in (0..self.positions.len()).rev() {
             self.positions[i] += 1;
             if self.positions[i] < self.candidates[i].len() {
@@ -275,6 +334,7 @@ impl<'a> SpaceIter<'a> {
         }
         self.elem_index += 1;
         self.load_current();
+        self.settle();
     }
 }
 
@@ -282,29 +342,12 @@ impl Iterator for SpaceIter<'_> {
     type Item = Model;
 
     fn next(&mut self) -> Option<Model> {
-        loop {
-            if self.elem_index >= self.elem_assignments.len() {
-                return None;
-            }
-            if self.exhausted_current {
-                // A variable had no candidates (cannot happen with the current
-                // sorts, but handled defensively).
-                self.elem_index += 1;
-                self.load_current();
-                continue;
-            }
-            let model = self.current_model();
-            // `advance` either moves the odometer or loads the next element
-            // assignment; when the odometer has a single state (no other
-            // vars), it must still move on.
-            if self.positions.is_empty() {
-                self.elem_index += 1;
-                self.load_current();
-            } else {
-                self.advance();
-            }
-            return Some(model);
+        if self.done() {
+            return None;
         }
+        let model = self.current_model();
+        self.advance();
+        Some(model)
     }
 }
 
@@ -335,13 +378,16 @@ mod tests {
     #[test]
     fn elem_vars_are_symmetry_reduced() {
         // Two element variables: null/null, null/c1, c1/null, c1=c1, c1!=c2.
-        let space = InputSpace::new(&vars(&[("a", Sort::Elem), ("b", Sort::Elem)]), Scope::small());
+        let space = InputSpace::new(
+            &vars(&[("a", Sort::Elem), ("b", Sort::Elem)]),
+            Scope::small(),
+        );
         let models: Vec<Model> = space.iter().collect();
         assert_eq!(models.len(), 5);
         // At least one model has a == b != null and one has a != b.
-        let same = models.iter().any(|m| {
-            m.get("a") == m.get("b") && m.get("a").unwrap().as_elem() != Some(NULL_ELEM)
-        });
+        let same = models
+            .iter()
+            .any(|m| m.get("a") == m.get("b") && m.get("a").unwrap().as_elem() != Some(NULL_ELEM));
         let diff = models.iter().any(|m| {
             m.get("a") != m.get("b")
                 && m.get("a").unwrap().as_elem() != Some(NULL_ELEM)

@@ -40,6 +40,9 @@ pub struct ProofStats {
     pub elapsed: Duration,
     /// Which back-end produced the verdict.
     pub prover: ProverChoice,
+    /// Number of obligations answered from the portfolio's dedup cache
+    /// (a previously proved obligation with the same canonical form).
+    pub cache_hits: u64,
 }
 
 impl ProofStats {
@@ -49,6 +52,7 @@ impl ProofStats {
             models_checked: 0,
             elapsed,
             prover: ProverChoice::Structural,
+            cache_hits: 0,
         }
     }
 
@@ -58,6 +62,7 @@ impl ProofStats {
             models_checked,
             elapsed,
             prover: ProverChoice::FiniteModel,
+            cache_hits: 0,
         }
     }
 
@@ -67,6 +72,7 @@ impl ProofStats {
             models_checked: 0,
             elapsed: Duration::ZERO,
             prover: ProverChoice::None,
+            cache_hits: 0,
         }
     }
 
@@ -75,6 +81,7 @@ impl ProofStats {
     pub fn merge(&mut self, other: &ProofStats) {
         self.models_checked += other.models_checked;
         self.elapsed += other.elapsed;
+        self.cache_hits += other.cache_hits;
         if other.prover > self.prover {
             self.prover = other.prover;
         }
@@ -105,7 +112,10 @@ mod tests {
 
     #[test]
     fn constructors_set_prover() {
-        assert_eq!(ProofStats::structural(Duration::ZERO).prover, ProverChoice::Structural);
+        assert_eq!(
+            ProofStats::structural(Duration::ZERO).prover,
+            ProverChoice::Structural
+        );
         assert_eq!(ProofStats::finite(5, Duration::ZERO).models_checked, 5);
         assert_eq!(ProofStats::none().prover, ProverChoice::None);
         assert_eq!(ProofStats::default(), ProofStats::none());

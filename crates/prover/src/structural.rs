@@ -16,10 +16,11 @@
 //! The structural prover is sound but deliberately incomplete; anything it
 //! cannot discharge falls through to the finite-model prover.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
-use semcommute_logic::{build, simplify, substitute, Term};
+use semcommute_logic::arena::{Sym, TermId};
+use semcommute_logic::{build, substitute, with_arena, Term};
 
 use crate::obligation::Obligation;
 use crate::stats::ProofStats;
@@ -28,10 +29,38 @@ use crate::stats::ProofStats;
 ///
 /// Returns `Some(stats)` if the obligation was proved, `None` if this prover
 /// cannot decide it (which says nothing about validity).
+///
+/// The whole pipeline — inlining the definitions, normalizing set-update
+/// runs, building the implication, simplifying — runs on the calling
+/// thread's hash-consed term arena without ever reconstructing boxed trees,
+/// so the repetitive obligations of a catalog run share all of their
+/// rewriting work.
 pub fn prove_structural(ob: &Obligation) -> Option<ProofStats> {
     let start = Instant::now();
-    let formula = inline_and_normalize(ob);
-    if simplify(&formula).is_true() {
+    let proved = with_arena(|arena| {
+        let mut inlined: HashMap<Sym, TermId> = HashMap::new();
+        for (name, term) in &ob.defines {
+            let id = arena.intern(term);
+            let substituted = arena.substitute_id(id, &inlined);
+            let expanded = arena.normalize_sets_id(substituted);
+            let sym = arena.sym(name);
+            inlined.insert(sym, expanded);
+        }
+        let mut hyps = Vec::with_capacity(ob.hypotheses.len());
+        for h in &ob.hypotheses {
+            let id = arena.intern(h);
+            let substituted = arena.substitute_id(id, &inlined);
+            hyps.push(arena.normalize_sets_id(substituted));
+        }
+        let goal_id = arena.intern(&ob.goal);
+        let goal_sub = arena.substitute_id(goal_id, &inlined);
+        let goal = arena.normalize_sets_id(goal_sub);
+        let hyp = arena.and_ids(hyps);
+        let formula = arena.implies_ids(hyp, goal);
+        let simplified = arena.simplify_id(formula);
+        arena.is_true_id(simplified)
+    });
+    if proved {
         Some(ProofStats::structural(start.elapsed()))
     } else {
         None
@@ -64,7 +93,7 @@ pub fn inline_and_normalize(ob: &Obligation) -> Term {
 /// for runs of removals. Runs are *not* merged across an add/remove boundary
 /// (removal of an element does not commute with its own insertion).
 pub fn normalize(term: &Term) -> Term {
-    let t = term.map_children(|c| normalize(c));
+    let t = term.map_children(normalize);
     match t {
         Term::SetAdd(_, _) => sort_run(t, RunKind::Add),
         Term::SetRemove(_, _) => sort_run(t, RunKind::Remove),
@@ -118,8 +147,14 @@ mod tests {
     fn add_add_commutativity_is_structural() {
         // s1 = (s Un {v1}) Un {v2},  s2 = (s Un {v2}) Un {v1},  goal s1 = s2
         let ob = Obligation::new("add_add")
-            .define("s1", set_add(set_add(var_set("s"), var_elem("v1")), var_elem("v2")))
-            .define("s2", set_add(set_add(var_set("s"), var_elem("v2")), var_elem("v1")))
+            .define(
+                "s1",
+                set_add(set_add(var_set("s"), var_elem("v1")), var_elem("v2")),
+            )
+            .define(
+                "s2",
+                set_add(set_add(var_set("s"), var_elem("v2")), var_elem("v1")),
+            )
             .goal(eq(var_set("s1"), var_set("s2")));
         assert!(prove_structural(&ob).is_some());
     }
@@ -193,7 +228,10 @@ mod tests {
         let ob = Obligation::new("chain")
             .define("a", set_add(var_set("s"), var_elem("v")))
             .define("b", set_add(var_set("a"), var_elem("w")))
-            .define("c", set_add(set_add(var_set("s"), var_elem("w")), var_elem("v")))
+            .define(
+                "c",
+                set_add(set_add(var_set("s"), var_elem("w")), var_elem("v")),
+            )
             .goal(eq(var_set("b"), var_set("c")));
         assert!(prove_structural(&ob).is_some());
     }

@@ -14,12 +14,18 @@ fn goal() -> impl Strategy<Value = Term> {
     prop_oneof![
         // valid
         Just(member(var_elem("a"), set_add(var_set("s"), var_elem("a")))),
-        Just(not(member(var_elem("a"), set_remove(var_set("s"), var_elem("a"))))),
+        Just(not(member(
+            var_elem("a"),
+            set_remove(var_set("s"), var_elem("a"))
+        ))),
         Just(eq(
             set_add(set_add(var_set("s"), var_elem("a")), var_elem("b")),
             set_add(set_add(var_set("s"), var_elem("b")), var_elem("a"))
         )),
-        Just(le(card(set_remove(var_set("s"), var_elem("a"))), card(var_set("s")))),
+        Just(le(
+            card(set_remove(var_set("s"), var_elem("a"))),
+            card(var_set("s"))
+        )),
         Just(implies(
             member(var_elem("a"), var_set("s")),
             gt(card(var_set("s")), int(0))

@@ -332,8 +332,10 @@ mod tests {
         assert!(matches!(attempt, Err(TxnError::RetriesExhausted)));
         // …but succeeds once t1 commits.
         t1.commit();
-        rt.run(3, |txn| txn.execute("remove", &[Value::elem(1)]).map(|_| ()))
-            .unwrap();
+        rt.run(3, |txn| {
+            txn.execute("remove", &[Value::elem(1)]).map(|_| ())
+        })
+        .unwrap();
         assert_eq!(rt.snapshot(), AbstractState::Set(Default::default()));
     }
 
@@ -349,8 +351,8 @@ mod tests {
                     for i in 0..per_thread {
                         let element = Value::elem(t * per_thread + i + 1);
                         rt.run(16, |txn| {
-                            txn.execute("add", &[element.clone()])?;
-                            txn.execute("contains", &[element.clone()])
+                            txn.execute("add", std::slice::from_ref(&element))?;
+                            txn.execute("contains", std::slice::from_ref(&element))
                         })
                         .unwrap();
                     }
@@ -389,9 +391,11 @@ mod tests {
         let rt = SpeculativeRuntime::new(AnyStructure::by_name("HashTable").unwrap());
         let mut t1 = rt.begin();
         let mut t2 = rt.begin();
-        t1.execute("put", &[Value::elem(1), Value::elem(10)]).unwrap();
+        t1.execute("put", &[Value::elem(1), Value::elem(10)])
+            .unwrap();
         // Different key: fine.
-        t2.execute("put", &[Value::elem(2), Value::elem(20)]).unwrap();
+        t2.execute("put", &[Value::elem(2), Value::elem(20)])
+            .unwrap();
         // Same key: conflict.
         assert!(matches!(
             t2.execute("get", &[Value::elem(1)]),

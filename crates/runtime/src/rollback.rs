@@ -229,7 +229,14 @@ mod tests {
 
     #[test]
     fn snapshot_rollback_round_trips_every_structure() {
-        for name in ["HashSet", "ListSet", "HashTable", "AssociationList", "ArrayList", "Accumulator"] {
+        for name in [
+            "HashSet",
+            "ListSet",
+            "HashTable",
+            "AssociationList",
+            "ArrayList",
+            "Accumulator",
+        ] {
             let mut s = AnyStructure::by_name(name).unwrap();
             match s.interface() {
                 InterfaceId::Set => {

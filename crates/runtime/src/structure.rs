@@ -85,9 +85,19 @@ fn int_arg(op: &str, args: &[Value], index: usize) -> Result<i64, DispatchError>
     }
 }
 
-fn index_arg(op: &str, args: &[Value], index: usize, len: usize, inclusive: bool) -> Result<usize, DispatchError> {
+fn index_arg(
+    op: &str,
+    args: &[Value],
+    index: usize,
+    len: usize,
+    inclusive: bool,
+) -> Result<usize, DispatchError> {
     let raw = int_arg(op, args, index)?;
-    let bound = if inclusive { len as i64 } else { len as i64 - 1 };
+    let bound = if inclusive {
+        len as i64
+    } else {
+        len as i64 - 1
+    };
     if raw < 0 || raw > bound {
         return Err(DispatchError::BadArgument {
             op: op.to_string(),
@@ -287,6 +297,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::type_complexity)]
     fn dispatch_matches_abstract_semantics() {
         // Drive each structure through a short trace and check the return
         // values and abstraction against the executable specification.
@@ -339,7 +350,11 @@ mod tests {
                 let (next, expected) = apply_op(&iface, &abstract_state, op, &args).unwrap();
                 assert_eq!(got, expected, "{name}.{op} return value");
                 abstract_state = next;
-                assert_eq!(concrete.abstract_state(), abstract_state, "{name}.{op} state");
+                assert_eq!(
+                    concrete.abstract_state(),
+                    abstract_state,
+                    "{name}.{op} state"
+                );
                 assert!(concrete.check_invariants().is_ok());
             }
         }

@@ -101,17 +101,17 @@ pub fn apply_op(
         return Err(ExecError::StateSortMismatch);
     }
     let model = op_model(op, state, args);
-    let pre = eval_bool(&op.precondition, &model)
-        .map_err(|e| ExecError::Evaluation(e.to_string()))?;
+    let pre =
+        eval_bool(&op.precondition, &model).map_err(|e| ExecError::Evaluation(e.to_string()))?;
     if !pre {
         return Err(ExecError::PreconditionViolated {
             op: op_name.to_string(),
             precondition: op.precondition.to_string(),
         });
     }
-    let post_value = eval(&op.post_state, &model).map_err(|e| ExecError::Evaluation(e.to_string()))?;
-    let new_state =
-        AbstractState::from_value(&post_value).ok_or(ExecError::StateSortMismatch)?;
+    let post_value =
+        eval(&op.post_state, &model).map_err(|e| ExecError::Evaluation(e.to_string()))?;
+    let new_state = AbstractState::from_value(&post_value).ok_or(ExecError::StateSortMismatch)?;
     let result = match &op.result {
         Some(r) => Some(eval(r, &model).map_err(|e| ExecError::Evaluation(e.to_string()))?),
         None => None,

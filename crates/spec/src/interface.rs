@@ -152,7 +152,11 @@ impl OpSpec {
         self.result_sort.is_some()
     }
 
-    fn instantiation(&self, state: &Term, args: &[Term]) -> std::collections::BTreeMap<String, Term> {
+    fn instantiation(
+        &self,
+        state: &Term,
+        args: &[Term],
+    ) -> std::collections::BTreeMap<String, Term> {
         assert_eq!(
             args.len(),
             self.params.len(),

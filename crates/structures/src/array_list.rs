@@ -69,7 +69,9 @@ impl ArrayList {
 
     /// Iterates over the elements in index order.
     pub fn iter(&self) -> impl Iterator<Item = ElemId> + '_ {
-        self.slots[..self.len].iter().map(|s| s.expect("populated prefix"))
+        self.slots[..self.len]
+            .iter()
+            .map(|s| s.expect("populated prefix"))
     }
 
     fn ensure_capacity(&mut self, needed: usize) {
@@ -92,7 +94,11 @@ impl Default for ArrayList {
 impl ListInterface for ArrayList {
     fn add_at(&mut self, i: usize, v: ElemId) {
         require_non_null(v, "element");
-        assert!(i <= self.len, "index {i} out of bounds for add_at (len {})", self.len);
+        assert!(
+            i <= self.len,
+            "index {i} out of bounds for add_at (len {})",
+            self.len
+        );
         self.ensure_capacity(self.len + 1);
         // Shift the suffix up by one position, from the top down.
         let mut j = self.len;
@@ -164,11 +170,10 @@ impl Abstraction for ArrayList {
         }
         for (i, slot) in self.slots.iter().enumerate() {
             match slot {
-                Some(e) if i < self.len => {
-                    if e.is_null() {
-                        return Err(format!("slot {i} stores the null element"));
-                    }
+                Some(e) if i < self.len && e.is_null() => {
+                    return Err(format!("slot {i} stores the null element"));
                 }
+                Some(_) if i < self.len => {}
                 None if i < self.len => {
                     return Err(format!("slot {i} inside the populated prefix is vacant"))
                 }
@@ -203,7 +208,10 @@ mod tests {
     fn add_at_inserts_and_shifts() {
         let mut l = list_of(&[1, 2, 3]);
         l.add_at(1, ElemId(9));
-        assert_eq!(l.iter().collect::<Vec<_>>(), vec![ElemId(1), ElemId(9), ElemId(2), ElemId(3)]);
+        assert_eq!(
+            l.iter().collect::<Vec<_>>(),
+            vec![ElemId(1), ElemId(9), ElemId(2), ElemId(3)]
+        );
         l.add_at(4, ElemId(7));
         assert_eq!(l.get(4), ElemId(7));
         assert_eq!(l.size(), 5);
@@ -214,7 +222,10 @@ mod tests {
     fn remove_at_returns_and_shifts() {
         let mut l = list_of(&[1, 2, 3, 4]);
         assert_eq!(l.remove_at(1), ElemId(2));
-        assert_eq!(l.iter().collect::<Vec<_>>(), vec![ElemId(1), ElemId(3), ElemId(4)]);
+        assert_eq!(
+            l.iter().collect::<Vec<_>>(),
+            vec![ElemId(1), ElemId(3), ElemId(4)]
+        );
         assert_eq!(l.remove_at(2), ElemId(4));
         assert_eq!(l.size(), 2);
         assert!(l.check_invariants().is_ok());

@@ -199,10 +199,7 @@ mod tests {
         let b: AssociationList = [(ElemId(2), ElemId(20)), (ElemId(1), ElemId(10))]
             .into_iter()
             .collect();
-        assert_ne!(
-            a.iter().collect::<Vec<_>>(),
-            b.iter().collect::<Vec<_>>()
-        );
+        assert_ne!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
         assert_eq!(a.abstract_state(), b.abstract_state());
     }
 

@@ -16,9 +16,7 @@
 //! with randomly generated traces.
 
 use semcommute_logic::{ElemId, Value};
-use semcommute_spec::{
-    apply_op, list_interface, map_interface, set_interface, AbstractState,
-};
+use semcommute_spec::{apply_op, list_interface, map_interface, set_interface, AbstractState};
 
 use crate::traits::{Abstraction, ListInterface, MapInterface, SetInterface};
 
@@ -201,7 +199,12 @@ pub fn run_map_trace<M: MapInterface>(concrete: &mut M, trace: &[MapOp]) -> Resu
                     &[Value::Elem(elem(k))],
                 )
                 .map_err(|e| format!("step {step}: {e}"))?;
-                check_result(step, "containsKey", &got, &expected.expect("containsKey returns"))?;
+                check_result(
+                    step,
+                    "containsKey",
+                    &got,
+                    &expected.expect("containsKey returns"),
+                )?;
             }
             MapOp::Size => {
                 let got = Value::Int(concrete.size() as i64);
@@ -270,7 +273,12 @@ pub fn run_list_trace<L: ListInterface>(concrete: &mut L, trace: &[ListOp]) -> R
                     &[Value::Elem(elem(v))],
                 )
                 .map_err(|e| format!("step {step}: {e}"))?;
-                check_result(step, "lastIndexOf", &got, &expected.expect("lastIndexOf returns"))?;
+                check_result(
+                    step,
+                    "lastIndexOf",
+                    &got,
+                    &expected.expect("lastIndexOf returns"),
+                )?;
             }
             ListOp::RemoveAt(i) => {
                 if len == 0 {
@@ -368,7 +376,12 @@ mod tests {
 
     #[test]
     fn trace_on_empty_list_skips_unsatisfiable_operations() {
-        let trace = [ListOp::Get(0), ListOp::RemoveAt(0), ListOp::Set(0, 1), ListOp::Size];
+        let trace = [
+            ListOp::Get(0),
+            ListOp::RemoveAt(0),
+            ListOp::Set(0, 1),
+            ListOp::Size,
+        ];
         run_list_trace(&mut ArrayList::new(), &trace).unwrap();
     }
 
@@ -405,8 +418,8 @@ mod tests {
                 self.0.len()
             }
         }
-        let err = run_set_trace(&mut BrokenSet::default(), &[SetOp::Add(1), SetOp::Add(1)])
-            .unwrap_err();
+        let err =
+            run_set_trace(&mut BrokenSet::default(), &[SetOp::Add(1), SetOp::Add(1)]).unwrap_err();
         assert!(err.contains("add"), "unexpected error: {err}");
     }
 }

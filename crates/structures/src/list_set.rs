@@ -191,10 +191,7 @@ mod tests {
         let a: ListSet = [ElemId(1), ElemId(2), ElemId(3)].into_iter().collect();
         let b: ListSet = [ElemId(3), ElemId(1), ElemId(2)].into_iter().collect();
         // Concrete orders differ…
-        assert_ne!(
-            a.iter().collect::<Vec<_>>(),
-            b.iter().collect::<Vec<_>>()
-        );
+        assert_ne!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
         // …but the abstract states coincide.
         assert_eq!(a.abstract_state(), b.abstract_state());
     }

@@ -65,12 +65,16 @@ fn main() {
 
     assert_eq!(stats.commits, u64::from(WORKERS * TASKS_PER_WORKER));
     assert!(size <= KEY_RANGE as usize);
-    runtime.check_invariants().expect("representation invariant holds");
+    runtime
+        .check_invariants()
+        .expect("representation invariant holds");
     // Every aborted transaction was rolled back: no uncommitted operation is
     // still pending.
     assert_eq!(runtime.pending_operations(), 0);
     // All keys hold non-null values.
-    assert!(matches!(final_state, AbstractState::Map(m) if m.values().all(|v| *v != semcommute::logic::NULL_ELEM)));
+    assert!(
+        matches!(final_state, AbstractState::Map(m) if m.values().all(|v| *v != semcommute::logic::NULL_ELEM))
+    );
     let _ = ElemId(0);
     println!("final state is consistent: every committed update is visible exactly once");
 }

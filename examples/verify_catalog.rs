@@ -80,7 +80,11 @@ fn main() {
         println!(
             "  {:<60} {}",
             inverse.to_string(),
-            if verdict.is_valid() { "verified" } else { "FAILED" }
+            if verdict.is_valid() {
+                "verified"
+            } else {
+                "FAILED"
+            }
         );
         if verdict.is_valid() {
             inverse_ok += 1;

@@ -74,8 +74,9 @@ fn every_condition_produces_two_well_formed_methods() {
         assert!(!sound_obs.is_empty());
         assert!(!complete_obs.is_empty());
         for ob in sound_obs.iter().chain(&complete_obs) {
-            ob.validate()
-                .unwrap_or_else(|e| panic!("{}: malformed obligation {}: {e}", condition.id(), ob.name));
+            ob.validate().unwrap_or_else(|e| {
+                panic!("{}: malformed obligation {}: {e}", condition.id(), ob.name)
+            });
         }
     }
 }

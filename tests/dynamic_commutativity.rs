@@ -60,7 +60,8 @@ fn check_condition_dynamically(
     // Evaluate the condition in its natural context (compute intermediate
     // state and first result for between/after kinds).
     let (s_mid, r1) = apply_op(&iface, &state, &condition.first.op, &args1).expect("pre checked");
-    let (s_final, r2) = apply_op(&iface, &s_mid, &condition.second.op, &args2).expect("pre checked");
+    let (s_final, r2) =
+        apply_op(&iface, &s_mid, &condition.second.op, &args2).expect("pre checked");
     let ctx = ConditionContext {
         first_args: args1.clone(),
         second_args: args2.clone(),

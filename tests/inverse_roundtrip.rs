@@ -63,7 +63,9 @@ fn run_roundtrip_concrete(
                     .unwrap();
             }
             InterfaceId::Accumulator => {
-                structure.apply("increase", &[Value::Int(e as i64)]).unwrap();
+                structure
+                    .apply("increase", &[Value::Int(e as i64)])
+                    .unwrap();
             }
         }
     }
@@ -81,9 +83,7 @@ fn run_roundtrip_concrete(
             .map_err(|e| TestCaseError::fail(format!("inverse rejected: {e}")))?;
     }
     prop_assert_eq!(structure.abstract_state(), before);
-    structure
-        .check_invariants()
-        .map_err(TestCaseError::fail)?;
+    structure.check_invariants().map_err(TestCaseError::fail)?;
     Ok(())
 }
 

@@ -23,10 +23,12 @@ fn speculative_and_coarse_lock_agree_on_disjoint_workloads() {
                 for i in 0..30u32 {
                     let e = Value::elem(t * 30 + i + 1);
                     speculative
-                        .run(8, |txn| txn.execute("add", &[e.clone()]).map(|_| ()))
+                        .run(8, |txn| {
+                            txn.execute("add", std::slice::from_ref(&e)).map(|_| ())
+                        })
                         .unwrap();
                     coarse.run_transaction(|txn| {
-                        txn.execute("add", &[e.clone()]).unwrap();
+                        txn.execute("add", std::slice::from_ref(&e)).unwrap();
                     });
                 }
             });
@@ -52,8 +54,10 @@ fn aborted_transactions_leave_no_trace() {
     let before = rt.snapshot();
     // A transaction mutates heavily and then aborts.
     let mut txn = rt.begin();
-    txn.execute("addAt", &[Value::Int(0), Value::elem(9)]).unwrap();
-    txn.execute("set", &[Value::Int(2), Value::elem(8)]).unwrap();
+    txn.execute("addAt", &[Value::Int(0), Value::elem(9)])
+        .unwrap();
+    txn.execute("set", &[Value::Int(2), Value::elem(8)])
+        .unwrap();
     txn.execute("removeAt", &[Value::Int(1)]).unwrap();
     txn.abort();
     assert_eq!(rt.snapshot(), before);
@@ -143,5 +147,7 @@ fn dropping_clauses_is_sound_but_incomplete() {
     let (_, completeness) = semcommute::core::template::testing_methods(&dropped, 1);
     let obligations = semcommute::core::vcgen::generate_obligations(&completeness).unwrap();
     let prover = semcommute::prover::Portfolio::small();
-    assert!(obligations.iter().any(|ob| prover.prove(ob).is_counterexample()));
+    assert!(obligations
+        .iter()
+        .any(|ob| prover.prove(ob).is_counterexample()));
 }
