@@ -11,7 +11,7 @@
 //!     [--seq-len N] [--threads N] [--prover-threads N] [--out FILE]
 //! ```
 
-use semcommute_bench::{perf_report_json, run_full_verification};
+use semcommute_bench::{perf_report_json, run_catalog_verification};
 use semcommute_core::verify::VerifyOptions;
 
 fn main() {
@@ -45,10 +45,8 @@ fn main() {
         }
     }
 
-    let start = std::time::Instant::now();
-    let reports = run_full_verification(&options);
-    let total_wall = start.elapsed();
-    let json = perf_report_json(&reports, &options, total_wall);
+    let catalog = run_catalog_verification(&options);
+    let json = perf_report_json(&catalog, &options);
     println!("{json}");
     if let Some(path) = out_path {
         std::fs::write(&path, format!("{json}\n")).expect("writing the JSON report failed");

@@ -10,7 +10,7 @@
 #![warn(missing_docs)]
 
 use semcommute_core::report;
-use semcommute_core::verify::{InterfaceReport, VerifyOptions};
+use semcommute_core::verify::{CatalogReport, InterfaceReport, VerifyOptions};
 
 /// Prints a table header in a consistent style.
 pub fn banner(title: &str) {
@@ -52,10 +52,17 @@ pub fn parse_options() -> VerifyOptions {
 }
 
 /// Runs the full verification (as `table_5_8` needs) and returns the
-/// per-interface reports. Interfaces run concurrently when
-/// `options.threads > 1` (see [`semcommute_core::verify::verify_all`]).
+/// per-interface reports. With `options.threads > 1` all interfaces'
+/// obligations share one work-stealing scheduler (see
+/// [`semcommute_core::verify::verify_catalog`]).
 pub fn run_full_verification(options: &VerifyOptions) -> Vec<InterfaceReport> {
     semcommute_core::verify::verify_all(options)
+}
+
+/// Runs the full verification and returns the catalog report, including the
+/// obligation scheduler's counters and the measured wall-clock.
+pub fn run_catalog_verification(options: &VerifyOptions) -> CatalogReport {
+    semcommute_core::verify::verify_catalog(options)
 }
 
 /// Prints the verification-time table from a set of reports.
@@ -65,21 +72,19 @@ pub fn print_verification_table(reports: &[InterfaceReport]) {
 
 /// Renders a machine-readable performance report as JSON (hand-rolled — the
 /// workspace is offline and carries no serde). One object per interface with
-/// wall-clock, throughput, and prover-work counters, plus run metadata, so
-/// future changes can track the perf trajectory in committed `BENCH_*.json`
-/// files.
+/// elapsed time, throughput, and prover-work counters, plus run metadata and
+/// the obligation scheduler's counters, so future changes can track the perf
+/// trajectory in committed `BENCH_*.json` files.
 ///
-/// `total_wall` must be the measured wall-clock of the whole run: interfaces
-/// verify concurrently when `options.threads > 1`, so summing per-interface
-/// elapsed times would overstate the total.
-pub fn perf_report_json(
-    reports: &[InterfaceReport],
-    options: &VerifyOptions,
-    total_wall: std::time::Duration,
-) -> String {
+/// The total uses `catalog.elapsed`, the measured wall-clock of the whole
+/// run: in a scheduled run (`options.threads > 1`) the per-interface times
+/// are busy times of interleaved work, so summing them would overstate the
+/// wall-clock.
+pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
+    let reports = &catalog.interfaces;
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"options\": {{\"threads\": {}, \"prover_threads\": {}, \"seq_len\": {}, \"limit\": {}}},\n",
@@ -115,7 +120,22 @@ pub fn perf_report_json(
         ));
     }
     out.push_str("  ],\n");
-    let total_wall = total_wall.as_secs_f64();
+    if let Some(s) = &catalog.scheduler {
+        out.push_str(&format!(
+            "  \"scheduler\": {{\"submitted\": {}, \"unique\": {}, \"proved\": {}, \
+             \"cache_hits\": {}, \"skipped\": {}, \"steals\": {}, \"stolen_tasks\": {}, \
+             \"errors\": {}}},\n",
+            s.submitted,
+            s.unique,
+            s.proved,
+            s.cache_hits,
+            s.skipped,
+            s.steals,
+            s.stolen_tasks,
+            s.errors.len(),
+        ));
+    }
+    let total_wall = catalog.elapsed.as_secs_f64();
     let total_methods: usize = reports.iter().map(|r| r.method_count()).sum();
     out.push_str(&format!(
         "  \"total\": {{\"methods\": {}, \"wall_s\": {:.6}, \"obligations_per_sec\": {:.2}}}\n",
@@ -147,9 +167,9 @@ mod tests {
     #[test]
     fn perf_report_json_is_well_formed() {
         let options = VerifyOptions::quick(2);
-        let start = std::time::Instant::now();
-        let reports = run_full_verification(&options);
-        let json = perf_report_json(&reports, &options, start.elapsed());
+        let catalog = run_catalog_verification(&options);
+        assert!(catalog.scheduler.is_some(), "quick options are scheduled");
+        let json = perf_report_json(&catalog, &options);
         assert!(json.starts_with('{') && json.ends_with('}'));
         for key in [
             "\"options\"",
@@ -157,6 +177,8 @@ mod tests {
             "\"obligations_per_sec\"",
             "\"models_checked\"",
             "\"cache_hits\"",
+            "\"scheduler\"",
+            "\"submitted\"",
             "\"total\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
@@ -167,5 +189,16 @@ mod tests {
                 == json.chars().filter(|&c| c == close).count()
         };
         assert!(balance('{', '}') && balance('[', ']'));
+    }
+
+    #[test]
+    fn sequential_catalog_report_has_no_scheduler_section() {
+        let options = VerifyOptions {
+            threads: 1,
+            ..VerifyOptions::quick(2)
+        };
+        let catalog = run_catalog_verification(&options);
+        assert!(catalog.scheduler.is_none());
+        assert!(!perf_report_json(&catalog, &options).contains("\"scheduler\""));
     }
 }

@@ -56,4 +56,7 @@ pub use inverse::{inverse_catalog, InverseOperation};
 pub use kind::ConditionKind;
 pub use method::{CallStmt, PreMode, Stmt, TestingMethod};
 pub use variant::{interface_variants, OpVariant};
-pub use verify::{verify_condition, verify_interface, ConditionReport, InterfaceReport};
+pub use verify::{
+    verify_catalog, verify_condition, verify_interface, CatalogReport, ConditionReport,
+    InterfaceReport,
+};

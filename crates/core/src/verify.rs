@@ -7,9 +7,11 @@
 //! data structure) and the headline claim that all 765 conditions are sound
 //! and complete.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use semcommute_prover::{Portfolio, ProverChoice, Scope, Verdict};
+use semcommute_prover::queue::{self, ExitGuard, QueueReport, ScheduledObligation};
+use semcommute_prover::{Portfolio, ProofStats, ProverChoice, Scope, Verdict, VerdictCache};
 use semcommute_spec::InterfaceId;
 
 use crate::catalog::interface_catalog;
@@ -158,6 +160,18 @@ impl InterfaceReport {
             .sum()
     }
 
+    /// Every non-fatal evaluation error the provers surfaced through
+    /// [`ProofStats::errors`] across the run (e.g. a sharded model search
+    /// worker that raced past an evaluation error while another worker
+    /// decided the obligation).
+    pub fn errors(&self) -> Vec<&str> {
+        self.reports
+            .iter()
+            .flat_map(|r| [&r.soundness, &r.completeness])
+            .flat_map(|v| v.stats().errors.iter().map(String::as_str))
+            .collect()
+    }
+
     /// How many obligations were decided by the structural prover vs. the
     /// finite-model prover (the prover-portfolio ablation data).
     pub fn prover_breakdown(&self) -> (usize, usize) {
@@ -221,7 +235,131 @@ fn prove_method_obligations(method: &crate::method::TestingMethod, prover: &Port
     Verdict::Valid { stats: accumulated }
 }
 
-/// Verifies (a prefix of) an interface's catalog, in parallel.
+/// The scheduler-facing shape of one generated testing method: where its
+/// obligations sit in the flat submission list, or why vcgen rejected it.
+/// (The method's [`ExitGuard`] travels inside its [`ScheduledObligation`]s.)
+struct MethodPlan {
+    obligations: Result<std::ops::Range<usize>, String>,
+}
+
+/// One condition's two testing methods, planned for the scheduler.
+struct ConditionPlan {
+    condition: CommutativityCondition,
+    hinted: bool,
+    soundness: MethodPlan,
+    completeness: MethodPlan,
+}
+
+/// Flattens (a prefix of) an interface's catalog into scheduler submissions.
+///
+/// Every obligation of every generated testing method becomes one
+/// [`ScheduledObligation`] tagged with the interface's portfolio and its
+/// method's [`ExitGuard`]; the returned plans remember which submission
+/// range belongs to which method so the verdicts can be reassembled into
+/// [`ConditionReport`]s afterwards.
+fn plan_interface(
+    catalog: Vec<CommutativityCondition>,
+    portfolio: usize,
+    items: &mut Vec<ScheduledObligation>,
+) -> Vec<ConditionPlan> {
+    let mut plans = Vec::with_capacity(catalog.len());
+    for (id, condition) in catalog.into_iter().enumerate() {
+        let (soundness_method, completeness_method) = testing_methods(&condition, id);
+        let hinted = !soundness_method.hints.is_empty() || !completeness_method.hints.is_empty();
+        let mut plan_method = |method: &crate::method::TestingMethod| -> MethodPlan {
+            let guard = Arc::new(ExitGuard::new());
+            let obligations = match generate_obligations(method) {
+                Err(e) => Err(e),
+                Ok(obs) => {
+                    let start = items.len();
+                    items.extend(obs.into_iter().enumerate().map(|(index, ob)| {
+                        ScheduledObligation::new(ob)
+                            .with_portfolio(portfolio)
+                            .with_guard(guard.clone(), index as u32)
+                    }));
+                    Ok(start..items.len())
+                }
+            };
+            MethodPlan { obligations }
+        };
+        let soundness = plan_method(&soundness_method);
+        let completeness = plan_method(&completeness_method);
+        plans.push(ConditionPlan {
+            condition,
+            hinted,
+            soundness,
+            completeness,
+        });
+    }
+    plans
+}
+
+/// Reassembles one method's verdict from the scheduler's flat verdict list,
+/// reproducing the sequential early-exit semantics: statistics accumulate in
+/// obligation order up to (and including) the first non-valid verdict, which
+/// becomes the method's verdict; obligations past the failure may have been
+/// skipped by the guard and are not consulted.
+fn method_verdict(plan: &MethodPlan, verdicts: &[Option<Verdict>]) -> Verdict {
+    let range = match &plan.obligations {
+        Err(e) => {
+            return Verdict::Unknown {
+                reason: format!("vcgen failed: {e}"),
+                stats: Default::default(),
+            }
+        }
+        Ok(range) => range.clone(),
+    };
+    let mut accumulated = ProofStats::none();
+    for index in range {
+        // A `None` verdict means the guard skipped this obligation, which
+        // only happens strictly after a recorded failure — and the loop
+        // returns at that failure first.
+        let Some(verdict) = &verdicts[index] else {
+            break;
+        };
+        accumulated.merge(verdict.stats());
+        if !verdict.is_valid() {
+            let mut verdict = verdict.clone();
+            *verdict.stats_mut() = accumulated;
+            return verdict;
+        }
+    }
+    Verdict::Valid { stats: accumulated }
+}
+
+/// Reassembles the per-condition reports of one planned interface.
+///
+/// In a scheduled run a condition's obligations are interleaved with the
+/// whole catalog, so the per-condition `elapsed` is the *busy* time its
+/// obligations cost (the sum of their proof times) rather than a span of
+/// wall-clock.
+fn assemble_reports(
+    plans: Vec<ConditionPlan>,
+    verdicts: &[Option<Verdict>],
+) -> Vec<ConditionReport> {
+    plans
+        .into_iter()
+        .map(|plan| {
+            let soundness = method_verdict(&plan.soundness, verdicts);
+            let completeness = method_verdict(&plan.completeness, verdicts);
+            let elapsed = soundness.stats().elapsed + completeness.stats().elapsed;
+            ConditionReport {
+                condition: plan.condition,
+                soundness,
+                completeness,
+                elapsed,
+                hinted: plan.hinted,
+            }
+        })
+        .collect()
+}
+
+/// Verifies (a prefix of) an interface's catalog.
+///
+/// With `options.threads <= 1` conditions are verified strictly in order on
+/// the calling thread (the reproducible sequential baseline). Otherwise the
+/// interface's obligations are flattened onto the work-stealing scheduler
+/// ([`semcommute_prover::queue`]) and proved by `options.threads` workers.
 pub fn verify_interface(interface: InterfaceId, options: &VerifyOptions) -> InterfaceReport {
     let start = Instant::now();
     let mut catalog = interface_catalog(interface);
@@ -238,7 +376,10 @@ pub fn verify_interface(interface: InterfaceId, options: &VerifyOptions) -> Inte
             .map(|(i, c)| verify_condition(c, &prover, i))
             .collect()
     } else {
-        parallel_verify(&catalog, &prover, threads)
+        let mut items = Vec::new();
+        let plans = plan_interface(catalog, 0, &mut items);
+        let run = queue::prove_all_scheduled(std::slice::from_ref(&prover), items, threads);
+        assemble_reports(plans, &run.verdicts)
     };
     InterfaceReport {
         interface,
@@ -248,70 +389,91 @@ pub fn verify_interface(interface: InterfaceId, options: &VerifyOptions) -> Inte
     }
 }
 
-fn parallel_verify(
-    catalog: &[CommutativityCondition],
-    prover: &Portfolio,
-    threads: usize,
-) -> Vec<ConditionReport> {
-    let mut indexed: Vec<(usize, ConditionReport)> = std::thread::scope(|scope| {
-        let chunk_size = catalog.len().div_ceil(threads);
-        let mut handles = Vec::new();
-        for (chunk_index, chunk) in catalog.chunks(chunk_size).enumerate() {
-            let prover = prover.clone();
-            handles.push(scope.spawn(move || {
-                chunk
-                    .iter()
-                    .enumerate()
-                    .map(|(offset, cond)| {
-                        let id = chunk_index * chunk_size + offset;
-                        (id, verify_condition(cond, &prover, id))
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("verification worker panicked"))
-            .collect()
-    });
-    indexed.sort_by_key(|(i, _)| *i);
-    indexed.into_iter().map(|(_, r)| r).collect()
+/// The outcome of verifying the whole catalog, with scheduler telemetry.
+#[derive(Debug, Clone)]
+pub struct CatalogReport {
+    /// Per-interface reports, in the paper's order.
+    pub interfaces: Vec<InterfaceReport>,
+    /// Scheduler counters of the run (`None` for the sequential baseline,
+    /// which does not go through the queue).
+    pub scheduler: Option<QueueReport>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
 }
 
 /// Verifies every interface (with the same options), reported in the paper's
-/// order.
-///
-/// With `options.threads <= 1` the interfaces run strictly sequentially (the
-/// reproducible single-threaded baseline). Otherwise the interfaces are
-/// independent and are dispatched concurrently on scoped threads, and the
-/// condition-worker budget `options.threads` is divided among them so the
-/// total worker count stays at the requested level — per-interface elapsed
-/// times (Table 5.8, `BENCH_*.json`) would otherwise be inflated by
-/// cross-interface core contention.
+/// order. See [`verify_catalog`] for the variant that also returns the
+/// scheduler's counters.
 pub fn verify_all(options: &VerifyOptions) -> Vec<InterfaceReport> {
+    verify_catalog(options).interfaces
+}
+
+/// Verifies every interface against one global work-stealing scheduler.
+///
+/// With `options.threads <= 1` the interfaces run strictly sequentially in
+/// catalog order — the reproducible single-threaded oracle the differential
+/// tests compare against. Otherwise *all* interfaces' obligations are
+/// flattened into a single canonical-hash-addressed work queue drained by
+/// `options.threads` stealing workers, with one sharded verdict cache shared
+/// across the interfaces' portfolios. Compared to the static
+/// one-thread-group-per-interface split this keeps every worker busy to the
+/// end on skewed catalogs (ArrayList dominates the paper's wall-clock), and
+/// canonically identical obligations dedup across interfaces.
+///
+/// In a scheduled run the per-interface (and per-condition) `elapsed` fields
+/// report *busy* time — the summed proof time of their obligations — because
+/// interfaces interleave on the same workers; `CatalogReport::elapsed` is
+/// the measured wall-clock of the whole run.
+pub fn verify_catalog(options: &VerifyOptions) -> CatalogReport {
+    let start = Instant::now();
     if options.threads <= 1 {
-        return InterfaceId::ALL
+        let interfaces = InterfaceId::ALL
             .into_iter()
             .map(|id| verify_interface(id, options))
             .collect();
+        return CatalogReport {
+            interfaces,
+            scheduler: None,
+            elapsed: start.elapsed(),
+        };
     }
-    let per_interface = VerifyOptions {
-        threads: (options.threads / InterfaceId::ALL.len()).max(1),
-        ..options.clone()
-    };
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = InterfaceId::ALL
-            .into_iter()
-            .map(|id| {
-                let opts = per_interface.clone();
-                scope.spawn(move || verify_interface(id, &opts))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("interface verification worker panicked"))
-            .collect()
-    })
+    let cache = VerdictCache::new();
+    let mut portfolios = Vec::new();
+    let mut items = Vec::new();
+    let mut plans = Vec::new();
+    for interface in InterfaceId::ALL {
+        let mut catalog = interface_catalog(interface);
+        if let Some(limit) = options.limit {
+            catalog.truncate(limit);
+        }
+        let portfolio = Portfolio::new(scope_for(interface, options.seq_len))
+            .with_prover_threads(options.prover_threads)
+            .with_shared_cache(&cache);
+        portfolios.push(portfolio);
+        plans.push((
+            interface,
+            plan_interface(catalog, portfolios.len() - 1, &mut items),
+        ));
+    }
+    let run = queue::prove_all_scheduled(&portfolios, items, options.threads);
+    let interfaces = plans
+        .into_iter()
+        .map(|(interface, plans)| {
+            let reports = assemble_reports(plans, &run.verdicts);
+            let elapsed = reports.iter().map(|r| r.elapsed).sum();
+            InterfaceReport {
+                interface,
+                reports,
+                elapsed,
+                seq_len: options.seq_len,
+            }
+        })
+        .collect();
+    CatalogReport {
+        interfaces,
+        scheduler: Some(run.report),
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]

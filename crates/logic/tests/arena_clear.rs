@@ -1,0 +1,137 @@
+//! `TermArena::clear()` across phase boundaries.
+//!
+//! The obligation scheduler keys, simplifies, and proves thousands of terms
+//! per phase on thread-local arenas; a long-lived server resets those arenas
+//! between phases with `clear()`. These tests pin the contract that matters
+//! for correctness: after a clear, freshly interned terms — which are
+//! routinely assigned the *same raw `TermId` numbers* the previous phase
+//! used for different terms — must never resurrect stale memoized
+//! simplify/nnf/substitution results from before the clear.
+
+use std::collections::HashMap;
+
+use semcommute_logic::arena::TermArena;
+use semcommute_logic::build::*;
+use semcommute_logic::Term;
+
+/// A family of structurally different formulas over the same variables, so
+/// that consecutive phases intern different terms onto recycled ids.
+fn phase_terms(phase: usize) -> Vec<Term> {
+    let base = [
+        and2(var_bool("p"), not(var_bool("p"))),
+        or2(var_bool("p"), not(var_bool("p"))),
+        member(var_elem("v"), set_add(var_set("s"), var_elem("v"))),
+        not(member(
+            var_elem("v"),
+            set_remove(var_set("s"), var_elem("v")),
+        )),
+        eq(
+            set_add(set_add(var_set("s"), var_elem("a")), var_elem("b")),
+            set_add(set_add(var_set("s"), var_elem("b")), var_elem("a")),
+        ),
+        implies(var_bool("p"), or2(var_bool("p"), var_bool("q"))),
+        not(not(eq(var_int("x"), var_int("y")))),
+    ];
+    // Rotate so each phase interns the family in a different order: the raw
+    // id assigned to a given term changes from phase to phase.
+    let n = base.len();
+    (0..n).map(|i| base[(i + phase) % n].clone()).collect()
+}
+
+/// Simplification after a clear must agree with a brand-new arena, even
+/// though the recycled `TermId`s collide with pre-clear memo entries.
+#[test]
+fn clear_does_not_resurrect_stale_simplify_results() {
+    let mut arena = TermArena::new();
+    for phase in 0..5 {
+        for term in phase_terms(phase) {
+            let id = arena.intern(&term);
+            let simplified_id = arena.simplify_id(id);
+            let simplified = arena.to_term(simplified_id);
+            let mut fresh = TermArena::new();
+            let fresh_id = fresh.intern(&term);
+            let expected_id = fresh.simplify_id(fresh_id);
+            let expected = fresh.to_term(expected_id);
+            assert_eq!(
+                simplified, expected,
+                "phase {phase}: stale memoized simplify for {term}"
+            );
+        }
+        arena.clear();
+        assert!(arena.is_empty(), "clear resets the arena");
+    }
+}
+
+/// Same pinning for the polarity-keyed NNF memo table.
+#[test]
+fn clear_does_not_resurrect_stale_nnf_results() {
+    let mut arena = TermArena::new();
+    for phase in 0..5 {
+        for term in phase_terms(phase) {
+            for negated in [false, true] {
+                let id = arena.intern(&term);
+                let nnf_id = arena.nnf_id(id, negated);
+                let nnf = arena.to_term(nnf_id);
+                let mut fresh = TermArena::new();
+                let fresh_id = fresh.intern(&term);
+                let expected_id = fresh.nnf_id(fresh_id, negated);
+                let expected = fresh.to_term(expected_id);
+                assert_eq!(
+                    nnf, expected,
+                    "phase {phase}: stale memoized nnf (negated: {negated}) for {term}"
+                );
+            }
+        }
+        arena.clear();
+    }
+}
+
+/// Substitution memoizes per call but consults cached free-variable lists;
+/// those must also reset cleanly at a phase boundary.
+#[test]
+fn clear_does_not_corrupt_substitution_metadata() {
+    let mut arena = TermArena::new();
+    for phase in 0..4 {
+        let term = phase_terms(phase)[0].clone();
+        let id = arena.intern(&term);
+        let p = arena.sym("p");
+        let replacement = arena.intern(&tru());
+        let substituted = arena.substitute_id(id, &HashMap::from([(p, replacement)]));
+        let out = arena.to_term(substituted);
+        let mut fresh = TermArena::new();
+        let fresh_id = fresh.intern(&term);
+        let fp = fresh.sym("p");
+        let fresh_replacement = fresh.intern(&tru());
+        let expected_id = fresh.substitute_id(fresh_id, &HashMap::from([(fp, fresh_replacement)]));
+        let expected = fresh.to_term(expected_id);
+        assert_eq!(out, expected, "phase {phase}");
+        arena.clear();
+    }
+}
+
+/// The cross-phase scenario the scheduler cares about end to end: verdict
+/// keys and structural hashes computed after a clear match those computed
+/// before it, so a sharded verdict cache keyed by structural hash stays
+/// consistent across arena resets.
+#[test]
+fn structural_hashes_are_stable_across_clear() {
+    let mut arena = TermArena::new();
+    let mut before = Vec::new();
+    for term in phase_terms(0) {
+        let id = arena.intern(&term);
+        let simplified = arena.simplify_id(id);
+        before.push(arena.structural_hash(simplified));
+    }
+    arena.clear();
+    // Interleave other work so the family's ids differ this phase.
+    arena.intern(&var_bool("unrelated"));
+    for (term, expected) in phase_terms(0).into_iter().zip(before) {
+        let id = arena.intern(&term);
+        let simplified = arena.simplify_id(id);
+        assert_eq!(
+            arena.structural_hash(simplified),
+            expected,
+            "structural hash of {term} drifted across clear()"
+        );
+    }
+}

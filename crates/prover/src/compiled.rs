@@ -70,15 +70,33 @@ enum CTerm {
     },
 }
 
+/// One step of the compiled evaluation program: compute a defined variable
+/// into its slot, or check a hypothesis (bailing out of the candidate when
+/// it fails).
+///
+/// Hypotheses are scheduled at the *earliest* point their referenced defines
+/// are available — a hypothesis over input variables only (an index-bounds
+/// precondition, say) runs before any define is computed, so the large
+/// fraction of candidates that violate it never pays for the defines. The
+/// finite search checks millions of candidates per obligation; skipping the
+/// define computations for hypothesis-violating candidates is a measurable
+/// share of the whole catalog's wall-clock.
+#[derive(Debug, Clone)]
+enum Step {
+    Define(u32, CTerm),
+    Check(CTerm),
+}
+
 /// An obligation compiled against a fixed input-variable order.
 #[derive(Debug, Clone)]
 pub struct CompiledObligation {
     /// Slots `0..input_count` hold the input variables, in the order given to
     /// [`CompiledObligation::compile`] (the enumeration order of the space).
     input_count: usize,
-    /// `(target slot, definition)` in definition order.
-    defines: Vec<(u32, CTerm)>,
-    hypotheses: Vec<CTerm>,
+    /// Defines and hypothesis checks, interleaved: definition order is
+    /// preserved, hypothesis order is preserved, and each hypothesis sits
+    /// immediately after the last define it depends on.
+    steps: Vec<Step>,
     goal: CTerm,
     /// Slot index → variable name, for reconstructing counter-models.
     /// Quantifier-bound slots have synthetic names and are excluded from
@@ -117,7 +135,7 @@ impl CompiledObligation {
             slot_names,
             binders: Vec::new(),
         };
-        let defines = ob
+        let defines: Vec<(u32, CTerm)> = ob
             .defines
             .iter()
             .map(|(name, term)| {
@@ -125,16 +143,57 @@ impl CompiledObligation {
                 (slot, compiler.compile_term(term))
             })
             .collect();
-        let hypotheses = ob
+        // For each hypothesis, the position of the last define it reads
+        // (`None` when it only reads inputs): the earliest point in the
+        // define sequence at which the hypothesis can be checked.
+        let define_position: HashMap<&str, usize> = ob
+            .defines
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (name.as_str(), i))
+            .collect();
+        let hypotheses: Vec<(Option<usize>, CTerm)> = ob
             .hypotheses
             .iter()
-            .map(|h| compiler.compile_term(h))
+            .map(|h| {
+                let latest = semcommute_logic::free_vars(h)
+                    .keys()
+                    .filter_map(|name| define_position.get(name.as_str()).copied())
+                    .max();
+                (latest, compiler.compile_term(h))
+            })
             .collect();
         let goal = compiler.compile_term(&ob.goal);
+
+        // Interleave: hypotheses over inputs only, then define 0, then the
+        // hypotheses unlocked by it, then define 1, ... Relative order within
+        // the defines and within the hypotheses is preserved.
+        let mut steps = Vec::with_capacity(defines.len() + hypotheses.len());
+        let mut pending = hypotheses.into_iter().peekable();
+        let mut emit_ready = |after: Option<usize>, steps: &mut Vec<Step>| {
+            // Hypothesis dependencies are monotone in hypothesis order
+            // (vcgen only references already-defined variables), so a
+            // peek-and-pop sweep preserves their relative order.
+            while matches!(pending.peek(), Some((latest, _)) if *latest <= after) {
+                let (_, h) = pending.next().expect("peeked");
+                steps.push(Step::Check(h));
+            }
+        };
+        emit_ready(None, &mut steps);
+        for (position, (slot, term)) in defines.into_iter().enumerate() {
+            steps.push(Step::Define(slot, term));
+            emit_ready(Some(position), &mut steps);
+        }
+        // Defensive: hypotheses whose dependencies were never satisfied
+        // (out-of-order references rejected by `Obligation::validate`) still
+        // run, last, and surface their evaluation errors.
+        for (_, h) in pending {
+            steps.push(Step::Check(h));
+        }
+
         CompiledObligation {
             input_count,
-            defines,
-            hypotheses,
+            steps,
             goal,
             slot_names: compiler.slot_names,
             named_slots,
@@ -162,26 +221,35 @@ impl CompiledObligation {
     /// hold and the goal fails — call [`CompiledObligation::reconstruct`] on
     /// the same env to obtain the full model — and `Err` on an evaluation
     /// error.
+    ///
+    /// Hypotheses are checked as early as their dependencies allow (see
+    /// [`Step`]); a candidate that violates an input-only hypothesis returns
+    /// `Ok(None)` without computing any define.
     pub fn check(&self, inputs: &mut Vec<Value>, env: &mut SlotEnv) -> Result<Option<()>, String> {
         debug_assert_eq!(inputs.len(), self.input_count);
         for (slot, value) in inputs.drain(..).enumerate() {
             env.values[slot] = Some(value);
         }
-        for (slot, term) in &self.defines {
-            let value = eval_c(term, &mut env.values)
-                .map_err(|e| format!("evaluating `{}`: {e}", self.slot_names[*slot as usize]))?;
-            env.values[*slot as usize] = Some(value);
-        }
-        for h in &self.hypotheses {
-            match eval_c(h, &mut env.values).map_err(|e| format!("evaluating hypothesis: {e}"))? {
-                Value::Bool(true) => {}
-                Value::Bool(false) => return Ok(None),
-                other => {
-                    return Err(format!(
-                        "evaluating hypothesis: expected bool, found {}",
-                        other.sort()
-                    ))
+        for step in &self.steps {
+            match step {
+                Step::Define(slot, term) => {
+                    let value = eval_c(term, &mut env.values).map_err(|e| {
+                        format!("evaluating `{}`: {e}", self.slot_names[*slot as usize])
+                    })?;
+                    env.values[*slot as usize] = Some(value);
                 }
+                Step::Check(h) => match eval_c(h, &mut env.values)
+                    .map_err(|e| format!("evaluating hypothesis: {e}"))?
+                {
+                    Value::Bool(true) => {}
+                    Value::Bool(false) => return Ok(None),
+                    other => {
+                        return Err(format!(
+                            "evaluating hypothesis: expected bool, found {}",
+                            other.sort()
+                        ))
+                    }
+                },
             }
         }
         match eval_c(&self.goal, &mut env.values).map_err(|e| format!("evaluating goal: {e}"))? {

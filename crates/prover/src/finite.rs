@@ -143,11 +143,13 @@ impl FiniteModelProver {
         /// the worker that hit it — stopping everyone could mask a real
         /// counter-model at a lower index and flip the verdict between runs.
         /// At the end a counter-model (lowest observed index) takes
-        /// precedence over an error.
+        /// precedence over an error; every error is retained and surfaced
+        /// through [`ProofStats::errors`] so a verdict that raced past
+        /// failures still reports them.
         #[derive(Default)]
         struct Findings {
             counterexample: Option<(u64, Model)>,
-            error: Option<(u64, String)>,
+            errors: Vec<(u64, String)>,
         }
         let stop = AtomicBool::new(false);
         let checked = AtomicU64::new(0);
@@ -178,11 +180,11 @@ impl FiniteModelProver {
                                 break;
                             }
                             Err(reason) => {
-                                let mut f = findings.lock().unwrap_or_else(|p| p.into_inner());
-                                match &f.error {
-                                    Some((existing, _)) if *existing <= index => {}
-                                    _ => f.error = Some((index, reason)),
-                                }
+                                findings
+                                    .lock()
+                                    .unwrap_or_else(|p| p.into_inner())
+                                    .errors
+                                    .push((index, reason));
                                 break;
                             }
                         }
@@ -198,11 +200,17 @@ impl FiniteModelProver {
         });
 
         let checked = checked.load(Ordering::Relaxed);
-        let stats = ProofStats::finite(checked, start.elapsed());
-        let findings = findings.into_inner().unwrap_or_else(|p| p.into_inner());
+        let mut findings = findings.into_inner().unwrap_or_else(|p| p.into_inner());
+        findings.errors.sort_by_key(|(index, _)| *index);
+        let errors: Vec<String> = findings
+            .errors
+            .iter()
+            .map(|(_, reason)| reason.clone())
+            .collect();
+        let stats = ProofStats::finite(checked, start.elapsed()).with_errors(errors);
         if let Some((_, model)) = findings.counterexample {
             Verdict::CounterModel { model, stats }
-        } else if let Some((_, reason)) = findings.error {
+        } else if let Some((_, reason)) = findings.errors.into_iter().next() {
             Verdict::Unknown { reason, stats }
         } else {
             Verdict::Valid { stats }
@@ -391,6 +399,56 @@ mod tests {
             .prove(&bogus);
         let model = verdict.counter_model().expect("counterexample expected");
         assert!(!semcommute_logic::eval_bool(&member(var_elem("v"), var_set("s")), model).unwrap());
+    }
+
+    /// Regression test for the sharded search's error handling: an evaluation
+    /// error on one worker must stop only that worker, so a racing error can
+    /// never mask a genuine counter-model found by another worker — and the
+    /// errors that did occur must surface in the verdict's statistics.
+    ///
+    /// The obligation is crafted so that, in enumeration order, even
+    /// positions (`s = {}`) make the bounded quantifier's range one wider
+    /// than `MAX_QUANTIFIER_RANGE` (an input-dependent evaluation error)
+    /// while odd positions (`s = {e1}`) are genuine counter-models. With the
+    /// striding shard split, worker 0 therefore errors on its very first
+    /// candidate while worker 1 immediately finds a counter-model.
+    #[test]
+    fn racing_error_does_not_mask_counterexample() {
+        let scope = Scope {
+            elem_padding: 1,
+            max_collection_entries: 1,
+            max_seq_len: 1,
+            int_min: 0,
+            int_max: 2047, // 2048 ints x 2 sets = 4096 >= the sharding threshold
+            max_models: 5_000_000,
+        };
+        let quantifier = exists_int(
+            "i",
+            int(0),
+            sub(
+                int(semcommute_logic::eval::MAX_QUANTIFIER_RANGE + 1),
+                card(var_set("s")),
+            ),
+            tru(),
+        );
+        let ob = Obligation::new("racing_error").goal(and2(quantifier, lt(var_int("a"), int(-1))));
+        for threads in [2, 4] {
+            let verdict = FiniteModelProver::new(scope.clone())
+                .with_threads(threads)
+                .prove(&ob);
+            let model = verdict.counter_model().unwrap_or_else(|| {
+                panic!("{threads} threads: racing error masked the counter-model: {verdict}")
+            });
+            assert!(
+                !model.get("s").unwrap().as_set().unwrap().is_empty(),
+                "counter-models live at the odd (non-empty set) positions"
+            );
+            assert!(
+                !verdict.stats().errors.is_empty(),
+                "{threads} threads: the raced-past evaluation errors must surface in the stats"
+            );
+            assert!(verdict.stats().errors[0].contains("quantifier range"));
+        }
     }
 
     #[test]

@@ -19,9 +19,11 @@
 //!   that ArrayList obligations need extra help).
 //!
 //! The [`portfolio`] module combines the two (structural first, then
-//! finite-model), and [`hints`] implements the three Jahob proof-language
-//! commands the paper uses for the 57 hard ArrayList methods: `note`,
-//! `assuming`, and `pickWitness`.
+//! finite-model) behind a sharded canonical-hash verdict cache, [`queue`]
+//! drains batches of obligations with work-stealing workers addressing that
+//! cache, and [`hints`] implements the three Jahob proof-language commands
+//! the paper uses for the 57 hard ArrayList methods: `note`, `assuming`, and
+//! `pickWitness`.
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@ pub mod finite;
 pub mod hints;
 pub mod obligation;
 pub mod portfolio;
+pub mod queue;
 pub mod scope;
 pub mod space;
 pub mod stats;
@@ -56,7 +59,8 @@ pub mod verdict;
 pub use finite::FiniteModelProver;
 pub use hints::{apply_hints, Hint};
 pub use obligation::Obligation;
-pub use portfolio::Portfolio;
+pub use portfolio::{Portfolio, VerdictCache};
+pub use queue::{ExitGuard, QueueReport, QueueRun, ScheduledObligation};
 pub use scope::Scope;
 pub use space::InputSpace;
 pub use stats::ProofStats;

@@ -1,5 +1,5 @@
 //! The prover portfolio: structural prover first, finite-model prover second,
-//! with an obligation dedup cache in front of both.
+//! with a sharded obligation dedup cache in front of both.
 //!
 //! This mirrors the paper's "integrated reasoning" architecture, in which an
 //! obligation is dispatched to a collection of cooperating reasoning systems
@@ -9,10 +9,12 @@
 //! canonically identical (the same formula modulo already-performed
 //! simplification). The portfolio therefore keys every verdict by the
 //! 128-bit structural hash of the *simplified* obligation (definitions,
-//! hypotheses, goal) and answers repeats from the cache. The cache is shared
-//! between clones of the portfolio — the verification driver clones one
-//! portfolio per worker thread, so a verdict computed on any thread is
-//! reused by all of them.
+//! hypotheses, goal), mixed with the scope and back-end configuration, and
+//! answers repeats from the cache. The cache is sharded by
+//! `key % N_SHARDS` ([`VerdictCache`]) and shared between clones of the
+//! portfolio — the verification scheduler runs one portfolio clone per
+//! worker, so a verdict computed on any worker is reused by all of them
+//! without funnelling every lookup through a single lock.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -23,11 +25,76 @@ use crate::finite::FiniteModelProver;
 use crate::hints::{apply_hints, Hint, HintError};
 use crate::obligation::Obligation;
 use crate::scope::Scope;
-use crate::stats::{ProofStats, ProverChoice};
+use crate::stats::ProofStats;
 use crate::structural::prove_structural;
 use crate::verdict::Verdict;
 
 pub use crate::stats::ProverChoice as Choice;
+
+/// Number of shards in a [`VerdictCache`]. Sixteen keeps the per-shard lock
+/// essentially uncontended for the worker counts the scheduler runs with
+/// (the canonical hash is uniform, so shard collisions between concurrent
+/// workers are rare) while staying cheap to aggregate over.
+pub const N_SHARDS: usize = 16;
+
+/// A sharded map from canonical obligation keys to verdicts.
+///
+/// Shard `i` holds the keys with `key % N_SHARDS == i`, each behind its own
+/// mutex, so concurrent workers publishing and consuming verdicts only
+/// contend when their obligations actually land in the same shard. Clones
+/// share the underlying shards.
+#[derive(Debug, Clone, Default)]
+pub struct VerdictCache {
+    shards: Arc<[Mutex<HashMap<u128, Verdict>>; N_SHARDS]>,
+}
+
+impl VerdictCache {
+    /// Creates an empty cache.
+    pub fn new() -> VerdictCache {
+        VerdictCache::default()
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, Verdict>> {
+        &self.shards[(key % N_SHARDS as u128) as usize]
+    }
+
+    /// Looks up the verdict cached under `key`.
+    pub fn get(&self, key: u128) -> Option<Verdict> {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&key)
+            .cloned()
+    }
+
+    /// Publishes a verdict under `key` (first writer wins; canonically equal
+    /// obligations have equal verdicts, so racing writers are harmless).
+    pub fn insert(&self, key: u128, verdict: Verdict) {
+        self.shard(key)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .entry(key)
+            .or_insert(verdict);
+    }
+
+    /// Number of verdicts currently held, summed over all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// `true` when no verdict is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` when both caches share the same shards.
+    pub fn shares_with(&self, other: &VerdictCache) -> bool {
+        Arc::ptr_eq(&self.shards, &other.shards)
+    }
+}
 
 /// The combined prover.
 #[derive(Debug, Clone)]
@@ -36,8 +103,8 @@ pub struct Portfolio {
     use_structural: bool,
     use_finite: bool,
     prover_threads: usize,
-    /// Canonical obligation hash → verdict, shared across clones.
-    cache: Arc<Mutex<HashMap<u128, Verdict>>>,
+    /// Canonical obligation key → verdict, sharded, shared across clones.
+    cache: VerdictCache,
 }
 
 impl Default for Portfolio {
@@ -54,7 +121,7 @@ impl Portfolio {
             use_structural: true,
             use_finite: true,
             prover_threads: 1,
-            cache: Arc::new(Mutex::new(HashMap::new())),
+            cache: VerdictCache::new(),
         }
     }
 
@@ -71,7 +138,6 @@ impl Portfolio {
     /// Disables the structural prover (used by the prover-ablation benchmark).
     pub fn without_structural(mut self) -> Portfolio {
         self.use_structural = false;
-        self.cache = Arc::new(Mutex::new(HashMap::new()));
         self
     }
 
@@ -79,7 +145,6 @@ impl Portfolio {
     /// will come back `Unknown`).
     pub fn without_finite(mut self) -> Portfolio {
         self.use_finite = false;
-        self.cache = Arc::new(Mutex::new(HashMap::new()));
         self
     }
 
@@ -88,10 +153,11 @@ impl Portfolio {
         &self.scope
     }
 
-    /// Replaces the scope (verdicts cached under the old scope are dropped).
+    /// Replaces the scope. Cached verdicts stay usable: the scope is part of
+    /// every canonical key, so verdicts computed under the old scope can
+    /// never answer obligations proved under the new one.
     pub fn with_scope(mut self, scope: Scope) -> Portfolio {
         self.scope = scope;
-        self.cache = Arc::new(Mutex::new(HashMap::new()));
         self
     }
 
@@ -102,21 +168,46 @@ impl Portfolio {
         self
     }
 
+    /// Replaces the dedup cache with `cache`, sharing its shards.
+    ///
+    /// The global obligation scheduler proves interfaces with different
+    /// scopes through different portfolios; giving them one shared cache
+    /// lets canonically identical obligations dedup across interfaces (the
+    /// scope fingerprint inside the key keeps that sound).
+    pub fn with_shared_cache(mut self, cache: &VerdictCache) -> Portfolio {
+        self.cache = cache.clone();
+        self
+    }
+
+    /// The portfolio's dedup cache (shared with clones).
+    pub fn cache(&self) -> &VerdictCache {
+        &self.cache
+    }
+
     /// Number of verdicts currently held by the dedup cache.
     pub fn cached_verdicts(&self) -> usize {
-        self.cache.lock().unwrap_or_else(|p| p.into_inner()).len()
+        self.cache.len()
     }
 
     /// The canonical cache key of an obligation: a structural hash of its
-    /// simplified definitions, hypotheses, and goal. Stable across threads
-    /// (the hash does not depend on arena ids; defined-variable names reuse
-    /// the arena's cached symbol hashes).
-    fn canonical_key(&self, ob: &Obligation) -> u128 {
-        fn mix(h: u128, x: u128) -> u128 {
-            (h ^ x).wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013B) ^ (h >> 61)
-        }
+    /// simplified definitions, hypotheses, and goal, mixed with the scope
+    /// fingerprint and the back-end configuration (including
+    /// `prover_threads`: a sharded model search that races past an
+    /// evaluation error can legitimately answer `CounterModel` where the
+    /// sequential search answers `Unknown`, so portfolios differing only in
+    /// prover threads must not share verdicts). Stable across threads (the
+    /// structural hash does not depend on arena ids; defined-variable names
+    /// reuse the arena's cached symbol hashes), so a key computed by the
+    /// scheduler on one worker addresses the same verdict everywhere.
+    pub fn canonical_key(&self, ob: &Obligation) -> u128 {
+        use crate::scope::mix128 as mix;
+        let config = (self.use_structural as u128)
+            | ((self.use_finite as u128) << 1)
+            | ((self.prover_threads as u128) << 2);
         with_arena(|arena| {
             let mut key: u128 = 0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C834;
+            key = mix(key, self.scope.fingerprint());
+            key = mix(key, config);
             for (name, term) in &ob.defines {
                 let id = arena.intern(term);
                 let simplified = arena.simplify_id(id);
@@ -141,25 +232,27 @@ impl Portfolio {
     /// cache; the cached verdict is returned with zeroed work counters and
     /// `cache_hits = 1` so accumulated statistics stay meaningful.
     pub fn prove(&self, ob: &Obligation) -> Verdict {
-        let key = self.canonical_key(ob);
-        {
-            let cache = self.cache.lock().unwrap_or_else(|p| p.into_inner());
-            if let Some(verdict) = cache.get(&key) {
-                let mut hit = verdict.clone();
-                *hit.stats_mut() = ProofStats {
-                    models_checked: 0,
-                    elapsed: std::time::Duration::ZERO,
-                    prover: hit.stats().prover,
-                    cache_hits: 1,
-                };
-                return hit;
-            }
+        self.prove_keyed(self.canonical_key(ob), ob)
+    }
+
+    /// Attempts to prove an obligation whose canonical key the caller has
+    /// already computed (the obligation scheduler keys every obligation once
+    /// while deduplicating the work queue, so re-hashing here would be
+    /// wasted work). `key` must come from [`Portfolio::canonical_key`] on a
+    /// portfolio with the same scope and configuration.
+    pub fn prove_keyed(&self, key: u128, ob: &Obligation) -> Verdict {
+        if let Some(verdict) = self.cache.get(key) {
+            let mut hit = verdict;
+            let prover = hit.stats().prover;
+            *hit.stats_mut() = ProofStats {
+                prover,
+                cache_hits: 1,
+                ..ProofStats::none()
+            };
+            return hit;
         }
         let verdict = self.prove_uncached(ob);
-        self.cache
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .insert(key, verdict.clone());
+        self.cache.insert(key, verdict.clone());
         verdict
     }
 
@@ -178,12 +271,7 @@ impl Portfolio {
                 reason:
                     "structural prover could not decide and the finite-model prover is disabled"
                         .to_string(),
-                stats: ProofStats {
-                    models_checked: 0,
-                    elapsed: std::time::Duration::ZERO,
-                    prover: ProverChoice::Structural,
-                    cache_hits: 0,
-                },
+                stats: ProofStats::none(),
             }
         }
     }
@@ -215,11 +303,12 @@ impl Portfolio {
 
 /// Identifies which back-end proved an obligation (re-exported name used by
 /// reports).
-pub type ProverChoiceReport = ProverChoice;
+pub type ProverChoiceReport = crate::stats::ProverChoice;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stats::ProverChoice;
     use semcommute_logic::build::*;
 
     fn add_add_obligation() -> Obligation {
@@ -323,5 +412,67 @@ mod tests {
         assert!(valid.is_valid());
         assert!(bogus.is_counterexample());
         assert_eq!(p.cached_verdicts(), 2);
+    }
+
+    #[test]
+    fn canonical_key_depends_on_scope_and_configuration() {
+        let ob = add_add_obligation();
+        let small = Portfolio::small();
+        assert_eq!(small.canonical_key(&ob), small.canonical_key(&ob));
+        assert_ne!(
+            small.canonical_key(&ob),
+            Portfolio::standard().canonical_key(&ob)
+        );
+        assert_ne!(
+            small.canonical_key(&ob),
+            Portfolio::small().without_structural().canonical_key(&ob)
+        );
+        // Sharded and sequential model searches can answer differently on
+        // obligations with input-dependent evaluation errors, so the thread
+        // count is part of the configuration too.
+        assert_ne!(
+            small.canonical_key(&ob),
+            Portfolio::small().with_prover_threads(4).canonical_key(&ob)
+        );
+        // ... so one shared cache can safely serve differently-scoped
+        // portfolios: a tiny-budget Unknown never answers the real scope.
+        let cache = VerdictCache::new();
+        let starved = Portfolio::small()
+            .with_scope(Scope::small().with_max_models(1))
+            .with_shared_cache(&cache);
+        let real = Portfolio::small().with_shared_cache(&cache);
+        let ob = Obligation::new("m").goal(eq(var_map("m"), var_map("n")));
+        assert!(starved.prove(&ob).is_unknown());
+        assert!(real.prove(&ob).is_counterexample());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shared_cache_is_shared_and_sharded() {
+        let cache = VerdictCache::new();
+        assert!(cache.is_empty());
+        let a = Portfolio::small().with_shared_cache(&cache);
+        let b = Portfolio::small().with_shared_cache(&cache);
+        assert!(a.cache().shares_with(b.cache()));
+        let first = a.prove(&add_add_obligation());
+        assert_eq!(first.stats().cache_hits, 0);
+        let second = b.prove(&add_add_obligation());
+        assert_eq!(second.stats().cache_hits, 1);
+        // Distinct obligations spread over the shards but stay countable.
+        for i in 0..8 {
+            let ob = Obligation::new("n").goal(eq(var_int("x"), int(i)));
+            b.prove(&ob);
+        }
+        assert_eq!(cache.len(), 9);
+    }
+
+    #[test]
+    fn prove_keyed_skips_rehashing_but_matches_prove() {
+        let p = Portfolio::small();
+        let ob = add_add_obligation();
+        let key = p.canonical_key(&ob);
+        let keyed = p.prove_keyed(key, &ob);
+        assert!(keyed.is_valid());
+        assert_eq!(p.prove(&ob).stats().cache_hits, 1);
     }
 }

@@ -1,0 +1,408 @@
+//! A work-stealing scheduler over proof obligations.
+//!
+//! The verification driver used to split the catalog statically: one thread
+//! group per interface, each group chunking its conditions. On skewed
+//! catalogs (ArrayList dominates the paper's wall-clock) that leaves three
+//! groups idle while one finishes. This module replaces the static split
+//! with a single flat work queue:
+//!
+//! * every submitted obligation is addressed by its **canonical hash**
+//!   ([`Portfolio::canonical_key`]: the structural hash of the simplified
+//!   obligation mixed with scope and configuration), and canonically
+//!   identical submissions collapse into one *task* before any worker runs;
+//! * tasks are distributed round-robin over per-worker deques; a worker pops
+//!   from the front of its own deque and, when empty, **steals a batch**
+//!   (half the victim's remaining tasks) from the back of another worker's
+//!   deque, so a worker that drew cheap structural obligations immediately
+//!   takes over part of a loaded worker's share;
+//! * workers publish verdicts through the portfolio's sharded
+//!   [`VerdictCache`], keyed by the same canonical hash, so duplicate work
+//!   is impossible even across scheduler runs sharing a cache;
+//! * an optional [`ExitGuard`] per obligation group (the driver uses one per
+//!   testing method) reproduces the sequential early-exit semantics: once
+//!   the obligation at index `i` of a group fails, obligations of the same
+//!   group at indices `> i` may be skipped — but never obligations at lower
+//!   indices, so the group's reported verdict (the *first* failing
+//!   obligation in program order) is exactly the one the sequential oracle
+//!   would report.
+//!
+//! With `workers <= 1` the scheduler degenerates to an in-order, in-thread
+//! loop over the deduplicated tasks — the reproducible sequential baseline
+//! that the differential tests treat as the oracle.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::obligation::Obligation;
+use crate::portfolio::Portfolio;
+use crate::stats::ProofStats;
+use crate::verdict::Verdict;
+
+/// Early-exit flag shared by the obligations of one group (one generated
+/// testing method, in the verification driver).
+///
+/// The sequential driver proves a method's obligations in order and stops at
+/// the first failure. In a parallel run the group's obligations complete out
+/// of order, so the guard tracks the *lowest* failing index instead: workers
+/// skip obligations strictly above it, and because indices below the
+/// current minimum are never skipped, the minimum converges to exactly the
+/// index the sequential run would have stopped at.
+#[derive(Debug, Default)]
+pub struct ExitGuard {
+    failed_at: AtomicU32,
+}
+
+impl ExitGuard {
+    /// Creates a guard with no failure recorded.
+    pub fn new() -> ExitGuard {
+        ExitGuard {
+            failed_at: AtomicU32::new(u32::MAX),
+        }
+    }
+
+    /// Records that the obligation at `index` failed (keeps the minimum).
+    pub fn fail(&self, index: u32) {
+        self.failed_at.fetch_min(index, Ordering::SeqCst);
+    }
+
+    /// The lowest failing index recorded so far.
+    pub fn failed_at(&self) -> Option<u32> {
+        match self.failed_at.load(Ordering::SeqCst) {
+            u32::MAX => None,
+            i => Some(i),
+        }
+    }
+
+    /// `true` when the obligation at `index` no longer needs proving: some
+    /// obligation of the group at a strictly lower index already failed.
+    pub fn skips(&self, index: u32) -> bool {
+        self.failed_at.load(Ordering::SeqCst) < index
+    }
+}
+
+/// One obligation submitted to the scheduler.
+#[derive(Debug, Clone)]
+pub struct ScheduledObligation {
+    /// The obligation to prove.
+    pub obligation: Obligation,
+    /// Index into the portfolio slice given to [`prove_all_scheduled`] (the
+    /// driver uses one portfolio per interface scope, all sharing one
+    /// sharded cache).
+    pub portfolio: usize,
+    /// Early-exit group membership: the shared guard and this obligation's
+    /// index within its group.
+    pub guard: Option<(Arc<ExitGuard>, u32)>,
+}
+
+impl ScheduledObligation {
+    /// Wraps an obligation with the default portfolio and no early-exit
+    /// group.
+    pub fn new(obligation: Obligation) -> ScheduledObligation {
+        ScheduledObligation {
+            obligation,
+            portfolio: 0,
+            guard: None,
+        }
+    }
+
+    /// Selects the portfolio (by index) this obligation is proved with.
+    pub fn with_portfolio(mut self, portfolio: usize) -> ScheduledObligation {
+        self.portfolio = portfolio;
+        self
+    }
+
+    /// Joins an early-exit group at the given index.
+    pub fn with_guard(mut self, guard: Arc<ExitGuard>, index: u32) -> ScheduledObligation {
+        self.guard = Some((guard, index));
+        self
+    }
+}
+
+/// Counters describing one scheduler run.
+///
+/// The accounting invariant — checked by the scheduler property tests — is
+/// `proved + cache_hits + skipped == submitted`: every submitted obligation
+/// is either proved (it was the first of its canonical hash and missed the
+/// verdict cache), answered by dedup (a duplicate submission, or a verdict
+/// already in the shared cache), or skipped by its early-exit guard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueueReport {
+    /// Obligations submitted.
+    pub submitted: usize,
+    /// Unique canonical hashes among the submissions.
+    pub unique: usize,
+    /// Obligations actually sent to the prover portfolio (cache misses).
+    pub proved: u64,
+    /// Submissions answered without proving: duplicates of an in-run task
+    /// plus tasks whose verdict was already in the shared cache.
+    pub cache_hits: u64,
+    /// Submissions skipped because their early-exit guard had already failed
+    /// at a lower index.
+    pub skipped: u64,
+    /// Successful steal operations (a batch moved between worker deques).
+    pub steals: u64,
+    /// Tasks moved by those steals.
+    pub stolen_tasks: u64,
+    /// Aggregated errors: `Unknown` verdict reasons and the non-fatal
+    /// evaluation errors the provers surfaced through
+    /// [`ProofStats::errors`], each prefixed with the obligation name.
+    pub errors: Vec<String>,
+}
+
+/// The outcome of a scheduler run.
+#[derive(Debug, Clone)]
+pub struct QueueRun {
+    /// One slot per submitted obligation, in submission order. `None` only
+    /// for obligations skipped via their [`ExitGuard`].
+    pub verdicts: Vec<Option<Verdict>>,
+    /// Scheduler counters.
+    pub report: QueueReport,
+}
+
+/// One submission's early-exit membership: its group guard and index.
+type GuardRef = Option<(Arc<ExitGuard>, u32)>;
+
+/// A deduplicated unit of work: the first submission with a given canonical
+/// hash carries the obligation; later submissions only subscribe.
+struct Task {
+    key: u128,
+    portfolio: usize,
+    obligation: Obligation,
+    /// `(submission index, early-exit membership)`, in submission order.
+    subscribers: Vec<(usize, GuardRef)>,
+}
+
+impl Task {
+    /// A task may be dropped only when *every* subscription is past its
+    /// group's failure point; a hash shared between a failed group and a
+    /// live one must still be proved for the live group.
+    fn skippable(&self) -> bool {
+        self.subscribers
+            .iter()
+            .all(|(_, guard)| matches!(guard, Some((g, i)) if g.skips(*i)))
+    }
+}
+
+/// Proves a batch of obligations with one portfolio and `workers` stealing
+/// workers. Convenience wrapper over [`prove_all_scheduled`]; since no
+/// early-exit guards are involved every verdict is present.
+pub fn prove_all(portfolio: &Portfolio, obligations: &[Obligation], workers: usize) -> QueueRun {
+    let items = obligations
+        .iter()
+        .map(|ob| ScheduledObligation::new(ob.clone()))
+        .collect();
+    prove_all_scheduled(std::slice::from_ref(portfolio), items, workers)
+}
+
+/// Proves a batch of [`ScheduledObligation`]s on `workers` work-stealing
+/// workers.
+///
+/// The returned verdicts are positionally aligned with `items`. The first
+/// submission of each canonical hash receives the prover's verdict; later
+/// submissions receive it as a dedup hit (zeroed work counters,
+/// `cache_hits = 1`), mirroring what [`Portfolio::prove`] reports for a
+/// cache hit — so accumulated statistics are identical to what a sequential
+/// run over the same submissions would have accumulated.
+///
+/// # Panics
+///
+/// Panics if an item's `portfolio` index is out of bounds of `portfolios`.
+pub fn prove_all_scheduled(
+    portfolios: &[Portfolio],
+    items: Vec<ScheduledObligation>,
+    workers: usize,
+) -> QueueRun {
+    let submitted = items.len();
+    let mut report = QueueReport {
+        submitted,
+        ..QueueReport::default()
+    };
+
+    // Dedup by canonical hash: the key of the simplified obligation under
+    // its portfolio's scope and configuration. Keying runs on this thread's
+    // arena, whose memo tables make repeated sub-DAGs cheap.
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut by_key: HashMap<u128, usize> = HashMap::new();
+    for (index, item) in items.into_iter().enumerate() {
+        assert!(
+            item.portfolio < portfolios.len(),
+            "scheduled obligation references portfolio {} of {}",
+            item.portfolio,
+            portfolios.len()
+        );
+        let key = portfolios[item.portfolio].canonical_key(&item.obligation);
+        match by_key.get(&key) {
+            Some(&task_id) => tasks[task_id].subscribers.push((index, item.guard)),
+            None => {
+                by_key.insert(key, tasks.len());
+                tasks.push(Task {
+                    key,
+                    portfolio: item.portfolio,
+                    obligation: item.obligation,
+                    subscribers: vec![(index, item.guard)],
+                });
+            }
+        }
+    }
+    report.unique = tasks.len();
+
+    let results: Vec<OnceLock<Verdict>> = (0..tasks.len()).map(|_| OnceLock::new()).collect();
+    let proved = AtomicU64::new(0);
+    let cache_hits = AtomicU64::new(0);
+    let steals = AtomicU64::new(0);
+    let stolen_tasks = AtomicU64::new(0);
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    let process = |task_id: usize, task: &Task| {
+        if task.skippable() {
+            return;
+        }
+        let portfolio = &portfolios[task.portfolio];
+        let verdict = portfolio.prove_keyed(task.key, &task.obligation);
+        if verdict.stats().cache_hits > 0 {
+            cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            proved.fetch_add(1, Ordering::Relaxed);
+        }
+        if !verdict.is_valid() {
+            for (_, guard) in &task.subscribers {
+                if let Some((guard, index)) = guard {
+                    guard.fail(*index);
+                }
+            }
+        }
+        let mut found: Vec<String> = verdict
+            .stats()
+            .errors
+            .iter()
+            .map(|e| format!("{}: {e}", task.obligation.name))
+            .collect();
+        if let Verdict::Unknown { reason, stats } = &verdict {
+            if !stats.errors.iter().any(|e| e == reason) {
+                found.push(format!("{}: {reason}", task.obligation.name));
+            }
+        }
+        if !found.is_empty() {
+            errors
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .extend(found);
+        }
+        let _ = results[task_id].set(verdict);
+    };
+
+    let workers = workers.max(1).min(tasks.len().max(1));
+    if workers <= 1 {
+        // The reproducible baseline: tasks run in submission order on the
+        // calling thread. This is the oracle the differential tests compare
+        // parallel runs against.
+        for (task_id, task) in tasks.iter().enumerate() {
+            process(task_id, task);
+        }
+    } else {
+        // Seed the per-worker deques round-robin so every worker starts
+        // with a cross-section of the catalog, then let emptied workers
+        // steal batches from the back of loaded ones.
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                Mutex::new(
+                    (0..tasks.len())
+                        .filter(|t| t % workers == w)
+                        .collect::<VecDeque<usize>>(),
+                )
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let (deques, tasks, process) = (&deques, &tasks, &process);
+                let (steals, stolen_tasks) = (&steals, &stolen_tasks);
+                scope.spawn(move || loop {
+                    let next = deques[me]
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .pop_front();
+                    let task_id = match next {
+                        Some(id) => id,
+                        None => {
+                            // Steal half of the first non-empty victim's
+                            // deque (from the back, so the victim keeps the
+                            // front it is about to pop).
+                            let mut batch: VecDeque<usize> = VecDeque::new();
+                            for offset in 1..workers {
+                                let victim = (me + offset) % workers;
+                                let mut v =
+                                    deques[victim].lock().unwrap_or_else(|p| p.into_inner());
+                                let take = v.len().div_ceil(2);
+                                if take == 0 {
+                                    continue;
+                                }
+                                for _ in 0..take {
+                                    if let Some(id) = v.pop_back() {
+                                        batch.push_front(id);
+                                    }
+                                }
+                                break;
+                            }
+                            match batch.pop_front() {
+                                // All deques were empty: no new tasks can
+                                // appear (the queue is seeded up front), so
+                                // this worker is done.
+                                None => break,
+                                Some(id) => {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    stolen_tasks
+                                        .fetch_add(batch.len() as u64 + 1, Ordering::Relaxed);
+                                    if !batch.is_empty() {
+                                        deques[me]
+                                            .lock()
+                                            .unwrap_or_else(|p| p.into_inner())
+                                            .append(&mut batch);
+                                    }
+                                    id
+                                }
+                            }
+                        }
+                    };
+                    process(task_id, &tasks[task_id]);
+                });
+            }
+        });
+    }
+
+    // Fan the per-task verdicts back out to the submissions. The first
+    // subscriber gets the prover's verdict; duplicates get it as a dedup
+    // hit, exactly as the sequential portfolio would have answered them.
+    let mut verdicts: Vec<Option<Verdict>> = vec![None; submitted];
+    let mut skipped = 0u64;
+    let mut duplicate_hits = 0u64;
+    for (task_id, task) in tasks.iter().enumerate() {
+        match results[task_id].get() {
+            None => skipped += task.subscribers.len() as u64,
+            Some(verdict) => {
+                duplicate_hits += task.subscribers.len() as u64 - 1;
+                for (position, (submission, _)) in task.subscribers.iter().enumerate() {
+                    verdicts[*submission] = Some(if position == 0 {
+                        verdict.clone()
+                    } else {
+                        let mut hit = verdict.clone();
+                        let prover = hit.stats().prover;
+                        *hit.stats_mut() = ProofStats {
+                            prover,
+                            cache_hits: 1,
+                            ..ProofStats::none()
+                        };
+                        hit
+                    });
+                }
+            }
+        }
+    }
+    report.proved = proved.into_inner();
+    report.cache_hits = cache_hits.into_inner() + duplicate_hits;
+    report.skipped = skipped;
+    report.steals = steals.into_inner();
+    report.stolen_tasks = stolen_tasks.into_inner();
+    report.errors = errors.into_inner().unwrap_or_else(|p| p.into_inner());
+    QueueRun { verdicts, report }
+}

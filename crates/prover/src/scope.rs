@@ -1,5 +1,12 @@
 //! Scope (bound) configuration for the finite-model prover.
 
+/// The 128-bit mixing step shared by [`Scope::fingerprint`] and the
+/// portfolio's canonical obligation keys (an FNV-style multiply-xor fold);
+/// keeping one definition guarantees the two stay in lockstep.
+pub(crate) fn mix128(h: u128, x: u128) -> u128 {
+    (h ^ x).wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013B) ^ (h >> 61)
+}
+
 /// Bounds for the finite-model search.
 ///
 /// The relevant-universe argument (see the crate documentation and DESIGN.md)
@@ -83,6 +90,25 @@ impl Scope {
         self.int_max = self.int_max.max(max_seq_len as i64 + 1);
         self
     }
+
+    /// A 128-bit fingerprint of every bound in the scope.
+    ///
+    /// A finite-model verdict is only meaningful relative to the scope it was
+    /// searched under, so the portfolio mixes this fingerprint into the
+    /// canonical cache key of every obligation. That makes one sharded
+    /// verdict cache safely shareable between portfolios with different
+    /// scopes (the global obligation scheduler proves all four interfaces,
+    /// under two different scopes, against a single cache).
+    pub fn fingerprint(&self) -> u128 {
+        let mut h: u128 = 0x6A09_E667_F3BC_C908_B2FB_1366_EA95_7D3E;
+        h = mix128(h, self.elem_padding as u128);
+        h = mix128(h, self.max_collection_entries as u128);
+        h = mix128(h, self.max_seq_len as u128);
+        h = mix128(h, self.int_min as u128);
+        h = mix128(h, self.int_max as u128);
+        h = mix128(h, self.max_models as u128);
+        h
+    }
 }
 
 impl Default for Scope {
@@ -124,5 +150,22 @@ mod tests {
         assert_eq!(s.max_models, 10);
         assert_eq!(s.max_seq_len, 6);
         assert!(s.int_max >= 7);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_scopes() {
+        assert_eq!(Scope::small().fingerprint(), Scope::small().fingerprint());
+        assert_ne!(
+            Scope::small().fingerprint(),
+            Scope::standard().fingerprint()
+        );
+        assert_ne!(
+            Scope::small().fingerprint(),
+            Scope::small().with_max_models(1).fingerprint()
+        );
+        assert_ne!(
+            Scope::sequences(3).fingerprint(),
+            Scope::sequences(4).fingerprint()
+        );
     }
 }

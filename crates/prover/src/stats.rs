@@ -43,6 +43,13 @@ pub struct ProofStats {
     /// Number of obligations answered from the portfolio's dedup cache
     /// (a previously proved obligation with the same canonical form).
     pub cache_hits: u64,
+    /// Evaluation errors encountered along the way that did *not* decide the
+    /// verdict. The sharded model search keeps going when one worker hits an
+    /// evaluation error (a racing error must not mask a genuine
+    /// counter-model), so a `CounterModel` or `Valid` verdict can still carry
+    /// the errors other workers observed; `merge` accumulates them across
+    /// obligations.
+    pub errors: Vec<String>,
 }
 
 impl ProofStats {
@@ -53,6 +60,7 @@ impl ProofStats {
             elapsed,
             prover: ProverChoice::Structural,
             cache_hits: 0,
+            errors: Vec::new(),
         }
     }
 
@@ -63,6 +71,7 @@ impl ProofStats {
             elapsed,
             prover: ProverChoice::FiniteModel,
             cache_hits: 0,
+            errors: Vec::new(),
         }
     }
 
@@ -73,15 +82,23 @@ impl ProofStats {
             elapsed: Duration::ZERO,
             prover: ProverChoice::None,
             cache_hits: 0,
+            errors: Vec::new(),
         }
     }
 
+    /// Returns a copy carrying the given non-fatal evaluation errors.
+    pub fn with_errors(mut self, errors: Vec<String>) -> ProofStats {
+        self.errors = errors;
+        self
+    }
+
     /// Merges another set of statistics into this one (summing counters and
-    /// times, keeping the "stronger" prover label).
+    /// times, concatenating errors, keeping the "stronger" prover label).
     pub fn merge(&mut self, other: &ProofStats) {
         self.models_checked += other.models_checked;
         self.elapsed += other.elapsed;
         self.cache_hits += other.cache_hits;
+        self.errors.extend(other.errors.iter().cloned());
         if other.prover > self.prover {
             self.prover = other.prover;
         }
@@ -102,7 +119,11 @@ impl fmt::Display for ProofStats {
             self.prover,
             self.models_checked,
             self.elapsed.as_secs_f64()
-        )
+        )?;
+        if !self.errors.is_empty() {
+            write!(f, " [{} non-fatal error(s)]", self.errors.len())?;
+        }
+        Ok(())
     }
 }
 
@@ -136,5 +157,15 @@ mod tests {
         let s = ProofStats::finite(42, Duration::from_millis(1)).to_string();
         assert!(s.contains("finite-model"));
         assert!(s.contains("42"));
+    }
+
+    #[test]
+    fn merge_concatenates_errors_and_display_counts_them() {
+        let mut a =
+            ProofStats::finite(1, Duration::ZERO).with_errors(vec!["worker 1 failed".into()]);
+        let b = ProofStats::finite(2, Duration::ZERO).with_errors(vec!["worker 3 failed".into()]);
+        a.merge(&b);
+        assert_eq!(a.errors.len(), 2);
+        assert!(a.to_string().contains("2 non-fatal error(s)"));
     }
 }

@@ -1,0 +1,191 @@
+//! Differential test: the parallel work-stealing scheduler against the
+//! sequential oracle.
+//!
+//! The correctness story of the global obligation scheduler is that
+//! parallelism must be *observationally invisible*: for every condition in
+//! the catalog, the soundness and completeness verdicts of a scheduled run —
+//! including the concrete counterexample models of failing conditions, not
+//! just their number — must be identical to those of the strictly
+//! sequential `threads = 1` baseline. This harness runs the full catalog
+//! (every condition of all four interfaces) sequentially and at 2, 4, and 8
+//! workers and compares verdict by verdict.
+//!
+//! The ArrayList sequence scope is 3 here so that a full-catalog run stays
+//! fast in debug builds; the scope is a verification parameter, not a
+//! truncation of the catalog.
+
+use semcommute_core::verify::{verify_catalog, CatalogReport, VerifyOptions};
+use semcommute_prover::Verdict;
+
+/// The observable outcome of one testing-method verdict: its kind plus the
+/// counterexample model, rendered. Statistics (timings, model counts) are
+/// deliberately excluded — they legitimately differ between runs.
+fn observable(verdict: &Verdict) -> String {
+    match verdict {
+        Verdict::Valid { .. } => "valid".to_string(),
+        Verdict::CounterModel { model, .. } => format!("counterexample:\n{model}"),
+        Verdict::Unknown { reason, .. } => format!("unknown: {reason}"),
+    }
+}
+
+fn options(threads: usize, limit: Option<usize>) -> VerifyOptions {
+    VerifyOptions {
+        threads,
+        seq_len: 3,
+        limit,
+        prover_threads: 1,
+    }
+}
+
+fn assert_identical_verdicts(oracle: &CatalogReport, parallel: &CatalogReport, workers: usize) {
+    assert_eq!(oracle.interfaces.len(), parallel.interfaces.len());
+    for (seq_report, par_report) in oracle.interfaces.iter().zip(&parallel.interfaces) {
+        assert_eq!(seq_report.interface, par_report.interface);
+        assert_eq!(
+            seq_report.total(),
+            par_report.total(),
+            "{workers} workers: {} condition count drifted",
+            seq_report.interface
+        );
+        for (seq_cond, par_cond) in seq_report.reports.iter().zip(&par_report.reports) {
+            assert_eq!(seq_cond.condition.id(), par_cond.condition.id());
+            assert_eq!(seq_cond.hinted, par_cond.hinted);
+            for (kind, seq_verdict, par_verdict) in [
+                ("soundness", &seq_cond.soundness, &par_cond.soundness),
+                (
+                    "completeness",
+                    &seq_cond.completeness,
+                    &par_cond.completeness,
+                ),
+            ]
+            .map(|(k, s, p)| (k, s, p))
+            {
+                assert_eq!(
+                    observable(seq_verdict),
+                    observable(par_verdict),
+                    "{workers} workers: {} {kind} verdict differs from the sequential oracle",
+                    seq_cond.condition.id(),
+                );
+            }
+        }
+    }
+}
+
+/// The full catalog: sequential oracle vs. 2, 4, and 8 stealing workers.
+#[test]
+fn full_catalog_verdicts_match_sequential_oracle() {
+    let oracle = verify_catalog(&options(1, None));
+    assert!(oracle.scheduler.is_none(), "threads = 1 is the oracle path");
+    let verified: usize = oracle.interfaces.iter().map(|r| r.verified_count()).sum();
+    let total: usize = oracle.interfaces.iter().map(|r| r.total()).sum();
+    assert_eq!(verified, total, "the catalog verifies under the oracle");
+    assert_eq!(total, 510, "12 + 108 + 147 + 243 catalog conditions");
+
+    for workers in [2, 4, 8] {
+        let parallel = verify_catalog(&options(workers, None));
+        let scheduler = parallel
+            .scheduler
+            .as_ref()
+            .expect("threads > 1 goes through the scheduler");
+        assert_eq!(
+            scheduler.proved + scheduler.cache_hits + scheduler.skipped,
+            scheduler.submitted as u64,
+            "{workers} workers: scheduler accounting must balance"
+        );
+        assert_eq!(scheduler.skipped, 0, "nothing fails, so nothing is skipped");
+        assert!(
+            scheduler.unique <= scheduler.submitted,
+            "dedup can only shrink the queue"
+        );
+        assert_identical_verdicts(&oracle, &parallel, workers);
+    }
+}
+
+/// Differential check on a catalog *with failures*: sabotaged conditions
+/// must fail identically — same failing obligation, same counterexample
+/// model — no matter how many workers race, pinning the early-exit guard
+/// semantics (a racing later failure must not replace the first one).
+#[test]
+fn failing_conditions_report_the_same_counterexample_in_parallel() {
+    use semcommute_core::catalog::interface_catalog;
+    use semcommute_core::verify::{verify_condition, ConditionReport};
+    use semcommute_prover::queue::{self, ExitGuard, ScheduledObligation};
+    use semcommute_prover::{Portfolio, Scope};
+    use semcommute_spec::InterfaceId;
+    use std::sync::Arc;
+
+    // Sabotage: claim contains/add commute unconditionally (they don't).
+    let mut sabotaged = interface_catalog(InterfaceId::Set)
+        .into_iter()
+        .filter(|c| c.first.op == "contains" && c.second.op == "add")
+        .collect::<Vec<_>>();
+    assert!(!sabotaged.is_empty());
+    for cond in &mut sabotaged {
+        cond.formula = semcommute_logic::build::tru();
+    }
+
+    let prover = Portfolio::new(Scope::small());
+    let oracle: Vec<ConditionReport> = sabotaged
+        .iter()
+        .enumerate()
+        .map(|(i, c)| verify_condition(c, &Portfolio::new(Scope::small()), i))
+        .collect();
+    assert!(oracle.iter().any(|r| !r.verified()));
+
+    for workers in [2, 4, 8] {
+        // Rebuild the method obligations exactly as the driver would and
+        // push them through the scheduler.
+        let mut items = Vec::new();
+        let mut method_ranges = Vec::new();
+        for (i, cond) in sabotaged.iter().enumerate() {
+            let (soundness, completeness) = semcommute_core::template::testing_methods(cond, i);
+            for method in [soundness, completeness] {
+                let obs = semcommute_core::vcgen::generate_obligations(&method).unwrap();
+                let guard = Arc::new(ExitGuard::new());
+                let start = items.len();
+                items.extend(obs.into_iter().enumerate().map(|(j, ob)| {
+                    ScheduledObligation::new(ob).with_guard(guard.clone(), j as u32)
+                }));
+                method_ranges.push(start..items.len());
+            }
+        }
+        let run = queue::prove_all_scheduled(std::slice::from_ref(&prover), items, workers);
+        for (m, range) in method_ranges.iter().enumerate() {
+            let sequential = if m % 2 == 0 {
+                &oracle[m / 2].soundness
+            } else {
+                &oracle[m / 2].completeness
+            };
+            // First non-valid verdict in obligation order, as the driver
+            // reassembles it.
+            let mut parallel: Option<&Verdict> = None;
+            for index in range.clone() {
+                match &run.verdicts[index] {
+                    None => break,
+                    Some(v) if !v.is_valid() => {
+                        parallel = Some(v);
+                        break;
+                    }
+                    Some(v) => parallel = Some(v),
+                }
+            }
+            let parallel = parallel.expect("at least one obligation per method");
+            assert_eq!(
+                observable(sequential),
+                observable(parallel),
+                "{workers} workers: method {m} verdict drifted"
+            );
+        }
+    }
+}
+
+/// A quick differential pass that also exercises the `limit` knob, so the
+/// scheduler is compared against the oracle on truncated catalogs too.
+#[test]
+fn limited_catalog_matches_oracle() {
+    let oracle = verify_catalog(&options(1, Some(10)));
+    for workers in [2, 4] {
+        let parallel = verify_catalog(&options(workers, Some(10)));
+        assert_identical_verdicts(&oracle, &parallel, workers);
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests of the work-stealing obligation scheduler: arbitrary
+//! obligation multisets are fully drained at any worker count, each unique
+//! canonical hash is proved exactly once, the dedup accounting balances
+//! (`proved + cache_hits == submitted`), and every verdict matches what a
+//! fresh sequential portfolio would have said.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use semcommute_logic::build::*;
+use semcommute_prover::{queue, Obligation, Portfolio, Scope, Verdict};
+
+/// A small pool of obligations: valid (structural and finite-model),
+/// invalid, and canonical duplicates under different names — so sampled
+/// multisets routinely contain both kinds of dedup.
+fn obligation() -> impl Strategy<Value = Obligation> {
+    prop_oneof![
+        // valid, decided structurally
+        Just(
+            Obligation::new("add_add")
+                .define("s1", set_add(var_set("s"), var_elem("v")))
+                .goal(eq(
+                    set_add(var_set("s1"), var_elem("w")),
+                    set_add(set_add(var_set("s"), var_elem("v")), var_elem("w"))
+                ))
+        ),
+        // the same obligation, renamed: canonically identical
+        Just(
+            Obligation::new("add_add_again")
+                .define("s1", set_add(var_set("s"), var_elem("v")))
+                .goal(eq(
+                    set_add(var_set("s1"), var_elem("w")),
+                    set_add(set_add(var_set("s"), var_elem("v")), var_elem("w"))
+                ))
+        ),
+        // valid, needs the finite-model search
+        Just(
+            Obligation::new("member_after_add")
+                .define("s1", set_add(var_set("s"), var_elem("v")))
+                .goal(member(var_elem("v"), var_set("s1")))
+        ),
+        // invalid: has a counterexample
+        Just(Obligation::new("bogus_membership").goal(member(var_elem("v"), var_set("s")))),
+        Just(Obligation::new("bogus_equality").goal(eq(var_elem("a"), var_elem("b")))),
+        // invalid, about cardinality
+        Just(Obligation::new("bogus_card").goal(eq(card(var_set("s")), int(1)))),
+        // valid, integer reasoning
+        Just(
+            Obligation::new("inc_dec")
+                .define("c1", add(var_int("c"), var_int("v")))
+                .define("c2", sub(var_int("c1"), var_int("v")))
+                .goal(eq(var_int("c2"), var_int("c")))
+        ),
+    ]
+}
+
+fn multiset() -> impl Strategy<Value = Vec<Obligation>> {
+    proptest::collection::vec(obligation(), 0..24)
+}
+
+/// The observable part of a verdict (kind + counterexample), for comparing
+/// scheduler output against the sequential baseline.
+fn observable(verdict: &Verdict) -> String {
+    match verdict {
+        Verdict::Valid { .. } => "valid".to_string(),
+        Verdict::CounterModel { model, .. } => format!("counterexample:\n{model}"),
+        Verdict::Unknown { reason, .. } => format!("unknown: {reason}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every submission gets a verdict, unique canonical hashes are proved
+    /// exactly once, and the accounting balances at any worker count.
+    #[test]
+    fn scheduler_drains_and_dedups(obligations in multiset(), workers in 1usize..9) {
+        let portfolio = Portfolio::new(Scope::small());
+        let unique: HashSet<u128> = obligations
+            .iter()
+            .map(|ob| portfolio.canonical_key(ob))
+            .collect();
+        let run = queue::prove_all(&portfolio, &obligations, workers);
+
+        // Fully drained: one verdict per submission, none skipped.
+        prop_assert_eq!(run.verdicts.len(), obligations.len());
+        prop_assert!(run.verdicts.iter().all(|v| v.is_some()));
+        prop_assert_eq!(run.report.skipped, 0);
+
+        // Each unique canonical hash proved exactly once...
+        prop_assert_eq!(run.report.submitted, obligations.len());
+        prop_assert_eq!(run.report.unique, unique.len());
+        prop_assert_eq!(run.report.proved, unique.len() as u64);
+        prop_assert_eq!(portfolio.cached_verdicts(), unique.len());
+
+        // ... and the dedup accounting balances.
+        prop_assert_eq!(
+            run.report.cache_hits + run.report.proved,
+            run.report.submitted as u64
+        );
+    }
+
+    /// Scheduler verdicts are observationally identical to proving each
+    /// submission on a fresh sequential portfolio.
+    #[test]
+    fn scheduler_verdicts_match_sequential(obligations in multiset(), workers in 2usize..9) {
+        let run = queue::prove_all(&Portfolio::new(Scope::small()), &obligations, workers);
+        let sequential = Portfolio::new(Scope::small());
+        for (ob, verdict) in obligations.iter().zip(&run.verdicts) {
+            let expected = sequential.prove(ob);
+            prop_assert_eq!(
+                observable(verdict.as_ref().expect("drained")),
+                observable(&expected),
+                "verdict for `{}` drifted under {} workers", &ob.name, workers
+            );
+        }
+    }
+
+    /// A second run over a warm shared cache proves nothing new: every
+    /// submission is answered by the sharded verdict cache.
+    #[test]
+    fn warm_cache_answers_everything(obligations in multiset(), workers in 1usize..9) {
+        let portfolio = Portfolio::new(Scope::small());
+        let first = queue::prove_all(&portfolio, &obligations, workers);
+        prop_assert_eq!(first.report.proved as usize, first.report.unique);
+        let second = queue::prove_all(&portfolio, &obligations, workers);
+        prop_assert_eq!(second.report.proved, 0);
+        prop_assert_eq!(second.report.cache_hits, obligations.len() as u64);
+        for (a, b) in first.verdicts.iter().zip(&second.verdicts) {
+            prop_assert_eq!(
+                observable(a.as_ref().unwrap()),
+                observable(b.as_ref().unwrap())
+            );
+        }
+    }
+}
+
+/// Early-exit guards: obligations after a failing index may be skipped, but
+/// the failing index itself is always proved — and a shared canonical hash
+/// subscribed by a *live* group is never skipped on behalf of a failed one.
+#[test]
+fn exit_guard_skips_only_later_indices() {
+    use queue::{ExitGuard, ScheduledObligation};
+    use std::sync::Arc;
+
+    let portfolio = Portfolio::new(Scope::small());
+    let failing = Obligation::new("fails").goal(member(var_elem("v"), var_set("s")));
+    let valid = Obligation::new("holds").goal(eq(var_int("x"), var_int("x")));
+    let late = Obligation::new("late").goal(eq(var_int("y"), var_int("y")));
+
+    for workers in [1, 2, 4] {
+        let guard = Arc::new(ExitGuard::new());
+        let live = Arc::new(ExitGuard::new());
+        let items = vec![
+            ScheduledObligation::new(valid.clone()).with_guard(guard.clone(), 0),
+            ScheduledObligation::new(failing.clone()).with_guard(guard.clone(), 1),
+            // Same group, above the failure: skippable...
+            ScheduledObligation::new(late.clone()).with_guard(guard.clone(), 2),
+            // ... but the same canonical hash is also index 0 of a live
+            // group, so it must still be proved and delivered to both.
+            ScheduledObligation::new(late.clone()).with_guard(live.clone(), 0),
+        ];
+        let run = queue::prove_all_scheduled(std::slice::from_ref(&portfolio), items, workers);
+        assert_eq!(guard.failed_at(), Some(1), "{workers} workers");
+        assert_eq!(live.failed_at(), None);
+        assert!(run.verdicts[0].as_ref().unwrap().is_valid());
+        assert!(run.verdicts[1].as_ref().unwrap().is_counterexample());
+        assert!(
+            run.verdicts[3].as_ref().unwrap().is_valid(),
+            "a live subscription keeps the shared hash alive"
+        );
+        // Index 2 shares the live group's hash, so it is delivered too
+        // (skipping is an optimization, never a correctness requirement).
+        assert!(run.verdicts[2].is_some());
+        assert_eq!(run.report.skipped, 0);
+    }
+
+    // Without the live subscription the later obligation may be skipped —
+    // at one worker (deterministic in-order draining) it always is.
+    let guard = Arc::new(ExitGuard::new());
+    let items = vec![
+        ScheduledObligation::new(failing).with_guard(guard.clone(), 0),
+        ScheduledObligation::new(late).with_guard(guard.clone(), 1),
+    ];
+    let run = queue::prove_all_scheduled(std::slice::from_ref(&portfolio), items, 1);
+    assert_eq!(guard.failed_at(), Some(0));
+    assert!(run.verdicts[0].as_ref().unwrap().is_counterexample());
+    assert!(run.verdicts[1].is_none(), "skipped after the failure");
+    assert_eq!(run.report.skipped, 1);
+    assert_eq!(
+        run.report.proved + run.report.cache_hits + run.report.skipped,
+        run.report.submitted as u64
+    );
+}

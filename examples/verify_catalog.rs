@@ -5,14 +5,15 @@
 //!
 //! Run with `cargo run --release --example verify_catalog`. Pass a number to
 //! limit how many conditions per interface are verified (useful for a quick
-//! look), and `--seq-len N` to change the ArrayList sequence scope.
+//! look), `--seq-len N` to change the ArrayList sequence scope, and
+//! `--threads N` to size the work-stealing obligation scheduler (`1` runs
+//! the reproducible sequential baseline).
 
 use std::time::Instant;
 
-use semcommute::core::verify::{verify_interface, VerifyOptions};
+use semcommute::core::verify::{verify_catalog, VerifyOptions};
 use semcommute::core::{inverse_catalog, report};
 use semcommute::prover::Portfolio;
-use semcommute::spec::InterfaceId;
 
 fn main() {
     let mut options = VerifyOptions::default();
@@ -24,6 +25,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--seq-len needs a number");
+            }
+            "--threads" => {
+                options.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
             }
             other => {
                 options.limit = Some(other.parse().expect("argument must be a number"));
@@ -38,17 +45,16 @@ fn main() {
     );
 
     let start = Instant::now();
-    let mut reports = Vec::new();
+    let catalog = verify_catalog(&options);
     let mut paper_conditions = 0usize;
     let mut paper_verified = 0usize;
-    for interface in InterfaceId::ALL {
-        let report = verify_interface(interface, &options);
-        let implementations = interface.implementations().len();
+    for report in &catalog.interfaces {
+        let implementations = report.interface.implementations().len();
         paper_conditions += report.total() * implementations;
         paper_verified += report.verified_count() * implementations;
         println!(
             "{:<12} {:>4} conditions  {:>4} methods  {:>4} verified  {:>8.2}s",
-            interface.to_string(),
+            report.interface.to_string(),
             report.total(),
             report.method_count(),
             report.verified_count(),
@@ -63,7 +69,18 @@ fn main() {
                 println!("    completeness counterexample:\n{model}");
             }
         }
-        reports.push(report);
+    }
+    let reports = catalog.interfaces;
+
+    if let Some(s) = &catalog.scheduler {
+        println!(
+            "\nscheduler: {} obligations ({} unique), {} proved, {} dedup hits, \
+             {} skipped, {} steals moving {} tasks",
+            s.submitted, s.unique, s.proved, s.cache_hits, s.skipped, s.steals, s.stolen_tasks
+        );
+        for error in &s.errors {
+            println!("  non-fatal error: {error}");
+        }
     }
 
     println!();
