@@ -8,48 +8,153 @@
 //!
 //! ```text
 //! cargo run --release -p semcommute-bench --bin perf_json -- [limit] \
-//!     [--seq-len N] [--threads N] [--prover-threads N] [--out FILE]
+//!     [--seq-len N] [--threads N] [--threads-list N,M,...] \
+//!     [--prover-threads N] [--out FILE]
 //! ```
+//!
+//! `--threads-list 1,4` runs the catalog once per listed scheduler width and
+//! emits one `{"runs": [...]}` document containing every measurement — the
+//! shape of the committed `BENCH_pr3.json` snapshot.
 
-use semcommute_bench::{perf_report_json, run_catalog_verification};
+use std::path::Path;
+
+use semcommute_bench::{perf_report_json, perf_report_json_runs, run_catalog_verification};
 use semcommute_core::verify::VerifyOptions;
+
+const USAGE: &str = "\
+usage: perf_json [LIMIT] [--seq-len N] [--threads N | --threads-list N,M,...]
+                 [--prover-threads N] [--out FILE]
+
+  LIMIT               verify only the first LIMIT conditions per interface
+  --seq-len N         ArrayList sequence scope (default 4)
+  --threads N         work-stealing scheduler width for a single run
+  --threads-list N,M  one run per width, emitted as one {\"runs\": [...]} doc
+  --prover-threads N  finite-model space sharding per obligation
+  --out FILE          also write the JSON report to FILE";
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}\n{USAGE}");
+    std::process::exit(2);
+}
 
 fn main() {
     let mut options = VerifyOptions::default();
     let mut out_path: Option<String> = None;
+    let mut threads_list: Option<Vec<usize>> = None;
+    let mut threads_flag_set = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             "--seq-len" => {
                 options.seq_len = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--seq-len needs a number");
+                    .unwrap_or_else(|| fail("--seq-len needs a number"));
             }
             "--threads" => {
                 options.threads = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
+                    .unwrap_or_else(|| fail("--threads needs a number"));
+                threads_flag_set = true;
+            }
+            "--threads-list" => {
+                let list = args
+                    .next()
+                    .unwrap_or_else(|| fail("--threads-list needs a comma-separated list"));
+                let parsed: Option<Vec<usize>> =
+                    list.split(',').map(|v| v.trim().parse().ok()).collect();
+                match parsed {
+                    Some(values) if !values.is_empty() => threads_list = Some(values),
+                    _ => fail("--threads-list needs a comma-separated list of numbers"),
+                }
             }
             "--prover-threads" => {
                 options.prover_threads = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--prover-threads needs a number");
+                    .unwrap_or_else(|| fail("--prover-threads needs a number"));
             }
             "--out" => {
-                out_path = Some(args.next().expect("--out needs a path"));
+                out_path = Some(args.next().unwrap_or_else(|| fail("--out needs a path")));
             }
-            other => options.limit = Some(other.parse().expect("numeric limit expected")),
+            other => {
+                options.limit = Some(other.parse().unwrap_or_else(|_| {
+                    fail(&format!(
+                        "unrecognized argument `{other}` (expected a numeric limit)"
+                    ))
+                }));
+            }
         }
     }
 
-    let catalog = run_catalog_verification(&options);
-    let json = perf_report_json(&catalog, &options);
+    if threads_list.is_some() && threads_flag_set {
+        fail("--threads and --threads-list are mutually exclusive");
+    }
+
+    // Reject an unwritable --out before spending minutes on the measurement.
+    if let Some(path) = &out_path {
+        let parent = Path::new(path).parent().unwrap_or_else(|| Path::new(""));
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            fail(&format!(
+                "--out {path}: parent directory `{}` does not exist",
+                parent.display()
+            ));
+        }
+        // Probe that the path itself is writable (read-only directory, path
+        // is a directory, permissions): create-or-append touches the file
+        // without truncating whatever snapshot is already there. A file the
+        // probe itself created is removed again so an interrupted run never
+        // leaves a zero-byte snapshot behind.
+        let existed = Path::new(path).exists();
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Err(e) => fail(&format!("--out {path} is not writable: {e}")),
+            Ok(_) => {
+                if !existed {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+    }
+
+    let json = match threads_list {
+        Some(widths) => {
+            let runs: Vec<_> = widths
+                .into_iter()
+                .map(|threads| {
+                    let run_options = VerifyOptions {
+                        threads,
+                        ..options.clone()
+                    };
+                    // Reset this thread's term arena between runs so a later
+                    // run's submitting-thread canonicalization is not warmed
+                    // by an earlier run — each measurement matches what a
+                    // standalone cold-process `--threads N` run would see.
+                    semcommute_logic::with_arena(|arena| arena.clear());
+                    let catalog = run_catalog_verification(&run_options);
+                    (run_options, catalog)
+                })
+                .collect();
+            perf_report_json_runs(&runs)
+        }
+        None => {
+            let catalog = run_catalog_verification(&options);
+            perf_report_json(&catalog, &options)
+        }
+    };
     println!("{json}");
     if let Some(path) = out_path {
-        std::fs::write(&path, format!("{json}\n")).expect("writing the JSON report failed");
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            fail(&format!("writing {path} failed: {e}"));
+        }
         eprintln!("wrote {path}");
     }
 }

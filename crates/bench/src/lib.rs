@@ -151,6 +151,21 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
     out
 }
 
+/// Renders several catalog runs (e.g. the same build measured at different
+/// scheduler thread counts) as one JSON document: `{"runs": [<report>, …]}`
+/// with each entry in the [`perf_report_json`] shape. `BENCH_pr3.json` and
+/// later snapshots use this so one committed file carries the sequential and
+/// the scheduled measurement of the same build.
+pub fn perf_report_json_runs(runs: &[(VerifyOptions, CatalogReport)]) -> String {
+    let mut out = String::from("{\n\"runs\": [\n");
+    for (i, (options, catalog)) in runs.iter().enumerate() {
+        out.push_str(&perf_report_json(catalog, options));
+        out.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +199,23 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         // Braces and brackets balance (cheap well-formedness check).
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+    }
+
+    #[test]
+    fn multi_run_report_wraps_each_run() {
+        let options = VerifyOptions::quick(1);
+        let catalog = run_catalog_verification(&options);
+        let json = perf_report_json_runs(&[
+            (options.clone(), catalog.clone()),
+            (options.clone(), catalog),
+        ]);
+        assert!(json.contains("\"runs\""));
+        assert_eq!(json.matches("\"interfaces\"").count(), 2);
         let balance = |open: char, close: char| {
             json.chars().filter(|&c| c == open).count()
                 == json.chars().filter(|&c| c == close).count()

@@ -537,7 +537,7 @@ impl TermArena {
 
     /// Simplifies an interned term to fixpoint, memoized per id.
     ///
-    /// The rewrite rules are exactly those of [`crate::simplify`] (constant
+    /// The rewrite rules are exactly those of [`crate::simplify()`] (constant
     /// folding, boolean identities, flattening, syntactic-equality reasoning,
     /// container identities); the difference is that equality checks are id
     /// comparisons and results are cached, so a sub-DAG occurring in many
@@ -1106,7 +1106,7 @@ thread_local! {
 ///
 /// Re-entrant calls are not allowed: `f` must not itself call `with_arena`
 /// (directly or through an arena-backed public function like
-/// [`crate::simplify`]).
+/// [`crate::simplify()`]).
 pub fn with_arena<R>(f: impl FnOnce(&mut TermArena) -> R) -> R {
     ARENA.with(|arena| f(&mut arena.borrow_mut()))
 }

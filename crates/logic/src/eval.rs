@@ -8,6 +8,7 @@
 use std::fmt;
 
 use crate::model::Model;
+use crate::pvalue::{PMap, PSeq, PSet};
 use crate::sort::Sort;
 use crate::term::Term;
 use crate::value::{ElemId, Value, NULL_ELEM};
@@ -93,7 +94,7 @@ fn expect_elem(v: Value, context: &'static str) -> Result<ElemId> {
     }
 }
 
-fn expect_set(v: Value, context: &'static str) -> Result<std::collections::BTreeSet<ElemId>> {
+fn expect_set(v: Value, context: &'static str) -> Result<PSet> {
     match v {
         Value::Set(s) => Ok(s),
         other => Err(EvalError::SortMismatch {
@@ -104,10 +105,7 @@ fn expect_set(v: Value, context: &'static str) -> Result<std::collections::BTree
     }
 }
 
-fn expect_map(
-    v: Value,
-    context: &'static str,
-) -> Result<std::collections::BTreeMap<ElemId, ElemId>> {
+fn expect_map(v: Value, context: &'static str) -> Result<PMap> {
     match v {
         Value::Map(m) => Ok(m),
         other => Err(EvalError::SortMismatch {
@@ -118,7 +116,7 @@ fn expect_map(
     }
 }
 
-fn expect_seq(v: Value, context: &'static str) -> Result<Vec<ElemId>> {
+fn expect_seq(v: Value, context: &'static str) -> Result<PSeq> {
     match v {
         Value::Seq(s) => Ok(s),
         other => Err(EvalError::SortMismatch {
@@ -207,7 +205,7 @@ pub fn eval(term: &Term, model: &Model) -> Result<Value> {
             Value::Bool(expect_int(eval(a, model)?, "le")? <= expect_int(eval(b, model)?, "le")?)
         }
 
-        EmptySet => Value::Set(Default::default()),
+        EmptySet => Value::Set(PSet::new()),
         SetAdd(s, v) => {
             let mut s = expect_set(eval(s, model)?, "set add")?;
             s.insert(expect_elem(eval(v, model)?, "set add")?);
@@ -225,7 +223,7 @@ pub fn eval(term: &Term, model: &Model) -> Result<Value> {
         }
         Card(s) => Value::Int(expect_set(eval(s, model)?, "card")?.len() as i64),
 
-        EmptyMap => Value::Map(Default::default()),
+        EmptyMap => Value::Map(PMap::new()),
         MapPut(m, k, v) => {
             let mut m = expect_map(eval(m, model)?, "map put")?;
             let k = expect_elem(eval(k, model)?, "map put key")?;
@@ -251,7 +249,7 @@ pub fn eval(term: &Term, model: &Model) -> Result<Value> {
         }
         MapSize(m) => Value::Int(expect_map(eval(m, model)?, "map size")?.len() as i64),
 
-        EmptySeq => Value::Seq(vec![]),
+        EmptySeq => Value::Seq(PSeq::new()),
         SeqInsertAt(s, i, v) => {
             let mut s = expect_seq(eval(s, model)?, "seq insert-at")?;
             let i = expect_int(eval(i, model)?, "seq insert-at index")?;
@@ -273,7 +271,7 @@ pub fn eval(term: &Term, model: &Model) -> Result<Value> {
             let i = expect_int(eval(i, model)?, "seq set-at index")?;
             let v = expect_elem(eval(v, model)?, "seq set-at value")?;
             if i >= 0 && (i as usize) < s.len() {
-                s[i as usize] = v;
+                s.set(i as usize, v);
             }
             Value::Seq(s)
         }

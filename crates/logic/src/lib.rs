@@ -56,6 +56,7 @@ pub mod eval;
 pub mod model;
 pub mod nnf;
 pub mod pretty;
+pub mod pvalue;
 pub mod simplify;
 pub mod sort;
 pub mod subst;
@@ -67,6 +68,7 @@ pub use arena::{structural_hash, with_arena, Sym, TermArena, TermId};
 pub use eval::{eval, eval_bool, EvalError};
 pub use model::Model;
 pub use nnf::to_nnf;
+pub use pvalue::{PMap, PSeq, PSet};
 pub use simplify::simplify;
 pub use sort::Sort;
 pub use subst::{free_vars, rename_vars, substitute};

@@ -7,7 +7,7 @@ use crate::value::Value;
 
 /// An assignment of [`Value`]s to variable names.
 ///
-/// A model gives meaning to the free variables of a term; [`crate::eval`]
+/// A model gives meaning to the free variables of a term; [`crate::eval()`]
 /// evaluates a term under a model. Models are also the shape of
 /// counterexamples reported by the prover: a model under which the hypotheses
 /// of an obligation hold but its goal does not.

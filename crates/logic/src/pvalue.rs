@@ -1,0 +1,394 @@
+//! Persistent, cheaply-clonable collection payloads for [`Value`].
+//!
+//! The finite-model prover evaluates the same obligation under millions of
+//! candidate models, and almost every step of that evaluation *reads* a
+//! collection (membership tests, lookups, lengths, equality) while only a
+//! handful of steps *update* one (the functional `s ∪ {v}` / `m[k := v]` /
+//! `insert_at` algebra). With eager `BTreeSet` / `BTreeMap` / `Vec` payloads
+//! every read that moves a value out of a slot pays a full deep copy.
+//!
+//! [`PSet`], [`PMap`], and [`PSeq`] replace those payloads with shared
+//! copy-on-write handles:
+//!
+//! * **`clone` is O(1)** — an atomic reference-count increment, no allocation.
+//!   Reading a collection out of an evaluation slot, enumerating a candidate
+//!   model, or reconstructing a counterexample never copies element data.
+//! * **Updates copy on write** — a mutation through [`PSet::insert`] and
+//!   friends clones the backing collection only when the handle is shared
+//!   (`Arc::make_mut`); a handle with reference count 1 is updated in place,
+//!   so chained updates (`((s ∪ {v1}) ∪ {v2}) \ {v3}`) copy at most once.
+//! * **Structural semantics are unchanged** — `Eq`, `Ord`, and `Hash` delegate
+//!   to the backing ordered collection, so ordering, equality, hashing, and
+//!   iteration order are exactly those of the eager representation. Two
+//!   handles that share storage short-circuit comparison through
+//!   [`PSet::ptr_eq`] before falling back to the structural walk.
+//!
+//! Each handle [`Deref`]s to its backing collection, so the whole read API of
+//! `BTreeSet` / `BTreeMap` / `Vec` (`contains`, `get`, `len`, `iter`,
+//! indexing, …) is available on a handle without any conversion. The empty
+//! collection of each shape is a lazily-initialized process-wide singleton:
+//! constructing an empty value ([`PSet::new`], or evaluating the `{}` /
+//! `[]` literals) allocates nothing.
+//!
+//! [`Value`]: crate::Value
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
+
+use crate::value::ElemId;
+
+/// Implements the representation-independent trait surface shared by the
+/// three persistent handles: `Deref` to the backing collection, structural
+/// `Eq` / `Ord` / `Hash` with a pointer-equality fast path, a `Debug` that is
+/// indistinguishable from the eager collection's, and conversions from the
+/// eager representation.
+macro_rules! persistent_handle {
+    ($name:ident, $backing:ty, $item:ty) => {
+        impl Deref for $name {
+            type Target = $backing;
+
+            fn deref(&self) -> &$backing {
+                &self.0
+            }
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                self.ptr_eq(other) || *self.0 == *other.0
+            }
+        }
+
+        impl Eq for $name {}
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        impl Ord for $name {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                if self.ptr_eq(other) {
+                    std::cmp::Ordering::Equal
+                } else {
+                    self.0.cmp(&other.0)
+                }
+            }
+        }
+
+        impl std::hash::Hash for $name {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                self.0.hash(state)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.fmt(f)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl From<$backing> for $name {
+            fn from(inner: $backing) -> Self {
+                $name(Arc::new(inner))
+            }
+        }
+
+        impl From<$name> for $backing {
+            fn from(handle: $name) -> Self {
+                // A uniquely-owned handle gives its backing collection away
+                // without copying; a shared one clones it.
+                Arc::try_unwrap(handle.0).unwrap_or_else(|shared| (*shared).clone())
+            }
+        }
+
+        impl FromIterator<$item> for $name {
+            fn from_iter<I: IntoIterator<Item = $item>>(items: I) -> Self {
+                $name(Arc::new(items.into_iter().collect()))
+            }
+        }
+
+        impl $name {
+            /// Returns `true` if `self` and `other` share backing storage.
+            ///
+            /// Shared storage implies structural equality (never the
+            /// converse); `Eq` and `Ord` use this as a short-circuit before
+            /// walking the collections. Tests use it to observe copy-on-write
+            /// behavior: a clone shares storage with its original until one
+            /// of the two is mutated.
+            pub fn ptr_eq(&self, other: &Self) -> bool {
+                Arc::ptr_eq(&self.0, &other.0)
+            }
+
+            /// Clones out the backing eager collection.
+            ///
+            /// This is the explicit deep copy that `clone` no longer
+            /// performs; callers that need an independent eager collection
+            /// (e.g. the runtime's abstract-state snapshots) pay for it here.
+            pub fn to_inner(&self) -> $backing {
+                (*self.0).clone()
+            }
+        }
+    };
+}
+
+/// A persistent finite set of [`ElemId`]s — the copy-on-write payload of
+/// [`Value::Set`](crate::Value::Set).
+///
+/// Dereferences to [`BTreeSet<ElemId>`] for the whole read API; `clone` is
+/// O(1); [`PSet::insert`] / [`PSet::remove`] copy the backing set only when
+/// the handle is shared.
+///
+/// # Example
+///
+/// ```
+/// use semcommute_logic::pvalue::PSet;
+/// use semcommute_logic::ElemId;
+///
+/// let s: PSet = [ElemId(1), ElemId(2)].into_iter().collect();
+/// let mut t = s.clone(); // O(1): shares storage with `s`
+/// assert!(t.ptr_eq(&s));
+///
+/// t.insert(ElemId(3)); // copy-on-write: `s` is unaffected
+/// assert!(!t.ptr_eq(&s));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(t.len(), 3);
+/// ```
+#[derive(Clone)]
+pub struct PSet(Arc<BTreeSet<ElemId>>);
+
+persistent_handle!(PSet, BTreeSet<ElemId>, ElemId);
+
+impl PSet {
+    /// The empty set. Returns a handle to a process-wide shared empty
+    /// instance; no allocation happens until the first mutation.
+    pub fn new() -> PSet {
+        static EMPTY: OnceLock<Arc<BTreeSet<ElemId>>> = OnceLock::new();
+        PSet(EMPTY.get_or_init(|| Arc::new(BTreeSet::new())).clone())
+    }
+
+    /// Inserts `elem`, copying the backing set first if the handle is shared.
+    /// Returns `true` if the element was not already present.
+    pub fn insert(&mut self, elem: ElemId) -> bool {
+        // Refcount-1 fast path: mutate in place, one tree walk.
+        if let Some(inner) = Arc::get_mut(&mut self.0) {
+            return inner.insert(elem);
+        }
+        if self.0.contains(&elem) {
+            // Read-only no-op on a shared handle: never copies sharing away.
+            return false;
+        }
+        Arc::make_mut(&mut self.0).insert(elem)
+    }
+
+    /// Removes `elem`, copying the backing set first if the handle is shared.
+    /// Returns `true` if the element was present.
+    pub fn remove(&mut self, elem: &ElemId) -> bool {
+        // Refcount-1 fast path: mutate in place, one tree walk.
+        if let Some(inner) = Arc::get_mut(&mut self.0) {
+            return inner.remove(elem);
+        }
+        if !self.0.contains(elem) {
+            // Read-only no-op on a shared handle: never copies sharing away.
+            return false;
+        }
+        Arc::make_mut(&mut self.0).remove(elem)
+    }
+}
+
+/// A persistent finite partial map from [`ElemId`] to [`ElemId`] — the
+/// copy-on-write payload of [`Value::Map`](crate::Value::Map).
+///
+/// Dereferences to [`BTreeMap<ElemId, ElemId>`] for the whole read API;
+/// `clone` is O(1); [`PMap::insert`] / [`PMap::remove`] copy the backing map
+/// only when the handle is shared.
+#[derive(Clone)]
+pub struct PMap(Arc<BTreeMap<ElemId, ElemId>>);
+
+persistent_handle!(PMap, BTreeMap<ElemId, ElemId>, (ElemId, ElemId));
+
+impl PMap {
+    /// The empty map. Returns a handle to a process-wide shared empty
+    /// instance; no allocation happens until the first mutation.
+    pub fn new() -> PMap {
+        static EMPTY: OnceLock<Arc<BTreeMap<ElemId, ElemId>>> = OnceLock::new();
+        PMap(EMPTY.get_or_init(|| Arc::new(BTreeMap::new())).clone())
+    }
+
+    /// Binds `key` to `value`, copying the backing map first if the handle is
+    /// shared. Returns the previous binding of `key`, if any.
+    pub fn insert(&mut self, key: ElemId, value: ElemId) -> Option<ElemId> {
+        // Refcount-1 fast path: mutate in place, one tree walk.
+        if let Some(inner) = Arc::get_mut(&mut self.0) {
+            return inner.insert(key, value);
+        }
+        if self.0.get(&key) == Some(&value) {
+            // Rebinding a key to its current value: observably a no-op.
+            return Some(value);
+        }
+        Arc::make_mut(&mut self.0).insert(key, value)
+    }
+
+    /// Removes the binding for `key`, copying the backing map first if the
+    /// handle is shared. Returns the removed value, if any.
+    pub fn remove(&mut self, key: &ElemId) -> Option<ElemId> {
+        // Refcount-1 fast path: mutate in place, one tree walk.
+        if let Some(inner) = Arc::get_mut(&mut self.0) {
+            return inner.remove(key);
+        }
+        if !self.0.contains_key(key) {
+            // Read-only no-op on a shared handle: never copies sharing away.
+            return None;
+        }
+        Arc::make_mut(&mut self.0).remove(key)
+    }
+}
+
+/// A persistent finite sequence of [`ElemId`]s — the copy-on-write payload of
+/// [`Value::Seq`](crate::Value::Seq).
+///
+/// Dereferences to [`Vec<ElemId>`] for the whole read API (indexing, `len`,
+/// `iter`, `contains`, …); `clone` is O(1); the update operations copy the
+/// backing vector only when the handle is shared.
+#[derive(Clone)]
+pub struct PSeq(Arc<Vec<ElemId>>);
+
+persistent_handle!(PSeq, Vec<ElemId>, ElemId);
+
+impl PSeq {
+    /// The empty sequence. Returns a handle to a process-wide shared empty
+    /// instance; no allocation happens until the first mutation.
+    pub fn new() -> PSeq {
+        static EMPTY: OnceLock<Arc<Vec<ElemId>>> = OnceLock::new();
+        PSeq(EMPTY.get_or_init(|| Arc::new(Vec::new())).clone())
+    }
+
+    /// Appends `elem`, copying the backing vector first if the handle is
+    /// shared.
+    pub fn push(&mut self, elem: ElemId) {
+        Arc::make_mut(&mut self.0).push(elem)
+    }
+
+    /// Inserts `elem` at position `index` (shifting later elements), copying
+    /// the backing vector first if the handle is shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len` — callers clamp, matching the evaluator's
+    /// totalized `insert_at` semantics.
+    pub fn insert(&mut self, index: usize, elem: ElemId) {
+        Arc::make_mut(&mut self.0).insert(index, elem)
+    }
+
+    /// Removes and returns the element at `index` (shifting later elements),
+    /// copying the backing vector first if the handle is shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len` — callers bounds-check, matching the
+    /// evaluator's totalized `remove_at` semantics (out-of-range removal is a
+    /// no-op there).
+    pub fn remove(&mut self, index: usize) -> ElemId {
+        Arc::make_mut(&mut self.0).remove(index)
+    }
+
+    /// Overwrites the element at `index`, copying the backing vector first if
+    /// the handle is shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len` — callers bounds-check, matching the
+    /// evaluator's totalized `set_at` semantics.
+    pub fn set(&mut self, index: usize, elem: ElemId) {
+        // Refcount-1 fast path: mutate in place, no equality probe needed.
+        if let Some(inner) = Arc::get_mut(&mut self.0) {
+            inner[index] = elem;
+            return;
+        }
+        if self.0[index] == elem {
+            // Writing the value already there: observably a no-op.
+            return;
+        }
+        Arc::make_mut(&mut self.0)[index] = elem;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_handles_share_the_singleton() {
+        assert!(PSet::new().ptr_eq(&PSet::new()));
+        assert!(PMap::new().ptr_eq(&PMap::new()));
+        assert!(PSeq::new().ptr_eq(&PSeq::new()));
+        assert!(PSet::new().is_empty());
+        assert!(PMap::new().is_empty());
+        assert!(PSeq::new().is_empty());
+    }
+
+    #[test]
+    fn clone_shares_until_mutation() {
+        let a: PSet = [ElemId(1)].into_iter().collect();
+        let mut b = a.clone();
+        assert!(a.ptr_eq(&b));
+        b.insert(ElemId(2));
+        assert!(!a.ptr_eq(&b));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn unique_handles_mutate_in_place() {
+        let mut s: PSeq = [ElemId(1), ElemId(2)].into_iter().collect();
+        let before = Arc::as_ptr(&s.0);
+        s.push(ElemId(3));
+        s.set(0, ElemId(9));
+        assert_eq!(Arc::as_ptr(&s.0), before, "refcount-1 mutation reallocated");
+    }
+
+    #[test]
+    fn no_op_mutations_preserve_sharing() {
+        let a: PSet = [ElemId(1)].into_iter().collect();
+        let mut b = a.clone();
+        b.remove(&ElemId(7)); // absent: no copy
+        assert!(a.ptr_eq(&b));
+
+        let m: PMap = [(ElemId(1), ElemId(2))].into_iter().collect();
+        let mut n = m.clone();
+        assert_eq!(n.insert(ElemId(1), ElemId(2)), Some(ElemId(2)));
+        n.remove(&ElemId(9));
+        assert!(m.ptr_eq(&n));
+
+        let q: PSeq = [ElemId(5)].into_iter().collect();
+        let mut r = q.clone();
+        r.set(0, ElemId(5));
+        assert!(q.ptr_eq(&r));
+    }
+
+    #[test]
+    fn structural_comparison_ignores_sharing() {
+        let a: PSet = [ElemId(1), ElemId(2)].into_iter().collect();
+        let b: PSet = [ElemId(2), ElemId(1)].into_iter().collect();
+        assert_eq!(a, b);
+        assert!(!a.ptr_eq(&b));
+        let c: PSet = [ElemId(3)].into_iter().collect();
+        assert_eq!(a.cmp(&c), (*a).cmp(&c));
+    }
+
+    #[test]
+    fn conversion_round_trips() {
+        let eager: BTreeSet<ElemId> = [ElemId(4), ElemId(8)].into_iter().collect();
+        let p = PSet::from(eager.clone());
+        assert_eq!(p.to_inner(), eager);
+        assert_eq!(BTreeSet::from(p), eager);
+    }
+}

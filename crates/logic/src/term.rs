@@ -30,7 +30,7 @@ impl Var {
 /// Terms cover boolean connectives, linear integer arithmetic, polymorphic
 /// equality, and the query/update algebra of the three abstract container
 /// sorts (sets, maps, sequences). Partial operations are *totalized* so that
-/// every term evaluates to a value under every model (see [`crate::eval`]):
+/// every term evaluates to a value under every model (see [`crate::eval()`]):
 ///
 /// * `MapGet` returns `null` for absent keys,
 /// * `SeqAt` returns `null` for out-of-range indices,

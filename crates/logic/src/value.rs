@@ -3,6 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use crate::pvalue::{PMap, PSeq, PSet};
 use crate::sort::Sort;
 
 /// An opaque object identity.
@@ -38,9 +39,38 @@ impl fmt::Display for ElemId {
 /// A concrete value of the specification logic.
 ///
 /// Values are what terms evaluate to under a [`crate::Model`]. Collection
-/// values use ordered containers so that `Value` has a total order and a
-/// deterministic `Debug`/`Display` representation, which keeps counterexample
-/// reporting and test output stable.
+/// values are backed by ordered containers so that `Value` has a total order
+/// and a deterministic `Debug`/`Display` representation, which keeps
+/// counterexample reporting and test output stable.
+///
+/// Collection payloads are *persistent* copy-on-write handles
+/// ([`PSet`] / [`PMap`] / [`PSeq`]): cloning a collection value is an O(1)
+/// reference-count increment, and updating a shared collection copies its
+/// contents first (an unshared one is updated in place). Equality, ordering,
+/// hashing, and iteration are structural and identical to the eager
+/// `BTreeSet` / `BTreeMap` / `Vec` representation; the accessors
+/// [`Value::as_set`] / [`Value::as_map`] / [`Value::as_seq`] still hand out
+/// borrowed views of the eager types.
+///
+/// # Example
+///
+/// ```
+/// use semcommute_logic::{ElemId, Value};
+///
+/// let s = Value::set_of([ElemId(1), ElemId(2)]);
+/// let cheap = s.clone(); // O(1): shares the backing set
+/// assert_eq!(s, cheap);
+/// assert!(s.as_set().unwrap().contains(&ElemId(1)));
+/// assert_eq!(s.to_string(), "{o1, o2}");
+///
+/// // Updates go through the copy-on-write handle: the clone is unaffected.
+/// let mut grown = s.clone();
+/// if let Value::Set(set) = &mut grown {
+///     set.insert(ElemId(3));
+/// }
+/// assert_eq!(s.as_set().unwrap().len(), 2);
+/// assert_eq!(grown.as_set().unwrap().len(), 3);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// A boolean.
@@ -50,11 +80,11 @@ pub enum Value {
     /// An object identity (possibly `null`).
     Elem(ElemId),
     /// A finite set of objects — abstract state of the set data structures.
-    Set(BTreeSet<ElemId>),
+    Set(PSet),
     /// A finite partial map — abstract state of the map data structures.
-    Map(BTreeMap<ElemId, ElemId>),
+    Map(PMap),
     /// A finite sequence — abstract state of `ArrayList`.
-    Seq(Vec<ElemId>),
+    Seq(PSeq),
 }
 
 impl Value {
@@ -119,26 +149,27 @@ impl Value {
         }
     }
 
-    /// Returns the set payload, if this is a set.
+    /// Returns a borrowed view of the set payload, if this is a set.
     pub fn as_set(&self) -> Option<&BTreeSet<ElemId>> {
         match self {
-            Value::Set(s) => Some(s),
+            Value::Set(s) => Some(&**s),
             _ => None,
         }
     }
 
-    /// Returns the map payload, if this is a map.
+    /// Returns a borrowed view of the map payload, if this is a map.
     pub fn as_map(&self) -> Option<&BTreeMap<ElemId, ElemId>> {
         match self {
-            Value::Map(m) => Some(m),
+            Value::Map(m) => Some(&**m),
             _ => None,
         }
     }
 
-    /// Returns the sequence payload, if this is a sequence.
+    /// Returns a borrowed view of the sequence payload, if this is a
+    /// sequence.
     pub fn as_seq(&self) -> Option<&Vec<ElemId>> {
         match self {
-            Value::Seq(s) => Some(s),
+            Value::Seq(s) => Some(&**s),
             _ => None,
         }
     }

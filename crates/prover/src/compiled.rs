@@ -1,6 +1,6 @@
 //! Slot-compiled obligations: the finite-model prover's fast evaluation path.
 //!
-//! The reference evaluator ([`semcommute_logic::eval`]) looks free variables
+//! The reference evaluator ([`mod@semcommute_logic::eval`]) looks free variables
 //! up by name in a `BTreeMap`-backed [`Model`] and clones the whole model to
 //! bind a quantifier variable. That is fine for one evaluation, but the
 //! finite-model prover evaluates the same obligation under *millions* of
@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 
 use semcommute_logic::eval::MAX_QUANTIFIER_RANGE;
-use semcommute_logic::{Model, Term, Value, NULL_ELEM};
+use semcommute_logic::{Model, PMap, PSeq, PSet, Term, Value, NULL_ELEM};
 
 use crate::obligation::Obligation;
 
@@ -222,8 +222,9 @@ impl CompiledObligation {
     /// the same env to obtain the full model — and `Err` on an evaluation
     /// error.
     ///
-    /// Hypotheses are checked as early as their dependencies allow (see
-    /// [`Step`]); a candidate that violates an input-only hypothesis returns
+    /// Hypotheses are checked as early as their dependencies allow (defines
+    /// and checks interleave; see the type-level docs); a candidate that
+    /// violates an input-only hypothesis returns
     /// `Ok(None)` without computing any define.
     pub fn check(&self, inputs: &mut Vec<Value>, env: &mut SlotEnv) -> Result<Option<()>, String> {
         debug_assert_eq!(inputs.len(), self.input_count);
@@ -395,9 +396,9 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
         BoolLit(b) => Value::Bool(*b),
         IntLit(i) => Value::Int(*i),
         Null => Value::Elem(NULL_ELEM),
-        EmptySet => Value::Set(Default::default()),
-        EmptyMap => Value::Map(Default::default()),
-        EmptySeq => Value::Seq(vec![]),
+        EmptySet => Value::Set(PSet::new()),
+        EmptyMap => Value::Map(PMap::new()),
+        EmptySeq => Value::Seq(PSeq::new()),
 
         Not(a) => Value::Bool(!expect_bool_c(eval_c(a, env)?, "not")?),
         And(cs) => {
@@ -578,7 +579,7 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
             let i = expect_int_c(eval_c(i, env)?, "seq set-at index")?;
             let v = expect_elem_c(eval_c(v, env)?, "seq set-at value")?;
             if i >= 0 && (i as usize) < s.len() {
-                s[i as usize] = v;
+                s.set(i as usize, v);
             }
             Value::Seq(s)
         }

@@ -96,7 +96,32 @@ impl VerdictCache {
     }
 }
 
-/// The combined prover.
+/// The combined prover: structural reasoning first, exhaustive finite-model
+/// search second, with a canonical-hash verdict cache in front of both.
+///
+/// Clones share the verdict cache, so one `Portfolio` per worker thread is
+/// the intended usage pattern (see [`crate::queue`]).
+///
+/// # Example
+///
+/// ```
+/// use semcommute_logic::build::*;
+/// use semcommute_prover::{Obligation, Portfolio};
+///
+/// // r = (v in s), s' = s Un {v}  |-  v in s'
+/// let ob = Obligation::new("add_establishes_membership")
+///     .define("r", member(var_elem("v"), var_set("s")))
+///     .define("s_post", set_add(var_set("s"), var_elem("v")))
+///     .goal(member(var_elem("v"), var_set("s_post")));
+///
+/// let portfolio = Portfolio::standard();
+/// assert!(portfolio.prove(&ob).is_valid());
+///
+/// // A canonically identical obligation is answered from the cache.
+/// let verdict = portfolio.prove(&ob);
+/// assert!(verdict.is_valid());
+/// assert_eq!(verdict.stats().cache_hits, 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Portfolio {
     scope: Scope,

@@ -16,7 +16,8 @@
 //!   deque, so a worker that drew cheap structural obligations immediately
 //!   takes over part of a loaded worker's share;
 //! * workers publish verdicts through the portfolio's sharded
-//!   [`VerdictCache`], keyed by the same canonical hash, so duplicate work
+//!   [`VerdictCache`](crate::portfolio::VerdictCache), keyed by the same
+//!   canonical hash, so duplicate work
 //!   is impossible even across scheduler runs sharing a cache;
 //! * an optional [`ExitGuard`] per obligation group (the driver uses one per
 //!   testing method) reproduces the sequential early-exit semantics: once

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use semcommute_logic::{ElemId, Model, Sort, Value, NULL_ELEM};
+use semcommute_logic::{ElemId, Model, PMap, PSeq, PSet, Sort, Value, NULL_ELEM};
 
 use crate::obligation::Obligation;
 use crate::scope::Scope;
@@ -135,16 +135,18 @@ impl InputSpace {
                 .collect(),
             Sort::Set => subsets_up_to(universe, self.scope.max_collection_entries)
                 .into_iter()
-                .map(|s| Value::Set(s.into_iter().collect()))
+                .map(Value::Set)
                 .collect(),
             Sort::Map => {
                 let mut out = Vec::new();
                 for keys in subsets_up_to(universe, self.scope.max_collection_entries) {
-                    let mut partial: Vec<BTreeMap<ElemId, ElemId>> = vec![BTreeMap::new()];
-                    for k in &keys {
+                    let mut partial: Vec<PMap> = vec![PMap::new()];
+                    for k in keys.iter() {
                         let mut next = Vec::new();
                         for m in &partial {
                             for &v in universe {
+                                // Shared prefix + one delta: the clone is an
+                                // O(1) handle copy, the insert copies once.
                                 let mut m2 = m.clone();
                                 m2.insert(*k, v);
                                 next.push(m2);
@@ -157,8 +159,8 @@ impl InputSpace {
                 out
             }
             Sort::Seq => {
-                let mut out: Vec<Vec<ElemId>> = vec![vec![]];
-                let mut frontier: Vec<Vec<ElemId>> = vec![vec![]];
+                let mut out: Vec<PSeq> = vec![PSeq::new()];
+                let mut frontier: Vec<PSeq> = vec![PSeq::new()];
                 for _ in 0..self.scope.max_seq_len {
                     let mut next = Vec::new();
                     for s in &frontier {
@@ -198,14 +200,19 @@ impl InputSpace {
 }
 
 /// Generates all subsets of `universe` with at most `max_len` elements.
-fn subsets_up_to(universe: &[ElemId], max_len: usize) -> Vec<Vec<ElemId>> {
-    let mut out: Vec<Vec<ElemId>> = vec![vec![]];
+///
+/// Each subset is a persistent [`PSet`] built by cloning its parent subset (an
+/// O(1) shared-prefix handle copy) and inserting one element — the deep copy
+/// happens once per *generated* candidate, and downstream per-candidate use
+/// ([`SpaceIter::next_values`]) only ever clones handles.
+fn subsets_up_to(universe: &[ElemId], max_len: usize) -> Vec<PSet> {
+    let mut out: Vec<PSet> = vec![PSet::new()];
     for &e in universe {
         let mut additions = Vec::new();
         for s in &out {
             if s.len() < max_len {
                 let mut s2 = s.clone();
-                s2.push(e);
+                s2.insert(e);
                 additions.push(s2);
             }
         }

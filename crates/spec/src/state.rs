@@ -50,9 +50,9 @@ impl AbstractState {
     pub fn to_value(&self) -> Value {
         match self {
             AbstractState::Counter(c) => Value::Int(*c),
-            AbstractState::Set(s) => Value::Set(s.clone()),
-            AbstractState::Map(m) => Value::Map(m.clone()),
-            AbstractState::List(l) => Value::Seq(l.clone()),
+            AbstractState::Set(s) => Value::Set(s.clone().into()),
+            AbstractState::Map(m) => Value::Map(m.clone().into()),
+            AbstractState::List(l) => Value::Seq(l.clone().into()),
         }
     }
 
@@ -60,9 +60,9 @@ impl AbstractState {
     pub fn from_value(value: &Value) -> Option<AbstractState> {
         match value {
             Value::Int(c) => Some(AbstractState::Counter(*c)),
-            Value::Set(s) => Some(AbstractState::Set(s.clone())),
-            Value::Map(m) => Some(AbstractState::Map(m.clone())),
-            Value::Seq(l) => Some(AbstractState::List(l.clone())),
+            Value::Set(s) => Some(AbstractState::Set(s.to_inner())),
+            Value::Map(m) => Some(AbstractState::Map(m.to_inner())),
+            Value::Seq(l) => Some(AbstractState::List(l.to_inner())),
             _ => None,
         }
     }

@@ -15,26 +15,47 @@ use semcommute::core::verify::{verify_catalog, VerifyOptions};
 use semcommute::core::{inverse_catalog, report};
 use semcommute::prover::Portfolio;
 
+const USAGE: &str = "\
+usage: verify_catalog [LIMIT] [--seq-len N] [--threads N]
+
+  LIMIT          verify only the first LIMIT conditions per interface
+  --seq-len N    ArrayList sequence scope (default 4)
+  --threads N    work-stealing scheduler width; 1 = sequential baseline";
+
+/// Parses a required numeric option value; on a missing or non-numeric value
+/// prints what was wrong plus the usage text and exits with status 2 (instead
+/// of panicking with a backtrace).
+fn numeric_option(flag: &str, value: Option<String>) -> usize {
+    match value {
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} needs a number, got `{v}`\n{USAGE}");
+            std::process::exit(2);
+        }),
+        None => {
+            eprintln!("error: {flag} needs a number\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let mut options = VerifyOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--seq-len" => {
-                options.seq_len = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seq-len needs a number");
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
             }
-            "--threads" => {
-                options.threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
-            }
-            other => {
-                options.limit = Some(other.parse().expect("argument must be a number"));
-            }
+            "--seq-len" => options.seq_len = numeric_option("--seq-len", args.next()),
+            "--threads" => options.threads = numeric_option("--threads", args.next()),
+            other => match other.parse() {
+                Ok(limit) => options.limit = Some(limit),
+                Err(_) => {
+                    eprintln!("error: unrecognized argument `{other}`\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
         }
     }
 
