@@ -9,27 +9,34 @@
 //! ```text
 //! cargo run --release -p semcommute-bench --bin perf_json -- [limit] \
 //!     [--seq-len N] [--threads N] [--threads-list N,M,...] \
-//!     [--prover-threads N] [--out FILE]
+//!     [--prover-threads N] [--orbit on|off|both] [--out FILE]
 //! ```
 //!
 //! `--threads-list 1,4` runs the catalog once per listed scheduler width and
 //! emits one `{"runs": [...]}` document containing every measurement — the
-//! shape of the committed `BENCH_pr3.json` snapshot.
+//! shape of the committed `BENCH_pr3.json` snapshot. `--orbit both` crosses
+//! the listed widths with the orbit-canonical and the unreduced enumerator,
+//! which is how `BENCH_pr4.json` records the reduction's effect at both
+//! widths in one document.
 
 use std::path::Path;
 
-use semcommute_bench::{perf_report_json, perf_report_json_runs, run_catalog_verification};
+use semcommute_bench::{
+    parse_orbit, perf_report_json, perf_report_json_runs, run_catalog_verification,
+};
 use semcommute_core::verify::VerifyOptions;
 
 const USAGE: &str = "\
 usage: perf_json [LIMIT] [--seq-len N] [--threads N | --threads-list N,M,...]
-                 [--prover-threads N] [--out FILE]
+                 [--prover-threads N] [--orbit on|off|both] [--out FILE]
 
   LIMIT               verify only the first LIMIT conditions per interface
   --seq-len N         ArrayList sequence scope (default 4)
   --threads N         work-stealing scheduler width for a single run
   --threads-list N,M  one run per width, emitted as one {\"runs\": [...]} doc
   --prover-threads N  finite-model space sharding per obligation
+  --orbit on|off|both orbit-canonical vs. unreduced enumeration (`both`
+                      measures every width under each, in one doc)
   --out FILE          also write the JSON report to FILE";
 
 fn fail(message: &str) -> ! {
@@ -42,9 +49,22 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut threads_list: Option<Vec<usize>> = None;
     let mut threads_flag_set = false;
+    let mut orbit_both = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--orbit" => match args.next().as_deref() {
+                Some("both") => orbit_both = true,
+                Some(value) => match parse_orbit(value) {
+                    Some(orbit) => {
+                        // Last one wins, like every other repeated flag.
+                        options.orbit = orbit;
+                        orbit_both = false;
+                    }
+                    None => fail("--orbit needs `on`, `off`, or `both`"),
+                },
+                None => fail("--orbit needs `on`, `off`, or `both`"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -125,30 +145,35 @@ fn main() {
         }
     }
 
-    let json = match threads_list {
-        Some(widths) => {
-            let runs: Vec<_> = widths
-                .into_iter()
-                .map(|threads| {
-                    let run_options = VerifyOptions {
-                        threads,
-                        ..options.clone()
-                    };
-                    // Reset this thread's term arena between runs so a later
-                    // run's submitting-thread canonicalization is not warmed
-                    // by an earlier run — each measurement matches what a
-                    // standalone cold-process `--threads N` run would see.
-                    semcommute_logic::with_arena(|arena| arena.clear());
-                    let catalog = run_catalog_verification(&run_options);
-                    (run_options, catalog)
-                })
-                .collect();
-            perf_report_json_runs(&runs)
+    let orbit_modes: Vec<bool> = if orbit_both {
+        vec![true, false]
+    } else {
+        vec![options.orbit]
+    };
+    let json = if threads_list.is_some() || orbit_both {
+        let widths = threads_list.unwrap_or_else(|| vec![options.threads]);
+        let mut runs = Vec::new();
+        for &orbit in &orbit_modes {
+            for &threads in &widths {
+                let run_options = VerifyOptions {
+                    threads,
+                    orbit,
+                    ..options.clone()
+                };
+                // Reset this thread's term arena between runs so a later
+                // run's keying is not warmed by an earlier run — each
+                // measurement matches what a standalone cold-process
+                // `--threads N` run would see. (Keying happens on the
+                // workers, but the sequential baseline keys here.)
+                semcommute_logic::with_arena(|arena| arena.clear());
+                let catalog = run_catalog_verification(&run_options);
+                runs.push((run_options, catalog));
+            }
         }
-        None => {
-            let catalog = run_catalog_verification(&options);
-            perf_report_json(&catalog, &options)
-        }
+        perf_report_json_runs(&runs)
+    } else {
+        let catalog = run_catalog_verification(&options);
+        perf_report_json(&catalog, &options)
     };
     println!("{json}");
     if let Some(path) = out_path {

@@ -19,9 +19,20 @@ pub fn banner(title: &str) {
     println!("{}", "=".repeat(title.len()));
 }
 
+/// Parses an `--orbit` flag value: `on` enables the orbit-canonical
+/// enumerator, `off` selects the unreduced oracle enumerator.
+pub fn parse_orbit(value: &str) -> Option<bool> {
+    match value {
+        "on" => Some(true),
+        "off" => Some(false),
+        _ => None,
+    }
+}
+
 /// Parses the common command-line options of the table binaries: an optional
-/// per-interface condition limit, `--seq-len N`, `--threads N`, and
-/// `--prover-threads N` (finite-model space sharding per obligation).
+/// per-interface condition limit, `--seq-len N`, `--threads N`,
+/// `--prover-threads N` (finite-model space sharding per obligation), and
+/// `--orbit {on,off}` (orbit-canonical vs. unreduced enumeration).
 pub fn parse_options() -> VerifyOptions {
     let mut options = VerifyOptions::default();
     let mut args = std::env::args().skip(1);
@@ -44,6 +55,13 @@ pub fn parse_options() -> VerifyOptions {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--prover-threads needs a number");
+            }
+            "--orbit" => {
+                options.orbit = args
+                    .next()
+                    .as_deref()
+                    .and_then(parse_orbit)
+                    .expect("--orbit needs `on` or `off`");
             }
             other => options.limit = Some(other.parse().expect("numeric limit expected")),
         }
@@ -87,13 +105,14 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
     let reports = &catalog.interfaces;
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"options\": {{\"threads\": {}, \"prover_threads\": {}, \"seq_len\": {}, \"limit\": {}}},\n",
+        "  \"options\": {{\"threads\": {}, \"prover_threads\": {}, \"seq_len\": {}, \"limit\": {}, \"orbit\": {}}},\n",
         options.threads,
         options.prover_threads,
         options.seq_len,
         options
             .limit
-            .map_or("null".to_string(), |l| l.to_string())
+            .map_or("null".to_string(), |l| l.to_string()),
+        options.orbit
     ));
     out.push_str("  \"interfaces\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -107,7 +126,7 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
         out.push_str(&format!(
             "    {{\"interface\": \"{}\", \"conditions\": {}, \"methods\": {}, \"verified\": {}, \
              \"wall_s\": {:.6}, \"obligations_per_sec\": {:.2}, \"models_checked\": {}, \
-             \"cache_hits\": {}}}{}\n",
+             \"orbits_pruned\": {}, \"cache_hits\": {}}}{}\n",
             esc(&r.interface.to_string()),
             r.total(),
             methods,
@@ -115,6 +134,7 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
             wall,
             throughput,
             r.models_checked(),
+            r.orbits_pruned(),
             r.cache_hits(),
             if i + 1 < reports.len() { "," } else { "" }
         ));
@@ -138,14 +158,17 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
     let total_wall = catalog.elapsed.as_secs_f64();
     let total_methods: usize = reports.iter().map(|r| r.method_count()).sum();
     out.push_str(&format!(
-        "  \"total\": {{\"methods\": {}, \"wall_s\": {:.6}, \"obligations_per_sec\": {:.2}}}\n",
+        "  \"total\": {{\"methods\": {}, \"wall_s\": {:.6}, \"obligations_per_sec\": {:.2}, \
+         \"models_checked\": {}, \"orbits_pruned\": {}}}\n",
         total_methods,
         total_wall,
         if total_wall > 0.0 {
             total_methods as f64 / total_wall
         } else {
             0.0
-        }
+        },
+        catalog.models_checked(),
+        catalog.orbits_pruned()
     ));
     out.push('}');
     out
@@ -188,9 +211,11 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         for key in [
             "\"options\"",
+            "\"orbit\"",
             "\"interfaces\"",
             "\"obligations_per_sec\"",
             "\"models_checked\"",
+            "\"orbits_pruned\"",
             "\"cache_hits\"",
             "\"scheduler\"",
             "\"submitted\"",

@@ -35,6 +35,7 @@ pub fn scope_for(interface: InterfaceId, seq_len: usize) -> Scope {
             int_min: -2,
             int_max: 4,
             max_models: 50_000_000,
+            orbit: semcommute_prover::scope::default_orbit(),
         },
     }
 }
@@ -53,6 +54,11 @@ pub struct VerifyOptions {
     /// space sharding). The default of 1 is right when conditions are already
     /// verified concurrently; raise it when proving few, large obligations.
     pub prover_threads: usize,
+    /// Whether the finite-model search enumerates the input space
+    /// orbit-canonically (`true`, the default) or unreduced (`false` — the
+    /// oracle enumerator the differential soundness harness compares
+    /// against). See [`semcommute_prover::orbit`].
+    pub orbit: bool,
 }
 
 impl Default for VerifyOptions {
@@ -62,6 +68,7 @@ impl Default for VerifyOptions {
             seq_len: 4,
             limit: None,
             prover_threads: 1,
+            orbit: semcommute_prover::scope::default_orbit(),
         }
     }
 }
@@ -75,6 +82,7 @@ impl VerifyOptions {
             seq_len: 3,
             limit: Some(limit),
             prover_threads: 1,
+            orbit: semcommute_prover::scope::default_orbit(),
         }
     }
 }
@@ -157,6 +165,15 @@ impl InterfaceReport {
         self.reports
             .iter()
             .map(|r| r.soundness.stats().cache_hits + r.completeness.stats().cache_hits)
+            .sum()
+    }
+
+    /// Total candidate models the orbit reduction pruned across the run
+    /// (zero when the reduction is off).
+    pub fn orbits_pruned(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.soundness.stats().orbits_pruned + r.completeness.stats().orbits_pruned)
             .sum()
     }
 
@@ -366,7 +383,7 @@ pub fn verify_interface(interface: InterfaceId, options: &VerifyOptions) -> Inte
     if let Some(limit) = options.limit {
         catalog.truncate(limit);
     }
-    let scope = scope_for(interface, options.seq_len);
+    let scope = scope_for(interface, options.seq_len).with_orbit(options.orbit);
     let prover = Portfolio::new(scope).with_prover_threads(options.prover_threads);
     let threads = options.threads.max(1);
     let reports = if threads == 1 || catalog.len() <= 1 {
@@ -399,6 +416,19 @@ pub struct CatalogReport {
     pub scheduler: Option<QueueReport>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+}
+
+impl CatalogReport {
+    /// Total candidate models the finite-model prover examined.
+    pub fn models_checked(&self) -> u64 {
+        self.interfaces.iter().map(|r| r.models_checked()).sum()
+    }
+
+    /// Total candidate models the orbit reduction pruned (zero when the
+    /// reduction is off).
+    pub fn orbits_pruned(&self) -> u64 {
+        self.interfaces.iter().map(|r| r.orbits_pruned()).sum()
+    }
 }
 
 /// Verifies every interface (with the same options), reported in the paper's
@@ -446,9 +476,10 @@ pub fn verify_catalog(options: &VerifyOptions) -> CatalogReport {
         if let Some(limit) = options.limit {
             catalog.truncate(limit);
         }
-        let portfolio = Portfolio::new(scope_for(interface, options.seq_len))
-            .with_prover_threads(options.prover_threads)
-            .with_shared_cache(&cache);
+        let portfolio =
+            Portfolio::new(scope_for(interface, options.seq_len).with_orbit(options.orbit))
+                .with_prover_threads(options.prover_threads)
+                .with_shared_cache(&cache);
         portfolios.push(portfolio);
         plans.push((
             interface,

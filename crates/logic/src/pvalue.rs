@@ -189,6 +189,20 @@ impl PSet {
         Arc::make_mut(&mut self.0).insert(elem)
     }
 
+    /// Returns the image of this set under an element relabeling: every
+    /// member `e` is replaced by `f(e)`.
+    ///
+    /// When `f` is injective on the members (the orbit-reduction use case:
+    /// `f` is a permutation of a block of anonymous elements) the image has
+    /// the same cardinality. When `f` fixes every member, the original
+    /// handle is returned unchanged (O(1), shares storage).
+    pub fn map_elems(&self, f: impl Fn(ElemId) -> ElemId) -> PSet {
+        if self.iter().all(|&e| f(e) == e) {
+            return self.clone();
+        }
+        self.iter().map(|&e| f(e)).collect()
+    }
+
     /// Removes `elem`, copying the backing set first if the handle is shared.
     /// Returns `true` if the element was present.
     pub fn remove(&mut self, elem: &ElemId) -> bool {
@@ -235,6 +249,21 @@ impl PMap {
             return Some(value);
         }
         Arc::make_mut(&mut self.0).insert(key, value)
+    }
+
+    /// Returns the image of this map under an element relabeling: every
+    /// binding `k ↦ v` is replaced by `f(k) ↦ f(v)`.
+    ///
+    /// Keys and values relabel *together* — a permutation of anonymous
+    /// elements must act on the whole model uniformly for evaluation to be
+    /// invariant (`get(π(k))` on the image equals `π(get(k))` on the
+    /// original). When `f` fixes every key and value, the original handle is
+    /// returned unchanged (O(1), shares storage).
+    pub fn map_elems(&self, f: impl Fn(ElemId) -> ElemId) -> PMap {
+        if self.iter().all(|(&k, &v)| f(k) == k && f(v) == v) {
+            return self.clone();
+        }
+        self.iter().map(|(&k, &v)| (f(k), f(v))).collect()
     }
 
     /// Removes the binding for `key`, copying the backing map first if the
@@ -298,6 +327,19 @@ impl PSeq {
     /// no-op there).
     pub fn remove(&mut self, index: usize) -> ElemId {
         Arc::make_mut(&mut self.0).remove(index)
+    }
+
+    /// Returns the image of this sequence under an element relabeling: the
+    /// element at each position is replaced by its `f`-image (positions are
+    /// untouched — a relabeling permutes identities, not indices).
+    ///
+    /// When `f` fixes every element, the original handle is returned
+    /// unchanged (O(1), shares storage).
+    pub fn map_elems(&self, f: impl Fn(ElemId) -> ElemId) -> PSeq {
+        if self.iter().all(|&e| f(e) == e) {
+            return self.clone();
+        }
+        self.iter().map(|&e| f(e)).collect()
     }
 
     /// Overwrites the element at `index`, copying the backing vector first if
@@ -382,6 +424,38 @@ mod tests {
         assert!(!a.ptr_eq(&b));
         let c: PSet = [ElemId(3)].into_iter().collect();
         assert_eq!(a.cmp(&c), (*a).cmp(&c));
+    }
+
+    #[test]
+    fn map_elems_relabels_and_preserves_sharing_on_fixpoints() {
+        let swap = |e: ElemId| match e {
+            ElemId(1) => ElemId(2),
+            ElemId(2) => ElemId(1),
+            other => other,
+        };
+        let s: PSet = [ElemId(1), ElemId(3)].into_iter().collect();
+        assert_eq!(
+            s.map_elems(swap),
+            [ElemId(2), ElemId(3)].into_iter().collect()
+        );
+        let fixed: PSet = [ElemId(3), ElemId(4)].into_iter().collect();
+        assert!(fixed.map_elems(swap).ptr_eq(&fixed));
+
+        // Maps relabel keys and values together.
+        let m: PMap = [(ElemId(1), ElemId(2)), (ElemId(3), ElemId(1))]
+            .into_iter()
+            .collect();
+        let expected: PMap = [(ElemId(2), ElemId(1)), (ElemId(3), ElemId(2))]
+            .into_iter()
+            .collect();
+        assert_eq!(m.map_elems(swap), expected);
+
+        // Sequences relabel elements, never positions.
+        let q: PSeq = [ElemId(2), ElemId(1), ElemId(2)].into_iter().collect();
+        let expected: PSeq = [ElemId(1), ElemId(2), ElemId(1)].into_iter().collect();
+        assert_eq!(q.map_elems(swap), expected);
+        let fixed: PSeq = [ElemId(5)].into_iter().collect();
+        assert!(fixed.map_elems(swap).ptr_eq(&fixed));
     }
 
     #[test]

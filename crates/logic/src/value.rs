@@ -125,6 +125,26 @@ impl Value {
         Value::Seq(items.into_iter().collect())
     }
 
+    /// Returns the image of this value under an element relabeling `f`:
+    /// element values map to `f(e)`, collections relabel element-wise (map
+    /// keys and values together), and booleans/integers are untouched.
+    ///
+    /// When `f` is a *permutation* of (non-null) element identities this is
+    /// the action the logic cannot observe: no term distinguishes a model
+    /// from its consistently relabeled image, which is what makes the
+    /// prover's orbit-canonical enumeration sound. `f` is never applied to
+    /// [`NULL_ELEM`] — `null` is a logical constant, not an identity.
+    pub fn map_elems(&self, f: impl Fn(ElemId) -> ElemId) -> Value {
+        let f = |e: ElemId| if e.is_null() { e } else { f(e) };
+        match self {
+            Value::Bool(_) | Value::Int(_) => self.clone(),
+            Value::Elem(e) => Value::Elem(f(*e)),
+            Value::Set(s) => Value::Set(s.map_elems(f)),
+            Value::Map(m) => Value::Map(m.map_elems(f)),
+            Value::Seq(q) => Value::Seq(q.map_elems(f)),
+        }
+    }
+
     /// Returns the boolean payload, if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
@@ -252,6 +272,27 @@ mod tests {
         assert_eq!(Value::set_of([ElemId(1)]).sort(), Sort::Set);
         assert_eq!(Value::map_of([(ElemId(1), ElemId(2))]).sort(), Sort::Map);
         assert_eq!(Value::seq_of([ElemId(1)]).sort(), Sort::Seq);
+    }
+
+    #[test]
+    fn map_elems_acts_on_every_shape_and_fixes_null() {
+        let bump = |e: ElemId| ElemId(e.0 + 10);
+        assert_eq!(Value::Bool(true).map_elems(bump), Value::Bool(true));
+        assert_eq!(Value::Int(-3).map_elems(bump), Value::Int(-3));
+        assert_eq!(Value::elem(1).map_elems(bump), Value::elem(11));
+        assert_eq!(Value::null().map_elems(bump), Value::null());
+        assert_eq!(
+            Value::set_of([ElemId(1), ElemId(2)]).map_elems(bump),
+            Value::set_of([ElemId(11), ElemId(12)])
+        );
+        assert_eq!(
+            Value::map_of([(ElemId(1), ElemId(2))]).map_elems(bump),
+            Value::map_of([(ElemId(11), ElemId(12))])
+        );
+        assert_eq!(
+            Value::seq_of([ElemId(2), NULL_ELEM]).map_elems(bump),
+            Value::seq_of([ElemId(12), NULL_ELEM])
+        );
     }
 
     #[test]

@@ -10,9 +10,14 @@
 //! A [`CompiledObligation`] resolves every variable occurrence to a dense
 //! *slot* index once, up front: candidate enumeration writes values straight
 //! into a flat slot vector (no names, no maps), defined variables evaluate
-//! into their slots, and quantifiers save/restore a single slot. Semantics
-//! (including the totalization of partial operations and the error cases)
-//! mirror the reference evaluator exactly; the property tests cross-check
+//! into their slots, and quantifiers save/restore a single slot. Pure
+//! collection *reads* with a slot operand (`member`, `card`, `len`, `get`,
+//! `has-key`, `at`, `index-of`, `contains`) borrow the collection in place
+//! instead of cloning the handle out of the slot, eliminating the atomic
+//! refcount round-trip that dominated the read side after the persistent
+//! copy-on-write payloads landed. Semantics (including the totalization of
+//! partial operations, evaluation order, and the error cases) mirror the
+//! reference evaluator exactly; the property tests cross-check
 //! counterexamples against it.
 
 use std::collections::HashMap;
@@ -366,6 +371,24 @@ impl Compiler {
     }
 }
 
+/// Peeks the value bound in slot `i` without cloning it out of the
+/// environment.
+///
+/// Pure collection *reads* (membership, lookup, length) dominate the
+/// finite-model search, and moving a `Value` out of a slot — even with the
+/// persistent copy-on-write payloads — costs an atomic refcount round-trip
+/// per read. The read-shaped operators below therefore evaluate slot
+/// operands through this shared borrow. The borrow is never held across a
+/// recursive `eval_c` call: operators that evaluate another operand after
+/// identifying the slot re-peek afterwards, which is sound because `eval_c`
+/// never writes an input or defined slot (quantifiers save/restore their own
+/// private binder slots only).
+fn slot_ref(env: &[Option<Value>], i: u32) -> Result<&Value, String> {
+    env[i as usize]
+        .as_ref()
+        .ok_or_else(|| format!("unbound slot {i}"))
+}
+
 fn expect_bool_c(v: Value, context: &'static str) -> Result<bool, String> {
     match v {
         Value::Bool(x) => Ok(x),
@@ -385,6 +408,61 @@ fn expect_elem_c(v: Value, context: &'static str) -> Result<semcommute_logic::El
         Value::Elem(x) => Ok(x),
         other => Err(format!("{context}: expected elem, found {}", other.sort())),
     }
+}
+
+/// Expands the borrow-read fast path for a unary length read (`card`,
+/// `map-size`, `seq-len`): a slot operand is read through a shared borrow
+/// (no handle clone), anything else falls back to evaluating the operand.
+/// One definition keeps the protocol and the error strings of every such
+/// operator in lockstep.
+macro_rules! length_read {
+    ($coll:expr, $env:expr, $variant:ident, $err:literal) => {{
+        let len = match $coll.as_ref() {
+            CTerm::Slot(i) => match slot_ref($env, *i)? {
+                Value::$variant(c) => c.len(),
+                other => return Err(format!(concat!($err, ", found {}"), other.sort())),
+            },
+            _ => match eval_c($coll, $env)? {
+                Value::$variant(c) => c.len(),
+                other => return Err(format!(concat!($err, ", found {}"), other.sort())),
+            },
+        };
+        Value::Int(len as i64)
+    }};
+}
+
+/// Expands the borrow-read fast path for a collection-first binary read
+/// (`get`, `has-key`, `at`, `index-of`, `last-index-of`, `contains`): a
+/// slot operand is sort-checked up front (same error, same order as
+/// evaluating it would produce), the second operand (`$op`) is evaluated,
+/// and the slot re-peeked — the operand's evaluation cannot touch a named
+/// slot, so the collection is still there. A non-slot operand falls back
+/// to moving the evaluated collection, preserving the original evaluation
+/// order.
+macro_rules! collection_read {
+    ($coll:expr, $env:expr, $variant:ident, $err:literal,
+     $op:expr, |$c:ident, $x:ident| $body:expr) => {{
+        if let CTerm::Slot(i) = $coll.as_ref() {
+            match slot_ref($env, *i)? {
+                Value::$variant(_) => {}
+                other => return Err(format!(concat!($err, ", found {}"), other.sort())),
+            }
+            let $x = $op;
+            let Value::$variant($c) = slot_ref($env, *i)? else {
+                return Err(format!("slot {i} changed sort mid-evaluation"));
+            };
+            $body
+        } else {
+            match eval_c($coll, $env)? {
+                Value::$variant(c) => {
+                    let $x = $op;
+                    let $c = &c;
+                    $body
+                }
+                other => return Err(format!(concat!($err, ", found {}"), other.sort())),
+            }
+        }
+    }};
 }
 
 fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
@@ -489,15 +567,21 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
         }
         Member(v, s) => {
             let v = expect_elem_c(eval_c(v, env)?, "member")?;
-            match eval_c(s, env)? {
-                Value::Set(s) => Value::Bool(s.contains(&v)),
-                other => return Err(format!("member: expected set, found {}", other.sort())),
-            }
+            // Set slot operands are read in place (see `slot_ref`); the
+            // fallback path moves the evaluated set out as before.
+            let contains = match s.as_ref() {
+                Slot(i) => match slot_ref(env, *i)? {
+                    Value::Set(s) => s.contains(&v),
+                    other => return Err(format!("member: expected set, found {}", other.sort())),
+                },
+                _ => match eval_c(s, env)? {
+                    Value::Set(s) => s.contains(&v),
+                    other => return Err(format!("member: expected set, found {}", other.sort())),
+                },
+            };
+            Value::Bool(contains)
         }
-        Card(s) => match eval_c(s, env)? {
-            Value::Set(s) => Value::Int(s.len() as i64),
-            other => return Err(format!("card: expected set, found {}", other.sort())),
-        },
+        Card(s) => length_read!(s, env, Set, "card: expected set"),
 
         MapPut(m, k, v) => {
             let mut m = match eval_c(m, env)? {
@@ -518,26 +602,23 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
             m.remove(&k);
             Value::Map(m)
         }
-        MapGet(m, k) => {
-            let m = match eval_c(m, env)? {
-                Value::Map(m) => m,
-                other => return Err(format!("map get: expected map, found {}", other.sort())),
-            };
-            let k = expect_elem_c(eval_c(k, env)?, "map get key")?;
-            Value::Elem(m.get(&k).copied().unwrap_or(NULL_ELEM))
-        }
-        MapHasKey(m, k) => {
-            let m = match eval_c(m, env)? {
-                Value::Map(m) => m,
-                other => return Err(format!("map has-key: expected map, found {}", other.sort())),
-            };
-            let k = expect_elem_c(eval_c(k, env)?, "map has-key key")?;
-            Value::Bool(m.contains_key(&k))
-        }
-        MapSize(m) => match eval_c(m, env)? {
-            Value::Map(m) => Value::Int(m.len() as i64),
-            other => return Err(format!("map size: expected map, found {}", other.sort())),
-        },
+        MapGet(m, k) => collection_read!(
+            m,
+            env,
+            Map,
+            "map get: expected map",
+            expect_elem_c(eval_c(k, env)?, "map get key")?,
+            |map, k| Value::Elem(map.get(&k).copied().unwrap_or(NULL_ELEM))
+        ),
+        MapHasKey(m, k) => collection_read!(
+            m,
+            env,
+            Map,
+            "map has-key: expected map",
+            expect_elem_c(eval_c(k, env)?, "map has-key key")?,
+            |map, k| Value::Bool(map.contains_key(&k))
+        ),
+        MapSize(m) => length_read!(m, env, Map, "map size: expected map"),
 
         SeqInsertAt(s, i, v) => {
             let mut s = match eval_c(s, env)? {
@@ -583,62 +664,49 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
             }
             Value::Seq(s)
         }
-        SeqAt(s, i) => {
-            let s = match eval_c(s, env)? {
-                Value::Seq(s) => s,
-                other => return Err(format!("seq at: expected seq, found {}", other.sort())),
-            };
-            let i = expect_int_c(eval_c(i, env)?, "seq at index")?;
-            let e = if i >= 0 && (i as usize) < s.len() {
-                s[i as usize]
-            } else {
-                NULL_ELEM
-            };
-            Value::Elem(e)
-        }
-        SeqLen(s) => match eval_c(s, env)? {
-            Value::Seq(s) => Value::Int(s.len() as i64),
-            other => return Err(format!("seq len: expected seq, found {}", other.sort())),
-        },
-        SeqIndexOf(s, v) => {
-            let s = match eval_c(s, env)? {
-                Value::Seq(s) => s,
-                other => {
-                    return Err(format!(
-                        "seq index-of: expected seq, found {}",
-                        other.sort()
-                    ))
-                }
-            };
-            let v = expect_elem_c(eval_c(v, env)?, "seq index-of value")?;
-            Value::Int(s.iter().position(|&e| e == v).map_or(-1, |i| i as i64))
-        }
-        SeqLastIndexOf(s, v) => {
-            let s = match eval_c(s, env)? {
-                Value::Seq(s) => s,
-                other => {
-                    return Err(format!(
-                        "seq last-index-of: expected seq, found {}",
-                        other.sort()
-                    ))
-                }
-            };
-            let v = expect_elem_c(eval_c(v, env)?, "seq last-index-of value")?;
-            Value::Int(s.iter().rposition(|&e| e == v).map_or(-1, |i| i as i64))
-        }
-        SeqContains(s, v) => {
-            let s = match eval_c(s, env)? {
-                Value::Seq(s) => s,
-                other => {
-                    return Err(format!(
-                        "seq contains: expected seq, found {}",
-                        other.sort()
-                    ))
-                }
-            };
-            let v = expect_elem_c(eval_c(v, env)?, "seq contains value")?;
-            Value::Bool(s.contains(&v))
-        }
+        // Sequence reads are the hottest operators of the ArrayList
+        // fragment; a sequence slot operand is read in place via the shared
+        // validate / evaluate-operand / re-peek protocol.
+        SeqAt(s, i) => collection_read!(
+            s,
+            env,
+            Seq,
+            "seq at: expected seq",
+            expect_int_c(eval_c(i, env)?, "seq at index")?,
+            |seq, i| {
+                let e = if i >= 0 && (i as usize) < seq.len() {
+                    seq[i as usize]
+                } else {
+                    NULL_ELEM
+                };
+                Value::Elem(e)
+            }
+        ),
+        SeqLen(s) => length_read!(s, env, Seq, "seq len: expected seq"),
+        SeqIndexOf(s, v) => collection_read!(
+            s,
+            env,
+            Seq,
+            "seq index-of: expected seq",
+            expect_elem_c(eval_c(v, env)?, "seq index-of value")?,
+            |seq, v| Value::Int(seq.iter().position(|&e| e == v).map_or(-1, |i| i as i64))
+        ),
+        SeqLastIndexOf(s, v) => collection_read!(
+            s,
+            env,
+            Seq,
+            "seq last-index-of: expected seq",
+            expect_elem_c(eval_c(v, env)?, "seq last-index-of value")?,
+            |seq, v| Value::Int(seq.iter().rposition(|&e| e == v).map_or(-1, |i| i as i64))
+        ),
+        SeqContains(s, v) => collection_read!(
+            s,
+            env,
+            Seq,
+            "seq contains: expected seq",
+            expect_elem_c(eval_c(v, env)?, "seq contains value")?,
+            |seq, v| Value::Bool(seq.contains(&v))
+        ),
 
         Quantifier {
             universal,
@@ -777,5 +845,63 @@ mod tests {
         let mut env = compiled.env();
         let mut vals = vec![Value::elem(1)];
         assert!(compiled.check(&mut vals, &mut env).is_err());
+    }
+
+    /// The borrow-read fast path (slot operands of `member`/`card`/`at`/...)
+    /// must agree with the reference evaluator on results *and* on the
+    /// ill-sorted error cases, since a slot operand skips the generic
+    /// evaluation that used to produce those errors.
+    #[test]
+    fn slot_read_specializations_match_reference_and_errors() {
+        let ob = Obligation::new("reads").goal(and2(
+            and2(
+                member(var_elem("v"), var_set("s")),
+                eq(card(var_set("s")), int(2)),
+            ),
+            and2(
+                and2(
+                    eq(map_get(var_map("mp"), var_elem("v")), var_elem("w")),
+                    map_has_key(var_map("mp"), var_elem("v")),
+                ),
+                and2(
+                    eq(seq_at(var_seq("q"), int(1)), var_elem("w")),
+                    and2(
+                        seq_contains(var_seq("q"), var_elem("v")),
+                        eq(seq_index_of(var_seq("q"), var_elem("v")), int(0)),
+                    ),
+                ),
+            ),
+        ));
+        check_against_reference(
+            &ob,
+            vec![
+                ("v", Value::elem(1)),
+                ("w", Value::elem(2)),
+                ("s", Value::set_of([ElemId(1), ElemId(2)])),
+                ("mp", Value::map_of([(ElemId(1), ElemId(2))])),
+                ("q", Value::seq_of([ElemId(1), ElemId(2)])),
+            ],
+        );
+
+        // Ill-sorted slot operands keep the reference error messages.
+        for (goal, expected) in [
+            (card(var_int("x")), "card: expected set"),
+            (member(var_elem("v"), var_int("x")), "member: expected set"),
+            (map_size(var_int("x")), "map size: expected map"),
+            (seq_len(var_int("x")), "seq len: expected seq"),
+            (seq_at(var_int("x"), int(0)), "seq at: expected seq"),
+            (
+                map_get(var_int("x"), var_elem("v")),
+                "map get: expected map",
+            ),
+        ] {
+            let ob = Obligation::new("bad").goal(eq(goal, int(0)));
+            let order = vec!["v".to_string(), "x".to_string()];
+            let compiled = CompiledObligation::compile(&ob, &order);
+            let mut env = compiled.env();
+            let mut vals = vec![Value::elem(1), Value::Int(3)];
+            let err = compiled.check(&mut vals, &mut env).unwrap_err();
+            assert!(err.contains(expected), "`{err}` missing `{expected}`");
+        }
     }
 }

@@ -16,7 +16,10 @@
 //!   universe is large enough that the search is a sound and complete decision
 //!   procedure; for the sequence (ArrayList) fragment the sequence length is an
 //!   explicit, reported scope parameter (the analog of the paper's observation
-//!   that ArrayList obligations need extra help).
+//!   that ArrayList obligations need extra help). The search space is doubly
+//!   symmetry-reduced: element variables are assigned partition patterns, and
+//!   collection-valued inputs are enumerated orbit-canonically under
+//!   permutations of the anonymous padding elements ([`orbit`]).
 //!
 //! The [`portfolio`] module combines the two (structural first, then
 //! finite-model) behind a sharded canonical-hash verdict cache, [`queue`]
@@ -48,6 +51,7 @@ pub mod compiled;
 pub mod finite;
 pub mod hints;
 pub mod obligation;
+pub mod orbit;
 pub mod portfolio;
 pub mod queue;
 pub mod scope;

@@ -8,13 +8,22 @@
 //!
 //! * every submitted obligation is addressed by its **canonical hash**
 //!   ([`Portfolio::canonical_key`]: the structural hash of the simplified
-//!   obligation mixed with scope and configuration), and canonically
-//!   identical submissions collapse into one *task* before any worker runs;
-//! * tasks are distributed round-robin over per-worker deques; a worker pops
-//!   from the front of its own deque and, when empty, **steals a batch**
-//!   (half the victim's remaining tasks) from the back of another worker's
-//!   deque, so a worker that drew cheap structural obligations immediately
-//!   takes over part of a loaded worker's share;
+//!   obligation mixed with scope and configuration). Keying — the intern +
+//!   simplify pass over the obligation — happens **on the worker that pops
+//!   the submission**, not on the submitting thread: an up-front serial
+//!   keying pre-pass was the scheduler's Amdahl floor at high worker
+//!   counts. Canonically identical submissions still collapse: the first
+//!   worker to key a hash *claims* it in a sharded in-flight table (sharded
+//!   exactly like the verdict cache) and proves it; workers that key the
+//!   same hash while the claim is open *subscribe* and have the verdict
+//!   fanned out to them when the claimant publishes; workers that key it
+//!   after publication answer directly from the table — in every case the
+//!   hash is proved at most once per run;
+//! * submissions are distributed round-robin over per-worker deques; a
+//!   worker pops from the front of its own deque and, when empty, **steals
+//!   a batch** (half the victim's remaining submissions) from the back of
+//!   another worker's deque, so a worker that drew cheap structural
+//!   obligations immediately takes over part of a loaded worker's share;
 //! * workers publish verdicts through the portfolio's sharded
 //!   [`VerdictCache`](crate::portfolio::VerdictCache), keyed by the same
 //!   canonical hash, so duplicate work
@@ -131,15 +140,19 @@ impl ScheduledObligation {
 pub struct QueueReport {
     /// Obligations submitted.
     pub submitted: usize,
-    /// Unique canonical hashes among the submissions.
+    /// Unique canonical hashes keyed during the run. Keying happens on the
+    /// worker that pops a submission, so guard-skipped submissions (which
+    /// are never keyed) do not contribute.
     pub unique: usize,
     /// Obligations actually sent to the prover portfolio (cache misses).
     pub proved: u64,
-    /// Submissions answered without proving: duplicates of an in-run task
-    /// plus tasks whose verdict was already in the shared cache.
+    /// Submissions answered without proving: duplicates deduplicated
+    /// through the in-flight table (subscribed while a claim was open, or
+    /// keyed after publication) plus claims whose verdict was already in
+    /// the shared cache.
     pub cache_hits: u64,
     /// Submissions skipped because their early-exit guard had already failed
-    /// at a lower index.
+    /// at a lower index when the submission was popped.
     pub skipped: u64,
     /// Successful steal operations (a batch moved between worker deques).
     pub steals: u64,
@@ -164,24 +177,47 @@ pub struct QueueRun {
 /// One submission's early-exit membership: its group guard and index.
 type GuardRef = Option<(Arc<ExitGuard>, u32)>;
 
-/// A deduplicated unit of work: the first submission with a given canonical
-/// hash carries the obligation; later submissions only subscribe.
-struct Task {
-    key: u128,
-    portfolio: usize,
-    obligation: Obligation,
-    /// `(submission index, early-exit membership)`, in submission order.
-    subscribers: Vec<(usize, GuardRef)>,
+/// The per-run dedup state of one canonical hash.
+enum KeyState {
+    /// A worker keyed this hash first and is proving it; the listed
+    /// submissions keyed it while the claim was open and will have the
+    /// verdict fanned out to them when the claimant publishes.
+    Claimed(Vec<(usize, GuardRef)>),
+    /// The verdict is published; later submissions with this hash answer
+    /// directly as dedup hits.
+    Done(Verdict),
 }
 
-impl Task {
-    /// A task may be dropped only when *every* subscription is past its
-    /// group's failure point; a hash shared between a failed group and a
-    /// live one must still be proved for the live group.
-    fn skippable(&self) -> bool {
-        self.subscribers
+/// The in-flight dedup table of one scheduler run: canonical hash →
+/// [`KeyState`], sharded exactly like the verdict cache
+/// ([`crate::portfolio::N_SHARDS`], same `key % N` split) so concurrent
+/// workers claiming and publishing different hashes rarely contend.
+///
+/// Keying now happens on the workers, so two workers can key the same hash
+/// concurrently; this table is what keeps each hash proved at most once per
+/// run without ever blocking a worker — a loser of the claim race subscribes
+/// and moves on to its next submission.
+struct InFlight {
+    shards: [Mutex<HashMap<u128, KeyState>>; crate::portfolio::N_SHARDS],
+}
+
+impl InFlight {
+    fn new() -> InFlight {
+        InFlight {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, KeyState>> {
+        &self.shards[(key % self.shards.len() as u128) as usize]
+    }
+
+    /// Number of distinct canonical hashes keyed during the run.
+    fn unique(&self) -> usize {
+        self.shards
             .iter()
-            .all(|(_, guard)| matches!(guard, Some((g, i)) if g.skips(*i)))
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
     }
 }
 
@@ -199,12 +235,16 @@ pub fn prove_all(portfolio: &Portfolio, obligations: &[Obligation], workers: usi
 /// Proves a batch of [`ScheduledObligation`]s on `workers` work-stealing
 /// workers.
 ///
-/// The returned verdicts are positionally aligned with `items`. The first
-/// submission of each canonical hash receives the prover's verdict; later
-/// submissions receive it as a dedup hit (zeroed work counters,
-/// `cache_hits = 1`), mirroring what [`Portfolio::prove`] reports for a
-/// cache hit — so accumulated statistics are identical to what a sequential
-/// run over the same submissions would have accumulated.
+/// The returned verdicts are positionally aligned with `items`. Each
+/// submission is keyed (intern + simplify) by the worker that pops it; the
+/// submission that claims a canonical hash first receives the prover's
+/// verdict, and every other submission of that hash receives it as a dedup
+/// hit (zeroed work counters, `cache_hits = 1`), mirroring what
+/// [`Portfolio::prove`] reports for a cache hit — so accumulated statistics
+/// are identical to what a sequential run over the same submissions would
+/// have accumulated. A submission whose early-exit guard has already failed
+/// at a lower index when it is popped is skipped outright (verdict `None`),
+/// exactly as the sequential driver would have stopped before it.
 ///
 /// # Panics
 ///
@@ -219,69 +259,102 @@ pub fn prove_all_scheduled(
         submitted,
         ..QueueReport::default()
     };
-
-    // Dedup by canonical hash: the key of the simplified obligation under
-    // its portfolio's scope and configuration. Keying runs on this thread's
-    // arena, whose memo tables make repeated sub-DAGs cheap.
-    let mut tasks: Vec<Task> = Vec::new();
-    let mut by_key: HashMap<u128, usize> = HashMap::new();
-    for (index, item) in items.into_iter().enumerate() {
+    for item in &items {
         assert!(
             item.portfolio < portfolios.len(),
             "scheduled obligation references portfolio {} of {}",
             item.portfolio,
             portfolios.len()
         );
-        let key = portfolios[item.portfolio].canonical_key(&item.obligation);
-        match by_key.get(&key) {
-            Some(&task_id) => tasks[task_id].subscribers.push((index, item.guard)),
-            None => {
-                by_key.insert(key, tasks.len());
-                tasks.push(Task {
-                    key,
-                    portfolio: item.portfolio,
-                    obligation: item.obligation,
-                    subscribers: vec![(index, item.guard)],
-                });
-            }
-        }
     }
-    report.unique = tasks.len();
 
-    let results: Vec<OnceLock<Verdict>> = (0..tasks.len()).map(|_| OnceLock::new()).collect();
+    let in_flight = InFlight::new();
+    let results: Vec<OnceLock<Verdict>> = (0..submitted).map(|_| OnceLock::new()).collect();
     let proved = AtomicU64::new(0);
     let cache_hits = AtomicU64::new(0);
     let steals = AtomicU64::new(0);
     let stolen_tasks = AtomicU64::new(0);
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
-    let process = |task_id: usize, task: &Task| {
-        if task.skippable() {
+    // Hands a submission its verdict, recording a failure in its early-exit
+    // group first so racing group members observe it as soon as possible.
+    let deliver = |index: usize, guard: &GuardRef, verdict: Verdict| {
+        if !verdict.is_valid() {
+            if let Some((guard, group_index)) = guard {
+                guard.fail(*group_index);
+            }
+        }
+        let _ = results[index].set(verdict);
+    };
+
+    // The answer a duplicate submission receives: the proved verdict with
+    // zeroed work counters and `cache_hits = 1`, mirroring what
+    // [`Portfolio::prove`] reports for a cache hit — so accumulated
+    // statistics are identical to a sequential run over the submissions.
+    let dedup_hit = |verdict: &Verdict| -> Verdict {
+        let mut hit = verdict.clone();
+        let prover = hit.stats().prover;
+        *hit.stats_mut() = ProofStats {
+            prover,
+            cache_hits: 1,
+            ..ProofStats::none()
+        };
+        hit
+    };
+
+    let process = |index: usize, item: &ScheduledObligation| {
+        if let Some((guard, group_index)) = &item.guard {
+            if guard.skips(*group_index) {
+                // Skipped: not even keyed. The submission's verdict slot
+                // stays `None`, counted as `skipped` at fan-in.
+                return;
+            }
+        }
+        let portfolio = &portfolios[item.portfolio];
+        // Keying — intern + simplify of the obligation — runs here, on the
+        // popping worker's thread-local arena. The canonical hash does not
+        // depend on arena ids, so every worker computes the same key.
+        let key = portfolio.canonical_key(&item.obligation);
+        let published = {
+            let mut shard = in_flight
+                .shard(key)
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            match shard.get_mut(&key) {
+                None => {
+                    shard.insert(key, KeyState::Claimed(Vec::new()));
+                    None
+                }
+                Some(KeyState::Claimed(subscribers)) => {
+                    subscribers.push((index, item.guard.clone()));
+                    return;
+                }
+                Some(KeyState::Done(verdict)) => Some(verdict.clone()),
+            }
+        };
+        if let Some(verdict) = published {
+            cache_hits.fetch_add(1, Ordering::Relaxed);
+            deliver(index, &item.guard, dedup_hit(&verdict));
             return;
         }
-        let portfolio = &portfolios[task.portfolio];
-        let verdict = portfolio.prove_keyed(task.key, &task.obligation);
+
+        // This worker holds the claim for `key`: prove it (the shared
+        // verdict cache may still answer, e.g. from an earlier run).
+        let verdict = portfolio.prove_keyed(key, &item.obligation);
         if verdict.stats().cache_hits > 0 {
             cache_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             proved.fetch_add(1, Ordering::Relaxed);
         }
-        if !verdict.is_valid() {
-            for (_, guard) in &task.subscribers {
-                if let Some((guard, index)) = guard {
-                    guard.fail(*index);
-                }
-            }
-        }
         let mut found: Vec<String> = verdict
             .stats()
             .errors
             .iter()
-            .map(|e| format!("{}: {e}", task.obligation.name))
+            .map(|e| format!("{}: {e}", item.obligation.name))
             .collect();
         if let Verdict::Unknown { reason, stats } = &verdict {
             if !stats.errors.iter().any(|e| e == reason) {
-                found.push(format!("{}: {reason}", task.obligation.name));
+                found.push(format!("{}: {reason}", item.obligation.name));
             }
         }
         if !found.is_empty() {
@@ -290,16 +363,34 @@ pub fn prove_all_scheduled(
                 .unwrap_or_else(|p| p.into_inner())
                 .extend(found);
         }
-        let _ = results[task_id].set(verdict);
+
+        // Publish, collecting whoever subscribed while the proof ran.
+        let subscribers = {
+            let mut shard = in_flight
+                .shard(key)
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            match shard.insert(key, KeyState::Done(verdict.clone())) {
+                Some(KeyState::Claimed(subscribers)) => subscribers,
+                // Unreachable: this worker held the claim exclusively.
+                _ => Vec::new(),
+            }
+        };
+        deliver(index, &item.guard, verdict.clone());
+        for (subscriber, guard) in subscribers {
+            cache_hits.fetch_add(1, Ordering::Relaxed);
+            deliver(subscriber, &guard, dedup_hit(&verdict));
+        }
     };
 
-    let workers = workers.max(1).min(tasks.len().max(1));
+    let workers = workers.max(1).min(submitted.max(1));
     if workers <= 1 {
-        // The reproducible baseline: tasks run in submission order on the
-        // calling thread. This is the oracle the differential tests compare
-        // parallel runs against.
-        for (task_id, task) in tasks.iter().enumerate() {
-            process(task_id, task);
+        // The reproducible baseline: submissions run in order on the
+        // calling thread (keying included, so the arena warm-up pattern
+        // matches the pre-scheduler sequential driver). This is the oracle
+        // the differential tests compare parallel runs against.
+        for (index, item) in items.iter().enumerate() {
+            process(index, item);
         }
     } else {
         // Seed the per-worker deques round-robin so every worker starts
@@ -308,22 +399,22 @@ pub fn prove_all_scheduled(
         let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
             .map(|w| {
                 Mutex::new(
-                    (0..tasks.len())
-                        .filter(|t| t % workers == w)
+                    (0..submitted)
+                        .filter(|i| i % workers == w)
                         .collect::<VecDeque<usize>>(),
                 )
             })
             .collect();
         std::thread::scope(|scope| {
             for me in 0..workers {
-                let (deques, tasks, process) = (&deques, &tasks, &process);
+                let (deques, items, process) = (&deques, &items, &process);
                 let (steals, stolen_tasks) = (&steals, &stolen_tasks);
                 scope.spawn(move || loop {
                     let next = deques[me]
                         .lock()
                         .unwrap_or_else(|p| p.into_inner())
                         .pop_front();
-                    let task_id = match next {
+                    let index = match next {
                         Some(id) => id,
                         None => {
                             // Steal half of the first non-empty victim's
@@ -346,9 +437,9 @@ pub fn prove_all_scheduled(
                                 break;
                             }
                             match batch.pop_front() {
-                                // All deques were empty: no new tasks can
-                                // appear (the queue is seeded up front), so
-                                // this worker is done.
+                                // All deques were empty: no new submissions
+                                // can appear (the queue is seeded up
+                                // front), so this worker is done.
                                 None => break,
                                 Some(id) => {
                                     steals.fetch_add(1, Ordering::Relaxed);
@@ -365,42 +456,26 @@ pub fn prove_all_scheduled(
                             }
                         }
                     };
-                    process(task_id, &tasks[task_id]);
+                    process(index, &items[index]);
                 });
             }
         });
     }
 
-    // Fan the per-task verdicts back out to the submissions. The first
-    // subscriber gets the prover's verdict; duplicates get it as a dedup
-    // hit, exactly as the sequential portfolio would have answered them.
-    let mut verdicts: Vec<Option<Verdict>> = vec![None; submitted];
+    report.unique = in_flight.unique();
     let mut skipped = 0u64;
-    let mut duplicate_hits = 0u64;
-    for (task_id, task) in tasks.iter().enumerate() {
-        match results[task_id].get() {
-            None => skipped += task.subscribers.len() as u64,
-            Some(verdict) => {
-                duplicate_hits += task.subscribers.len() as u64 - 1;
-                for (position, (submission, _)) in task.subscribers.iter().enumerate() {
-                    verdicts[*submission] = Some(if position == 0 {
-                        verdict.clone()
-                    } else {
-                        let mut hit = verdict.clone();
-                        let prover = hit.stats().prover;
-                        *hit.stats_mut() = ProofStats {
-                            prover,
-                            cache_hits: 1,
-                            ..ProofStats::none()
-                        };
-                        hit
-                    });
-                }
+    let verdicts: Vec<Option<Verdict>> = results
+        .into_iter()
+        .map(|slot| {
+            let verdict = slot.into_inner();
+            if verdict.is_none() {
+                skipped += 1;
             }
-        }
-    }
+            verdict
+        })
+        .collect();
     report.proved = proved.into_inner();
-    report.cache_hits = cache_hits.into_inner() + duplicate_hits;
+    report.cache_hits = cache_hits.into_inner();
     report.skipped = skipped;
     report.steals = steals.into_inner();
     report.stolen_tasks = stolen_tasks.into_inner();

@@ -1,5 +1,27 @@
 //! Scope (bound) configuration for the finite-model prover.
 
+use std::sync::OnceLock;
+
+/// The process-wide default for [`Scope::orbit`]: `true` (orbit-canonical
+/// enumeration) unless the `SEMCOMMUTE_ORBIT` environment variable is set to
+/// `off`, `0`, or `false` when first consulted.
+///
+/// The env override exists for the CI oracle leg: running the *whole* test
+/// suite with the unreduced enumerator as the default is the cheapest way to
+/// re-validate every scope-dependent test against the enumeration the orbit
+/// reduction is proved equivalent to. Tests that pin exact
+/// `models_checked` / `orbits_pruned` counts set the flag explicitly via
+/// [`Scope::with_orbit`] instead of relying on this default.
+pub fn default_orbit() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var("SEMCOMMUTE_ORBIT").ok().as_deref(),
+            Some("off" | "0" | "false")
+        )
+    })
+}
+
 /// The 128-bit mixing step shared by [`Scope::fingerprint`] and the
 /// portfolio's canonical obligation keys (an FNV-style multiply-xor fold);
 /// keeping one definition guarantees the two stay in lockstep.
@@ -35,6 +57,13 @@ pub struct Scope {
     /// prover gives up with an `Unknown` verdict. Guards against accidental
     /// combinatorial explosions; the driver reports when it is hit.
     pub max_models: u64,
+    /// Whether the input space is enumerated orbit-canonically: under each
+    /// partition pattern the anonymous padding elements are interchangeable,
+    /// so collection-valued candidate tuples are emitted only in the
+    /// lex-least form under permutations of the padding block (see
+    /// `prover::orbit`). `false` selects the unreduced enumerator — the
+    /// oracle the differential soundness harness compares against.
+    pub orbit: bool,
 }
 
 impl Scope {
@@ -47,6 +76,7 @@ impl Scope {
             int_min: -2,
             int_max: 5,
             max_models: 50_000_000,
+            orbit: default_orbit(),
         }
     }
 
@@ -59,6 +89,7 @@ impl Scope {
             int_min: -1,
             int_max: 4,
             max_models: 5_000_000,
+            orbit: default_orbit(),
         }
     }
 
@@ -74,6 +105,7 @@ impl Scope {
             int_min: -1,
             int_max: max_seq_len as i64 + 1,
             max_models: 200_000_000,
+            orbit: default_orbit(),
         }
     }
 
@@ -88,6 +120,12 @@ impl Scope {
     pub fn with_max_seq_len(mut self, max_seq_len: usize) -> Scope {
         self.max_seq_len = max_seq_len;
         self.int_max = self.int_max.max(max_seq_len as i64 + 1);
+        self
+    }
+
+    /// Returns a copy with orbit-canonical enumeration switched on or off.
+    pub fn with_orbit(mut self, orbit: bool) -> Scope {
+        self.orbit = orbit;
         self
     }
 
@@ -107,6 +145,12 @@ impl Scope {
         h = mix128(h, self.int_min as u128);
         h = mix128(h, self.int_max as u128);
         h = mix128(h, self.max_models as u128);
+        // Orbit-reduced and unreduced searches check different candidate
+        // sets, so their verdicts can legitimately differ on obligations
+        // with input-dependent evaluation errors (an error at a pruned,
+        // non-canonical candidate). The enumerator choice is therefore part
+        // of the fingerprint, and cached verdicts never cross the two modes.
+        h = mix128(h, self.orbit as u128);
         h
     }
 }
@@ -167,5 +211,13 @@ mod tests {
             Scope::sequences(3).fingerprint(),
             Scope::sequences(4).fingerprint()
         );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_orbit_modes() {
+        let on = Scope::small().with_orbit(true);
+        let off = Scope::small().with_orbit(false);
+        assert_ne!(on.fingerprint(), off.fingerprint());
+        assert_eq!(on.with_orbit(false), off);
     }
 }

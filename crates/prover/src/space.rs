@@ -12,12 +12,21 @@
 //! named by the pattern plus [`Scope::elem_padding`] anonymous elements;
 //! collection-valued inputs are enumerated over that universe, bounded by
 //! [`Scope::max_collection_entries`] / [`Scope::max_seq_len`].
+//!
+//! With [`Scope::orbit`] set, the padding elements themselves are
+//! symmetry-reduced too: the anonymous elements are interchangeable, so
+//! tuples of collection values are enumerated only in orbit-canonical form
+//! under permutations of the padding block, with whole odometer subtrees
+//! pruned as soon as a prefix is provably non-canonical (see
+//! [`crate::orbit`]). The number of candidates skipped this way is reported
+//! through [`SpaceIter::orbits_pruned`].
 
 use std::collections::BTreeMap;
 
 use semcommute_logic::{ElemId, Model, PMap, PSeq, PSet, Sort, Value, NULL_ELEM};
 
 use crate::obligation::Obligation;
+use crate::orbit::{padding_block, OrbitTables};
 use crate::scope::Scope;
 
 /// The search space of candidate models for one obligation.
@@ -108,16 +117,23 @@ impl InputSpace {
         out
     }
 
+    /// The largest element class named by an assignment (0 when every
+    /// variable is `null` or there are none). Classes `1..=max_class` are
+    /// pinned by element variables; everything above them in the universe is
+    /// anonymous padding.
+    fn max_class(assignment: &[ElemId]) -> u32 {
+        assignment
+            .iter()
+            .filter(|e| !e.is_null())
+            .map(|e| e.0)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The collection universe for a given element assignment: the classes
     /// used by the assignment plus `elem_padding` anonymous elements.
     fn universe(&self, assignment: &[ElemId]) -> Vec<ElemId> {
-        let mut max_class = 0u32;
-        for e in assignment {
-            if !e.is_null() {
-                max_class = max_class.max(e.0);
-            }
-        }
-        let total = max_class as usize + self.scope.elem_padding;
+        let total = InputSpace::max_class(assignment) as usize + self.scope.elem_padding;
         (1..=total as u32).map(ElemId).collect()
     }
 
@@ -179,7 +195,10 @@ impl InputSpace {
     }
 
     /// An estimate of the number of candidate models (used for reporting and
-    /// for the `max_models` budget check).
+    /// for the `max_models` budget check). The estimate counts the
+    /// *unreduced* enumeration; with [`Scope::orbit`] set the actual
+    /// traversal emits fewer candidates, so the budget check stays
+    /// conservative.
     pub fn estimated_size(&self) -> u128 {
         let mut total: u128 = 0;
         for assignment in self.elem_assignments() {
@@ -222,16 +241,30 @@ fn subsets_up_to(universe: &[ElemId], max_len: usize) -> Vec<PSet> {
 }
 
 /// Iterator over the candidate models of an [`InputSpace`].
+///
+/// With [`Scope::orbit`] set, the iterator emits only orbit-canonical
+/// candidates (see [`crate::orbit`]): non-canonical tuples are stepped over
+/// — pruning the whole odometer subtree of a doomed prefix at once — before
+/// a position is ever observable through [`SpaceIter::next_values`],
+/// `next()`, or [`SpaceIter::skip_positions`]. Position indices therefore
+/// count *canonical* candidates, which is what keeps the sharded search's
+/// strided split identical at every thread count.
 pub struct SpaceIter<'a> {
     space: &'a InputSpace,
     elem_assignments: Vec<Vec<ElemId>>,
     elem_index: usize,
     /// Candidate values for each non-element variable under the current
-    /// element assignment.
+    /// element assignment. In orbit mode the collection-valued lists are
+    /// sorted ascending, so index order is value order.
     candidates: Vec<Vec<Value>>,
     /// Odometer positions into `candidates`.
     positions: Vec<usize>,
     exhausted_current: bool,
+    /// Orbit pruning tables for the current element assignment (`None` when
+    /// orbit reduction is off or has nothing to act on).
+    orbit: Option<OrbitTables>,
+    /// Candidates skipped as non-canonical so far.
+    orbits_pruned: u64,
 }
 
 impl<'a> SpaceIter<'a> {
@@ -244,10 +277,21 @@ impl<'a> SpaceIter<'a> {
             candidates: Vec::new(),
             positions: Vec::new(),
             exhausted_current: true,
+            orbit: None,
+            orbits_pruned: 0,
         };
         it.load_current();
         it.settle();
+        it.seek_canonical();
         it
+    }
+
+    /// Number of candidates the orbit reduction has skipped as
+    /// non-canonical so far. Always zero with [`Scope::orbit`] off; after a
+    /// full traversal, the unreduced enumeration size equals the canonical
+    /// count plus this.
+    pub fn orbits_pruned(&self) -> u64 {
+        self.orbits_pruned
     }
 
     fn done(&self) -> bool {
@@ -301,13 +345,34 @@ impl<'a> SpaceIter<'a> {
         if self.elem_index >= self.elem_assignments.len() {
             return;
         }
-        let universe = self.space.universe(&self.elem_assignments[self.elem_index]);
+        let assignment = &self.elem_assignments[self.elem_index];
+        let universe = self.space.universe(assignment);
         self.candidates = self
             .space
             .other_vars
             .iter()
             .map(|(_, sort)| self.space.candidates(*sort, &universe))
             .collect();
+        self.orbit = None;
+        if self.space.scope.orbit {
+            let sorts: Vec<Sort> = self.space.other_vars.iter().map(|(_, s)| *s).collect();
+            let block = padding_block(
+                InputSpace::max_class(assignment),
+                self.space.scope.elem_padding,
+            );
+            if block.len() >= 2 {
+                // Sort the collection-valued candidate lists so the orbit
+                // tables can compare candidates by index. Only done when a
+                // reduction can actually happen: with a trivial block the
+                // enumeration order stays byte-identical to orbit-off.
+                for (list, sort) in self.candidates.iter_mut().zip(&sorts) {
+                    if matches!(sort, Sort::Set | Sort::Map | Sort::Seq) {
+                        list.sort();
+                    }
+                }
+                self.orbit = OrbitTables::build(&self.candidates, &sorts, block);
+            }
+        }
         self.positions = vec![0; self.candidates.len()];
         self.exhausted_current = self.candidates.iter().any(|c| c.is_empty());
     }
@@ -330,18 +395,62 @@ impl<'a> SpaceIter<'a> {
     }
 
     fn advance(&mut self) {
-        // Advance the odometer; on overflow (or when there is no odometer at
-        // all) move to the next element assignment.
-        for i in (0..self.positions.len()).rev() {
+        match self.positions.len() {
+            0 => self.next_assignment(),
+            n => self.bump(n - 1),
+        }
+        self.seek_canonical();
+    }
+
+    /// Advances the odometer treating `j` as the least-significant digit:
+    /// positions above `j` reset to zero, positions `0..=j` carry; on
+    /// overflow (or when there is no odometer at all) moves to the next
+    /// element assignment. Bumping at `j < len - 1` is how the orbit
+    /// reduction skips the whole subtree of a non-canonical prefix.
+    fn bump(&mut self, j: usize) {
+        for i in (j + 1)..self.positions.len() {
+            self.positions[i] = 0;
+        }
+        for i in (0..=j).rev() {
             self.positions[i] += 1;
             if self.positions[i] < self.candidates[i].len() {
                 return;
             }
             self.positions[i] = 0;
         }
+        self.next_assignment();
+    }
+
+    fn next_assignment(&mut self) {
         self.elem_index += 1;
         self.load_current();
         self.settle();
+    }
+
+    /// Steps forward until the current candidate is orbit-canonical (no-op
+    /// when orbit reduction is off or trivial). Every skipped candidate is
+    /// counted into `orbits_pruned`; a non-canonical *prefix* prunes its
+    /// whole subtree in one bump.
+    ///
+    /// The subtree accounting relies on an invariant of the enumeration
+    /// order: whenever a violation is decided at slot `j`, every position
+    /// above `j` is zero — the previously emitted candidate was canonical
+    /// (or the previous prune already bumped at `>= j`), so a strictly-less
+    /// prefix can only have appeared at or above the slot that last
+    /// changed, below which all positions were just reset.
+    fn seek_canonical(&mut self) {
+        while !self.done() {
+            let Some(tables) = &self.orbit else { return };
+            let Some(j) = tables.violation(&self.positions) else {
+                return;
+            };
+            debug_assert!(self.positions[j + 1..].iter().all(|&p| p == 0));
+            let subtree: u64 = self.candidates[j + 1..]
+                .iter()
+                .fold(1u64, |acc, c| acc.saturating_mul(c.len() as u64));
+            self.orbits_pruned += subtree;
+            self.bump(j);
+        }
     }
 }
 
@@ -461,6 +570,127 @@ mod tests {
         assert_eq!(space.elem_vars(), &["v".to_string()]);
         assert_eq!(space.other_vars().len(), 1);
         assert_eq!(space.other_vars()[0].0, "s");
+    }
+
+    #[test]
+    fn orbit_enumeration_emits_exactly_the_canonical_candidates() {
+        // One set variable, no element variables, two padding elements: the
+        // unreduced candidates are the subsets of {o1, o2}; the swap o1<->o2
+        // identifies {o1} with {o2}, so exactly one of them is emitted.
+        let scope = Scope {
+            elem_padding: 2,
+            max_collection_entries: 2,
+            ..Scope::small()
+        };
+        let off = InputSpace::new(&vars(&[("s", Sort::Set)]), scope.clone().with_orbit(false));
+        let on = InputSpace::new(&vars(&[("s", Sort::Set)]), scope.clone().with_orbit(true));
+        assert_eq!(off.iter().count(), 4);
+        let mut it = on.iter();
+        assert_eq!(it.by_ref().count(), 3);
+        assert_eq!(it.orbits_pruned(), 1);
+
+        // Joint canonicalization over two set slots: 16 unreduced tuples
+        // collapse to (16 + 4 fixed points) / 2 = 10 orbits.
+        let off2 = InputSpace::new(
+            &vars(&[("s", Sort::Set), ("t", Sort::Set)]),
+            scope.clone().with_orbit(false),
+        );
+        let on2 = InputSpace::new(
+            &vars(&[("s", Sort::Set), ("t", Sort::Set)]),
+            scope.with_orbit(true),
+        );
+        assert_eq!(off2.iter().count(), 16);
+        let mut it = on2.iter();
+        assert_eq!(it.by_ref().count(), 10);
+        assert_eq!(it.orbits_pruned(), 6);
+    }
+
+    #[test]
+    fn every_unreduced_candidate_is_reachable_from_a_canonical_one() {
+        use crate::orbit::block_permutations;
+        let scope = Scope {
+            elem_padding: 2,
+            max_collection_entries: 2,
+            max_seq_len: 2,
+            ..Scope::small()
+        };
+        let vars = vars(&[("v", Sort::Elem), ("q", Sort::Seq), ("s", Sort::Set)]);
+        let canonical: Vec<Model> = InputSpace::new(&vars, scope.clone().with_orbit(true))
+            .iter()
+            .collect();
+        let space_off = InputSpace::new(&vars, scope.with_orbit(false));
+        for model in space_off.iter() {
+            let max_class = model
+                .get("v")
+                .and_then(|v| v.as_elem())
+                .filter(|e| !e.is_null())
+                .map_or(0, |e| e.0);
+            let block = crate::orbit::padding_block(max_class, 2);
+            let reachable = block_permutations(block).iter().any(|perm| {
+                let image = Model::from_bindings(
+                    model
+                        .iter()
+                        .map(|(name, value)| (name.to_string(), perm.apply_value(value))),
+                );
+                canonical.contains(&image)
+            });
+            assert!(reachable, "no canonical representative for {model}");
+        }
+    }
+
+    #[test]
+    fn orbit_off_counts_unreduced_candidates_and_prunes_nothing() {
+        let scope = Scope {
+            elem_padding: 2,
+            max_collection_entries: 2,
+            ..Scope::small()
+        };
+        let space = InputSpace::new(&vars(&[("s", Sort::Set)]), scope.with_orbit(false));
+        let mut it = space.iter();
+        let mut n = 0;
+        let mut buf = Vec::new();
+        while it.next_values(&mut buf) {
+            n += 1;
+        }
+        assert_eq!(n, 4);
+        assert_eq!(it.orbits_pruned(), 0);
+    }
+
+    #[test]
+    fn skip_positions_strides_over_canonical_candidates() {
+        // The sharded prover strides worker w through canonical positions
+        // w, w+n, ...; collecting the strides of every worker must
+        // partition exactly the canonical enumeration.
+        let scope = Scope {
+            elem_padding: 2,
+            max_collection_entries: 2,
+            max_seq_len: 2,
+            ..Scope::small()
+        };
+        let vars = vars(&[("q", Sort::Seq), ("s", Sort::Set)]);
+        let space = InputSpace::new(&vars, scope.with_orbit(true));
+        let all: Vec<Model> = space.iter().collect();
+        for threads in [2, 3] {
+            let mut sharded: Vec<Vec<Model>> = Vec::new();
+            for worker in 0..threads {
+                let mut it = space.iter();
+                it.skip_positions(worker);
+                let mut mine = Vec::new();
+                while let Some(m) = it.next() {
+                    mine.push(m);
+                    it.skip_positions(threads - 1);
+                }
+                sharded.push(mine);
+            }
+            let mut merged = Vec::new();
+            let mut cursors = vec![0usize; threads];
+            for i in 0..all.len() {
+                let w = i % threads;
+                merged.push(sharded[w][cursors[w]].clone());
+                cursors[w] += 1;
+            }
+            assert_eq!(merged, all, "{threads} shards must tile the space");
+        }
     }
 
     #[test]

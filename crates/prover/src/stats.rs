@@ -36,6 +36,13 @@ pub struct ProofStats {
     /// Number of candidate models examined by the finite-model prover
     /// (zero when the structural prover decided the obligation).
     pub models_checked: u64,
+    /// Number of candidate models the finite-model prover skipped as
+    /// non-canonical under the orbit reduction (zero with the reduction
+    /// off): isomorphic renamings of anonymous padding elements whose
+    /// canonical representative was checked instead. For a fully enumerated
+    /// space, `models_checked + orbits_pruned` equals the unreduced
+    /// enumeration size.
+    pub orbits_pruned: u64,
     /// Wall-clock time spent on the obligation.
     pub elapsed: Duration,
     /// Which back-end produced the verdict.
@@ -57,6 +64,7 @@ impl ProofStats {
     pub fn structural(elapsed: Duration) -> ProofStats {
         ProofStats {
             models_checked: 0,
+            orbits_pruned: 0,
             elapsed,
             prover: ProverChoice::Structural,
             cache_hits: 0,
@@ -68,6 +76,7 @@ impl ProofStats {
     pub fn finite(models_checked: u64, elapsed: Duration) -> ProofStats {
         ProofStats {
             models_checked,
+            orbits_pruned: 0,
             elapsed,
             prover: ProverChoice::FiniteModel,
             cache_hits: 0,
@@ -79,6 +88,7 @@ impl ProofStats {
     pub fn none() -> ProofStats {
         ProofStats {
             models_checked: 0,
+            orbits_pruned: 0,
             elapsed: Duration::ZERO,
             prover: ProverChoice::None,
             cache_hits: 0,
@@ -92,10 +102,17 @@ impl ProofStats {
         self
     }
 
+    /// Returns a copy with the given orbit-reduction pruning count.
+    pub fn with_orbits_pruned(mut self, orbits_pruned: u64) -> ProofStats {
+        self.orbits_pruned = orbits_pruned;
+        self
+    }
+
     /// Merges another set of statistics into this one (summing counters and
     /// times, concatenating errors, keeping the "stronger" prover label).
     pub fn merge(&mut self, other: &ProofStats) {
         self.models_checked += other.models_checked;
+        self.orbits_pruned += other.orbits_pruned;
         self.elapsed += other.elapsed;
         self.cache_hits += other.cache_hits;
         self.errors.extend(other.errors.iter().cloned());
@@ -120,6 +137,9 @@ impl fmt::Display for ProofStats {
             self.models_checked,
             self.elapsed.as_secs_f64()
         )?;
+        if self.orbits_pruned > 0 {
+            write!(f, " [{} orbit-pruned]", self.orbits_pruned)?;
+        }
         if !self.errors.is_empty() {
             write!(f, " [{} non-fatal error(s)]", self.errors.len())?;
         }
@@ -145,11 +165,25 @@ mod tests {
     #[test]
     fn merge_sums_counters() {
         let mut a = ProofStats::structural(Duration::from_millis(10));
-        let b = ProofStats::finite(100, Duration::from_millis(20));
+        let b = ProofStats::finite(100, Duration::from_millis(20)).with_orbits_pruned(7);
         a.merge(&b);
         assert_eq!(a.models_checked, 100);
+        assert_eq!(a.orbits_pruned, 7);
         assert_eq!(a.elapsed, Duration::from_millis(30));
         assert_eq!(a.prover, ProverChoice::FiniteModel);
+        a.merge(&ProofStats::finite(1, Duration::ZERO).with_orbits_pruned(3));
+        assert_eq!(a.orbits_pruned, 10);
+    }
+
+    #[test]
+    fn display_mentions_pruning_only_when_present() {
+        assert!(!ProofStats::finite(1, Duration::ZERO)
+            .to_string()
+            .contains("orbit-pruned"));
+        assert!(ProofStats::finite(1, Duration::ZERO)
+            .with_orbits_pruned(4)
+            .to_string()
+            .contains("4 orbit-pruned"));
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn options(threads: usize, limit: Option<usize>) -> VerifyOptions {
         threads,
         seq_len: 3,
         limit,
-        prover_threads: 1,
+        ..VerifyOptions::default()
     }
 }
 

@@ -5,9 +5,11 @@
 //!
 //! Run with `cargo run --release --example verify_catalog`. Pass a number to
 //! limit how many conditions per interface are verified (useful for a quick
-//! look), `--seq-len N` to change the ArrayList sequence scope, and
+//! look), `--seq-len N` to change the ArrayList sequence scope,
 //! `--threads N` to size the work-stealing obligation scheduler (`1` runs
-//! the reproducible sequential baseline).
+//! the reproducible sequential baseline), and `--orbit off` to enumerate
+//! candidate models unreduced (the oracle the differential soundness
+//! harness compares the default orbit-canonical enumeration against).
 
 use std::time::Instant;
 
@@ -16,11 +18,12 @@ use semcommute::core::{inverse_catalog, report};
 use semcommute::prover::Portfolio;
 
 const USAGE: &str = "\
-usage: verify_catalog [LIMIT] [--seq-len N] [--threads N]
+usage: verify_catalog [LIMIT] [--seq-len N] [--threads N] [--orbit on|off]
 
   LIMIT          verify only the first LIMIT conditions per interface
   --seq-len N    ArrayList sequence scope (default 4)
-  --threads N    work-stealing scheduler width; 1 = sequential baseline";
+  --threads N    work-stealing scheduler width; 1 = sequential baseline
+  --orbit on|off orbit-canonical (default) vs. unreduced enumeration";
 
 /// Parses a required numeric option value; on a missing or non-numeric value
 /// prints what was wrong plus the usage text and exits with status 2 (instead
@@ -49,6 +52,17 @@ fn main() {
             }
             "--seq-len" => options.seq_len = numeric_option("--seq-len", args.next()),
             "--threads" => options.threads = numeric_option("--threads", args.next()),
+            "--orbit" => match args.next().as_deref() {
+                Some("on") => options.orbit = true,
+                Some("off") => options.orbit = false,
+                other => {
+                    eprintln!(
+                        "error: --orbit needs `on` or `off`, got {}\n{USAGE}",
+                        other.map_or("nothing".to_string(), |v| format!("`{v}`"))
+                    );
+                    std::process::exit(2);
+                }
+            },
             other => match other.parse() {
                 Ok(limit) => options.limit = Some(limit),
                 Err(_) => {
@@ -61,8 +75,11 @@ fn main() {
 
     println!("Verifying the commutativity-condition catalog");
     println!(
-        "(threads: {}, ArrayList sequence scope: {}, limit: {:?})\n",
-        options.threads, options.seq_len, options.limit
+        "(threads: {}, ArrayList sequence scope: {}, limit: {:?}, orbit: {})\n",
+        options.threads,
+        options.seq_len,
+        options.limit,
+        if options.orbit { "on" } else { "off" }
     );
 
     let start = Instant::now();
@@ -91,6 +108,11 @@ fn main() {
             }
         }
     }
+    println!(
+        "\nmodels checked: {} ({} pruned as non-canonical orbit members)",
+        catalog.models_checked(),
+        catalog.orbits_pruned()
+    );
     let reports = catalog.interfaces;
 
     if let Some(s) = &catalog.scheduler {
@@ -113,7 +135,8 @@ fn main() {
     println!("\nVerifying the inverse-operation catalog (Table 5.10)");
     let mut inverse_ok = 0;
     for inverse in inverse_catalog() {
-        let scope = semcommute::core::verify::scope_for(inverse.interface, options.seq_len);
+        let scope = semcommute::core::verify::scope_for(inverse.interface, options.seq_len)
+            .with_orbit(options.orbit);
         let verdict = semcommute::core::inverse::verify_inverse(&inverse, &Portfolio::new(scope));
         println!(
             "  {:<60} {}",
