@@ -9,7 +9,7 @@
 //! ```text
 //! cargo run --release -p semcommute-bench --bin perf_json -- [limit] \
 //!     [--seq-len N] [--threads N] [--threads-list N,M,...] \
-//!     [--prover-threads N] [--orbit on|off|both] [--out FILE]
+//!     [--split-threshold N] [--orbit on|off|both] [--out FILE]
 //! ```
 //!
 //! `--threads-list 1,4` runs the catalog once per listed scheduler width and
@@ -28,13 +28,14 @@ use semcommute_core::verify::VerifyOptions;
 
 const USAGE: &str = "\
 usage: perf_json [LIMIT] [--seq-len N] [--threads N | --threads-list N,M,...]
-                 [--prover-threads N] [--orbit on|off|both] [--out FILE]
+                 [--split-threshold N] [--orbit on|off|both] [--out FILE]
 
   LIMIT               verify only the first LIMIT conditions per interface
   --seq-len N         ArrayList sequence scope (default 4)
   --threads N         work-stealing scheduler width for a single run
   --threads-list N,M  one run per width, emitted as one {\"runs\": [...]} doc
-  --prover-threads N  finite-model space sharding per obligation
+  --split-threshold N unreduced-space size above which one obligation's
+                      model search splits into stealable range tasks
   --orbit on|off|both orbit-canonical vs. unreduced enumeration (`both`
                       measures every width under each, in one doc)
   --out FILE          also write the JSON report to FILE";
@@ -93,11 +94,11 @@ fn main() {
                     _ => fail("--threads-list needs a comma-separated list of numbers"),
                 }
             }
-            "--prover-threads" => {
-                options.prover_threads = args
+            "--split-threshold" => {
+                options.split_threshold = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| fail("--prover-threads needs a number"));
+                    .unwrap_or_else(|| fail("--split-threshold needs a number"));
             }
             "--out" => {
                 out_path = Some(args.next().unwrap_or_else(|| fail("--out needs a path")));

@@ -31,8 +31,9 @@ pub fn parse_orbit(value: &str) -> Option<bool> {
 
 /// Parses the common command-line options of the table binaries: an optional
 /// per-interface condition limit, `--seq-len N`, `--threads N`,
-/// `--prover-threads N` (finite-model space sharding per obligation), and
-/// `--orbit {on,off}` (orbit-canonical vs. unreduced enumeration).
+/// `--split-threshold N` (unreduced-space size above which a model search is
+/// split into stealable range tasks), and `--orbit {on,off}`
+/// (orbit-canonical vs. unreduced enumeration).
 pub fn parse_options() -> VerifyOptions {
     let mut options = VerifyOptions::default();
     let mut args = std::env::args().skip(1);
@@ -50,11 +51,11 @@ pub fn parse_options() -> VerifyOptions {
                     .and_then(|v| v.parse().ok())
                     .expect("--threads needs a number");
             }
-            "--prover-threads" => {
-                options.prover_threads = args
+            "--split-threshold" => {
+                options.split_threshold = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--prover-threads needs a number");
+                    .expect("--split-threshold needs a number");
             }
             "--orbit" => {
                 options.orbit = args
@@ -90,14 +91,19 @@ pub fn print_verification_table(reports: &[InterfaceReport]) {
 
 /// Renders a machine-readable performance report as JSON (hand-rolled — the
 /// workspace is offline and carries no serde). One object per interface with
-/// elapsed time, throughput, and prover-work counters, plus run metadata and
+/// busy time, throughput, and prover-work counters, plus run metadata and
 /// the obligation scheduler's counters, so future changes can track the perf
 /// trajectory in committed `BENCH_*.json` files.
 ///
-/// The total uses `catalog.elapsed`, the measured wall-clock of the whole
-/// run: in a scheduled run (`options.threads > 1`) the per-interface times
-/// are busy times of interleaved work, so summing them would overstate the
-/// wall-clock.
+/// Per-interface times are reported as `busy_s`: the summed proof time of
+/// the interface's obligations. In a scheduled run (`options.threads > 1`)
+/// interfaces interleave on the same workers, so their busy times **overlap
+/// in wall-clock and sum to more than `total.wall_s`** — earlier snapshots
+/// labeled this field `wall_s`, which made one interface look slower than
+/// the whole run. The only wall-clock figure is `total.wall_s`, the
+/// measured span of the run; the `scheduler` section's
+/// `max_obligation_wall_s` / `p99_obligation_wall_s` skew metrics and the
+/// `splits` / `subranges` counters show how evenly that span was filled.
 pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -105,9 +111,9 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
     let reports = &catalog.interfaces;
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"options\": {{\"threads\": {}, \"prover_threads\": {}, \"seq_len\": {}, \"limit\": {}, \"orbit\": {}}},\n",
+        "  \"options\": {{\"threads\": {}, \"split_threshold\": {}, \"seq_len\": {}, \"limit\": {}, \"orbit\": {}}},\n",
         options.threads,
-        options.prover_threads,
+        options.split_threshold,
         options.seq_len,
         options
             .limit
@@ -116,22 +122,22 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
     ));
     out.push_str("  \"interfaces\": [\n");
     for (i, r) in reports.iter().enumerate() {
-        let wall = r.elapsed.as_secs_f64();
+        let busy = r.elapsed.as_secs_f64();
         let methods = r.method_count();
-        let throughput = if wall > 0.0 {
-            methods as f64 / wall
+        let throughput = if busy > 0.0 {
+            methods as f64 / busy
         } else {
             0.0
         };
         out.push_str(&format!(
             "    {{\"interface\": \"{}\", \"conditions\": {}, \"methods\": {}, \"verified\": {}, \
-             \"wall_s\": {:.6}, \"obligations_per_sec\": {:.2}, \"models_checked\": {}, \
+             \"busy_s\": {:.6}, \"obligations_per_busy_sec\": {:.2}, \"models_checked\": {}, \
              \"orbits_pruned\": {}, \"cache_hits\": {}}}{}\n",
             esc(&r.interface.to_string()),
             r.total(),
             methods,
             r.verified_count(),
-            wall,
+            busy,
             throughput,
             r.models_checked(),
             r.orbits_pruned(),
@@ -144,7 +150,8 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
         out.push_str(&format!(
             "  \"scheduler\": {{\"submitted\": {}, \"unique\": {}, \"proved\": {}, \
              \"cache_hits\": {}, \"skipped\": {}, \"steals\": {}, \"stolen_tasks\": {}, \
-             \"errors\": {}}},\n",
+             \"splits\": {}, \"subranges\": {}, \"max_obligation_wall_s\": {:.6}, \
+             \"p99_obligation_wall_s\": {:.6}, \"errors\": {}}},\n",
             s.submitted,
             s.unique,
             s.proved,
@@ -152,6 +159,10 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
             s.skipped,
             s.steals,
             s.stolen_tasks,
+            s.splits,
+            s.subranges,
+            s.max_obligation_wall.as_secs_f64(),
+            s.p99_obligation_wall.as_secs_f64(),
             s.errors.len(),
         ));
     }
@@ -212,14 +223,21 @@ mod tests {
         for key in [
             "\"options\"",
             "\"orbit\"",
+            "\"split_threshold\"",
             "\"interfaces\"",
-            "\"obligations_per_sec\"",
+            "\"busy_s\"",
+            "\"obligations_per_busy_sec\"",
             "\"models_checked\"",
             "\"orbits_pruned\"",
             "\"cache_hits\"",
             "\"scheduler\"",
             "\"submitted\"",
+            "\"splits\"",
+            "\"subranges\"",
+            "\"max_obligation_wall_s\"",
+            "\"p99_obligation_wall_s\"",
             "\"total\"",
+            "\"wall_s\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -43,17 +43,22 @@ pub fn scope_for(interface: InterfaceId, seq_len: usize) -> Scope {
 /// Options controlling a verification run.
 #[derive(Debug, Clone)]
 pub struct VerifyOptions {
-    /// Number of worker threads (conditions are verified independently).
+    /// Number of worker threads in the unified work-stealing pool: the same
+    /// workers drain whole obligations *and* the range tasks of split model
+    /// searches, so this is the only parallelism axis.
     pub threads: usize,
     /// Sequence-length scope for ArrayList obligations.
     pub seq_len: usize,
     /// Verify only the first `n` conditions of the interface (for quick runs
     /// and tests); `None` verifies the whole catalog.
     pub limit: Option<usize>,
-    /// Worker threads the finite-model prover uses *per obligation* (model
-    /// space sharding). The default of 1 is right when conditions are already
-    /// verified concurrently; raise it when proving few, large obligations.
-    pub prover_threads: usize,
+    /// Unreduced-candidate-space size above which a claimed obligation's
+    /// model search is split into stealable range tasks (see
+    /// [`semcommute_prover::queue::prove_all_scheduled_split`]);
+    /// `u64::MAX` disables splitting. Ignored at `threads <= 1`, where the
+    /// sequential oracle never splits. Verdicts do not depend on this value
+    /// — only the work distribution does.
+    pub split_threshold: u64,
     /// Whether the finite-model search enumerates the input space
     /// orbit-canonically (`true`, the default) or unreduced (`false` — the
     /// oracle enumerator the differential soundness harness compares
@@ -67,7 +72,7 @@ impl Default for VerifyOptions {
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             seq_len: 4,
             limit: None,
-            prover_threads: 1,
+            split_threshold: queue::default_split_threshold(),
             orbit: semcommute_prover::scope::default_orbit(),
         }
     }
@@ -81,7 +86,7 @@ impl VerifyOptions {
             threads: 2,
             seq_len: 3,
             limit: Some(limit),
-            prover_threads: 1,
+            split_threshold: queue::default_split_threshold(),
             orbit: semcommute_prover::scope::default_orbit(),
         }
     }
@@ -384,9 +389,12 @@ pub fn verify_interface(interface: InterfaceId, options: &VerifyOptions) -> Inte
         catalog.truncate(limit);
     }
     let scope = scope_for(interface, options.seq_len).with_orbit(options.orbit);
-    let prover = Portfolio::new(scope).with_prover_threads(options.prover_threads);
+    let prover = Portfolio::new(scope);
     let threads = options.threads.max(1);
-    let reports = if threads == 1 || catalog.len() <= 1 {
+    // Even a single-condition catalog goes through the scheduler at
+    // `threads > 1`: its model searches can still fan out over every worker
+    // as split range tasks.
+    let reports = if threads == 1 || catalog.is_empty() {
         catalog
             .iter()
             .enumerate()
@@ -395,7 +403,12 @@ pub fn verify_interface(interface: InterfaceId, options: &VerifyOptions) -> Inte
     } else {
         let mut items = Vec::new();
         let plans = plan_interface(catalog, 0, &mut items);
-        let run = queue::prove_all_scheduled(std::slice::from_ref(&prover), items, threads);
+        let run = queue::prove_all_scheduled_split(
+            std::slice::from_ref(&prover),
+            items,
+            threads,
+            options.split_threshold,
+        );
         assemble_reports(plans, &run.verdicts)
     };
     InterfaceReport {
@@ -478,7 +491,6 @@ pub fn verify_catalog(options: &VerifyOptions) -> CatalogReport {
         }
         let portfolio =
             Portfolio::new(scope_for(interface, options.seq_len).with_orbit(options.orbit))
-                .with_prover_threads(options.prover_threads)
                 .with_shared_cache(&cache);
         portfolios.push(portfolio);
         plans.push((
@@ -486,7 +498,12 @@ pub fn verify_catalog(options: &VerifyOptions) -> CatalogReport {
             plan_interface(catalog, portfolios.len() - 1, &mut items),
         ));
     }
-    let run = queue::prove_all_scheduled(&portfolios, items, options.threads);
+    let run = queue::prove_all_scheduled_split(
+        &portfolios,
+        items,
+        options.threads,
+        options.split_threshold,
+    );
     let interfaces = plans
         .into_iter()
         .map(|(interface, plans)| {

@@ -1,12 +1,13 @@
 //! The finite-model prover: exhaustive counter-model search over the relevant
-//! universe.
+//! universe, runnable whole or as splittable position ranges.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use semcommute_logic::{Model, Value};
 
+use crate::compiled::CompiledObligation;
 use crate::obligation::Obligation;
 use crate::scope::Scope;
 use crate::space::InputSpace;
@@ -28,31 +29,21 @@ use crate::verdict::Verdict;
 /// fragment validity is relative to the sequence-length scope (reported in the
 /// verdict statistics and by the verification driver).
 ///
-/// With [`FiniteModelProver::with_threads`] the candidate-model space is
-/// sharded across scoped worker threads: worker `w` of `n` strides through
-/// positions `w, w+n, w+2n, …` of the enumeration (skipped positions cost an
-/// odometer increment, not a model allocation), and an `AtomicBool` stops all
-/// workers as soon as any of them finds a counter-model or an error.
+/// [`FiniteModelProver::prove`] runs the whole search on the calling thread.
+/// For intra-obligation parallelism, [`FiniteModelProver::begin`] prepares a
+/// [`ModelSearch`] whose candidate space can be scanned as independent
+/// unreduced-position ranges ([`ModelSearch::run_range`]) — the
+/// work-stealing scheduler splits a large obligation into such range tasks
+/// so idle workers can steal parts of one monolithic search.
 #[derive(Debug, Clone, Default)]
 pub struct FiniteModelProver {
     scope: Scope,
-    threads: usize,
 }
 
 impl FiniteModelProver {
-    /// Creates a (single-threaded) prover with the given scope.
+    /// Creates a prover with the given scope.
     pub fn new(scope: Scope) -> FiniteModelProver {
-        FiniteModelProver { scope, threads: 1 }
-    }
-
-    /// Returns a copy searching with `threads` worker threads per obligation.
-    ///
-    /// Useful when obligations are proved one at a time; when many
-    /// obligations are already being proved concurrently (the catalog
-    /// driver), per-obligation threads only add oversubscription.
-    pub fn with_threads(mut self, threads: usize) -> FiniteModelProver {
-        self.threads = threads.max(1);
-        self
+        FiniteModelProver { scope }
     }
 
     /// The scope used by this prover.
@@ -60,172 +51,52 @@ impl FiniteModelProver {
         &self.scope
     }
 
-    /// The number of worker threads used per obligation.
-    pub fn threads(&self) -> usize {
-        self.threads.max(1)
-    }
-
-    /// Attempts to prove the obligation by exhaustive counter-model search.
-    pub fn prove(&self, ob: &Obligation) -> Verdict {
-        let start = Instant::now();
+    /// Prepares the counter-model search for an obligation: validates it,
+    /// builds the input space, checks the model budget, and compiles the
+    /// obligation to its slot-indexed form. Returns the verdict directly
+    /// (`Err`) when the search cannot run at all — a malformed obligation or
+    /// a space over budget.
+    pub fn begin(&self, ob: &Obligation) -> Result<ModelSearch, Verdict> {
+        let started = Instant::now();
         if let Err(msg) = ob.validate() {
-            return Verdict::Unknown {
+            return Err(Verdict::Unknown {
                 reason: format!("malformed obligation: {msg}"),
-                stats: ProofStats::finite(0, start.elapsed()),
-            };
+                stats: ProofStats::finite(0, started.elapsed()),
+            });
         }
         let space = InputSpace::from_obligation(ob, self.scope.clone());
         let estimate = space.estimated_size();
         if estimate > self.scope.max_models as u128 {
-            return Verdict::Unknown {
+            return Err(Verdict::Unknown {
                 reason: format!(
                     "search space of ~{estimate} models exceeds the budget of {}",
                     self.scope.max_models
                 ),
-                stats: ProofStats::finite(0, start.elapsed()),
-            };
+                stats: ProofStats::finite(0, started.elapsed()),
+            });
         }
-
-        // The obligation is compiled once per prove: every variable
+        // The obligation is compiled once per search: every variable
         // occurrence becomes a slot index, so the per-candidate loop never
-        // builds a name-keyed model or looks anything up by string.
-        let compiled = crate::compiled::CompiledObligation::compile(ob, &space.var_order());
-
-        // Sharding only pays off when the space is large enough to amortize
-        // thread startup.
-        let threads = if estimate >= 4_096 {
-            self.threads().min(estimate as usize)
-        } else {
-            1
-        };
-        if threads > 1 {
-            return self.prove_sharded(&compiled, &space, threads, start);
-        }
-
-        let mut env = compiled.env();
-        let mut buf = Vec::with_capacity(compiled.input_count());
-        let mut it = space.iter();
-        let mut checked: u64 = 0;
-        while it.next_values(&mut buf) {
-            checked += 1;
-            match compiled.check(&mut buf, &mut env) {
-                Ok(None) => continue,
-                Ok(Some(())) => {
-                    return Verdict::CounterModel {
-                        model: compiled.reconstruct(&env),
-                        stats: ProofStats::finite(checked, start.elapsed())
-                            .with_orbits_pruned(it.orbits_pruned()),
-                    }
-                }
-                Err(reason) => {
-                    return Verdict::Unknown {
-                        reason,
-                        stats: ProofStats::finite(checked, start.elapsed())
-                            .with_orbits_pruned(it.orbits_pruned()),
-                    }
-                }
-            }
-        }
-        Verdict::Valid {
-            stats: ProofStats::finite(checked, start.elapsed())
-                .with_orbits_pruned(it.orbits_pruned()),
-        }
+        // builds a name-keyed model or looks anything up by string. The
+        // compiled form holds no arena ids, so one search can be scanned
+        // from many worker threads.
+        let compiled = CompiledObligation::compile(ob, &space.var_order());
+        Ok(ModelSearch {
+            compiled,
+            space,
+            // `estimate <= max_models` (a u64) was just checked.
+            total: estimate as u64,
+            started,
+        })
     }
 
-    /// Counter-model search sharded across `threads` scoped workers.
-    fn prove_sharded(
-        &self,
-        compiled: &crate::compiled::CompiledObligation,
-        space: &InputSpace,
-        threads: usize,
-        start: Instant,
-    ) -> Verdict {
-        /// Worker findings, each tagged with its global enumeration index.
-        /// A counter-model stops the whole search (any counter-model is a
-        /// genuine one, so racing is sound); an evaluation error only stops
-        /// the worker that hit it — stopping everyone could mask a real
-        /// counter-model at a lower index and flip the verdict between runs.
-        /// At the end a counter-model (lowest observed index) takes
-        /// precedence over an error; every error is retained and surfaced
-        /// through [`ProofStats::errors`] so a verdict that raced past
-        /// failures still reports them.
-        #[derive(Default)]
-        struct Findings {
-            counterexample: Option<(u64, Model)>,
-            errors: Vec<(u64, String)>,
-        }
-        let stop = AtomicBool::new(false);
-        let checked = AtomicU64::new(0);
-        // Every worker's iterator traverses the same canonical sequence
-        // (striding only changes which positions it *checks*), so each
-        // worker observes the same pruning prefix up to where it stopped:
-        // the per-run total is the maximum, not the sum.
-        let orbits_pruned = AtomicU64::new(0);
-        let findings: Mutex<Findings> = Mutex::new(Findings::default());
-
-        std::thread::scope(|scope| {
-            for worker in 0..threads {
-                let (stop, checked, findings) = (&stop, &checked, &findings);
-                let orbits_pruned = &orbits_pruned;
-                scope.spawn(move || {
-                    let mut it = space.iter();
-                    it.skip_positions(worker);
-                    let mut env = compiled.env();
-                    let mut buf = Vec::with_capacity(compiled.input_count());
-                    let mut index = worker as u64;
-                    let mut local_checked = 0u64;
-                    while it.next_values(&mut buf) {
-                        local_checked += 1;
-                        match compiled.check(&mut buf, &mut env) {
-                            Ok(None) => {}
-                            Ok(Some(())) => {
-                                let model = compiled.reconstruct(&env);
-                                let mut f = findings.lock().unwrap_or_else(|p| p.into_inner());
-                                match &f.counterexample {
-                                    Some((existing, _)) if *existing <= index => {}
-                                    _ => f.counterexample = Some((index, model)),
-                                }
-                                stop.store(true, Ordering::Relaxed);
-                                break;
-                            }
-                            Err(reason) => {
-                                findings
-                                    .lock()
-                                    .unwrap_or_else(|p| p.into_inner())
-                                    .errors
-                                    .push((index, reason));
-                                break;
-                            }
-                        }
-                        if stop.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        it.skip_positions(threads - 1);
-                        index += threads as u64;
-                    }
-                    checked.fetch_add(local_checked, Ordering::Relaxed);
-                    orbits_pruned.fetch_max(it.orbits_pruned(), Ordering::Relaxed);
-                });
-            }
-        });
-
-        let checked = checked.load(Ordering::Relaxed);
-        let mut findings = findings.into_inner().unwrap_or_else(|p| p.into_inner());
-        findings.errors.sort_by_key(|(index, _)| *index);
-        let errors: Vec<String> = findings
-            .errors
-            .iter()
-            .map(|(_, reason)| reason.clone())
-            .collect();
-        let stats = ProofStats::finite(checked, start.elapsed())
-            .with_orbits_pruned(orbits_pruned.into_inner())
-            .with_errors(errors);
-        if let Some((_, model)) = findings.counterexample {
-            Verdict::CounterModel { model, stats }
-        } else if let Some((_, reason)) = findings.errors.into_iter().next() {
-            Verdict::Unknown { reason, stats }
-        } else {
-            Verdict::Valid { stats }
+    /// Attempts to prove the obligation by exhaustive counter-model search
+    /// on the calling thread. This is the bit-reproducible sequential form
+    /// the range-split runs are differentially tested against.
+    pub fn prove(&self, ob: &Obligation) -> Verdict {
+        match self.begin(ob) {
+            Err(verdict) => verdict,
+            Ok(search) => search.run(),
         }
     }
 
@@ -255,6 +126,265 @@ impl FiniteModelProver {
                 .filter(|(name, _)| inputs.contains_key(*name))
                 .map(|(name, value)| (name.to_string(), value.clone())),
         )
+    }
+}
+
+/// A prepared counter-model search: the compiled obligation plus its input
+/// space, ready to be scanned whole ([`ModelSearch::run`]) or as
+/// unreduced-position ranges ([`ModelSearch::run_range`]) that many worker
+/// threads drive concurrently against one [`SearchShared`].
+///
+/// Positions are **unreduced** enumeration indices (see
+/// [`crate::space::SpaceIter::position`]): deterministic, identical at every
+/// thread count and split granularity, and — because the orbit-canonical
+/// enumeration visits canonical candidates in unreduced-position order — the
+/// deciding event with the minimum position is exactly the event the
+/// sequential scan stops at. That is what makes a range-split search report
+/// the *same* verdict, counter-model, and `Unknown` reason as the unsplit
+/// sequential oracle, not merely an equivalent one.
+#[derive(Debug)]
+pub struct ModelSearch {
+    compiled: CompiledObligation,
+    space: InputSpace,
+    total: u64,
+    started: Instant,
+}
+
+impl ModelSearch {
+    /// The unreduced size of the candidate space: ranges partition
+    /// `[0, total)`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Runs the whole search sequentially on the calling thread and returns
+    /// the verdict. Equivalent to `run_range(0, total)` + finalize, but with
+    /// no shared state or atomics — the reproducible oracle path.
+    pub fn run(self) -> Verdict {
+        let mut env = self.compiled.env();
+        let mut buf = Vec::with_capacity(self.compiled.input_count());
+        let mut it = self.space.iter();
+        let mut checked: u64 = 0;
+        while it.next_values(&mut buf) {
+            checked += 1;
+            match self.compiled.check(&mut buf, &mut env) {
+                Ok(None) => continue,
+                Ok(Some(())) => {
+                    return Verdict::CounterModel {
+                        model: self.compiled.reconstruct(&env),
+                        stats: ProofStats::finite(checked, self.started.elapsed())
+                            .with_orbits_pruned(it.orbits_pruned()),
+                    }
+                }
+                Err(reason) => {
+                    return Verdict::Unknown {
+                        reason,
+                        stats: ProofStats::finite(checked, self.started.elapsed())
+                            .with_orbits_pruned(it.orbits_pruned()),
+                    }
+                }
+            }
+        }
+        Verdict::Valid {
+            stats: ProofStats::finite(checked, self.started.elapsed())
+                .with_orbits_pruned(it.orbits_pruned()),
+        }
+    }
+
+    /// Scans the candidates whose unreduced position lies in `[lo, hi)`,
+    /// recording what it finds into `shared`. Safe to call from many threads
+    /// over disjoint ranges of one search.
+    ///
+    /// The scan stops early when `shared` already holds a deciding event at
+    /// a position below the range (the sequential oracle would never have
+    /// reached here) or below the scan's own cursor (nothing further in this
+    /// range can change the verdict); in both cases the work skipped is work
+    /// whose outcome is already irrelevant. On a deciding event the scan
+    /// records it — [`SearchShared`] keeps the minimum-position one — and
+    /// stops, exactly as the sequential scan stops at its first deciding
+    /// event.
+    pub fn run_range(&self, lo: u64, hi: u64, shared: &SearchShared) {
+        if shared.deciding.load(Ordering::Relaxed) < lo {
+            return;
+        }
+        let mut it = self.space.range_iter(lo, hi);
+        let mut env = self.compiled.env();
+        let mut buf = Vec::with_capacity(self.compiled.input_count());
+        let mut checked: u64 = 0;
+        loop {
+            let upos = it.position();
+            if !it.next_values(&mut buf) {
+                break;
+            }
+            checked += 1;
+            match self.compiled.check(&mut buf, &mut env) {
+                Ok(None) => {}
+                Ok(Some(())) => {
+                    shared.record_counterexample(upos, self.compiled.reconstruct(&env));
+                    break;
+                }
+                Err(reason) => {
+                    shared.record_error(upos, reason);
+                    break;
+                }
+            }
+            if shared.deciding.load(Ordering::Relaxed) < upos {
+                break;
+            }
+        }
+        shared.checked.fetch_add(checked, Ordering::Relaxed);
+        shared
+            .pruned
+            .fetch_add(it.orbits_pruned(), Ordering::Relaxed);
+    }
+
+    /// Assembles the verdict after every subrange of the search completed,
+    /// merging the accumulated `ProofStats` (summed `models_checked` and
+    /// `orbits_pruned`, wall-clock from [`FiniteModelProver::begin`] to
+    /// now). Call exactly once, after the last subrange — it drains the
+    /// shared findings.
+    pub fn finalize(&self, shared: &SearchShared) -> Verdict {
+        assemble_verdict(shared.take_outcome(), self.started.elapsed())
+    }
+}
+
+/// The state shared by all subranges of one split model search: the
+/// minimum-position deciding event (an `AtomicU64` early-exit guard over
+/// unreduced positions) plus merged work counters.
+#[derive(Debug)]
+pub struct SearchShared {
+    /// Lowest unreduced position at which a deciding event (counter-model
+    /// or evaluation error) was recorded; `u64::MAX` when none. Subranges
+    /// poll this to stop scanning positions the sequential oracle would
+    /// never have reached.
+    deciding: AtomicU64,
+    /// Candidate models checked, summed over subranges.
+    checked: AtomicU64,
+    /// Candidates pruned as non-canonical, summed over subranges (each
+    /// range counts exactly the pruned positions inside itself).
+    pruned: AtomicU64,
+    findings: Mutex<SearchFindings>,
+}
+
+#[derive(Debug, Default)]
+struct SearchFindings {
+    /// The counter-model with the lowest position observed so far.
+    counterexample: Option<(u64, Model)>,
+    /// Every evaluation error observed, with its position.
+    errors: Vec<(u64, String)>,
+}
+
+impl Default for SearchShared {
+    fn default() -> Self {
+        SearchShared::new()
+    }
+}
+
+impl SearchShared {
+    /// Creates the shared state for one search (no event recorded).
+    pub fn new() -> SearchShared {
+        SearchShared {
+            deciding: AtomicU64::new(u64::MAX),
+            checked: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+            findings: Mutex::new(SearchFindings::default()),
+        }
+    }
+
+    /// The position of the lowest deciding event recorded so far.
+    pub fn deciding(&self) -> Option<u64> {
+        match self.deciding.load(Ordering::SeqCst) {
+            u64::MAX => None,
+            p => Some(p),
+        }
+    }
+
+    /// Records a counter-model found at unreduced position `upos`. Keeps
+    /// the minimum-position one no matter the order in which racing
+    /// subranges report.
+    pub fn record_counterexample(&self, upos: u64, model: Model) {
+        self.deciding.fetch_min(upos, Ordering::SeqCst);
+        let mut f = self.findings.lock().unwrap_or_else(|p| p.into_inner());
+        match &f.counterexample {
+            Some((existing, _)) if *existing <= upos => {}
+            _ => f.counterexample = Some((upos, model)),
+        }
+    }
+
+    /// Records an evaluation error at unreduced position `upos`. Errors are
+    /// deciding events too — the sequential scan stops at the first one — so
+    /// the minimum also covers them; every error is retained for the
+    /// verdict's statistics.
+    pub fn record_error(&self, upos: u64, reason: String) {
+        self.deciding.fetch_min(upos, Ordering::SeqCst);
+        self.findings
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .errors
+            .push((upos, reason));
+    }
+
+    /// Drains the shared state into its merged outcome (errors sorted by
+    /// position). Meant to be called once, by whoever retires the last
+    /// subrange; the shared state is borrowed (not consumed) because the
+    /// scheduler holds it behind an `Arc` shared with in-flight tasks.
+    pub fn take_outcome(&self) -> SearchOutcome {
+        let mut findings =
+            std::mem::take(&mut *self.findings.lock().unwrap_or_else(|p| p.into_inner()));
+        findings.errors.sort_by_key(|(upos, _)| *upos);
+        SearchOutcome {
+            checked: self.checked.load(Ordering::SeqCst),
+            pruned: self.pruned.load(Ordering::SeqCst),
+            counterexample: findings.counterexample,
+            errors: findings.errors,
+        }
+    }
+}
+
+/// The merged outcome of a (possibly split) model search.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// Candidate models checked, summed over subranges.
+    pub checked: u64,
+    /// Candidates pruned as non-canonical, summed over subranges.
+    pub pruned: u64,
+    /// The minimum-position counter-model, if any was found.
+    pub counterexample: Option<(u64, Model)>,
+    /// Every evaluation error observed, sorted by position.
+    pub errors: Vec<(u64, String)>,
+}
+
+/// Turns a merged [`SearchOutcome`] into the verdict the sequential scan of
+/// the same space would report: the deciding event is the one with the
+/// **minimum unreduced position** — a counter-model yields `CounterModel`, an
+/// evaluation error yields `Unknown` with that error as the reason (ties
+/// cannot occur: one position records one event). Events at higher positions
+/// — which the sequential scan would never have reached — do not change the
+/// verdict; errors among them are surfaced through [`ProofStats::errors`] so
+/// a verdict that raced past failures still reports them.
+pub fn assemble_verdict(outcome: SearchOutcome, elapsed: Duration) -> Verdict {
+    let stats = ProofStats::finite(outcome.checked, elapsed).with_orbits_pruned(outcome.pruned);
+    let error_decides = match (&outcome.counterexample, outcome.errors.first()) {
+        (Some((cx, _)), Some((err, _))) => err < cx,
+        (None, Some(_)) => true,
+        _ => false,
+    };
+    if error_decides {
+        let mut errors = outcome.errors;
+        let (_, reason) = errors.remove(0);
+        let non_fatal: Vec<String> = errors.into_iter().map(|(_, e)| e).collect();
+        Verdict::Unknown {
+            reason,
+            stats: stats.with_errors(non_fatal),
+        }
+    } else if let Some((_, model)) = outcome.counterexample {
+        let non_fatal: Vec<String> = outcome.errors.into_iter().map(|(_, e)| e).collect();
+        Verdict::CounterModel {
+            model,
+            stats: stats.with_errors(non_fatal),
+        }
+    } else {
+        Verdict::Valid { stats }
     }
 }
 
@@ -380,62 +510,88 @@ mod tests {
         assert_eq!(replayed.get("r"), Some(&Value::Bool(false)));
     }
 
+    /// Runs a prepared search as `parts` contiguous ranges (in the given
+    /// completion order) and finalizes — the split execution the scheduler
+    /// performs, minus the deques.
+    fn run_split(ob: &Obligation, scope: Scope, parts: u64, order: &[u64]) -> Verdict {
+        let search = FiniteModelProver::new(scope).begin(ob).expect("searchable");
+        let total = search.total();
+        let shared = SearchShared::new();
+        let bounds = |i: u64| (i * total / parts, (i + 1) * total / parts);
+        for &part in order {
+            let (lo, hi) = bounds(part);
+            search.run_range(lo, hi, &shared);
+        }
+        search.finalize(&shared)
+    }
+
     #[test]
-    fn sharded_search_agrees_with_sequential() {
-        // A valid obligation over a space large enough to trigger sharding:
-        // both provers must enumerate the whole space and agree on the count.
-        let ob = Obligation::new("sharded_valid")
+    fn range_split_search_agrees_with_sequential() {
+        // A valid obligation: every split execution must enumerate the whole
+        // space, and the merged counters must reconcile exactly with the
+        // unsplit scan.
+        let ob = Obligation::new("split_valid")
             .define("r1", member(var_elem("v1"), var_set("s")))
             .define("s1", set_add(var_set("s"), var_elem("v2")))
             .define("r2", member(var_elem("v1"), var_set("s1")))
             .assume(not(eq(var_elem("v1"), var_elem("v2"))))
             .goal(eq(var_bool("r1"), var_bool("r2")));
         let sequential = FiniteModelProver::new(Scope::standard()).prove(&ob);
-        let sharded = FiniteModelProver::new(Scope::standard())
-            .with_threads(4)
-            .prove(&ob);
-        assert!(sequential.is_valid() && sharded.is_valid());
-        assert_eq!(
-            sequential.stats().models_checked,
-            sharded.stats().models_checked,
-            "a valid obligation must enumerate the full space in both modes"
-        );
+        assert!(sequential.is_valid());
+        for parts in [2u64, 7, 64] {
+            let order: Vec<u64> = (0..parts).rev().collect();
+            let split = run_split(&ob, Scope::standard(), parts, &order);
+            assert!(split.is_valid(), "{parts} parts: {split}");
+            assert_eq!(
+                split.stats().models_checked,
+                sequential.stats().models_checked,
+                "{parts} parts: subrange models_checked must sum to the unsplit count"
+            );
+            assert_eq!(
+                split.stats().orbits_pruned,
+                sequential.stats().orbits_pruned,
+                "{parts} parts: subrange orbits_pruned must sum to the unsplit count"
+            );
+        }
 
-        // An invalid obligation: the sharded prover must still produce a real
-        // counterexample (early exit makes the counts differ).
-        let bogus = Obligation::new("sharded_bogus")
+        // An invalid obligation: the split search must report exactly the
+        // sequential oracle's counter-model (the minimum-position one), even
+        // when the range containing it completes last.
+        let bogus = Obligation::new("split_bogus")
             .define("r", member(var_elem("v"), var_set("s")))
             .goal(var_bool("r"));
-        let verdict = FiniteModelProver::new(Scope::standard())
-            .with_threads(4)
-            .prove(&bogus);
-        let model = verdict.counter_model().expect("counterexample expected");
-        assert!(!semcommute_logic::eval_bool(&member(var_elem("v"), var_set("s")), model).unwrap());
+        let oracle = FiniteModelProver::new(Scope::standard()).prove(&bogus);
+        let expected = oracle.counter_model().expect("counterexample expected");
+        for parts in [3u64, 16] {
+            let order: Vec<u64> = (0..parts).rev().collect();
+            let split = run_split(&bogus, Scope::standard(), parts, &order);
+            assert_eq!(
+                split.counter_model().expect("counterexample expected"),
+                expected,
+                "{parts} parts: the reported counter-model drifted from the oracle"
+            );
+        }
     }
 
-    /// Regression test for the sharded search's error handling: an evaluation
-    /// error on one worker must stop only that worker, so a racing error can
-    /// never mask a genuine counter-model found by another worker — and the
-    /// errors that did occur must surface in the verdict's statistics.
-    ///
-    /// The obligation is crafted so that, in enumeration order, even
-    /// positions (`s = {}`) make the bounded quantifier's range one wider
-    /// than `MAX_QUANTIFIER_RANGE` (an input-dependent evaluation error)
-    /// while odd positions (`s = {e1}`) are genuine counter-models. With the
-    /// striding shard split, worker 0 therefore errors on its very first
-    /// candidate while worker 1 immediately finds a counter-model.
+    /// The deciding event of a split search is the one at the minimum
+    /// unreduced position, whichever kind it is — identical to where the
+    /// sequential scan stops. Crafted so that position 0 errors (the bounded
+    /// quantifier's range is one over `MAX_QUANTIFIER_RANGE` when `s = {}`)
+    /// while a later position is a genuine counter-model: the sequential
+    /// oracle reports `Unknown`, and so must every split execution, no
+    /// matter which subrange completes first.
     #[test]
-    fn racing_error_does_not_mask_counterexample() {
+    fn split_search_reports_the_minimum_position_event() {
         let scope = Scope {
             elem_padding: 1,
             max_collection_entries: 1,
             max_seq_len: 1,
             int_min: 0,
-            int_max: 2047, // 2048 ints x 2 sets = 4096 >= the sharding threshold
+            int_max: 2047,
             max_models: 5_000_000,
-            // The even/odd position reasoning below depends on the exact
-            // enumeration order; a one-element padding block makes the
-            // orbit reduction a no-op anyway, so pin it off.
+            // The position reasoning below depends on the exact enumeration
+            // order; a one-element padding block makes the orbit reduction a
+            // no-op anyway, so pin it off.
             orbit: false,
         };
         let quantifier = exists_int(
@@ -447,24 +603,70 @@ mod tests {
             ),
             tru(),
         );
-        let ob = Obligation::new("racing_error").goal(and2(quantifier, lt(var_int("a"), int(-1))));
-        for threads in [2, 4] {
-            let verdict = FiniteModelProver::new(scope.clone())
-                .with_threads(threads)
-                .prove(&ob);
-            let model = verdict.counter_model().unwrap_or_else(|| {
-                panic!("{threads} threads: racing error masked the counter-model: {verdict}")
-            });
-            assert!(
-                !model.get("s").unwrap().as_set().unwrap().is_empty(),
-                "counter-models live at the odd (non-empty set) positions"
-            );
-            assert!(
-                !verdict.stats().errors.is_empty(),
-                "{threads} threads: the raced-past evaluation errors must surface in the stats"
-            );
-            assert!(verdict.stats().errors[0].contains("quantifier range"));
+        let ob = Obligation::new("error_first").goal(and2(quantifier, lt(var_int("a"), int(-1))));
+        let oracle = FiniteModelProver::new(scope.clone()).prove(&ob);
+        let Verdict::Unknown { reason, .. } = &oracle else {
+            panic!("the oracle stops at the position-0 error: {oracle}");
+        };
+        // Enumeration order: `a` is the high digit, `s in [{}, {e1}]` the
+        // low one — even positions error (empty set widens the quantifier
+        // past the limit), odd positions are counter-models. Subrange
+        // `[1, 2)` finds the position-1 counter-model; `[0, 1)` the
+        // position-0 error. Whichever completes first, the position-0 error
+        // decides, exactly as in the oracle.
+        let prover = FiniteModelProver::new(scope.clone());
+        for first_range in [(1u64, 2u64), (0, 1)] {
+            let search = prover.begin(&ob).expect("searchable");
+            let shared = SearchShared::new();
+            let second = if first_range == (0, 1) {
+                (1, 2)
+            } else {
+                (0, 1)
+            };
+            search.run_range(first_range.0, first_range.1, &shared);
+            search.run_range(second.0, second.1, &shared);
+            let split = search.finalize(&shared);
+            let Verdict::Unknown {
+                reason: split_reason,
+                ..
+            } = &split
+            else {
+                panic!("a later counter-model displaced the deciding error: {split}");
+            };
+            assert_eq!(split_reason, reason);
         }
+
+        // The mirrored obligation: position 0 is a counter-model (`s = {}`
+        // keeps the quantifier in range, `a = 0` refutes the goal) and odd
+        // positions error. The counter-model decides even when the
+        // error-bearing subrange completes first — and the raced-past error
+        // then surfaces as a non-fatal statistic.
+        let quantifier = exists_int(
+            "i",
+            int(0),
+            add(
+                int(semcommute_logic::eval::MAX_QUANTIFIER_RANGE),
+                card(var_set("s")),
+            ),
+            tru(),
+        );
+        let ob = Obligation::new("model_first").goal(and2(quantifier, lt(var_int("a"), int(-1))));
+        let oracle = prover.prove(&ob);
+        let expected = oracle.counter_model().expect("position 0 refutes the goal");
+        let search = prover.begin(&ob).expect("searchable");
+        let shared = SearchShared::new();
+        search.run_range(1, 2, &shared); // records the position-1 error
+        search.run_range(0, search.total(), &shared); // position-0 counter-model
+        let split = search.finalize(&shared);
+        assert_eq!(
+            split.counter_model().expect("counter-model decides"),
+            expected
+        );
+        assert!(
+            !split.stats().errors.is_empty(),
+            "the raced-past error must surface in the stats"
+        );
+        assert!(split.stats().errors[0].contains("quantifier range"));
     }
 
     /// Orbit reduction checks strictly fewer models, reports the skipped
@@ -491,13 +693,13 @@ mod tests {
             off.stats().models_checked,
         );
 
-        // The sharded search agrees with the sequential one on both counters.
-        let sharded = FiniteModelProver::new(Scope::standard().with_orbit(true))
-            .with_threads(4)
-            .prove(&ob);
-        assert!(sharded.is_valid());
-        assert_eq!(sharded.stats().models_checked, on.stats().models_checked);
-        assert_eq!(sharded.stats().orbits_pruned, on.stats().orbits_pruned);
+        // The range-split search agrees with the sequential one on both
+        // counters: pruned positions are attributed to the unique subrange
+        // containing them, so the sums reconcile exactly.
+        let split = run_split(&ob, Scope::standard().with_orbit(true), 5, &[4, 2, 0, 1, 3]);
+        assert!(split.is_valid());
+        assert_eq!(split.stats().models_checked, on.stats().models_checked);
+        assert_eq!(split.stats().orbits_pruned, on.stats().orbits_pruned);
     }
 
     /// A counterexample found under the reduction is canonical and is a

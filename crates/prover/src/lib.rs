@@ -60,10 +60,10 @@ pub mod stats;
 pub mod structural;
 pub mod verdict;
 
-pub use finite::FiniteModelProver;
+pub use finite::{FiniteModelProver, ModelSearch, SearchOutcome, SearchShared};
 pub use hints::{apply_hints, Hint};
 pub use obligation::Obligation;
-pub use portfolio::{Portfolio, VerdictCache};
+pub use portfolio::{Portfolio, Started, VerdictCache};
 pub use queue::{ExitGuard, QueueReport, QueueRun, ScheduledObligation};
 pub use scope::Scope;
 pub use space::InputSpace;

@@ -349,6 +349,28 @@ mod tests {
         );
     }
 
+    /// The enumerator's range-split resume can land *inside* a pruned
+    /// subtree (digits after the violating slot nonzero — a state a
+    /// from-the-left scan never observes, because it bumps the whole
+    /// subtree away in one step). The violation check must still report the
+    /// same deciding slot: it only ever compares digits up to the slot it
+    /// decides at, so suffix digits cannot change the answer.
+    #[test]
+    fn violation_is_prefix_decided_for_mid_subtree_resumes() {
+        let block = 1u32..3;
+        let mut sets: Vec<Value> = vec![set(&[]), set(&[1]), set(&[2]), set(&[1, 2])];
+        sets.sort();
+        let candidates = vec![sets.clone(), sets.clone()];
+        let sorts = [Sort::Set, Sort::Set];
+        let tables = OrbitTables::build(&candidates, &sorts, block).unwrap();
+        let at = |v: &Value| sets.iter().position(|s| s == v).unwrap();
+        // ({2}, *) violates at slot 0 for every suffix digit.
+        let j = at(&set(&[2]));
+        for suffix in 0..sets.len() {
+            assert_eq!(tables.violation(&[j, suffix]), Some(0), "suffix {suffix}");
+        }
+    }
+
     #[test]
     fn trivial_blocks_and_scalar_spaces_build_no_tables() {
         let sets = vec![set(&[]), set(&[1])];

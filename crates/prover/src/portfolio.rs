@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex};
 
 use semcommute_logic::with_arena;
 
-use crate::finite::FiniteModelProver;
+use crate::finite::{FiniteModelProver, ModelSearch};
 use crate::hints::{apply_hints, Hint, HintError};
 use crate::obligation::Obligation;
 use crate::scope::Scope;
@@ -127,9 +127,27 @@ pub struct Portfolio {
     scope: Scope,
     use_structural: bool,
     use_finite: bool,
-    prover_threads: usize,
     /// Canonical obligation key → verdict, sharded, shared across clones.
     cache: VerdictCache,
+}
+
+/// The outcome of [`Portfolio::start_keyed`]: either a verdict that needed
+/// no model search, or a prepared [`ModelSearch`] the caller drives — whole
+/// ([`ModelSearch::run`]) or split into range tasks
+/// ([`ModelSearch::run_range`]).
+#[derive(Debug)]
+pub enum Started {
+    /// The shared verdict cache already held the answer (returned with
+    /// zeroed work counters and `cache_hits = 1`, as [`Portfolio::prove`]
+    /// reports a hit). Not re-published.
+    Cached(Verdict),
+    /// Decided without a model search (structural proof, malformed
+    /// obligation, disabled finite back-end, or a space over budget). The
+    /// caller publishes via [`Portfolio::publish_keyed`].
+    Decided(Verdict),
+    /// A finite-model search is required; the caller runs it and publishes
+    /// the finalized verdict via [`Portfolio::publish_keyed`].
+    Search(ModelSearch),
 }
 
 impl Default for Portfolio {
@@ -145,7 +163,6 @@ impl Portfolio {
             scope,
             use_structural: true,
             use_finite: true,
-            prover_threads: 1,
             cache: VerdictCache::new(),
         }
     }
@@ -186,13 +203,6 @@ impl Portfolio {
         self
     }
 
-    /// Sets the number of worker threads the finite-model back-end uses per
-    /// obligation (see [`FiniteModelProver::with_threads`]).
-    pub fn with_prover_threads(mut self, threads: usize) -> Portfolio {
-        self.prover_threads = threads.max(1);
-        self
-    }
-
     /// Replaces the dedup cache with `cache`, sharing its shards.
     ///
     /// The global obligation scheduler proves interfaces with different
@@ -216,19 +226,17 @@ impl Portfolio {
 
     /// The canonical cache key of an obligation: a structural hash of its
     /// simplified definitions, hypotheses, and goal, mixed with the scope
-    /// fingerprint and the back-end configuration (including
-    /// `prover_threads`: a sharded model search that races past an
-    /// evaluation error can legitimately answer `CounterModel` where the
-    /// sequential search answers `Unknown`, so portfolios differing only in
-    /// prover threads must not share verdicts). Stable across threads (the
-    /// structural hash does not depend on arena ids; defined-variable names
-    /// reuse the arena's cached symbol hashes), so a key computed by the
-    /// scheduler on one worker addresses the same verdict everywhere.
+    /// fingerprint and the back-end configuration. Stable across threads
+    /// (the structural hash does not depend on arena ids; defined-variable
+    /// names reuse the arena's cached symbol hashes), so a key computed by
+    /// the scheduler on one worker addresses the same verdict everywhere.
+    /// Thread count and split granularity are deliberately *not* part of the
+    /// key: the range-split model search reports exactly the sequential
+    /// scan's verdict (the minimum-position deciding event), so verdicts are
+    /// shareable across every scheduling configuration.
     pub fn canonical_key(&self, ob: &Obligation) -> u128 {
         use crate::scope::mix128 as mix;
-        let config = (self.use_structural as u128)
-            | ((self.use_finite as u128) << 1)
-            | ((self.prover_threads as u128) << 2);
+        let config = (self.use_structural as u128) | ((self.use_finite as u128) << 1);
         with_arena(|arena| {
             let mut key: u128 = 0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C834;
             key = mix(key, self.scope.fingerprint());
@@ -266,6 +274,30 @@ impl Portfolio {
     /// wasted work). `key` must come from [`Portfolio::canonical_key`] on a
     /// portfolio with the same scope and configuration.
     pub fn prove_keyed(&self, key: u128, ob: &Obligation) -> Verdict {
+        match self.start_keyed(key, ob) {
+            Started::Cached(verdict) => verdict,
+            Started::Decided(verdict) => {
+                self.publish_keyed(key, &verdict);
+                verdict
+            }
+            Started::Search(search) => {
+                let verdict = search.run();
+                self.publish_keyed(key, &verdict);
+                verdict
+            }
+        }
+    }
+
+    /// Starts proving a keyed obligation without committing to running a
+    /// required model search on the calling thread: consults the shared
+    /// cache and the structural prover, prepares the finite-model search
+    /// otherwise. This is the scheduler's entry point for making one large
+    /// obligation *splittable* — on [`Started::Search`] it turns the
+    /// returned [`ModelSearch`] into stealable range tasks instead of
+    /// calling [`ModelSearch::run`]. Callers must publish non-cached
+    /// verdicts via [`Portfolio::publish_keyed`];
+    /// [`Portfolio::prove_keyed`] is the run-it-here composition of the two.
+    pub fn start_keyed(&self, key: u128, ob: &Obligation) -> Started {
         if let Some(verdict) = self.cache.get(key) {
             let mut hit = verdict;
             let prover = hit.stats().prover;
@@ -274,31 +306,31 @@ impl Portfolio {
                 cache_hits: 1,
                 ..ProofStats::none()
             };
-            return hit;
+            return Started::Cached(hit);
         }
-        let verdict = self.prove_uncached(ob);
-        self.cache.insert(key, verdict.clone());
-        verdict
-    }
-
-    fn prove_uncached(&self, ob: &Obligation) -> Verdict {
         if self.use_structural {
             if let Some(stats) = prove_structural(ob) {
-                return Verdict::Valid { stats };
+                return Started::Decided(Verdict::Valid { stats });
             }
         }
-        if self.use_finite {
-            FiniteModelProver::new(self.scope.clone())
-                .with_threads(self.prover_threads)
-                .prove(ob)
-        } else {
-            Verdict::Unknown {
+        if !self.use_finite {
+            return Started::Decided(Verdict::Unknown {
                 reason:
                     "structural prover could not decide and the finite-model prover is disabled"
                         .to_string(),
                 stats: ProofStats::none(),
-            }
+            });
         }
+        match FiniteModelProver::new(self.scope.clone()).begin(ob) {
+            Err(verdict) => Started::Decided(verdict),
+            Ok(search) => Started::Search(search),
+        }
+    }
+
+    /// Publishes a verdict computed for [`Started::Decided`] or
+    /// [`Started::Search`] into the shared dedup cache (first writer wins).
+    pub fn publish_keyed(&self, key: u128, verdict: &Verdict) {
+        self.cache.insert(key, verdict.clone());
     }
 
     /// Attempts to prove an obligation that carries proof hints.
@@ -451,13 +483,6 @@ mod tests {
         assert_ne!(
             small.canonical_key(&ob),
             Portfolio::small().without_structural().canonical_key(&ob)
-        );
-        // Sharded and sequential model searches can answer differently on
-        // obligations with input-dependent evaluation errors, so the thread
-        // count is part of the configuration too.
-        assert_ne!(
-            small.canonical_key(&ob),
-            Portfolio::small().with_prover_threads(4).canonical_key(&ob)
         );
         // ... so one shared cache can safely serve differently-scoped
         // portfolios: a tiny-budget Unknown never answers the real scope.

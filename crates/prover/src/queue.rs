@@ -34,20 +34,69 @@
 //!   group at indices `> i` may be skipped — but never obligations at lower
 //!   indices, so the group's reported verdict (the *first* failing
 //!   obligation in program order) is exactly the one the sequential oracle
-//!   would report.
+//!   would report;
+//! * obligations are **splittable**: when the claimed obligation needs a
+//!   finite-model search whose unreduced candidate space exceeds the
+//!   *split threshold*, the worker turns it into range tasks Cilk-style —
+//!   it repeatedly pushes the back half of its remaining range onto the
+//!   front of its own deque (where thieves steal from the back, so a thief
+//!   takes the largest, farthest-away ranges) and scans the front chunk
+//!   itself. All subranges of one obligation share a
+//!   [`SearchShared`]: an `AtomicU64`
+//!   minimum-position early-exit guard plus merged work counters, so the
+//!   finalized verdict — including which counter-model is reported and
+//!   which evaluation error decides an `Unknown` — is exactly the
+//!   sequential scan's, at every worker count and threshold. The last
+//!   subrange to complete finalizes, publishes, and fans out to
+//!   subscribers. Without splitting, a handful of monolithic obligations
+//!   (the ArrayList searches run millions of candidates) pin one worker
+//!   each while the rest of the pool idles; with it, the largest obligation
+//!   parallelizes like the rest of the catalog.
 //!
 //! With `workers <= 1` the scheduler degenerates to an in-order, in-thread
-//! loop over the deduplicated tasks — the reproducible sequential baseline
-//! that the differential tests treat as the oracle.
+//! loop over the deduplicated tasks with splitting disabled (threshold = ∞)
+//! — the reproducible sequential baseline that the differential tests treat
+//! as the oracle.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
+use crate::finite::{ModelSearch, SearchShared};
 use crate::obligation::Obligation;
-use crate::portfolio::Portfolio;
+use crate::portfolio::{Portfolio, Started};
 use crate::stats::ProofStats;
 use crate::verdict::Verdict;
+
+/// The default split threshold: obligations whose unreduced candidate space
+/// is at most this many positions run as one task; larger searches are split
+/// into stealable range chunks of roughly this size. Large enough that a
+/// chunk amortizes its deque traffic and iterator resume by tens of
+/// milliseconds of scanning, small enough that the catalog's monolithic
+/// ArrayList obligations shatter into hundreds of stealable pieces.
+pub const DEFAULT_SPLIT_THRESHOLD: u64 = 32_768;
+
+/// The process-wide default split threshold:
+/// [`DEFAULT_SPLIT_THRESHOLD`] unless the `SEMCOMMUTE_SPLIT` environment
+/// variable holds a number when first consulted.
+///
+/// The env override exists for the CI small-split leg: running the whole
+/// test suite with a much smaller threshold (every large search shatters
+/// into dozens of range tasks) is the cheapest way to re-validate every
+/// scheduler-dependent test against aggressive splitting; the differential
+/// tests additionally pin single-position thresholds explicitly. Verdicts
+/// must not depend on the threshold, so no fingerprint or cache key
+/// includes it.
+pub fn default_split_threshold() -> u64 {
+    static DEFAULT: OnceLock<u64> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("SEMCOMMUTE_SPLIT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(DEFAULT_SPLIT_THRESHOLD)
+    })
+}
 
 /// Early-exit flag shared by the obligations of one group (one generated
 /// testing method, in the verification driver).
@@ -158,6 +207,20 @@ pub struct QueueReport {
     pub steals: u64,
     /// Tasks moved by those steals.
     pub stolen_tasks: u64,
+    /// Split operations: each time a worker pushed the back half of a model
+    /// search's remaining range onto its deque for thieves.
+    pub splits: u64,
+    /// Range chunks actually scanned (a search that never split counts
+    /// zero; a split search counts one per executed chunk).
+    pub subranges: u64,
+    /// The longest claim-to-verdict wall-clock of any proved obligation —
+    /// the skew metric: without splitting this is the wall of the largest
+    /// monolithic model search (and the floor under the whole run's wall);
+    /// with splitting it collapses toward the per-chunk cost.
+    pub max_obligation_wall: Duration,
+    /// The 99th-percentile claim-to-verdict wall-clock over proved
+    /// obligations (equals the maximum for runs with under ~100 proofs).
+    pub p99_obligation_wall: Duration,
     /// Aggregated errors: `Unknown` verdict reasons and the non-fatal
     /// evaluation errors the provers surfaced through
     /// [`ProofStats::errors`], each prefixed with the obligation name.
@@ -221,6 +284,44 @@ impl InFlight {
     }
 }
 
+/// One unit of worker-loop work: a whole submitted obligation, or one range
+/// of a split model search.
+enum Task {
+    /// Index into the submission list.
+    Submission(usize),
+    /// Scan unreduced positions `[lo, hi)` of a shared model search
+    /// (splitting further when the range still exceeds the threshold).
+    Range {
+        /// The obligation-wide search state this range belongs to.
+        search: Arc<ActiveSearch>,
+        /// Inclusive start of the range.
+        lo: u64,
+        /// Exclusive end of the range.
+        hi: u64,
+    },
+}
+
+/// A claimed obligation whose finite-model search is running as range tasks.
+struct ActiveSearch {
+    /// The obligation's canonical hash (for publication).
+    key: u128,
+    /// Index of the portfolio that keyed the obligation.
+    portfolio: usize,
+    /// The claiming submission's index (receives the finalized verdict).
+    submission: usize,
+    /// The claiming submission's early-exit group membership.
+    guard: GuardRef,
+    /// The prepared search (compiled obligation + input space), scanned
+    /// concurrently by range.
+    search: ModelSearch,
+    /// The minimum-position deciding-event guard and merged counters shared
+    /// by every subrange.
+    shared: SearchShared,
+    /// Subranges queued or running; the worker that takes this to zero
+    /// finalizes, publishes, and fans out the verdict.
+    outstanding: AtomicU64,
+}
+
 /// Proves a batch of obligations with one portfolio and `workers` stealing
 /// workers. Convenience wrapper over [`prove_all_scheduled`]; since no
 /// early-exit guards are involved every verdict is present.
@@ -232,8 +333,20 @@ pub fn prove_all(portfolio: &Portfolio, obligations: &[Obligation], workers: usi
     prove_all_scheduled(std::slice::from_ref(portfolio), items, workers)
 }
 
+/// [`prove_all_scheduled_split`] at the process-default split threshold
+/// ([`default_split_threshold`]).
+pub fn prove_all_scheduled(
+    portfolios: &[Portfolio],
+    items: Vec<ScheduledObligation>,
+    workers: usize,
+) -> QueueRun {
+    prove_all_scheduled_split(portfolios, items, workers, default_split_threshold())
+}
+
 /// Proves a batch of [`ScheduledObligation`]s on `workers` work-stealing
-/// workers.
+/// workers, splitting any claimed finite-model search whose unreduced
+/// candidate space exceeds `split_threshold` positions into stealable range
+/// tasks (`u64::MAX` disables splitting; values below 1 are clamped to 1).
 ///
 /// The returned verdicts are positionally aligned with `items`. Each
 /// submission is keyed (intern + simplify) by the worker that pops it; the
@@ -244,15 +357,18 @@ pub fn prove_all(portfolio: &Portfolio, obligations: &[Obligation], workers: usi
 /// are identical to what a sequential run over the same submissions would
 /// have accumulated. A submission whose early-exit guard has already failed
 /// at a lower index when it is popped is skipped outright (verdict `None`),
-/// exactly as the sequential driver would have stopped before it.
+/// exactly as the sequential driver would have stopped before it. Verdicts
+/// — including reported counter-models and deciding `Unknown` reasons — are
+/// identical at every worker count and split threshold.
 ///
 /// # Panics
 ///
 /// Panics if an item's `portfolio` index is out of bounds of `portfolios`.
-pub fn prove_all_scheduled(
+pub fn prove_all_scheduled_split(
     portfolios: &[Portfolio],
     items: Vec<ScheduledObligation>,
     workers: usize,
+    split_threshold: u64,
 ) -> QueueRun {
     let submitted = items.len();
     let mut report = QueueReport {
@@ -268,13 +384,30 @@ pub fn prove_all_scheduled(
         );
     }
 
+    // Workers are deliberately *not* clamped to the submission count: a
+    // single submitted obligation can still fan out over every worker as
+    // range tasks once its search splits.
+    let workers = if submitted == 0 { 1 } else { workers.max(1) };
+    // A chunk must make progress, so the smallest meaningful threshold is 1
+    // (every position its own task); the sequential baseline never splits.
+    let split_threshold = if workers <= 1 {
+        u64::MAX
+    } else {
+        split_threshold.max(1)
+    };
+
     let in_flight = InFlight::new();
     let results: Vec<OnceLock<Verdict>> = (0..submitted).map(|_| OnceLock::new()).collect();
     let proved = AtomicU64::new(0);
     let cache_hits = AtomicU64::new(0);
     let steals = AtomicU64::new(0);
     let stolen_tasks = AtomicU64::new(0);
+    let splits = AtomicU64::new(0);
+    let subranges = AtomicU64::new(0);
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    // Claim-to-verdict wall-clock of every proved obligation, for the skew
+    // metrics (max / p99) that make imbalance visible in BENCH files.
+    let obligation_walls: Mutex<Vec<Duration>> = Mutex::new(Vec::new());
 
     // Hands a submission its verdict, recording a failure in its early-exit
     // group first so racing group members observe it as soon as possible.
@@ -302,59 +435,31 @@ pub fn prove_all_scheduled(
         hit
     };
 
-    let process = |index: usize, item: &ScheduledObligation| {
-        if let Some((guard, group_index)) = &item.guard {
-            if guard.skips(*group_index) {
-                // Skipped: not even keyed. The submission's verdict slot
-                // stays `None`, counted as `skipped` at fan-in.
-                return;
-            }
-        }
-        let portfolio = &portfolios[item.portfolio];
-        // Keying — intern + simplify of the obligation — runs here, on the
-        // popping worker's thread-local arena. The canonical hash does not
-        // depend on arena ids, so every worker computes the same key.
-        let key = portfolio.canonical_key(&item.obligation);
-        let published = {
-            let mut shard = in_flight
-                .shard(key)
-                .lock()
-                .unwrap_or_else(|p| p.into_inner());
-            match shard.get_mut(&key) {
-                None => {
-                    shard.insert(key, KeyState::Claimed(Vec::new()));
-                    None
-                }
-                Some(KeyState::Claimed(subscribers)) => {
-                    subscribers.push((index, item.guard.clone()));
-                    return;
-                }
-                Some(KeyState::Done(verdict)) => Some(verdict.clone()),
-            }
-        };
-        if let Some(verdict) = published {
-            cache_hits.fetch_add(1, Ordering::Relaxed);
-            deliver(index, &item.guard, dedup_hit(&verdict));
-            return;
-        }
-
-        // This worker holds the claim for `key`: prove it (the shared
-        // verdict cache may still answer, e.g. from an earlier run).
-        let verdict = portfolio.prove_keyed(key, &item.obligation);
-        if verdict.stats().cache_hits > 0 {
+    // Books a claimed obligation's verdict: counters, error aggregation,
+    // publication through the in-flight table, delivery to the claiming
+    // submission and fan-out to everyone who subscribed while it ran. Used
+    // both for verdicts computed in one piece and for finalized split
+    // searches.
+    let complete = |key: u128, index: usize, guard: &GuardRef, verdict: Verdict, hit: bool| {
+        if hit {
             cache_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             proved.fetch_add(1, Ordering::Relaxed);
+            obligation_walls
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push(verdict.stats().elapsed);
         }
+        let name = &items[index].obligation.name;
         let mut found: Vec<String> = verdict
             .stats()
             .errors
             .iter()
-            .map(|e| format!("{}: {e}", item.obligation.name))
+            .map(|e| format!("{name}: {e}"))
             .collect();
         if let Verdict::Unknown { reason, stats } = &verdict {
             if !stats.errors.iter().any(|e| e == reason) {
-                found.push(format!("{}: {reason}", item.obligation.name));
+                found.push(format!("{name}: {reason}"));
             }
         }
         if !found.is_empty() {
@@ -372,91 +477,247 @@ pub fn prove_all_scheduled(
                 .unwrap_or_else(|p| p.into_inner());
             match shard.insert(key, KeyState::Done(verdict.clone())) {
                 Some(KeyState::Claimed(subscribers)) => subscribers,
-                // Unreachable: this worker held the claim exclusively.
+                // Unreachable: the claim was held exclusively.
                 _ => Vec::new(),
             }
         };
-        deliver(index, &item.guard, verdict.clone());
+        deliver(index, guard, verdict.clone());
         for (subscriber, guard) in subscribers {
             cache_hits.fetch_add(1, Ordering::Relaxed);
             deliver(subscriber, &guard, dedup_hit(&verdict));
         }
     };
 
-    let workers = workers.max(1).min(submitted.max(1));
+    // Pops one submission: guard check, worker-side keying, claim/dedup.
+    // Returns a search to be run as range tasks when the claimed obligation
+    // is large enough to split; everything else completes inline.
+    let process_submission =
+        |index: usize, item: &ScheduledObligation| -> Option<Arc<ActiveSearch>> {
+            if let Some((guard, group_index)) = &item.guard {
+                if guard.skips(*group_index) {
+                    // Skipped: not even keyed. The submission's verdict slot
+                    // stays `None`, counted as `skipped` at fan-in.
+                    return None;
+                }
+            }
+            let portfolio = &portfolios[item.portfolio];
+            // Keying — intern + simplify of the obligation — runs here, on the
+            // popping worker's thread-local arena. The canonical hash does not
+            // depend on arena ids, so every worker computes the same key.
+            let key = portfolio.canonical_key(&item.obligation);
+            let published = {
+                let mut shard = in_flight
+                    .shard(key)
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                match shard.get_mut(&key) {
+                    None => {
+                        shard.insert(key, KeyState::Claimed(Vec::new()));
+                        None
+                    }
+                    Some(KeyState::Claimed(subscribers)) => {
+                        subscribers.push((index, item.guard.clone()));
+                        return None;
+                    }
+                    Some(KeyState::Done(verdict)) => Some(verdict.clone()),
+                }
+            };
+            if let Some(verdict) = published {
+                cache_hits.fetch_add(1, Ordering::Relaxed);
+                deliver(index, &item.guard, dedup_hit(&verdict));
+                return None;
+            }
+
+            // This worker holds the claim for `key`: prove it (the shared
+            // verdict cache may still answer, e.g. from an earlier run).
+            match portfolio.start_keyed(key, &item.obligation) {
+                Started::Cached(verdict) => {
+                    complete(key, index, &item.guard, verdict, true);
+                    None
+                }
+                Started::Decided(verdict) => {
+                    portfolio.publish_keyed(key, &verdict);
+                    complete(key, index, &item.guard, verdict, false);
+                    None
+                }
+                Started::Search(search) => {
+                    if search.total() > split_threshold {
+                        // Too large for one worker: hand back a shared search
+                        // for the worker loop to scan as stealable range tasks.
+                        Some(Arc::new(ActiveSearch {
+                            key,
+                            portfolio: item.portfolio,
+                            submission: index,
+                            guard: item.guard.clone(),
+                            shared: SearchShared::new(),
+                            outstanding: AtomicU64::new(1),
+                            search,
+                        }))
+                    } else {
+                        let verdict = search.run();
+                        portfolio.publish_keyed(key, &verdict);
+                        complete(key, index, &item.guard, verdict, false);
+                        None
+                    }
+                }
+            }
+        };
+
+    // Retires one subrange; the worker that retires the last one assembles
+    // the merged verdict (minimum-position deciding event, summed counters)
+    // and publishes it exactly as an unsplit proof would have been.
+    let finish_range = |active: &Arc<ActiveSearch>| {
+        if active.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let verdict = active.search.finalize(&active.shared);
+            portfolios[active.portfolio].publish_keyed(active.key, &verdict);
+            complete(active.key, active.submission, &active.guard, verdict, false);
+        }
+    };
+
     if workers <= 1 {
         // The reproducible baseline: submissions run in order on the
         // calling thread (keying included, so the arena warm-up pattern
-        // matches the pre-scheduler sequential driver). This is the oracle
-        // the differential tests compare parallel runs against.
+        // matches the pre-scheduler sequential driver), splitting disabled.
+        // This is the oracle the differential tests compare parallel runs
+        // against.
         for (index, item) in items.iter().enumerate() {
-            process(index, item);
+            let seeded = process_submission(index, item);
+            debug_assert!(seeded.is_none(), "the sequential baseline never splits");
         }
     } else {
         // Seed the per-worker deques round-robin so every worker starts
         // with a cross-section of the catalog, then let emptied workers
-        // steal batches from the back of loaded ones.
-        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        // steal batches from the back of loaded ones. `pending` counts
+        // tasks queued or running; a worker only exits when it finds
+        // nothing to steal *and* nothing is still running — a running
+        // range task may yet split and repopulate the deques.
+        let deques: Vec<Mutex<VecDeque<Task>>> = (0..workers)
             .map(|w| {
                 Mutex::new(
                     (0..submitted)
                         .filter(|i| i % workers == w)
-                        .collect::<VecDeque<usize>>(),
+                        .map(Task::Submission)
+                        .collect::<VecDeque<Task>>(),
                 )
             })
             .collect();
+        let pending = AtomicU64::new(submitted as u64);
         std::thread::scope(|scope| {
             for me in 0..workers {
-                let (deques, items, process) = (&deques, &items, &process);
+                let (deques, items, pending) = (&deques, &items, &pending);
+                let (process_submission, finish_range) = (&process_submission, &finish_range);
                 let (steals, stolen_tasks) = (&steals, &stolen_tasks);
-                scope.spawn(move || loop {
-                    let next = deques[me]
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner())
-                        .pop_front();
-                    let index = match next {
-                        Some(id) => id,
-                        None => {
-                            // Steal half of the first non-empty victim's
-                            // deque (from the back, so the victim keeps the
-                            // front it is about to pop).
-                            let mut batch: VecDeque<usize> = VecDeque::new();
-                            for offset in 1..workers {
-                                let victim = (me + offset) % workers;
-                                let mut v =
-                                    deques[victim].lock().unwrap_or_else(|p| p.into_inner());
-                                let take = v.len().div_ceil(2);
-                                if take == 0 {
-                                    continue;
-                                }
-                                for _ in 0..take {
-                                    if let Some(id) = v.pop_back() {
-                                        batch.push_front(id);
-                                    }
-                                }
-                                break;
-                            }
-                            match batch.pop_front() {
-                                // All deques were empty: no new submissions
-                                // can appear (the queue is seeded up
-                                // front), so this worker is done.
-                                None => break,
-                                Some(id) => {
-                                    steals.fetch_add(1, Ordering::Relaxed);
-                                    stolen_tasks
-                                        .fetch_add(batch.len() as u64 + 1, Ordering::Relaxed);
-                                    if !batch.is_empty() {
-                                        deques[me]
-                                            .lock()
-                                            .unwrap_or_else(|p| p.into_inner())
-                                            .append(&mut batch);
-                                    }
-                                    id
-                                }
-                            }
+                let (splits, subranges) = (&splits, &subranges);
+                scope.spawn(move || {
+                    // Scans `[lo, hi)` of a split search Cilk-style: while
+                    // the range exceeds the threshold, push the back half
+                    // onto the *front* of the own deque (the owner drains
+                    // nearest-first for locality; thieves take from the
+                    // back, so a thief grabs the largest, farthest range)
+                    // and keep the front. The chunk scan shares the
+                    // search's minimum-position guard, so racing chunks
+                    // stop as soon as the verdict is decided to their left.
+                    let run_chunk = |search: Arc<ActiveSearch>, lo: u64, mut hi: u64| {
+                        while hi - lo > split_threshold {
+                            let mid = lo + (hi - lo) / 2;
+                            search.outstanding.fetch_add(1, Ordering::Relaxed);
+                            pending.fetch_add(1, Ordering::Relaxed);
+                            splits.fetch_add(1, Ordering::Relaxed);
+                            deques[me]
+                                .lock()
+                                .unwrap_or_else(|p| p.into_inner())
+                                .push_front(Task::Range {
+                                    search: search.clone(),
+                                    lo: mid,
+                                    hi,
+                                });
+                            hi = mid;
                         }
+                        subranges.fetch_add(1, Ordering::Relaxed);
+                        search.search.run_range(lo, hi, &search.shared);
+                        finish_range(&search);
                     };
-                    process(index, &items[index]);
+                    // Consecutive empty pop+steal rounds: yield at first,
+                    // then back off to short sleeps so workers starved by a
+                    // long-running unsplittable task don't burn their cores
+                    // polling the deques.
+                    let mut idle_rounds: u32 = 0;
+                    loop {
+                        let next = deques[me]
+                            .lock()
+                            .unwrap_or_else(|p| p.into_inner())
+                            .pop_front();
+                        let task = match next {
+                            Some(task) => task,
+                            None => {
+                                // Steal half of the first non-empty
+                                // victim's deque (from the back, so the
+                                // victim keeps the front it is about to
+                                // pop).
+                                let mut batch: VecDeque<Task> = VecDeque::new();
+                                for offset in 1..workers {
+                                    let victim = (me + offset) % workers;
+                                    let mut v =
+                                        deques[victim].lock().unwrap_or_else(|p| p.into_inner());
+                                    let take = v.len().div_ceil(2);
+                                    if take == 0 {
+                                        continue;
+                                    }
+                                    for _ in 0..take {
+                                        if let Some(task) = v.pop_back() {
+                                            batch.push_front(task);
+                                        }
+                                    }
+                                    break;
+                                }
+                                match batch.pop_front() {
+                                    None => {
+                                        if pending.load(Ordering::Acquire) == 0 {
+                                            // Nothing queued, nothing
+                                            // running: done.
+                                            break;
+                                        }
+                                        // A running task may still split;
+                                        // wait for work to appear — yield
+                                        // briefly, then sleep (capped at
+                                        // 1 ms so newly split ranges are
+                                        // picked up promptly).
+                                        idle_rounds = idle_rounds.saturating_add(1);
+                                        if idle_rounds < 16 {
+                                            std::thread::yield_now();
+                                        } else {
+                                            let exp = (idle_rounds - 16).min(4);
+                                            std::thread::sleep(Duration::from_micros(62 << exp));
+                                        }
+                                        continue;
+                                    }
+                                    Some(task) => {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        stolen_tasks
+                                            .fetch_add(batch.len() as u64 + 1, Ordering::Relaxed);
+                                        if !batch.is_empty() {
+                                            deques[me]
+                                                .lock()
+                                                .unwrap_or_else(|p| p.into_inner())
+                                                .append(&mut batch);
+                                        }
+                                        task
+                                    }
+                                }
+                            }
+                        };
+                        idle_rounds = 0;
+                        match task {
+                            Task::Submission(index) => {
+                                if let Some(active) = process_submission(index, &items[index]) {
+                                    let total = active.search.total();
+                                    run_chunk(active, 0, total);
+                                }
+                            }
+                            Task::Range { search, lo, hi } => run_chunk(search, lo, hi),
+                        }
+                        pending.fetch_sub(1, Ordering::Release);
+                    }
                 });
             }
         });
@@ -479,6 +740,16 @@ pub fn prove_all_scheduled(
     report.skipped = skipped;
     report.steals = steals.into_inner();
     report.stolen_tasks = stolen_tasks.into_inner();
+    report.splits = splits.into_inner();
+    report.subranges = subranges.into_inner();
+    let mut walls = obligation_walls
+        .into_inner()
+        .unwrap_or_else(|p| p.into_inner());
+    walls.sort_unstable();
+    if let Some(&max) = walls.last() {
+        report.max_obligation_wall = max;
+        report.p99_obligation_wall = walls[((walls.len() * 99) / 100).min(walls.len() - 1)];
+    }
     report.errors = errors.into_inner().unwrap_or_else(|p| p.into_inner());
     QueueRun { verdicts, report }
 }

@@ -63,6 +63,12 @@ pub struct Scope {
     /// lex-least form under permutations of the padding block (see
     /// `prover::orbit`). `false` selects the unreduced enumerator — the
     /// oracle the differential soundness harness compares against.
+    ///
+    /// Candidate *positions* (the indices the scheduler's splittable range
+    /// tasks and the minimum-position early-exit guard are defined over)
+    /// always count the **unreduced** enumeration, in both modes — which is
+    /// why split granularity and thread count never enter this fingerprint:
+    /// they cannot change any verdict.
     pub orbit: bool,
 }
 

@@ -216,6 +216,27 @@ impl InputSpace {
     pub fn iter(&self) -> SpaceIter<'_> {
         SpaceIter::new(self)
     }
+
+    /// Iterates over the candidates whose **unreduced position** (their
+    /// index in the plain orbit-off odometer enumeration — see
+    /// [`SpaceIter::position`]) lies in `[lo, hi)`.
+    ///
+    /// Construction is O(#element-assignments), independent of `lo`: the
+    /// resume point is computed by division, not by stepping the odometer.
+    /// In orbit mode only the canonical candidates of the range are
+    /// emitted, and [`SpaceIter::orbits_pruned`] counts exactly the
+    /// non-canonical positions inside `[lo, hi)` — so for any partition of
+    /// `[0, n)` into ranges, emitted candidates concatenate to the full
+    /// enumeration and pruned counts sum to the full scan's count. This is
+    /// the primitive behind the scheduler's splittable model-search range
+    /// tasks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_iter(&self, lo: u64, hi: u64) -> SpaceIter<'_> {
+        SpaceIter::with_range(self, lo, hi)
+    }
 }
 
 /// Generates all subsets of `universe` with at most `max_len` elements.
@@ -245,10 +266,22 @@ fn subsets_up_to(universe: &[ElemId], max_len: usize) -> Vec<PSet> {
 /// With [`Scope::orbit`] set, the iterator emits only orbit-canonical
 /// candidates (see [`crate::orbit`]): non-canonical tuples are stepped over
 /// — pruning the whole odometer subtree of a doomed prefix at once — before
-/// a position is ever observable through [`SpaceIter::next_values`],
-/// `next()`, or [`SpaceIter::skip_positions`]. Position indices therefore
-/// count *canonical* candidates, which is what keeps the sharded search's
-/// strided split identical at every thread count.
+/// a position is ever observable through [`SpaceIter::next_values`] or
+/// `next()`.
+///
+/// Every candidate — canonical or not — has a deterministic **unreduced
+/// position**: its index in the plain odometer enumeration with the orbit
+/// reduction off ([`SpaceIter::position`]). Unreduced positions are
+/// random-access (per element assignment the candidate counts are known, so
+/// a position decomposes into odometer digits by division), which is what
+/// makes the space *range-addressable*: [`InputSpace::range_iter`] resumes
+/// the enumeration mid-space in O(#assignments) and stops at an exclusive
+/// bound, and a recursive partition of `[0, n)` into ranges tiles the
+/// candidate set exactly — canonical candidates and pruned-as-non-canonical
+/// counts both land in the unique range containing their position. The
+/// work-stealing scheduler splits one obligation's model search into such
+/// ranges; position order is also the tie-break that keeps "which
+/// counter-model is reported" identical at every split granularity.
 pub struct SpaceIter<'a> {
     space: &'a InputSpace,
     elem_assignments: Vec<Vec<ElemId>>,
@@ -263,12 +296,21 @@ pub struct SpaceIter<'a> {
     /// Orbit pruning tables for the current element assignment (`None` when
     /// orbit reduction is off or has nothing to act on).
     orbit: Option<OrbitTables>,
-    /// Candidates skipped as non-canonical so far.
+    /// Candidates skipped as non-canonical within `[start, end)` so far.
     orbits_pruned: u64,
+    /// Unreduced position of the current candidate.
+    upos: u64,
+    /// Exclusive unreduced end bound (`u64::MAX` = the whole space).
+    end: u64,
 }
 
 impl<'a> SpaceIter<'a> {
     fn new(space: &'a InputSpace) -> SpaceIter<'a> {
+        SpaceIter::with_range(space, 0, u64::MAX)
+    }
+
+    fn with_range(space: &'a InputSpace, lo: u64, hi: u64) -> SpaceIter<'a> {
+        assert!(lo <= hi, "invalid range [{lo}, {hi})");
         let elem_assignments = space.elem_assignments();
         let mut it = SpaceIter {
             space,
@@ -279,11 +321,79 @@ impl<'a> SpaceIter<'a> {
             exhausted_current: true,
             orbit: None,
             orbits_pruned: 0,
+            upos: 0,
+            end: hi,
         };
         it.load_current();
         it.settle();
+        if lo > 0 {
+            it.seek_unreduced(lo);
+        }
         it.seek_canonical();
         it
+    }
+
+    /// The unreduced position of the current candidate: its index in the
+    /// plain (orbit-off) odometer enumeration. Stable across split
+    /// granularities and thread counts; after [`SpaceIter::next_values`]
+    /// returns `true` the emitted candidate's position is the value this
+    /// returned *before* the call.
+    pub fn position(&self) -> u64 {
+        self.upos
+    }
+
+    /// Number of unreduced positions left in this assignment's odometer
+    /// before digit `j` next increments: the remaining size of the current
+    /// slot-`j` subtree. Equals the full subtree product when every digit
+    /// past `j` is zero; a mid-subtree resume (a range starting inside a
+    /// non-canonical region) lands with nonzero suffix digits and skips
+    /// correspondingly less.
+    fn suffix_remaining(&self, j: usize) -> u64 {
+        let mut weight: u64 = 1;
+        let mut value: u64 = 0;
+        for k in (j + 1..self.positions.len()).rev() {
+            value += self.positions[k] as u64 * weight;
+            weight = weight.saturating_mul(self.candidates[k].len() as u64);
+        }
+        weight - value
+    }
+
+    /// Number of unreduced candidates under the current element assignment.
+    fn current_count(&self) -> u64 {
+        self.candidates
+            .iter()
+            .fold(1u64, |acc, c| acc.saturating_mul(c.len() as u64))
+    }
+
+    /// Positions the odometer at unreduced position `target` (counting
+    /// nothing as pruned): walks the element assignments by their candidate
+    /// counts, then splits the in-assignment remainder into digits. Runs in
+    /// O(#assignments + #slots²), independent of `target` — the
+    /// random-access resume that makes range splitting O(1) per split
+    /// instead of O(range).
+    fn seek_unreduced(&mut self, target: u64) {
+        let mut base: u64 = 0;
+        while !self.done() {
+            let count = self.current_count();
+            if target - base < count {
+                let mut rem = target - base;
+                for i in 0..self.positions.len() {
+                    let weight: u64 = self.candidates[i + 1..]
+                        .iter()
+                        .fold(1u64, |acc, c| acc.saturating_mul(c.len() as u64));
+                    self.positions[i] = (rem / weight) as usize;
+                    rem %= weight;
+                }
+                self.upos = target;
+                return;
+            }
+            base += count;
+            self.elem_index += 1;
+            self.load_current();
+            self.settle();
+        }
+        // Past the end of the space: leave the iterator exhausted.
+        self.upos = target;
     }
 
     /// Number of candidates the orbit reduction has skipped as
@@ -298,6 +408,12 @@ impl<'a> SpaceIter<'a> {
         self.elem_index >= self.elem_assignments.len()
     }
 
+    /// `true` when no further candidate will be emitted: the odometer ran
+    /// off the space, or the current position reached the range's end bound.
+    fn exhausted(&self) -> bool {
+        self.done() || self.upos >= self.end
+    }
+
     /// Skips past element assignments for which some variable has no
     /// candidate values (cannot happen with the current sorts, but handled
     /// defensively), so that `current_model` is valid whenever `!done()`.
@@ -308,26 +424,13 @@ impl<'a> SpaceIter<'a> {
         }
     }
 
-    /// Moves to the next candidate position without building a model. The
-    /// parallel prover uses this to stride its shard through the space:
-    /// skipping a position costs an odometer increment instead of a full
-    /// `Model` allocation.
-    pub fn skip_positions(&mut self, n: usize) {
-        for _ in 0..n {
-            if self.done() {
-                return;
-            }
-            self.advance();
-        }
-    }
-
     /// Writes the current candidate's values into `buf` in
     /// [`InputSpace::var_order`] order and advances; returns `false` when the
     /// space is exhausted. This is the allocation-lean counterpart of
     /// `next()` used by the prover's compiled evaluation path: no names, no
     /// `Model` map — just the values.
     pub fn next_values(&mut self, buf: &mut Vec<Value>) -> bool {
-        if self.done() {
+        if self.exhausted() {
             return false;
         }
         buf.clear();
@@ -395,6 +498,7 @@ impl<'a> SpaceIter<'a> {
     }
 
     fn advance(&mut self) {
+        self.upos = self.upos.saturating_add(1);
         match self.positions.len() {
             0 => self.next_assignment(),
             n => self.bump(n - 1),
@@ -428,27 +532,30 @@ impl<'a> SpaceIter<'a> {
     }
 
     /// Steps forward until the current candidate is orbit-canonical (no-op
-    /// when orbit reduction is off or trivial). Every skipped candidate is
-    /// counted into `orbits_pruned`; a non-canonical *prefix* prunes its
-    /// whole subtree in one bump.
+    /// when orbit reduction is off or trivial). Every skipped candidate
+    /// whose unreduced position lies inside `[start, end)` is counted into
+    /// `orbits_pruned`; a non-canonical *prefix* prunes the rest of its
+    /// subtree in one bump.
     ///
-    /// The subtree accounting relies on an invariant of the enumeration
-    /// order: whenever a violation is decided at slot `j`, every position
-    /// above `j` is zero — the previously emitted candidate was canonical
-    /// (or the previous prune already bumped at `>= j`), so a strictly-less
-    /// prefix can only have appeared at or above the slot that last
-    /// changed, below which all positions were just reset.
+    /// Reached from a normal advance, every position above the deciding
+    /// slot `j` is zero and the skip is the full slot-`j` subtree. Reached
+    /// from a mid-range resume ([`SpaceIter::seek_unreduced`] can land
+    /// anywhere, including inside a non-canonical subtree an unsplit scan
+    /// would have pruned in one step from further left), the suffix digits
+    /// are nonzero and [`SpaceIter::suffix_remaining`] skips only the
+    /// positions from here to the subtree's end — so a partition of the
+    /// space into ranges attributes every pruned position to exactly the
+    /// range containing it, and pruned counts sum across subranges to the
+    /// unsplit scan's count.
     fn seek_canonical(&mut self) {
-        while !self.done() {
+        while !self.exhausted() {
             let Some(tables) = &self.orbit else { return };
             let Some(j) = tables.violation(&self.positions) else {
                 return;
             };
-            debug_assert!(self.positions[j + 1..].iter().all(|&p| p == 0));
-            let subtree: u64 = self.candidates[j + 1..]
-                .iter()
-                .fold(1u64, |acc, c| acc.saturating_mul(c.len() as u64));
-            self.orbits_pruned += subtree;
+            let skip = self.suffix_remaining(j);
+            self.orbits_pruned += skip.min(self.end - self.upos);
+            self.upos = self.upos.saturating_add(skip);
             self.bump(j);
         }
     }
@@ -458,7 +565,7 @@ impl Iterator for SpaceIter<'_> {
     type Item = Model;
 
     fn next(&mut self) -> Option<Model> {
-        if self.done() {
+        if self.exhausted() {
             return None;
         }
         let model = self.current_model();
@@ -657,40 +764,75 @@ mod tests {
     }
 
     #[test]
-    fn skip_positions_strides_over_canonical_candidates() {
-        // The sharded prover strides worker w through canonical positions
-        // w, w+n, ...; collecting the strides of every worker must
-        // partition exactly the canonical enumeration.
+    fn range_iter_tiles_the_space_at_any_cut() {
         let scope = Scope {
             elem_padding: 2,
             max_collection_entries: 2,
             max_seq_len: 2,
             ..Scope::small()
         };
-        let vars = vars(&[("q", Sort::Seq), ("s", Sort::Set)]);
-        let space = InputSpace::new(&vars, scope.with_orbit(true));
-        let all: Vec<Model> = space.iter().collect();
-        for threads in [2, 3] {
-            let mut sharded: Vec<Vec<Model>> = Vec::new();
-            for worker in 0..threads {
-                let mut it = space.iter();
-                it.skip_positions(worker);
-                let mut mine = Vec::new();
-                while let Some(m) = it.next() {
-                    mine.push(m);
-                    it.skip_positions(threads - 1);
-                }
-                sharded.push(mine);
+        for orbit in [false, true] {
+            let vars = vars(&[("v", Sort::Elem), ("q", Sort::Seq), ("s", Sort::Set)]);
+            let space = InputSpace::new(&vars, scope.clone().with_orbit(orbit));
+            let total = space.estimated_size() as u64;
+            let mut full = space.iter();
+            let all: Vec<Model> = full.by_ref().collect();
+            let full_pruned = full.orbits_pruned();
+            // Cut the space at every position: front ++ back must always
+            // reproduce the full scan, candidates and pruned counts alike.
+            for cut in 0..=total {
+                let mut front = space.range_iter(0, cut);
+                let mut back = space.range_iter(cut, total);
+                let mut tiled: Vec<Model> = front.by_ref().collect();
+                tiled.extend(back.by_ref());
+                assert_eq!(tiled, all, "orbit {orbit}, cut {cut}");
+                assert_eq!(
+                    front.orbits_pruned() + back.orbits_pruned(),
+                    full_pruned,
+                    "orbit {orbit}, cut {cut}"
+                );
             }
-            let mut merged = Vec::new();
-            let mut cursors = vec![0usize; threads];
-            for i in 0..all.len() {
-                let w = i % threads;
-                merged.push(sharded[w][cursors[w]].clone());
-                cursors[w] += 1;
-            }
-            assert_eq!(merged, all, "{threads} shards must tile the space");
         }
+    }
+
+    #[test]
+    fn positions_count_unreduced_candidates() {
+        // One set variable over two padding elements, orbit on. The sorted
+        // candidate list is [{}, {o1}, {o1,o2}, {o2}] (BTreeSet order), so
+        // the canonical candidates keep unreduced positions 0, 1, 2 and the
+        // pruned {o2} (the non-canonical image of {o1}) is position 3.
+        let scope = Scope {
+            elem_padding: 2,
+            max_collection_entries: 2,
+            ..Scope::small()
+        };
+        let space = InputSpace::new(&vars(&[("s", Sort::Set)]), scope.with_orbit(true));
+        let mut it = space.iter();
+        let mut seen = Vec::new();
+        loop {
+            let upos = it.position();
+            if it.next().is_none() {
+                break;
+            }
+            seen.push(upos);
+        }
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(it.orbits_pruned(), 1);
+        // A range covering only the pruned tail emits nothing and counts it.
+        let mut tail = space.range_iter(3, 4);
+        assert_eq!(tail.next(), None);
+        assert_eq!(tail.orbits_pruned(), 1);
+    }
+
+    #[test]
+    fn empty_and_degenerate_ranges_emit_nothing() {
+        let space = InputSpace::new(&vars(&[("b", Sort::Bool)]), Scope::small());
+        assert_eq!(space.range_iter(0, 0).count(), 0);
+        assert_eq!(space.range_iter(1, 1).count(), 0);
+        assert_eq!(space.range_iter(2, 2).count(), 0);
+        // A range past the end of the space is empty, not an error.
+        assert_eq!(space.range_iter(2, 100).count(), 0);
+        assert_eq!(space.range_iter(0, 2).count(), 2);
     }
 
     #[test]

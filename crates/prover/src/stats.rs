@@ -51,11 +51,13 @@ pub struct ProofStats {
     /// (a previously proved obligation with the same canonical form).
     pub cache_hits: u64,
     /// Evaluation errors encountered along the way that did *not* decide the
-    /// verdict. The sharded model search keeps going when one worker hits an
-    /// evaluation error (a racing error must not mask a genuine
-    /// counter-model), so a `CounterModel` or `Valid` verdict can still carry
-    /// the errors other workers observed; `merge` accumulates them across
-    /// obligations.
+    /// verdict. A range-split model search stops at the deciding event with
+    /// the minimum enumeration position, but subranges racing to the right
+    /// of it may have observed errors first; those are retained here so a
+    /// verdict that raced past failures still reports them. For a split
+    /// search the counters in this struct are the *sums* over all
+    /// subranges (`finalize` merges them); `merge` further accumulates
+    /// across obligations.
     pub errors: Vec<String>,
 }
 

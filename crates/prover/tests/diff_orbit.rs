@@ -24,8 +24,8 @@ fn options(threads: usize, orbit: bool) -> VerifyOptions {
         threads,
         seq_len: 3,
         limit: None,
-        prover_threads: 1,
         orbit,
+        ..VerifyOptions::default()
     }
 }
 

@@ -1,14 +1,19 @@
 //! Differential test: the parallel work-stealing scheduler against the
-//! sequential oracle.
+//! sequential oracle, across a worker-count × split-threshold matrix.
 //!
 //! The correctness story of the global obligation scheduler is that
 //! parallelism must be *observationally invisible*: for every condition in
 //! the catalog, the soundness and completeness verdicts of a scheduled run —
 //! including the concrete counterexample models of failing conditions, not
 //! just their number — must be identical to those of the strictly
-//! sequential `threads = 1` baseline. This harness runs the full catalog
-//! (every condition of all four interfaces) sequentially and at 2, 4, and 8
-//! workers and compares verdict by verdict.
+//! sequential `threads = 1` baseline, **at every split threshold**. Since
+//! PR 5 an obligation whose model search exceeds the threshold is scanned as
+//! racing range tasks, so the matrix includes a pathologically small
+//! threshold (ranges of one unreduced position — maximal racing) alongside
+//! the default; the full-catalog run additionally reconciles counters:
+//! every subrange's `models_checked` / `orbits_pruned` merges into its
+//! obligation's verdict, so the catalog totals must equal the unsplit
+//! sequential oracle's exactly.
 //!
 //! The ArrayList sequence scope is 3 here so that a full-catalog run stays
 //! fast in debug builds; the scope is a verification parameter, not a
@@ -34,6 +39,13 @@ fn options(threads: usize, limit: Option<usize>) -> VerifyOptions {
         seq_len: 3,
         limit,
         ..VerifyOptions::default()
+    }
+}
+
+fn split_options(threads: usize, limit: Option<usize>, split_threshold: u64) -> VerifyOptions {
+    VerifyOptions {
+        split_threshold,
+        ..options(threads, limit)
     }
 }
 
@@ -71,7 +83,11 @@ fn assert_identical_verdicts(oracle: &CatalogReport, parallel: &CatalogReport, w
     }
 }
 
-/// The full catalog: sequential oracle vs. 2, 4, and 8 stealing workers.
+/// The full catalog: sequential oracle vs. a worker-count × split-threshold
+/// matrix. Every configuration must reproduce the oracle's verdicts *and*
+/// its work counters — the catalog is all-valid, so every model search
+/// enumerates its whole space and `sum(subrange models_checked)` must equal
+/// the unsplit sequential count exactly (same for `orbits_pruned`).
 #[test]
 fn full_catalog_verdicts_match_sequential_oracle() {
     let oracle = verify_catalog(&options(1, None));
@@ -81,8 +97,17 @@ fn full_catalog_verdicts_match_sequential_oracle() {
     assert_eq!(verified, total, "the catalog verifies under the oracle");
     assert_eq!(total, 510, "12 + 108 + 147 + 243 catalog conditions");
 
-    for workers in [2, 4, 8] {
-        let parallel = verify_catalog(&options(workers, None));
+    // (workers, split_threshold): the default threshold at several widths,
+    // plus a small threshold at 4 workers so range tasks dominate the run.
+    let default_threshold = VerifyOptions::default().split_threshold;
+    let matrix = [
+        (2, default_threshold),
+        (4, default_threshold),
+        (8, default_threshold),
+        (4, 4_096),
+    ];
+    for (workers, threshold) in matrix {
+        let parallel = verify_catalog(&split_options(workers, None, threshold));
         let scheduler = parallel
             .scheduler
             .as_ref()
@@ -90,21 +115,51 @@ fn full_catalog_verdicts_match_sequential_oracle() {
         assert_eq!(
             scheduler.proved + scheduler.cache_hits + scheduler.skipped,
             scheduler.submitted as u64,
-            "{workers} workers: scheduler accounting must balance"
+            "{workers}w/{threshold}: scheduler accounting must balance"
         );
         assert_eq!(scheduler.skipped, 0, "nothing fails, so nothing is skipped");
         assert!(
             scheduler.unique <= scheduler.submitted,
             "dedup can only shrink the queue"
         );
+        // At seq_len 3 the largest searches run ~15k unreduced positions:
+        // under the default threshold nothing splits (and the run must
+        // still match the oracle); the small-threshold row exercises real
+        // splits, where each split search scans one chunk per split plus
+        // its seed chunk.
+        if threshold < 15_000 {
+            assert!(
+                scheduler.splits > 0,
+                "{workers}w/{threshold}: the catalog's monolithic searches must split"
+            );
+            assert!(
+                scheduler.subranges > scheduler.splits,
+                "{workers}w/{threshold}: {} subranges vs {} splits",
+                scheduler.subranges,
+                scheduler.splits
+            );
+        }
         assert_identical_verdicts(&oracle, &parallel, workers);
+        assert_eq!(
+            parallel.models_checked(),
+            oracle.models_checked(),
+            "{workers}w/{threshold}: subrange models_checked must sum to the oracle's"
+        );
+        assert_eq!(
+            parallel.orbits_pruned(),
+            oracle.orbits_pruned(),
+            "{workers}w/{threshold}: subrange orbits_pruned must sum to the oracle's"
+        );
     }
 }
 
 /// Differential check on a catalog *with failures*: sabotaged conditions
 /// must fail identically — same failing obligation, same counterexample
-/// model — no matter how many workers race, pinning the early-exit guard
-/// semantics (a racing later failure must not replace the first one).
+/// model — no matter how many workers race and no matter how finely the
+/// failing searches are split, pinning both early-exit guards (a racing
+/// later failure must not replace the first one across obligations, and a
+/// racing higher-position counter-model must not replace the
+/// minimum-position one within a split obligation).
 #[test]
 fn failing_conditions_report_the_same_counterexample_in_parallel() {
     use semcommute_core::catalog::interface_catalog;
@@ -132,7 +187,8 @@ fn failing_conditions_report_the_same_counterexample_in_parallel() {
         .collect();
     assert!(oracle.iter().any(|r| !r.verified()));
 
-    for workers in [2, 4, 8] {
+    for (workers, split_threshold) in [(2, u64::MAX), (4, u64::MAX), (8, u64::MAX), (4, 1), (8, 64)]
+    {
         // Rebuild the method obligations exactly as the driver would and
         // push them through the scheduler.
         let mut items = Vec::new();
@@ -149,7 +205,12 @@ fn failing_conditions_report_the_same_counterexample_in_parallel() {
                 method_ranges.push(start..items.len());
             }
         }
-        let run = queue::prove_all_scheduled(std::slice::from_ref(&prover), items, workers);
+        let run = queue::prove_all_scheduled_split(
+            std::slice::from_ref(&prover),
+            items,
+            workers,
+            split_threshold,
+        );
         for (m, range) in method_ranges.iter().enumerate() {
             let sequential = if m % 2 == 0 {
                 &oracle[m / 2].soundness
@@ -173,19 +234,81 @@ fn failing_conditions_report_the_same_counterexample_in_parallel() {
             assert_eq!(
                 observable(sequential),
                 observable(parallel),
-                "{workers} workers: method {m} verdict drifted"
+                "{workers} workers at threshold {split_threshold}: method {m} verdict drifted"
             );
         }
     }
 }
 
 /// A quick differential pass that also exercises the `limit` knob, so the
-/// scheduler is compared against the oracle on truncated catalogs too.
+/// scheduler is compared against the oracle on truncated catalogs too —
+/// including a *pathologically small* split threshold (1: every large
+/// search shatters into single-position range tasks, maximizing races on
+/// the shared minimum-position guard).
 #[test]
 fn limited_catalog_matches_oracle() {
     let oracle = verify_catalog(&options(1, Some(10)));
-    for workers in [2, 4] {
-        let parallel = verify_catalog(&options(workers, Some(10)));
+    for (workers, threshold) in [
+        (2, VerifyOptions::default().split_threshold),
+        (4, 1),
+        (8, 7),
+    ] {
+        let parallel = verify_catalog(&split_options(workers, Some(10), threshold));
         assert_identical_verdicts(&oracle, &parallel, workers);
+        assert_eq!(
+            parallel.models_checked(),
+            oracle.models_checked(),
+            "{workers}w/{threshold}: models_checked must reconcile on the truncated catalog"
+        );
+    }
+}
+
+/// Counter reconciliation on one monolithic obligation: the verdict a split
+/// run delivers carries the merged statistics of its subranges, and for a
+/// fully enumerated (valid) obligation `sum(subrange models_checked)` must
+/// equal the unsplit count no matter the threshold.
+#[test]
+fn split_obligation_stats_reconcile_with_unsplit_prove() {
+    use semcommute_logic::build::*;
+    use semcommute_prover::queue::{self, ScheduledObligation};
+    use semcommute_prover::{Obligation, Portfolio, Scope};
+
+    // Needs the finite-model search over a non-trivial space (the
+    // structural prover cannot decide membership-dependent equalities).
+    let ob = Obligation::new("reconcile")
+        .define("r1", member(var_elem("v1"), var_set("s")))
+        .define("s1", set_add(var_set("s"), var_elem("v2")))
+        .define("r2", member(var_elem("v1"), var_set("s1")))
+        .assume(not(eq(var_elem("v1"), var_elem("v2"))))
+        .goal(eq(var_bool("r1"), var_bool("r2")));
+    let unsplit = Portfolio::new(Scope::standard()).prove(&ob);
+    assert!(unsplit.is_valid());
+    assert!(unsplit.stats().models_checked > 0);
+
+    for (workers, threshold) in [(2, 16), (4, 1), (8, 3)] {
+        let portfolio = Portfolio::new(Scope::standard());
+        let items = vec![ScheduledObligation::new(ob.clone())];
+        let run = queue::prove_all_scheduled_split(
+            std::slice::from_ref(&portfolio),
+            items,
+            workers,
+            threshold,
+        );
+        let verdict = run.verdicts[0].as_ref().expect("delivered");
+        assert!(verdict.is_valid());
+        assert_eq!(
+            verdict.stats().models_checked,
+            unsplit.stats().models_checked,
+            "{workers}w/{threshold}"
+        );
+        assert_eq!(
+            verdict.stats().orbits_pruned,
+            unsplit.stats().orbits_pruned,
+            "{workers}w/{threshold}"
+        );
+        assert!(
+            run.report.splits > 0 && run.report.subranges > run.report.splits,
+            "{workers}w/{threshold}: the search must actually have split"
+        );
     }
 }

@@ -18,12 +18,15 @@ use semcommute::core::{inverse_catalog, report};
 use semcommute::prover::Portfolio;
 
 const USAGE: &str = "\
-usage: verify_catalog [LIMIT] [--seq-len N] [--threads N] [--orbit on|off]
+usage: verify_catalog [LIMIT] [--seq-len N] [--threads N]
+                      [--split-threshold N] [--orbit on|off]
 
-  LIMIT          verify only the first LIMIT conditions per interface
-  --seq-len N    ArrayList sequence scope (default 4)
-  --threads N    work-stealing scheduler width; 1 = sequential baseline
-  --orbit on|off orbit-canonical (default) vs. unreduced enumeration";
+  LIMIT               verify only the first LIMIT conditions per interface
+  --seq-len N         ArrayList sequence scope (default 4)
+  --threads N         work-stealing scheduler width; 1 = sequential baseline
+  --split-threshold N unreduced-space size above which one obligation's
+                      model search splits into stealable range tasks
+  --orbit on|off      orbit-canonical (default) vs. unreduced enumeration";
 
 /// Parses a required numeric option value; on a missing or non-numeric value
 /// prints what was wrong plus the usage text and exits with status 2 (instead
@@ -52,6 +55,9 @@ fn main() {
             }
             "--seq-len" => options.seq_len = numeric_option("--seq-len", args.next()),
             "--threads" => options.threads = numeric_option("--threads", args.next()),
+            "--split-threshold" => {
+                options.split_threshold = numeric_option("--split-threshold", args.next()) as u64
+            }
             "--orbit" => match args.next().as_deref() {
                 Some("on") => options.orbit = true,
                 Some("off") => options.orbit = false,
@@ -120,6 +126,13 @@ fn main() {
             "\nscheduler: {} obligations ({} unique), {} proved, {} dedup hits, \
              {} skipped, {} steals moving {} tasks",
             s.submitted, s.unique, s.proved, s.cache_hits, s.skipped, s.steals, s.stolen_tasks
+        );
+        println!(
+            "           {} splits into {} subranges; obligation wall max {:.3}s, p99 {:.3}s",
+            s.splits,
+            s.subranges,
+            s.max_obligation_wall.as_secs_f64(),
+            s.p99_obligation_wall.as_secs_f64()
         );
         for error in &s.errors {
             println!("  non-fatal error: {error}");
