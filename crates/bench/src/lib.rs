@@ -29,11 +29,22 @@ pub fn parse_orbit(value: &str) -> Option<bool> {
     }
 }
 
+/// Parses an `--evaluator` flag value: `bytecode` selects the batched
+/// register-bytecode backend, `tree` the tree-walk reference evaluator.
+pub fn parse_evaluator(value: &str) -> Option<bool> {
+    match value {
+        "bytecode" => Some(true),
+        "tree" => Some(false),
+        _ => None,
+    }
+}
+
 /// Parses the common command-line options of the table binaries: an optional
 /// per-interface condition limit, `--seq-len N`, `--threads N`,
 /// `--split-threshold N` (unreduced-space size above which a model search is
-/// split into stealable range tasks), and `--orbit {on,off}`
-/// (orbit-canonical vs. unreduced enumeration).
+/// split into stealable range tasks), `--orbit {on,off}` (orbit-canonical
+/// vs. unreduced enumeration), and `--evaluator {tree,bytecode}` (tree-walk
+/// reference evaluator vs. the batched bytecode backend).
 pub fn parse_options() -> VerifyOptions {
     let mut options = VerifyOptions::default();
     let mut args = std::env::args().skip(1);
@@ -63,6 +74,13 @@ pub fn parse_options() -> VerifyOptions {
                     .as_deref()
                     .and_then(parse_orbit)
                     .expect("--orbit needs `on` or `off`");
+            }
+            "--evaluator" => {
+                options.bytecode = args
+                    .next()
+                    .as_deref()
+                    .and_then(parse_evaluator)
+                    .expect("--evaluator needs `tree` or `bytecode`");
             }
             other => options.limit = Some(other.parse().expect("numeric limit expected")),
         }
@@ -111,14 +129,15 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
     let reports = &catalog.interfaces;
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"options\": {{\"threads\": {}, \"split_threshold\": {}, \"seq_len\": {}, \"limit\": {}, \"orbit\": {}}},\n",
+        "  \"options\": {{\"threads\": {}, \"split_threshold\": {}, \"seq_len\": {}, \"limit\": {}, \"orbit\": {}, \"evaluator\": \"{}\"}},\n",
         options.threads,
         options.split_threshold,
         options.seq_len,
         options
             .limit
             .map_or("null".to_string(), |l| l.to_string()),
-        options.orbit
+        options.orbit,
+        if options.bytecode { "bytecode" } else { "tree" }
     ));
     out.push_str("  \"interfaces\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -168,9 +187,11 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
     }
     let total_wall = catalog.elapsed.as_secs_f64();
     let total_methods: usize = reports.iter().map(|r| r.method_count()).sum();
+    let models = catalog.models_checked();
     out.push_str(&format!(
         "  \"total\": {{\"methods\": {}, \"wall_s\": {:.6}, \"obligations_per_sec\": {:.2}, \
-         \"models_checked\": {}, \"orbits_pruned\": {}}}\n",
+         \"models_checked\": {}, \"orbits_pruned\": {}, \"batches\": {}, \
+         \"batch_fallbacks\": {}, \"instrs_per_candidate\": {:.2}}}\n",
         total_methods,
         total_wall,
         if total_wall > 0.0 {
@@ -178,8 +199,15 @@ pub fn perf_report_json(catalog: &CatalogReport, options: &VerifyOptions) -> Str
         } else {
             0.0
         },
-        catalog.models_checked(),
-        catalog.orbits_pruned()
+        models,
+        catalog.orbits_pruned(),
+        catalog.batches(),
+        catalog.batch_fallbacks(),
+        if models > 0 {
+            catalog.instrs_executed() as f64 / models as f64
+        } else {
+            0.0
+        }
     ));
     out.push('}');
     out
@@ -238,6 +266,10 @@ mod tests {
             "\"p99_obligation_wall_s\"",
             "\"total\"",
             "\"wall_s\"",
+            "\"evaluator\"",
+            "\"batches\"",
+            "\"batch_fallbacks\"",
+            "\"instrs_per_candidate\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -36,6 +36,7 @@ pub fn scope_for(interface: InterfaceId, seq_len: usize) -> Scope {
             int_max: 4,
             max_models: 50_000_000,
             orbit: semcommute_prover::scope::default_orbit(),
+            bytecode: semcommute_prover::scope::default_bytecode(),
         },
     }
 }
@@ -64,6 +65,12 @@ pub struct VerifyOptions {
     /// oracle enumerator the differential soundness harness compares
     /// against). See [`semcommute_prover::orbit`].
     pub orbit: bool,
+    /// Whether the finite-model search evaluates candidates with the batched
+    /// flat-register bytecode backend (`true`, the default) or the tree-walk
+    /// oracle evaluator (`false`). The two backends report bit-identical
+    /// verdicts, counter-models, and counters — see
+    /// [`semcommute_prover::bytecode`].
+    pub bytecode: bool,
 }
 
 impl Default for VerifyOptions {
@@ -74,6 +81,7 @@ impl Default for VerifyOptions {
             limit: None,
             split_threshold: queue::default_split_threshold(),
             orbit: semcommute_prover::scope::default_orbit(),
+            bytecode: semcommute_prover::scope::default_bytecode(),
         }
     }
 }
@@ -88,6 +96,7 @@ impl VerifyOptions {
             limit: Some(limit),
             split_threshold: queue::default_split_threshold(),
             orbit: semcommute_prover::scope::default_orbit(),
+            bytecode: semcommute_prover::scope::default_bytecode(),
         }
     }
 }
@@ -179,6 +188,32 @@ impl InterfaceReport {
         self.reports
             .iter()
             .map(|r| r.soundness.stats().orbits_pruned + r.completeness.stats().orbits_pruned)
+            .sum()
+    }
+
+    /// Total candidate blocks the batched bytecode evaluator executed across
+    /// the run (zero under the tree-walk evaluator).
+    pub fn batches(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.soundness.stats().batches + r.completeness.stats().batches)
+            .sum()
+    }
+
+    /// Total candidate lanes the batched evaluator re-ran through the
+    /// per-candidate scalar fallback across the run.
+    pub fn batch_fallbacks(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.soundness.stats().batch_fallbacks + r.completeness.stats().batch_fallbacks)
+            .sum()
+    }
+
+    /// Total bytecode instructions executed across active lanes over the run.
+    pub fn instrs_executed(&self) -> u64 {
+        self.reports
+            .iter()
+            .map(|r| r.soundness.stats().instrs_executed + r.completeness.stats().instrs_executed)
             .sum()
     }
 
@@ -388,7 +423,9 @@ pub fn verify_interface(interface: InterfaceId, options: &VerifyOptions) -> Inte
     if let Some(limit) = options.limit {
         catalog.truncate(limit);
     }
-    let scope = scope_for(interface, options.seq_len).with_orbit(options.orbit);
+    let scope = scope_for(interface, options.seq_len)
+        .with_orbit(options.orbit)
+        .with_bytecode(options.bytecode);
     let prover = Portfolio::new(scope);
     let threads = options.threads.max(1);
     // Even a single-condition catalog goes through the scheduler at
@@ -442,6 +479,23 @@ impl CatalogReport {
     pub fn orbits_pruned(&self) -> u64 {
         self.interfaces.iter().map(|r| r.orbits_pruned()).sum()
     }
+
+    /// Total candidate blocks the batched bytecode evaluator executed (zero
+    /// under the tree-walk evaluator).
+    pub fn batches(&self) -> u64 {
+        self.interfaces.iter().map(|r| r.batches()).sum()
+    }
+
+    /// Total candidate lanes the batched evaluator re-ran through the
+    /// per-candidate scalar fallback.
+    pub fn batch_fallbacks(&self) -> u64 {
+        self.interfaces.iter().map(|r| r.batch_fallbacks()).sum()
+    }
+
+    /// Total bytecode instructions executed across active lanes.
+    pub fn instrs_executed(&self) -> u64 {
+        self.interfaces.iter().map(|r| r.instrs_executed()).sum()
+    }
 }
 
 /// Verifies every interface (with the same options), reported in the paper's
@@ -489,9 +543,12 @@ pub fn verify_catalog(options: &VerifyOptions) -> CatalogReport {
         if let Some(limit) = options.limit {
             catalog.truncate(limit);
         }
-        let portfolio =
-            Portfolio::new(scope_for(interface, options.seq_len).with_orbit(options.orbit))
-                .with_shared_cache(&cache);
+        let portfolio = Portfolio::new(
+            scope_for(interface, options.seq_len)
+                .with_orbit(options.orbit)
+                .with_bytecode(options.bytecode),
+        )
+        .with_shared_cache(&cache);
         portfolios.push(portfolio);
         plans.push((
             interface,

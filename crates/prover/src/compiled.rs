@@ -28,8 +28,11 @@ use semcommute_logic::{Model, PMap, PSeq, PSet, Term, Value, NULL_ELEM};
 use crate::obligation::Obligation;
 
 /// A term with every variable occurrence resolved to a slot index.
+///
+/// `pub(crate)` so the bytecode backend (`crate::bytecode`) can lower the
+/// compiled form to its flat register program.
 #[derive(Debug, Clone)]
-enum CTerm {
+pub(crate) enum CTerm {
     Slot(u32),
     BoolLit(bool),
     IntLit(i64),
@@ -87,7 +90,7 @@ enum CTerm {
 /// define computations for hypothesis-violating candidates is a measurable
 /// share of the whole catalog's wall-clock.
 #[derive(Debug, Clone)]
-enum Step {
+pub(crate) enum Step {
     Define(u32, CTerm),
     Check(CTerm),
 }
@@ -97,18 +100,18 @@ enum Step {
 pub struct CompiledObligation {
     /// Slots `0..input_count` hold the input variables, in the order given to
     /// [`CompiledObligation::compile`] (the enumeration order of the space).
-    input_count: usize,
+    pub(crate) input_count: usize,
     /// Defines and hypothesis checks, interleaved: definition order is
     /// preserved, hypothesis order is preserved, and each hypothesis sits
     /// immediately after the last define it depends on.
-    steps: Vec<Step>,
-    goal: CTerm,
+    pub(crate) steps: Vec<Step>,
+    pub(crate) goal: CTerm,
     /// Slot index → variable name, for reconstructing counter-models.
     /// Quantifier-bound slots have synthetic names and are excluded from
     /// reconstruction.
-    slot_names: Vec<String>,
+    pub(crate) slot_names: Vec<String>,
     /// Number of named slots (inputs + defines); the rest are binder slots.
-    named_slots: usize,
+    pub(crate) named_slots: usize,
 }
 
 /// Evaluation environment: one value per slot, reused across candidates.

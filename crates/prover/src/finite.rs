@@ -7,10 +7,11 @@ use std::time::{Duration, Instant};
 
 use semcommute_logic::{Model, Value};
 
+use crate::bytecode::{BlockEvent, Program, LANES};
 use crate::compiled::CompiledObligation;
 use crate::obligation::Obligation;
 use crate::scope::Scope;
-use crate::space::InputSpace;
+use crate::space::{BlockBuf, InputSpace};
 use crate::stats::ProofStats;
 use crate::verdict::Verdict;
 
@@ -81,9 +82,17 @@ impl FiniteModelProver {
         // compiled form holds no arena ids, so one search can be scanned
         // from many worker threads.
         let compiled = CompiledObligation::compile(ob, &space.var_order());
+        // With the bytecode backend enabled the obligation is additionally
+        // lowered to its flat register program, once per search; the scans
+        // below then run candidates in batched 256-lane blocks instead of
+        // tree-walking `eval_c` per candidate. The tree-walk form is kept
+        // regardless: `replay` and the differential harnesses use it as the
+        // bit-reproducible oracle.
+        let program = self.scope.bytecode.then(|| Program::lower(&compiled));
         Ok(ModelSearch {
             compiled,
             space,
+            program,
             // `estimate <= max_models` (a u64) was just checked.
             total: estimate as u64,
             started,
@@ -146,6 +155,9 @@ impl FiniteModelProver {
 pub struct ModelSearch {
     compiled: CompiledObligation,
     space: InputSpace,
+    /// The lowered register program, present iff the scope selects the
+    /// bytecode backend ([`crate::scope::Scope::bytecode`]).
+    program: Option<Program>,
     total: u64,
     started: Instant,
 }
@@ -161,6 +173,9 @@ impl ModelSearch {
     /// the verdict. Equivalent to `run_range(0, total)` + finalize, but with
     /// no shared state or atomics — the reproducible oracle path.
     pub fn run(self) -> Verdict {
+        if let Some(program) = self.program.as_ref() {
+            return self.run_blocks(program);
+        }
         let mut env = self.compiled.env();
         let mut buf = Vec::with_capacity(self.compiled.input_count());
         let mut it = self.space.iter();
@@ -191,6 +206,68 @@ impl ModelSearch {
         }
     }
 
+    /// The whole-search scan under the bytecode backend: candidates are
+    /// materialized in blocks of up to [`LANES`] and executed column-wise.
+    /// [`crate::bytecode::Program::run_block`] reports the minimum-lane
+    /// deciding event of each block, which is exactly the candidate the
+    /// per-candidate scan above stops at, so verdict, counter-model,
+    /// `Unknown` reason, `models_checked`, and `orbits_pruned` all match
+    /// the tree-walk oracle bit for bit.
+    fn run_blocks(&self, program: &Program) -> Verdict {
+        let mut it = self.space.iter();
+        let mut block = BlockBuf::new();
+        let mut exec = program.block_exec();
+        let mut checked: u64 = 0;
+        loop {
+            let lanes = it.next_block(LANES, &mut block);
+            if lanes == 0 {
+                break;
+            }
+            match program.run_block(&block, &mut exec) {
+                None => checked += lanes as u64,
+                Some(BlockEvent::Counterexample(lane)) => {
+                    return Verdict::CounterModel {
+                        model: program.reconstruct_lane(&exec, lane),
+                        stats: ProofStats::finite(
+                            checked + lane as u64 + 1,
+                            self.started.elapsed(),
+                        )
+                        .with_orbits_pruned(block.pruned_after(lane))
+                        .with_batch_counters(
+                            exec.batches(),
+                            exec.fallback_lanes(),
+                            exec.instrs_executed(),
+                        ),
+                    }
+                }
+                Some(BlockEvent::Error(lane, reason)) => {
+                    return Verdict::Unknown {
+                        reason,
+                        stats: ProofStats::finite(
+                            checked + lane as u64 + 1,
+                            self.started.elapsed(),
+                        )
+                        .with_orbits_pruned(block.pruned_after(lane))
+                        .with_batch_counters(
+                            exec.batches(),
+                            exec.fallback_lanes(),
+                            exec.instrs_executed(),
+                        ),
+                    }
+                }
+            }
+        }
+        Verdict::Valid {
+            stats: ProofStats::finite(checked, self.started.elapsed())
+                .with_orbits_pruned(it.orbits_pruned())
+                .with_batch_counters(
+                    exec.batches(),
+                    exec.fallback_lanes(),
+                    exec.instrs_executed(),
+                ),
+        }
+    }
+
     /// Scans the candidates whose unreduced position lies in `[lo, hi)`,
     /// recording what it finds into `shared`. Safe to call from many threads
     /// over disjoint ranges of one search.
@@ -206,6 +283,9 @@ impl ModelSearch {
     pub fn run_range(&self, lo: u64, hi: u64, shared: &SearchShared) {
         if shared.deciding.load(Ordering::Relaxed) < lo {
             return;
+        }
+        if let Some(program) = self.program.as_ref() {
+            return self.run_range_blocks(program, lo, hi, shared);
         }
         let mut it = self.space.range_iter(lo, hi);
         let mut env = self.compiled.env();
@@ -238,6 +318,65 @@ impl ModelSearch {
             .fetch_add(it.orbits_pruned(), Ordering::Relaxed);
     }
 
+    /// The range scan under the bytecode backend. The deciding-event guard
+    /// is polled once per block rather than once per candidate; that is
+    /// count-identical to the per-candidate guard under any sequential
+    /// execution order, because ranges are disjoint: a range either contains
+    /// its own minimum-position event (both scans stop exactly there), lies
+    /// entirely below the recorded minimum (both scan it fully), or starts
+    /// above it (both skip it). At more than one thread the counters are
+    /// racy in exactly the way the tree-walk scan's already are; the
+    /// verdict, counter-model, and `Unknown` reason remain bit-identical
+    /// because only the minimum-position event decides.
+    fn run_range_blocks(&self, program: &Program, lo: u64, hi: u64, shared: &SearchShared) {
+        let mut it = self.space.range_iter(lo, hi);
+        let mut block = BlockBuf::new();
+        let mut exec = program.block_exec();
+        let mut checked: u64 = 0;
+        // `Some` when a deciding event in this range fixed the pruned
+        // counter at the event's lane; otherwise the iterator's total.
+        let mut pruned_at_event: Option<u64> = None;
+        loop {
+            if shared.deciding.load(Ordering::Relaxed) < it.position() {
+                break;
+            }
+            let lanes = it.next_block(LANES, &mut block);
+            if lanes == 0 {
+                break;
+            }
+            match program.run_block(&block, &mut exec) {
+                None => checked += lanes as u64,
+                Some(BlockEvent::Counterexample(lane)) => {
+                    checked += lane as u64 + 1;
+                    shared.record_counterexample(
+                        block.position(lane),
+                        program.reconstruct_lane(&exec, lane),
+                    );
+                    pruned_at_event = Some(block.pruned_after(lane));
+                    break;
+                }
+                Some(BlockEvent::Error(lane, reason)) => {
+                    checked += lane as u64 + 1;
+                    shared.record_error(block.position(lane), reason);
+                    pruned_at_event = Some(block.pruned_after(lane));
+                    break;
+                }
+            }
+        }
+        shared.checked.fetch_add(checked, Ordering::Relaxed);
+        shared.pruned.fetch_add(
+            pruned_at_event.unwrap_or_else(|| it.orbits_pruned()),
+            Ordering::Relaxed,
+        );
+        shared.batches.fetch_add(exec.batches(), Ordering::Relaxed);
+        shared
+            .batch_fallbacks
+            .fetch_add(exec.fallback_lanes(), Ordering::Relaxed);
+        shared
+            .instrs_executed
+            .fetch_add(exec.instrs_executed(), Ordering::Relaxed);
+    }
+
     /// Assembles the verdict after every subrange of the search completed,
     /// merging the accumulated `ProofStats` (summed `models_checked` and
     /// `orbits_pruned`, wall-clock from [`FiniteModelProver::begin`] to
@@ -263,6 +402,14 @@ pub struct SearchShared {
     /// Candidates pruned as non-canonical, summed over subranges (each
     /// range counts exactly the pruned positions inside itself).
     pruned: AtomicU64,
+    /// Bytecode blocks executed, summed over subranges (zero under the
+    /// tree-walk backend).
+    batches: AtomicU64,
+    /// Lanes re-run through the scalar fallback, summed over subranges.
+    batch_fallbacks: AtomicU64,
+    /// Bytecode instructions executed across active lanes, summed over
+    /// subranges.
+    instrs_executed: AtomicU64,
     findings: Mutex<SearchFindings>,
 }
 
@@ -287,6 +434,9 @@ impl SearchShared {
             deciding: AtomicU64::new(u64::MAX),
             checked: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_fallbacks: AtomicU64::new(0),
+            instrs_executed: AtomicU64::new(0),
             findings: Mutex::new(SearchFindings::default()),
         }
     }
@@ -335,6 +485,9 @@ impl SearchShared {
         SearchOutcome {
             checked: self.checked.load(Ordering::SeqCst),
             pruned: self.pruned.load(Ordering::SeqCst),
+            batches: self.batches.load(Ordering::SeqCst),
+            batch_fallbacks: self.batch_fallbacks.load(Ordering::SeqCst),
+            instrs_executed: self.instrs_executed.load(Ordering::SeqCst),
             counterexample: findings.counterexample,
             errors: findings.errors,
         }
@@ -348,6 +501,14 @@ pub struct SearchOutcome {
     pub checked: u64,
     /// Candidates pruned as non-canonical, summed over subranges.
     pub pruned: u64,
+    /// Bytecode blocks executed, summed over subranges (zero under the
+    /// tree-walk backend).
+    pub batches: u64,
+    /// Lanes re-run through the scalar fallback, summed over subranges.
+    pub batch_fallbacks: u64,
+    /// Bytecode instructions executed across active lanes, summed over
+    /// subranges.
+    pub instrs_executed: u64,
     /// The minimum-position counter-model, if any was found.
     pub counterexample: Option<(u64, Model)>,
     /// Every evaluation error observed, sorted by position.
@@ -363,7 +524,13 @@ pub struct SearchOutcome {
 /// verdict; errors among them are surfaced through [`ProofStats::errors`] so
 /// a verdict that raced past failures still reports them.
 pub fn assemble_verdict(outcome: SearchOutcome, elapsed: Duration) -> Verdict {
-    let stats = ProofStats::finite(outcome.checked, elapsed).with_orbits_pruned(outcome.pruned);
+    let stats = ProofStats::finite(outcome.checked, elapsed)
+        .with_orbits_pruned(outcome.pruned)
+        .with_batch_counters(
+            outcome.batches,
+            outcome.batch_fallbacks,
+            outcome.instrs_executed,
+        );
     let error_decides = match (&outcome.counterexample, outcome.errors.first()) {
         (Some((cx, _)), Some((err, _))) => err < cx,
         (None, Some(_)) => true,
@@ -591,8 +758,11 @@ mod tests {
             max_models: 5_000_000,
             // The position reasoning below depends on the exact enumeration
             // order; a one-element padding block makes the orbit reduction a
-            // no-op anyway, so pin it off.
+            // no-op anyway, so pin it off. The backend is irrelevant to the
+            // positions, but pin the tree walk so the test stays a pure
+            // oracle-path exercise.
             orbit: false,
+            bytecode: false,
         };
         let quantifier = exists_int(
             "i",
@@ -715,6 +885,88 @@ mod tests {
         let full = verdict.counter_model().expect("counterexample expected");
         let inputs = on.project_inputs(&ob, full);
         assert!(off.replay(&ob, &inputs).is_some());
+    }
+
+    fn kind(v: &Verdict) -> &'static str {
+        match v {
+            Verdict::Valid { .. } => "valid",
+            Verdict::CounterModel { .. } => "counter-model",
+            Verdict::Unknown { .. } => "unknown",
+        }
+    }
+
+    /// The bytecode backend reports bit-identical verdicts, counter-models,
+    /// `Unknown` reasons, and work counters to the tree-walk oracle — whole
+    /// or range-split, with the orbit reduction on or off — and its batch
+    /// counters reconcile with the block size.
+    #[test]
+    fn bytecode_backend_matches_the_tree_walk() {
+        let valid = Obligation::new("bc_valid")
+            .define("r1", member(var_elem("v1"), var_set("s")))
+            .define("s1", set_add(var_set("s"), var_elem("v2")))
+            .define("r2", member(var_elem("v1"), var_set("s1")))
+            .assume(not(eq(var_elem("v1"), var_elem("v2"))))
+            .goal(eq(var_bool("r1"), var_bool("r2")));
+        let bogus = Obligation::new("bc_bogus")
+            .define("r", member(var_elem("v"), var_set("s")))
+            .goal(var_bool("r"));
+        let illsorted = Obligation::new("bc_illsorted")
+            .assume(lt(var_int("a"), int(1)))
+            .goal(eq(card(var_elem("v")), int(0)));
+        for ob in [&valid, &bogus, &illsorted] {
+            for orbit in [true, false] {
+                let scope = Scope::standard().with_orbit(orbit);
+                let tree = FiniteModelProver::new(scope.clone().with_bytecode(false)).prove(ob);
+                let bc = FiniteModelProver::new(scope.clone().with_bytecode(true)).prove(ob);
+                assert_eq!(kind(&tree), kind(&bc), "{}", ob.name);
+                assert_eq!(tree.counter_model(), bc.counter_model(), "{}", ob.name);
+                if let (Verdict::Unknown { reason: a, .. }, Verdict::Unknown { reason: b, .. }) =
+                    (&tree, &bc)
+                {
+                    assert_eq!(a, b)
+                }
+                assert_eq!(tree.stats().models_checked, bc.stats().models_checked);
+                assert_eq!(tree.stats().orbits_pruned, bc.stats().orbits_pruned);
+                assert_eq!(tree.stats().batches, 0);
+                assert!(bc.stats().batches > 0, "{}", ob.name);
+                assert!(bc.stats().batches <= bc.stats().models_checked / 256 + 1);
+                assert!(bc.stats().instrs_executed > 0);
+
+                // The same agreement holds for a split execution driven in
+                // descending range order: the verdict matches the sequential
+                // oracle, and the work counters match a tree-walk split with
+                // the identical part structure and completion order (counts
+                // legitimately exceed the sequential scan's when ranges run
+                // before the deciding event is recorded).
+                let order = [6, 5, 4, 3, 2, 1, 0];
+                let split_bc = run_split(ob, scope.clone().with_bytecode(true), 7, &order);
+                let split_tree = run_split(ob, scope.clone().with_bytecode(false), 7, &order);
+                assert_eq!(kind(&tree), kind(&split_bc), "{}", ob.name);
+                assert_eq!(
+                    tree.counter_model(),
+                    split_bc.counter_model(),
+                    "{}",
+                    ob.name
+                );
+                if let (Verdict::Unknown { reason: a, .. }, Verdict::Unknown { reason: b, .. }) =
+                    (&tree, &split_bc)
+                {
+                    assert_eq!(a, b)
+                }
+                assert_eq!(
+                    split_bc.stats().models_checked,
+                    split_tree.stats().models_checked,
+                    "{}",
+                    ob.name
+                );
+                assert_eq!(
+                    split_bc.stats().orbits_pruned,
+                    split_tree.stats().orbits_pruned,
+                    "{}",
+                    ob.name
+                );
+            }
+        }
     }
 
     #[test]

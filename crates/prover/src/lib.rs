@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod compiled;
 pub mod finite;
 pub mod hints;
@@ -60,6 +61,7 @@ pub mod stats;
 pub mod structural;
 pub mod verdict;
 
+pub use bytecode::Program;
 pub use finite::{FiniteModelProver, ModelSearch, SearchOutcome, SearchShared};
 pub use hints::{apply_hints, Hint};
 pub use obligation::Obligation;

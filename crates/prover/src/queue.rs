@@ -27,7 +27,11 @@
 //! * workers publish verdicts through the portfolio's sharded
 //!   [`VerdictCache`](crate::portfolio::VerdictCache), keyed by the same
 //!   canonical hash, so duplicate work
-//!   is impossible even across scheduler runs sharing a cache;
+//!   is impossible even across scheduler runs sharing a cache — and because
+//!   the evaluator backend is part of that hash (via
+//!   [`Scope::fingerprint`](crate::Scope::fingerprint)), a cache shared
+//!   between a bytecode and a tree-walk run never crosses verdicts between
+//!   the two backends;
 //! * an optional [`ExitGuard`] per obligation group (the driver uses one per
 //!   testing method) reproduces the sequential early-exit semantics: once
 //!   the obligation at index `i` of a group fails, obligations of the same
@@ -551,7 +555,7 @@ pub fn prove_all_scheduled_split(
                             guard: item.guard.clone(),
                             shared: SearchShared::new(),
                             outstanding: AtomicU64::new(1),
-                            search,
+                            search: *search,
                         }))
                     } else {
                         let verdict = search.run();

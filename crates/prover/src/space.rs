@@ -444,6 +444,39 @@ impl<'a> SpaceIter<'a> {
         true
     }
 
+    /// Materializes up to `max` candidates into `out` (clearing it first) and
+    /// returns how many were emitted — the block-mode counterpart of
+    /// [`SpaceIter::next_values`], used by the bytecode backend's batched
+    /// driver.
+    ///
+    /// Lane `k` of the block is exactly the `k`-th candidate
+    /// [`SpaceIter::next_values`] would have emitted, with its unreduced
+    /// position recorded in [`BlockBuf::position`] and the cumulative
+    /// [`SpaceIter::orbits_pruned`] snapshot *after* its advance (including
+    /// any prune-ahead past it) in [`BlockBuf::pruned_after`] — the two
+    /// numbers a driver that stops at lane `k`'s deciding event needs to
+    /// report counters identical to the sequential scan.
+    pub fn next_block(&mut self, max: usize, out: &mut BlockBuf) -> usize {
+        out.values.clear();
+        out.positions.clear();
+        out.pruned_after.clear();
+        out.width = self.space.elem_vars.len() + self.space.other_vars.len();
+        let mut lanes = 0;
+        while lanes < max && !self.exhausted() {
+            out.positions.push(self.upos);
+            for v in &self.elem_assignments[self.elem_index] {
+                out.values.push(Value::Elem(*v));
+            }
+            for (cands, &pos) in self.candidates.iter().zip(&self.positions) {
+                out.values.push(cands[pos].clone());
+            }
+            self.advance();
+            out.pruned_after.push(self.orbits_pruned);
+            lanes += 1;
+        }
+        lanes
+    }
+
     fn load_current(&mut self) {
         if self.elem_index >= self.elem_assignments.len() {
             return;
@@ -558,6 +591,60 @@ impl<'a> SpaceIter<'a> {
             self.upos = self.upos.saturating_add(skip);
             self.bump(j);
         }
+    }
+}
+
+/// A reusable block of materialized candidates, filled by
+/// [`SpaceIter::next_block`]: lane-major slot values plus each lane's
+/// unreduced position and post-advance pruned-count snapshot.
+#[derive(Debug, Default)]
+pub struct BlockBuf {
+    /// Lane-major values: lane `k`'s slot vector occupies
+    /// `values[k * width .. (k + 1) * width]`, in [`InputSpace::var_order`]
+    /// order.
+    values: Vec<Value>,
+    /// Unreduced position of each lane's candidate.
+    positions: Vec<u64>,
+    /// Cumulative [`SpaceIter::orbits_pruned`] snapshot taken right after
+    /// each lane's candidate was advanced past — the orbit-pruned count a
+    /// sequential scan stopping at that candidate would report (prune-ahead
+    /// beyond the candidate included, exactly as the sequential iterator
+    /// counts it).
+    pruned_after: Vec<u64>,
+    /// Number of input variables per lane.
+    width: usize,
+}
+
+impl BlockBuf {
+    /// Creates an empty block buffer (fill it with
+    /// [`SpaceIter::next_block`]).
+    pub fn new() -> BlockBuf {
+        BlockBuf::default()
+    }
+
+    /// Number of materialized lanes.
+    pub fn lanes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of input variables per lane.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The value of input variable `var` at lane `lane`.
+    pub fn value(&self, lane: usize, var: usize) -> &Value {
+        &self.values[lane * self.width + var]
+    }
+
+    /// The unreduced position of lane `lane`'s candidate.
+    pub fn position(&self, lane: usize) -> u64 {
+        self.positions[lane]
+    }
+
+    /// The cumulative orbit-pruned count right after lane `lane`'s candidate.
+    pub fn pruned_after(&self, lane: usize) -> u64 {
+        self.pruned_after[lane]
     }
 }
 
@@ -791,6 +878,52 @@ mod tests {
                     full_pruned,
                     "orbit {orbit}, cut {cut}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn next_block_matches_next_values_at_any_block_size() {
+        let scope = Scope {
+            elem_padding: 2,
+            max_collection_entries: 2,
+            max_seq_len: 2,
+            ..Scope::small()
+        };
+        for orbit in [false, true] {
+            let vars = vars(&[("v", Sort::Elem), ("q", Sort::Seq), ("s", Sort::Set)]);
+            let space = InputSpace::new(&vars, scope.clone().with_orbit(orbit));
+            // Sequential reference: one candidate at a time, with the
+            // position before and the pruned snapshot after each emission.
+            let mut seq = space.iter();
+            let mut expected: Vec<(u64, Vec<Value>, u64)> = Vec::new();
+            let mut buf = Vec::new();
+            loop {
+                let upos = seq.position();
+                if !seq.next_values(&mut buf) {
+                    break;
+                }
+                expected.push((upos, buf.clone(), seq.orbits_pruned()));
+            }
+            for block_size in [1, 3, 7, 256] {
+                let mut it = space.iter();
+                let mut block = BlockBuf::new();
+                let mut got: Vec<(u64, Vec<Value>, u64)> = Vec::new();
+                loop {
+                    let lanes = it.next_block(block_size, &mut block);
+                    if lanes == 0 {
+                        break;
+                    }
+                    assert!(lanes <= block_size);
+                    for lane in 0..lanes {
+                        let values = (0..block.width())
+                            .map(|v| block.value(lane, v).clone())
+                            .collect();
+                        got.push((block.position(lane), values, block.pruned_after(lane)));
+                    }
+                }
+                assert_eq!(got, expected, "orbit {orbit}, block size {block_size}");
+                assert_eq!(it.orbits_pruned(), seq.orbits_pruned());
             }
         }
     }

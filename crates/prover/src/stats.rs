@@ -50,6 +50,18 @@ pub struct ProofStats {
     /// Number of obligations answered from the portfolio's dedup cache
     /// (a previously proved obligation with the same canonical form).
     pub cache_hits: u64,
+    /// Number of candidate blocks executed by the batched bytecode evaluator
+    /// (zero under the tree-walk evaluator). Each block evaluates up to 256
+    /// candidate models column-wise.
+    pub batches: u64,
+    /// Number of candidate lanes the batched evaluator re-ran through the
+    /// per-candidate scalar path (collection-valued registers, mixed-sort
+    /// columns, or error recovery). Always at most `256 * batches`.
+    pub batch_fallbacks: u64,
+    /// Total bytecode instructions executed across all active lanes, summed
+    /// over blocks. Divided by `models_checked` this gives the effective
+    /// instructions-per-candidate figure reported by the perf harness.
+    pub instrs_executed: u64,
     /// Evaluation errors encountered along the way that did *not* decide the
     /// verdict. A range-split model search stops at the deciding event with
     /// the minimum enumeration position, but subranges racing to the right
@@ -70,6 +82,9 @@ impl ProofStats {
             elapsed,
             prover: ProverChoice::Structural,
             cache_hits: 0,
+            batches: 0,
+            batch_fallbacks: 0,
+            instrs_executed: 0,
             errors: Vec::new(),
         }
     }
@@ -82,6 +97,9 @@ impl ProofStats {
             elapsed,
             prover: ProverChoice::FiniteModel,
             cache_hits: 0,
+            batches: 0,
+            batch_fallbacks: 0,
+            instrs_executed: 0,
             errors: Vec::new(),
         }
     }
@@ -94,6 +112,9 @@ impl ProofStats {
             elapsed: Duration::ZERO,
             prover: ProverChoice::None,
             cache_hits: 0,
+            batches: 0,
+            batch_fallbacks: 0,
+            instrs_executed: 0,
             errors: Vec::new(),
         }
     }
@@ -110,6 +131,19 @@ impl ProofStats {
         self
     }
 
+    /// Returns a copy with the given batched-bytecode execution counters.
+    pub fn with_batch_counters(
+        mut self,
+        batches: u64,
+        batch_fallbacks: u64,
+        instrs_executed: u64,
+    ) -> ProofStats {
+        self.batches = batches;
+        self.batch_fallbacks = batch_fallbacks;
+        self.instrs_executed = instrs_executed;
+        self
+    }
+
     /// Merges another set of statistics into this one (summing counters and
     /// times, concatenating errors, keeping the "stronger" prover label).
     pub fn merge(&mut self, other: &ProofStats) {
@@ -117,6 +151,9 @@ impl ProofStats {
         self.orbits_pruned += other.orbits_pruned;
         self.elapsed += other.elapsed;
         self.cache_hits += other.cache_hits;
+        self.batches += other.batches;
+        self.batch_fallbacks += other.batch_fallbacks;
+        self.instrs_executed += other.instrs_executed;
         self.errors.extend(other.errors.iter().cloned());
         if other.prover > self.prover {
             self.prover = other.prover;
@@ -175,6 +212,12 @@ mod tests {
         assert_eq!(a.prover, ProverChoice::FiniteModel);
         a.merge(&ProofStats::finite(1, Duration::ZERO).with_orbits_pruned(3));
         assert_eq!(a.orbits_pruned, 10);
+        a.merge(&ProofStats::finite(0, Duration::ZERO).with_batch_counters(2, 5, 900));
+        a.merge(&ProofStats::finite(0, Duration::ZERO).with_batch_counters(1, 0, 100));
+        assert_eq!(
+            (a.batches, a.batch_fallbacks, a.instrs_executed),
+            (3, 5, 1000)
+        );
     }
 
     #[test]

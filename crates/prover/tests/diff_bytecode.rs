@@ -1,0 +1,201 @@
+//! Differential soundness harness: the batched bytecode evaluator against
+//! the tree-walk oracle.
+//!
+//! The bytecode backend re-implements the whole candidate-evaluation pipeline
+//! — lowering, constant pooling, short-circuit regions, 256-lane batched
+//! execution with scalar fallback — so its claim to *bit-identical* semantics
+//! is exactly the kind that must be pinned exhaustively. This harness runs
+//! the **full catalog** (every condition of all four interfaces) under both
+//! evaluators, at one and at four scheduler workers, with the orbit reduction
+//! on and off, and compares verdict by verdict: kinds, counter-models, and
+//! `Unknown` reasons must be equal, and the work counters must reconcile
+//! exactly (the two backends enumerate the same candidates in the same
+//! order). A second test sabotages conditions so the *refuted* path is
+//! exercised too — the bytecode search must report byte-for-byte the same
+//! minimum-position counterexample as the tree walk, and that model must
+//! replay under the tree-walk oracle prover.
+//!
+//! The ArrayList sequence scope is 3 here (as in the orbit and parallel
+//! differential harnesses) so that eight full-catalog runs stay fast in
+//! debug builds; the scope is a verification parameter, not a truncation of
+//! the catalog.
+
+use semcommute_core::verify::{verify_catalog, CatalogReport, VerifyOptions};
+use semcommute_prover::{FiniteModelProver, Portfolio, Scope, Verdict};
+
+fn options(threads: usize, orbit: bool, bytecode: bool) -> VerifyOptions {
+    VerifyOptions {
+        threads,
+        seq_len: 3,
+        limit: None,
+        orbit,
+        bytecode,
+        ..VerifyOptions::default()
+    }
+}
+
+fn kind(verdict: &Verdict) -> &'static str {
+    match verdict {
+        Verdict::Valid { .. } => "valid",
+        Verdict::CounterModel { .. } => "counterexample",
+        Verdict::Unknown { .. } => "unknown",
+    }
+}
+
+fn unknown_reason(verdict: &Verdict) -> Option<&str> {
+    match verdict {
+        Verdict::Unknown { reason, .. } => Some(reason),
+        _ => None,
+    }
+}
+
+/// Verdict-by-verdict equality between a bytecode and a tree-walk catalog
+/// run: kind, counter-model, and `Unknown` reason all match.
+fn assert_same_verdicts(bc: &CatalogReport, tree: &CatalogReport, label: &str) {
+    assert_eq!(bc.interfaces.len(), tree.interfaces.len());
+    for (bc_report, tree_report) in bc.interfaces.iter().zip(&tree.interfaces) {
+        assert_eq!(bc_report.interface, tree_report.interface);
+        assert_eq!(bc_report.total(), tree_report.total());
+        for (bc_cond, tree_cond) in bc_report.reports.iter().zip(&tree_report.reports) {
+            assert_eq!(bc_cond.condition.id(), tree_cond.condition.id());
+            for (leg, bc_verdict, tree_verdict) in [
+                ("soundness", &bc_cond.soundness, &tree_cond.soundness),
+                (
+                    "completeness",
+                    &bc_cond.completeness,
+                    &tree_cond.completeness,
+                ),
+            ] {
+                let id = bc_cond.condition.id();
+                assert_eq!(
+                    kind(bc_verdict),
+                    kind(tree_verdict),
+                    "{label}: {id} {leg} verdict kind differs between evaluators",
+                );
+                assert_eq!(
+                    bc_verdict.counter_model(),
+                    tree_verdict.counter_model(),
+                    "{label}: {id} {leg} counter-model differs between evaluators",
+                );
+                assert_eq!(
+                    unknown_reason(bc_verdict),
+                    unknown_reason(tree_verdict),
+                    "{label}: {id} {leg} Unknown reason differs between evaluators",
+                );
+            }
+        }
+    }
+}
+
+/// The full catalog under both evaluators, at 1 and 4 workers, orbit on and
+/// off: verdicts (kinds, counter-models, `Unknown` reasons) are identical,
+/// and — because every obligation verifies, so every space is fully
+/// enumerated — `models_checked` and `orbits_pruned` reconcile exactly. The
+/// batch counters confirm which backend actually ran.
+#[test]
+fn full_catalog_verdicts_identical_under_both_evaluators() {
+    for threads in [1, 4] {
+        for orbit in [true, false] {
+            let label = format!("threads={threads} orbit={orbit}");
+            let bc = verify_catalog(&options(threads, orbit, true));
+            let tree = verify_catalog(&options(threads, orbit, false));
+            for report in bc.interfaces.iter().chain(&tree.interfaces) {
+                assert_eq!(
+                    report.verified_count(),
+                    report.total(),
+                    "{label}: the catalog verifies under both evaluators"
+                );
+            }
+            assert_same_verdicts(&bc, &tree, &label);
+
+            assert_eq!(
+                bc.models_checked(),
+                tree.models_checked(),
+                "{label}: the evaluators enumerate the same candidates"
+            );
+            assert_eq!(
+                bc.orbits_pruned(),
+                tree.orbits_pruned(),
+                "{label}: the evaluators prune the same candidates"
+            );
+            assert_eq!(tree.batches(), 0, "{label}: the tree walk never batches");
+            assert!(
+                bc.batches() > 0,
+                "{label}: the bytecode backend must actually batch"
+            );
+            assert!(
+                bc.batch_fallbacks() <= bc.batches() * 256,
+                "{label}: fallback lanes are bounded by the block size"
+            );
+            assert!(
+                bc.instrs_executed() > 0,
+                "{label}: the bytecode backend must report instruction work"
+            );
+        }
+    }
+}
+
+/// Sabotaged conditions (claiming `contains`/`add` commute unconditionally)
+/// exercise the refuted path: the bytecode search must report the *same*
+/// minimum-position counterexample as the tree walk — not merely an
+/// equivalent refutation — and that model must replay under the tree-walk
+/// oracle prover. Run with the orbit reduction both on and off so the
+/// batched scan is exercised over both enumerators.
+#[test]
+fn sabotaged_counterexamples_match_the_tree_walk_exactly() {
+    use semcommute_core::catalog::interface_catalog;
+    use semcommute_spec::InterfaceId;
+
+    let mut sabotaged = interface_catalog(InterfaceId::Set)
+        .into_iter()
+        .filter(|c| c.first.op == "contains" && c.second.op == "add")
+        .collect::<Vec<_>>();
+    assert!(!sabotaged.is_empty());
+    for cond in &mut sabotaged {
+        cond.formula = semcommute_logic::build::tru();
+    }
+
+    for orbit in [true, false] {
+        let scope = Scope::standard().with_orbit(orbit);
+        let portfolio_bc = Portfolio::new(scope.clone().with_bytecode(true));
+        let portfolio_tree = Portfolio::new(scope.clone().with_bytecode(false));
+        let oracle = FiniteModelProver::new(scope.with_bytecode(false));
+
+        let mut refutations = 0;
+        for (i, cond) in sabotaged.iter().enumerate() {
+            let (soundness, completeness) = semcommute_core::template::testing_methods(cond, i);
+            for method in [soundness, completeness] {
+                for ob in semcommute_core::vcgen::generate_obligations(&method).unwrap() {
+                    let bc = portfolio_bc.prove(&ob);
+                    let tree = portfolio_tree.prove(&ob);
+                    assert_eq!(kind(&bc), kind(&tree), "{}", ob.name);
+                    assert_eq!(
+                        bc.counter_model(),
+                        tree.counter_model(),
+                        "orbit={orbit} {}: the evaluators must report the same \
+                         minimum-position counterexample",
+                        ob.name
+                    );
+                    assert_eq!(
+                        bc.stats().models_checked,
+                        tree.stats().models_checked,
+                        "orbit={orbit} {}: the sequential scans stop at the same candidate",
+                        ob.name
+                    );
+                    assert_eq!(bc.stats().orbits_pruned, tree.stats().orbits_pruned);
+                    let Some(full) = bc.counter_model() else {
+                        continue;
+                    };
+                    refutations += 1;
+                    let inputs = oracle.project_inputs(&ob, full);
+                    assert!(
+                        oracle.replay(&ob, &inputs).is_some(),
+                        "{}: the tree-walk oracle does not refute {full}",
+                        ob.name
+                    );
+                }
+            }
+        }
+        assert!(refutations > 0, "the sabotage must produce refutations");
+    }
+}

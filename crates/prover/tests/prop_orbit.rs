@@ -32,6 +32,7 @@ fn tiny_scope(elem_padding: usize) -> Scope {
         int_max: 1,
         max_models: 5_000_000,
         orbit: true,
+        bytecode: false,
     }
 }
 
