@@ -111,24 +111,24 @@ fn bench_rollback(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let mut s = build(size);
-                    let pre1 = s.abstract_state();
                     let r1 = s.apply("add", &[Value::elem(size + 1)]).unwrap();
-                    let pre2 = s.abstract_state();
                     let r2 = s.apply("remove", &[Value::elem(1)]).unwrap();
+                    // Inverses read arguments and results only; no pre-state
+                    // needs to be recorded for rollback.
                     let entries = vec![
                         LogEntry {
                             txn: 1,
                             op: "add".into(),
                             args: vec![Value::elem(size + 1)],
                             result: r1,
-                            pre_state: pre1,
+                            pre_state: None,
                         },
                         LogEntry {
                             txn: 1,
                             op: "remove".into(),
                             args: vec![Value::elem(1)],
                             result: r2,
-                            pre_state: pre2,
+                            pre_state: None,
                         },
                     ];
                     (s, entries)
@@ -163,14 +163,15 @@ fn bench_gatekeeper_check(c: &mut Criterion) {
     let mut log = OperationLog::new();
     let mut structure = AnyStructure::by_name("HashSet").unwrap();
     for i in 1..=32u32 {
-        let pre = structure.abstract_state();
         let result = structure.apply("add", &[Value::elem(i)]).unwrap();
+        // `add`-first between conditions test `r1`, never `s1`, so no
+        // pre-state projection is required for these entries.
         log.record(LogEntry {
             txn: u64::from(i % 4),
             op: "add".into(),
             args: vec![Value::elem(i)],
             result,
-            pre_state: pre,
+            pre_state: None,
         });
     }
     c.bench_function("gatekeeper_admit_against_32_entries", |b| {

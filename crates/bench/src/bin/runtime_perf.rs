@@ -1,0 +1,416 @@
+//! Runtime workload benchmark: speculative vs coarse-lock vs the seed engine.
+//!
+//! Drives mixed set transactions (adds, membership tests, removes) through
+//! three engines — the production [`SpeculativeRuntime`], the
+//! [`CoarseLockRuntime`] baseline, and the seed-faithful reference engine
+//! ([`semcommute_bench::seed_runtime`]) — at several thread counts and two
+//! key distributions:
+//!
+//! * `uniform`: keys drawn from a large domain, so almost all transactions
+//!   commute (the paper's motivating case: commutativity exposes
+//!   parallelism);
+//! * `skewed`: half the operations hit a handful of hot keys, forcing real
+//!   conflicts, aborts, and inverse-driven rollback.
+//!
+//! The structure is pre-populated so the seed engine's per-operation
+//! abstract-state clone has a realistic structure size to pay for. The seed
+//! engine runs a reduced operation count (it is quadratic in practice) and
+//! is compared on *per-committed-operation* time.
+//!
+//! Usage: `runtime_perf [--ops N] [--prefill N] [--seed-ops N] [--json PATH]`.
+//! With the defaults the speculative and coarse legs together drive several
+//! million mixed operations across the configurations. Emits the
+//! measurements as JSON
+//! (`BENCH_pr7.json` in CI) with an `acceptance` section recording the
+//! single-core criterion: speculative per-op overhead at threads=1 must be
+//! ≥ 5× lower than the seed engine's.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use semcommute_bench::seed_runtime::SeedRuntime;
+use semcommute_logic::Value;
+use semcommute_runtime::{AnyStructure, CoarseLockRuntime, SpeculativeRuntime, TxnError};
+
+/// Deterministic xorshift64* — reproducible workloads, no external crates.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Workload {
+    Uniform,
+    Skewed,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Uniform => "uniform",
+            Workload::Skewed => "skewed",
+        }
+    }
+
+    /// One transaction script: two operations, mixed kinds.
+    fn transaction(self, rng: &mut XorShift, prefill: u64) -> Vec<(&'static str, Vec<Value>)> {
+        let key = |rng: &mut XorShift| {
+            let k = match self {
+                Workload::Uniform => rng.below(prefill * 4),
+                // Half the traffic on 16 hot keys.
+                Workload::Skewed => {
+                    if rng.below(2) == 0 {
+                        rng.below(16)
+                    } else {
+                        rng.below(prefill * 4)
+                    }
+                }
+            };
+            Value::elem(k as u32 + 1)
+        };
+        (0..2)
+            .map(|_| match rng.below(10) {
+                0..=4 => ("add", vec![key(rng)]),
+                5 | 6 => ("contains", vec![key(rng)]),
+                _ => ("remove", vec![key(rng)]),
+            })
+            .collect()
+    }
+}
+
+struct Measurement {
+    engine: &'static str,
+    workload: &'static str,
+    threads: u64,
+    target_ops: u64,
+    committed_ops: u64,
+    commits: u64,
+    aborts: u64,
+    conflicts: u64,
+    wall_s: f64,
+}
+
+impl Measurement {
+    fn committed_ops_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.committed_ops as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    fn per_op_ns(&self) -> f64 {
+        if self.committed_ops > 0 {
+            self.wall_s * 1e9 / self.committed_ops as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "    {{\"engine\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \
+             \"target_ops\": {}, \"committed_ops\": {}, \"commits\": {}, \"aborts\": {}, \
+             \"conflicts\": {}, \"wall_s\": {:.6}, \"committed_ops_per_s\": {:.1}, \
+             \"per_op_ns\": {:.1}}}",
+            self.engine,
+            self.workload,
+            self.threads,
+            self.target_ops,
+            self.committed_ops,
+            self.commits,
+            self.aborts,
+            self.conflicts,
+            self.wall_s,
+            self.committed_ops_per_s(),
+            self.per_op_ns(),
+        )
+    }
+}
+
+fn prefilled(prefill: u64) -> AnyStructure {
+    let mut s = AnyStructure::by_name("HashSet").unwrap();
+    for k in 0..prefill {
+        s.apply("add", &[Value::elem(k as u32 + 1)]).unwrap();
+    }
+    s
+}
+
+fn run_speculative(workload: Workload, threads: u64, ops: u64, prefill: u64) -> Measurement {
+    let rt = SpeculativeRuntime::new(prefilled(prefill));
+    let per_thread = ops / threads / 2; // two ops per transaction
+    let committed_ops = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let rt = rt.clone();
+            let committed_ops = &committed_ops;
+            scope.spawn(move || {
+                let mut rng = XorShift::new(0xfeed_beef ^ (thread << 40) ^ ops);
+                for _ in 0..per_thread {
+                    let script = workload.transaction(&mut rng, prefill);
+                    let done = rt.run(1_000, |txn| {
+                        for (op, args) in &script {
+                            txn.execute(op, args)?;
+                        }
+                        Ok(())
+                    });
+                    match done {
+                        Ok(()) => {
+                            committed_ops.fetch_add(script.len() as u64, Ordering::Relaxed);
+                        }
+                        Err(TxnError::RetriesExhausted) => {}
+                        Err(e) => panic!("speculative workload failed: {e}"),
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    rt.check_invariants()
+        .expect("invariants hold after the run");
+    let stats = rt.stats();
+    assert_eq!(stats.begun, stats.commits + stats.aborts);
+    Measurement {
+        engine: "speculative",
+        workload: workload.name(),
+        threads,
+        target_ops: per_thread * threads * 2,
+        committed_ops: committed_ops.load(Ordering::Relaxed),
+        commits: stats.commits,
+        aborts: stats.aborts,
+        conflicts: stats.conflicts,
+        wall_s,
+    }
+}
+
+fn run_coarse(workload: Workload, threads: u64, ops: u64, prefill: u64) -> Measurement {
+    let rt = CoarseLockRuntime::new(prefilled(prefill));
+    let per_thread = ops / threads / 2;
+    let committed = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let rt = rt.clone();
+            let committed = &committed;
+            scope.spawn(move || {
+                let mut rng = XorShift::new(0xfeed_beef ^ (thread << 40) ^ ops);
+                for _ in 0..per_thread {
+                    let script = workload.transaction(&mut rng, prefill);
+                    rt.run_transaction(|txn| {
+                        for (op, args) in &script {
+                            txn.execute(op, args).unwrap();
+                        }
+                    });
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let commits = committed.load(Ordering::Relaxed);
+    Measurement {
+        engine: "coarse_lock",
+        workload: workload.name(),
+        threads,
+        target_ops: per_thread * threads * 2,
+        committed_ops: commits * 2,
+        commits,
+        aborts: 0,
+        conflicts: 0,
+        wall_s,
+    }
+}
+
+fn run_seed(workload: Workload, threads: u64, ops: u64, prefill: u64) -> Measurement {
+    let rt = SeedRuntime::new(prefilled(prefill));
+    let per_thread = ops / threads / 2;
+    let next_txn = AtomicU64::new(1);
+    let committed_ops = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let rt = rt.clone();
+            let next_txn = &next_txn;
+            let committed_ops = &committed_ops;
+            scope.spawn(move || {
+                let mut rng = XorShift::new(0xfeed_beef ^ (thread << 40) ^ ops);
+                for _ in 0..per_thread {
+                    let script = workload.transaction(&mut rng, prefill);
+                    let txn = next_txn.fetch_add(1, Ordering::Relaxed);
+                    if rt.run_transaction(txn, &script, 1_000) {
+                        committed_ops.fetch_add(script.len() as u64, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = rt.stats();
+    Measurement {
+        engine: "seed",
+        workload: workload.name(),
+        threads,
+        target_ops: per_thread * threads * 2,
+        committed_ops: committed_ops.load(Ordering::Relaxed),
+        commits: stats.commits,
+        aborts: stats.aborts,
+        conflicts: stats.aborts,
+        wall_s,
+    }
+}
+
+fn main() {
+    let mut ops: u64 = 250_000;
+    let mut seed_ops: u64 = 20_000;
+    let mut prefill: u64 = 10_000;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ops" => ops = args.next().and_then(|v| v.parse().ok()).expect("--ops N"),
+            "--seed-ops" => {
+                seed_ops = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed-ops N")
+            }
+            "--prefill" => {
+                prefill = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--prefill N")
+            }
+            "--json" => json_path = Some(args.next().expect("--json PATH")),
+            other => panic!("unknown option {other}"),
+        }
+    }
+
+    semcommute_bench::banner("runtime workload: speculative vs coarse-lock vs seed");
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    println!(
+        "host parallelism: {host_threads}, ops: {ops}, prefill: {prefill}, seed ops: {seed_ops}"
+    );
+
+    let mut runs: Vec<Measurement> = Vec::new();
+    for workload in [Workload::Uniform, Workload::Skewed] {
+        for threads in [1, 2, 4, 8] {
+            runs.push(run_speculative(workload, threads, ops, prefill));
+            runs.push(run_coarse(workload, threads, ops, prefill));
+            let last = runs.len() - 2;
+            println!(
+                "{:8} {:12} t={:2}  spec {:>12.0} ops/s ({:>7.0} ns/op, {} aborts)   coarse {:>12.0} ops/s ({:>7.0} ns/op)",
+                workload.name(),
+                "",
+                threads,
+                runs[last].committed_ops_per_s(),
+                runs[last].per_op_ns(),
+                runs[last].aborts,
+                runs[last + 1].committed_ops_per_s(),
+                runs[last + 1].per_op_ns(),
+            );
+        }
+        // The seed engine is measured at threads=1 on a reduced op count —
+        // its per-operation state clone makes full-size runs impractical,
+        // which is the point of measuring it.
+        runs.push(run_seed(workload, 1, seed_ops, prefill));
+        let last = runs.len() - 1;
+        println!(
+            "{:8} {:12} t= 1  seed {:>13.0} ops/s ({:>7.0} ns/op) [reduced {} ops]",
+            workload.name(),
+            "",
+            runs[last].committed_ops_per_s(),
+            runs[last].per_op_ns(),
+            seed_ops,
+        );
+    }
+
+    // Acceptance: on a single-core host, the production engine at threads=1
+    // must show ≥ 5× lower per-committed-op overhead than the seed engine;
+    // on multi-core hosts, speculative must out-commit coarse at threads ≥ 4.
+    let per_op = |engine: &str, workload: &str, threads: u64| {
+        runs.iter()
+            .find(|m| m.engine == engine && m.workload == workload && m.threads == threads)
+            .map(|m| m.per_op_ns())
+            .unwrap_or(f64::INFINITY)
+    };
+    let overhead_ratio_uniform = per_op("seed", "uniform", 1) / per_op("speculative", "uniform", 1);
+    let overhead_ratio_skewed = per_op("seed", "skewed", 1) / per_op("speculative", "skewed", 1);
+    let spec_vs_coarse_t4 = {
+        let spec = runs
+            .iter()
+            .find(|m| m.engine == "speculative" && m.workload == "uniform" && m.threads == 4)
+            .map(|m| m.committed_ops_per_s())
+            .unwrap_or(0.0);
+        let coarse = runs
+            .iter()
+            .find(|m| m.engine == "coarse_lock" && m.workload == "uniform" && m.threads == 4)
+            .map(|m| m.committed_ops_per_s())
+            .unwrap_or(f64::INFINITY);
+        spec / coarse
+    };
+    let single_core = host_threads == 1;
+    let passed = if single_core {
+        overhead_ratio_uniform >= 5.0 && overhead_ratio_skewed >= 5.0
+    } else {
+        spec_vs_coarse_t4 > 1.0
+    };
+    println!();
+    println!(
+        "seed/speculative per-op overhead ratio: uniform {overhead_ratio_uniform:.1}x, \
+         skewed {overhead_ratio_skewed:.1}x"
+    );
+    println!("speculative/coarse throughput at t=4 (uniform): {spec_vs_coarse_t4:.2}x");
+    println!(
+        "acceptance ({}): {}",
+        if single_core {
+            "single-core host: >=5x lower per-op overhead than seed at t=1"
+        } else {
+            "multi-core host: speculative out-commits coarse at t=4"
+        },
+        if passed { "PASS" } else { "FAIL" }
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"options\": {{\"ops\": {ops}, \"seed_ops\": {seed_ops}, \"prefill\": {prefill}, \
+         \"host_parallelism\": {host_threads}}},\n"
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, m) in runs.iter().enumerate() {
+        json.push_str(&m.json());
+        json.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"acceptance\": {{\"single_core_host\": {single_core}, \
+         \"seed_over_speculative_per_op_uniform\": {overhead_ratio_uniform:.2}, \
+         \"seed_over_speculative_per_op_skewed\": {overhead_ratio_skewed:.2}, \
+         \"speculative_over_coarse_t4_uniform\": {spec_vs_coarse_t4:.3}, \
+         \"passed\": {passed}}}\n"
+    ));
+    json.push('}');
+    if let Some(path) = json_path {
+        std::fs::write(&path, &json).expect("write JSON report");
+        println!("wrote {path}");
+    } else {
+        println!("{json}");
+    }
+    assert!(passed, "acceptance criterion not met");
+}

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod seed_runtime;
+
 use semcommute_core::report;
 use semcommute_core::verify::{CatalogReport, InterfaceReport, VerifyOptions};
 

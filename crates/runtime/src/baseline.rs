@@ -7,7 +7,22 @@
 //! this baseline against the commutativity-aware [`crate::SpeculativeRuntime`]
 //! to reproduce the motivation of Chapter 1: exploiting commuting operations
 //! increases the amount of exploitable parallelism.
+//!
+//! # Panic safety
+//!
+//! `parking_lot` mutexes do not poison: if a transaction body panics halfway
+//! through its operations, the lock is released with the structure left
+//! **half-mutated** — the baseline has no rollback, so the partial effects
+//! cannot be undone. Silently letting later transactions run against that
+//! corrupted state would invalidate every result computed after the panic
+//! (including benchmark comparisons against the speculative runtime). The
+//! runtime therefore records the poisoning and refuses further use: the
+//! original panic propagates to its caller, and every subsequent
+//! [`run_transaction`](CoarseLockRuntime::run_transaction) or
+//! [`snapshot`](CoarseLockRuntime::snapshot) panics with a "poisoned"
+//! message instead of returning wrong answers.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -20,6 +35,10 @@ use crate::structure::{AnyStructure, DispatchError};
 #[derive(Clone)]
 pub struct CoarseLockRuntime {
     structure: Arc<Mutex<AnyStructure>>,
+    /// Set when a transaction body panicked mid-transaction, leaving the
+    /// structure half-mutated (parking_lot mutexes do not poison on their
+    /// own).
+    poisoned: Arc<AtomicBool>,
 }
 
 /// A handle on the locked structure for the duration of one transaction.
@@ -27,23 +46,72 @@ pub struct CoarseTransaction<'a> {
     guard: parking_lot::MutexGuard<'a, AnyStructure>,
 }
 
+/// Marks the runtime poisoned if dropped during a panic unwind — i.e. if the
+/// transaction body panicked while the structure lock was held.
+struct PoisonOnPanic<'a> {
+    poisoned: &'a AtomicBool,
+}
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.poisoned.store(true, Ordering::Release);
+        }
+    }
+}
+
 impl CoarseLockRuntime {
     /// Wraps a concrete data structure.
     pub fn new(structure: AnyStructure) -> CoarseLockRuntime {
         CoarseLockRuntime {
             structure: Arc::new(Mutex::new(structure)),
+            poisoned: Arc::new(AtomicBool::new(false)),
         }
     }
 
+    /// Whether a transaction body panicked mid-transaction, leaving the
+    /// structure in an unknown half-mutated state.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    fn assert_not_poisoned(&self) {
+        assert!(
+            !self.is_poisoned(),
+            "CoarseLockRuntime poisoned: a transaction body panicked \
+             mid-transaction and the structure may be half-mutated"
+        );
+    }
+
     /// Runs a whole transaction while holding the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous transaction body panicked mid-transaction (the
+    /// structure may be half-mutated — see the module docs); a panic raised
+    /// by `body` itself poisons the runtime and propagates.
     pub fn run_transaction<T>(&self, body: impl FnOnce(&mut CoarseTransaction<'_>) -> T) -> T {
+        self.assert_not_poisoned();
         let guard = self.structure.lock();
+        let poison = PoisonOnPanic {
+            poisoned: &self.poisoned,
+        };
         let mut txn = CoarseTransaction { guard };
-        body(&mut txn)
+        let value = body(&mut txn);
+        // Reached only on normal return: an unwinding body skips straight to
+        // `poison`'s Drop, which records the half-mutated state.
+        std::mem::forget(poison);
+        value
     }
 
     /// The current abstract state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime is poisoned (see
+    /// [`run_transaction`](CoarseLockRuntime::run_transaction)).
     pub fn snapshot(&self) -> AbstractState {
+        self.assert_not_poisoned();
         self.structure.lock().abstract_state()
     }
 }
@@ -85,6 +153,7 @@ mod tests {
             rt.snapshot(),
             AbstractState::Set((1..=100).map(ElemId).collect())
         );
+        assert!(!rt.is_poisoned());
     }
 
     #[test]
@@ -92,5 +161,33 @@ mod tests {
         let rt = CoarseLockRuntime::new(AnyStructure::by_name("ArrayList").unwrap());
         let result = rt.run_transaction(|txn| txn.execute("get", &[Value::Int(3)]));
         assert!(result.is_err());
+        // Returning an error is not a panic: the runtime stays usable.
+        assert!(!rt.is_poisoned());
+    }
+
+    #[test]
+    fn mid_transaction_panic_poisons_the_runtime() {
+        let rt = CoarseLockRuntime::new(AnyStructure::by_name("HashSet").unwrap());
+        rt.run_transaction(|txn| txn.execute("add", &[Value::elem(1)]).unwrap());
+
+        // A body that mutates and then panics leaves the structure
+        // half-mutated: element 2 is in, element 3 never made it.
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run_transaction(|txn| {
+                txn.execute("add", &[Value::elem(2)]).unwrap();
+                panic!("injected mid-transaction failure");
+            })
+        }));
+        assert!(boom.is_err());
+        assert!(rt.is_poisoned());
+
+        // Subsequent use fails loudly instead of computing on corrupted
+        // state.
+        let later = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.run_transaction(|txn| txn.execute("size", &[]).unwrap())
+        }));
+        assert!(later.is_err());
+        let snap = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rt.snapshot()));
+        assert!(snap.is_err());
     }
 }

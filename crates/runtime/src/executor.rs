@@ -5,12 +5,43 @@
 //! verified *between* conditions) that it semantically commutes with every
 //! operation executed by other uncommitted transactions. If it does, the
 //! operation executes and is logged together with its return value and
-//! pre-state; if it does not, the transaction observes a conflict and aborts,
-//! rolling back its own logged operations with the verified *inverse*
-//! operations. Because all interleaved operations of concurrent transactions
-//! pairwise commute at the abstract level, the committed execution is
-//! equivalent to some serial execution of the committed transactions — the
-//! correctness argument the paper's client systems rely on.
+//! (where a condition needs it) a pre-state projection; if it does not, the
+//! transaction observes a conflict and aborts, rolling back its own logged
+//! operations with the verified *inverse* operations. Because all interleaved
+//! operations of concurrent transactions pairwise commute at the abstract
+//! level, the committed execution is equivalent to some serial execution of
+//! the committed transactions — the correctness argument the paper's client
+//! systems rely on.
+//!
+//! # Concurrency protocol
+//!
+//! The runtime keeps the structure behind one mutex but keeps the *admission*
+//! work — the expensive part, one condition evaluation per outstanding
+//! operation — off that mutex. Uncommitted operations live in the sharded
+//! [`InFlightIndex`]; a monotone publish sequence (`publish_seq`) orders them.
+//! [`Transaction::execute`] runs in two phases:
+//!
+//! 1. **Optimistic phase (no structure lock).** Load `publish_seq` with
+//!    `Acquire` as a snapshot, read every other transaction's published
+//!    operations from the index (shard read locks only), and evaluate the
+//!    between conditions lock-free.
+//! 2. **Validated apply (structure lock).** Take the structure lock,
+//!    re-check only the operations published *after* the snapshot
+//!    ([`InFlightIndex::others_since`]), then apply the operation, publish
+//!    its log entry to the index, and bump `publish_seq` with a `Release`
+//!    store — in that order, so any operation whose sequence number a later
+//!    `Acquire` load observes is already visible in its shard.
+//!
+//! Publishing under the structure lock makes apply-and-publish atomic: no
+//! operation can take effect without being visible to the revalidation pass
+//! of every concurrent admission. Commit takes **no** structure lock — the
+//! committed effects are already applied, so commit only removes the
+//! transaction's slot from the index (O(own operations)). Abort removes the
+//! slot *and* applies the verified inverses, both under the structure lock,
+//! so no admission can run against a state that still contains an effect
+//! whose log entry has already disappeared.
+//!
+//! Lock order: structure mutex before index shard lock, never the reverse.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -20,10 +51,11 @@ use parking_lot::Mutex;
 use semcommute_logic::Value;
 use semcommute_spec::AbstractState;
 
-use crate::gatekeeper::{CommutativityGatekeeper, Conflict};
-use crate::log::{LogEntry, OperationLog};
+use crate::gatekeeper::{AdmissionError, CommutativityGatekeeper, Conflict};
+use crate::index::{InFlightIndex, PublishedOp};
+use crate::log::LogEntry;
 use crate::rollback::InverseRollback;
-use crate::structure::{AnyStructure, DispatchError};
+use crate::structure::{AnyStructure, DispatchError, TrackedStructure};
 
 /// An error observed by a transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +64,11 @@ pub enum TxnError {
     /// another transaction; the transaction should abort (and typically
     /// retry).
     Conflict(Conflict),
+    /// A commutativity condition could not be evaluated (unknown operation
+    /// pair, or a condition referencing information the log entry does not
+    /// carry). This is a configuration error, not a speculative outcome:
+    /// [`SpeculativeRuntime::run`] does **not** retry it.
+    Condition(String),
     /// The operation itself was rejected (unknown name, bad argument).
     Dispatch(String),
     /// The transaction has already been committed or aborted.
@@ -44,6 +81,7 @@ impl fmt::Display for TxnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TxnError::Conflict(c) => write!(f, "conflict: {c}"),
+            TxnError::Condition(e) => write!(f, "condition evaluation failed: {e}"),
             TxnError::Dispatch(e) => write!(f, "operation rejected: {e}"),
             TxnError::Finished => write!(f, "transaction already finished"),
             TxnError::RetriesExhausted => write!(f, "retry budget exhausted"),
@@ -60,11 +98,22 @@ impl From<DispatchError> for TxnError {
 }
 
 /// Execution statistics of a [`SpeculativeRuntime`].
+///
+/// The counters satisfy `commits + aborts == begun` once every transaction
+/// has finished (committed, aborted, or been dropped).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuntimeStats {
+    /// Transactions begun ([`SpeculativeRuntime::begin`], including the
+    /// attempts made by [`SpeculativeRuntime::run`]).
+    pub begun: u64,
     /// Committed transactions.
     pub commits: u64,
-    /// Aborted transactions.
+    /// Aborted transactions. Every non-committed finish counts: explicit
+    /// [`Transaction::abort`], the rollback performed when a `Transaction` is
+    /// dropped uncommitted, and each retry of [`SpeculativeRuntime::run`] —
+    /// **including** transactions that executed zero operations (such aborts
+    /// are lock-free but still counted, so the `commits + aborts == begun`
+    /// identity holds).
     pub aborts: u64,
     /// Conflicts detected by the gatekeeper.
     pub conflicts: u64,
@@ -73,12 +122,46 @@ pub struct RuntimeStats {
 }
 
 struct Shared {
-    structure: Mutex<AnyStructure>,
-    log: Mutex<OperationLog>,
+    structure: Mutex<TrackedStructure>,
+    index: InFlightIndex,
     gatekeeper: CommutativityGatekeeper,
     rollback: InverseRollback,
     next_txn: AtomicU64,
-    stats: Mutex<RuntimeStats>,
+    /// Monotone count of published operations. Written only under the
+    /// structure lock (with `Release`); admission reads it with `Acquire` to
+    /// snapshot which operations its optimistic pass has covered.
+    publish_seq: AtomicU64,
+    /// Monotone commit tickets, the serialization order certified by the
+    /// between conditions (see [`Transaction::commit`]).
+    commit_seq: AtomicU64,
+    begun: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    conflicts: AtomicU64,
+    operations: AtomicU64,
+}
+
+impl Shared {
+    /// Classifies the incoming operation against a batch of published
+    /// operations, translating admission outcomes to transaction errors.
+    fn check_against(
+        &self,
+        published: &[Arc<PublishedOp>],
+        op: &str,
+        args: &[Value],
+    ) -> Result<(), TxnError> {
+        for p in published {
+            match self.gatekeeper.check_entry(&p.entry, op, args) {
+                Ok(()) => {}
+                Err(AdmissionError::Conflict(c)) => {
+                    self.conflicts.fetch_add(1, Ordering::Relaxed);
+                    return Err(TxnError::Conflict(c));
+                }
+                Err(AdmissionError::Evaluation(e)) => return Err(TxnError::Condition(e)),
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A shared data structure with optimistic, commutativity-aware transactions.
@@ -93,21 +176,29 @@ impl SpeculativeRuntime {
         let interface = structure.interface();
         SpeculativeRuntime {
             shared: Arc::new(Shared {
-                structure: Mutex::new(structure),
-                log: Mutex::new(OperationLog::new()),
+                structure: Mutex::new(TrackedStructure::new(structure)),
+                index: InFlightIndex::new(),
                 gatekeeper: CommutativityGatekeeper::new(interface),
                 rollback: InverseRollback::new(interface),
                 next_txn: AtomicU64::new(1),
-                stats: Mutex::new(RuntimeStats::default()),
+                publish_seq: AtomicU64::new(0),
+                commit_seq: AtomicU64::new(0),
+                begun: AtomicU64::new(0),
+                commits: AtomicU64::new(0),
+                aborts: AtomicU64::new(0),
+                conflicts: AtomicU64::new(0),
+                operations: AtomicU64::new(0),
             }),
         }
     }
 
     /// Begins a new transaction.
     pub fn begin(&self) -> Transaction {
+        self.shared.begun.fetch_add(1, Ordering::Relaxed);
         Transaction {
             runtime: self.clone(),
             id: self.shared.next_txn.fetch_add(1, Ordering::Relaxed),
+            entries: Vec::new(),
             finished: false,
         }
     }
@@ -118,7 +209,9 @@ impl SpeculativeRuntime {
     /// # Errors
     ///
     /// Returns [`TxnError::RetriesExhausted`] if the body keeps conflicting,
-    /// or the body's own error if it fails for a non-conflict reason.
+    /// or the body's own error if it fails for a non-conflict reason
+    /// (non-conflict errors — including [`TxnError::Condition`] — are never
+    /// retried).
     pub fn run<T>(
         &self,
         max_retries: usize,
@@ -146,7 +239,7 @@ impl SpeculativeRuntime {
 
     /// The current abstract state of the shared structure.
     pub fn snapshot(&self) -> AbstractState {
-        self.shared.structure.lock().abstract_state()
+        self.shared.structure.lock().inner().abstract_state()
     }
 
     /// Checks the representation invariant of the shared structure.
@@ -155,17 +248,25 @@ impl SpeculativeRuntime {
     ///
     /// Returns the first violation found.
     pub fn check_invariants(&self) -> Result<(), String> {
-        self.shared.structure.lock().check_invariants()
+        self.shared.structure.lock().inner().check_invariants()
     }
 
     /// Execution statistics so far.
     pub fn stats(&self) -> RuntimeStats {
-        *self.shared.stats.lock()
+        let shared = &self.shared;
+        RuntimeStats {
+            begun: shared.begun.load(Ordering::Relaxed),
+            commits: shared.commits.load(Ordering::Relaxed),
+            aborts: shared.aborts.load(Ordering::Relaxed),
+            conflicts: shared.conflicts.load(Ordering::Relaxed),
+            operations: shared.operations.load(Ordering::Relaxed),
+        }
     }
 
-    /// The number of operations currently logged by uncommitted transactions.
+    /// The number of operations currently published by uncommitted
+    /// transactions.
     pub fn pending_operations(&self) -> usize {
-        self.shared.log.lock().len()
+        self.shared.index.len()
     }
 }
 
@@ -173,6 +274,10 @@ impl SpeculativeRuntime {
 pub struct Transaction {
     runtime: SpeculativeRuntime,
     id: u64,
+    /// This transaction's published operations, oldest first — the
+    /// per-transaction log. Rollback walks it newest-first; nobody else ever
+    /// needs to scan it.
+    entries: Vec<Arc<PublishedOp>>,
     finished: bool,
 }
 
@@ -182,54 +287,95 @@ impl Transaction {
         self.id
     }
 
+    /// The number of operations this transaction has executed.
+    pub fn operations(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Executes one operation inside the transaction.
     ///
     /// # Errors
     ///
     /// Returns [`TxnError::Conflict`] if the operation does not commute with
     /// an operation of another uncommitted transaction (the caller should
-    /// abort), or [`TxnError::Dispatch`] if the operation itself is invalid.
+    /// abort), [`TxnError::Condition`] if a commutativity condition could not
+    /// be evaluated (not retryable), or [`TxnError::Dispatch`] if the
+    /// operation itself is invalid.
     pub fn execute(&mut self, op: &str, args: &[Value]) -> Result<Option<Value>, TxnError> {
         if self.finished {
             return Err(TxnError::Finished);
         }
         let shared = &self.runtime.shared;
-        // Take the structure lock first, then the log lock, everywhere, so the
-        // lock order is consistent.
+
+        // Optimistic phase: evaluate conditions against everything published
+        // up to `snap` without touching the structure lock.
+        let snap = shared.publish_seq.load(Ordering::Acquire);
+        let outstanding = shared.index.others(self.id);
+        shared.check_against(&outstanding, op, args)?;
+
+        // Validated apply: under the structure lock only the operations
+        // published after the snapshot remain to be checked.
         let mut structure = shared.structure.lock();
-        let mut log = shared.log.lock();
-        if let Err(conflict) = shared.gatekeeper.admit(&log, self.id, op, args) {
-            shared.stats.lock().conflicts += 1;
-            return Err(TxnError::Conflict(conflict));
-        }
-        let pre_state = structure.abstract_state();
+        let fresh = shared.index.others_since(self.id, snap);
+        shared.check_against(&fresh, op, args)?;
+
+        let pre_state = shared
+            .gatekeeper
+            .requires_pre_state(op)
+            .then(|| structure.state_value().clone());
         let result = structure.apply(op, args)?;
-        log.record(LogEntry {
-            txn: self.id,
-            op: op.to_string(),
-            args: args.to_vec(),
-            result: result.clone(),
-            pre_state,
+        let seq = shared.publish_seq.load(Ordering::Relaxed) + 1;
+        let published = Arc::new(PublishedOp {
+            seq,
+            entry: LogEntry {
+                txn: self.id,
+                op: op.to_string(),
+                args: args.to_vec(),
+                result: result.clone(),
+                pre_state,
+            },
         });
-        shared.stats.lock().operations += 1;
+        // Publish to the shard *before* the sequence store: an admission that
+        // Acquire-loads `seq` must already find the entry in the index.
+        shared.index.publish(self.id, Arc::clone(&published));
+        shared.publish_seq.store(seq, Ordering::Release);
+        drop(structure);
+
+        self.entries.push(published);
+        shared.operations.fetch_add(1, Ordering::Relaxed);
         Ok(result)
     }
 
     /// Commits the transaction: its operations become permanent and stop
     /// constraining other transactions.
-    pub fn commit(mut self) {
-        if self.finished {
-            return;
-        }
+    ///
+    /// Returns the transaction's **commit ticket** — its position in the
+    /// serialization order. The between conditions guarantee that replaying
+    /// the committed transactions serially in ticket order reproduces every
+    /// recorded return value and the final abstract state (the differential
+    /// harness checks exactly this). Commit takes no structure lock and is
+    /// O(this transaction's operations).
+    pub fn commit(mut self) -> u64 {
         self.finished = true;
         let shared = &self.runtime.shared;
-        let _structure = shared.structure.lock();
-        shared.log.lock().remove_transaction(self.id);
-        shared.stats.lock().commits += 1;
+        // The ticket must be drawn *before* the index slot disappears: a
+        // transaction that executes a non-commuting operation can only be
+        // admitted after this removal, so its own (later) fetch_add is
+        // guaranteed a larger ticket — the shard lock release/acquire orders
+        // the two RMWs. Removing first would let that transaction draw a
+        // smaller ticket and break the replay order.
+        let ticket = shared.commit_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.entries.is_empty() {
+            shared.index.remove(self.id);
+            self.entries.clear();
+        }
+        shared.commits.fetch_add(1, Ordering::Relaxed);
+        ticket
     }
 
     /// Aborts the transaction: its operations are rolled back with the
-    /// verified inverse operations, newest first.
+    /// verified inverse operations, newest first. A transaction that executed
+    /// no operations aborts without taking any lock.
     pub fn abort(mut self) {
         self.finished = true;
         self.rollback();
@@ -237,15 +383,33 @@ impl Transaction {
 
     fn rollback(&mut self) {
         let shared = &self.runtime.shared;
+        shared.aborts.fetch_add(1, Ordering::Relaxed);
+        if self.entries.is_empty() {
+            // Nothing was published: there is no slot in the index and no
+            // effect on the structure, so the abort is a counter bump.
+            return;
+        }
+        // Index removal and inverse application happen under one structure
+        // lock acquisition: otherwise a concurrent admission could evaluate
+        // against a state that still contains an effect whose log entry has
+        // already vanished.
         let mut structure = shared.structure.lock();
-        let entries = shared.log.lock().remove_transaction(self.id);
-        if !entries.is_empty() {
-            shared
-                .rollback
-                .undo(&mut structure, &entries)
+        shared.index.remove(self.id);
+        for published in self.entries.iter().rev() {
+            let entry = &published.entry;
+            let Some(inverse) = shared.rollback.inverse_of(&entry.op) else {
+                // Observer operations change nothing and need no undo.
+                continue;
+            };
+            let Some((op, args)) = inverse.concrete_call(&entry.args, entry.result.as_ref()) else {
+                // Nothing to undo (e.g. `add` returned false).
+                continue;
+            };
+            structure
+                .apply(&op, &args)
                 .expect("verified inverses always apply");
         }
-        shared.stats.lock().aborts += 1;
+        self.entries.clear();
     }
 }
 
@@ -276,14 +440,16 @@ mod tests {
         t1.execute("add", &[Value::elem(1)]).unwrap();
         t2.execute("add", &[Value::elem(2)]).unwrap();
         t1.execute("add", &[Value::elem(3)]).unwrap();
-        t1.commit();
-        t2.commit();
+        let first = t1.commit();
+        let second = t2.commit();
+        assert!(second > first, "commit tickets are strictly increasing");
         let state = rt.snapshot();
         assert_eq!(
             state,
             AbstractState::Set([ElemId(1), ElemId(2), ElemId(3)].into_iter().collect())
         );
         let stats = rt.stats();
+        assert_eq!(stats.begun, 2);
         assert_eq!(stats.commits, 2);
         assert_eq!(stats.conflicts, 0);
         assert_eq!(rt.pending_operations(), 0);
@@ -305,6 +471,7 @@ mod tests {
         let stats = rt.stats();
         assert_eq!(stats.aborts, 2);
         assert_eq!(stats.conflicts, 1);
+        assert_eq!(stats.begun, stats.commits + stats.aborts);
     }
 
     #[test]
@@ -340,6 +507,82 @@ mod tests {
     }
 
     #[test]
+    fn unknown_operation_pairs_fail_fast_without_retries() {
+        let rt = set_runtime();
+        let mut t1 = rt.begin();
+        t1.execute("add", &[Value::elem(1)]).unwrap();
+        // With t1's `add` outstanding, an operation the catalog has no
+        // condition for must surface as a non-retryable `Condition` error —
+        // not spin the full retry budget and report `RetriesExhausted`.
+        let mut attempts = 0u32;
+        let err = rt
+            .run(1_000, |txn| {
+                attempts += 1;
+                txn.execute("frobnicate", &[Value::elem(1)]).map(|_| ())
+            })
+            .unwrap_err();
+        match err {
+            TxnError::Condition(msg) => {
+                assert!(
+                    msg.contains("no condition for pair add/frobnicate"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected a condition error, got {other:?}"),
+        }
+        assert_eq!(attempts, 1, "condition errors must not be retried");
+        t1.commit();
+        // The structure is untouched by the failed attempt.
+        assert_eq!(
+            rt.snapshot(),
+            AbstractState::Set([ElemId(1)].into_iter().collect())
+        );
+    }
+
+    #[test]
+    fn empty_abort_counts_but_leaves_nothing_behind() {
+        let rt = set_runtime();
+        let t = rt.begin();
+        assert_eq!(t.operations(), 0);
+        t.abort();
+        // An explicit commit of an empty transaction also just counts.
+        let t = rt.begin();
+        let ticket = t.commit();
+        assert!(ticket > 0);
+        let stats = rt.stats();
+        assert_eq!(stats.begun, 2);
+        assert_eq!(stats.commits, 1);
+        assert_eq!(stats.aborts, 1);
+        assert_eq!(stats.operations, 0);
+        assert_eq!(rt.pending_operations(), 0);
+    }
+
+    #[test]
+    fn empty_abort_is_lock_free() {
+        // Hold the structure lock hostage on another thread; an empty abort
+        // must still complete because it never touches the lock.
+        let rt = set_runtime();
+        let hold = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let rt2 = rt.clone();
+        let hold2 = std::sync::Arc::clone(&hold);
+        let blocker = std::thread::spawn(move || {
+            let _guard = rt2.shared.structure.lock();
+            while hold2.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+            }
+        });
+        // Give the blocker time to take the lock.
+        while rt.shared.structure.try_lock().is_some() {
+            std::thread::yield_now();
+        }
+        let t = rt.begin();
+        t.abort(); // would deadlock here if the empty abort locked
+        assert_eq!(rt.stats().aborts, 1);
+        hold.store(false, Ordering::Relaxed);
+        blocker.join().unwrap();
+    }
+
+    #[test]
     fn parallel_disjoint_insertions_produce_the_union() {
         let rt = set_runtime();
         let threads = 4;
@@ -366,6 +609,8 @@ mod tests {
         );
         assert!(rt.check_invariants().is_ok());
         assert_eq!(rt.stats().commits as u32, threads * per_thread);
+        let stats = rt.stats();
+        assert_eq!(stats.begun, stats.commits + stats.aborts);
     }
 
     #[test]
@@ -403,5 +648,32 @@ mod tests {
         ));
         t1.commit();
         t2.commit();
+    }
+
+    #[test]
+    fn pre_state_is_projected_not_cloned_per_op() {
+        // `add`/`contains` need no pre-state; `remove` and `size` do. Check
+        // the published entries carry exactly that.
+        let rt = set_runtime();
+        let mut setup = rt.begin();
+        setup.execute("add", &[Value::elem(1)]).unwrap();
+        setup.commit();
+        let mut t = rt.begin();
+        t.execute("add", &[Value::elem(2)]).unwrap();
+        t.execute("remove", &[Value::elem(1)]).unwrap();
+        t.execute("size", &[]).unwrap();
+        let states: Vec<bool> = t
+            .entries
+            .iter()
+            .map(|p| p.entry.pre_state.is_some())
+            .collect();
+        assert_eq!(states, vec![false, true, true]);
+        // The `remove` pre-state is the abstract state just before it ran.
+        let pre = t.entries[1].entry.pre_state.clone().unwrap();
+        assert_eq!(
+            AbstractState::from_value(&pre).unwrap(),
+            AbstractState::Set([ElemId(1), ElemId(2)].into_iter().collect())
+        );
+        t.commit();
     }
 }

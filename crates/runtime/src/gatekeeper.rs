@@ -1,12 +1,12 @@
 //! The commutativity gatekeeper: dynamic conflict detection using the
 //! verified between conditions.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use semcommute_core::concrete::{evaluate, ConditionContext};
+use semcommute_core::condition::names;
 use semcommute_core::{interface_catalog, CommutativityCondition, ConditionKind};
-use semcommute_logic::Value;
+use semcommute_logic::{eval_bool, free_vars, Model, Value};
 use semcommute_spec::InterfaceId;
 
 use crate::log::{LogEntry, OperationLog};
@@ -34,6 +34,50 @@ impl fmt::Display for Conflict {
     }
 }
 
+/// Why the gatekeeper refused to admit an operation.
+///
+/// The two cases call for opposite reactions, which is why they are distinct:
+/// a [`Conflict`] is the ordinary speculative outcome — the transaction
+/// aborts, rolls back, and retrying is likely to succeed once the conflicting
+/// transaction finishes. An [`Evaluation`](AdmissionError::Evaluation) error
+/// means the check itself could not be performed (no condition is registered
+/// for the operation pair, or the condition references information the log
+/// entry does not carry). Retrying cannot fix that, so masking it as a
+/// conflict — as the runtime did before — turns a configuration bug into a
+/// retry loop that ends in a misleading "retries exhausted" report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The operations genuinely do not commute; abort and retry.
+    Conflict(Conflict),
+    /// The commutativity check could not be evaluated; not retryable.
+    Evaluation(String),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Conflict(c) => write!(f, "{c}"),
+            AdmissionError::Evaluation(e) => write!(f, "condition evaluation failed: {e}"),
+        }
+    }
+}
+
+/// A between condition prepared for repeated run-time evaluation: the
+/// canonical argument-variable names are resolved against the interface
+/// specification once, and the formula's state requirements are precomputed,
+/// so the per-admission work is a handful of O(1) model insertions plus the
+/// formula walk.
+#[derive(Debug, Clone)]
+struct Prepared {
+    condition: CommutativityCondition,
+    /// Canonical names (`v1`, `k1`, …) for the first operation's arguments.
+    first_params: Vec<String>,
+    /// Canonical names (`v2`, `k2`, …) for the second operation's arguments.
+    second_params: Vec<String>,
+    /// Whether the formula mentions the initial state `s1`.
+    needs_initial: bool,
+}
+
 /// Dynamic commutativity checking for one interface.
 ///
 /// The gatekeeper holds the *between* conditions of the interface (for the
@@ -43,32 +87,65 @@ impl fmt::Display for Conflict {
 /// "forward gatekeeper" usage scenario of the paper's related-work
 /// discussion: before executing an operation, check that it commutes with
 /// every operation executed by other uncommitted transactions.
+///
+/// Construction also computes, per first operation, whether *any* of its
+/// between conditions reads the initial state `s1`; the executor consults
+/// [`requires_pre_state`](CommutativityGatekeeper::requires_pre_state) to
+/// decide whether a pre-state projection must be captured when logging the
+/// operation. Most recorded-variant conditions test `r1` instead, so most
+/// operations log no state at all.
 #[derive(Debug, Clone)]
 pub struct CommutativityGatekeeper {
     interface: InterfaceId,
-    /// Between conditions for recorded variants, keyed by
-    /// (first operation, second operation).
-    conditions: HashMap<(String, String), CommutativityCondition>,
+    /// Prepared between conditions for recorded variants, keyed by first
+    /// operation, then second operation (two `&str` lookups, no allocation
+    /// on the admission path).
+    conditions: HashMap<String, HashMap<String, Prepared>>,
+    /// First operations at least one of whose between conditions mentions
+    /// `s1` — the only operations whose log entries need a pre-state.
+    pre_state_ops: HashSet<String>,
 }
 
 impl CommutativityGatekeeper {
     /// Builds the gatekeeper for an interface from the verified catalog.
     pub fn new(interface: InterfaceId) -> CommutativityGatekeeper {
-        let mut conditions = HashMap::new();
+        let iface = semcommute_spec::interface_by_id(interface);
+        let mut conditions: HashMap<String, HashMap<String, Prepared>> = HashMap::new();
+        let mut pre_state_ops = HashSet::new();
         for condition in interface_catalog(interface) {
-            if condition.kind == ConditionKind::Between
-                && condition.first.recorded
-                && condition.second.recorded
+            if condition.kind != ConditionKind::Between
+                || !condition.first.recorded
+                || !condition.second.recorded
             {
-                conditions.insert(
-                    (condition.first.op.clone(), condition.second.op.clone()),
-                    condition,
-                );
+                continue;
             }
+            let params = |op: &str, which: usize| -> Vec<String> {
+                iface.op(op).map_or_else(Vec::new, |spec| {
+                    spec.params
+                        .iter()
+                        .map(|(formal, _)| names::arg(formal, which))
+                        .collect()
+                })
+            };
+            let needs_initial = free_vars(&condition.formula).contains_key(names::INITIAL);
+            if needs_initial {
+                pre_state_ops.insert(condition.first.op.clone());
+            }
+            let prepared = Prepared {
+                first_params: params(&condition.first.op, 1),
+                second_params: params(&condition.second.op, 2),
+                needs_initial,
+                condition,
+            };
+            conditions
+                .entry(prepared.condition.first.op.clone())
+                .or_default()
+                .insert(prepared.condition.second.op.clone(), prepared);
         }
         CommutativityGatekeeper {
             interface,
             conditions,
+            pre_state_ops,
         }
     }
 
@@ -80,7 +157,19 @@ impl CommutativityGatekeeper {
     /// The between condition for an ordered operation pair.
     pub fn condition(&self, first_op: &str, second_op: &str) -> Option<&CommutativityCondition> {
         self.conditions
-            .get(&(first_op.to_string(), second_op.to_string()))
+            .get(first_op)
+            .and_then(|seconds| seconds.get(second_op))
+            .map(|p| &p.condition)
+    }
+
+    /// Must a log entry for `op` (as the *first* operation of a later
+    /// between check) carry the abstract pre-state?
+    ///
+    /// Returns `true` iff some between condition with `op` first mentions the
+    /// initial state `s1`. The executor captures the (O(1), persistent)
+    /// state projection only for these operations.
+    pub fn requires_pre_state(&self, op: &str) -> bool {
+        self.pre_state_ops.contains(op)
     }
 
     /// Does the incoming operation commute with one logged operation?
@@ -95,19 +184,36 @@ impl CommutativityGatekeeper {
         incoming_op: &str,
         incoming_args: &[Value],
     ) -> Result<bool, String> {
-        let condition = self
-            .condition(&logged.op, incoming_op)
+        let prepared = self
+            .conditions
+            .get(logged.op.as_str())
+            .and_then(|seconds| seconds.get(incoming_op))
             .ok_or_else(|| format!("no condition for pair {}/{incoming_op}", logged.op))?;
-        let ctx = ConditionContext {
-            first_args: logged.args.clone(),
-            second_args: incoming_args.to_vec(),
-            initial_state: Some(logged.pre_state.clone()),
-            intermediate_state: None,
-            final_state: None,
-            first_result: logged.result.clone(),
-            second_result: None,
-        };
-        evaluate(condition, &ctx)
+        let mut model = Model::new();
+        if prepared.needs_initial {
+            match &logged.pre_state {
+                Some(state) => model.insert(names::INITIAL, state.clone()),
+                None => {
+                    return Err(format!(
+                        "{}: entry for `{}` carries no pre-state but the condition reads `{}`",
+                        prepared.condition.id(),
+                        logged.op,
+                        names::INITIAL,
+                    ))
+                }
+            };
+        }
+        if let Some(result) = &logged.result {
+            model.insert(names::RESULT1, result.clone());
+        }
+        for (name, value) in prepared.first_params.iter().zip(&logged.args) {
+            model.insert(name.clone(), value.clone());
+        }
+        for (name, value) in prepared.second_params.iter().zip(incoming_args) {
+            model.insert(name.clone(), value.clone());
+        }
+        eval_bool(&prepared.condition.formula, &model)
+            .map_err(|e| format!("{}: {e}", prepared.condition.id()))
     }
 
     /// Checks an incoming operation of transaction `txn` against every logged
@@ -115,29 +221,45 @@ impl CommutativityGatekeeper {
     ///
     /// # Errors
     ///
-    /// Returns the first [`Conflict`] found. Evaluation problems are treated
-    /// conservatively as conflicts (the operation will be retried or the
-    /// transaction aborted).
+    /// Returns the first [`Conflict`] found, or
+    /// [`AdmissionError::Evaluation`] if a condition could not be evaluated —
+    /// the latter is **not** a conflict and must not be retried (see
+    /// [`AdmissionError`]).
     pub fn admit(
         &self,
         log: &OperationLog,
         txn: u64,
         incoming_op: &str,
         incoming_args: &[Value],
-    ) -> Result<(), Conflict> {
+    ) -> Result<(), AdmissionError> {
         for logged in log.entries_of_others(txn) {
-            let commutes = self
-                .commutes_with(logged, incoming_op, incoming_args)
-                .unwrap_or(false);
-            if !commutes {
-                return Err(Conflict {
-                    with_txn: logged.txn,
-                    logged_op: logged.op.clone(),
-                    incoming_op: incoming_op.to_string(),
-                });
-            }
+            self.check_entry(logged, incoming_op, incoming_args)?;
         }
         Ok(())
+    }
+
+    /// Checks an incoming operation against one logged entry of another
+    /// transaction, classifying the outcome as admissible, [`Conflict`], or
+    /// an evaluation failure.
+    ///
+    /// # Errors
+    ///
+    /// See [`admit`](CommutativityGatekeeper::admit).
+    pub fn check_entry(
+        &self,
+        logged: &LogEntry,
+        incoming_op: &str,
+        incoming_args: &[Value],
+    ) -> Result<(), AdmissionError> {
+        match self.commutes_with(logged, incoming_op, incoming_args) {
+            Ok(true) => Ok(()),
+            Ok(false) => Err(AdmissionError::Conflict(Conflict {
+                with_txn: logged.txn,
+                logged_op: logged.op.clone(),
+                incoming_op: incoming_op.to_string(),
+            })),
+            Err(e) => Err(AdmissionError::Evaluation(e)),
+        }
     }
 }
 
@@ -152,8 +274,9 @@ mod tests {
             op: op.to_string(),
             args: vec![Value::elem(arg)],
             result: Some(Value::Bool(result)),
-            pre_state: AbstractState::Set(
-                state.iter().map(|&i| semcommute_logic::ElemId(i)).collect(),
+            pre_state: Some(
+                AbstractState::Set(state.iter().map(|&i| semcommute_logic::ElemId(i)).collect())
+                    .to_value(),
             ),
         }
     }
@@ -170,6 +293,17 @@ mod tests {
     }
 
     #[test]
+    fn pre_state_is_required_only_where_a_condition_reads_s1() {
+        let g = CommutativityGatekeeper::new(InterfaceId::Set);
+        // add/* and contains/* between conditions test `r1`, not `s1`.
+        assert!(!g.requires_pre_state("add"));
+        assert!(!g.requires_pre_state("contains"));
+        // remove/contains and size/add read `s1` membership.
+        assert!(g.requires_pre_state("remove"));
+        assert!(g.requires_pre_state("size"));
+    }
+
+    #[test]
     fn distinct_elements_commute_same_element_conflicts() {
         let g = CommutativityGatekeeper::new(InterfaceId::Set);
         let mut log = OperationLog::new();
@@ -180,7 +314,10 @@ mod tests {
         assert!(g.admit(&log, 2, "add", &[Value::elem(7)]).is_ok());
         // Transaction 2 removing the element transaction 1 just added does
         // not commute.
-        let conflict = g.admit(&log, 2, "remove", &[Value::elem(5)]).unwrap_err();
+        let conflict = match g.admit(&log, 2, "remove", &[Value::elem(5)]) {
+            Err(AdmissionError::Conflict(c)) => c,
+            other => panic!("expected a conflict, got {other:?}"),
+        };
         assert_eq!(conflict.with_txn, 1);
         assert_eq!(conflict.logged_op, "add");
         assert!(conflict.to_string().contains("does not commute"));
@@ -210,13 +347,52 @@ mod tests {
             op: "put".into(),
             args: vec![Value::elem(1), Value::elem(10)],
             result: Some(Value::null()),
-            pre_state: AbstractState::Map(Default::default()),
+            pre_state: Some(AbstractState::Map(Default::default()).to_value()),
         });
         // A put to a different key commutes.
         assert!(g
             .admit(&log, 2, "put", &[Value::elem(2), Value::elem(20)])
             .is_ok());
         // A get of the same key does not.
-        assert!(g.admit(&log, 2, "get", &[Value::elem(1)]).is_err());
+        assert!(matches!(
+            g.admit(&log, 2, "get", &[Value::elem(1)]),
+            Err(AdmissionError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_pairs_are_evaluation_errors_not_conflicts() {
+        let g = CommutativityGatekeeper::new(InterfaceId::Set);
+        let mut log = OperationLog::new();
+        log.record(set_entry(1, "add", 5, true, &[]));
+        // An operation the catalog knows nothing about must fail loudly, not
+        // read as "does not commute".
+        let err = g
+            .admit(&log, 2, "frobnicate", &[Value::elem(5)])
+            .unwrap_err();
+        match err {
+            AdmissionError::Evaluation(msg) => {
+                assert!(
+                    msg.contains("no condition for pair add/frobnicate"),
+                    "{msg}"
+                );
+            }
+            AdmissionError::Conflict(_) => panic!("evaluation failure misreported as conflict"),
+        }
+    }
+
+    #[test]
+    fn missing_required_pre_state_is_an_evaluation_error() {
+        let g = CommutativityGatekeeper::new(InterfaceId::Set);
+        let mut log = OperationLog::new();
+        let mut entry = set_entry(1, "size", 0, true, &[]);
+        entry.args = vec![];
+        entry.result = Some(Value::Int(0));
+        entry.pre_state = None; // size/add reads s1 — this entry is unusable.
+        log.record(entry);
+        assert!(matches!(
+            g.admit(&log, 2, "add", &[Value::elem(1)]),
+            Err(AdmissionError::Evaluation(_))
+        ));
     }
 }

@@ -1,0 +1,197 @@
+//! The sharded in-flight operation index: which uncommitted operations are
+//! currently outstanding, readable without the structure lock.
+//!
+//! The seed runtime kept one flat [`OperationLog`](crate::OperationLog)
+//! behind the same mutex protecting the data structure, so gatekeeper
+//! admission — the expensive part of every speculative operation — fully
+//! serialized the runtime. The index replaces it with the sharded claim-table
+//! discipline of `prover::queue`: transactions hash into one of
+//! [`N_SHARDS`] `RwLock`-protected maps keyed by transaction id, each map
+//! holding that transaction's published operations in execution order.
+//!
+//! * **Admission reads** take one shard read lock at a time, clone the `Arc`s
+//!   out, and evaluate conditions entirely outside any lock.
+//! * **Publishing** (one write lock on the publisher's own shard) happens
+//!   while the publisher holds the structure lock, which makes
+//!   apply-and-publish atomic; the runtime's monotone publish sequence lets
+//!   admission revalidate only the entries that appeared after its optimistic
+//!   read (see [`InFlightIndex::others_since`]).
+//! * **Commit** removes the transaction's slot from its own shard — O(own
+//!   operations), no structure lock, no scan of anyone else's entries.
+//!
+//! Lock order: the structure mutex, if held, is always acquired *before* any
+//! shard lock, and no path acquires the structure mutex while holding a
+//! shard lock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::log::LogEntry;
+
+/// Shard count of the index. Sixteen matches the prover's verdict-cache and
+/// claim-table split and keeps publisher/reader collisions rare at the
+/// thread counts the runtime targets.
+pub const N_SHARDS: usize = 16;
+
+/// One published operation: a log entry tagged with its global publish
+/// sequence number (assigned under the structure lock, so sequence order is
+/// application order).
+#[derive(Debug)]
+pub struct PublishedOp {
+    /// Position in the global publish order (1-based; 0 is "before any op").
+    pub seq: u64,
+    /// The logged operation.
+    pub entry: LogEntry,
+}
+
+type Shard = RwLock<HashMap<u64, Vec<Arc<PublishedOp>>>>;
+
+/// The sharded index of uncommitted transactions' published operations.
+#[derive(Default)]
+pub struct InFlightIndex {
+    shards: [Shard; N_SHARDS],
+}
+
+impl std::fmt::Debug for InFlightIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InFlightIndex")
+            .field("published_ops", &self.len())
+            .finish()
+    }
+}
+
+impl InFlightIndex {
+    /// Creates an empty index.
+    pub fn new() -> InFlightIndex {
+        InFlightIndex::default()
+    }
+
+    fn shard(&self, txn: u64) -> &Shard {
+        &self.shards[(txn % N_SHARDS as u64) as usize]
+    }
+
+    /// Appends a published operation to `txn`'s slot (creating the slot on
+    /// the transaction's first operation).
+    pub fn publish(&self, txn: u64, op: Arc<PublishedOp>) {
+        self.shard(txn).write().entry(txn).or_default().push(op);
+    }
+
+    /// Removes `txn`'s slot, returning how many operations it held. A
+    /// transaction that never published has no slot; removing it touches no
+    /// lock state beyond its own shard.
+    pub fn remove(&self, txn: u64) -> usize {
+        self.shard(txn)
+            .write()
+            .remove(&txn)
+            .map_or(0, |entries| entries.len())
+    }
+
+    /// All operations of transactions other than `txn`, as `Arc` clones —
+    /// the caller evaluates conditions against them without holding any
+    /// shard lock.
+    pub fn others(&self, txn: u64) -> Vec<Arc<PublishedOp>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (&owner, entries) in guard.iter() {
+                if owner != txn {
+                    out.extend(entries.iter().cloned());
+                }
+            }
+        }
+        out
+    }
+
+    /// Operations of other transactions with `seq > bound` — the entries
+    /// published after an optimistic admission pass took its sequence
+    /// snapshot. Each transaction's entries are appended in sequence order,
+    /// so only slot tails are scanned.
+    pub fn others_since(&self, txn: u64, bound: u64) -> Vec<Arc<PublishedOp>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read();
+            for (&owner, entries) in guard.iter() {
+                if owner == txn {
+                    continue;
+                }
+                let tail = entries.iter().rev().take_while(|op| op.seq > bound);
+                out.extend(tail.cloned());
+            }
+        }
+        out
+    }
+
+    /// The total number of published (uncommitted) operations.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.read().values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Whether no uncommitted operations are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcommute_logic::Value;
+
+    fn op(txn: u64, seq: u64) -> Arc<PublishedOp> {
+        Arc::new(PublishedOp {
+            seq,
+            entry: LogEntry {
+                txn,
+                op: "add".into(),
+                args: vec![Value::elem(seq as u32)],
+                result: Some(Value::Bool(true)),
+                pre_state: None,
+            },
+        })
+    }
+
+    #[test]
+    fn publish_remove_and_counts() {
+        let index = InFlightIndex::new();
+        assert!(index.is_empty());
+        index.publish(1, op(1, 1));
+        index.publish(2, op(2, 2));
+        index.publish(1, op(1, 3));
+        assert_eq!(index.len(), 3);
+        assert_eq!(index.remove(1), 2);
+        assert_eq!(index.remove(1), 0);
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn others_excludes_own_entries() {
+        let index = InFlightIndex::new();
+        // Transactions 1 and 17 land in the same shard (17 % 16 == 1).
+        index.publish(1, op(1, 1));
+        index.publish(17, op(17, 2));
+        index.publish(5, op(5, 3));
+        let seen: Vec<u64> = index.others(17).iter().map(|o| o.entry.txn).collect();
+        assert_eq!(seen.len(), 2);
+        assert!(seen.contains(&1) && seen.contains(&5));
+    }
+
+    #[test]
+    fn others_since_scans_only_tails() {
+        let index = InFlightIndex::new();
+        index.publish(1, op(1, 1));
+        index.publish(1, op(1, 4));
+        index.publish(2, op(2, 5));
+        index.publish(1, op(1, 7));
+        let fresh: Vec<u64> = index.others_since(3, 4).iter().map(|o| o.seq).collect();
+        assert_eq!(fresh.len(), 2);
+        assert!(fresh.contains(&5) && fresh.contains(&7));
+        assert!(index.others_since(3, 7).is_empty());
+        // The bound is exclusive and own entries never appear.
+        assert!(index.others_since(1, 0).iter().all(|o| o.entry.txn == 2));
+    }
+}

@@ -17,9 +17,11 @@
 //!
 //! * [`AnyStructure`] — a uniform handle over the six concrete data
 //!   structures (dispatching operation names to the trait implementations and
-//!   exposing the abstraction function),
-//! * [`OperationLog`] — the per-transaction log of executed operations with
-//!   their arguments, recorded return values, and pre-states,
+//!   exposing the abstraction function), wrapped by [`TrackedStructure`] to
+//!   maintain an O(1)-snapshottable persistent mirror of the abstract state,
+//! * [`LogEntry`] / [`index`] — executed operations (arguments, recorded
+//!   return values, pre-state projections) published through the sharded
+//!   in-flight index so admission never holds the structure lock,
 //! * [`gatekeeper`] — the dynamic commutativity check driven by the verified
 //!   between conditions,
 //! * [`SpeculativeRuntime`] / [`Transaction`] — optimistic transactions with
@@ -35,13 +37,15 @@
 pub mod baseline;
 pub mod executor;
 pub mod gatekeeper;
+pub mod index;
 pub mod log;
 pub mod rollback;
 pub mod structure;
 
 pub use baseline::CoarseLockRuntime;
-pub use executor::{SpeculativeRuntime, Transaction, TxnError};
-pub use gatekeeper::{CommutativityGatekeeper, Conflict};
+pub use executor::{RuntimeStats, SpeculativeRuntime, Transaction, TxnError};
+pub use gatekeeper::{AdmissionError, CommutativityGatekeeper, Conflict};
+pub use index::InFlightIndex;
 pub use log::{LogEntry, OperationLog};
 pub use rollback::{InverseRollback, SnapshotRollback};
-pub use structure::AnyStructure;
+pub use structure::{AnyStructure, TrackedStructure};

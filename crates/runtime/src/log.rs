@@ -1,17 +1,27 @@
 //! Operation logs: what a transaction has executed so far.
 
 use semcommute_logic::Value;
-use semcommute_spec::AbstractState;
 
 /// One executed operation, as recorded by the speculative runtime.
 ///
 /// The entry carries everything the verified artifacts need later:
 ///
 /// * the *between* commutativity conditions may reference the operation's
-///   arguments, its recorded return value, and the abstract state before it
-///   executed, and
+///   arguments, its recorded return value, and (for a handful of pairs) the
+///   abstract state before it executed, and
 /// * the inverse operation may need the arguments and the return value to
-///   undo the effect (Table 5.10).
+///   undo the effect (Table 5.10) — inverses never read the pre-state.
+///
+/// `pre_state` is a **projection**: it is populated only when some between
+/// condition whose *first* operation is `op` actually mentions the initial
+/// state `s1` (see
+/// [`CommutativityGatekeeper::requires_pre_state`](crate::CommutativityGatekeeper::requires_pre_state)).
+/// Most recorded-variant between conditions test the recorded return value
+/// `r1` instead — that is the point of recording it — so most entries carry
+/// `None` here and cost nothing to record. When the state *is* needed it is
+/// captured as a persistent [`Value`] handle (`PSet`/`PMap`/`PSeq` payloads),
+/// which clones in O(1) from the runtime's incrementally-maintained mirror:
+/// recording an entry never walks the structure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogEntry {
     /// The transaction that executed the operation.
@@ -22,15 +32,21 @@ pub struct LogEntry {
     pub args: Vec<Value>,
     /// The recorded return value (`None` for void operations).
     pub result: Option<Value>,
-    /// The abstract state immediately before the operation executed.
-    pub pre_state: AbstractState,
+    /// The abstract state immediately before the operation executed, as a
+    /// logical value — recorded only for operations whose between conditions
+    /// read `s1` (`None` otherwise).
+    pub pre_state: Option<Value>,
 }
 
-/// The log of operations executed by *uncommitted* transactions.
+/// An append-ordered log of operations tagged with their transactions.
 ///
-/// Committed transactions are removed: their effects are permanent and no
-/// longer constrain reordering (only operations of still-active transactions
-/// can be rolled back and therefore need to commute with newcomers).
+/// Since the runtime moved to per-transaction logs published through the
+/// sharded [`InFlightIndex`](crate::index::InFlightIndex), this type is no
+/// longer the runtime's shared hot-path structure; it remains the convenient
+/// flat shape for unit tests, benchmarks, and
+/// [`CommutativityGatekeeper::admit`](crate::CommutativityGatekeeper::admit),
+/// which all want "a few transactions' entries in execution order" without
+/// standing up a whole runtime.
 #[derive(Debug, Clone, Default)]
 pub struct OperationLog {
     entries: Vec<LogEntry>,
@@ -99,7 +115,7 @@ mod tests {
             op: op.to_string(),
             args: vec![Value::elem(1)],
             result: Some(Value::Bool(true)),
-            pre_state: AbstractState::Set(Default::default()),
+            pre_state: None,
         }
     }
 

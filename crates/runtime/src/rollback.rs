@@ -144,13 +144,14 @@ mod tests {
     use super::*;
     use semcommute_logic::Value;
 
-    fn logged(op: &str, args: Vec<Value>, result: Option<Value>, pre: AbstractState) -> LogEntry {
+    fn logged(op: &str, args: Vec<Value>, result: Option<Value>) -> LogEntry {
         LogEntry {
             txn: 1,
             op: op.to_string(),
             args,
             result,
-            pre_state: pre,
+            // Inverses read arguments and results only — never the pre-state.
+            pre_state: None,
         }
     }
 
@@ -161,13 +162,11 @@ mod tests {
         let before = s.abstract_state();
 
         // Execute two operations and log them.
-        let pre1 = s.abstract_state();
         let r1 = s.apply("add", &[Value::elem(2)]).unwrap();
-        let pre2 = s.abstract_state();
         let r2 = s.apply("remove", &[Value::elem(1)]).unwrap();
         let entries = vec![
-            logged("add", vec![Value::elem(2)], r1, pre1),
-            logged("remove", vec![Value::elem(1)], r2, pre2),
+            logged("add", vec![Value::elem(2)], r1),
+            logged("remove", vec![Value::elem(1)], r2),
         ];
 
         let rollback = InverseRollback::new(InterfaceId::Set);
@@ -181,14 +180,13 @@ mod tests {
         let mut s = AnyStructure::by_name("ListSet").unwrap();
         s.apply("add", &[Value::elem(4)]).unwrap();
         let before = s.abstract_state();
-        let pre = s.abstract_state();
         // Adding an element that is already present returns false: nothing to
         // undo. A contains observation also needs no undo.
         let r = s.apply("add", &[Value::elem(4)]).unwrap();
         let rc = s.apply("contains", &[Value::elem(4)]).unwrap();
         let entries = vec![
-            logged("add", vec![Value::elem(4)], r, pre.clone()),
-            logged("contains", vec![Value::elem(4)], rc, pre),
+            logged("add", vec![Value::elem(4)], r),
+            logged("contains", vec![Value::elem(4)], rc),
         ];
         InverseRollback::new(InterfaceId::Set)
             .undo(&mut s, &entries)
@@ -202,12 +200,11 @@ mod tests {
         let mut m = AnyStructure::by_name("HashTable").unwrap();
         m.apply("put", &[Value::elem(1), Value::elem(10)]).unwrap();
         let before = m.abstract_state();
-        let pre = m.abstract_state();
         let r = m.apply("put", &[Value::elem(1), Value::elem(20)]).unwrap();
         InverseRollback::new(InterfaceId::Map)
             .undo(
                 &mut m,
-                &[logged("put", vec![Value::elem(1), Value::elem(20)], r, pre)],
+                &[logged("put", vec![Value::elem(1), Value::elem(20)], r)],
             )
             .unwrap();
         assert_eq!(m.abstract_state(), before);
@@ -219,10 +216,9 @@ mod tests {
                 .unwrap();
         }
         let before = l.abstract_state();
-        let pre = l.abstract_state();
         let r = l.apply("removeAt", &[Value::Int(1)]).unwrap();
         InverseRollback::new(InterfaceId::List)
-            .undo(&mut l, &[logged("removeAt", vec![Value::Int(1)], r, pre)])
+            .undo(&mut l, &[logged("removeAt", vec![Value::Int(1)], r)])
             .unwrap();
         assert_eq!(l.abstract_state(), before);
     }

@@ -274,6 +274,113 @@ fn apply_list<L: ListInterface>(
     }
 }
 
+/// A concrete structure paired with an incrementally-maintained mirror of
+/// its abstract state.
+///
+/// The speculative runtime's gatekeeper evaluates between conditions against
+/// the abstract state a logged operation saw. Recomputing that state through
+/// the abstraction function ([`AnyStructure::abstract_state`]) walks the
+/// whole structure — O(size) per logged operation, the dominant cost of the
+/// seed runtime. `TrackedStructure` instead keeps the abstract state as a
+/// persistent logical [`Value`] (`PSet`/`PMap`/`PSeq` payloads) and updates
+/// it in step with every dispatched operation: the update is O(log size),
+/// and taking a snapshot for a log entry is an O(1) handle clone
+/// ([`state_value`](TrackedStructure::state_value)).
+///
+/// The mirror is definitionally equal to `inner().abstract_state().to_value()`
+/// after every successful [`apply`](TrackedStructure::apply) (failed
+/// dispatches change neither the structure nor the mirror); the runtime's
+/// differential tests pin this.
+#[derive(Debug, Clone)]
+pub struct TrackedStructure {
+    inner: AnyStructure,
+    mirror: Value,
+}
+
+impl TrackedStructure {
+    /// Wraps a structure, computing the initial mirror through the
+    /// abstraction function (the only full walk this type ever performs).
+    pub fn new(inner: AnyStructure) -> TrackedStructure {
+        let mirror = inner.abstract_state().to_value();
+        TrackedStructure { inner, mirror }
+    }
+
+    /// The wrapped concrete structure.
+    pub fn inner(&self) -> &AnyStructure {
+        &self.inner
+    }
+
+    /// The mirrored abstract state as a logical value. Cloning the returned
+    /// reference is O(1) — the collection payloads are persistent handles.
+    pub fn state_value(&self) -> &Value {
+        &self.mirror
+    }
+
+    /// Invokes an interface operation by name, keeping the mirror in step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DispatchError`] for unknown operations or ill-formed
+    /// arguments; the structure and the mirror are unchanged in that case.
+    pub fn apply(&mut self, op: &str, args: &[Value]) -> Result<Option<Value>, DispatchError> {
+        let result = self.inner.apply(op, args)?;
+        self.track(op, args);
+        Ok(result)
+    }
+
+    /// Mirrors the effect of a *successfully dispatched* operation. The
+    /// arguments were validated by the dispatch, so the extractions below
+    /// cannot fail.
+    fn track(&mut self, op: &str, args: &[Value]) {
+        fn elem(args: &[Value], index: usize) -> ElemId {
+            match &args[index] {
+                Value::Elem(e) => *e,
+                other => unreachable!("dispatch validated argument {index}, got {other:?}"),
+            }
+        }
+        fn int(args: &[Value], index: usize) -> i64 {
+            match &args[index] {
+                Value::Int(i) => *i,
+                other => unreachable!("dispatch validated argument {index}, got {other:?}"),
+            }
+        }
+        match &mut self.mirror {
+            Value::Int(counter) => {
+                if op == "increase" {
+                    *counter += int(args, 0);
+                }
+            }
+            Value::Set(set) => match op {
+                "add" => {
+                    set.insert(elem(args, 0));
+                }
+                "remove" => {
+                    set.remove(&elem(args, 0));
+                }
+                _ => {}
+            },
+            Value::Map(map) => match op {
+                "put" => {
+                    map.insert(elem(args, 0), elem(args, 1));
+                }
+                "remove" => {
+                    map.remove(&elem(args, 0));
+                }
+                _ => {}
+            },
+            Value::Seq(seq) => match op {
+                "addAt" => seq.insert(int(args, 0) as usize, elem(args, 1)),
+                "removeAt" => {
+                    seq.remove(int(args, 0) as usize);
+                }
+                "set" => seq.set(int(args, 0) as usize, elem(args, 1)),
+                _ => {}
+            },
+            other => unreachable!("no structure mirrors to {other:?}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,5 +489,66 @@ mod tests {
         ));
         let err = s.apply("add", &[Value::Int(3)]).unwrap_err();
         assert!(err.to_string().contains("must be an element"));
+    }
+
+    #[test]
+    fn tracked_mirror_stays_equal_to_the_abstraction_function() {
+        // Drive every structure through a mixed trace (including no-op
+        // updates and failing dispatches) and check the mirror against the
+        // ground-truth abstraction after every step.
+        type Trace<'a> = (&'a str, &'a [(&'a str, &'a [Value])]);
+        let traces: &[Trace] = &[
+            (
+                "HashSet",
+                &[
+                    ("add", &[Value::elem(1)]),
+                    ("add", &[Value::elem(1)]),
+                    ("remove", &[Value::elem(2)]),
+                    ("remove", &[Value::elem(1)]),
+                    ("contains", &[Value::elem(1)]),
+                    ("add", &[Value::null()]), // dispatch error: no change
+                ],
+            ),
+            (
+                "HashTable",
+                &[
+                    ("put", &[Value::elem(1), Value::elem(10)]),
+                    ("put", &[Value::elem(1), Value::elem(11)]),
+                    ("remove", &[Value::elem(2)]),
+                    ("remove", &[Value::elem(1)]),
+                    ("size", &[]),
+                ],
+            ),
+            (
+                "ArrayList",
+                &[
+                    ("addAt", &[Value::Int(0), Value::elem(5)]),
+                    ("addAt", &[Value::Int(1), Value::elem(6)]),
+                    ("set", &[Value::Int(0), Value::elem(7)]),
+                    ("removeAt", &[Value::Int(1)]),
+                    ("removeAt", &[Value::Int(5)]), // dispatch error: no change
+                    ("get", &[Value::Int(0)]),
+                ],
+            ),
+            (
+                "Accumulator",
+                &[
+                    ("increase", &[Value::Int(5)]),
+                    ("increase", &[Value::Int(-9)]),
+                    ("read", &[]),
+                ],
+            ),
+        ];
+        for (name, trace) in traces {
+            let mut tracked = TrackedStructure::new(AnyStructure::by_name(name).unwrap());
+            for (op, args) in *trace {
+                let _ = tracked.apply(op, args);
+                assert_eq!(
+                    *tracked.state_value(),
+                    tracked.inner().abstract_state().to_value(),
+                    "{name}.{op} mirror drifted"
+                );
+            }
+        }
     }
 }

@@ -1,0 +1,242 @@
+//! Cross-thread differential stress harness for the speculative runtime.
+//!
+//! For every concrete structure, random mixed workloads run through the
+//! [`SpeculativeRuntime`] at 1, 4, and 8 threads. The key domain is small, so
+//! transactions genuinely collide and the conflict/abort/rollback paths are
+//! exercised, not just the happy path. After each run the harness checks:
+//!
+//! 1. **Serializability.** Every committed transaction records its operations
+//!    (with their return values) and its commit ticket. Replaying the
+//!    committed transactions serially, in ticket order, through the
+//!    coarse-lock oracle must reproduce every recorded return value and the
+//!    final abstract state — i.e. the concurrent execution is equivalent to
+//!    that serial execution. This is exactly the property the verified
+//!    between conditions and inverse operations are supposed to buy.
+//! 2. **Representation invariants** hold on the shared structure afterwards.
+//! 3. **Stats identity**: `commits + aborts == begun`, and the number of
+//!    recorded committed transactions equals `commits`.
+//!
+//! The workload size is tunable for nightly-style soak runs via the
+//! `SEMCOMMUTE_STRESS_ITERS` environment variable (transactions per thread,
+//! default 40).
+
+use std::sync::Mutex;
+
+use semcommute_logic::Value;
+use semcommute_runtime::{AnyStructure, CoarseLockRuntime, SpeculativeRuntime, TxnError};
+use semcommute_spec::InterfaceId;
+
+/// Deterministic xorshift64* generator — no external crates, reproducible
+/// failures.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn iterations() -> u64 {
+    std::env::var("SEMCOMMUTE_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40)
+}
+
+/// A random operation valid for the interface. Keys are drawn from a small
+/// domain — skewed toward a handful of hot keys half of the time — so
+/// concurrent transactions conflict often enough to exercise rollback.
+fn random_op(rng: &mut XorShift, interface: InterfaceId) -> (&'static str, Vec<Value>) {
+    let key = |rng: &mut XorShift| {
+        let hot = rng.below(2) == 0;
+        let k = if hot { rng.below(3) } else { rng.below(12) };
+        Value::elem(k as u32 + 1)
+    };
+    match interface {
+        InterfaceId::Accumulator => match rng.below(3) {
+            0 => ("read", vec![]),
+            _ => ("increase", vec![Value::Int(rng.below(11) as i64 - 5)]),
+        },
+        InterfaceId::Set => match rng.below(8) {
+            0..=2 => ("add", vec![key(rng)]),
+            3..=4 => ("remove", vec![key(rng)]),
+            5..=6 => ("contains", vec![key(rng)]),
+            _ => ("size", vec![]),
+        },
+        InterfaceId::Map => match rng.below(8) {
+            0..=2 => ("put", vec![key(rng), Value::elem(rng.below(16) as u32 + 1)]),
+            3..=4 => ("remove", vec![key(rng)]),
+            5..=6 => ("get", vec![key(rng)]),
+            _ => ("size", vec![]),
+        },
+        InterfaceId::List => {
+            // Indices may be out of range by the time the operation runs —
+            // the dispatcher rejects those and the transaction is dropped.
+            let index = |rng: &mut XorShift| Value::Int(rng.below(5) as i64);
+            match rng.below(10) {
+                0..=2 => ("addAt", vec![index(rng), key(rng)]),
+                3..=4 => ("removeAt", vec![index(rng)]),
+                5 => ("set", vec![index(rng), key(rng)]),
+                6 => ("get", vec![index(rng)]),
+                7 => ("indexOf", vec![key(rng)]),
+                _ => ("size", vec![]),
+            }
+        }
+    }
+}
+
+/// A committed transaction as observed concurrently: its commit ticket and
+/// the operations it executed with their recorded return values.
+struct Committed {
+    ticket: u64,
+    ops: Vec<(&'static str, Vec<Value>, Option<Value>)>,
+}
+
+/// Runs the random workload at the given thread count and checks every
+/// differential property.
+fn differential(structure_name: &str, threads: u64) {
+    let per_thread = iterations();
+    let rt = SpeculativeRuntime::new(AnyStructure::by_name(structure_name).unwrap());
+    let interface = AnyStructure::by_name(structure_name).unwrap().interface();
+    let committed: Mutex<Vec<Committed>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let rt = rt.clone();
+            let committed = &committed;
+            scope.spawn(move || {
+                let mut rng =
+                    XorShift::new(0x9e37_79b9 ^ (thread << 32) ^ threads ^ per_thread << 8);
+                'txns: for _ in 0..per_thread {
+                    let script: Vec<(&'static str, Vec<Value>)> = (0..rng.below(3) + 1)
+                        .map(|_| random_op(&mut rng, interface))
+                        .collect();
+                    'retries: for _ in 0..1_000 {
+                        let mut txn = rt.begin();
+                        let mut recorded = Vec::with_capacity(script.len());
+                        for (op, args) in &script {
+                            match txn.execute(op, args) {
+                                Ok(result) => recorded.push((*op, args.clone(), result)),
+                                Err(TxnError::Conflict(_)) => {
+                                    txn.abort();
+                                    std::thread::yield_now();
+                                    continue 'retries;
+                                }
+                                Err(TxnError::Dispatch(_)) => {
+                                    // Stale index (list shrank): drop the
+                                    // whole transaction, nothing committed.
+                                    txn.abort();
+                                    continue 'txns;
+                                }
+                                Err(other) => {
+                                    panic!("unexpected transaction error: {other}")
+                                }
+                            }
+                        }
+                        let ticket = txn.commit();
+                        committed.lock().unwrap().push(Committed {
+                            ticket,
+                            ops: recorded,
+                        });
+                        continue 'txns;
+                    }
+                    // Retry budget exhausted: the transaction stays aborted,
+                    // which the stats identity below still accounts for.
+                }
+            });
+        }
+    });
+
+    // 2. Representation invariants hold on the live structure.
+    rt.check_invariants()
+        .unwrap_or_else(|e| panic!("{structure_name}/{threads}: invariant violated: {e}"));
+
+    // 3. Stats identity.
+    let stats = rt.stats();
+    assert_eq!(
+        stats.begun,
+        stats.commits + stats.aborts,
+        "{structure_name}/{threads}: every begun transaction must commit or abort"
+    );
+    let mut committed = committed.into_inner().unwrap();
+    assert_eq!(
+        stats.commits as usize,
+        committed.len(),
+        "{structure_name}/{threads}: commit count disagrees with recorded transactions"
+    );
+    assert_eq!(rt.pending_operations(), 0);
+
+    // 1. Serializability: serial replay in commit-ticket order through the
+    // coarse-lock oracle reproduces every recorded result and the final
+    // state.
+    committed.sort_by_key(|c| c.ticket);
+    let oracle = CoarseLockRuntime::new(AnyStructure::by_name(structure_name).unwrap());
+    for txn in &committed {
+        oracle.run_transaction(|serial| {
+            for (op, args, recorded) in &txn.ops {
+                let replayed = serial.execute(op, args).unwrap_or_else(|e| {
+                    panic!("{structure_name}/{threads}: committed `{op}` rejected on replay: {e}")
+                });
+                assert_eq!(
+                    &replayed, recorded,
+                    "{structure_name}/{threads}: `{op}` returned a different value on serial \
+                     replay — the concurrent execution is not serializable"
+                );
+            }
+        });
+    }
+    assert_eq!(
+        oracle.snapshot(),
+        rt.snapshot(),
+        "{structure_name}/{threads}: final state differs from the serial execution"
+    );
+}
+
+fn differential_all_thread_counts(structure_name: &str) {
+    for threads in [1, 4, 8] {
+        differential(structure_name, threads);
+    }
+}
+
+#[test]
+fn differential_accumulator() {
+    differential_all_thread_counts("Accumulator");
+}
+
+#[test]
+fn differential_hash_set() {
+    differential_all_thread_counts("HashSet");
+}
+
+#[test]
+fn differential_list_set() {
+    differential_all_thread_counts("ListSet");
+}
+
+#[test]
+fn differential_hash_table() {
+    differential_all_thread_counts("HashTable");
+}
+
+#[test]
+fn differential_association_list() {
+    differential_all_thread_counts("AssociationList");
+}
+
+#[test]
+fn differential_array_list() {
+    differential_all_thread_counts("ArrayList");
+}
