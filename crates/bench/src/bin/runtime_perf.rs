@@ -17,20 +17,41 @@
 //! engine runs a reduced operation count (it is quadratic in practice) and
 //! is compared on *per-committed-operation* time.
 //!
-//! Usage: `runtime_perf [--ops N] [--prefill N] [--seed-ops N] [--json PATH]`.
+//! A fourth axis isolates the **admission backend** (`--admit`): compiled
+//! register programs ([`AdmitBackend::Bytecode`]) versus the `Model`-building
+//! interpreter ([`AdmitBackend::Interp`]). At a single thread the log would
+//! normally be empty when each transaction runs, so the admission legs pin a
+//! few background transactions open for the whole measured run — their logged
+//! entries are what every workload operation must be admitted against, which
+//! puts the two-phase admission path itself on the critical path. The pinned
+//! scripts include `contains` probes on hot prefilled keys so the skewed
+//! workload also produces genuine conflict verdicts, and a small prefill
+//! keeps copy-on-write detach cost from swamping the admission cost being
+//! compared. Both backends run the identical deterministic workload; their
+//! commit/abort/conflict counts must be identical (the diff harnesses prove
+//! the verdicts agree) so the wall-time ratio *is* the per-op ratio.
+//!
+//! Usage: `runtime_perf [--ops N] [--prefill N] [--seed-ops N]
+//! [--admit bytecode|interp|both|off] [--json PATH]`.
 //! With the defaults the speculative and coarse legs together drive several
 //! million mixed operations across the configurations. Emits the
 //! measurements as JSON
-//! (`BENCH_pr7.json` in CI) with an `acceptance` section recording the
+//! (`BENCH_pr8.json` in CI) with an `acceptance` section recording the
 //! single-core criterion: speculative per-op overhead at threads=1 must be
-//! ≥ 5× lower than the seed engine's.
+//! ≥ 5× lower than the seed engine's — and, when both admission backends
+//! run, compiled admission must be at most 0.5× the interpreter's per-op
+//! time with identical counts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use semcommute_bench::seed_runtime::SeedRuntime;
 use semcommute_logic::Value;
-use semcommute_runtime::{AnyStructure, CoarseLockRuntime, SpeculativeRuntime, TxnError};
+use semcommute_runtime::{
+    AdmissionError, AdmitBackend, AnyStructure, CoarseLockRuntime, CommutativityGatekeeper,
+    LogEntry, SpeculativeRuntime, TxnError,
+};
+use semcommute_spec::InterfaceId;
 
 /// Deterministic xorshift64* — reproducible workloads, no external crates.
 struct XorShift(u64);
@@ -97,12 +118,19 @@ impl Workload {
 struct Measurement {
     engine: &'static str,
     workload: &'static str,
+    /// Which admission backend the leg ran under: `"default"` for the classic
+    /// grid (whatever `SEMCOMMUTE_ADMIT` selects), the backend name for the
+    /// dedicated admission legs.
+    admit: &'static str,
     threads: u64,
     target_ops: u64,
     committed_ops: u64,
     commits: u64,
     aborts: u64,
     conflicts: u64,
+    /// Operations held open by pinned background transactions for the whole
+    /// measured run (0 for the classic legs).
+    pinned_ops: u64,
     wall_s: f64,
 }
 
@@ -125,18 +153,22 @@ impl Measurement {
 
     fn json(&self) -> String {
         format!(
-            "    {{\"engine\": \"{}\", \"workload\": \"{}\", \"threads\": {}, \
+            "    {{\"engine\": \"{}\", \"workload\": \"{}\", \"admit\": \"{}\", \
+             \"threads\": {}, \
              \"target_ops\": {}, \"committed_ops\": {}, \"commits\": {}, \"aborts\": {}, \
-             \"conflicts\": {}, \"wall_s\": {:.6}, \"committed_ops_per_s\": {:.1}, \
+             \"conflicts\": {}, \"pinned_ops\": {}, \"wall_s\": {:.6}, \
+             \"committed_ops_per_s\": {:.1}, \
              \"per_op_ns\": {:.1}}}",
             self.engine,
             self.workload,
+            self.admit,
             self.threads,
             self.target_ops,
             self.committed_ops,
             self.commits,
             self.aborts,
             self.conflicts,
+            self.pinned_ops,
             self.wall_s,
             self.committed_ops_per_s(),
             self.per_op_ns(),
@@ -190,12 +222,14 @@ fn run_speculative(workload: Workload, threads: u64, ops: u64, prefill: u64) -> 
     Measurement {
         engine: "speculative",
         workload: workload.name(),
+        admit: "default",
         threads,
         target_ops: per_thread * threads * 2,
         committed_ops: committed_ops.load(Ordering::Relaxed),
         commits: stats.commits,
         aborts: stats.aborts,
         conflicts: stats.conflicts,
+        pinned_ops: 0,
         wall_s,
     }
 }
@@ -228,12 +262,14 @@ fn run_coarse(workload: Workload, threads: u64, ops: u64, prefill: u64) -> Measu
     Measurement {
         engine: "coarse_lock",
         workload: workload.name(),
+        admit: "default",
         threads,
         target_ops: per_thread * threads * 2,
         committed_ops: commits * 2,
         commits,
         aborts: 0,
         conflicts: 0,
+        pinned_ops: 0,
         wall_s,
     }
 }
@@ -266,12 +302,189 @@ fn run_seed(workload: Workload, threads: u64, ops: u64, prefill: u64) -> Measure
     Measurement {
         engine: "seed",
         workload: workload.name(),
+        admit: "default",
         threads,
         target_ops: per_thread * threads * 2,
         committed_ops: committed_ops.load(Ordering::Relaxed),
         commits: stats.commits,
         aborts: stats.aborts,
         conflicts: stats.aborts,
+        pinned_ops: 0,
+        wall_s,
+    }
+}
+
+fn admit_label(backend: AdmitBackend) -> &'static str {
+    match backend {
+        AdmitBackend::Bytecode => "bytecode",
+        AdmitBackend::Interp => "interp",
+    }
+}
+
+/// The dedicated admission leg: a single measured thread, a small prefill
+/// (so copy-on-write detach cost stays off the critical path), and three
+/// *pinned* background transactions whose fifteen logged operations every
+/// measured operation must be admitted against. The pinned scripts touch
+/// reserved keys far outside the workload's domain (so the well-formed
+/// verdict is "commutes") plus one `contains` probe each on a hot prefilled
+/// key (so skewed traffic earns genuine conflict verdicts and exercises the
+/// retry/abort path). The workload is deterministic and identical across
+/// backends; only the admission evaluator differs.
+fn run_admission(workload: Workload, backend: AdmitBackend, ops: u64, prefill: u64) -> Measurement {
+    let rt = SpeculativeRuntime::with_backend(prefilled(prefill), backend);
+
+    // Pin the background transactions open for the whole measured run. The
+    // entry count is deliberately large enough (120) that admission checks —
+    // not begin/commit bookkeeping — dominate the measured wall time.
+    let base = (prefill * 100) as u32;
+    let mut pinned = Vec::new();
+    let mut pinned_ops = 0u64;
+    for t in 0..20u32 {
+        let mut txn = rt.begin();
+        let reserved = |i: u32| Value::elem(base + t * 10 + i);
+        let script = [
+            ("add", vec![reserved(0)]),
+            ("remove", vec![reserved(1)]),
+            ("contains", vec![reserved(2)]),
+            // A hot prefilled key: `contains` records `r1 = true`, which is
+            // exactly what the between conditions for (contains, add/remove)
+            // consult when the workload later hits the same key.
+            ("contains", vec![Value::elem(t % 3 + 1)]),
+            ("add", vec![reserved(3)]),
+            ("remove", vec![reserved(4)]),
+        ];
+        for (op, args) in &script {
+            txn.execute(op, args)
+                .expect("pinned setup operations admit against each other");
+            pinned_ops += 1;
+        }
+        pinned.push(txn);
+    }
+
+    let txns = ops / 2; // two ops per transaction
+    let mut committed_ops = 0u64;
+    let mut rng = XorShift::new(0xad31_7bad ^ ops);
+    let start = Instant::now();
+    for _ in 0..txns {
+        let script = workload.transaction(&mut rng, prefill);
+        // Conflicts against a pinned transaction do not resolve on retry, so
+        // a tight retry budget keeps the leg honest: one retry, then abort.
+        let done = rt.run(2, |txn| {
+            for (op, args) in &script {
+                txn.execute(op, args)?;
+            }
+            Ok(())
+        });
+        match done {
+            Ok(()) => committed_ops += script.len() as u64,
+            Err(TxnError::RetriesExhausted) => {}
+            Err(e) => panic!("admission workload failed: {e}"),
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+
+    for txn in pinned {
+        txn.abort();
+    }
+    rt.check_invariants()
+        .expect("invariants hold after the run");
+    let stats = rt.stats();
+    assert_eq!(stats.begun, stats.commits + stats.aborts);
+    Measurement {
+        engine: "speculative",
+        workload: workload.name(),
+        admit: admit_label(backend),
+        threads: 1,
+        target_ops: txns * 2,
+        committed_ops,
+        commits: stats.commits,
+        aborts: stats.aborts,
+        conflicts: stats.conflicts,
+        pinned_ops,
+        wall_s,
+    }
+}
+
+/// The admission-only microbenchmark: drives the gatekeeper's indexed check
+/// path directly — the exact code the executor's hot loop runs per (logged
+/// entry, incoming operation) pair — over a log shaped like
+/// [`run_admission`]'s pinned transactions and incoming operations drawn
+/// from the same workload distributions. No structure, no publish, no
+/// commit: the measured wall time is admission evaluation alone, so the
+/// per-check ratio between the two backends is the number the acceptance
+/// criterion pins. Every check runs (no conflict early-exit), so both
+/// backends perform the identical check sequence; `commits` counts admitted
+/// checks, `conflicts` conflict verdicts, `aborts` evaluation errors
+/// (expected 0).
+fn run_gatekeeper(
+    workload: Workload,
+    backend: AdmitBackend,
+    checks: u64,
+    prefill: u64,
+) -> Measurement {
+    let g = CommutativityGatekeeper::with_backend(InterfaceId::Set, backend);
+
+    // The same entry shape `run_admission`'s pinned transactions publish,
+    // with the results the runtime would record — including the projected
+    // pre-state for operations whose conditions read `s1`, exactly as the
+    // executor attaches it at publish time.
+    let pre = prefilled(prefill).abstract_state().to_value();
+    let base = (prefill * 100) as u32;
+    let mut entries: Vec<(u16, LogEntry)> = Vec::new();
+    for t in 0..20u32 {
+        let reserved = |i: u32| Value::elem(base + t * 10 + i);
+        let shaped = [
+            ("add", reserved(0), Value::Bool(true)),
+            ("remove", reserved(1), Value::Bool(false)),
+            ("contains", reserved(2), Value::Bool(false)),
+            ("contains", Value::elem(t % 3 + 1), Value::Bool(true)),
+            ("add", reserved(3), Value::Bool(true)),
+            ("remove", reserved(4), Value::Bool(false)),
+        ];
+        for (op, arg, result) in shaped {
+            entries.push((
+                g.op_index(op).expect("catalog operation"),
+                LogEntry {
+                    txn: u64::from(t) + 1,
+                    op: op.to_string(),
+                    args: vec![arg],
+                    result: Some(result),
+                    pre_state: g.requires_pre_state(op).then(|| pre.clone()),
+                },
+            ));
+        }
+    }
+
+    let incoming = checks / (2 * entries.len() as u64); // two ops per script
+    let mut rng = XorShift::new(0x06a7_ebad ^ checks);
+    let (mut performed, mut admitted, mut conflicts, mut errors) = (0u64, 0u64, 0u64, 0u64);
+    let start = Instant::now();
+    for _ in 0..incoming {
+        for (op, args) in workload.transaction(&mut rng, prefill) {
+            let op_idx = g.op_index(op).expect("catalog operation");
+            for (first, entry) in &entries {
+                performed += 1;
+                match g.check_indexed(*first, entry, op_idx, op, &args) {
+                    Ok(()) => admitted += 1,
+                    Err(AdmissionError::Conflict(_)) => conflicts += 1,
+                    Err(AdmissionError::Evaluation(_)) => errors += 1,
+                }
+            }
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(errors, 0, "well-formed entries never fail evaluation");
+    Measurement {
+        engine: "gatekeeper",
+        workload: workload.name(),
+        admit: admit_label(backend),
+        threads: 1,
+        target_ops: checks,
+        committed_ops: performed,
+        commits: admitted,
+        aborts: errors,
+        conflicts,
+        pinned_ops: entries.len() as u64,
         wall_s,
     }
 }
@@ -280,6 +493,7 @@ fn main() {
     let mut ops: u64 = 250_000;
     let mut seed_ops: u64 = 20_000;
     let mut prefill: u64 = 10_000;
+    let mut admit: Vec<AdmitBackend> = vec![AdmitBackend::Bytecode, AdmitBackend::Interp];
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -296,6 +510,15 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--prefill N")
+            }
+            "--admit" => {
+                admit = match args.next().as_deref() {
+                    Some("bytecode") => vec![AdmitBackend::Bytecode],
+                    Some("interp") => vec![AdmitBackend::Interp],
+                    Some("both") => vec![AdmitBackend::Bytecode, AdmitBackend::Interp],
+                    Some("off") => vec![],
+                    other => panic!("--admit bytecode|interp|both|off, got {other:?}"),
+                }
             }
             "--json" => json_path = Some(args.next().expect("--json PATH")),
             other => panic!("unknown option {other}"),
@@ -341,6 +564,54 @@ fn main() {
         );
     }
 
+    // The admission legs: same reduced op count for both backends, a small
+    // prefill, pinned background transactions supplying the entries to admit
+    // against (see `run_admission`).
+    let admit_ops = (ops / 5).max(1_000);
+    let admit_prefill = 64;
+    for workload in [Workload::Uniform, Workload::Skewed] {
+        for &backend in &admit {
+            runs.push(run_admission(workload, backend, admit_ops, admit_prefill));
+            let m = runs.last().unwrap();
+            println!(
+                "{:8} admit/{:5} t= 1  spec {:>12.0} ops/s ({:>7.0} ns/op, {} commits, \
+                 {} aborts, {} conflicts)",
+                m.workload,
+                m.admit,
+                m.committed_ops_per_s(),
+                m.per_op_ns(),
+                m.commits,
+                m.aborts,
+                m.conflicts,
+            );
+        }
+    }
+
+    // The admission-only microbenchmark: same log shape and workload
+    // distributions, gatekeeper checks alone (see `run_gatekeeper`).
+    let gate_checks = (ops * 4).max(100_000);
+    for workload in [Workload::Uniform, Workload::Skewed] {
+        for &backend in &admit {
+            runs.push(run_gatekeeper(
+                workload,
+                backend,
+                gate_checks,
+                admit_prefill,
+            ));
+            let m = runs.last().unwrap();
+            println!(
+                "{:8} gate/{:6} t= 1  {:>14.0} checks/s ({:>6.0} ns/check, \
+                 {} admitted, {} conflicts)",
+                m.workload,
+                m.admit,
+                m.committed_ops_per_s(),
+                m.per_op_ns(),
+                m.commits,
+                m.conflicts,
+            );
+        }
+    }
+
     // Acceptance: on a single-core host, the production engine at threads=1
     // must show ≥ 5× lower per-committed-op overhead than the seed engine;
     // on multi-core hosts, speculative must out-commit coarse at threads ≥ 4.
@@ -365,24 +636,87 @@ fn main() {
             .unwrap_or(f64::INFINITY);
         spec / coarse
     };
+    // When both admission backends ran, two comparisons gate acceptance:
+    //
+    // * **End-to-end**: the runtime admission legs must have *identical*
+    //   commit/abort/conflict counts (same deterministic workload; verdict
+    //   agreement is proven by the diff harnesses — a mismatch here is a
+    //   real bug), and the compiled backend must not be slower. End-to-end
+    //   wall time also pays structure application, publishing, and commit
+    //   bookkeeping, identically under both backends, so this ratio
+    //   understates the admission speedup.
+    // * **Admission-only**: the gatekeeper microbenchmark isolates the
+    //   per-check cost the tentpole changed; compiled admission must be at
+    //   most 0.5× the interpreter per check, with identical verdicts. With
+    //   identical counts the wall-time ratio *is* the per-op ratio.
+    let admit_both =
+        admit.contains(&AdmitBackend::Bytecode) && admit.contains(&AdmitBackend::Interp);
+    let mut admit_counts_identical = true;
+    let mut admit_ratio = |engine: &str, wl: &str| -> f64 {
+        let leg = |backend: &str| {
+            runs.iter()
+                .find(|m| m.engine == engine && m.admit == backend && m.workload == wl)
+                .expect("both admission legs ran")
+        };
+        let fast = leg("bytecode");
+        let slow = leg("interp");
+        admit_counts_identical &= fast.commits == slow.commits
+            && fast.aborts == slow.aborts
+            && fast.conflicts == slow.conflicts
+            && fast.committed_ops == slow.committed_ops;
+        slow.wall_s / fast.wall_s
+    };
+    let (admit_uniform, admit_skewed, gate_uniform, gate_skewed) = if admit_both {
+        (
+            admit_ratio("speculative", "uniform"),
+            admit_ratio("speculative", "skewed"),
+            admit_ratio("gatekeeper", "uniform"),
+            admit_ratio("gatekeeper", "skewed"),
+        )
+    } else {
+        (0.0, 0.0, 0.0, 0.0)
+    };
+    let admit_passed = !admit_both
+        || (admit_counts_identical
+            && gate_uniform >= 2.0
+            && gate_skewed >= 2.0
+            && admit_uniform > 1.0
+            && admit_skewed > 1.0);
+
     let single_core = host_threads == 1;
-    let passed = if single_core {
+    let classic_passed = if single_core {
         overhead_ratio_uniform >= 5.0 && overhead_ratio_skewed >= 5.0
     } else {
         spec_vs_coarse_t4 > 1.0
     };
+    let passed = classic_passed && admit_passed;
     println!();
     println!(
         "seed/speculative per-op overhead ratio: uniform {overhead_ratio_uniform:.1}x, \
          skewed {overhead_ratio_skewed:.1}x"
     );
     println!("speculative/coarse throughput at t=4 (uniform): {spec_vs_coarse_t4:.2}x");
+    if admit_both {
+        println!(
+            "interp/bytecode end-to-end per-op ratio: uniform {admit_uniform:.2}x, \
+             skewed {admit_skewed:.2}x (counts identical: {admit_counts_identical})"
+        );
+        println!(
+            "interp/bytecode admission-only per-check ratio: uniform {gate_uniform:.2}x, \
+             skewed {gate_skewed:.2}x"
+        );
+    }
     println!(
-        "acceptance ({}): {}",
+        "acceptance ({}{}): {}",
         if single_core {
             "single-core host: >=5x lower per-op overhead than seed at t=1"
         } else {
             "multi-core host: speculative out-commits coarse at t=4"
+        },
+        if admit_both {
+            "; compiled admission <=0.5x interp per-check, faster end-to-end, identical counts"
+        } else {
+            ""
         },
         if passed { "PASS" } else { "FAIL" }
     );
@@ -390,7 +724,13 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"options\": {{\"ops\": {ops}, \"seed_ops\": {seed_ops}, \"prefill\": {prefill}, \
-         \"host_parallelism\": {host_threads}}},\n"
+         \"admit\": [{}], \"admit_ops\": {admit_ops}, \"admit_prefill\": {admit_prefill}, \"gate_checks\": {gate_checks}, \
+         \"host_parallelism\": {host_threads}}},\n",
+        admit
+            .iter()
+            .map(|&b| format!("\"{}\"", admit_label(b)))
+            .collect::<Vec<_>>()
+            .join(", "),
     ));
     json.push_str("  \"runs\": [\n");
     for (i, m) in runs.iter().enumerate() {
@@ -403,6 +743,12 @@ fn main() {
          \"seed_over_speculative_per_op_uniform\": {overhead_ratio_uniform:.2}, \
          \"seed_over_speculative_per_op_skewed\": {overhead_ratio_skewed:.2}, \
          \"speculative_over_coarse_t4_uniform\": {spec_vs_coarse_t4:.3}, \
+         \"admit_compared\": {admit_both}, \
+         \"admit_interp_over_bytecode_uniform\": {admit_uniform:.2}, \
+         \"admit_interp_over_bytecode_skewed\": {admit_skewed:.2}, \
+         \"gate_interp_over_bytecode_uniform\": {gate_uniform:.2}, \
+         \"gate_interp_over_bytecode_skewed\": {gate_skewed:.2}, \
+         \"admit_counts_identical\": {admit_counts_identical}, \
          \"passed\": {passed}}}\n"
     ));
     json.push('}');

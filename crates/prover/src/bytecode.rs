@@ -42,9 +42,10 @@
 use std::collections::{HashMap, HashSet};
 
 use semcommute_logic::eval::MAX_QUANTIFIER_RANGE;
-use semcommute_logic::{ElemId, Model, PMap, PSeq, PSet, Value, NULL_ELEM};
+use semcommute_logic::{ElemId, Model, PMap, PSeq, PSet, Term, Value, NULL_ELEM};
 
 use crate::compiled::{CTerm, CompiledObligation, Step};
+use crate::obligation::Obligation;
 use crate::space::BlockBuf;
 
 /// Register index.
@@ -70,13 +71,15 @@ enum Kind {
 
 impl Kind {
     fn word(self) -> &'static str {
+        // Must match `Sort`'s `Display` exactly — the reference evaluator
+        // formats the expected sort through it.
         match self {
             Kind::Bool => "bool",
             Kind::Int => "int",
-            Kind::Elem => "elem",
-            Kind::Set => "set",
-            Kind::Map => "map",
-            Kind::Seq => "seq",
+            Kind::Elem => "obj",
+            Kind::Set => "obj set",
+            Kind::Map => "(obj, obj) map",
+            Kind::Seq => "obj seq",
         }
     }
 
@@ -199,7 +202,7 @@ enum Instr {
     },
     /// If-then-else; both branches are already evaluated (the reference
     /// evaluator evaluates both too), the branch-sort check
-    /// (`"cannot merge ite branches of sorts .."`) runs before selection.
+    /// (`"cannot compare values of sorts .."`) runs before selection.
     Ite {
         out: R,
         c: R,
@@ -795,8 +798,10 @@ fn apply_eq(a: &Value, b: &Value) -> Result<Value, String> {
 fn apply_ite(c: &Value, t: &Value, e: &Value) -> Result<Value, String> {
     let c = bool_of(c)?;
     if t.sort() != e.sort() {
+        // The reference evaluator reports branch-sort mismatches through the
+        // same `IncomparableSorts` error as `Eq`.
         return Err(format!(
-            "cannot merge ite branches of sorts {} and {}",
+            "cannot compare values of sorts {} and {}",
             t.sort(),
             e.sort()
         ));
@@ -1100,6 +1105,149 @@ impl Program {
             model.insert(name.clone(), exec.regs[*r as usize].clone());
         }
         model
+    }
+
+    /// Lowers a bare boolean formula to a goal-only program with a
+    /// caller-supplied slot layout: `input_order[i]` becomes input slot `i`
+    /// (register `i`). Free variables of the formula that are not listed
+    /// compile to an unbound-variable instruction, so evaluating a formula whose inputs
+    /// the caller cannot supply fails loudly instead of guessing — the same
+    /// contract the reference evaluator's `Model` lookup has. Duplicate names
+    /// resolve to the *last* occurrence, matching a `Model` built by
+    /// inserting the slots in order.
+    ///
+    /// This is the entry point for callers outside the prover (the runtime's
+    /// admission gatekeeper) that want the flat-register evaluation speed for
+    /// a formula that is not a proof obligation.
+    pub fn lower_formula(formula: &Term, input_order: &[String]) -> Program {
+        let ob = Obligation::new("formula").goal(formula.clone());
+        Program::lower(&CompiledObligation::compile(&ob, input_order))
+    }
+
+    /// Number of input slots (the length of the `input_order` the program was
+    /// compiled with).
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// Which input slots the compiled program actually reads, per slot index.
+    ///
+    /// A slot is *read* when some instruction (in the main stream or any
+    /// quantifier body) consumes its register. Slots whose variable was
+    /// eliminated by lowering never influence evaluation, so a caller may
+    /// pass any placeholder value there — this is what lets the gatekeeper
+    /// derive its `requires_pre_state` projection from the program instead of
+    /// a syntactic free-variable scan.
+    pub fn input_reads(&self) -> Vec<bool> {
+        let mut reads = vec![false; self.input_count];
+        let mut mark = |r: R| {
+            if (r as usize) < reads.len() {
+                reads[r as usize] = true;
+            }
+        };
+        for instr in self.instrs.iter().chain(self.bodies.iter().flatten()) {
+            // `operands()` repeats register 0 for non-value instructions, so
+            // each variant lists its genuine reads explicitly here.
+            match *instr {
+                Instr::Coerce { a, .. } | Instr::Not { a, .. } | Instr::Neg { a, .. } => mark(a),
+                Instr::Unbound { .. } => {}
+                Instr::Bool2 { a, b, .. } | Instr::Int2 { a, b, .. } | Instr::Eq { a, b, .. } => {
+                    mark(a);
+                    mark(b);
+                }
+                Instr::Ite { c, t, e, .. } => {
+                    mark(c);
+                    mark(t);
+                    mark(e);
+                }
+                Instr::Coll { a, b, c, .. } => {
+                    mark(a);
+                    mark(b);
+                    mark(c);
+                }
+                Instr::Quant { lo, hi, .. } => {
+                    mark(lo);
+                    mark(hi);
+                }
+                Instr::Check { r } | Instr::CheckGoal { r } => mark(r),
+            }
+        }
+        reads
+    }
+
+    /// Evaluates a goal-only program (from [`Program::lower_formula`]) as a
+    /// boolean formula: `true` iff the goal holds on the given inputs.
+    ///
+    /// `inputs` are the input-slot values in compile order and are drained;
+    /// `regs` is a caller-owned register buffer, grown to fit and reusable
+    /// across calls **and across programs** — every register a given
+    /// execution reads is rewritten (constants and inputs here, SSA
+    /// temporaries by the instruction stream) before that read, so stale
+    /// values from a previous evaluation can never leak into this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reference evaluator's error (with the `"evaluating goal:"`
+    /// region prefix) when the formula cannot be evaluated — an unbound slot,
+    /// an ill-sorted operand, or an oversized quantifier range.
+    pub fn eval_formula(
+        &self,
+        inputs: &mut Vec<Value>,
+        regs: &mut Vec<Value>,
+    ) -> Result<bool, String> {
+        debug_assert_eq!(inputs.len(), self.input_count);
+        self.prepare_regs(regs);
+        for (slot, value) in inputs.drain(..).enumerate() {
+            regs[slot] = value;
+        }
+        self.eval_in_regs(regs)
+    }
+
+    /// First half of the two-step form of
+    /// [`eval_formula`](Program::eval_formula): grows `regs` to this
+    /// program's register count and writes the constant pool. The caller then
+    /// places the input-slot values in `regs[0..input_count]` directly —
+    /// skipping slots [`input_reads`](Program::input_reads) marks unread,
+    /// whose registers no instruction ever touches — and finishes with
+    /// [`eval_in_regs`](Program::eval_in_regs). Constant registers never
+    /// overlap input slots, so the two fills commute.
+    pub fn prepare_regs(&self, regs: &mut Vec<Value>) {
+        if regs.len() < self.reg_count {
+            regs.resize(self.reg_count, Value::Bool(false));
+        }
+        for (r, v) in &self.consts {
+            regs[*r as usize] = v.clone();
+        }
+    }
+
+    /// Second half of the two-step form of
+    /// [`eval_formula`](Program::eval_formula): runs the instruction stream
+    /// over registers prepared by [`prepare_regs`](Program::prepare_regs)
+    /// and filled by the caller.
+    ///
+    /// # Errors
+    ///
+    /// As [`eval_formula`](Program::eval_formula).
+    pub fn eval_in_regs(&self, regs: &mut [Value]) -> Result<bool, String> {
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            match self.exec_scalar(instr, regs) {
+                Ok(Flow::Continue) => {}
+                // A goal-only program has no hypothesis checks, so the only
+                // non-continue flow is the goal deciding `false`.
+                Ok(Flow::Reject) | Ok(Flow::Cex) => return Ok(false),
+                Err(e) => {
+                    // `eval_bool` reports a non-bool formula with a
+                    // `"formula:"` context; the goal check is that check.
+                    let e = if matches!(instr, Instr::CheckGoal { .. }) {
+                        format!("formula: {e}")
+                    } else {
+                        e
+                    };
+                    return Err(self.wrap(pc, e));
+                }
+            }
+        }
+        Ok(true)
     }
 }
 

@@ -409,7 +409,7 @@ fn expect_int_c(v: Value, context: &'static str) -> Result<i64, String> {
 fn expect_elem_c(v: Value, context: &'static str) -> Result<semcommute_logic::ElemId, String> {
     match v {
         Value::Elem(x) => Ok(x),
-        other => Err(format!("{context}: expected elem, found {}", other.sort())),
+        other => Err(format!("{context}: expected obj, found {}", other.sort())),
     }
 }
 
@@ -512,7 +512,7 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
             let ev = eval_c(e, env)?;
             if tv.sort() != ev.sort() {
                 return Err(format!(
-                    "cannot merge ite branches of sorts {} and {}",
+                    "cannot compare values of sorts {} and {}",
                     tv.sort(),
                     ev.sort()
                 ));
@@ -555,7 +555,7 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
         SetAdd(s, v) => {
             let mut s = match eval_c(s, env)? {
                 Value::Set(s) => s,
-                other => return Err(format!("set add: expected set, found {}", other.sort())),
+                other => return Err(format!("set add: expected obj set, found {}", other.sort())),
             };
             s.insert(expect_elem_c(eval_c(v, env)?, "set add")?);
             Value::Set(s)
@@ -563,7 +563,12 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
         SetRemove(s, v) => {
             let mut s = match eval_c(s, env)? {
                 Value::Set(s) => s,
-                other => return Err(format!("set remove: expected set, found {}", other.sort())),
+                other => {
+                    return Err(format!(
+                        "set remove: expected obj set, found {}",
+                        other.sort()
+                    ))
+                }
             };
             s.remove(&expect_elem_c(eval_c(v, env)?, "set remove")?);
             Value::Set(s)
@@ -575,21 +580,30 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
             let contains = match s.as_ref() {
                 Slot(i) => match slot_ref(env, *i)? {
                     Value::Set(s) => s.contains(&v),
-                    other => return Err(format!("member: expected set, found {}", other.sort())),
+                    other => {
+                        return Err(format!("member: expected obj set, found {}", other.sort()))
+                    }
                 },
                 _ => match eval_c(s, env)? {
                     Value::Set(s) => s.contains(&v),
-                    other => return Err(format!("member: expected set, found {}", other.sort())),
+                    other => {
+                        return Err(format!("member: expected obj set, found {}", other.sort()))
+                    }
                 },
             };
             Value::Bool(contains)
         }
-        Card(s) => length_read!(s, env, Set, "card: expected set"),
+        Card(s) => length_read!(s, env, Set, "card: expected obj set"),
 
         MapPut(m, k, v) => {
             let mut m = match eval_c(m, env)? {
                 Value::Map(m) => m,
-                other => return Err(format!("map put: expected map, found {}", other.sort())),
+                other => {
+                    return Err(format!(
+                        "map put: expected (obj, obj) map, found {}",
+                        other.sort()
+                    ))
+                }
             };
             let k = expect_elem_c(eval_c(k, env)?, "map put key")?;
             let v = expect_elem_c(eval_c(v, env)?, "map put value")?;
@@ -599,7 +613,12 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
         MapRemove(m, k) => {
             let mut m = match eval_c(m, env)? {
                 Value::Map(m) => m,
-                other => return Err(format!("map remove: expected map, found {}", other.sort())),
+                other => {
+                    return Err(format!(
+                        "map remove: expected (obj, obj) map, found {}",
+                        other.sort()
+                    ))
+                }
             };
             let k = expect_elem_c(eval_c(k, env)?, "map remove key")?;
             m.remove(&k);
@@ -609,7 +628,7 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
             m,
             env,
             Map,
-            "map get: expected map",
+            "map get: expected (obj, obj) map",
             expect_elem_c(eval_c(k, env)?, "map get key")?,
             |map, k| Value::Elem(map.get(&k).copied().unwrap_or(NULL_ELEM))
         ),
@@ -617,18 +636,18 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
             m,
             env,
             Map,
-            "map has-key: expected map",
+            "map has-key: expected (obj, obj) map",
             expect_elem_c(eval_c(k, env)?, "map has-key key")?,
             |map, k| Value::Bool(map.contains_key(&k))
         ),
-        MapSize(m) => length_read!(m, env, Map, "map size: expected map"),
+        MapSize(m) => length_read!(m, env, Map, "map size: expected (obj, obj) map"),
 
         SeqInsertAt(s, i, v) => {
             let mut s = match eval_c(s, env)? {
                 Value::Seq(s) => s,
                 other => {
                     return Err(format!(
-                        "seq insert-at: expected seq, found {}",
+                        "seq insert-at: expected obj seq, found {}",
                         other.sort()
                     ))
                 }
@@ -644,7 +663,7 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
                 Value::Seq(s) => s,
                 other => {
                     return Err(format!(
-                        "seq remove-at: expected seq, found {}",
+                        "seq remove-at: expected obj seq, found {}",
                         other.sort()
                     ))
                 }
@@ -658,7 +677,12 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
         SeqSetAt(s, i, v) => {
             let mut s = match eval_c(s, env)? {
                 Value::Seq(s) => s,
-                other => return Err(format!("seq set-at: expected seq, found {}", other.sort())),
+                other => {
+                    return Err(format!(
+                        "seq set-at: expected obj seq, found {}",
+                        other.sort()
+                    ))
+                }
             };
             let i = expect_int_c(eval_c(i, env)?, "seq set-at index")?;
             let v = expect_elem_c(eval_c(v, env)?, "seq set-at value")?;
@@ -674,7 +698,7 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
             s,
             env,
             Seq,
-            "seq at: expected seq",
+            "seq at: expected obj seq",
             expect_int_c(eval_c(i, env)?, "seq at index")?,
             |seq, i| {
                 let e = if i >= 0 && (i as usize) < seq.len() {
@@ -685,12 +709,12 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
                 Value::Elem(e)
             }
         ),
-        SeqLen(s) => length_read!(s, env, Seq, "seq len: expected seq"),
+        SeqLen(s) => length_read!(s, env, Seq, "seq len: expected obj seq"),
         SeqIndexOf(s, v) => collection_read!(
             s,
             env,
             Seq,
-            "seq index-of: expected seq",
+            "seq index-of: expected obj seq",
             expect_elem_c(eval_c(v, env)?, "seq index-of value")?,
             |seq, v| Value::Int(seq.iter().position(|&e| e == v).map_or(-1, |i| i as i64))
         ),
@@ -698,7 +722,7 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
             s,
             env,
             Seq,
-            "seq last-index-of: expected seq",
+            "seq last-index-of: expected obj seq",
             expect_elem_c(eval_c(v, env)?, "seq last-index-of value")?,
             |seq, v| Value::Int(seq.iter().rposition(|&e| e == v).map_or(-1, |i| i as i64))
         ),
@@ -706,7 +730,7 @@ fn eval_c(term: &CTerm, env: &mut Vec<Option<Value>>) -> Result<Value, String> {
             s,
             env,
             Seq,
-            "seq contains: expected seq",
+            "seq contains: expected obj seq",
             expect_elem_c(eval_c(v, env)?, "seq contains value")?,
             |seq, v| Value::Bool(seq.contains(&v))
         ),
@@ -888,14 +912,17 @@ mod tests {
 
         // Ill-sorted slot operands keep the reference error messages.
         for (goal, expected) in [
-            (card(var_int("x")), "card: expected set"),
-            (member(var_elem("v"), var_int("x")), "member: expected set"),
-            (map_size(var_int("x")), "map size: expected map"),
-            (seq_len(var_int("x")), "seq len: expected seq"),
-            (seq_at(var_int("x"), int(0)), "seq at: expected seq"),
+            (card(var_int("x")), "card: expected obj set"),
+            (
+                member(var_elem("v"), var_int("x")),
+                "member: expected obj set",
+            ),
+            (map_size(var_int("x")), "map size: expected (obj, obj) map"),
+            (seq_len(var_int("x")), "seq len: expected obj seq"),
+            (seq_at(var_int("x"), int(0)), "seq at: expected obj seq"),
             (
                 map_get(var_int("x"), var_elem("v")),
-                "map get: expected map",
+                "map get: expected (obj, obj) map",
             ),
         ] {
             let ob = Obligation::new("bad").goal(eq(goal, int(0)));

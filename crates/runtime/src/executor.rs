@@ -51,7 +51,7 @@ use parking_lot::Mutex;
 use semcommute_logic::Value;
 use semcommute_spec::AbstractState;
 
-use crate::gatekeeper::{AdmissionError, CommutativityGatekeeper, Conflict};
+use crate::gatekeeper::{AdmissionError, AdmitBackend, CommutativityGatekeeper, Conflict};
 use crate::index::{InFlightIndex, PublishedOp};
 use crate::log::LogEntry;
 use crate::rollback::InverseRollback;
@@ -148,10 +148,20 @@ impl Shared {
         &self,
         published: &[Arc<PublishedOp>],
         op: &str,
+        op_idx: Option<u16>,
         args: &[Value],
     ) -> Result<(), TxnError> {
         for p in published {
-            match self.gatekeeper.check_entry(&p.entry, op, args) {
+            // Both operation names resolved to dense indices already (the
+            // logged one at publish time, the incoming one once per batch by
+            // the caller): the per-entry check hashes no strings.
+            let verdict = match (p.op_idx, op_idx) {
+                (Some(first), Some(second)) => self
+                    .gatekeeper
+                    .check_indexed(first, &p.entry, second, op, args),
+                _ => self.gatekeeper.check_entry(&p.entry, op, args),
+            };
+            match verdict {
                 Ok(()) => {}
                 Err(AdmissionError::Conflict(c)) => {
                     self.conflicts.fetch_add(1, Ordering::Relaxed);
@@ -171,14 +181,24 @@ pub struct SpeculativeRuntime {
 }
 
 impl SpeculativeRuntime {
-    /// Wraps a concrete data structure for speculative access.
+    /// Wraps a concrete data structure for speculative access, using the
+    /// process-wide default admission backend (`SEMCOMMUTE_ADMIT`).
     pub fn new(structure: AnyStructure) -> SpeculativeRuntime {
+        SpeculativeRuntime::with_backend(structure, AdmitBackend::default_backend())
+    }
+
+    /// Wraps a concrete data structure for speculative access with an
+    /// explicit admission backend (see [`AdmitBackend`]). Under
+    /// [`AdmitBackend::Bytecode`] the between-condition catalog is compiled
+    /// to flat register programs, lazily, once per runtime — every clone of
+    /// this runtime shares the compiled cache.
+    pub fn with_backend(structure: AnyStructure, backend: AdmitBackend) -> SpeculativeRuntime {
         let interface = structure.interface();
         SpeculativeRuntime {
             shared: Arc::new(Shared {
                 structure: Mutex::new(TrackedStructure::new(structure)),
                 index: InFlightIndex::new(),
-                gatekeeper: CommutativityGatekeeper::new(interface),
+                gatekeeper: CommutativityGatekeeper::with_backend(interface, backend),
                 rollback: InverseRollback::new(interface),
                 next_txn: AtomicU64::new(1),
                 publish_seq: AtomicU64::new(0),
@@ -199,6 +219,7 @@ impl SpeculativeRuntime {
             runtime: self.clone(),
             id: self.shared.next_txn.fetch_add(1, Ordering::Relaxed),
             entries: Vec::new(),
+            scratch: Vec::new(),
             finished: false,
         }
     }
@@ -268,6 +289,12 @@ impl SpeculativeRuntime {
     pub fn pending_operations(&self) -> usize {
         self.shared.index.len()
     }
+
+    /// The admission backend this runtime's gatekeeper evaluates
+    /// commutativity conditions with.
+    pub fn admit_backend(&self) -> AdmitBackend {
+        self.shared.gatekeeper.backend()
+    }
 }
 
 /// An optimistic transaction on a [`SpeculativeRuntime`].
@@ -278,6 +305,10 @@ pub struct Transaction {
     /// per-transaction log. Rollback walks it newest-first; nobody else ever
     /// needs to scan it.
     entries: Vec<Arc<PublishedOp>>,
+    /// Reusable buffer for the outstanding operations each admission pass
+    /// checks against — cleared after every operation so it pins nothing,
+    /// but its capacity persists and the hot path allocates no `Vec`.
+    scratch: Vec<Arc<PublishedOp>>,
     finished: bool,
 }
 
@@ -306,18 +337,30 @@ impl Transaction {
             return Err(TxnError::Finished);
         }
         let shared = &self.runtime.shared;
+        // One string resolution for the incoming operation; every per-entry
+        // check below goes through dense indices.
+        let op_idx = shared.gatekeeper.op_index(op);
 
         // Optimistic phase: evaluate conditions against everything published
         // up to `snap` without touching the structure lock.
         let snap = shared.publish_seq.load(Ordering::Acquire);
-        let outstanding = shared.index.others(self.id);
-        shared.check_against(&outstanding, op, args)?;
+        shared.index.others_into(self.id, &mut self.scratch);
+        let optimistic = shared.check_against(&self.scratch, op, op_idx, args);
+        self.scratch.clear();
+        optimistic?;
 
         // Validated apply: under the structure lock only the operations
         // published after the snapshot remain to be checked.
         let mut structure = shared.structure.lock();
-        let fresh = shared.index.others_since(self.id, snap);
-        shared.check_against(&fresh, op, args)?;
+        shared
+            .index
+            .others_since_into(self.id, snap, &mut self.scratch);
+        let validated = shared.check_against(&self.scratch, op, op_idx, args);
+        self.scratch.clear();
+        if let Err(e) = validated {
+            drop(structure);
+            return Err(e);
+        }
 
         let pre_state = shared
             .gatekeeper
@@ -327,6 +370,7 @@ impl Transaction {
         let seq = shared.publish_seq.load(Ordering::Relaxed) + 1;
         let published = Arc::new(PublishedOp {
             seq,
+            op_idx,
             entry: LogEntry {
                 txn: self.id,
                 op: op.to_string(),

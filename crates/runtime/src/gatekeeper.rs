@@ -1,12 +1,43 @@
 //! The commutativity gatekeeper: dynamic conflict detection using the
 //! verified between conditions.
+//!
+//! # Admission backends
+//!
+//! The gatekeeper can evaluate a between condition two ways:
+//!
+//! * [`AdmitBackend::Bytecode`] (the default) compiles the condition formula
+//!   **once per runtime** into a flat register [`Program`] via
+//!   [`Program::lower_formula`] with a fixed slot layout — `s1`, `r1`, the
+//!   first operation's canonical argument names, then the second's — and
+//!   evaluates admissions through the program with reusable thread-local
+//!   register buffers. No `Model`, no `HashMap`, no term-tree walk on the
+//!   hot path.
+//! * [`AdmitBackend::Interp`] builds a fresh [`Model`] per check and walks
+//!   the term tree with [`eval_bool`] — the reference semantics, kept as the
+//!   differential oracle (`tests/diff_gatekeeper.rs` pins the two backends
+//!   against each other across the whole catalog).
+//!
+//! Programs are compiled lazily on first use of each (logged-op,
+//! incoming-op) pair and shared across clones of the gatekeeper, so a
+//! runtime pays for exactly the pairs its workload exercises, once.
+//! Verdicts and the [`Conflict`] vs [`Evaluation`](AdmissionError::Evaluation)
+//! classification are identical under both backends; only the wording of
+//! low-level evaluation errors may differ (the compiled executor reports
+//! registers, the interpreter reports variable names).
+//!
+//! The `SEMCOMMUTE_ADMIT` environment variable (`bytecode` | `interp`)
+//! selects the process-wide default backend, mirroring the prover's
+//! `SEMCOMMUTE_BYTECODE` knob.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use semcommute_core::condition::names;
 use semcommute_core::{interface_catalog, CommutativityCondition, ConditionKind};
 use semcommute_logic::{eval_bool, free_vars, Model, Value};
+use semcommute_prover::Program;
 use semcommute_spec::InterfaceId;
 
 use crate::log::{LogEntry, OperationLog};
@@ -62,11 +93,144 @@ impl fmt::Display for AdmissionError {
     }
 }
 
+/// How the gatekeeper evaluates between conditions (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitBackend {
+    /// Flat register programs compiled once per runtime (the default).
+    Bytecode,
+    /// The reference `Model`-building term-tree interpreter.
+    Interp,
+}
+
+impl AdmitBackend {
+    /// Parses a `SEMCOMMUTE_ADMIT` setting. `interp` (or `model` / `tree`)
+    /// selects the interpreter; anything else — including unset — selects the
+    /// compiled backend.
+    pub fn parse(setting: Option<&str>) -> AdmitBackend {
+        match setting {
+            Some("interp" | "model" | "tree") => AdmitBackend::Interp,
+            _ => AdmitBackend::Bytecode,
+        }
+    }
+
+    /// The process-wide default backend: the `SEMCOMMUTE_ADMIT` environment
+    /// variable, read once.
+    pub fn default_backend() -> AdmitBackend {
+        static DEFAULT: OnceLock<AdmitBackend> = OnceLock::new();
+        *DEFAULT
+            .get_or_init(|| AdmitBackend::parse(std::env::var("SEMCOMMUTE_ADMIT").ok().as_deref()))
+    }
+}
+
+/// Where each input slot of a compiled admission program gets its value from
+/// at evaluation time.
+#[derive(Debug, Clone, Copy)]
+enum SlotSrc {
+    /// The logged entry's pre-state projection (`s1`).
+    Initial,
+    /// The logged entry's recorded return value (`r1`).
+    Result1,
+    /// Argument `i` of the logged (first) operation.
+    FirstArg(usize),
+    /// Argument `i` of the incoming (second) operation.
+    SecondArg(usize),
+}
+
+/// A between condition compiled to a flat register program with the
+/// admission slot layout: slot 0 is `s1`, slot 1 is `r1`, then the first
+/// operation's canonical argument names, then the second's. Built once per
+/// (logged-op, incoming-op) pair and shared by every clone of the gatekeeper.
+#[derive(Debug)]
+struct AdmissionProgram {
+    program: Program,
+    /// Per input slot: where its value comes from, and its canonical variable
+    /// name (for `unbound variable` error messages matching the interpreter).
+    slots: Vec<(SlotSrc, String)>,
+    /// Per input slot: whether the compiled program actually reads it.
+    /// Unread slots take a placeholder; read-but-unavailable slots are
+    /// evaluation errors — exactly when the interpreter's `Model` lookup
+    /// would have failed.
+    reads: Vec<bool>,
+    /// `reads[0]`: does the program read the pre-state slot `s1`?
+    reads_initial: bool,
+}
+
+thread_local! {
+    /// Reusable per-thread register buffer for compiled admission. Sound
+    /// across programs because every register an execution reads is
+    /// rewritten before the read (constants and read input slots per call,
+    /// SSA temporaries by the instruction stream); unread input slots may
+    /// hold stale values from a previous program, which no instruction ever
+    /// touches.
+    static ADMIT_REGS: RefCell<Vec<Value>> = const { RefCell::new(Vec::new()) };
+}
+
+impl AdmissionProgram {
+    fn compile(
+        condition: &CommutativityCondition,
+        first_params: &[String],
+        second_params: &[String],
+    ) -> AdmissionProgram {
+        let mut slots = vec![
+            (SlotSrc::Initial, names::INITIAL.to_string()),
+            (SlotSrc::Result1, names::RESULT1.to_string()),
+        ];
+        for (i, name) in first_params.iter().enumerate() {
+            slots.push((SlotSrc::FirstArg(i), name.clone()));
+        }
+        for (i, name) in second_params.iter().enumerate() {
+            slots.push((SlotSrc::SecondArg(i), name.clone()));
+        }
+        let order: Vec<String> = slots.iter().map(|(_, name)| name.clone()).collect();
+        let program = Program::lower_formula(&condition.formula, &order);
+        let reads = program.input_reads();
+        let reads_initial = reads[0];
+        AdmissionProgram {
+            program,
+            slots,
+            reads,
+            reads_initial,
+        }
+    }
+
+    /// Evaluates the condition on one logged entry and the incoming
+    /// arguments, through the thread-local register buffers. Errors are raw
+    /// (the caller prefixes the condition id, as the interpreter path does).
+    fn eval(&self, logged: &LogEntry, incoming_args: &[Value]) -> Result<bool, String> {
+        ADMIT_REGS.with(|regs| {
+            let regs = &mut *regs.borrow_mut();
+            self.program.prepare_regs(regs);
+            for (slot, (src, name)) in self.slots.iter().enumerate() {
+                if !self.reads[slot] {
+                    // Never read by the program: no write needed, the
+                    // register is dead.
+                    continue;
+                }
+                let found = match src {
+                    SlotSrc::Initial => logged.pre_state.as_ref(),
+                    SlotSrc::Result1 => logged.result.as_ref(),
+                    SlotSrc::FirstArg(i) => logged.args.get(*i),
+                    SlotSrc::SecondArg(i) => incoming_args.get(*i),
+                };
+                match found {
+                    Some(v) => regs[slot] = v.clone(),
+                    // The interpreter would not have inserted this name
+                    // into the model, so its formula walk would fail the
+                    // lookup; reproduce that error here.
+                    None => return Err(format!("unbound variable `{name}`")),
+                }
+            }
+            self.program.eval_in_regs(regs)
+        })
+    }
+}
+
 /// A between condition prepared for repeated run-time evaluation: the
 /// canonical argument-variable names are resolved against the interface
 /// specification once, and the formula's state requirements are precomputed,
 /// so the per-admission work is a handful of O(1) model insertions plus the
-/// formula walk.
+/// formula walk (interpreter backend) or a slot fill plus a flat register
+/// program run (bytecode backend).
 #[derive(Debug, Clone)]
 struct Prepared {
     condition: CommutativityCondition,
@@ -74,8 +238,20 @@ struct Prepared {
     first_params: Vec<String>,
     /// Canonical names (`v2`, `k2`, …) for the second operation's arguments.
     second_params: Vec<String>,
-    /// Whether the formula mentions the initial state `s1`.
+    /// Whether the formula mentions the initial state `s1` (syntactic
+    /// free-variable scan — the interpreter backend's projection).
     needs_initial: bool,
+    /// The compiled admission program, built lazily on first use and shared
+    /// across clones of the gatekeeper (`Arc`): the once-per-runtime cache.
+    program: Arc<OnceLock<AdmissionProgram>>,
+}
+
+impl Prepared {
+    fn program(&self) -> &AdmissionProgram {
+        self.program.get_or_init(|| {
+            AdmissionProgram::compile(&self.condition, &self.first_params, &self.second_params)
+        })
+    }
 }
 
 /// Dynamic commutativity checking for one interface.
@@ -93,25 +269,54 @@ struct Prepared {
 /// [`requires_pre_state`](CommutativityGatekeeper::requires_pre_state) to
 /// decide whether a pre-state projection must be captured when logging the
 /// operation. Most recorded-variant conditions test `r1` instead, so most
-/// operations log no state at all.
+/// operations log no state at all. Under the bytecode backend this
+/// projection is derived from the compiled programs' actual slot reads (and
+/// memoized per operation); the interpreter backend uses the syntactic
+/// free-variable scan. The two projections agree across the whole catalog —
+/// `tests/diff_runtime.rs` asserts it pair by pair.
 #[derive(Debug, Clone)]
 pub struct CommutativityGatekeeper {
     interface: InterfaceId,
+    backend: AdmitBackend,
     /// Prepared between conditions for recorded variants, keyed by first
     /// operation, then second operation (two `&str` lookups, no allocation
     /// on the admission path).
     conditions: HashMap<String, HashMap<String, Prepared>>,
     /// First operations at least one of whose between conditions mentions
-    /// `s1` — the only operations whose log entries need a pre-state.
+    /// `s1` — the only operations whose log entries need a pre-state
+    /// (interpreter projection).
     pre_state_ops: HashSet<String>,
+    /// Per first operation, the memoized bytecode projection: does any
+    /// compiled condition with this operation first read the `s1` slot?
+    /// Shared across clones, filled on first
+    /// [`requires_pre_state`](CommutativityGatekeeper::requires_pre_state)
+    /// query for the operation.
+    pre_state_compiled: HashMap<String, Arc<OnceLock<bool>>>,
+    /// The dense operation universe for index-based admission: the
+    /// interface's operation names in specification order.
+    /// [`op_index`](CommutativityGatekeeper::op_index) resolves a name once
+    /// (at publish time for logged entries, once per admission batch for the
+    /// incoming operation); after that the hot path never hashes a string.
+    ops: Vec<String>,
+    /// The flattened (first × second) pair table, indexed
+    /// `first * ops.len() + second`. Entries share the same lazily-compiled
+    /// [`AdmissionProgram`]s as `conditions` (same `Arc`).
+    table: Vec<Option<Prepared>>,
 }
 
 impl CommutativityGatekeeper {
-    /// Builds the gatekeeper for an interface from the verified catalog.
+    /// Builds the gatekeeper for an interface from the verified catalog,
+    /// using the process-wide default admission backend.
     pub fn new(interface: InterfaceId) -> CommutativityGatekeeper {
+        CommutativityGatekeeper::with_backend(interface, AdmitBackend::default_backend())
+    }
+
+    /// Builds the gatekeeper with an explicit admission backend.
+    pub fn with_backend(interface: InterfaceId, backend: AdmitBackend) -> CommutativityGatekeeper {
         let iface = semcommute_spec::interface_by_id(interface);
         let mut conditions: HashMap<String, HashMap<String, Prepared>> = HashMap::new();
         let mut pre_state_ops = HashSet::new();
+        let mut pre_state_compiled = HashMap::new();
         for condition in interface_catalog(interface) {
             if condition.kind != ConditionKind::Between
                 || !condition.first.recorded
@@ -131,10 +336,14 @@ impl CommutativityGatekeeper {
             if needs_initial {
                 pre_state_ops.insert(condition.first.op.clone());
             }
+            pre_state_compiled
+                .entry(condition.first.op.clone())
+                .or_insert_with(|| Arc::new(OnceLock::new()));
             let prepared = Prepared {
                 first_params: params(&condition.first.op, 1),
                 second_params: params(&condition.second.op, 2),
                 needs_initial,
+                program: Arc::new(OnceLock::new()),
                 condition,
             };
             conditions
@@ -142,16 +351,37 @@ impl CommutativityGatekeeper {
                 .or_default()
                 .insert(prepared.condition.second.op.clone(), prepared);
         }
+        let ops: Vec<String> = iface.ops.iter().map(|op| op.name.clone()).collect();
+        let table: Vec<Option<Prepared>> = ops
+            .iter()
+            .flat_map(|first| {
+                ops.iter().map(|second| {
+                    conditions
+                        .get(first)
+                        .and_then(|seconds| seconds.get(second))
+                        .cloned()
+                })
+            })
+            .collect();
         CommutativityGatekeeper {
             interface,
+            backend,
             conditions,
             pre_state_ops,
+            pre_state_compiled,
+            ops,
+            table,
         }
     }
 
     /// The interface this gatekeeper serves.
     pub fn interface(&self) -> InterfaceId {
         self.interface
+    }
+
+    /// The admission backend this gatekeeper evaluates conditions with.
+    pub fn backend(&self) -> AdmitBackend {
+        self.backend
     }
 
     /// The between condition for an ordered operation pair.
@@ -162,14 +392,59 @@ impl CommutativityGatekeeper {
             .map(|p| &p.condition)
     }
 
+    /// Every ordered (first, second) operation pair this gatekeeper holds a
+    /// between condition for, in unspecified order. Differential harnesses
+    /// iterate this to cover the whole catalog.
+    pub fn pairs(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = self
+            .conditions
+            .iter()
+            .flat_map(|(first, seconds)| {
+                seconds
+                    .keys()
+                    .map(move |second| (first.clone(), second.clone()))
+            })
+            .collect();
+        pairs.sort();
+        pairs
+    }
+
+    /// For one pair's condition, the two pre-state projections: does the
+    /// formula mention `s1` syntactically (interpreter backend), and does
+    /// the compiled program actually read the `s1` slot (bytecode backend)?
+    /// `None` if the pair is unknown. The differential harness asserts the
+    /// two always agree.
+    pub fn pair_pre_state_projection(
+        &self,
+        first_op: &str,
+        second_op: &str,
+    ) -> Option<(bool, bool)> {
+        self.conditions
+            .get(first_op)
+            .and_then(|seconds| seconds.get(second_op))
+            .map(|p| (p.needs_initial, p.program().reads_initial))
+    }
+
     /// Must a log entry for `op` (as the *first* operation of a later
     /// between check) carry the abstract pre-state?
     ///
-    /// Returns `true` iff some between condition with `op` first mentions the
-    /// initial state `s1`. The executor captures the (O(1), persistent)
-    /// state projection only for these operations.
+    /// Returns `true` iff some between condition with `op` first reads the
+    /// initial state `s1` — under the bytecode backend, *reads* means the
+    /// compiled program consumes the `s1` input slot; under the interpreter
+    /// backend, that the formula mentions `s1`. The executor captures the
+    /// (O(1), persistent) state projection only for these operations.
     pub fn requires_pre_state(&self, op: &str) -> bool {
-        self.pre_state_ops.contains(op)
+        match self.backend {
+            AdmitBackend::Interp => self.pre_state_ops.contains(op),
+            AdmitBackend::Bytecode => match self.pre_state_compiled.get(op) {
+                None => false,
+                Some(memo) => *memo.get_or_init(|| {
+                    self.conditions
+                        .get(op)
+                        .is_some_and(|seconds| seconds.values().any(|p| p.program().reads_initial))
+                }),
+            },
+        }
     }
 
     /// Does the incoming operation commute with one logged operation?
@@ -189,31 +464,94 @@ impl CommutativityGatekeeper {
             .get(logged.op.as_str())
             .and_then(|seconds| seconds.get(incoming_op))
             .ok_or_else(|| format!("no condition for pair {}/{incoming_op}", logged.op))?;
-        let mut model = Model::new();
-        if prepared.needs_initial {
-            match &logged.pre_state {
-                Some(state) => model.insert(names::INITIAL, state.clone()),
-                None => {
-                    return Err(format!(
-                        "{}: entry for `{}` carries no pre-state but the condition reads `{}`",
-                        prepared.condition.id(),
-                        logged.op,
-                        names::INITIAL,
-                    ))
+        self.eval_prepared(prepared, logged, incoming_args)
+    }
+
+    /// Evaluates one prepared condition under this gatekeeper's backend.
+    fn eval_prepared(
+        &self,
+        prepared: &Prepared,
+        logged: &LogEntry,
+        incoming_args: &[Value],
+    ) -> Result<bool, String> {
+        match self.backend {
+            AdmitBackend::Bytecode => {
+                let program = prepared.program();
+                if program.reads_initial && logged.pre_state.is_none() {
+                    return Err(missing_pre_state(prepared, logged));
                 }
-            };
+                program
+                    .eval(logged, incoming_args)
+                    .map_err(|e| format!("{}: {e}", prepared.condition.id()))
+            }
+            AdmitBackend::Interp => {
+                let mut model = Model::new();
+                if prepared.needs_initial {
+                    match &logged.pre_state {
+                        Some(state) => model.insert(names::INITIAL, state.clone()),
+                        None => return Err(missing_pre_state(prepared, logged)),
+                    };
+                }
+                if let Some(result) = &logged.result {
+                    model.insert(names::RESULT1, result.clone());
+                }
+                for (name, value) in prepared.first_params.iter().zip(&logged.args) {
+                    model.insert(name.clone(), value.clone());
+                }
+                for (name, value) in prepared.second_params.iter().zip(incoming_args) {
+                    model.insert(name.clone(), value.clone());
+                }
+                eval_bool(&prepared.condition.formula, &model)
+                    .map_err(|e| format!("{}: {e}", prepared.condition.id()))
+            }
         }
-        if let Some(result) = &logged.result {
-            model.insert(names::RESULT1, result.clone());
+    }
+
+    /// Resolves an operation name to its dense index in this gatekeeper's
+    /// operation universe, or `None` if the interface does not know the
+    /// operation. The executor resolves each logged operation once at publish
+    /// time and each incoming operation once per admission batch, so
+    /// [`check_indexed`](CommutativityGatekeeper::check_indexed) never hashes
+    /// a string.
+    pub fn op_index(&self, op: &str) -> Option<u16> {
+        self.ops
+            .iter()
+            .position(|name| name == op)
+            .map(|i| i as u16)
+    }
+
+    /// [`check_entry`](CommutativityGatekeeper::check_entry) with both
+    /// operations pre-resolved via
+    /// [`op_index`](CommutativityGatekeeper::op_index) — the no-string-lookup
+    /// hot path. Behaves identically to `check_entry` for known operations
+    /// (indices must come from this gatekeeper's `op_index`).
+    ///
+    /// # Errors
+    ///
+    /// See [`admit`](CommutativityGatekeeper::admit).
+    pub fn check_indexed(
+        &self,
+        first: u16,
+        logged: &LogEntry,
+        second: u16,
+        incoming_op: &str,
+        incoming_args: &[Value],
+    ) -> Result<(), AdmissionError> {
+        match &self.table[first as usize * self.ops.len() + second as usize] {
+            Some(prepared) => match self.eval_prepared(prepared, logged, incoming_args) {
+                Ok(true) => Ok(()),
+                Ok(false) => Err(AdmissionError::Conflict(Conflict {
+                    with_txn: logged.txn,
+                    logged_op: logged.op.clone(),
+                    incoming_op: incoming_op.to_string(),
+                })),
+                Err(e) => Err(AdmissionError::Evaluation(e)),
+            },
+            None => Err(AdmissionError::Evaluation(format!(
+                "no condition for pair {}/{incoming_op}",
+                logged.op
+            ))),
         }
-        for (name, value) in prepared.first_params.iter().zip(&logged.args) {
-            model.insert(name.clone(), value.clone());
-        }
-        for (name, value) in prepared.second_params.iter().zip(incoming_args) {
-            model.insert(name.clone(), value.clone());
-        }
-        eval_bool(&prepared.condition.formula, &model)
-            .map_err(|e| format!("{}: {e}", prepared.condition.id()))
     }
 
     /// Checks an incoming operation of transaction `txn` against every logged
@@ -263,10 +601,24 @@ impl CommutativityGatekeeper {
     }
 }
 
+/// The entry carries no pre-state but the condition reads `s1` — the same
+/// message under both backends (it is raised before evaluation starts).
+fn missing_pre_state(prepared: &Prepared, logged: &LogEntry) -> String {
+    format!(
+        "{}: entry for `{}` carries no pre-state but the condition reads `{}`",
+        prepared.condition.id(),
+        logged.op,
+        names::INITIAL,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use semcommute_logic::Sort;
     use semcommute_spec::AbstractState;
+
+    const BACKENDS: [AdmitBackend; 2] = [AdmitBackend::Bytecode, AdmitBackend::Interp];
 
     fn set_entry(txn: u64, op: &str, arg: u32, result: bool, state: &[u32]) -> LogEntry {
         LogEntry {
@@ -290,109 +642,192 @@ mod tests {
             }
         }
         assert_eq!(g.interface(), InterfaceId::Set);
+        assert_eq!(g.backend(), AdmitBackend::default_backend());
+    }
+
+    #[test]
+    fn admit_backend_parsing() {
+        assert_eq!(AdmitBackend::parse(None), AdmitBackend::Bytecode);
+        assert_eq!(
+            AdmitBackend::parse(Some("bytecode")),
+            AdmitBackend::Bytecode
+        );
+        assert_eq!(AdmitBackend::parse(Some("interp")), AdmitBackend::Interp);
+        assert_eq!(AdmitBackend::parse(Some("model")), AdmitBackend::Interp);
+        assert_eq!(AdmitBackend::parse(Some("tree")), AdmitBackend::Interp);
     }
 
     #[test]
     fn pre_state_is_required_only_where_a_condition_reads_s1() {
-        let g = CommutativityGatekeeper::new(InterfaceId::Set);
-        // add/* and contains/* between conditions test `r1`, not `s1`.
-        assert!(!g.requires_pre_state("add"));
-        assert!(!g.requires_pre_state("contains"));
-        // remove/contains and size/add read `s1` membership.
-        assert!(g.requires_pre_state("remove"));
-        assert!(g.requires_pre_state("size"));
-    }
-
-    #[test]
-    fn distinct_elements_commute_same_element_conflicts() {
-        let g = CommutativityGatekeeper::new(InterfaceId::Set);
-        let mut log = OperationLog::new();
-        // Transaction 1 added element 5, which was new (result = true).
-        log.record(set_entry(1, "add", 5, true, &[]));
-
-        // Transaction 2 adding a different element commutes.
-        assert!(g.admit(&log, 2, "add", &[Value::elem(7)]).is_ok());
-        // Transaction 2 removing the element transaction 1 just added does
-        // not commute.
-        let conflict = match g.admit(&log, 2, "remove", &[Value::elem(5)]) {
-            Err(AdmissionError::Conflict(c)) => c,
-            other => panic!("expected a conflict, got {other:?}"),
-        };
-        assert_eq!(conflict.with_txn, 1);
-        assert_eq!(conflict.logged_op, "add");
-        assert!(conflict.to_string().contains("does not commute"));
-        // The same transaction is never in conflict with itself.
-        assert!(g.admit(&log, 1, "remove", &[Value::elem(5)]).is_ok());
-    }
-
-    #[test]
-    fn contains_conflicts_only_when_observation_would_change() {
-        let g = CommutativityGatekeeper::new(InterfaceId::Set);
-        let mut log = OperationLog::new();
-        // Transaction 1 observed that 3 was present (result = true, and 3 was
-        // in the pre-state).
-        log.record(set_entry(1, "contains", 3, true, &[3]));
-        // Adding 3 again commutes (it was already present).
-        assert!(g.admit(&log, 2, "add", &[Value::elem(3)]).is_ok());
-        // Removing 3 would invalidate the observation.
-        assert!(g.admit(&log, 2, "remove", &[Value::elem(3)]).is_err());
-    }
-
-    #[test]
-    fn map_gatekeeper_uses_key_based_conditions() {
-        let g = CommutativityGatekeeper::new(InterfaceId::Map);
-        let mut log = OperationLog::new();
-        log.record(LogEntry {
-            txn: 1,
-            op: "put".into(),
-            args: vec![Value::elem(1), Value::elem(10)],
-            result: Some(Value::null()),
-            pre_state: Some(AbstractState::Map(Default::default()).to_value()),
-        });
-        // A put to a different key commutes.
-        assert!(g
-            .admit(&log, 2, "put", &[Value::elem(2), Value::elem(20)])
-            .is_ok());
-        // A get of the same key does not.
-        assert!(matches!(
-            g.admit(&log, 2, "get", &[Value::elem(1)]),
-            Err(AdmissionError::Conflict(_))
-        ));
-    }
-
-    #[test]
-    fn unknown_pairs_are_evaluation_errors_not_conflicts() {
-        let g = CommutativityGatekeeper::new(InterfaceId::Set);
-        let mut log = OperationLog::new();
-        log.record(set_entry(1, "add", 5, true, &[]));
-        // An operation the catalog knows nothing about must fail loudly, not
-        // read as "does not commute".
-        let err = g
-            .admit(&log, 2, "frobnicate", &[Value::elem(5)])
-            .unwrap_err();
-        match err {
-            AdmissionError::Evaluation(msg) => {
-                assert!(
-                    msg.contains("no condition for pair add/frobnicate"),
-                    "{msg}"
-                );
-            }
-            AdmissionError::Conflict(_) => panic!("evaluation failure misreported as conflict"),
+        for backend in BACKENDS {
+            let g = CommutativityGatekeeper::with_backend(InterfaceId::Set, backend);
+            // add/* and contains/* between conditions test `r1`, not `s1`.
+            assert!(!g.requires_pre_state("add"), "{backend:?}");
+            assert!(!g.requires_pre_state("contains"), "{backend:?}");
+            // remove/contains and size/add read `s1` membership.
+            assert!(g.requires_pre_state("remove"), "{backend:?}");
+            assert!(g.requires_pre_state("size"), "{backend:?}");
         }
     }
 
     #[test]
+    fn distinct_elements_commute_same_element_conflicts() {
+        for backend in BACKENDS {
+            let g = CommutativityGatekeeper::with_backend(InterfaceId::Set, backend);
+            let mut log = OperationLog::new();
+            // Transaction 1 added element 5, which was new (result = true).
+            log.record(set_entry(1, "add", 5, true, &[]));
+
+            // Transaction 2 adding a different element commutes.
+            assert!(g.admit(&log, 2, "add", &[Value::elem(7)]).is_ok());
+            // Transaction 2 removing the element transaction 1 just added
+            // does not commute.
+            let conflict = match g.admit(&log, 2, "remove", &[Value::elem(5)]) {
+                Err(AdmissionError::Conflict(c)) => c,
+                other => panic!("expected a conflict, got {other:?}"),
+            };
+            assert_eq!(conflict.with_txn, 1);
+            assert_eq!(conflict.logged_op, "add");
+            assert!(conflict.to_string().contains("does not commute"));
+            // The same transaction is never in conflict with itself.
+            assert!(g.admit(&log, 1, "remove", &[Value::elem(5)]).is_ok());
+        }
+    }
+
+    #[test]
+    fn contains_conflicts_only_when_observation_would_change() {
+        for backend in BACKENDS {
+            let g = CommutativityGatekeeper::with_backend(InterfaceId::Set, backend);
+            let mut log = OperationLog::new();
+            // Transaction 1 observed that 3 was present (result = true, and 3
+            // was in the pre-state).
+            log.record(set_entry(1, "contains", 3, true, &[3]));
+            // Adding 3 again commutes (it was already present).
+            assert!(g.admit(&log, 2, "add", &[Value::elem(3)]).is_ok());
+            // Removing 3 would invalidate the observation.
+            assert!(g.admit(&log, 2, "remove", &[Value::elem(3)]).is_err());
+        }
+    }
+
+    #[test]
+    fn map_gatekeeper_uses_key_based_conditions() {
+        for backend in BACKENDS {
+            let g = CommutativityGatekeeper::with_backend(InterfaceId::Map, backend);
+            let mut log = OperationLog::new();
+            log.record(LogEntry {
+                txn: 1,
+                op: "put".into(),
+                args: vec![Value::elem(1), Value::elem(10)],
+                result: Some(Value::null()),
+                pre_state: Some(AbstractState::Map(Default::default()).to_value()),
+            });
+            // A put to a different key commutes.
+            assert!(g
+                .admit(&log, 2, "put", &[Value::elem(2), Value::elem(20)])
+                .is_ok());
+            // A get of the same key does not.
+            assert!(matches!(
+                g.admit(&log, 2, "get", &[Value::elem(1)]),
+                Err(AdmissionError::Conflict(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn unknown_pairs_are_evaluation_errors_not_conflicts() {
+        for backend in BACKENDS {
+            let g = CommutativityGatekeeper::with_backend(InterfaceId::Set, backend);
+            let mut log = OperationLog::new();
+            log.record(set_entry(1, "add", 5, true, &[]));
+            // An operation the catalog knows nothing about must fail loudly,
+            // not read as "does not commute".
+            let err = g
+                .admit(&log, 2, "frobnicate", &[Value::elem(5)])
+                .unwrap_err();
+            match err {
+                AdmissionError::Evaluation(msg) => {
+                    assert!(
+                        msg.contains("no condition for pair add/frobnicate"),
+                        "{msg}"
+                    );
+                }
+                AdmissionError::Conflict(_) => {
+                    panic!("evaluation failure misreported as conflict")
+                }
+            }
+        }
+    }
+
+    /// A placeholder value of the given sort, for building well-formed log
+    /// entries straight from the interface specification.
+    fn default_value(sort: Sort) -> Value {
+        match sort {
+            Sort::Bool => Value::Bool(false),
+            Sort::Int => Value::Int(0),
+            Sort::Elem => Value::elem(1),
+            Sort::Set => Value::set_of([semcommute_logic::ElemId(1)]),
+            Sort::Map => {
+                Value::map_of([(semcommute_logic::ElemId(1), semcommute_logic::ElemId(1))])
+            }
+            Sort::Seq => Value::seq_of([semcommute_logic::ElemId(1)]),
+        }
+    }
+
+    /// Table-driven over **all** interfaces and both backends: for every
+    /// catalog pair whose condition reads `s1`, a log entry without a
+    /// pre-state must classify as a (non-retryable) evaluation error, never
+    /// as a conflict. Driving this from the catalog itself means an interface
+    /// or condition added later cannot silently skip the check.
+    #[test]
     fn missing_required_pre_state_is_an_evaluation_error() {
-        let g = CommutativityGatekeeper::new(InterfaceId::Set);
-        let mut log = OperationLog::new();
-        let mut entry = set_entry(1, "size", 0, true, &[]);
-        entry.args = vec![];
-        entry.result = Some(Value::Int(0));
-        entry.pre_state = None; // size/add reads s1 — this entry is unusable.
-        log.record(entry);
-        assert!(matches!(
-            g.admit(&log, 2, "add", &[Value::elem(1)]),
-            Err(AdmissionError::Evaluation(_))
-        ));
+        let mut exercised = 0u32;
+        for interface in InterfaceId::ALL {
+            let iface = semcommute_spec::interface_by_id(interface);
+            let args_of = |op: &str| -> Vec<Value> {
+                iface.op(op).map_or_else(Vec::new, |spec| {
+                    spec.params
+                        .iter()
+                        .map(|(_, sort)| default_value(*sort))
+                        .collect()
+                })
+            };
+            for backend in BACKENDS {
+                let g = CommutativityGatekeeper::with_backend(interface, backend);
+                for (first, second) in g.pairs() {
+                    let (needs_s1, _) = g.pair_pre_state_projection(&first, &second).unwrap();
+                    if !needs_s1 {
+                        continue;
+                    }
+                    let mut log = OperationLog::new();
+                    log.record(LogEntry {
+                        txn: 1,
+                        op: first.clone(),
+                        args: args_of(&first),
+                        result: iface
+                            .op(&first)
+                            .and_then(|s| s.result_sort)
+                            .map(default_value),
+                        pre_state: None, // the condition reads s1 — unusable.
+                    });
+                    match g.admit(&log, 2, &second, &args_of(&second)) {
+                        Err(AdmissionError::Evaluation(msg)) => {
+                            assert!(
+                                msg.contains("carries no pre-state"),
+                                "{interface}/{first}/{second} ({backend:?}): {msg}"
+                            );
+                        }
+                        other => panic!(
+                            "{interface}/{first}/{second} ({backend:?}): expected an \
+                             evaluation error, got {other:?}"
+                        ),
+                    }
+                    exercised += 1;
+                }
+            }
+        }
+        assert!(
+            exercised > 0,
+            "no catalog between condition reads s1 — the table is empty"
+        );
     }
 }

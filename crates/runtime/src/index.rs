@@ -42,6 +42,11 @@ pub const N_SHARDS: usize = 16;
 pub struct PublishedOp {
     /// Position in the global publish order (1-based; 0 is "before any op").
     pub seq: u64,
+    /// The logged operation's dense index in the gatekeeper's operation
+    /// universe, resolved once at publish time so admission never hashes the
+    /// operation name (see
+    /// [`CommutativityGatekeeper::op_index`](crate::CommutativityGatekeeper::op_index)).
+    pub op_idx: Option<u16>,
     /// The logged operation.
     pub entry: LogEntry,
 }
@@ -93,6 +98,15 @@ impl InFlightIndex {
     /// shard lock.
     pub fn others(&self, txn: u64) -> Vec<Arc<PublishedOp>> {
         let mut out = Vec::new();
+        self.others_into(txn, &mut out);
+        out
+    }
+
+    /// [`others`](InFlightIndex::others) into a caller-supplied buffer — the
+    /// executor reuses one buffer per transaction so the admission fast path
+    /// allocates nothing. The buffer is cleared first.
+    pub fn others_into(&self, txn: u64, out: &mut Vec<Arc<PublishedOp>>) {
+        out.clear();
         for shard in &self.shards {
             let guard = shard.read();
             for (&owner, entries) in guard.iter() {
@@ -101,7 +115,6 @@ impl InFlightIndex {
                 }
             }
         }
-        out
     }
 
     /// Operations of other transactions with `seq > bound` — the entries
@@ -110,6 +123,14 @@ impl InFlightIndex {
     /// so only slot tails are scanned.
     pub fn others_since(&self, txn: u64, bound: u64) -> Vec<Arc<PublishedOp>> {
         let mut out = Vec::new();
+        self.others_since_into(txn, bound, &mut out);
+        out
+    }
+
+    /// [`others_since`](InFlightIndex::others_since) into a caller-supplied
+    /// buffer, cleared first (see [`others_into`](InFlightIndex::others_into)).
+    pub fn others_since_into(&self, txn: u64, bound: u64, out: &mut Vec<Arc<PublishedOp>>) {
+        out.clear();
         for shard in &self.shards {
             let guard = shard.read();
             for (&owner, entries) in guard.iter() {
@@ -120,7 +141,6 @@ impl InFlightIndex {
                 out.extend(tail.cloned());
             }
         }
-        out
     }
 
     /// The total number of published (uncommitted) operations.
@@ -145,6 +165,7 @@ mod tests {
     fn op(txn: u64, seq: u64) -> Arc<PublishedOp> {
         Arc::new(PublishedOp {
             seq,
+            op_idx: None,
             entry: LogEntry {
                 txn,
                 op: "add".into(),

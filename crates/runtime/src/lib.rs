@@ -44,7 +44,7 @@ pub mod structure;
 
 pub use baseline::CoarseLockRuntime;
 pub use executor::{RuntimeStats, SpeculativeRuntime, Transaction, TxnError};
-pub use gatekeeper::{AdmissionError, CommutativityGatekeeper, Conflict};
+pub use gatekeeper::{AdmissionError, AdmitBackend, CommutativityGatekeeper, Conflict};
 pub use index::InFlightIndex;
 pub use log::{LogEntry, OperationLog};
 pub use rollback::{InverseRollback, SnapshotRollback};

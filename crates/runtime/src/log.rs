@@ -13,9 +13,12 @@ use semcommute_logic::Value;
 ///   undo the effect (Table 5.10) — inverses never read the pre-state.
 ///
 /// `pre_state` is a **projection**: it is populated only when some between
-/// condition whose *first* operation is `op` actually mentions the initial
+/// condition whose *first* operation is `op` actually reads the initial
 /// state `s1` (see
-/// [`CommutativityGatekeeper::requires_pre_state`](crate::CommutativityGatekeeper::requires_pre_state)).
+/// [`CommutativityGatekeeper::requires_pre_state`](crate::CommutativityGatekeeper::requires_pre_state)
+/// — under the compiled admission backend "reads" is derived from the
+/// compiled program's actual `s1` slot reads, under the interpreter from a
+/// syntactic free-variable scan; the two agree across the catalog).
 /// Most recorded-variant between conditions test the recorded return value
 /// `r1` instead — that is the point of recording it — so most entries carry
 /// `None` here and cost nothing to record. When the state *is* needed it is

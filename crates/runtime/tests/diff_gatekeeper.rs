@@ -1,0 +1,302 @@
+//! Backend-differential harness for the admission gatekeeper.
+//!
+//! The compiled admission backend ([`AdmitBackend::Bytecode`]) must be
+//! observationally equivalent to the `Model`-building interpreter
+//! ([`AdmitBackend::Interp`]) — same admit/deny verdicts *and* the same
+//! [`AdmissionError::Conflict`] vs [`AdmissionError::Evaluation`]
+//! classification, which the executor's retry policy depends on. For every
+//! catalog (interface, op-pair) this harness feeds both backends randomized
+//! log entries and incoming arguments — well-formed ones, entries with the
+//! pre-state or the recorded result missing, entries with truncated argument
+//! lists, ill-sorted arguments, and unknown operations — and asserts the
+//! outcomes classify identically (conflicts additionally compare equal
+//! field-by-field; error *messages* may differ, the interpreter names
+//! variables where the compiled executor names slots).
+
+use semcommute_logic::{ElemId, Sort, Value};
+use semcommute_runtime::{
+    AdmissionError, AdmitBackend, CommutativityGatekeeper, LogEntry, OperationLog,
+};
+use semcommute_spec::InterfaceId;
+
+/// Deterministic xorshift64* generator — no external crates, reproducible
+/// failures.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+/// A random value of the given sort over a small universe, so equalities and
+/// memberships genuinely hit both outcomes.
+fn random_value(rng: &mut XorShift, sort: Sort) -> Value {
+    match sort {
+        Sort::Bool => Value::Bool(rng.below(2) == 0),
+        Sort::Int => Value::Int(rng.below(9) as i64 - 4),
+        Sort::Elem => {
+            if rng.chance(10) {
+                Value::null()
+            } else {
+                Value::elem(rng.below(6) as u32 + 1)
+            }
+        }
+        Sort::Set => Value::set_of((0..rng.below(5)).map(|_| ElemId(rng.below(6) as u32 + 1))),
+        Sort::Map => Value::map_of((0..rng.below(5)).map(|_| {
+            (
+                ElemId(rng.below(6) as u32 + 1),
+                ElemId(rng.below(6) as u32 + 1),
+            )
+        })),
+        Sort::Seq => Value::seq_of((0..rng.below(5)).map(|_| ElemId(rng.below(6) as u32 + 1))),
+    }
+}
+
+/// A random value of a random (often wrong) sort.
+fn random_any_value(rng: &mut XorShift) -> Value {
+    let sort = [
+        Sort::Bool,
+        Sort::Int,
+        Sort::Elem,
+        Sort::Set,
+        Sort::Map,
+        Sort::Seq,
+    ][rng.below(6) as usize];
+    random_value(rng, sort)
+}
+
+/// Random arguments for `op`: usually well-sorted and complete, sometimes
+/// truncated, sometimes with an ill-sorted entry — the compiled and
+/// interpreted evaluators must classify the malformed cases identically too.
+fn random_args(rng: &mut XorShift, iface: &semcommute_spec::InterfaceSpec, op: &str) -> Vec<Value> {
+    let Some(spec) = iface.op(op) else {
+        return Vec::new();
+    };
+    let mut args: Vec<Value> = spec
+        .params
+        .iter()
+        .map(|(_, sort)| {
+            if rng.chance(5) {
+                random_any_value(rng)
+            } else {
+                random_value(rng, *sort)
+            }
+        })
+        .collect();
+    if rng.chance(5) && !args.is_empty() {
+        args.truncate(args.len() - 1);
+    }
+    args
+}
+
+/// A randomized log entry for `op` as executed by `txn`.
+fn random_entry(
+    rng: &mut XorShift,
+    iface: &semcommute_spec::InterfaceSpec,
+    txn: u64,
+    op: &str,
+) -> LogEntry {
+    let result = iface.op(op).and_then(|spec| spec.result_sort).map(|sort| {
+        if rng.chance(5) {
+            random_any_value(rng)
+        } else {
+            random_value(rng, sort)
+        }
+    });
+    let pre_state = (!rng.chance(25)).then(|| random_value(rng, iface.state_sort));
+    LogEntry {
+        txn,
+        op: op.to_string(),
+        args: random_args(rng, iface, op),
+        result: if rng.chance(10) { None } else { result },
+        pre_state,
+    }
+}
+
+/// Collapses an admission outcome for comparison: verdicts and conflicts
+/// must match exactly; evaluation errors must match as a *class* (their
+/// messages legitimately differ between backends).
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    Admitted,
+    Conflict(semcommute_runtime::Conflict),
+    Evaluation,
+}
+
+fn outcome(result: Result<(), AdmissionError>) -> Outcome {
+    match result {
+        Ok(()) => Outcome::Admitted,
+        Err(AdmissionError::Conflict(c)) => Outcome::Conflict(c),
+        Err(AdmissionError::Evaluation(_)) => Outcome::Evaluation,
+    }
+}
+
+/// For every catalog pair of every interface: randomized single entries,
+/// checked through both backends, must classify identically.
+#[test]
+fn compiled_and_interpreted_admission_agree_on_every_catalog_pair() {
+    for interface in InterfaceId::ALL {
+        let iface = &semcommute_spec::interface_by_id(interface);
+        let bytecode = CommutativityGatekeeper::with_backend(interface, AdmitBackend::Bytecode);
+        let interp = CommutativityGatekeeper::with_backend(interface, AdmitBackend::Interp);
+        assert_eq!(bytecode.pairs(), interp.pairs(), "{interface}");
+        for (first, second) in bytecode.pairs() {
+            let mut rng =
+                XorShift::new(0xfeed_face ^ (interface as u64) << 48 ^ seed_of(&first, &second));
+            for case in 0..200 {
+                let logged = random_entry(&mut rng, iface, 1, &first);
+                let incoming = random_args(&mut rng, iface, &second);
+                let fast = outcome(bytecode.check_entry(&logged, &second, &incoming));
+                let slow = outcome(interp.check_entry(&logged, &second, &incoming));
+                assert_eq!(
+                    fast, slow,
+                    "{interface}: {first}/{second} case {case} diverged on entry {logged:?} \
+                     with incoming args {incoming:?}"
+                );
+            }
+        }
+    }
+}
+
+fn seed_of(first: &str, second: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in first.bytes().chain([b'/']).chain(second.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Multi-entry logs: `admit` scans entries in order and stops at the first
+/// non-admission, so identical per-entry classification must make the whole
+/// `admit` call agree too — checked directly here with mixed-op logs.
+#[test]
+fn admit_over_randomized_multi_entry_logs_agrees() {
+    for interface in InterfaceId::ALL {
+        let iface = &semcommute_spec::interface_by_id(interface);
+        let bytecode = CommutativityGatekeeper::with_backend(interface, AdmitBackend::Bytecode);
+        let interp = CommutativityGatekeeper::with_backend(interface, AdmitBackend::Interp);
+        let firsts: Vec<String> = {
+            let mut ops: Vec<String> = bytecode.pairs().into_iter().map(|(f, _)| f).collect();
+            ops.dedup();
+            ops
+        };
+        let seconds: Vec<String> = {
+            let mut ops: Vec<String> = bytecode.pairs().into_iter().map(|(_, s)| s).collect();
+            ops.sort();
+            ops.dedup();
+            ops
+        };
+        let mut rng = XorShift::new(0xdead_beef ^ (interface as u64) << 32);
+        for case in 0..300 {
+            let mut log = OperationLog::new();
+            for _ in 0..rng.below(6) {
+                let txn = rng.below(3) + 1;
+                let op = &firsts[rng.below(firsts.len() as u64) as usize];
+                log.record(random_entry(&mut rng, iface, txn, op));
+            }
+            let incoming_op = &seconds[rng.below(seconds.len() as u64) as usize];
+            let incoming = random_args(&mut rng, iface, incoming_op);
+            let txn = rng.below(4) + 1;
+            let fast = outcome(bytecode.admit(&log, txn, incoming_op, &incoming));
+            let slow = outcome(interp.admit(&log, txn, incoming_op, &incoming));
+            assert_eq!(
+                fast,
+                slow,
+                "{interface} case {case}: admit of `{incoming_op}` by txn {txn} diverged \
+                 over log {:?}",
+                log.entries()
+            );
+        }
+    }
+}
+
+/// The error paths must classify identically as well: operations the catalog
+/// does not know (either side of the pair) are evaluation errors, never
+/// conflicts, under both backends.
+#[test]
+fn unknown_pairs_classify_as_evaluation_errors_under_both_backends() {
+    for backend in [AdmitBackend::Bytecode, AdmitBackend::Interp] {
+        let g = CommutativityGatekeeper::with_backend(InterfaceId::Set, backend);
+        let mut log = OperationLog::new();
+        log.record(LogEntry {
+            txn: 1,
+            op: "add".into(),
+            args: vec![Value::elem(5)],
+            result: Some(Value::Bool(true)),
+            pre_state: None,
+        });
+        // Unknown incoming operation.
+        assert!(matches!(
+            g.admit(&log, 2, "frobnicate", &[Value::elem(5)]),
+            Err(AdmissionError::Evaluation(_))
+        ));
+        // Unknown logged operation.
+        let mut log = OperationLog::new();
+        log.record(LogEntry {
+            txn: 1,
+            op: "frobnicate".into(),
+            args: vec![],
+            result: None,
+            pre_state: None,
+        });
+        assert!(matches!(
+            g.admit(&log, 2, "add", &[Value::elem(5)]),
+            Err(AdmissionError::Evaluation(_))
+        ));
+    }
+}
+
+/// The missing-pre-state path raises the identical message under both
+/// backends — it is detected before evaluation starts, from each backend's
+/// own pre-state projection.
+#[test]
+fn missing_pre_state_message_is_identical_across_backends() {
+    let bytecode = CommutativityGatekeeper::with_backend(InterfaceId::Set, AdmitBackend::Bytecode);
+    let interp = CommutativityGatekeeper::with_backend(InterfaceId::Set, AdmitBackend::Interp);
+    let entry = LogEntry {
+        txn: 1,
+        op: "size".into(),
+        args: vec![],
+        result: Some(Value::Int(0)),
+        pre_state: None, // size/add reads s1 — this entry is unusable.
+    };
+    let msg = |g: &CommutativityGatekeeper| match g.check_entry(&entry, "add", &[Value::elem(1)]) {
+        Err(AdmissionError::Evaluation(m)) => m,
+        other => panic!("expected an evaluation error, got {other:?}"),
+    };
+    assert_eq!(msg(&bytecode), msg(&interp));
+}
+
+/// `SEMCOMMUTE_ADMIT` selects the process-wide default backend. The parse is
+/// pure (tested exhaustively in the gatekeeper's unit tests); here we pin
+/// that default-constructed gatekeepers and runtimes actually use it.
+#[test]
+fn default_backend_follows_the_process_wide_knob() {
+    let expected = AdmitBackend::parse(std::env::var("SEMCOMMUTE_ADMIT").ok().as_deref());
+    assert_eq!(AdmitBackend::default_backend(), expected);
+    let g = CommutativityGatekeeper::new(InterfaceId::Map);
+    assert_eq!(g.backend(), expected);
+    let rt = semcommute_runtime::SpeculativeRuntime::new(
+        semcommute_runtime::AnyStructure::by_name("HashSet").unwrap(),
+    );
+    assert_eq!(rt.admit_backend(), expected);
+}

@@ -23,7 +23,10 @@
 use std::sync::Mutex;
 
 use semcommute_logic::Value;
-use semcommute_runtime::{AnyStructure, CoarseLockRuntime, SpeculativeRuntime, TxnError};
+use semcommute_runtime::{
+    AdmitBackend, AnyStructure, CoarseLockRuntime, CommutativityGatekeeper, SpeculativeRuntime,
+    TxnError,
+};
 use semcommute_spec::InterfaceId;
 
 /// Deterministic xorshift64* generator — no external crates, reproducible
@@ -106,10 +109,11 @@ struct Committed {
 }
 
 /// Runs the random workload at the given thread count and checks every
-/// differential property.
-fn differential(structure_name: &str, threads: u64) {
+/// differential property, under the given admission backend.
+fn differential(structure_name: &str, threads: u64, backend: AdmitBackend) {
     let per_thread = iterations();
-    let rt = SpeculativeRuntime::new(AnyStructure::by_name(structure_name).unwrap());
+    let rt =
+        SpeculativeRuntime::with_backend(AnyStructure::by_name(structure_name).unwrap(), backend);
     let interface = AnyStructure::by_name(structure_name).unwrap().interface();
     let committed: Mutex<Vec<Committed>> = Mutex::new(Vec::new());
 
@@ -206,8 +210,39 @@ fn differential(structure_name: &str, threads: u64) {
 }
 
 fn differential_all_thread_counts(structure_name: &str) {
-    for threads in [1, 4, 8] {
-        differential(structure_name, threads);
+    for backend in [AdmitBackend::Bytecode, AdmitBackend::Interp] {
+        for threads in [1, 4, 8] {
+            differential(structure_name, threads, backend);
+        }
+    }
+}
+
+/// The two backends must want pre-states for exactly the same operations:
+/// the interpreter's syntactic free-variable projection and the compiled
+/// programs' actual `s1` slot reads have to agree pair by pair across the
+/// full catalog, or one backend would log pre-states the other expects —
+/// snapshotting would regress silently.
+#[test]
+fn requires_pre_state_projections_agree_across_the_catalog() {
+    for interface in InterfaceId::ALL {
+        let bytecode = CommutativityGatekeeper::with_backend(interface, AdmitBackend::Bytecode);
+        let interp = CommutativityGatekeeper::with_backend(interface, AdmitBackend::Interp);
+        assert_eq!(bytecode.pairs(), interp.pairs(), "{interface}");
+        for (first, second) in bytecode.pairs() {
+            let (syntactic, compiled) =
+                bytecode.pair_pre_state_projection(&first, &second).unwrap();
+            assert_eq!(
+                syntactic, compiled,
+                "{interface}: {first}/{second}: syntactic s1 projection and compiled \
+                 slot-read projection disagree"
+            );
+            // And the per-operation projection the executor consults follows.
+            assert_eq!(
+                bytecode.requires_pre_state(&first),
+                interp.requires_pre_state(&first),
+                "{interface}: requires_pre_state(`{first}`) differs between backends"
+            );
+        }
     }
 }
 
