@@ -149,7 +149,7 @@ fn bench_rollback(c: &mut Criterion) {
                     let snapshot = SnapshotRollback::capture(&s);
                     s.apply("add", &[Value::elem(size + 1)]).unwrap();
                     s.apply("remove", &[Value::elem(1)]).unwrap();
-                    snapshot.restore()
+                    snapshot.restore().unwrap()
                 },
                 criterion::BatchSize::LargeInput,
             )

@@ -31,22 +31,47 @@
 //! commit/abort/conflict counts must be identical (the diff harnesses prove
 //! the verdicts agree) so the wall-time ratio *is* the per-op ratio.
 //!
+//! A fifth axis is the **snapshot-heavy leg** (PR 9): transactions whose
+//! operations require a pre-state projection retain a clone of the tracked
+//! mirror in every published log entry, so the next mirror mutation pays the
+//! representation's detach cost. Under the old flat (eager) collections that
+//! detach re-cloned the whole collection — `O(n)` per mutation while any
+//! snapshot is live; under the tree-shaped persistent values it path-copies
+//! `O(log n)` nodes. Two leg families measure this:
+//!
+//! * `mirror_flat` / `mirror_tree`: a paired microharness driving the
+//!   identical deterministic hot-key-skew "retain a snapshot, then mutate"
+//!   loop against a bench-local reconstruction of the flat representation
+//!   (`Arc<BTreeSet>` + `make_mut`, the PR 3 mirror) and against the tree
+//!   [`PSet`]. The flat loop omits the `Value` enum wrapper and op dispatch
+//!   the real runtime pays, so its per-op time is a *lower bound* on the
+//!   flat representation's true cost — the measured ratio understates the
+//!   tree's advantage.
+//! * `snapshot_runtime`: the real end-to-end path — a [`SpeculativeRuntime`]
+//!   on a large prefilled set driving transactions whose `size` probes
+//!   require pre-state projections interleaved with hot-key mutations.
+//!
 //! Usage: `runtime_perf [--ops N] [--prefill N] [--seed-ops N]
-//! [--admit bytecode|interp|both|off] [--json PATH]`.
+//! [--admit bytecode|interp|both|off] [--snap-ops N] [--snap-prefill N]
+//! [--json PATH]`.
 //! With the defaults the speculative and coarse legs together drive several
 //! million mixed operations across the configurations. Emits the
 //! measurements as JSON
-//! (`BENCH_pr8.json` in CI) with an `acceptance` section recording the
+//! (`BENCH_pr9.json` in CI) with an `acceptance` section recording the
 //! single-core criterion: speculative per-op overhead at threads=1 must be
-//! ≥ 5× lower than the seed engine's — and, when both admission backends
+//! ≥ 5× lower than the seed engine's — when both admission backends
 //! run, compiled admission must be at most 0.5× the interpreter's per-op
-//! time with identical counts.
+//! time with identical counts — and the tree representation must beat the
+//! flat mirror's per-op snapshot-loop cost by ≥ 2× with identical final
+//! contents.
 
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use semcommute_bench::seed_runtime::SeedRuntime;
-use semcommute_logic::Value;
+use semcommute_logic::{ElemId, PSet, Value};
 use semcommute_runtime::{
     AdmissionError, AdmitBackend, AnyStructure, CoarseLockRuntime, CommutativityGatekeeper,
     LogEntry, SpeculativeRuntime, TxnError,
@@ -489,16 +514,192 @@ fn run_gatekeeper(
     }
 }
 
+/// Number of live snapshots the mirror microharness keeps retained — shaped
+/// like a handful of open transactions whose published entries each hold a
+/// pre-state projection.
+const MIRROR_RETAIN: usize = 64;
+
+/// The key distribution of the snapshot loops: hot-key skew over a domain
+/// twice the structure size (so inserts and removes both happen).
+fn snapshot_key(rng: &mut XorShift, n: u64) -> ElemId {
+    let k = if rng.below(2) == 0 {
+        rng.below(16)
+    } else {
+        rng.below(n * 2)
+    };
+    ElemId(k as u32 + 1)
+}
+
+/// Folds a set's contents into a checksum so the flat and tree mirror legs
+/// can prove they computed the same thing.
+fn set_checksum(elems: impl Iterator<Item = ElemId>) -> u64 {
+    elems.fold(0u64, |a, e| {
+        a.wrapping_mul(0x100_0000_01b3).wrapping_add(u64::from(e.0))
+    })
+}
+
+/// The flat half of the mirror microharness: the PR 3 representation — an
+/// eager collection behind `Arc` with `make_mut` copy-on-write. Retaining a
+/// snapshot is an `O(1)` handle clone, but the next mutation re-clones the
+/// *entire* collection. This loop pays no `Value` wrapper or dispatch cost,
+/// so it is a lower bound on what the real runtime paid under the flat
+/// representation.
+fn run_snapshot_mirror_flat(ops: u64, n: u64) -> (Measurement, u64) {
+    let mut primary: Arc<BTreeSet<ElemId>> = Arc::new((1..=n as u32).map(ElemId).collect());
+    let mut retained: VecDeque<Arc<BTreeSet<ElemId>>> = VecDeque::with_capacity(MIRROR_RETAIN);
+    let mut rng = XorShift::new(0x5a_a9_5a_a9 ^ ops);
+    let start = Instant::now();
+    for _ in 0..ops {
+        if retained.len() == MIRROR_RETAIN {
+            retained.pop_front();
+        }
+        // The pre-state projection the executor attaches to a published entry.
+        retained.push_back(Arc::clone(&primary));
+        // The next mirror mutation: `make_mut` detaches from every retained
+        // snapshot by cloning the whole collection.
+        let k = snapshot_key(&mut rng, n);
+        let set = Arc::make_mut(&mut primary);
+        if !set.insert(k) {
+            set.remove(&k);
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let checksum = set_checksum(primary.iter().copied());
+    (
+        Measurement {
+            engine: "mirror_flat",
+            workload: "skewed",
+            admit: "default",
+            threads: 1,
+            target_ops: ops,
+            committed_ops: ops,
+            commits: 0,
+            aborts: 0,
+            conflicts: 0,
+            pinned_ops: MIRROR_RETAIN as u64,
+            wall_s,
+        },
+        checksum,
+    )
+}
+
+/// The tree half of the mirror microharness: the identical deterministic
+/// loop against the tree-shaped [`PSet`], whose mutations detach from the
+/// retained snapshots by path-copying `O(log n)` nodes.
+fn run_snapshot_mirror_tree(ops: u64, n: u64) -> (Measurement, u64) {
+    let mut primary: PSet = (1..=n as u32).map(ElemId).collect();
+    let mut retained: VecDeque<PSet> = VecDeque::with_capacity(MIRROR_RETAIN);
+    let mut rng = XorShift::new(0x5a_a9_5a_a9 ^ ops);
+    let start = Instant::now();
+    for _ in 0..ops {
+        if retained.len() == MIRROR_RETAIN {
+            retained.pop_front();
+        }
+        retained.push_back(primary.clone());
+        let k = snapshot_key(&mut rng, n);
+        if !primary.insert(k) {
+            primary.remove(&k);
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let checksum = set_checksum(primary.iter().copied());
+    (
+        Measurement {
+            engine: "mirror_tree",
+            workload: "skewed",
+            admit: "default",
+            threads: 1,
+            target_ops: ops,
+            committed_ops: ops,
+            commits: 0,
+            aborts: 0,
+            conflicts: 0,
+            pinned_ops: MIRROR_RETAIN as u64,
+            wall_s,
+        },
+        checksum,
+    )
+}
+
+/// The end-to-end snapshot-heavy leg: the production runtime on a large
+/// prefilled set, driving transactions that interleave `size` probes (whose
+/// between conditions read `s1`, so the executor attaches a pre-state
+/// projection to each) with hot-key-skew mutations. Every projection retains
+/// the tracked mirror's state value, so each following mutation pays the
+/// representation's detach cost — the cost the tentpole moved from `O(n)`
+/// to `O(log n)`.
+fn run_snapshot_runtime(ops: u64, prefill: u64) -> Measurement {
+    let rt = SpeculativeRuntime::new(prefilled(prefill));
+    let ops_per_txn = 8u64; // four (size, mutate) pairs
+    let txns = ops / ops_per_txn;
+    let mut committed_ops = 0u64;
+    let mut rng = XorShift::new(0x5a_a9_5a_a9 ^ ops);
+    let start = Instant::now();
+    for _ in 0..txns {
+        let script: Vec<(&str, Vec<Value>)> = (0..4)
+            .flat_map(|_| {
+                let k = snapshot_key(&mut rng, prefill);
+                let mutate = if rng.below(2) == 0 { "add" } else { "remove" };
+                [("size", vec![]), (mutate, vec![Value::Elem(k)])]
+            })
+            .collect();
+        let done = rt.run(1_000, |txn| {
+            for (op, args) in &script {
+                txn.execute(op, args)?;
+            }
+            Ok(())
+        });
+        match done {
+            Ok(()) => committed_ops += script.len() as u64,
+            Err(TxnError::RetriesExhausted) => {}
+            Err(e) => panic!("snapshot workload failed: {e}"),
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    rt.check_invariants()
+        .expect("invariants hold after the run");
+    let stats = rt.stats();
+    assert_eq!(stats.begun, stats.commits + stats.aborts);
+    Measurement {
+        engine: "snapshot_runtime",
+        workload: "skewed",
+        admit: "default",
+        threads: 1,
+        target_ops: txns * ops_per_txn,
+        committed_ops,
+        commits: stats.commits,
+        aborts: stats.aborts,
+        conflicts: stats.conflicts,
+        pinned_ops: 0,
+        wall_s,
+    }
+}
+
 fn main() {
     let mut ops: u64 = 250_000;
     let mut seed_ops: u64 = 20_000;
     let mut prefill: u64 = 10_000;
     let mut admit: Vec<AdmitBackend> = vec![AdmitBackend::Bytecode, AdmitBackend::Interp];
+    let mut snap_ops: Option<u64> = None;
+    let mut snap_prefill: u64 = 4_096;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--ops" => ops = args.next().and_then(|v| v.parse().ok()).expect("--ops N"),
+            "--snap-ops" => {
+                snap_ops = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--snap-ops N"),
+                )
+            }
+            "--snap-prefill" => {
+                snap_prefill = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--snap-prefill N")
+            }
             "--seed-ops" => {
                 seed_ops = args
                     .next()
@@ -612,6 +813,45 @@ fn main() {
         }
     }
 
+    // The snapshot-heavy legs: the flat-vs-tree mirror microharness (the
+    // identical deterministic loop under both representations), then the
+    // end-to-end runtime leg (see `run_snapshot_runtime`). The flat leg runs
+    // a reduced op count — each of its mutations re-clones the whole
+    // structure, which is the point of measuring it.
+    let snap_ops = snap_ops.unwrap_or_else(|| (ops / 5).max(10_000));
+    let flat_ops = (snap_ops / 10).max(1_000);
+    let (flat, flat_checksum) = run_snapshot_mirror_flat(flat_ops, snap_prefill);
+    let (tree, _tree_checksum) = run_snapshot_mirror_tree(snap_ops, snap_prefill);
+    let mirror_flat_per_op = flat.per_op_ns();
+    let mirror_tree_per_op = tree.per_op_ns();
+    // The two loops are deterministic and identical apart from length; rerun
+    // the tree leg at the flat leg's length for the contents check.
+    let (_, tree_at_flat_len) = run_snapshot_mirror_tree(flat_ops, snap_prefill);
+    let mirror_contents_identical = flat_checksum == tree_at_flat_len;
+    for m in [flat, tree] {
+        println!(
+            "{:8} {:12} t= 1  {:>14.0} ops/s ({:>7.0} ns/op) [n={}, {} retained]",
+            m.workload,
+            m.engine,
+            m.committed_ops_per_s(),
+            m.per_op_ns(),
+            snap_prefill,
+            m.pinned_ops,
+        );
+        runs.push(m);
+    }
+    runs.push(run_snapshot_runtime(snap_ops, snap_prefill));
+    let m = runs.last().unwrap();
+    println!(
+        "{:8} {:12} t= 1  {:>14.0} ops/s ({:>7.0} ns/op, {} commits, {} aborts)",
+        m.workload,
+        m.engine,
+        m.committed_ops_per_s(),
+        m.per_op_ns(),
+        m.commits,
+        m.aborts,
+    );
+
     // Acceptance: on a single-core host, the production engine at threads=1
     // must show ≥ 5× lower per-committed-op overhead than the seed engine;
     // on multi-core hosts, speculative must out-commit coarse at threads ≥ 4.
@@ -683,13 +923,21 @@ fn main() {
             && admit_uniform > 1.0
             && admit_skewed > 1.0);
 
+    // The snapshot criterion: under the identical retain-then-mutate loop
+    // the tree representation's per-op cost must be materially (≥ 2×) lower
+    // than the flat mirror's — which, being a lower bound on the real flat
+    // cost, makes the comparison conservative — and both loops must compute
+    // the same final contents.
+    let mirror_flat_over_tree = mirror_flat_per_op / mirror_tree_per_op;
+    let snapshot_passed = mirror_flat_over_tree >= 2.0 && mirror_contents_identical;
+
     let single_core = host_threads == 1;
     let classic_passed = if single_core {
         overhead_ratio_uniform >= 5.0 && overhead_ratio_skewed >= 5.0
     } else {
         spec_vs_coarse_t4 > 1.0
     };
-    let passed = classic_passed && admit_passed;
+    let passed = classic_passed && admit_passed && snapshot_passed;
     println!();
     println!(
         "seed/speculative per-op overhead ratio: uniform {overhead_ratio_uniform:.1}x, \
@@ -707,7 +955,12 @@ fn main() {
         );
     }
     println!(
-        "acceptance ({}{}): {}",
+        "flat/tree snapshot-loop per-op ratio: {mirror_flat_over_tree:.1}x \
+         (flat {mirror_flat_per_op:.0} ns/op, tree {mirror_tree_per_op:.0} ns/op, \
+         contents identical: {mirror_contents_identical})"
+    );
+    println!(
+        "acceptance ({}{}; tree >=2x lower snapshot-loop per-op than flat): {}",
         if single_core {
             "single-core host: >=5x lower per-op overhead than seed at t=1"
         } else {
@@ -725,6 +978,8 @@ fn main() {
     json.push_str(&format!(
         "  \"options\": {{\"ops\": {ops}, \"seed_ops\": {seed_ops}, \"prefill\": {prefill}, \
          \"admit\": [{}], \"admit_ops\": {admit_ops}, \"admit_prefill\": {admit_prefill}, \"gate_checks\": {gate_checks}, \
+         \"snap_ops\": {snap_ops}, \"snap_flat_ops\": {flat_ops}, \"snap_prefill\": {snap_prefill}, \
+         \"snap_retained\": {MIRROR_RETAIN}, \
          \"host_parallelism\": {host_threads}}},\n",
         admit
             .iter()
@@ -749,6 +1004,10 @@ fn main() {
          \"gate_interp_over_bytecode_uniform\": {gate_uniform:.2}, \
          \"gate_interp_over_bytecode_skewed\": {gate_skewed:.2}, \
          \"admit_counts_identical\": {admit_counts_identical}, \
+         \"mirror_flat_over_tree_per_op\": {mirror_flat_over_tree:.2}, \
+         \"mirror_flat_per_op_ns\": {mirror_flat_per_op:.1}, \
+         \"mirror_tree_per_op_ns\": {mirror_tree_per_op:.1}, \
+         \"mirror_contents_identical\": {mirror_contents_identical}, \
          \"passed\": {passed}}}\n"
     ));
     json.push('}');

@@ -1,62 +1,537 @@
 //! Persistent, cheaply-clonable collection payloads for [`Value`].
 //!
 //! The finite-model prover evaluates the same obligation under millions of
-//! candidate models, and almost every step of that evaluation *reads* a
-//! collection (membership tests, lookups, lengths, equality) while only a
-//! handful of steps *update* one (the functional `s ∪ {v}` / `m[k := v]` /
-//! `insert_at` algebra). With eager `BTreeSet` / `BTreeMap` / `Vec` payloads
-//! every read that moves a value out of a slot pays a full deep copy.
+//! candidate models, and the speculative runtime snapshots its abstract-state
+//! mirror once per pre-state-reading operation. Both workloads *clone*
+//! collections far more often than they update them — and when they do
+//! update, the update lands on a handle whose older revision is still alive
+//! (a candidate's parent model, a transaction's logged pre-state).
 //!
-//! [`PSet`], [`PMap`], and [`PSeq`] replace those payloads with shared
-//! copy-on-write handles:
+//! [`PSet`], [`PMap`], and [`PSeq`] are therefore **persistent trees** rather
+//! than `Arc`-wrapped flat collections:
 //!
-//! * **`clone` is O(1)** — an atomic reference-count increment, no allocation.
-//!   Reading a collection out of an evaluation slot, enumerating a candidate
-//!   model, or reconstructing a counterexample never copies element data.
-//! * **Updates copy on write** — a mutation through [`PSet::insert`] and
-//!   friends clones the backing collection only when the handle is shared
-//!   (`Arc::make_mut`); a handle with reference count 1 is updated in place,
-//!   so chained updates (`((s ∪ {v1}) ∪ {v2}) \ {v3}`) copy at most once.
-//! * **Structural semantics are unchanged** — `Eq`, `Ord`, and `Hash` delegate
-//!   to the backing ordered collection, so ordering, equality, hashing, and
-//!   iteration order are exactly those of the eager representation. Two
-//!   handles that share storage short-circuit comparison through
-//!   [`PSet::ptr_eq`] before falling back to the structural walk.
+//! * **`clone` is O(1)** — an atomic reference-count increment on the root,
+//!   no allocation. Reading a collection out of an evaluation slot,
+//!   enumerating a candidate model, or snapshotting the runtime mirror never
+//!   copies element data.
+//! * **Updates path-copy in O(log n)** — every node is its own [`Arc`];
+//!   mutating a handle whose nodes are shared clones only the nodes on the
+//!   root-to-target path (plus O(1) rotation nodes per level), leaving the
+//!   rest of the tree shared with every older revision. Mutating a handle
+//!   whose path happens to be uniquely owned updates those nodes in place
+//!   (`Arc::make_mut`), so chained updates (`((s ∪ {v1}) ∪ {v2}) \ {v3}`)
+//!   allocate only the nodes they logically create. This is the property the
+//!   flat representation lacked: there, the first update after a snapshot
+//!   paid a full O(n) copy-on-write detach.
+//! * **Structural semantics are unchanged** — `Eq`, `Ord`, `Hash`, `Debug`,
+//!   and iteration order are exactly those of the eager
+//!   `BTreeSet` / `BTreeMap` / `Vec` representation (the property tests pin
+//!   hash-for-hash agreement). Two handles that share a root short-circuit
+//!   comparison through [`PSet::ptr_eq`] before falling back to the
+//!   structural walk.
 //!
-//! Each handle [`Deref`]s to its backing collection, so the whole read API of
-//! `BTreeSet` / `BTreeMap` / `Vec` (`contains`, `get`, `len`, `iter`,
-//! indexing, …) is available on a handle without any conversion. The empty
-//! collection of each shape is a lazily-initialized process-wide singleton:
-//! constructing an empty value ([`PSet::new`], or evaluating the `{}` /
-//! `[]` literals) allocates nothing.
+//! Internally all three shapes reuse one weight-balanced binary tree (the
+//! Adams tree of `Data.Set`/`Data.Map` fame, Δ = 3, ratio = 2) with a subtree
+//! size in every node: `PSet` and `PMap` descend by key order, `PSeq`
+//! descends by subtree size (an order-statistic tree), which gives O(log n)
+//! `push` / `insert` / `remove` / `set` with shared spines. The empty
+//! collection of each shape is a root-less handle: constructing an empty
+//! value ([`PSet::new`], or evaluating the `{}` / `[]` literals) allocates
+//! nothing, and all empty handles of a shape share "storage" trivially.
+//!
+//! The handles no longer [`Deref`](std::ops::Deref) to an eager collection —
+//! there is no eager collection inside to borrow. They instead expose the
+//! read surface the evaluators use directly (`contains`, `get`, `len`,
+//! `iter`, indexing, …); [`PSet::to_inner`] materializes an eager collection
+//! for the callers that genuinely need one.
 //!
 //! [`Value`]: crate::Value
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use std::ops::Deref;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use crate::value::ElemId;
 
-/// Implements the representation-independent trait surface shared by the
-/// three persistent handles: `Deref` to the backing collection, structural
-/// `Eq` / `Ord` / `Hash` with a pointer-equality fast path, a `Debug` that is
-/// indistinguishable from the eager collection's, and conversions from the
-/// eager representation.
-macro_rules! persistent_handle {
-    ($name:ident, $backing:ty, $item:ty) => {
-        impl Deref for $name {
-            type Target = $backing;
+// ---------------------------------------------------------------------------
+// The shared weight-balanced tree core.
+// ---------------------------------------------------------------------------
 
-            fn deref(&self) -> &$backing {
-                &self.0
-            }
+/// Balance bound: neither child may hold more than `DELTA` times the weight
+/// of its sibling. Δ = 3 with `RATIO` = 2 is the parameter pair proven sound
+/// for single-element insertions and deletions (Hirai & Yamamoto; the same
+/// pair GHC's `containers` settled on).
+const DELTA: usize = 3;
+/// Rotation selector: a single rotation suffices while the inner grandchild
+/// is lighter than `RATIO` times the outer one; otherwise rotate twice.
+const RATIO: usize = 2;
+
+/// One tree node. Children are `Arc`-shared links, so a node is the unit of
+/// structural sharing: path-copying clones O(log n) of these per update.
+#[derive(Debug, Clone)]
+struct Node<E> {
+    /// Number of entries in the subtree rooted here (including this one).
+    size: usize,
+    entry: E,
+    left: Link<E>,
+    right: Link<E>,
+}
+
+type Link<E> = Option<Arc<Node<E>>>;
+
+fn link_size<E>(link: &Link<E>) -> usize {
+    link.as_ref().map_or(0, |n| n.size)
+}
+
+fn leaf<E>(entry: E) -> Link<E> {
+    Some(Arc::new(Node {
+        size: 1,
+        entry,
+        left: None,
+        right: None,
+    }))
+}
+
+fn update_size<E>(node: &mut Node<E>) {
+    node.size = link_size(&node.left) + link_size(&node.right) + 1;
+}
+
+/// Right rotation: `(l=(ll,y,lr), x, r)` becomes `(ll, y, (lr,x,r))`.
+///
+/// Shared nodes on the rotation are cloned by `Arc::make_mut`; uniquely
+/// owned ones are restructured in place without allocating.
+fn rotate_right<E: Clone>(arc: &mut Arc<Node<E>>) {
+    let n = Arc::make_mut(arc);
+    let mut l_arc = n.left.take().expect("rotate_right requires a left child");
+    {
+        let l = Arc::make_mut(&mut l_arc);
+        n.left = l.right.take();
+        update_size(n);
+    }
+    // The left child becomes the root; the old root becomes its right child.
+    std::mem::swap(arc, &mut l_arc);
+    let root = Arc::make_mut(arc);
+    root.right = Some(l_arc);
+    update_size(root);
+}
+
+/// Left rotation: `(l, x, r=(rl,y,rr))` becomes `((l,x,rl), y, rr)`.
+fn rotate_left<E: Clone>(arc: &mut Arc<Node<E>>) {
+    let n = Arc::make_mut(arc);
+    let mut r_arc = n.right.take().expect("rotate_left requires a right child");
+    {
+        let r = Arc::make_mut(&mut r_arc);
+        n.right = r.left.take();
+        update_size(n);
+    }
+    std::mem::swap(arc, &mut r_arc);
+    let root = Arc::make_mut(arc);
+    root.left = Some(r_arc);
+    update_size(root);
+}
+
+/// Restores the weight-balance invariant at `arc` after one child gained or
+/// lost a single entry (the standard Adams one-step rebalance).
+fn rebalance<E: Clone>(arc: &mut Arc<Node<E>>) {
+    let (ls, rs) = {
+        let n = arc.as_ref();
+        (link_size(&n.left), link_size(&n.right))
+    };
+    if ls + rs <= 1 {
+        return;
+    }
+    if rs > DELTA * ls {
+        // Right-heavy. Decide single vs double by the grandchildren.
+        let double = {
+            let r = arc
+                .as_ref()
+                .right
+                .as_ref()
+                .expect("right-heavy node has a right child");
+            link_size(&r.left) >= RATIO * link_size(&r.right)
+        };
+        if double {
+            let n = Arc::make_mut(arc);
+            rotate_right(
+                n.right
+                    .as_mut()
+                    .expect("right-heavy node has a right child"),
+            );
         }
+        rotate_left(arc);
+    } else if ls > DELTA * rs {
+        let double = {
+            let l = arc
+                .as_ref()
+                .left
+                .as_ref()
+                .expect("left-heavy node has a left child");
+            link_size(&l.right) >= RATIO * link_size(&l.left)
+        };
+        if double {
+            let n = Arc::make_mut(arc);
+            rotate_left(n.left.as_mut().expect("left-heavy node has a left child"));
+        }
+        rotate_right(arc);
+    }
+}
 
+/// Removes and returns the smallest entry of a non-empty subtree.
+fn remove_min<E: Clone>(link: &mut Link<E>) -> E {
+    let arc = link.as_mut().expect("remove_min needs a non-empty subtree");
+    let node = Arc::make_mut(arc);
+    if node.left.is_none() {
+        let entry = node.entry.clone();
+        *link = node.right.take();
+        entry
+    } else {
+        let min = remove_min(&mut node.left);
+        update_size(node);
+        rebalance(arc);
+        min
+    }
+}
+
+// --- keyed descent (PSet / PMap) -------------------------------------------
+
+/// An entry with a lookup key — `ElemId` for sets (the entry is its own
+/// key), `(ElemId, ElemId)` for maps (keyed on the first component).
+trait Keyed {
+    fn key(&self) -> ElemId;
+}
+
+impl Keyed for ElemId {
+    fn key(&self) -> ElemId {
+        *self
+    }
+}
+
+impl Keyed for (ElemId, ElemId) {
+    fn key(&self) -> ElemId {
+        self.0
+    }
+}
+
+fn get_keyed<E: Keyed>(link: &Link<E>, key: ElemId) -> Option<&E> {
+    let mut cur = link;
+    while let Some(node) = cur.as_deref() {
+        match key.cmp(&node.entry.key()) {
+            std::cmp::Ordering::Less => cur = &node.left,
+            std::cmp::Ordering::Greater => cur = &node.right,
+            std::cmp::Ordering::Equal => return Some(&node.entry),
+        }
+    }
+    None
+}
+
+/// Inserts `entry` by key, returning the replaced entry if the key was
+/// already bound. Callers pre-check for observable no-ops, so every call
+/// that reaches a shared node genuinely needs the path copy it pays for.
+fn insert_keyed<E: Keyed + Clone>(link: &mut Link<E>, entry: E) -> Option<E> {
+    let Some(arc) = link.as_mut() else {
+        *link = leaf(entry);
+        return None;
+    };
+    let node = Arc::make_mut(arc);
+    match entry.key().cmp(&node.entry.key()) {
+        std::cmp::Ordering::Equal => Some(std::mem::replace(&mut node.entry, entry)),
+        std::cmp::Ordering::Less => {
+            let prior = insert_keyed(&mut node.left, entry);
+            if prior.is_none() {
+                update_size(node);
+                rebalance(arc);
+            }
+            prior
+        }
+        std::cmp::Ordering::Greater => {
+            let prior = insert_keyed(&mut node.right, entry);
+            if prior.is_none() {
+                update_size(node);
+                rebalance(arc);
+            }
+            prior
+        }
+    }
+}
+
+/// Removes the entry with the given key, returning it if present.
+fn remove_keyed<E: Keyed + Clone>(link: &mut Link<E>, key: ElemId) -> Option<E> {
+    let arc = link.as_mut()?;
+    let node = Arc::make_mut(arc);
+    match key.cmp(&node.entry.key()) {
+        std::cmp::Ordering::Less => {
+            let removed = remove_keyed(&mut node.left, key);
+            if removed.is_some() {
+                update_size(node);
+                rebalance(arc);
+            }
+            removed
+        }
+        std::cmp::Ordering::Greater => {
+            let removed = remove_keyed(&mut node.right, key);
+            if removed.is_some() {
+                update_size(node);
+                rebalance(arc);
+            }
+            removed
+        }
+        std::cmp::Ordering::Equal => {
+            let entry = node.entry.clone();
+            if node.left.is_none() {
+                *link = node.right.take();
+            } else if node.right.is_none() {
+                *link = node.left.take();
+            } else {
+                node.entry = remove_min(&mut node.right);
+                update_size(node);
+                rebalance(arc);
+            }
+            Some(entry)
+        }
+    }
+}
+
+// --- positional descent (PSeq) ---------------------------------------------
+
+fn get_at<E>(link: &Link<E>, mut index: usize) -> Option<&E> {
+    let mut cur = link;
+    while let Some(node) = cur.as_deref() {
+        let ls = link_size(&node.left);
+        if index < ls {
+            cur = &node.left;
+        } else if index == ls {
+            return Some(&node.entry);
+        } else {
+            index -= ls + 1;
+            cur = &node.right;
+        }
+    }
+    None
+}
+
+/// Inserts `entry` before position `index` (`index == size` appends). The
+/// caller guarantees `index <= size`.
+fn insert_at<E: Clone>(link: &mut Link<E>, index: usize, entry: E) {
+    let Some(arc) = link.as_mut() else {
+        *link = leaf(entry);
+        return;
+    };
+    let node = Arc::make_mut(arc);
+    let ls = link_size(&node.left);
+    if index <= ls {
+        insert_at(&mut node.left, index, entry);
+    } else {
+        insert_at(&mut node.right, index - ls - 1, entry);
+    }
+    update_size(node);
+    rebalance(arc);
+}
+
+/// Removes and returns the entry at `index`. The caller guarantees
+/// `index < size`.
+fn remove_at<E: Clone>(link: &mut Link<E>, index: usize) -> E {
+    let arc = link.as_mut().expect("remove_at index within bounds");
+    let node = Arc::make_mut(arc);
+    let ls = link_size(&node.left);
+    match index.cmp(&ls) {
+        std::cmp::Ordering::Less => {
+            let entry = remove_at(&mut node.left, index);
+            update_size(node);
+            rebalance(arc);
+            entry
+        }
+        std::cmp::Ordering::Greater => {
+            let entry = remove_at(&mut node.right, index - ls - 1);
+            update_size(node);
+            rebalance(arc);
+            entry
+        }
+        std::cmp::Ordering::Equal => {
+            let entry = node.entry.clone();
+            if node.left.is_none() {
+                *link = node.right.take();
+            } else if node.right.is_none() {
+                *link = node.left.take();
+            } else {
+                node.entry = remove_min(&mut node.right);
+                update_size(node);
+                rebalance(arc);
+            }
+            entry
+        }
+    }
+}
+
+/// Overwrites the entry at `index` — no size change, no rebalance. The
+/// caller guarantees `index < size`.
+fn set_at<E: Clone>(link: &mut Link<E>, index: usize, entry: E) {
+    let arc = link.as_mut().expect("set_at index within bounds");
+    let node = Arc::make_mut(arc);
+    let ls = link_size(&node.left);
+    if index < ls {
+        set_at(&mut node.left, index, entry);
+    } else if index == ls {
+        node.entry = entry;
+    } else {
+        set_at(&mut node.right, index - ls - 1, entry);
+    }
+}
+
+// --- bulk construction ------------------------------------------------------
+
+/// Builds a perfectly balanced tree from entries already in tree order —
+/// O(n), one node per entry, no rebalancing.
+fn build_from_slice<E: Clone>(entries: &[E]) -> Link<E> {
+    if entries.is_empty() {
+        return None;
+    }
+    let mid = entries.len() / 2;
+    Some(Arc::new(Node {
+        size: entries.len(),
+        entry: entries[mid].clone(),
+        left: build_from_slice(&entries[..mid]),
+        right: build_from_slice(&entries[mid + 1..]),
+    }))
+}
+
+// --- iteration --------------------------------------------------------------
+
+/// In-order iterator over a tree, double-ended via two independent descent
+/// stacks; the exact remaining count (subtree sizes make it free) tells the
+/// two ends when they have met.
+struct TreeIter<'a, E> {
+    front: Vec<&'a Node<E>>,
+    back: Vec<&'a Node<E>>,
+    remaining: usize,
+}
+
+impl<'a, E> TreeIter<'a, E> {
+    fn new(root: &'a Link<E>) -> TreeIter<'a, E> {
+        let mut iter = TreeIter {
+            front: Vec::new(),
+            back: Vec::new(),
+            remaining: link_size(root),
+        };
+        iter.descend_left(root);
+        iter.descend_right(root);
+        iter
+    }
+
+    fn descend_left(&mut self, mut link: &'a Link<E>) {
+        while let Some(node) = link.as_deref() {
+            self.front.push(node);
+            link = &node.left;
+        }
+    }
+
+    fn descend_right(&mut self, mut link: &'a Link<E>) {
+        while let Some(node) = link.as_deref() {
+            self.back.push(node);
+            link = &node.right;
+        }
+    }
+}
+
+impl<'a, E> Iterator for TreeIter<'a, E> {
+    type Item = &'a E;
+
+    fn next(&mut self) -> Option<&'a E> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let node = self.front.pop().expect("front stack tracks remaining");
+        self.descend_left(&node.right);
+        Some(&node.entry)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<'a, E> DoubleEndedIterator for TreeIter<'a, E> {
+    fn next_back(&mut self) -> Option<&'a E> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let node = self.back.pop().expect("back stack tracks remaining");
+        self.descend_right(&node.left);
+        Some(&node.entry)
+    }
+}
+
+impl<E> ExactSizeIterator for TreeIter<'_, E> {}
+impl<E> std::iter::FusedIterator for TreeIter<'_, E> {}
+
+// --- sharing introspection (test hook) --------------------------------------
+
+fn collect_node_addrs<E>(link: &Link<E>, out: &mut Vec<usize>) {
+    if let Some(node) = link {
+        out.push(Arc::as_ptr(node) as usize);
+        collect_node_addrs(&node.left, out);
+        collect_node_addrs(&node.right, out);
+    }
+}
+
+/// Counts nodes of `link` that do not appear (by address) in `snapshot`.
+/// The walk never prunes: an in-place (`Arc::make_mut`) update keeps a
+/// node's address while rewriting its children, so a known address says
+/// nothing about the subtree below it.
+fn count_fresh_nodes<E>(link: &Link<E>, snapshot: &std::collections::HashSet<usize>) -> usize {
+    match link {
+        None => 0,
+        Some(node) => {
+            let fresh = usize::from(!snapshot.contains(&(Arc::as_ptr(node) as usize)));
+            fresh
+                + count_fresh_nodes(&node.left, snapshot)
+                + count_fresh_nodes(&node.right, snapshot)
+        }
+    }
+}
+
+fn fresh_between<E>(new: &Link<E>, old: &Link<E>) -> usize {
+    let mut addrs = Vec::new();
+    collect_node_addrs(old, &mut addrs);
+    count_fresh_nodes(new, &addrs.into_iter().collect())
+}
+
+fn root_ptr_eq<E>(a: &Link<E>, b: &Link<E>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+        _ => false,
+    }
+}
+
+/// Hashes like the eager ordered collection: the standard library prefixes
+/// slice/`BTreeSet`/`BTreeMap` hashes with the length (as a `usize` write)
+/// and then hashes the entries in order — the property tests pin agreement
+/// hash-for-hash.
+fn hash_like_eager<E: std::hash::Hash, H: std::hash::Hasher>(
+    len: usize,
+    entries: impl Iterator<Item = E>,
+    state: &mut H,
+) {
+    state.write_usize(len);
+    for entry in entries {
+        entry.hash(state);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The public handles.
+// ---------------------------------------------------------------------------
+
+/// Implements the representation-independent trait surface shared by the
+/// three persistent handles: structural `Eq` / `Ord` with a root-pointer
+/// fast path, `Default`, and the sharing/test introspection helpers.
+macro_rules! persistent_handle {
+    ($name:ident) => {
         impl PartialEq for $name {
             fn eq(&self, other: &Self) -> bool {
-                self.ptr_eq(other) || *self.0 == *other.0
+                self.ptr_eq(other) || (self.len() == other.len() && self.iter().eq(other.iter()))
             }
         }
 
@@ -73,20 +548,8 @@ macro_rules! persistent_handle {
                 if self.ptr_eq(other) {
                     std::cmp::Ordering::Equal
                 } else {
-                    self.0.cmp(&other.0)
+                    self.iter().cmp(other.iter())
                 }
-            }
-        }
-
-        impl std::hash::Hash for $name {
-            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-                self.0.hash(state)
-            }
-        }
-
-        impl fmt::Debug for $name {
-            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                self.0.fmt(f)
             }
         }
 
@@ -96,56 +559,57 @@ macro_rules! persistent_handle {
             }
         }
 
-        impl From<$backing> for $name {
-            fn from(inner: $backing) -> Self {
-                $name(Arc::new(inner))
-            }
-        }
-
-        impl From<$name> for $backing {
-            fn from(handle: $name) -> Self {
-                // A uniquely-owned handle gives its backing collection away
-                // without copying; a shared one clones it.
-                Arc::try_unwrap(handle.0).unwrap_or_else(|shared| (*shared).clone())
-            }
-        }
-
-        impl FromIterator<$item> for $name {
-            fn from_iter<I: IntoIterator<Item = $item>>(items: I) -> Self {
-                $name(Arc::new(items.into_iter().collect()))
-            }
-        }
-
         impl $name {
-            /// Returns `true` if `self` and `other` share backing storage.
+            /// Returns `true` if `self` and `other` share their root node
+            /// (two empty handles trivially share).
             ///
-            /// Shared storage implies structural equality (never the
-            /// converse); `Eq` and `Ord` use this as a short-circuit before
-            /// walking the collections. Tests use it to observe copy-on-write
-            /// behavior: a clone shares storage with its original until one
-            /// of the two is mutated.
+            /// Shared roots imply structural equality (never the converse);
+            /// `Eq` and `Ord` use this as a short-circuit before walking the
+            /// trees. Tests use it to observe sharing: a clone shares its
+            /// root with the original until one of the two is mutated.
             pub fn ptr_eq(&self, other: &Self) -> bool {
-                Arc::ptr_eq(&self.0, &other.0)
+                root_ptr_eq(&self.root, &other.root)
             }
 
-            /// Clones out the backing eager collection.
-            ///
-            /// This is the explicit deep copy that `clone` no longer
-            /// performs; callers that need an independent eager collection
-            /// (e.g. the runtime's abstract-state snapshots) pay for it here.
-            pub fn to_inner(&self) -> $backing {
-                (*self.0).clone()
+            /// The number of entries — O(1), stored in the root.
+            pub fn len(&self) -> usize {
+                link_size(&self.root)
+            }
+
+            /// Whether the collection is empty.
+            pub fn is_empty(&self) -> bool {
+                self.root.is_none()
+            }
+
+            /// Test-only introspection: the heap addresses of every tree
+            /// node, pre-order. Property tests snapshot these to count how
+            /// many nodes a mutation detaches.
+            #[doc(hidden)]
+            pub fn node_addrs(&self) -> Vec<usize> {
+                let mut out = Vec::with_capacity(self.len());
+                collect_node_addrs(&self.root, &mut out);
+                out
+            }
+
+            /// Test-only introspection: how many of `self`'s nodes are *not*
+            /// shared (by address) with `snapshot` — i.e. the nodes a
+            /// mutation freshly allocated. O(log n) of these per update is
+            /// the structural-sharing guarantee the property tests pin.
+            #[doc(hidden)]
+            pub fn fresh_nodes_since(&self, snapshot: &Self) -> usize {
+                fresh_between(&self.root, &snapshot.root)
             }
         }
     };
 }
 
-/// A persistent finite set of [`ElemId`]s — the copy-on-write payload of
-/// [`Value::Set`](crate::Value::Set).
+/// A persistent finite set of [`ElemId`]s — the structurally-shared payload
+/// of [`Value::Set`](crate::Value::Set).
 ///
-/// Dereferences to [`BTreeSet<ElemId>`] for the whole read API; `clone` is
-/// O(1); [`PSet::insert`] / [`PSet::remove`] copy the backing set only when
-/// the handle is shared.
+/// A weight-balanced ordered tree with an `Arc` per node: `clone` is O(1),
+/// [`PSet::insert`] / [`PSet::remove`] path-copy O(log n) nodes when the
+/// tree is shared and update in place when it is not. Iteration, `Eq`,
+/// `Ord`, `Hash`, and `Debug` match `BTreeSet<ElemId>` exactly.
 ///
 /// # Example
 ///
@@ -154,39 +618,58 @@ macro_rules! persistent_handle {
 /// use semcommute_logic::ElemId;
 ///
 /// let s: PSet = [ElemId(1), ElemId(2)].into_iter().collect();
-/// let mut t = s.clone(); // O(1): shares storage with `s`
+/// let mut t = s.clone(); // O(1): shares the whole tree with `s`
 /// assert!(t.ptr_eq(&s));
 ///
-/// t.insert(ElemId(3)); // copy-on-write: `s` is unaffected
+/// t.insert(ElemId(3)); // path-copy: `s` is unaffected
 /// assert!(!t.ptr_eq(&s));
 /// assert_eq!(s.len(), 2);
 /// assert_eq!(t.len(), 3);
+/// assert!(t.contains(&ElemId(1)));
 /// ```
 #[derive(Clone)]
-pub struct PSet(Arc<BTreeSet<ElemId>>);
+pub struct PSet {
+    root: Link<ElemId>,
+}
 
-persistent_handle!(PSet, BTreeSet<ElemId>, ElemId);
+persistent_handle!(PSet);
 
 impl PSet {
-    /// The empty set. Returns a handle to a process-wide shared empty
-    /// instance; no allocation happens until the first mutation.
+    /// The empty set: a root-less handle, no allocation ever.
     pub fn new() -> PSet {
-        static EMPTY: OnceLock<Arc<BTreeSet<ElemId>>> = OnceLock::new();
-        PSet(EMPTY.get_or_init(|| Arc::new(BTreeSet::new())).clone())
+        PSet { root: None }
     }
 
-    /// Inserts `elem`, copying the backing set first if the handle is shared.
-    /// Returns `true` if the element was not already present.
+    /// Whether `elem` is a member — O(log n).
+    pub fn contains(&self, elem: &ElemId) -> bool {
+        get_keyed(&self.root, *elem).is_some()
+    }
+
+    /// The members in ascending order.
+    pub fn iter(&self) -> SetIter<'_> {
+        SetIter(TreeIter::new(&self.root))
+    }
+
+    /// Inserts `elem`, path-copying the descent if the tree is shared.
+    /// Returns `true` if the element was not already present. Inserting a
+    /// present element is observably a no-op and never copies sharing away.
     pub fn insert(&mut self, elem: ElemId) -> bool {
-        // Refcount-1 fast path: mutate in place, one tree walk.
-        if let Some(inner) = Arc::get_mut(&mut self.0) {
-            return inner.insert(elem);
-        }
-        if self.0.contains(&elem) {
-            // Read-only no-op on a shared handle: never copies sharing away.
+        if self.contains(&elem) {
             return false;
         }
-        Arc::make_mut(&mut self.0).insert(elem)
+        insert_keyed(&mut self.root, elem);
+        true
+    }
+
+    /// Removes `elem`, path-copying the descent if the tree is shared.
+    /// Returns `true` if the element was present. Removing an absent element
+    /// is observably a no-op and never copies sharing away.
+    pub fn remove(&mut self, elem: &ElemId) -> bool {
+        if !self.contains(elem) {
+            return false;
+        }
+        remove_keyed(&mut self.root, *elem);
+        true
     }
 
     /// Returns the image of this set under an element relabeling: every
@@ -195,7 +678,7 @@ impl PSet {
     /// When `f` is injective on the members (the orbit-reduction use case:
     /// `f` is a permutation of a block of anonymous elements) the image has
     /// the same cardinality. When `f` fixes every member, the original
-    /// handle is returned unchanged (O(1), shares storage).
+    /// handle is returned unchanged (O(1), shares the whole tree).
     pub fn map_elems(&self, f: impl Fn(ElemId) -> ElemId) -> PSet {
         if self.iter().all(|&e| f(e) == e) {
             return self.clone();
@@ -203,52 +686,141 @@ impl PSet {
         self.iter().map(|&e| f(e)).collect()
     }
 
-    /// Removes `elem`, copying the backing set first if the handle is shared.
-    /// Returns `true` if the element was present.
-    pub fn remove(&mut self, elem: &ElemId) -> bool {
-        // Refcount-1 fast path: mutate in place, one tree walk.
-        if let Some(inner) = Arc::get_mut(&mut self.0) {
-            return inner.remove(elem);
+    /// Clones out an eager `BTreeSet` — the explicit deep copy `clone` no
+    /// longer performs; callers that need an independent eager collection
+    /// (e.g. abstract-state reconstruction) pay for it here.
+    pub fn to_inner(&self) -> BTreeSet<ElemId> {
+        self.iter().copied().collect()
+    }
+}
+
+/// Borrowing iterator over a [`PSet`], ascending.
+pub struct SetIter<'a>(TreeIter<'a, ElemId>);
+
+impl<'a> Iterator for SetIter<'a> {
+    type Item = &'a ElemId;
+
+    fn next(&mut self) -> Option<&'a ElemId> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for SetIter<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        self.0.next_back()
+    }
+}
+
+impl ExactSizeIterator for SetIter<'_> {}
+impl std::iter::FusedIterator for SetIter<'_> {}
+
+impl<'a> IntoIterator for &'a PSet {
+    type Item = &'a ElemId;
+    type IntoIter = SetIter<'a>;
+
+    fn into_iter(self) -> SetIter<'a> {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for PSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl std::hash::Hash for PSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        hash_like_eager(self.len(), self.iter(), state);
+    }
+}
+
+impl From<BTreeSet<ElemId>> for PSet {
+    fn from(inner: BTreeSet<ElemId>) -> PSet {
+        let ordered: Vec<ElemId> = inner.into_iter().collect();
+        PSet {
+            root: build_from_slice(&ordered),
         }
-        if !self.0.contains(elem) {
-            // Read-only no-op on a shared handle: never copies sharing away.
-            return false;
-        }
-        Arc::make_mut(&mut self.0).remove(elem)
+    }
+}
+
+impl From<PSet> for BTreeSet<ElemId> {
+    fn from(handle: PSet) -> BTreeSet<ElemId> {
+        handle.to_inner()
+    }
+}
+
+impl FromIterator<ElemId> for PSet {
+    fn from_iter<I: IntoIterator<Item = ElemId>>(items: I) -> PSet {
+        let inner: BTreeSet<ElemId> = items.into_iter().collect();
+        PSet::from(inner)
+    }
+}
+
+impl PartialEq<BTreeSet<ElemId>> for PSet {
+    fn eq(&self, other: &BTreeSet<ElemId>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
     }
 }
 
 /// A persistent finite partial map from [`ElemId`] to [`ElemId`] — the
-/// copy-on-write payload of [`Value::Map`](crate::Value::Map).
+/// structurally-shared payload of [`Value::Map`](crate::Value::Map).
 ///
-/// Dereferences to [`BTreeMap<ElemId, ElemId>`] for the whole read API;
-/// `clone` is O(1); [`PMap::insert`] / [`PMap::remove`] copy the backing map
-/// only when the handle is shared.
+/// A weight-balanced tree ordered by key with an `Arc` per node: `clone` is
+/// O(1), [`PMap::insert`] / [`PMap::remove`] path-copy O(log n) nodes when
+/// the tree is shared. Iteration, `Eq`, `Ord`, `Hash`, and `Debug` match
+/// `BTreeMap<ElemId, ElemId>` exactly.
 #[derive(Clone)]
-pub struct PMap(Arc<BTreeMap<ElemId, ElemId>>);
+pub struct PMap {
+    root: Link<(ElemId, ElemId)>,
+}
 
-persistent_handle!(PMap, BTreeMap<ElemId, ElemId>, (ElemId, ElemId));
+persistent_handle!(PMap);
 
 impl PMap {
-    /// The empty map. Returns a handle to a process-wide shared empty
-    /// instance; no allocation happens until the first mutation.
+    /// The empty map: a root-less handle, no allocation ever.
     pub fn new() -> PMap {
-        static EMPTY: OnceLock<Arc<BTreeMap<ElemId, ElemId>>> = OnceLock::new();
-        PMap(EMPTY.get_or_init(|| Arc::new(BTreeMap::new())).clone())
+        PMap { root: None }
     }
 
-    /// Binds `key` to `value`, copying the backing map first if the handle is
-    /// shared. Returns the previous binding of `key`, if any.
+    /// The value bound to `key`, if any — O(log n).
+    pub fn get(&self, key: &ElemId) -> Option<&ElemId> {
+        get_keyed(&self.root, *key).map(|(_, v)| v)
+    }
+
+    /// Whether `key` is bound — O(log n).
+    pub fn contains_key(&self, key: &ElemId) -> bool {
+        get_keyed(&self.root, *key).is_some()
+    }
+
+    /// The bindings in ascending key order.
+    pub fn iter(&self) -> MapIter<'_> {
+        MapIter(TreeIter::new(&self.root))
+    }
+
+    /// Binds `key` to `value`, path-copying the descent if the tree is
+    /// shared. Returns the previous binding of `key`, if any. Rebinding a
+    /// key to its current value is observably a no-op and never copies
+    /// sharing away.
     pub fn insert(&mut self, key: ElemId, value: ElemId) -> Option<ElemId> {
-        // Refcount-1 fast path: mutate in place, one tree walk.
-        if let Some(inner) = Arc::get_mut(&mut self.0) {
-            return inner.insert(key, value);
-        }
-        if self.0.get(&key) == Some(&value) {
-            // Rebinding a key to its current value: observably a no-op.
+        if self.get(&key) == Some(&value) {
             return Some(value);
         }
-        Arc::make_mut(&mut self.0).insert(key, value)
+        insert_keyed(&mut self.root, (key, value)).map(|(_, v)| v)
+    }
+
+    /// Removes the binding for `key`, path-copying the descent if the tree
+    /// is shared. Returns the removed value, if any. Removing an unbound key
+    /// is observably a no-op and never copies sharing away.
+    pub fn remove(&mut self, key: &ElemId) -> Option<ElemId> {
+        if !self.contains_key(key) {
+            return None;
+        }
+        remove_keyed(&mut self.root, *key).map(|(_, v)| v)
     }
 
     /// Returns the image of this map under an element relabeling: every
@@ -258,7 +830,7 @@ impl PMap {
     /// elements must act on the whole model uniformly for evaluation to be
     /// invariant (`get(π(k))` on the image equals `π(get(k))` on the
     /// original). When `f` fixes every key and value, the original handle is
-    /// returned unchanged (O(1), shares storage).
+    /// returned unchanged (O(1), shares the whole tree).
     pub fn map_elems(&self, f: impl Fn(ElemId) -> ElemId) -> PMap {
         if self.iter().all(|(&k, &v)| f(k) == k && f(v) == v) {
             return self.clone();
@@ -266,67 +838,179 @@ impl PMap {
         self.iter().map(|(&k, &v)| (f(k), f(v))).collect()
     }
 
-    /// Removes the binding for `key`, copying the backing map first if the
-    /// handle is shared. Returns the removed value, if any.
-    pub fn remove(&mut self, key: &ElemId) -> Option<ElemId> {
-        // Refcount-1 fast path: mutate in place, one tree walk.
-        if let Some(inner) = Arc::get_mut(&mut self.0) {
-            return inner.remove(key);
-        }
-        if !self.0.contains_key(key) {
-            // Read-only no-op on a shared handle: never copies sharing away.
-            return None;
-        }
-        Arc::make_mut(&mut self.0).remove(key)
+    /// Clones out an eager `BTreeMap` — the explicit deep copy `clone` no
+    /// longer performs.
+    pub fn to_inner(&self) -> BTreeMap<ElemId, ElemId> {
+        self.iter().map(|(&k, &v)| (k, v)).collect()
     }
 }
 
-/// A persistent finite sequence of [`ElemId`]s — the copy-on-write payload of
-/// [`Value::Seq`](crate::Value::Seq).
-///
-/// Dereferences to [`Vec<ElemId>`] for the whole read API (indexing, `len`,
-/// `iter`, `contains`, …); `clone` is O(1); the update operations copy the
-/// backing vector only when the handle is shared.
-#[derive(Clone)]
-pub struct PSeq(Arc<Vec<ElemId>>);
+/// Borrowing iterator over a [`PMap`], ascending by key.
+pub struct MapIter<'a>(TreeIter<'a, (ElemId, ElemId)>);
 
-persistent_handle!(PSeq, Vec<ElemId>, ElemId);
+impl<'a> Iterator for MapIter<'a> {
+    type Item = (&'a ElemId, &'a ElemId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next().map(|(k, v)| (k, v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for MapIter<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        self.0.next_back().map(|(k, v)| (k, v))
+    }
+}
+
+impl ExactSizeIterator for MapIter<'_> {}
+impl std::iter::FusedIterator for MapIter<'_> {}
+
+impl<'a> IntoIterator for &'a PMap {
+    type Item = (&'a ElemId, &'a ElemId);
+    type IntoIter = MapIter<'a>;
+
+    fn into_iter(self) -> MapIter<'a> {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for PMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl std::hash::Hash for PMap {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        hash_like_eager(self.len(), self.iter(), state);
+    }
+}
+
+impl From<BTreeMap<ElemId, ElemId>> for PMap {
+    fn from(inner: BTreeMap<ElemId, ElemId>) -> PMap {
+        let ordered: Vec<(ElemId, ElemId)> = inner.into_iter().collect();
+        PMap {
+            root: build_from_slice(&ordered),
+        }
+    }
+}
+
+impl From<PMap> for BTreeMap<ElemId, ElemId> {
+    fn from(handle: PMap) -> BTreeMap<ElemId, ElemId> {
+        handle.to_inner()
+    }
+}
+
+impl FromIterator<(ElemId, ElemId)> for PMap {
+    fn from_iter<I: IntoIterator<Item = (ElemId, ElemId)>>(items: I) -> PMap {
+        let inner: BTreeMap<ElemId, ElemId> = items.into_iter().collect();
+        PMap::from(inner)
+    }
+}
+
+impl PartialEq<BTreeMap<ElemId, ElemId>> for PMap {
+    fn eq(&self, other: &BTreeMap<ElemId, ElemId>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+/// A persistent finite sequence of [`ElemId`]s — the structurally-shared
+/// payload of [`Value::Seq`](crate::Value::Seq).
+///
+/// An order-statistic weight-balanced tree (descent by subtree size) with an
+/// `Arc` per node: `clone` is O(1) and `push` / `insert` / `remove` / `set`
+/// are O(log n) with shared spines — where the flat `Vec` representation
+/// paid an O(n) copy-on-write detach for the first update after a snapshot,
+/// and an O(n) shift for every mid-sequence insert or remove besides.
+/// Iteration, indexing, `Eq`, `Ord`, `Hash`, and `Debug` match
+/// `Vec<ElemId>` exactly.
+#[derive(Clone)]
+pub struct PSeq {
+    root: Link<ElemId>,
+}
+
+persistent_handle!(PSeq);
 
 impl PSeq {
-    /// The empty sequence. Returns a handle to a process-wide shared empty
-    /// instance; no allocation happens until the first mutation.
+    /// The empty sequence: a root-less handle, no allocation ever.
     pub fn new() -> PSeq {
-        static EMPTY: OnceLock<Arc<Vec<ElemId>>> = OnceLock::new();
-        PSeq(EMPTY.get_or_init(|| Arc::new(Vec::new())).clone())
+        PSeq { root: None }
     }
 
-    /// Appends `elem`, copying the backing vector first if the handle is
-    /// shared.
+    /// The element at `index`, if in range — O(log n).
+    pub fn get(&self, index: usize) -> Option<&ElemId> {
+        get_at(&self.root, index)
+    }
+
+    /// Whether `elem` occurs in the sequence — O(n), like `Vec::contains`.
+    pub fn contains(&self, elem: &ElemId) -> bool {
+        self.iter().any(|e| e == elem)
+    }
+
+    /// The elements in positional order.
+    pub fn iter(&self) -> SeqIter<'_> {
+        SeqIter(TreeIter::new(&self.root))
+    }
+
+    /// Appends `elem` — O(log n), path-copying the right spine if shared.
     pub fn push(&mut self, elem: ElemId) {
-        Arc::make_mut(&mut self.0).push(elem)
+        let len = self.len();
+        insert_at(&mut self.root, len, elem);
     }
 
-    /// Inserts `elem` at position `index` (shifting later elements), copying
-    /// the backing vector first if the handle is shared.
+    /// Inserts `elem` at position `index` (shifting later elements) —
+    /// O(log n), no element shifting.
     ///
     /// # Panics
     ///
     /// Panics if `index > len` — callers clamp, matching the evaluator's
     /// totalized `insert_at` semantics.
     pub fn insert(&mut self, index: usize, elem: ElemId) {
-        Arc::make_mut(&mut self.0).insert(index, elem)
+        assert!(
+            index <= self.len(),
+            "insertion index (is {index}) should be <= len (is {})",
+            self.len()
+        );
+        insert_at(&mut self.root, index, elem);
     }
 
-    /// Removes and returns the element at `index` (shifting later elements),
-    /// copying the backing vector first if the handle is shared.
+    /// Removes and returns the element at `index` (shifting later elements)
+    /// — O(log n), no element shifting.
     ///
     /// # Panics
     ///
     /// Panics if `index >= len` — callers bounds-check, matching the
-    /// evaluator's totalized `remove_at` semantics (out-of-range removal is a
-    /// no-op there).
+    /// evaluator's totalized `remove_at` semantics (out-of-range removal is
+    /// a no-op there).
     pub fn remove(&mut self, index: usize) -> ElemId {
-        Arc::make_mut(&mut self.0).remove(index)
+        assert!(
+            index < self.len(),
+            "removal index (is {index}) should be < len (is {})",
+            self.len()
+        );
+        remove_at(&mut self.root, index)
+    }
+
+    /// Overwrites the element at `index` — O(log n). Writing the value
+    /// already there is observably a no-op and never copies sharing away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len` — callers bounds-check, matching the
+    /// evaluator's totalized `set_at` semantics.
+    pub fn set(&mut self, index: usize, elem: ElemId) {
+        match self.get(index) {
+            Some(current) if *current == elem => {}
+            Some(_) => set_at(&mut self.root, index, elem),
+            None => panic!(
+                "write index (is {index}) should be < len (is {})",
+                self.len()
+            ),
+        }
     }
 
     /// Returns the image of this sequence under an element relabeling: the
@@ -334,7 +1018,7 @@ impl PSeq {
     /// untouched — a relabeling permutes identities, not indices).
     ///
     /// When `f` fixes every element, the original handle is returned
-    /// unchanged (O(1), shares storage).
+    /// unchanged (O(1), shares the whole tree).
     pub fn map_elems(&self, f: impl Fn(ElemId) -> ElemId) -> PSeq {
         if self.iter().all(|&e| f(e) == e) {
             return self.clone();
@@ -342,30 +1026,120 @@ impl PSeq {
         self.iter().map(|&e| f(e)).collect()
     }
 
-    /// Overwrites the element at `index`, copying the backing vector first if
-    /// the handle is shared.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= len` — callers bounds-check, matching the
-    /// evaluator's totalized `set_at` semantics.
-    pub fn set(&mut self, index: usize, elem: ElemId) {
-        // Refcount-1 fast path: mutate in place, no equality probe needed.
-        if let Some(inner) = Arc::get_mut(&mut self.0) {
-            inner[index] = elem;
-            return;
+    /// Clones out an eager `Vec` — the explicit deep copy `clone` no longer
+    /// performs.
+    pub fn to_inner(&self) -> Vec<ElemId> {
+        self.iter().copied().collect()
+    }
+}
+
+/// Borrowing iterator over a [`PSeq`], in positional order.
+pub struct SeqIter<'a>(TreeIter<'a, ElemId>);
+
+impl<'a> Iterator for SeqIter<'a> {
+    type Item = &'a ElemId;
+
+    fn next(&mut self) -> Option<&'a ElemId> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for SeqIter<'_> {
+    fn next_back(&mut self) -> Option<Self::Item> {
+        self.0.next_back()
+    }
+}
+
+impl ExactSizeIterator for SeqIter<'_> {}
+impl std::iter::FusedIterator for SeqIter<'_> {}
+
+impl<'a> IntoIterator for &'a PSeq {
+    type Item = &'a ElemId;
+    type IntoIter = SeqIter<'a>;
+
+    fn into_iter(self) -> SeqIter<'a> {
+        self.iter()
+    }
+}
+
+impl std::ops::Index<usize> for PSeq {
+    type Output = ElemId;
+
+    fn index(&self, index: usize) -> &ElemId {
+        self.get(index).unwrap_or_else(|| {
+            panic!(
+                "index out of bounds: the len is {} but the index is {index}",
+                self.len()
+            )
+        })
+    }
+}
+
+impl fmt::Debug for PSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl std::hash::Hash for PSeq {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        hash_like_eager(self.len(), self.iter(), state);
+    }
+}
+
+impl From<Vec<ElemId>> for PSeq {
+    fn from(inner: Vec<ElemId>) -> PSeq {
+        PSeq {
+            root: build_from_slice(&inner),
         }
-        if self.0[index] == elem {
-            // Writing the value already there: observably a no-op.
-            return;
-        }
-        Arc::make_mut(&mut self.0)[index] = elem;
+    }
+}
+
+impl From<PSeq> for Vec<ElemId> {
+    fn from(handle: PSeq) -> Vec<ElemId> {
+        handle.to_inner()
+    }
+}
+
+impl FromIterator<ElemId> for PSeq {
+    fn from_iter<I: IntoIterator<Item = ElemId>>(items: I) -> PSeq {
+        let inner: Vec<ElemId> = items.into_iter().collect();
+        PSeq::from(inner)
+    }
+}
+
+impl PartialEq<Vec<ElemId>> for PSeq {
+    fn eq(&self, other: &Vec<ElemId>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Recomputes sizes and checks the weight-balance invariant bottom-up.
+    fn check_tree<E: Clone>(link: &Link<E>) -> usize {
+        match link.as_deref() {
+            None => 0,
+            Some(node) => {
+                let ls = check_tree(&node.left);
+                let rs = check_tree(&node.right);
+                assert_eq!(node.size, ls + rs + 1, "stored size matches subtree");
+                if ls + rs > 1 {
+                    assert!(
+                        ls <= DELTA * rs && rs <= DELTA * ls,
+                        "weight balance violated: left {ls}, right {rs}"
+                    );
+                }
+                node.size
+            }
+        }
+    }
 
     #[test]
     fn empty_handles_share_the_singleton() {
@@ -389,12 +1163,35 @@ mod tests {
     }
 
     #[test]
-    fn unique_handles_mutate_in_place() {
-        let mut s: PSeq = [ElemId(1), ElemId(2)].into_iter().collect();
-        let before = Arc::as_ptr(&s.0);
-        s.push(ElemId(3));
-        s.set(0, ElemId(9));
-        assert_eq!(Arc::as_ptr(&s.0), before, "refcount-1 mutation reallocated");
+    fn unique_handles_allocate_only_the_new_node() {
+        // With a uniquely-owned tree, `Arc::make_mut` rewrites the descent
+        // path in place: a push allocates exactly the one leaf it creates
+        // (rotations reuse existing allocations), and an overwrite allocates
+        // nothing at all.
+        let mut s: PSeq = (0..64).map(ElemId).collect();
+        let snapshot_addrs: std::collections::HashSet<usize> = s.node_addrs().into_iter().collect();
+        s.push(ElemId(100));
+        assert_eq!(count_fresh_nodes(&s.root, &snapshot_addrs), 1);
+        let before_set: std::collections::HashSet<usize> = s.node_addrs().into_iter().collect();
+        s.set(0, ElemId(99));
+        assert_eq!(count_fresh_nodes(&s.root, &before_set), 0);
+    }
+
+    #[test]
+    fn shared_handles_detach_logarithmically() {
+        let n = 1024usize;
+        let base: PSet = (0..n as u32).map(ElemId).collect();
+        let snapshot = base.clone();
+        let mut mutated = base.clone();
+        mutated.insert(ElemId(5000));
+        // Path copy: O(log n) fresh nodes, the rest shared with the snapshot.
+        let fresh = mutated.fresh_nodes_since(&snapshot);
+        assert!(fresh >= 1, "an insert allocates at least the new leaf");
+        assert!(
+            fresh <= 40,
+            "insert into a shared {n}-element tree detached {fresh} nodes; expected O(log n)"
+        );
+        assert_eq!(snapshot.len(), n, "the snapshot is untouched");
     }
 
     #[test]
@@ -402,6 +1199,8 @@ mod tests {
         let a: PSet = [ElemId(1)].into_iter().collect();
         let mut b = a.clone();
         b.remove(&ElemId(7)); // absent: no copy
+        assert!(a.ptr_eq(&b));
+        b.insert(ElemId(1)); // present: no copy
         assert!(a.ptr_eq(&b));
 
         let m: PMap = [(ElemId(1), ElemId(2))].into_iter().collect();
@@ -423,7 +1222,59 @@ mod tests {
         assert_eq!(a, b);
         assert!(!a.ptr_eq(&b));
         let c: PSet = [ElemId(3)].into_iter().collect();
-        assert_eq!(a.cmp(&c), (*a).cmp(&c));
+        assert_eq!(a.cmp(&c), a.to_inner().cmp(&c.to_inner()));
+    }
+
+    #[test]
+    fn balanced_under_mixed_updates() {
+        // A deterministic adversarial-ish schedule: ascending inserts (the
+        // classic unbalanced-BST killer), interleaved removes, then
+        // positional churn on a sequence.
+        let mut s = PSet::new();
+        for i in 0..500u32 {
+            assert!(s.insert(ElemId(i)));
+            check_tree(&s.root);
+        }
+        for i in (0..500u32).step_by(3) {
+            assert!(s.remove(&ElemId(i)));
+        }
+        check_tree(&s.root);
+        assert_eq!(s.len(), 500 - 167);
+
+        let mut q = PSeq::new();
+        for i in 0..300u32 {
+            q.insert(0, ElemId(i)); // always at the front: left-heavy abuse
+            check_tree(&q.root);
+        }
+        for _ in 0..150 {
+            q.remove(q.len() / 2);
+        }
+        check_tree(&q.root);
+        assert_eq!(q.len(), 150);
+    }
+
+    #[test]
+    fn sequences_preserve_positional_order() {
+        let mut q = PSeq::new();
+        q.push(ElemId(1));
+        q.push(ElemId(3));
+        q.insert(1, ElemId(2));
+        q.insert(0, ElemId(0));
+        assert_eq!(
+            q.to_inner(),
+            vec![ElemId(0), ElemId(1), ElemId(2), ElemId(3)]
+        );
+        assert_eq!(q[2], ElemId(2));
+        assert_eq!(q.remove(1), ElemId(1));
+        assert_eq!(q.to_inner(), vec![ElemId(0), ElemId(2), ElemId(3)]);
+        q.set(1, ElemId(9));
+        assert_eq!(q.to_inner(), vec![ElemId(0), ElemId(9), ElemId(3)]);
+        assert_eq!(
+            q.iter().rev().copied().collect::<Vec<_>>(),
+            vec![ElemId(3), ElemId(9), ElemId(0)]
+        );
+        assert_eq!(q.iter().position(|&e| e == ElemId(9)), Some(1));
+        assert_eq!(q.iter().rposition(|&e| e == ElemId(3)), Some(2));
     }
 
     #[test]
@@ -436,7 +1287,7 @@ mod tests {
         let s: PSet = [ElemId(1), ElemId(3)].into_iter().collect();
         assert_eq!(
             s.map_elems(swap),
-            [ElemId(2), ElemId(3)].into_iter().collect()
+            [ElemId(2), ElemId(3)].into_iter().collect::<PSet>()
         );
         let fixed: PSet = [ElemId(3), ElemId(4)].into_iter().collect();
         assert!(fixed.map_elems(swap).ptr_eq(&fixed));
@@ -464,5 +1315,23 @@ mod tests {
         let p = PSet::from(eager.clone());
         assert_eq!(p.to_inner(), eager);
         assert_eq!(BTreeSet::from(p), eager);
+
+        let eager: BTreeMap<ElemId, ElemId> = [(ElemId(1), ElemId(2))].into_iter().collect();
+        let p = PMap::from(eager.clone());
+        assert_eq!(p.to_inner(), eager);
+
+        let eager = vec![ElemId(3), ElemId(1), ElemId(3)];
+        let p = PSeq::from(eager.clone());
+        assert_eq!(p.to_inner(), eager);
+    }
+
+    #[test]
+    fn debug_matches_the_eager_representation() {
+        let s: PSet = [ElemId(2), ElemId(1)].into_iter().collect();
+        assert_eq!(format!("{s:?}"), format!("{:?}", s.to_inner()));
+        let m: PMap = [(ElemId(1), ElemId(9))].into_iter().collect();
+        assert_eq!(format!("{m:?}"), format!("{:?}", m.to_inner()));
+        let q: PSeq = [ElemId(7), ElemId(7)].into_iter().collect();
+        assert_eq!(format!("{q:?}"), format!("{:?}", q.to_inner()));
     }
 }

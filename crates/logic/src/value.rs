@@ -1,6 +1,5 @@
 //! Concrete values of the specification logic.
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use crate::pvalue::{PMap, PSeq, PSet};
@@ -43,14 +42,15 @@ impl fmt::Display for ElemId {
 /// and a deterministic `Debug`/`Display` representation, which keeps
 /// counterexample reporting and test output stable.
 ///
-/// Collection payloads are *persistent* copy-on-write handles
+/// Collection payloads are *persistent* structurally-shared trees
 /// ([`PSet`] / [`PMap`] / [`PSeq`]): cloning a collection value is an O(1)
-/// reference-count increment, and updating a shared collection copies its
-/// contents first (an unshared one is updated in place). Equality, ordering,
-/// hashing, and iteration are structural and identical to the eager
-/// `BTreeSet` / `BTreeMap` / `Vec` representation; the accessors
-/// [`Value::as_set`] / [`Value::as_map`] / [`Value::as_seq`] still hand out
-/// borrowed views of the eager types.
+/// reference-count increment, and updating a shared collection path-copies
+/// O(log n) tree nodes (an unshared one is updated in place). Equality,
+/// ordering, hashing, and iteration are structural and identical to the
+/// eager `BTreeSet` / `BTreeMap` / `Vec` representation; the accessors
+/// [`Value::as_set`] / [`Value::as_map`] / [`Value::as_seq`] hand out
+/// borrowed views of the persistent handles, whose read API (`contains`,
+/// `get`, `len`, `iter`, indexing, …) mirrors the eager types'.
 ///
 /// # Example
 ///
@@ -170,26 +170,26 @@ impl Value {
     }
 
     /// Returns a borrowed view of the set payload, if this is a set.
-    pub fn as_set(&self) -> Option<&BTreeSet<ElemId>> {
+    pub fn as_set(&self) -> Option<&PSet> {
         match self {
-            Value::Set(s) => Some(&**s),
+            Value::Set(s) => Some(s),
             _ => None,
         }
     }
 
     /// Returns a borrowed view of the map payload, if this is a map.
-    pub fn as_map(&self) -> Option<&BTreeMap<ElemId, ElemId>> {
+    pub fn as_map(&self) -> Option<&PMap> {
         match self {
-            Value::Map(m) => Some(&**m),
+            Value::Map(m) => Some(m),
             _ => None,
         }
     }
 
     /// Returns a borrowed view of the sequence payload, if this is a
     /// sequence.
-    pub fn as_seq(&self) -> Option<&Vec<ElemId>> {
+    pub fn as_seq(&self) -> Option<&PSeq> {
         match self {
-            Value::Seq(s) => Some(&**s),
+            Value::Seq(s) => Some(s),
             _ => None,
         }
     }

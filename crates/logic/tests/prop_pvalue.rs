@@ -215,4 +215,125 @@ proptest! {
         prop_assert!(!mutated.ptr_eq(&original));
         prop_assert_eq!(mutated.len(), snapshot.len() + 1);
     }
+
+    /// Reverse iteration also matches the eager collections — the evaluator
+    /// relies on `rposition`, which walks the double-ended iterator from the
+    /// back.
+    #[test]
+    fn reverse_iteration_matches_eager(
+        set in proptest::collection::btree_set(0u32..50, 0..20),
+        seq in proptest::collection::vec(0u32..50, 0..20),
+    ) {
+        let eset: BTreeSet<ElemId> = set.into_iter().map(ElemId).collect();
+        let pset: PSet = eset.iter().copied().collect();
+        prop_assert!(pset.iter().rev().eq(eset.iter().rev()));
+
+        let emap: BTreeMap<ElemId, ElemId> =
+            eset.iter().map(|&k| (k, ElemId(k.0 + 1))).collect();
+        let pmap: PMap = emap.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert!(pmap.iter().rev().eq(emap.iter().rev()));
+
+        let eseq: Vec<ElemId> = seq.into_iter().map(ElemId).collect();
+        let pseq: PSeq = eseq.iter().copied().collect();
+        prop_assert!(pseq.iter().rev().eq(eseq.iter().rev()));
+        prop_assert_eq!(
+            pseq.iter().rposition(|&e| e == ElemId(3)),
+            eseq.iter().rposition(|&e| e == ElemId(3))
+        );
+    }
+
+    /// Sequence comparison semantics are structural too: `Eq`/`Ord`/`Hash`
+    /// of `PSeq` handles agree with the eager `Vec` for arbitrary pairs.
+    #[test]
+    fn seq_comparisons_are_structural(
+        a in proptest::collection::vec(0u32..6, 0..6),
+        b in proptest::collection::vec(0u32..6, 0..6),
+    ) {
+        let ea: Vec<ElemId> = a.into_iter().map(ElemId).collect();
+        let eb: Vec<ElemId> = b.into_iter().map(ElemId).collect();
+        let pa: PSeq = ea.iter().copied().collect();
+        let pb: PSeq = eb.iter().copied().collect();
+        prop_assert_eq!(pa == pb, ea == eb);
+        prop_assert_eq!(pa.cmp(&pb), ea.cmp(&eb));
+        prop_assert_eq!(hash_of(&pa) == hash_of(&pb), hash_of(&ea) == hash_of(&eb));
+    }
+}
+
+/// A generous `O(log n)` ceiling on the number of tree nodes a single
+/// mutation may clone: the weight-balanced tree (Δ = 3) has height at most
+/// ~2.41·log₂(n), and one path-copy touches each level at most a constant
+/// number of times (the spine node plus at most two rotation participants).
+/// Any linear-cost regression blows straight through this for the sizes the
+/// detach tests use (n ≥ 256, bound ≤ ~78).
+fn log_detach_bound(n: usize) -> usize {
+    let log2 = usize::BITS as usize - n.max(1).leading_zeros() as usize;
+    6 * log2 + 18
+}
+
+proptest! {
+    // Trees here are three orders of magnitude larger than in the
+    // observational tests; fewer cases keep the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole property: mutating a *shared* N-element set detaches only
+    /// `O(log N)` nodes from the snapshot — not the whole spine. Counted with
+    /// the test-only `fresh_nodes_since` hook, which walks the mutated tree
+    /// and counts nodes whose address was not present in the snapshot.
+    #[test]
+    fn set_detach_is_logarithmic(n in 256usize..2048, e in 0u32..4096, insert in proptest::bool::ANY) {
+        let base: PSet = (1..=n as u32).map(ElemId).collect();
+        let mut mutated = base.clone();
+        if insert {
+            mutated.insert(ElemId(e + n as u32 + 1));
+        } else {
+            mutated.remove(&ElemId(e % n as u32 + 1));
+        }
+        let fresh = mutated.fresh_nodes_since(&base);
+        prop_assert!(
+            fresh <= log_detach_bound(n),
+            "one mutation of a shared {n}-element set cloned {fresh} nodes (bound {})",
+            log_detach_bound(n)
+        );
+        // The snapshot itself never acquires fresh nodes.
+        prop_assert_eq!(base.fresh_nodes_since(&base), 0);
+    }
+
+    /// Same for maps: one `insert`/`remove` against a shared N-entry map.
+    #[test]
+    fn map_detach_is_logarithmic(n in 256usize..2048, k in 0u32..4096, insert in proptest::bool::ANY) {
+        let base: PMap = (1..=n as u32).map(|i| (ElemId(i), ElemId(i + 1))).collect();
+        let mut mutated = base.clone();
+        if insert {
+            mutated.insert(ElemId(k % n as u32 + 1), ElemId(9999));
+        } else {
+            mutated.remove(&ElemId(k % n as u32 + 1));
+        }
+        let fresh = mutated.fresh_nodes_since(&base);
+        prop_assert!(
+            fresh <= log_detach_bound(n),
+            "one mutation of a shared {n}-entry map cloned {fresh} nodes (bound {})",
+            log_detach_bound(n)
+        );
+    }
+
+    /// Same for sequences, across the whole positional update surface
+    /// (`push` / `insert` / `remove` / `set`).
+    #[test]
+    fn seq_detach_is_logarithmic(n in 256usize..2048, i in 0usize..4096, kind in 0u32..4) {
+        let base: PSeq = (1..=n as u32).map(ElemId).collect();
+        let mut mutated = base.clone();
+        match kind {
+            0 => mutated.push(ElemId(7)),
+            1 => mutated.insert(i % (n + 1), ElemId(7)),
+            2 => { mutated.remove(i % n); }
+            _ => { mutated.set(i % n, ElemId(7)); }
+        }
+        let fresh = mutated.fresh_nodes_since(&base);
+        prop_assert!(
+            fresh <= log_detach_bound(n),
+            "one positional update of a shared {n}-element sequence cloned {fresh} nodes (bound {})",
+            log_detach_bound(n)
+        );
+        prop_assert_eq!(base.len(), n, "the shared snapshot changed length");
+    }
 }

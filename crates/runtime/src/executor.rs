@@ -45,7 +45,7 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use semcommute_logic::Value;
@@ -75,6 +75,13 @@ pub enum TxnError {
     Finished,
     /// The retry budget of [`SpeculativeRuntime::run`] was exhausted.
     RetriesExhausted,
+    /// The runtime is poisoned: a verified inverse failed to apply during a
+    /// rollback, so the structure may hold effects of an aborted transaction.
+    /// The payload diagnoses the failed inverse. Like the PR 7 coarse-lock
+    /// poisoning this is sticky — every subsequent operation is refused —
+    /// but it surfaces as an error instead of a panic, so the caller decides
+    /// how to wind down. [`SpeculativeRuntime::run`] does **not** retry it.
+    Poisoned(String),
 }
 
 impl fmt::Display for TxnError {
@@ -85,6 +92,7 @@ impl fmt::Display for TxnError {
             TxnError::Dispatch(e) => write!(f, "operation rejected: {e}"),
             TxnError::Finished => write!(f, "transaction already finished"),
             TxnError::RetriesExhausted => write!(f, "retry budget exhausted"),
+            TxnError::Poisoned(e) => write!(f, "runtime poisoned: {e}"),
         }
     }
 }
@@ -119,6 +127,10 @@ pub struct RuntimeStats {
     pub conflicts: u64,
     /// Operations executed (including those later rolled back).
     pub operations: u64,
+    /// Rollbacks that failed because a verified inverse did not apply. Each
+    /// failure poisons the runtime (see [`TxnError::Poisoned`]); a non-zero
+    /// count means the structure may hold effects of aborted transactions.
+    pub rollback_failures: u64,
 }
 
 struct Shared {
@@ -139,6 +151,14 @@ struct Shared {
     aborts: AtomicU64,
     conflicts: AtomicU64,
     operations: AtomicU64,
+    rollback_failures: AtomicU64,
+    /// Set (once) when a rollback fails to apply a verified inverse: the
+    /// structure may hold effects of an aborted transaction, so every
+    /// subsequent `execute` is refused with [`TxnError::Poisoned`]. Sticky
+    /// by design, mirroring the PR 7 coarse-lock poisoning — but surfaced
+    /// as an error, never a panic, because the failure is detected while
+    /// holding the structure lock.
+    poison: OnceLock<String>,
 }
 
 impl Shared {
@@ -208,6 +228,8 @@ impl SpeculativeRuntime {
                 aborts: AtomicU64::new(0),
                 conflicts: AtomicU64::new(0),
                 operations: AtomicU64::new(0),
+                rollback_failures: AtomicU64::new(0),
+                poison: OnceLock::new(),
             }),
         }
     }
@@ -281,7 +303,24 @@ impl SpeculativeRuntime {
             aborts: shared.aborts.load(Ordering::Relaxed),
             conflicts: shared.conflicts.load(Ordering::Relaxed),
             operations: shared.operations.load(Ordering::Relaxed),
+            rollback_failures: shared.rollback_failures.load(Ordering::Relaxed),
         }
+    }
+
+    /// The poison diagnostic, if a rollback has failed to apply a verified
+    /// inverse (see [`TxnError::Poisoned`]). `None` on a healthy runtime.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.shared.poison.get().map(String::as_str)
+    }
+
+    /// Test hook: applies an operation to the structure directly, bypassing
+    /// admission, logging, and rollback. Fault injection for the rollback
+    /// regression tests — mutating the structure behind a live transaction's
+    /// back is exactly the corruption that makes its verified inverses stop
+    /// applying.
+    #[doc(hidden)]
+    pub fn apply_unlogged(&self, op: &str, args: &[Value]) -> Result<Option<Value>, TxnError> {
+        Ok(self.shared.structure.lock().apply(op, args)?)
     }
 
     /// The number of operations currently published by uncommitted
@@ -337,6 +376,9 @@ impl Transaction {
             return Err(TxnError::Finished);
         }
         let shared = &self.runtime.shared;
+        if let Some(reason) = shared.poison.get() {
+            return Err(TxnError::Poisoned(reason.clone()));
+        }
         // One string resolution for the incoming operation; every per-entry
         // check below goes through dense indices.
         let op_idx = shared.gatekeeper.op_index(op);
@@ -449,9 +491,24 @@ impl Transaction {
                 // Nothing to undo (e.g. `add` returned false).
                 continue;
             };
-            structure
-                .apply(&op, &args)
-                .expect("verified inverses always apply");
+            if let Err(e) = structure.apply(&op, &args) {
+                // A verified inverse failed to apply: the structure no
+                // longer matches the log (something mutated it outside the
+                // protocol, or an invariant broke). Panicking here — while
+                // holding the structure lock — used to take the whole
+                // process down; instead, poison the runtime so every
+                // subsequent operation is refused with a diagnosable
+                // [`TxnError::Poisoned`], and stop undoing: applying more
+                // inverses to a state we no longer understand could only
+                // compound the damage.
+                let reason = format!(
+                    "rolling back txn {}: verified inverse `{op}` of `{}` was rejected: {e}",
+                    self.id, entry.op
+                );
+                shared.rollback_failures.fetch_add(1, Ordering::Relaxed);
+                let _ = shared.poison.set(reason);
+                break;
+            }
         }
         self.entries.clear();
     }
@@ -584,6 +641,36 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_list_index_is_a_dispatch_error_in_a_transaction() {
+        // End-to-end version of the structure-level pin: an out-of-range
+        // index through `Transaction::execute` is a `Dispatch` error (the
+        // transaction stays usable), never an `ArrayList` bounds panic.
+        let rt = SpeculativeRuntime::new(AnyStructure::by_name("ArrayList").unwrap());
+        let mut t = rt.begin();
+        t.execute("addAt", &[Value::Int(0), Value::elem(7)])
+            .unwrap();
+        for (op, args) in [
+            ("get", vec![Value::Int(1)]),
+            ("removeAt", vec![Value::Int(1)]),
+            ("set", vec![Value::Int(-1), Value::elem(8)]),
+            ("addAt", vec![Value::Int(2), Value::elem(8)]),
+        ] {
+            let err = t.execute(op, &args).unwrap_err();
+            match err {
+                TxnError::Dispatch(msg) => {
+                    assert!(msg.contains("out of range"), "{op}: {msg}");
+                }
+                other => panic!("{op}: expected a dispatch error, got {other:?}"),
+            }
+        }
+        // The failed dispatches logged nothing, so the commit publishes only
+        // the successful `addAt`.
+        t.commit();
+        assert_eq!(rt.snapshot(), AbstractState::List(vec![ElemId(7)]));
+        assert_eq!(rt.stats().commits, 1);
+    }
+
+    #[test]
     fn empty_abort_counts_but_leaves_nothing_behind() {
         let rt = set_runtime();
         let t = rt.begin();
@@ -692,6 +779,53 @@ mod tests {
         ));
         t1.commit();
         t2.commit();
+    }
+
+    #[test]
+    fn failed_inverse_poisons_the_runtime_instead_of_panicking() {
+        let rt = SpeculativeRuntime::new(AnyStructure::by_name("ArrayList").unwrap());
+        let mut t = rt.begin();
+        t.execute("addAt", &[Value::Int(0), Value::elem(1)])
+            .unwrap();
+        // Fault injection: empty the list behind the transaction's back, so
+        // its verified inverse (`removeAt 0`) no longer applies.
+        rt.apply_unlogged("removeAt", &[Value::Int(0)]).unwrap();
+        t.abort(); // must poison, not panic (it holds the structure lock)
+
+        let stats = rt.stats();
+        assert_eq!(stats.aborts, 1);
+        assert_eq!(stats.rollback_failures, 1);
+        assert_eq!(stats.begun, stats.commits + stats.aborts);
+        let reason = rt.poisoned().expect("runtime is poisoned");
+        assert!(reason.contains("removeAt"), "{reason}");
+        assert!(reason.contains("addAt"), "{reason}");
+
+        // Every subsequent operation is refused with the diagnostic…
+        let mut t2 = rt.begin();
+        match t2.execute("size", &[]) {
+            Err(TxnError::Poisoned(msg)) => assert!(msg.contains("removeAt"), "{msg}"),
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        t2.abort();
+        // …and `run` surfaces it without burning the retry budget.
+        let mut attempts = 0u32;
+        let err = rt
+            .run(1_000, |txn| {
+                attempts += 1;
+                txn.execute("size", &[]).map(|_| ())
+            })
+            .unwrap_err();
+        assert!(matches!(err, TxnError::Poisoned(_)));
+        assert_eq!(attempts, 1, "poisoned runtimes must not be retried");
+    }
+
+    #[test]
+    fn healthy_runtimes_report_no_poison() {
+        let rt = set_runtime();
+        rt.run(1, |txn| txn.execute("add", &[Value::elem(1)]).map(|_| ()))
+            .unwrap();
+        assert_eq!(rt.poisoned(), None);
+        assert_eq!(rt.stats().rollback_failures, 0);
     }
 
     #[test]

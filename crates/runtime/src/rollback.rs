@@ -93,45 +93,59 @@ impl SnapshotRollback {
     }
 
     /// Restores the captured state by rebuilding the structure from scratch.
-    pub fn restore(&self) -> AnyStructure {
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the captured state cannot be replayed (see
+    /// [`rebuild`]) — impossible for snapshots captured from a live
+    /// structure, whose abstract state is well-formed by construction.
+    pub fn restore(&self) -> Result<AnyStructure, String> {
         rebuild(self.name, &self.snapshot)
     }
 }
 
 /// Rebuilds a concrete structure of the given kind holding the given abstract
 /// state.
-pub fn rebuild(name: &str, state: &AbstractState) -> AnyStructure {
+///
+/// # Errors
+///
+/// Returns a message if `name` is not a known structure or the state cannot
+/// be replayed onto a fresh instance (e.g. a set containing `null`, which no
+/// `add` call can produce). States captured from a live structure are
+/// well-formed by construction; a malformed one indicates a corrupted or
+/// hand-crafted log, which must surface as an `Evaluation`-class error for
+/// the caller to handle — not a panic.
+pub fn rebuild(name: &str, state: &AbstractState) -> Result<AnyStructure, String> {
     use semcommute_logic::Value;
-    let mut structure = AnyStructure::by_name(name).expect("known structure name");
+    let mut structure = AnyStructure::by_name(name)
+        .ok_or_else(|| format!("rebuild: unknown structure name `{name}`"))?;
+    let mut replay = |op: &str, args: &[Value]| {
+        structure
+            .apply(op, args)
+            .map(|_| ())
+            .map_err(|e| format!("rebuild of `{name}`: replaying `{op}` failed: {e}"))
+    };
     match state {
         AbstractState::Counter(c) => {
-            structure
-                .apply("increase", &[Value::Int(*c)])
-                .expect("increase accepts any amount");
+            replay("increase", &[Value::Int(*c)])?;
         }
         AbstractState::Set(elems) => {
             for &e in elems {
-                structure
-                    .apply("add", &[Value::Elem(e)])
-                    .expect("add accepts non-null elements");
+                replay("add", &[Value::Elem(e)])?;
             }
         }
         AbstractState::Map(pairs) => {
             for (&k, &v) in pairs {
-                structure
-                    .apply("put", &[Value::Elem(k), Value::Elem(v)])
-                    .expect("put accepts non-null keys and values");
+                replay("put", &[Value::Elem(k), Value::Elem(v)])?;
             }
         }
         AbstractState::List(items) => {
             for (i, &e) in items.iter().enumerate() {
-                structure
-                    .apply("addAt", &[Value::Int(i as i64), Value::Elem(e)])
-                    .expect("addAt accepts in-range indices");
+                replay("addAt", &[Value::Int(i as i64), Value::Elem(e)])?;
             }
         }
     }
-    structure
+    Ok(structure)
 }
 
 /// Convenience used by tests and benchmarks: a set-shaped abstract state.
@@ -265,10 +279,35 @@ mod tests {
                     s.apply("increase", &[Value::Int(1)]).unwrap();
                 }
             }
-            let restored = snapshot.restore();
+            let restored = snapshot.restore().unwrap();
             assert_eq!(restored.abstract_state(), *snapshot.snapshot(), "{name}");
             assert!(restored.check_invariants().is_ok());
         }
+    }
+
+    #[test]
+    fn rebuild_surfaces_malformed_states_as_errors() {
+        use semcommute_logic::NULL_ELEM;
+
+        // An unknown structure name is an error, not a panic.
+        let err = rebuild("NoSuchStructure", &AbstractState::Counter(0)).unwrap_err();
+        assert!(err.contains("unknown structure name"), "{err}");
+
+        // A set containing `null` cannot be produced by any `add` call — a
+        // log claiming it is malformed. Replay reports which op rejected it.
+        let bad = AbstractState::Set([NULL_ELEM].into_iter().collect());
+        let err = rebuild("HashSet", &bad).unwrap_err();
+        assert!(err.contains("replaying `add` failed"), "{err}");
+
+        // Same for a map binding `null`.
+        let bad = AbstractState::Map([(NULL_ELEM, ElemId(1))].into_iter().collect());
+        let err = rebuild("HashTable", &bad).unwrap_err();
+        assert!(err.contains("replaying `put` failed"), "{err}");
+
+        // A well-formed state still round-trips.
+        let good = set_state([1, 2, 3]);
+        let rebuilt = rebuild("HashSet", &good).unwrap();
+        assert_eq!(rebuilt.abstract_state(), good);
     }
 
     #[test]

@@ -492,6 +492,44 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_list_indices_are_op_errors_not_panics() {
+        // `ArrayList`'s `ListInterface` methods `assert!`/`expect` on their
+        // bounds; this pins that no index arriving through the op surface
+        // can reach those panics — `index_arg` rejects it first.
+        let mut l = AnyStructure::by_name("ArrayList").unwrap();
+        for (i, e) in [4u32, 5, 6].iter().enumerate() {
+            l.apply("addAt", &[Value::Int(i as i64), Value::elem(*e)])
+                .unwrap();
+        }
+        let before = l.abstract_state();
+        // First index past the valid range for each op (`addAt` admits
+        // `len` itself), plus a negative index for each.
+        let attempts: &[(&str, Vec<Value>)] = &[
+            ("get", vec![Value::Int(3)]),
+            ("get", vec![Value::Int(-1)]),
+            ("removeAt", vec![Value::Int(3)]),
+            ("removeAt", vec![Value::Int(-2)]),
+            ("set", vec![Value::Int(3), Value::elem(9)]),
+            ("set", vec![Value::Int(-1), Value::elem(9)]),
+            ("addAt", vec![Value::Int(4), Value::elem(9)]),
+            ("addAt", vec![Value::Int(-1), Value::elem(9)]),
+            ("get", vec![Value::Int(i64::MAX)]),
+            ("addAt", vec![Value::Int(i64::MIN), Value::elem(9)]),
+        ];
+        for (op, args) in attempts {
+            let err = l.apply(op, args).unwrap_err();
+            assert!(
+                matches!(&err, DispatchError::BadArgument { .. }),
+                "{op}{args:?}: {err}"
+            );
+            assert!(err.to_string().contains("out of range"), "{op}: {err}");
+        }
+        // Rejected dispatches leave the structure untouched.
+        assert_eq!(l.abstract_state(), before);
+        assert!(l.check_invariants().is_ok());
+    }
+
+    #[test]
     fn tracked_mirror_stays_equal_to_the_abstraction_function() {
         // Drive every structure through a mixed trace (including no-op
         // updates and failing dispatches) and check the mirror against the

@@ -20,6 +20,18 @@ const INITIAL_CAPACITY: usize = 8;
 /// representation invariant (`len ≤ capacity`, populated prefix, vacant
 /// suffix) is a real invariant checked by [`Abstraction::check_invariants`].
 ///
+/// # Panics vs. op errors
+///
+/// The [`ListInterface`] methods `assert!` their index bounds and then
+/// `expect` the populated-prefix invariant — both panics are *internal
+/// contract violations*, never reachable through the runtime operation
+/// surface: `AnyStructure::apply` validates every index argument against the
+/// current size before dispatching here, so an out-of-range index arriving
+/// as an operation argument is rejected as a `BadArgument` op error (the
+/// runtime/structure tests pin exactly this). The `expect`s fire only if the
+/// populated-prefix invariant itself is broken, which `check_invariants`
+/// would already report.
+///
 /// # Example
 ///
 /// ```
