@@ -51,19 +51,39 @@
 //!   on a large prefilled set driving transactions whose `size` probes
 //!   require pre-state projections interleaved with hot-key mutations.
 //!
+//! A sixth axis is the **contention-management leg family** (PR 10), which
+//! measures the abort-rate-driven coarse-lock fallback
+//! ([`semcommute_runtime::contention`]) from both sides:
+//!
+//! * `hot` legs drive a deterministic high-contention workload — every
+//!   admission attempt is forced into conflict on a fixed ordinal period by
+//!   an attached [`FaultPlan`], so the measured contention is identical on
+//!   every host — through three engines: the adaptive runtime
+//!   (`fallback=on`, which degrades to the coarse section and stays there),
+//!   the non-adaptive runtime (`fallback=off`, which pays the full
+//!   speculate-abort-retry cost for every transaction), and the coarse-lock
+//!   baseline (the cost floor the degraded path borrows).
+//! * fallback **parity** legs rerun the classic uniform/skewed workloads
+//!   with the fallback explicitly on and explicitly off: their abort rates
+//!   sit far below the degrade threshold, so the mode machinery must never
+//!   fire (`mode_switches == 0`) and its bookkeeping overhead must stay in
+//!   the noise (per-op parity within 10% at threads=1).
+//!
 //! Usage: `runtime_perf [--ops N] [--prefill N] [--seed-ops N]
 //! [--admit bytecode|interp|both|off] [--snap-ops N] [--snap-prefill N]
 //! [--json PATH]`.
 //! With the defaults the speculative and coarse legs together drive several
 //! million mixed operations across the configurations. Emits the
 //! measurements as JSON
-//! (`BENCH_pr9.json` in CI) with an `acceptance` section recording the
+//! (`BENCH_pr10.json` in CI) with an `acceptance` section recording the
 //! single-core criterion: speculative per-op overhead at threads=1 must be
 //! ≥ 5× lower than the seed engine's — when both admission backends
 //! run, compiled admission must be at most 0.5× the interpreter's per-op
-//! time with identical counts — and the tree representation must beat the
+//! time with identical counts — the tree representation must beat the
 //! flat mirror's per-op snapshot-loop cost by ≥ 2× with identical final
-//! contents.
+//! contents — and under forced contention the adaptive runtime must land
+//! near the coarse baseline's per-op cost while the non-adaptive runtime
+//! loses to it by a wide margin.
 
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,7 +94,7 @@ use semcommute_bench::seed_runtime::SeedRuntime;
 use semcommute_logic::{ElemId, PSet, Value};
 use semcommute_runtime::{
     AdmissionError, AdmitBackend, AnyStructure, CoarseLockRuntime, CommutativityGatekeeper,
-    LogEntry, SpeculativeRuntime, TxnError,
+    FallbackOptions, FaultPlan, LogEntry, RuntimeOptions, SpeculativeRuntime, TxnError,
 };
 use semcommute_spec::InterfaceId;
 
@@ -104,6 +124,11 @@ impl XorShift {
 enum Workload {
     Uniform,
     Skewed,
+    /// Every key drawn from a tiny domain — the contention legs' workload.
+    /// Real aborts need concurrent overlap, so the `hot` legs additionally
+    /// force conflicts on a fixed ordinal period to make the measured
+    /// contention host-independent.
+    Hot,
 }
 
 impl Workload {
@@ -111,6 +136,7 @@ impl Workload {
         match self {
             Workload::Uniform => "uniform",
             Workload::Skewed => "skewed",
+            Workload::Hot => "hot",
         }
     }
 
@@ -127,6 +153,8 @@ impl Workload {
                         rng.below(prefill * 4)
                     }
                 }
+                // All the traffic on 8 hot keys.
+                Workload::Hot => rng.below(8),
             };
             Value::elem(k as u32 + 1)
         };
@@ -147,12 +175,23 @@ struct Measurement {
     /// grid (whatever `SEMCOMMUTE_ADMIT` selects), the backend name for the
     /// dedicated admission legs.
     admit: &'static str,
+    /// Which fallback configuration the leg ran under: `"default"` for the
+    /// classic grid (whatever `SEMCOMMUTE_FALLBACK` selects), `"on"` / `"off"`
+    /// for the dedicated contention legs, `"n/a"` for non-speculative
+    /// engines.
+    fallback: &'static str,
     threads: u64,
     target_ops: u64,
     committed_ops: u64,
     commits: u64,
     aborts: u64,
     conflicts: u64,
+    /// Commits that ran through the degraded coarse section (speculative
+    /// legs only).
+    degraded_commits: u64,
+    /// Execution-mode transitions applied by the contention state machine
+    /// (speculative legs only).
+    mode_switches: u64,
     /// Operations held open by pinned background transactions for the whole
     /// measured run (0 for the classic legs).
     pinned_ops: u64,
@@ -179,26 +218,45 @@ impl Measurement {
     fn json(&self) -> String {
         format!(
             "    {{\"engine\": \"{}\", \"workload\": \"{}\", \"admit\": \"{}\", \
-             \"threads\": {}, \
+             \"fallback\": \"{}\", \"threads\": {}, \
              \"target_ops\": {}, \"committed_ops\": {}, \"commits\": {}, \"aborts\": {}, \
-             \"conflicts\": {}, \"pinned_ops\": {}, \"wall_s\": {:.6}, \
+             \"conflicts\": {}, \"degraded_commits\": {}, \"mode_switches\": {}, \
+             \"pinned_ops\": {}, \"wall_s\": {:.6}, \
              \"committed_ops_per_s\": {:.1}, \
              \"per_op_ns\": {:.1}}}",
             self.engine,
             self.workload,
             self.admit,
+            self.fallback,
             self.threads,
             self.target_ops,
             self.committed_ops,
             self.commits,
             self.aborts,
             self.conflicts,
+            self.degraded_commits,
+            self.mode_switches,
             self.pinned_ops,
             self.wall_s,
             self.committed_ops_per_s(),
             self.per_op_ns(),
         )
     }
+}
+
+/// Runs a leg `reps` times and keeps the fastest run. The acceptance
+/// criteria pin tight wall-clock ratios (parity within 10%); on a busy host
+/// a single sample is too noisy for that, and for a deterministic workload
+/// the minimum is the standard noise-robust estimate of the true cost.
+fn best_of(reps: u32, mut leg: impl FnMut() -> Measurement) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..reps {
+        let m = leg();
+        if best.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one rep")
 }
 
 fn prefilled(prefill: u64) -> AnyStructure {
@@ -210,7 +268,37 @@ fn prefilled(prefill: u64) -> AnyStructure {
 }
 
 fn run_speculative(workload: Workload, threads: u64, ops: u64, prefill: u64) -> Measurement {
-    let rt = SpeculativeRuntime::new(prefilled(prefill));
+    run_speculative_leg(
+        workload,
+        threads,
+        ops,
+        prefill,
+        "default",
+        RuntimeOptions::default(),
+        None,
+    )
+}
+
+/// The speculative leg with explicit [`RuntimeOptions`] — the contention
+/// legs route through here with the fallback pinned on or off and, for the
+/// `hot` legs, a [`FaultPlan`] forcing an admission conflict on every
+/// `conflict_period`-th operation ordinal (deterministic contention that
+/// does not depend on the host's scheduler).
+fn run_speculative_leg(
+    workload: Workload,
+    threads: u64,
+    ops: u64,
+    prefill: u64,
+    fallback: &'static str,
+    mut options: RuntimeOptions,
+    conflict_period: Option<u64>,
+) -> Measurement {
+    if let Some(period) = conflict_period {
+        let plan = FaultPlan::new();
+        plan.force_conflict_every(period);
+        options.faults = Some(Arc::new(plan));
+    }
+    let rt = SpeculativeRuntime::with_options(prefilled(prefill), options);
     let per_thread = ops / threads / 2; // two ops per transaction
     let committed_ops = AtomicU64::new(0);
     let start = Instant::now();
@@ -232,7 +320,7 @@ fn run_speculative(workload: Workload, threads: u64, ops: u64, prefill: u64) -> 
                         Ok(()) => {
                             committed_ops.fetch_add(script.len() as u64, Ordering::Relaxed);
                         }
-                        Err(TxnError::RetriesExhausted) => {}
+                        Err(TxnError::RetriesExhausted(_)) => {}
                         Err(e) => panic!("speculative workload failed: {e}"),
                     }
                 }
@@ -248,12 +336,15 @@ fn run_speculative(workload: Workload, threads: u64, ops: u64, prefill: u64) -> 
         engine: "speculative",
         workload: workload.name(),
         admit: "default",
+        fallback,
         threads,
         target_ops: per_thread * threads * 2,
         committed_ops: committed_ops.load(Ordering::Relaxed),
         commits: stats.commits,
         aborts: stats.aborts,
         conflicts: stats.conflicts,
+        degraded_commits: stats.degraded_commits,
+        mode_switches: stats.mode_switches,
         pinned_ops: 0,
         wall_s,
     }
@@ -288,12 +379,15 @@ fn run_coarse(workload: Workload, threads: u64, ops: u64, prefill: u64) -> Measu
         engine: "coarse_lock",
         workload: workload.name(),
         admit: "default",
+        fallback: "n/a",
         threads,
         target_ops: per_thread * threads * 2,
         committed_ops: commits * 2,
         commits,
         aborts: 0,
         conflicts: 0,
+        degraded_commits: 0,
+        mode_switches: 0,
         pinned_ops: 0,
         wall_s,
     }
@@ -328,12 +422,15 @@ fn run_seed(workload: Workload, threads: u64, ops: u64, prefill: u64) -> Measure
         engine: "seed",
         workload: workload.name(),
         admit: "default",
+        fallback: "n/a",
         threads,
         target_ops: per_thread * threads * 2,
         committed_ops: committed_ops.load(Ordering::Relaxed),
         commits: stats.commits,
         aborts: stats.aborts,
         conflicts: stats.aborts,
+        degraded_commits: 0,
+        mode_switches: 0,
         pinned_ops: 0,
         wall_s,
     }
@@ -356,7 +453,20 @@ fn admit_label(backend: AdmitBackend) -> &'static str {
 /// retry/abort path). The workload is deterministic and identical across
 /// backends; only the admission evaluator differs.
 fn run_admission(workload: Workload, backend: AdmitBackend, ops: u64, prefill: u64) -> Measurement {
-    let rt = SpeculativeRuntime::with_backend(prefilled(prefill), backend);
+    // The fallback must be pinned off here: the pinned background
+    // transactions hold the mode gate's shared side for the entire measured
+    // run, so an abort-rate-triggered degrade (the skewed leg aborts half
+    // its traffic by design) would wait forever for readers that never
+    // leave. Long-lived open transactions and the coarse fallback are
+    // mutually exclusive by construction — see the contention module docs.
+    let rt = SpeculativeRuntime::with_options(
+        prefilled(prefill),
+        RuntimeOptions {
+            backend,
+            fallback: FallbackOptions::off(),
+            ..RuntimeOptions::default()
+        },
+    );
 
     // Pin the background transactions open for the whole measured run. The
     // entry count is deliberately large enough (120) that admission checks —
@@ -402,7 +512,7 @@ fn run_admission(workload: Workload, backend: AdmitBackend, ops: u64, prefill: u
         });
         match done {
             Ok(()) => committed_ops += script.len() as u64,
-            Err(TxnError::RetriesExhausted) => {}
+            Err(TxnError::RetriesExhausted(_)) => {}
             Err(e) => panic!("admission workload failed: {e}"),
         }
     }
@@ -419,12 +529,15 @@ fn run_admission(workload: Workload, backend: AdmitBackend, ops: u64, prefill: u
         engine: "speculative",
         workload: workload.name(),
         admit: admit_label(backend),
+        fallback: "off",
         threads: 1,
         target_ops: txns * 2,
         committed_ops,
         commits: stats.commits,
         aborts: stats.aborts,
         conflicts: stats.conflicts,
+        degraded_commits: stats.degraded_commits,
+        mode_switches: stats.mode_switches,
         pinned_ops,
         wall_s,
     }
@@ -503,12 +616,15 @@ fn run_gatekeeper(
         engine: "gatekeeper",
         workload: workload.name(),
         admit: admit_label(backend),
+        fallback: "n/a",
         threads: 1,
         target_ops: checks,
         committed_ops: performed,
         commits: admitted,
         aborts: errors,
         conflicts,
+        degraded_commits: 0,
+        mode_switches: 0,
         pinned_ops: entries.len() as u64,
         wall_s,
     }
@@ -518,6 +634,24 @@ fn run_gatekeeper(
 /// like a handful of open transactions whose published entries each hold a
 /// pre-state projection.
 const MIRROR_RETAIN: usize = 64;
+
+/// How far above the coarse baseline's per-op cost the adaptive runtime may
+/// land on the forced-contention `hot` leg. The degraded section is the
+/// coarse discipline plus the costs that keep speculation resumable and
+/// abortable — the inverse log recorded per operation, the persistent
+/// mirror updated in step with every mutation, and the mode-gate
+/// acquisition per transaction — so the adaptive engine cannot match the
+/// bare baseline exactly. Measured on the dev host it lands at ~5.6× the
+/// coarse floor (versus ~21× for non-degraded speculation and unbounded
+/// retry cost without the fallback); the criterion pins that it stays
+/// within the same order as the baseline, not within speculation's.
+const HOT_ADAPTIVE_OVER_COARSE_MAX: f64 = 8.0;
+
+/// How much worse the non-adaptive (`fallback=off`) runtime must do than
+/// the adaptive one on the forced-contention leg: every transaction pays
+/// the speculate-abort-retry cycle the adaptive engine escapes by
+/// degrading. Measured ~3.8× on the dev host.
+const HOT_OFF_OVER_ADAPTIVE_MIN: f64 = 3.0;
 
 /// The key distribution of the snapshot loops: hot-key skew over a domain
 /// twice the structure size (so inserts and removes both happen).
@@ -570,12 +704,15 @@ fn run_snapshot_mirror_flat(ops: u64, n: u64) -> (Measurement, u64) {
             engine: "mirror_flat",
             workload: "skewed",
             admit: "default",
+            fallback: "n/a",
             threads: 1,
             target_ops: ops,
             committed_ops: ops,
             commits: 0,
             aborts: 0,
             conflicts: 0,
+            degraded_commits: 0,
+            mode_switches: 0,
             pinned_ops: MIRROR_RETAIN as u64,
             wall_s,
         },
@@ -608,12 +745,15 @@ fn run_snapshot_mirror_tree(ops: u64, n: u64) -> (Measurement, u64) {
             engine: "mirror_tree",
             workload: "skewed",
             admit: "default",
+            fallback: "n/a",
             threads: 1,
             target_ops: ops,
             committed_ops: ops,
             commits: 0,
             aborts: 0,
             conflicts: 0,
+            degraded_commits: 0,
+            mode_switches: 0,
             pinned_ops: MIRROR_RETAIN as u64,
             wall_s,
         },
@@ -651,7 +791,7 @@ fn run_snapshot_runtime(ops: u64, prefill: u64) -> Measurement {
         });
         match done {
             Ok(()) => committed_ops += script.len() as u64,
-            Err(TxnError::RetriesExhausted) => {}
+            Err(TxnError::RetriesExhausted(_)) => {}
             Err(e) => panic!("snapshot workload failed: {e}"),
         }
     }
@@ -664,12 +804,15 @@ fn run_snapshot_runtime(ops: u64, prefill: u64) -> Measurement {
         engine: "snapshot_runtime",
         workload: "skewed",
         admit: "default",
+        fallback: "default",
         threads: 1,
         target_ops: txns * ops_per_txn,
         committed_ops,
         commits: stats.commits,
         aborts: stats.aborts,
         conflicts: stats.conflicts,
+        degraded_commits: stats.degraded_commits,
+        mode_switches: stats.mode_switches,
         pinned_ops: 0,
         wall_s,
     }
@@ -852,12 +995,122 @@ fn main() {
         m.aborts,
     );
 
+    // The contention legs: forced conflicts on every `hot_period`-th
+    // operation ordinal make roughly two thirds of speculative admission
+    // attempts abort (two-op transactions draw two consecutive ordinals),
+    // identically on every host. The adaptive runtime must cross its abort
+    // threshold, degrade to the coarse section, and ride it — probe windows
+    // keep failing, so it stays degraded; the non-adaptive runtime pays the
+    // full speculate-abort-retry cost for every transaction; the coarse
+    // baseline is the floor the degraded path borrows its discipline from.
+    let hot_ops = (ops / 5).max(10_000);
+    let hot_period = 3;
+    for threads in [1, 4] {
+        // The threads=1 legs gate acceptance on wall-clock ratios, so they
+        // run best-of-3 (see `best_of`); the threads=4 legs are recorded
+        // for the report only.
+        let reps = if threads == 1 { 3 } else { 1 };
+        for (fallback, options) in [
+            ("on", FallbackOptions::on()),
+            ("off", FallbackOptions::off()),
+        ] {
+            runs.push(best_of(reps, || {
+                run_speculative_leg(
+                    Workload::Hot,
+                    threads,
+                    hot_ops,
+                    prefill,
+                    fallback,
+                    RuntimeOptions {
+                        fallback: options,
+                        ..RuntimeOptions::default()
+                    },
+                    Some(hot_period),
+                )
+            }));
+            let m = runs.last().unwrap();
+            println!(
+                "{:8} fb={:9} t={:2}  spec {:>12.0} ops/s ({:>7.0} ns/op, {} aborts, \
+                 {} degraded, {} switches)",
+                m.workload,
+                m.fallback,
+                m.threads,
+                m.committed_ops_per_s(),
+                m.per_op_ns(),
+                m.aborts,
+                m.degraded_commits,
+                m.mode_switches,
+            );
+        }
+        runs.push(best_of(reps, || {
+            run_coarse(Workload::Hot, threads, hot_ops, prefill)
+        }));
+        let m = runs.last().unwrap();
+        println!(
+            "{:8} {:12} t={:2}  coarse {:>10.0} ops/s ({:>7.0} ns/op)",
+            m.workload,
+            "",
+            m.threads,
+            m.committed_ops_per_s(),
+            m.per_op_ns(),
+        );
+    }
+
+    // The fallback parity legs: the classic workloads with the fallback
+    // explicitly on and explicitly off. Their abort rates sit far below the
+    // degrade threshold, so these legs pin the cost of *having* the
+    // contention manager armed when it never fires.
+    for workload in [Workload::Uniform, Workload::Skewed] {
+        for threads in [1, 4] {
+            // Only the threads=1 ratio gates acceptance (within 10%), so
+            // those legs run best-of-3.
+            let reps = if threads == 1 { 3 } else { 1 };
+            for (fallback, options) in [
+                ("on", FallbackOptions::on()),
+                ("off", FallbackOptions::off()),
+            ] {
+                runs.push(best_of(reps, || {
+                    run_speculative_leg(
+                        workload,
+                        threads,
+                        ops,
+                        prefill,
+                        fallback,
+                        RuntimeOptions {
+                            fallback: options,
+                            ..RuntimeOptions::default()
+                        },
+                        None,
+                    )
+                }));
+                let m = runs.last().unwrap();
+                println!(
+                    "{:8} fb={:9} t={:2}  spec {:>12.0} ops/s ({:>7.0} ns/op, {} aborts, \
+                     {} switches)",
+                    m.workload,
+                    m.fallback,
+                    m.threads,
+                    m.committed_ops_per_s(),
+                    m.per_op_ns(),
+                    m.aborts,
+                    m.mode_switches,
+                );
+            }
+        }
+    }
+
     // Acceptance: on a single-core host, the production engine at threads=1
     // must show ≥ 5× lower per-committed-op overhead than the seed engine;
     // on multi-core hosts, speculative must out-commit coarse at threads ≥ 4.
     let per_op = |engine: &str, workload: &str, threads: u64| {
         runs.iter()
-            .find(|m| m.engine == engine && m.workload == workload && m.threads == threads)
+            .find(|m| {
+                m.engine == engine
+                    && m.workload == workload
+                    && m.threads == threads
+                    // The classic grid only — not the dedicated fallback legs.
+                    && (m.fallback == "default" || m.fallback == "n/a")
+            })
             .map(|m| m.per_op_ns())
             .unwrap_or(f64::INFINITY)
     };
@@ -931,13 +1184,70 @@ fn main() {
     let mirror_flat_over_tree = mirror_flat_per_op / mirror_tree_per_op;
     let snapshot_passed = mirror_flat_over_tree >= 2.0 && mirror_contents_identical;
 
+    // The contention criterion, measured at threads=1 where the forced
+    // contention is exactly deterministic. Under forced conflicts the
+    // adaptive runtime must actually adapt (at least one mode switch, most
+    // commits through the degraded section) and end up within a small
+    // constant of the coarse baseline's per-op cost — the degraded section
+    // *is* the coarse discipline, plus the mirror maintenance and mode-gate
+    // bookkeeping that keep speculation resumable — while the non-adaptive
+    // runtime must lose to the adaptive one by a wide margin. The parity
+    // legs must show the armed-but-idle contention manager never firing and
+    // costing nothing measurable (per-op parity within 10% at threads=1).
+    let fallback_leg = |workload: &str, fallback: &str, threads: u64| {
+        runs.iter()
+            .find(|m| {
+                m.engine == "speculative"
+                    // Not the dedicated admission legs, which also pin the
+                    // fallback off (their gate-pinning transactions exclude
+                    // the degraded path — see `run_admission`).
+                    && m.admit == "default"
+                    && m.workload == workload
+                    && m.fallback == fallback
+                    && m.threads == threads
+            })
+            .expect("fallback leg ran")
+    };
+    let hot_adaptive = fallback_leg("hot", "on", 1);
+    let hot_off = fallback_leg("hot", "off", 1);
+    let hot_coarse_per_op = per_op("coarse_lock", "hot", 1);
+    let hot_adaptive_over_coarse = hot_adaptive.per_op_ns() / hot_coarse_per_op;
+    let hot_off_over_adaptive = hot_off.per_op_ns() / hot_adaptive.per_op_ns();
+    let hot_degraded_share =
+        hot_adaptive.degraded_commits as f64 / hot_adaptive.commits.max(1) as f64;
+    let hot_adapted = hot_adaptive.mode_switches >= 1
+        && hot_degraded_share >= 0.5
+        && hot_off.mode_switches == 0
+        && hot_off.degraded_commits == 0;
+    let parity_uniform = fallback_leg("uniform", "on", 1).per_op_ns()
+        / fallback_leg("uniform", "off", 1).per_op_ns();
+    let parity_skewed =
+        fallback_leg("skewed", "on", 1).per_op_ns() / fallback_leg("skewed", "off", 1).per_op_ns();
+    // All eight parity legs (both workloads, both thread counts, on and
+    // off): the mode machinery must never have fired.
+    let parity_never_fired = [Workload::Uniform, Workload::Skewed].iter().all(|w| {
+        [1u64, 4].iter().all(|&t| {
+            ["on", "off"].iter().all(|fb| {
+                let m = fallback_leg(w.name(), fb, t);
+                m.mode_switches == 0 && m.degraded_commits == 0
+            })
+        })
+    });
+    let parity_within = |ratio: f64| (0.9..=1.1).contains(&ratio);
+    let fallback_passed = hot_adapted
+        && hot_adaptive_over_coarse <= HOT_ADAPTIVE_OVER_COARSE_MAX
+        && hot_off_over_adaptive >= HOT_OFF_OVER_ADAPTIVE_MIN
+        && parity_within(parity_uniform)
+        && parity_within(parity_skewed)
+        && parity_never_fired;
+
     let single_core = host_threads == 1;
     let classic_passed = if single_core {
         overhead_ratio_uniform >= 5.0 && overhead_ratio_skewed >= 5.0
     } else {
         spec_vs_coarse_t4 > 1.0
     };
-    let passed = classic_passed && admit_passed && snapshot_passed;
+    let passed = classic_passed && admit_passed && snapshot_passed && fallback_passed;
     println!();
     println!(
         "seed/speculative per-op overhead ratio: uniform {overhead_ratio_uniform:.1}x, \
@@ -960,7 +1270,21 @@ fn main() {
          contents identical: {mirror_contents_identical})"
     );
     println!(
-        "acceptance ({}{}; tree >=2x lower snapshot-loop per-op than flat): {}",
+        "hot leg (forced conflict every {hot_period} ops, t=1): adaptive/coarse per-op \
+         {hot_adaptive_over_coarse:.2}x, off/adaptive per-op {hot_off_over_adaptive:.1}x, \
+         degraded commit share {:.0}%, switches {}",
+        hot_degraded_share * 100.0,
+        hot_adaptive.mode_switches,
+    );
+    println!(
+        "fallback parity (on/off per-op, t=1): uniform {parity_uniform:.3}x, \
+         skewed {parity_skewed:.3}x (never fired: {parity_never_fired})"
+    );
+    println!(
+        "acceptance ({}{}; tree >=2x lower snapshot-loop per-op than flat; \
+         adaptive <={HOT_ADAPTIVE_OVER_COARSE_MAX}x coarse and \
+         >={HOT_OFF_OVER_ADAPTIVE_MIN}x better than fallback-off under forced \
+         contention, parity within 10%): {}",
         if single_core {
             "single-core host: >=5x lower per-op overhead than seed at t=1"
         } else {
@@ -980,6 +1304,7 @@ fn main() {
          \"admit\": [{}], \"admit_ops\": {admit_ops}, \"admit_prefill\": {admit_prefill}, \"gate_checks\": {gate_checks}, \
          \"snap_ops\": {snap_ops}, \"snap_flat_ops\": {flat_ops}, \"snap_prefill\": {snap_prefill}, \
          \"snap_retained\": {MIRROR_RETAIN}, \
+         \"hot_ops\": {hot_ops}, \"hot_conflict_period\": {hot_period}, \
          \"host_parallelism\": {host_threads}}},\n",
         admit
             .iter()
@@ -1008,7 +1333,18 @@ fn main() {
          \"mirror_flat_per_op_ns\": {mirror_flat_per_op:.1}, \
          \"mirror_tree_per_op_ns\": {mirror_tree_per_op:.1}, \
          \"mirror_contents_identical\": {mirror_contents_identical}, \
-         \"passed\": {passed}}}\n"
+         \"hot_adaptive_over_coarse_per_op\": {hot_adaptive_over_coarse:.2}, \
+         \"hot_adaptive_over_coarse_max\": {HOT_ADAPTIVE_OVER_COARSE_MAX}, \
+         \"hot_off_over_adaptive_per_op\": {hot_off_over_adaptive:.2}, \
+         \"hot_off_over_adaptive_min\": {HOT_OFF_OVER_ADAPTIVE_MIN}, \
+         \"hot_degraded_commit_share\": {hot_degraded_share:.3}, \
+         \"hot_adaptive_mode_switches\": {}, \
+         \"fallback_parity_uniform_t1\": {parity_uniform:.3}, \
+         \"fallback_parity_skewed_t1\": {parity_skewed:.3}, \
+         \"fallback_parity_never_fired\": {parity_never_fired}, \
+         \"fallback_passed\": {fallback_passed}, \
+         \"passed\": {passed}}}\n",
+        hot_adaptive.mode_switches,
     ));
     json.push('}');
     if let Some(path) = json_path {

@@ -18,6 +18,12 @@
 //! the between/after forms use the recorded return value `r1`, following
 //! Table 5.6. Soundness and completeness of every entry is established by the
 //! verification driver.
+//!
+//! Note that the equivalence is per *adjacent* pair: a condition certified at
+//! one `s1` says nothing about the pair once other operations separate them.
+//! The runtime therefore evaluates these `s1`-phrased conditions at two
+//! anchors — the logged operation's captured pre-state and the live state —
+//! see the `semcommute-runtime` gatekeeper docs.
 
 use semcommute_logic::build::*;
 use semcommute_logic::Term;

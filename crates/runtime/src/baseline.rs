@@ -8,6 +8,14 @@
 //! to reproduce the motivation of Chapter 1: exploiting commuting operations
 //! increases the amount of exploitable parallelism.
 //!
+//! The speculative engine also *borrows* this discipline at runtime: when
+//! its abort-rate account says speculation is losing on a hot structure, the
+//! contention manager routes transactions through a coarse mutex section
+//! with exactly this whole-transaction mutual exclusion (see
+//! [`crate::contention`] and the degraded path of
+//! [`Transaction`](crate::Transaction)) — the baseline is not just the
+//! benchmark yardstick but the engine's own safe harbor.
+//!
 //! # Panic safety
 //!
 //! `parking_lot` mutexes do not poison: if a transaction body panics halfway

@@ -25,9 +25,12 @@
 //!    `Acquire` as a snapshot, read every other transaction's published
 //!    operations from the index (shard read locks only), and evaluate the
 //!    between conditions lock-free.
-//! 2. **Validated apply (structure lock).** Take the structure lock,
-//!    re-check only the operations published *after* the snapshot
-//!    ([`InFlightIndex::others_since`]), then apply the operation, publish
+//! 2. **Validated apply (structure lock).** Take the structure lock, give
+//!    the operations published *after* the snapshot their first full check,
+//!    and **re-anchor** every state-reading condition at the live state —
+//!    pre-state-anchored certificates alone do not compose across the
+//!    operations admitted since an entry was logged (see
+//!    `Shared::check_against_locked`). Then apply the operation, publish
 //!    its log entry to the index, and bump `publish_seq` with a `Release`
 //!    store — in that order, so any operation whose sequence number a later
 //!    `Acquire` load observes is already visible in its shard.
@@ -41,16 +44,40 @@
 //! so no admission can run against a state that still contains an effect
 //! whose log entry has already disappeared.
 //!
-//! Lock order: structure mutex before index shard lock, never the reverse.
+//! Lock order: mode gate before structure mutex before index shard lock,
+//! never the reverse.
+//!
+//! # Contention management
+//!
+//! Speculation is a bet, and under hot-key contention it loses: the
+//! abort/rollback machinery costs more than the coarse lock it replaced.
+//! When the fallback is enabled (the default; `SEMCOMMUTE_FALLBACK=off`
+//! restores the unconditional engine), every transaction finish feeds a
+//! sliding-window abort account ([`ContentionState`]) and the runtime
+//! degrades the structure to a coarse mutex section when a window's abort
+//! rate crosses the threshold. A transaction picks its path once, at its
+//! first operation: speculative transactions hold the [`ModeGate`] shared
+//! for their lifetime, degraded transactions hold it exclusive — the gate's
+//! drain barrier guarantees the two kinds never overlap, and because both
+//! draw their commit ticket *before* releasing the gate, ticket order
+//! remains a valid serialization order across mode transitions (the full
+//! argument lives in `docs/ARCHITECTURE.md`). Probing periodically
+//! re-enables speculation when contention subsides. The
+//! [`retry loop`](SpeculativeRuntime::run) backs off exponentially with
+//! deterministic per-transaction jitter instead of spinning, and a
+//! [`FaultPlan`] can drive every recovery path deterministically.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use semcommute_logic::Value;
 use semcommute_spec::AbstractState;
 
+use crate::contention::{BackoffOptions, ContentionState, FallbackOptions, Mode, ModeGate};
+use crate::fault::FaultPlan;
 use crate::gatekeeper::{AdmissionError, AdmitBackend, CommutativityGatekeeper, Conflict};
 use crate::index::{InFlightIndex, PublishedOp};
 use crate::log::LogEntry;
@@ -73,8 +100,10 @@ pub enum TxnError {
     Dispatch(String),
     /// The transaction has already been committed or aborted.
     Finished,
-    /// The retry budget of [`SpeculativeRuntime::run`] was exhausted.
-    RetriesExhausted,
+    /// The retry budget of [`SpeculativeRuntime::run`] was exhausted. The
+    /// [`RetryReport`] diagnoses the thrash: attempts made, the structure,
+    /// the last conflicting operation pair, and the time spent in backoff.
+    RetriesExhausted(RetryReport),
     /// The runtime is poisoned: a verified inverse failed to apply during a
     /// rollback, so the structure may hold effects of an aborted transaction.
     /// The payload diagnoses the failed inverse. Like the PR 7 coarse-lock
@@ -91,13 +120,55 @@ impl fmt::Display for TxnError {
             TxnError::Condition(e) => write!(f, "condition evaluation failed: {e}"),
             TxnError::Dispatch(e) => write!(f, "operation rejected: {e}"),
             TxnError::Finished => write!(f, "transaction already finished"),
-            TxnError::RetriesExhausted => write!(f, "retry budget exhausted"),
+            TxnError::RetriesExhausted(report) => {
+                write!(f, "retry budget exhausted: {report}")
+            }
             TxnError::Poisoned(e) => write!(f, "runtime poisoned: {e}"),
         }
     }
 }
 
 impl std::error::Error for TxnError {}
+
+/// Diagnosis of an exhausted retry budget (see
+/// [`TxnError::RetriesExhausted`]): enough to tell a genuinely hot key from
+/// a stuck peer transaction without re-running under a profiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryReport {
+    /// Transactions begun by the [`SpeculativeRuntime::run`] call
+    /// (`max_retries + 1`).
+    pub attempts: u64,
+    /// The structure the transactions ran against.
+    pub structure: &'static str,
+    /// The conflict the final attempt aborted on. `None` only if the body
+    /// returned a synthesized conflict carrying no information, which the
+    /// runtime itself never does.
+    pub last_conflict: Option<Conflict>,
+    /// Total time the attempts spent asleep in exponential backoff (yields
+    /// are not counted).
+    pub backoff: Duration,
+}
+
+impl fmt::Display for RetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} attempts on `{}` with {:?} spent in backoff",
+            self.attempts, self.structure, self.backoff
+        )?;
+        match &self.last_conflict {
+            Some(conflict) => {
+                let (incoming, logged) = conflict.op_pair();
+                write!(
+                    f,
+                    "; last conflict `{incoming}` vs `{logged}` of transaction {}",
+                    conflict.with_txn
+                )
+            }
+            None => write!(f, "; no conflict recorded"),
+        }
+    }
+}
 
 impl From<DispatchError> for TxnError {
     fn from(e: DispatchError) -> Self {
@@ -131,10 +202,58 @@ pub struct RuntimeStats {
     /// failure poisons the runtime (see [`TxnError::Poisoned`]); a non-zero
     /// count means the structure may hold effects of aborted transactions.
     pub rollback_failures: u64,
+    /// Commits that ran through the degraded coarse-lock section instead of
+    /// speculating (a subset of `commits`).
+    pub degraded_commits: u64,
+    /// Execution-mode transitions applied by the contention state machine
+    /// (`Speculative → Degraded → Probing → …`); zero while the fallback is
+    /// disabled or contention never crosses the threshold.
+    pub mode_switches: u64,
+}
+
+/// Construction-time knobs of a [`SpeculativeRuntime`]
+/// (see [`SpeculativeRuntime::with_options`]).
+///
+/// [`Default`] resolves every knob from its environment variable
+/// (`SEMCOMMUTE_ADMIT`, `SEMCOMMUTE_FALLBACK`, `SEMCOMMUTE_BACKOFF`), read
+/// once per process, with no fault plan attached.
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// How admission evaluates between conditions (see [`AdmitBackend`]).
+    pub backend: AdmitBackend,
+    /// The abort-rate-driven coarse-lock fallback (see [`FallbackOptions`]).
+    pub fallback: FallbackOptions,
+    /// Backoff between conflicted retry attempts (see [`BackoffOptions`]).
+    pub backoff: BackoffOptions,
+    /// An optional deterministic fault schedule (see [`FaultPlan`]); `None`
+    /// costs one branch per operation.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> RuntimeOptions {
+        RuntimeOptions {
+            backend: AdmitBackend::default_backend(),
+            fallback: FallbackOptions::default_options(),
+            backoff: BackoffOptions::default_options(),
+            faults: None,
+        }
+    }
 }
 
 struct Shared {
     structure: Mutex<TrackedStructure>,
+    /// The concrete structure's name, captured before the structure moves
+    /// behind its mutex — retry reports shouldn't need a lock acquisition.
+    structure_name: &'static str,
+    options: RuntimeOptions,
+    /// The per-structure abort account and mode state machine.
+    contention: ContentionState,
+    /// The speculative/degraded drain barrier (see [`ModeGate`]).
+    gate: ModeGate,
+    /// Global operation ordinal, drawn per `execute` only while a fault plan
+    /// is attached — the coordinate system faults are scheduled in.
+    op_ordinal: AtomicU64,
     index: InFlightIndex,
     gatekeeper: CommutativityGatekeeper,
     rollback: InverseRollback,
@@ -152,6 +271,7 @@ struct Shared {
     conflicts: AtomicU64,
     operations: AtomicU64,
     rollback_failures: AtomicU64,
+    degraded_commits: AtomicU64,
     /// Set (once) when a rollback fails to apply a verified inverse: the
     /// structure may hold effects of an aborted transaction, so every
     /// subsequent `execute` is refused with [`TxnError::Poisoned`]. Sticky
@@ -192,6 +312,72 @@ impl Shared {
         }
         Ok(())
     }
+
+    /// The under-lock admission pass. Entries published after `snap` get the
+    /// full between-condition check — the optimistic pass never saw them.
+    /// In addition, **every** live entry whose condition reads the abstract
+    /// state is re-anchored: the condition must also hold with `s1` bound to
+    /// the current state (`state`, read under the held structure lock).
+    ///
+    /// The re-anchor closes a composition hole in pairwise admission. A
+    /// condition certified against a logged entry's captured pre-state
+    /// certifies swapping the pair adjacent *at that state*; once other
+    /// admitted operations separate the pair, the certificate is anchored to
+    /// a state that no longer exists, and individually-valid certificates
+    /// need not compose. Concretely: a logged `get(3)` over
+    /// `[1, 1, 1, 1, 1, 1, 10]` admits any one `removeAt` below it (one left
+    /// shift keeps index 3 reading a `1`), but three such removals — each
+    /// certified against the same stale capture — compose to a shift of
+    /// three and move the `10` into the observed slot, breaking serial
+    /// replay. Anchoring each certificate at the live state as well keeps
+    /// every logged, state-dependent certificate current at each
+    /// intermediate state, so the certificates compose inductively.
+    /// State-free conditions are exempt: their verdict cannot drift, and the
+    /// gatekeeper skips their re-evaluation.
+    fn check_against_locked(
+        &self,
+        published: &[Arc<PublishedOp>],
+        op: &str,
+        op_idx: Option<u16>,
+        args: &[Value],
+        snap: u64,
+        state: &Value,
+    ) -> Result<(), TxnError> {
+        for p in published {
+            let fresh = p.seq > snap;
+            let verdict = match (p.op_idx, op_idx) {
+                (Some(first), Some(second)) => {
+                    let pre = if fresh {
+                        self.gatekeeper
+                            .check_indexed(first, &p.entry, second, op, args)
+                    } else {
+                        Ok(())
+                    };
+                    pre.and_then(|()| {
+                        self.gatekeeper
+                            .check_indexed_at(first, &p.entry, second, op, args, state)
+                    })
+                }
+                _ => {
+                    let pre = if fresh {
+                        self.gatekeeper.check_entry(&p.entry, op, args)
+                    } else {
+                        Ok(())
+                    };
+                    pre.and_then(|()| self.gatekeeper.check_entry_at(&p.entry, op, args, state))
+                }
+            };
+            match verdict {
+                Ok(()) => {}
+                Err(AdmissionError::Conflict(c)) => {
+                    self.conflicts.fetch_add(1, Ordering::Relaxed);
+                    return Err(TxnError::Conflict(c));
+                }
+                Err(AdmissionError::Evaluation(e)) => return Err(TxnError::Condition(e)),
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A shared data structure with optimistic, commutativity-aware transactions.
@@ -201,25 +387,45 @@ pub struct SpeculativeRuntime {
 }
 
 impl SpeculativeRuntime {
-    /// Wraps a concrete data structure for speculative access, using the
-    /// process-wide default admission backend (`SEMCOMMUTE_ADMIT`).
+    /// Wraps a concrete data structure for speculative access, with every
+    /// knob at its process-wide default (`SEMCOMMUTE_ADMIT`,
+    /// `SEMCOMMUTE_FALLBACK`, `SEMCOMMUTE_BACKOFF`).
     pub fn new(structure: AnyStructure) -> SpeculativeRuntime {
-        SpeculativeRuntime::with_backend(structure, AdmitBackend::default_backend())
+        SpeculativeRuntime::with_options(structure, RuntimeOptions::default())
     }
 
     /// Wraps a concrete data structure for speculative access with an
     /// explicit admission backend (see [`AdmitBackend`]). Under
     /// [`AdmitBackend::Bytecode`] the between-condition catalog is compiled
     /// to flat register programs, lazily, once per runtime — every clone of
-    /// this runtime shares the compiled cache.
+    /// this runtime shares the compiled cache. The remaining knobs keep
+    /// their process-wide defaults.
     pub fn with_backend(structure: AnyStructure, backend: AdmitBackend) -> SpeculativeRuntime {
+        SpeculativeRuntime::with_options(
+            structure,
+            RuntimeOptions {
+                backend,
+                ..RuntimeOptions::default()
+            },
+        )
+    }
+
+    /// Wraps a concrete data structure for speculative access with explicit
+    /// [`RuntimeOptions`].
+    pub fn with_options(structure: AnyStructure, options: RuntimeOptions) -> SpeculativeRuntime {
         let interface = structure.interface();
+        let structure_name = structure.name();
         SpeculativeRuntime {
             shared: Arc::new(Shared {
                 structure: Mutex::new(TrackedStructure::new(structure)),
+                structure_name,
+                contention: ContentionState::new(options.fallback),
+                gate: ModeGate::new(),
+                op_ordinal: AtomicU64::new(0),
                 index: InFlightIndex::new(),
-                gatekeeper: CommutativityGatekeeper::with_backend(interface, backend),
+                gatekeeper: CommutativityGatekeeper::with_backend(interface, options.backend),
                 rollback: InverseRollback::new(interface),
+                options,
                 next_txn: AtomicU64::new(1),
                 publish_seq: AtomicU64::new(0),
                 commit_seq: AtomicU64::new(0),
@@ -229,6 +435,7 @@ impl SpeculativeRuntime {
                 conflicts: AtomicU64::new(0),
                 operations: AtomicU64::new(0),
                 rollback_failures: AtomicU64::new(0),
+                degraded_commits: AtomicU64::new(0),
                 poison: OnceLock::new(),
             }),
         }
@@ -242,34 +449,46 @@ impl SpeculativeRuntime {
             id: self.shared.next_txn.fetch_add(1, Ordering::Relaxed),
             entries: Vec::new(),
             scratch: Vec::new(),
+            mode: TxnMode::Pending,
             finished: false,
         }
     }
 
     /// Runs a transaction body, retrying on conflicts up to `max_retries`
-    /// times.
+    /// times. Conflicted attempts back off per the runtime's
+    /// [`BackoffOptions`]: the first few retries only yield, then sleeps
+    /// grow exponentially (bounded, jittered deterministically per
+    /// transaction) so a pile-up on a hot key spreads out instead of
+    /// re-colliding in lockstep.
     ///
     /// # Errors
     ///
-    /// Returns [`TxnError::RetriesExhausted`] if the body keeps conflicting,
-    /// or the body's own error if it fails for a non-conflict reason
-    /// (non-conflict errors — including [`TxnError::Condition`] — are never
-    /// retried).
+    /// Returns [`TxnError::RetriesExhausted`] — carrying a [`RetryReport`] —
+    /// if the body keeps conflicting, or the body's own error if it fails
+    /// for a non-conflict reason (non-conflict errors — including
+    /// [`TxnError::Condition`] — are never retried).
     pub fn run<T>(
         &self,
         max_retries: usize,
         mut body: impl FnMut(&mut Transaction) -> Result<T, TxnError>,
     ) -> Result<T, TxnError> {
-        for _ in 0..=max_retries {
+        let backoff = self.shared.options.backoff;
+        let mut attempts = 0u64;
+        let mut slept = Duration::ZERO;
+        let mut last_conflict = None;
+        for attempt in 0..=max_retries {
             let mut txn = self.begin();
+            let txn_id = txn.id;
+            attempts += 1;
             match body(&mut txn) {
                 Ok(value) => {
                     txn.commit();
                     return Ok(value);
                 }
-                Err(TxnError::Conflict(_)) => {
+                Err(TxnError::Conflict(conflict)) => {
                     txn.abort();
-                    std::thread::yield_now();
+                    last_conflict = Some(conflict);
+                    slept += backoff.wait(txn_id, attempt.min(u32::MAX as usize) as u32);
                 }
                 Err(other) => {
                     txn.abort();
@@ -277,7 +496,12 @@ impl SpeculativeRuntime {
                 }
             }
         }
-        Err(TxnError::RetriesExhausted)
+        Err(TxnError::RetriesExhausted(RetryReport {
+            attempts,
+            structure: self.shared.structure_name,
+            last_conflict,
+            backoff: slept,
+        }))
     }
 
     /// The current abstract state of the shared structure.
@@ -304,7 +528,21 @@ impl SpeculativeRuntime {
             conflicts: shared.conflicts.load(Ordering::Relaxed),
             operations: shared.operations.load(Ordering::Relaxed),
             rollback_failures: shared.rollback_failures.load(Ordering::Relaxed),
+            degraded_commits: shared.degraded_commits.load(Ordering::Relaxed),
+            mode_switches: shared.contention.mode_switches(),
         }
+    }
+
+    /// The structure's current execution mode. Always [`Mode::Speculative`]
+    /// while the fallback is disabled. Advisory: by the time the caller
+    /// looks at the value a transition may already have landed.
+    pub fn mode(&self) -> Mode {
+        self.shared.contention.mode()
+    }
+
+    /// The options this runtime was constructed with.
+    pub fn options(&self) -> &RuntimeOptions {
+        &self.shared.options
     }
 
     /// The poison diagnostic, if a rollback has failed to apply a verified
@@ -336,18 +574,36 @@ impl SpeculativeRuntime {
     }
 }
 
+/// Which path a transaction is executing on. Chosen once, at the first
+/// operation (sticky): re-deciding per operation would let one transaction
+/// straddle a mode transition and see a half-speculative, half-degraded
+/// world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnMode {
+    /// No operation executed yet; no gate side held.
+    Pending,
+    /// Optimistic execution; holds the [`ModeGate`] shared until finish
+    /// (only if the fallback is enabled — disabled, the gate is never
+    /// touched).
+    Speculative,
+    /// Coarse-lock execution; holds the [`ModeGate`] exclusive until finish.
+    Degraded,
+}
+
 /// An optimistic transaction on a [`SpeculativeRuntime`].
 pub struct Transaction {
     runtime: SpeculativeRuntime,
     id: u64,
     /// This transaction's published operations, oldest first — the
     /// per-transaction log. Rollback walks it newest-first; nobody else ever
-    /// needs to scan it.
+    /// needs to scan it. Degraded transactions log here too (for rollback),
+    /// but never publish to the index.
     entries: Vec<Arc<PublishedOp>>,
     /// Reusable buffer for the outstanding operations each admission pass
     /// checks against — cleared after every operation so it pins nothing,
     /// but its capacity persists and the hot path allocates no `Vec`.
     scratch: Vec<Arc<PublishedOp>>,
+    mode: TxnMode,
     finished: bool,
 }
 
@@ -375,9 +631,111 @@ impl Transaction {
         if self.finished {
             return Err(TxnError::Finished);
         }
-        let shared = &self.runtime.shared;
-        if let Some(reason) = shared.poison.get() {
+        if let Some(reason) = self.runtime.shared.poison.get() {
             return Err(TxnError::Poisoned(reason.clone()));
+        }
+        // The fault coordinate system: a global operation ordinal, drawn
+        // only while a plan is attached (a plain runtime pays one branch).
+        let ordinal = match &self.runtime.shared.options.faults {
+            Some(faults) => {
+                let ordinal = self
+                    .runtime
+                    .shared
+                    .op_ordinal
+                    .fetch_add(1, Ordering::Relaxed)
+                    + 1;
+                faults.fire_panic(self.id, ordinal);
+                ordinal
+            }
+            None => 0,
+        };
+        if self.mode == TxnMode::Pending {
+            self.enter();
+        }
+        match self.mode {
+            TxnMode::Speculative => self.execute_speculative(op, args, ordinal),
+            TxnMode::Degraded => self.execute_degraded(op, args),
+            TxnMode::Pending => unreachable!("enter() always picks a path"),
+        }
+    }
+
+    /// Picks this transaction's execution path — called exactly once, at the
+    /// first operation. The mode flag is advisory; what makes the choice
+    /// safe is the gate side acquired *with* it, re-checked after entry:
+    /// a transaction that read a stale mode blocks on the gate until the
+    /// other side finishes, re-reads the mode, and re-routes. In particular
+    /// a speculative entry that raced a degradation cannot execute against
+    /// the structure while any degraded transaction runs.
+    fn enter(&mut self) {
+        let shared = &self.runtime.shared;
+        if !shared.options.fallback.enabled {
+            // Fallback off: today's engine, gate never touched.
+            self.mode = TxnMode::Speculative;
+            return;
+        }
+        loop {
+            if shared.contention.mode() == Mode::Degraded {
+                shared.gate.enter_exclusive();
+                if shared.contention.mode() == Mode::Degraded {
+                    self.mode = TxnMode::Degraded;
+                    return;
+                }
+                // The structure left Degraded while we queued: speculate.
+                shared.gate.exit_exclusive();
+            } else {
+                shared.gate.enter_shared();
+                if shared.contention.mode() != Mode::Degraded {
+                    self.mode = TxnMode::Speculative;
+                    return;
+                }
+                // Degraded landed while we entered: take the coarse path.
+                shared.gate.exit_shared();
+            }
+        }
+    }
+
+    /// Finish bookkeeping for both commit and abort: feed the contention
+    /// account, then release the gate side held since the first operation.
+    /// The caller has already drawn its commit ticket (commit) or finished
+    /// its rollback (abort) — releasing the gate is the last thing a
+    /// transaction does, which is what orders cross-mode ticket draws.
+    fn leave(&mut self, aborted: bool) {
+        let shared = &self.runtime.shared;
+        match self.mode {
+            TxnMode::Pending => {}
+            TxnMode::Speculative => {
+                if shared.options.fallback.enabled {
+                    shared.contention.record_speculative_finish(aborted);
+                    shared.gate.exit_shared();
+                }
+            }
+            TxnMode::Degraded => {
+                shared.contention.record_degraded_finish();
+                shared.gate.exit_exclusive();
+            }
+        }
+        self.mode = TxnMode::Pending;
+    }
+
+    /// The optimistic path: two-phase admission, apply, publish.
+    fn execute_speculative(
+        &mut self,
+        op: &str,
+        args: &[Value],
+        ordinal: u64,
+    ) -> Result<Option<Value>, TxnError> {
+        let shared = &self.runtime.shared;
+        if ordinal != 0 {
+            if let Some(faults) = &shared.options.faults {
+                if faults.fire_forced_conflict(self.id, ordinal) {
+                    shared.conflicts.fetch_add(1, Ordering::Relaxed);
+                    return Err(TxnError::Conflict(Conflict {
+                        with_txn: 0,
+                        logged_op: "<fault-injection>".to_string(),
+                        incoming_op: op.to_string(),
+                    }));
+                }
+            }
         }
         // One string resolution for the incoming operation; every per-entry
         // check below goes through dense indices.
@@ -391,13 +749,20 @@ impl Transaction {
         self.scratch.clear();
         optimistic?;
 
-        // Validated apply: under the structure lock only the operations
-        // published after the snapshot remain to be checked.
+        // Validated apply: under the structure lock, operations published
+        // after the snapshot get their first full check, and every
+        // state-reading condition is re-anchored at the live state (see
+        // `check_against_locked`).
         let mut structure = shared.structure.lock();
-        shared
-            .index
-            .others_since_into(self.id, snap, &mut self.scratch);
-        let validated = shared.check_against(&self.scratch, op, op_idx, args);
+        shared.index.others_into(self.id, &mut self.scratch);
+        let validated = shared.check_against_locked(
+            &self.scratch,
+            op,
+            op_idx,
+            args,
+            snap,
+            structure.state_value(),
+        );
         self.scratch.clear();
         if let Err(e) = validated {
             drop(structure);
@@ -424,10 +789,43 @@ impl Transaction {
         // Publish to the shard *before* the sequence store: an admission that
         // Acquire-loads `seq` must already find the entry in the index.
         shared.index.publish(self.id, Arc::clone(&published));
+        if ordinal != 0 {
+            if let Some(faults) = &shared.options.faults {
+                // Stretch the entry-visible-but-sequence-unadvanced state.
+                faults.fire_delayed_publish(self.id, ordinal);
+            }
+        }
         shared.publish_seq.store(seq, Ordering::Release);
         drop(structure);
 
         self.entries.push(published);
+        shared.operations.fetch_add(1, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// The degraded path: the coarse-lock discipline of
+    /// [`CoarseLockRuntime`](crate::CoarseLockRuntime) inside the
+    /// speculative engine. The gate is held exclusively (no speculative
+    /// transaction is in flight — see [`Transaction::enter`]), so there is
+    /// nothing to admit against and no pre-state to project; operations are
+    /// logged locally for inverse rollback but never published to the
+    /// in-flight index.
+    fn execute_degraded(&mut self, op: &str, args: &[Value]) -> Result<Option<Value>, TxnError> {
+        let shared = &self.runtime.shared;
+        // The structure mutex still guards against lock-path bystanders
+        // (snapshots, invariant checks, unlogged test writes).
+        let result = shared.structure.lock().apply(op, args)?;
+        self.entries.push(Arc::new(PublishedOp {
+            seq: 0,
+            op_idx: None,
+            entry: LogEntry {
+                txn: self.id,
+                op: op.to_string(),
+                args: args.to_vec(),
+                result: result.clone(),
+                pre_state: None,
+            },
+        }));
         shared.operations.fetch_add(1, Ordering::Relaxed);
         Ok(result)
     }
@@ -449,13 +847,25 @@ impl Transaction {
         // admitted after this removal, so its own (later) fetch_add is
         // guaranteed a larger ticket — the shard lock release/acquire orders
         // the two RMWs. Removing first would let that transaction draw a
-        // smaller ticket and break the replay order.
+        // smaller ticket and break the replay order. It is also drawn before
+        // `leave` releases the gate, which is what serializes tickets across
+        // mode transitions: a transaction on the other gate side begins
+        // strictly after this release, so its ticket is strictly later.
         let ticket = shared.commit_seq.fetch_add(1, Ordering::Relaxed) + 1;
         if !self.entries.is_empty() {
-            shared.index.remove(self.id);
+            if self.mode == TxnMode::Degraded {
+                // Degraded operations were never published; the log was only
+                // kept in case of rollback.
+                shared.degraded_commits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.index.remove(self.id);
+            }
             self.entries.clear();
+        } else if self.mode == TxnMode::Degraded {
+            shared.degraded_commits.fetch_add(1, Ordering::Relaxed);
         }
         shared.commits.fetch_add(1, Ordering::Relaxed);
+        self.leave(false);
         ticket
     }
 
@@ -472,45 +882,71 @@ impl Transaction {
         shared.aborts.fetch_add(1, Ordering::Relaxed);
         if self.entries.is_empty() {
             // Nothing was published: there is no slot in the index and no
-            // effect on the structure, so the abort is a counter bump.
+            // effect on the structure, so the abort is a counter bump (plus
+            // the gate release if an admission-refused first operation
+            // already picked a path).
+            self.leave(true);
             return;
         }
-        // Index removal and inverse application happen under one structure
-        // lock acquisition: otherwise a concurrent admission could evaluate
-        // against a state that still contains an effect whose log entry has
-        // already vanished.
-        let mut structure = shared.structure.lock();
-        shared.index.remove(self.id);
-        for published in self.entries.iter().rev() {
-            let entry = &published.entry;
-            let Some(inverse) = shared.rollback.inverse_of(&entry.op) else {
-                // Observer operations change nothing and need no undo.
-                continue;
-            };
-            let Some((op, args)) = inverse.concrete_call(&entry.args, entry.result.as_ref()) else {
-                // Nothing to undo (e.g. `add` returned false).
-                continue;
-            };
-            if let Err(e) = structure.apply(&op, &args) {
-                // A verified inverse failed to apply: the structure no
-                // longer matches the log (something mutated it outside the
-                // protocol, or an invariant broke). Panicking here — while
-                // holding the structure lock — used to take the whole
-                // process down; instead, poison the runtime so every
-                // subsequent operation is refused with a diagnosable
-                // [`TxnError::Poisoned`], and stop undoing: applying more
-                // inverses to a state we no longer understand could only
-                // compound the damage.
+        {
+            // Index removal and inverse application happen under one
+            // structure lock acquisition: otherwise a concurrent admission
+            // could evaluate against a state that still contains an effect
+            // whose log entry has already vanished.
+            let mut structure = shared.structure.lock();
+            if self.mode != TxnMode::Degraded {
+                shared.index.remove(self.id);
+            }
+            let injected = shared
+                .options
+                .faults
+                .as_ref()
+                .is_some_and(|faults| faults.fire_rollback_failure(self.id));
+            if injected {
+                // Fault injection: behave exactly as if the first inverse
+                // had been rejected.
                 let reason = format!(
-                    "rolling back txn {}: verified inverse `{op}` of `{}` was rejected: {e}",
-                    self.id, entry.op
+                    "rolling back txn {}: injected rollback failure (fault plan)",
+                    self.id
                 );
                 shared.rollback_failures.fetch_add(1, Ordering::Relaxed);
                 let _ = shared.poison.set(reason);
-                break;
+            } else {
+                for published in self.entries.iter().rev() {
+                    let entry = &published.entry;
+                    let Some(inverse) = shared.rollback.inverse_of(&entry.op) else {
+                        // Observer operations change nothing and need no undo.
+                        continue;
+                    };
+                    let Some((op, args)) =
+                        inverse.concrete_call(&entry.args, entry.result.as_ref())
+                    else {
+                        // Nothing to undo (e.g. `add` returned false).
+                        continue;
+                    };
+                    if let Err(e) = structure.apply(&op, &args) {
+                        // A verified inverse failed to apply: the structure no
+                        // longer matches the log (something mutated it outside
+                        // the protocol, or an invariant broke). Panicking here
+                        // — while holding the structure lock — used to take
+                        // the whole process down; instead, poison the runtime
+                        // so every subsequent operation is refused with a
+                        // diagnosable [`TxnError::Poisoned`], and stop
+                        // undoing: applying more inverses to a state we no
+                        // longer understand could only compound the damage.
+                        let reason = format!(
+                            "rolling back txn {}: verified inverse `{op}` of `{}` was rejected: {e}",
+                            self.id, entry.op
+                        );
+                        shared.rollback_failures.fetch_add(1, Ordering::Relaxed);
+                        let _ = shared.poison.set(reason);
+                        break;
+                    }
+                }
             }
+            self.entries.clear();
         }
-        self.entries.clear();
+        self.leave(true);
     }
 }
 
@@ -597,7 +1033,7 @@ mod tests {
         let attempt = rt.run(0, |txn| {
             txn.execute("remove", &[Value::elem(1)]).map(|_| ())
         });
-        assert!(matches!(attempt, Err(TxnError::RetriesExhausted)));
+        assert!(matches!(attempt, Err(TxnError::RetriesExhausted(_))));
         // …but succeeds once t1 commits.
         t1.commit();
         rt.run(3, |txn| {
@@ -605,6 +1041,40 @@ mod tests {
         })
         .unwrap();
         assert_eq!(rt.snapshot(), AbstractState::Set(Default::default()));
+    }
+
+    #[test]
+    fn exhausted_retries_return_a_diagnosable_report() {
+        let rt = SpeculativeRuntime::with_options(
+            AnyStructure::by_name("HashSet").unwrap(),
+            RuntimeOptions {
+                // Yield-only backoff keeps the test instant and pins that
+                // un-slept retries report Duration::ZERO.
+                backoff: BackoffOptions::off(),
+                ..RuntimeOptions::default()
+            },
+        );
+        let mut t1 = rt.begin();
+        t1.execute("add", &[Value::elem(1)]).unwrap();
+        let err = rt
+            .run(2, |txn| {
+                txn.execute("remove", &[Value::elem(1)]).map(|_| ())
+            })
+            .unwrap_err();
+        let TxnError::RetriesExhausted(report) = err else {
+            panic!("expected RetriesExhausted, got {err:?}");
+        };
+        assert_eq!(report.attempts, 3, "max_retries + 1 attempts");
+        assert_eq!(report.structure, "HashSet");
+        assert_eq!(report.backoff, Duration::ZERO);
+        let conflict = report.last_conflict.as_ref().expect("conflict recorded");
+        assert_eq!(conflict.op_pair(), ("remove", "add"));
+        assert_eq!(conflict.with_txn, t1.id());
+        let rendered = TxnError::RetriesExhausted(report).to_string();
+        assert!(rendered.contains("retry budget exhausted"), "{rendered}");
+        assert!(rendered.contains("3 attempts on `HashSet`"), "{rendered}");
+        assert!(rendered.contains("`remove` vs `add`"), "{rendered}");
+        t1.commit();
     }
 
     #[test]

@@ -28,6 +28,27 @@
 //! The `SEMCOMMUTE_ADMIT` environment variable (`bytecode` | `interp`)
 //! selects the process-wide default backend, mirroring the prover's
 //! `SEMCOMMUTE_BYTECODE` knob.
+//!
+//! # Two anchors per state-reading condition
+//!
+//! A between condition whose formula reads the abstract state `s1` is
+//! evaluated at **two** anchors:
+//!
+//! * against the logged entry's **captured pre-state**
+//!   ([`check_entry`](CommutativityGatekeeper::check_entry) /
+//!   [`check_indexed`](CommutativityGatekeeper::check_indexed)) — the exact
+//!   certificate for swapping the pair adjacent at the state the logged
+//!   operation executed in, evaluable lock-free because it reads only
+//!   immutable log data; and
+//! * against the **live state** under the structure lock
+//!   ([`check_entry_at`](CommutativityGatekeeper::check_entry_at) /
+//!   [`check_indexed_at`](CommutativityGatekeeper::check_indexed_at)) — the
+//!   re-anchor that makes per-pair certificates compose once other admitted
+//!   operations separate the pair (see the method docs for the failure this
+//!   closes).
+//!
+//! State-free conditions (the majority — they test `r1` and arguments) have
+//! a single anchor; their re-anchored evaluation is skipped as a no-op.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -53,6 +74,14 @@ pub struct Conflict {
     pub logged_op: String,
     /// The incoming operation.
     pub incoming_op: String,
+}
+
+impl Conflict {
+    /// The conflicting operation pair as `(incoming, logged)` — the compact
+    /// form retry diagnostics report.
+    pub fn op_pair(&self) -> (&str, &str) {
+        (&self.incoming_op, &self.logged_op)
+    }
 }
 
 impl fmt::Display for Conflict {
@@ -194,9 +223,17 @@ impl AdmissionProgram {
     }
 
     /// Evaluates the condition on one logged entry and the incoming
-    /// arguments, through the thread-local register buffers. Errors are raw
-    /// (the caller prefixes the condition id, as the interpreter path does).
-    fn eval(&self, logged: &LogEntry, incoming_args: &[Value]) -> Result<bool, String> {
+    /// arguments, through the thread-local register buffers. When `state` is
+    /// provided it overrides the logged entry's captured pre-state as the
+    /// `s1` binding (the re-anchored evaluation — see
+    /// [`CommutativityGatekeeper::check_entry_at`]). Errors are raw (the
+    /// caller prefixes the condition id, as the interpreter path does).
+    fn eval(
+        &self,
+        logged: &LogEntry,
+        incoming_args: &[Value],
+        state: Option<&Value>,
+    ) -> Result<bool, String> {
         ADMIT_REGS.with(|regs| {
             let regs = &mut *regs.borrow_mut();
             self.program.prepare_regs(regs);
@@ -207,7 +244,7 @@ impl AdmissionProgram {
                     continue;
                 }
                 let found = match src {
-                    SlotSrc::Initial => logged.pre_state.as_ref(),
+                    SlotSrc::Initial => state.or(logged.pre_state.as_ref()),
                     SlotSrc::Result1 => logged.result.as_ref(),
                     SlotSrc::FirstArg(i) => logged.args.get(*i),
                     SlotSrc::SecondArg(i) => incoming_args.get(*i),
@@ -464,30 +501,33 @@ impl CommutativityGatekeeper {
             .get(logged.op.as_str())
             .and_then(|seconds| seconds.get(incoming_op))
             .ok_or_else(|| format!("no condition for pair {}/{incoming_op}", logged.op))?;
-        self.eval_prepared(prepared, logged, incoming_args)
+        self.eval_prepared(prepared, logged, incoming_args, None)
     }
 
     /// Evaluates one prepared condition under this gatekeeper's backend.
+    /// `state`, when provided, overrides the logged entry's captured
+    /// pre-state as the `s1` binding.
     fn eval_prepared(
         &self,
         prepared: &Prepared,
         logged: &LogEntry,
         incoming_args: &[Value],
+        state: Option<&Value>,
     ) -> Result<bool, String> {
         match self.backend {
             AdmitBackend::Bytecode => {
                 let program = prepared.program();
-                if program.reads_initial && logged.pre_state.is_none() {
+                if program.reads_initial && state.is_none() && logged.pre_state.is_none() {
                     return Err(missing_pre_state(prepared, logged));
                 }
                 program
-                    .eval(logged, incoming_args)
+                    .eval(logged, incoming_args, state)
                     .map_err(|e| format!("{}: {e}", prepared.condition.id()))
             }
             AdmitBackend::Interp => {
                 let mut model = Model::new();
                 if prepared.needs_initial {
-                    match &logged.pre_state {
+                    match state.or(logged.pre_state.as_ref()) {
                         Some(state) => model.insert(names::INITIAL, state.clone()),
                         None => return Err(missing_pre_state(prepared, logged)),
                     };
@@ -538,19 +578,87 @@ impl CommutativityGatekeeper {
         incoming_args: &[Value],
     ) -> Result<(), AdmissionError> {
         match &self.table[first as usize * self.ops.len() + second as usize] {
-            Some(prepared) => match self.eval_prepared(prepared, logged, incoming_args) {
-                Ok(true) => Ok(()),
-                Ok(false) => Err(AdmissionError::Conflict(Conflict {
-                    with_txn: logged.txn,
-                    logged_op: logged.op.clone(),
-                    incoming_op: incoming_op.to_string(),
-                })),
-                Err(e) => Err(AdmissionError::Evaluation(e)),
-            },
+            Some(prepared) => self.classify(prepared, logged, incoming_op, incoming_args, None),
             None => Err(AdmissionError::Evaluation(format!(
                 "no condition for pair {}/{incoming_op}",
                 logged.op
             ))),
+        }
+    }
+
+    /// The **re-anchored** form of
+    /// [`check_indexed`](CommutativityGatekeeper::check_indexed): evaluates
+    /// the pair's condition with the initial state `s1` bound to `state`
+    /// (the live abstract state, read under the structure lock) instead of
+    /// the logged entry's captured pre-state.
+    ///
+    /// A condition certified against the captured pre-state certifies
+    /// swapping the pair adjacent *at that state*; once other admitted
+    /// operations separate the pair, individually-valid certificates need
+    /// not compose. Requiring the condition to also hold at the live state
+    /// keeps every logged, state-dependent certificate current at each
+    /// intermediate state, so the certificates compose inductively (see the
+    /// executor's `check_against_locked`).
+    ///
+    /// Pairs whose condition never reads `s1` — the majority; they test `r1`
+    /// and arguments — are admitted without evaluation: re-running a
+    /// state-free formula would reproduce the verdict `check_indexed`
+    /// already delivered.
+    ///
+    /// # Errors
+    ///
+    /// See [`admit`](CommutativityGatekeeper::admit).
+    pub fn check_indexed_at(
+        &self,
+        first: u16,
+        logged: &LogEntry,
+        second: u16,
+        incoming_op: &str,
+        incoming_args: &[Value],
+        state: &Value,
+    ) -> Result<(), AdmissionError> {
+        match &self.table[first as usize * self.ops.len() + second as usize] {
+            Some(prepared) => {
+                if !self.reads_state(prepared) {
+                    return Ok(());
+                }
+                self.classify(prepared, logged, incoming_op, incoming_args, Some(state))
+            }
+            None => Err(AdmissionError::Evaluation(format!(
+                "no condition for pair {}/{incoming_op}",
+                logged.op
+            ))),
+        }
+    }
+
+    /// Does this pair's condition read the abstract state `s1` under the
+    /// active backend? (Compiled slot read for bytecode, syntactic
+    /// free-variable scan for the interpreter — the differential harness
+    /// pins the two projections against each other.)
+    fn reads_state(&self, prepared: &Prepared) -> bool {
+        match self.backend {
+            AdmitBackend::Interp => prepared.needs_initial,
+            AdmitBackend::Bytecode => prepared.program().reads_initial,
+        }
+    }
+
+    /// Translates one condition evaluation into an admission verdict.
+    fn classify(
+        &self,
+        prepared: &Prepared,
+        logged: &LogEntry,
+        incoming_op: &str,
+        incoming_args: &[Value],
+        state: Option<&Value>,
+    ) -> Result<(), AdmissionError> {
+        match self.eval_prepared(prepared, logged, incoming_args, state) {
+            Ok(true) => Ok(()),
+            Ok(false) => Err(AdmissionError::Conflict(Conflict {
+                with_txn: logged.txn,
+                logged_op: logged.op.clone(),
+                incoming_op: incoming_op.to_string(),
+            })),
+            Err(e) => Err(AdmissionError::Evaluation(e)),
         }
     }
 
@@ -589,15 +697,49 @@ impl CommutativityGatekeeper {
         incoming_op: &str,
         incoming_args: &[Value],
     ) -> Result<(), AdmissionError> {
-        match self.commutes_with(logged, incoming_op, incoming_args) {
-            Ok(true) => Ok(()),
-            Ok(false) => Err(AdmissionError::Conflict(Conflict {
-                with_txn: logged.txn,
-                logged_op: logged.op.clone(),
-                incoming_op: incoming_op.to_string(),
-            })),
-            Err(e) => Err(AdmissionError::Evaluation(e)),
+        match self.lookup(logged, incoming_op) {
+            Ok(prepared) => self.classify(prepared, logged, incoming_op, incoming_args, None),
+            Err(e) => Err(e),
         }
+    }
+
+    /// The re-anchored form of
+    /// [`check_entry`](CommutativityGatekeeper::check_entry) — see
+    /// [`check_indexed_at`](CommutativityGatekeeper::check_indexed_at).
+    ///
+    /// # Errors
+    ///
+    /// See [`admit`](CommutativityGatekeeper::admit).
+    pub fn check_entry_at(
+        &self,
+        logged: &LogEntry,
+        incoming_op: &str,
+        incoming_args: &[Value],
+        state: &Value,
+    ) -> Result<(), AdmissionError> {
+        match self.lookup(logged, incoming_op) {
+            Ok(prepared) => {
+                if !self.reads_state(prepared) {
+                    return Ok(());
+                }
+                self.classify(prepared, logged, incoming_op, incoming_args, Some(state))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Resolves the prepared condition for a (logged, incoming) pair by
+    /// operation name.
+    fn lookup(&self, logged: &LogEntry, incoming_op: &str) -> Result<&Prepared, AdmissionError> {
+        self.conditions
+            .get(logged.op.as_str())
+            .and_then(|seconds| seconds.get(incoming_op))
+            .ok_or_else(|| {
+                AdmissionError::Evaluation(format!(
+                    "no condition for pair {}/{incoming_op}",
+                    logged.op
+                ))
+            })
     }
 }
 
@@ -755,6 +897,84 @@ mod tests {
                     panic!("evaluation failure misreported as conflict")
                 }
             }
+        }
+    }
+
+    fn list_state(items: &[u32]) -> Value {
+        AbstractState::List(items.iter().map(|&i| semcommute_logic::ElemId(i)).collect()).to_value()
+    }
+
+    /// The composition hole the re-anchor closes, at gatekeeper level: a
+    /// logged `get(3)` over a run of duplicates admits a `removeAt(0)`
+    /// against its *captured* pre-state (one left shift preserves the
+    /// reading), but at a live state where earlier admissions already
+    /// consumed the duplicate run, the same certificate must be refused.
+    #[test]
+    fn re_anchor_rejects_certificates_the_captured_pre_state_still_honors() {
+        for backend in BACKENDS {
+            let g = CommutativityGatekeeper::with_backend(InterfaceId::List, backend);
+            let logged = LogEntry {
+                txn: 1,
+                op: "get".into(),
+                args: vec![Value::Int(3)],
+                result: Some(Value::elem(1)),
+                pre_state: Some(list_state(&[1, 1, 1, 1, 1, 1, 10])),
+            };
+            let incoming = [Value::Int(0)];
+            // Against the capture: s1[3] = s1[4], one shift is harmless.
+            assert!(g.check_entry(&logged, "removeAt", &incoming).is_ok());
+            // Re-anchored at a live state that still has the duplicate run:
+            // also fine.
+            assert!(g
+                .check_entry_at(
+                    &logged,
+                    "removeAt",
+                    &incoming,
+                    &list_state(&[1, 1, 1, 1, 1, 10])
+                )
+                .is_ok());
+            // Re-anchored at a live state where one more shift moves the 10
+            // into the observed slot: conflict — even though the pre-state
+            // check (above) still passes.
+            let live = list_state(&[1, 1, 1, 1, 10]);
+            assert!(matches!(
+                g.check_entry_at(&logged, "removeAt", &incoming, &live),
+                Err(AdmissionError::Conflict(_))
+            ),);
+            // The indexed hot path agrees.
+            let first = g.op_index("get").unwrap();
+            let second = g.op_index("removeAt").unwrap();
+            assert!(matches!(
+                g.check_indexed_at(first, &logged, second, "removeAt", &incoming, &live),
+                Err(AdmissionError::Conflict(_))
+            ));
+        }
+    }
+
+    /// Pairs whose condition never reads `s1` have a single anchor: the
+    /// re-anchored check is a no-op regardless of the state passed in — it
+    /// must not re-deliver (or contradict) the pre-state verdict.
+    #[test]
+    fn re_anchor_is_a_no_op_for_state_free_pairs() {
+        for backend in BACKENDS {
+            let g = CommutativityGatekeeper::with_backend(InterfaceId::Set, backend);
+            // add/remove between conditions test `r1`, not `s1`: removing
+            // the element a live transaction just inserted conflicts…
+            let logged = set_entry(1, "add", 5, true, &[]);
+            assert!(matches!(
+                g.check_entry(&logged, "remove", &[Value::elem(5)]),
+                Err(AdmissionError::Conflict(_))
+            ));
+            // …but the *re-anchor* admits vacuously, whatever the state.
+            let state = AbstractState::Set(Default::default()).to_value();
+            assert!(g
+                .check_entry_at(&logged, "remove", &[Value::elem(5)], &state)
+                .is_ok());
+            let first = g.op_index("add").unwrap();
+            let second = g.op_index("remove").unwrap();
+            assert!(g
+                .check_indexed_at(first, &logged, second, "remove", &[Value::elem(5)], &state)
+                .is_ok());
         }
     }
 

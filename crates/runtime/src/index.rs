@@ -24,6 +24,7 @@
 //! shard lock.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -57,6 +58,13 @@ type Shard = RwLock<HashMap<u64, Vec<Arc<PublishedOp>>>>;
 #[derive(Default)]
 pub struct InFlightIndex {
     shards: [Shard; N_SHARDS],
+    /// Cached total of published operations, maintained by
+    /// [`publish`](InFlightIndex::publish) / [`remove`](InFlightIndex::remove)
+    /// under the respective shard's write lock. Before this cache,
+    /// [`len`](InFlightIndex::len) read-locked all sixteen shards and summed
+    /// slot lengths — an O(shards + entries) scan on what stats dashboards
+    /// and the runtime-monitoring loops treat as a cheap gauge.
+    count: AtomicUsize,
 }
 
 impl std::fmt::Debug for InFlightIndex {
@@ -80,17 +88,24 @@ impl InFlightIndex {
     /// Appends a published operation to `txn`'s slot (creating the slot on
     /// the transaction's first operation).
     pub fn publish(&self, txn: u64, op: Arc<PublishedOp>) {
-        self.shard(txn).write().entry(txn).or_default().push(op);
+        let mut guard = self.shard(txn).write();
+        guard.entry(txn).or_default().push(op);
+        self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Removes `txn`'s slot, returning how many operations it held. A
     /// transaction that never published has no slot; removing it touches no
     /// lock state beyond its own shard.
     pub fn remove(&self, txn: u64) -> usize {
-        self.shard(txn)
+        let removed = self
+            .shard(txn)
             .write()
             .remove(&txn)
-            .map_or(0, |entries| entries.len())
+            .map_or(0, |entries| entries.len());
+        if removed > 0 {
+            self.count.fetch_sub(removed, Ordering::Relaxed);
+        }
+        removed
     }
 
     /// All operations of transactions other than `txn`, as `Arc` clones —
@@ -143,8 +158,16 @@ impl InFlightIndex {
         }
     }
 
-    /// The total number of published (uncommitted) operations.
+    /// The total number of published (uncommitted) operations — an O(1)
+    /// atomic load of the cached count.
     pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The O(shards + entries) recount [`len`](InFlightIndex::len) replaced,
+    /// kept as the test oracle for the cached count.
+    #[cfg(test)]
+    fn len_by_scan(&self) -> usize {
         self.shards
             .iter()
             .map(|shard| shard.read().values().map(Vec::len).sum::<usize>())
@@ -187,6 +210,29 @@ mod tests {
         assert_eq!(index.remove(1), 2);
         assert_eq!(index.remove(1), 0);
         assert_eq!(index.len(), 1);
+        assert_eq!(index.len(), index.len_by_scan());
+    }
+
+    #[test]
+    fn cached_len_matches_a_full_scan_under_concurrent_churn() {
+        let index = Arc::new(InFlightIndex::new());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let index = Arc::clone(&index);
+                scope.spawn(move || {
+                    for round in 0..200u64 {
+                        let txn = t * 1_000 + round;
+                        index.publish(txn, op(txn, round + 1));
+                        index.publish(txn, op(txn, round + 2));
+                        if round % 2 == 0 {
+                            assert_eq!(index.remove(txn), 2);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(index.len(), index.len_by_scan());
+        assert_eq!(index.len(), 4 * 100 * 2);
     }
 
     #[test]

@@ -27,15 +27,24 @@
 //! * [`SpeculativeRuntime`] / [`Transaction`] — optimistic transactions with
 //!   commutativity-based conflict detection and inverse-based rollback,
 //! * [`CoarseLockRuntime`] — the baseline that serializes whole transactions
-//!   with one lock, and
+//!   with one lock,
 //! * [`rollback`] — inverse-based vs. snapshot-based rollback, the comparison
-//!   behind the paper's efficiency claim for inverse operations.
+//!   behind the paper's efficiency claim for inverse operations,
+//! * [`contention`] — the adaptive fallback: sliding-window abort accounting
+//!   that degrades a hot structure to a coarse mutex section (and probes its
+//!   way back) when the abort rate says speculation is losing, plus bounded
+//!   jittered retry backoff, and
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) so the
+//!   degradation, poisoning, and backoff recovery paths are drivable on
+//!   demand in tests and benchmarks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod contention;
 pub mod executor;
+pub mod fault;
 pub mod gatekeeper;
 pub mod index;
 pub mod log;
@@ -43,7 +52,11 @@ pub mod rollback;
 pub mod structure;
 
 pub use baseline::CoarseLockRuntime;
-pub use executor::{RuntimeStats, SpeculativeRuntime, Transaction, TxnError};
+pub use contention::{BackoffOptions, ContentionState, FallbackOptions, Mode, ModeGate};
+pub use executor::{
+    RetryReport, RuntimeOptions, RuntimeStats, SpeculativeRuntime, Transaction, TxnError,
+};
+pub use fault::{FaultKind, FaultPlan, FiredFault};
 pub use gatekeeper::{AdmissionError, AdmitBackend, CommutativityGatekeeper, Conflict};
 pub use index::InFlightIndex;
 pub use log::{LogEntry, OperationLog};

@@ -310,6 +310,13 @@ impl TrackedStructure {
         &self.inner
     }
 
+    /// The wrapped structure's name (e.g. `"HashSet"`), for diagnostics that
+    /// must not pay a lock acquisition — retry reports capture it at runtime
+    /// construction.
+    pub fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
     /// The mirrored abstract state as a logical value. Cloning the returned
     /// reference is O(1) — the collection payloads are persistent handles.
     pub fn state_value(&self) -> &Value {

@@ -19,13 +19,22 @@
 //! The workload size is tunable for nightly-style soak runs via the
 //! `SEMCOMMUTE_STRESS_ITERS` environment variable (transactions per thread,
 //! default 40).
+//!
+//! Since PR 10 the matrix also crosses the contention-management fallback:
+//! the base legs inherit the process-wide `SEMCOMMUTE_FALLBACK` default (so
+//! the CI env legs bite), and dedicated legs pin the explicit `off` oracle
+//! and the `aggressive` preset — plus a fault-driven leg that forces the
+//! engine through mode transitions mid-workload. Replay must stay
+//! bit-identical across all of them: degraded commits interleave with
+//! speculative ones in the same commit-ticket order, and the drain barrier
+//! is exactly what makes that order remain a valid serialization.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use semcommute_logic::Value;
 use semcommute_runtime::{
-    AdmitBackend, AnyStructure, CoarseLockRuntime, CommutativityGatekeeper, SpeculativeRuntime,
-    TxnError,
+    AdmitBackend, AnyStructure, BackoffOptions, CoarseLockRuntime, CommutativityGatekeeper,
+    FallbackOptions, FaultPlan, RuntimeOptions, SpeculativeRuntime, TxnError,
 };
 use semcommute_spec::InterfaceId;
 
@@ -111,9 +120,28 @@ struct Committed {
 /// Runs the random workload at the given thread count and checks every
 /// differential property, under the given admission backend.
 fn differential(structure_name: &str, threads: u64, backend: AdmitBackend) {
+    differential_with(
+        structure_name,
+        threads,
+        RuntimeOptions {
+            backend,
+            ..RuntimeOptions::default()
+        },
+    );
+}
+
+/// [`differential`] with fully explicit [`RuntimeOptions`] — the fallback
+/// and fault-injection legs construct their runtimes here. Returns the
+/// runtime so callers can assert leg-specific properties (mode transitions,
+/// degraded commits) on top of the differential ones.
+fn differential_with(
+    structure_name: &str,
+    threads: u64,
+    options: RuntimeOptions,
+) -> SpeculativeRuntime {
     let per_thread = iterations();
     let rt =
-        SpeculativeRuntime::with_backend(AnyStructure::by_name(structure_name).unwrap(), backend);
+        SpeculativeRuntime::with_options(AnyStructure::by_name(structure_name).unwrap(), options);
     let interface = AnyStructure::by_name(structure_name).unwrap().interface();
     let committed: Mutex<Vec<Committed>> = Mutex::new(Vec::new());
 
@@ -207,6 +235,7 @@ fn differential(structure_name: &str, threads: u64, backend: AdmitBackend) {
         rt.snapshot(),
         "{structure_name}/{threads}: final state differs from the serial execution"
     );
+    rt
 }
 
 fn differential_all_thread_counts(structure_name: &str) {
@@ -215,6 +244,76 @@ fn differential_all_thread_counts(structure_name: &str) {
             differential(structure_name, threads, backend);
         }
     }
+}
+
+/// The fallback axis of the matrix: the explicit `off` oracle (the
+/// pre-fallback engine) and the `aggressive` preset (transitions reachable
+/// within a default-sized workload) at every thread count. Whether or not a
+/// particular interleaving actually trips the threshold, commit-ticket
+/// replay must stay bit-identical.
+fn differential_fallback_axis(structure_name: &str) {
+    for fallback in [FallbackOptions::off(), FallbackOptions::aggressive()] {
+        for threads in [1, 4, 8] {
+            let rt = differential_with(
+                structure_name,
+                threads,
+                RuntimeOptions {
+                    fallback,
+                    ..RuntimeOptions::default()
+                },
+            );
+            if !fallback.enabled {
+                assert_eq!(
+                    rt.stats().mode_switches,
+                    0,
+                    "{structure_name}/{threads}: a disabled fallback must never switch modes"
+                );
+                assert_eq!(rt.stats().degraded_commits, 0);
+            }
+        }
+    }
+}
+
+/// The fault-driven leg: forced conflicts burn the first abort window, so
+/// the engine *deterministically* degrades mid-workload and (with the
+/// aggressive preset's short probe period) transitions back and forth while
+/// the random workload continues underneath. Degraded and speculative
+/// commits interleave in one ticket sequence — and the serial replay and
+/// final-state checks inside [`differential_with`] must still hold exactly.
+fn differential_across_mode_transitions(structure_name: &str, threads: u64) {
+    let plan = Arc::new(FaultPlan::new());
+    // The aggressive window is 16 finishes at a 25% threshold: 24 forced
+    // first-op conflicts guarantee the first closed window is all aborts,
+    // whatever the thread interleaving.
+    for ordinal in 1..=24 {
+        plan.force_conflict_at(ordinal);
+    }
+    let rt = differential_with(
+        structure_name,
+        threads,
+        RuntimeOptions {
+            fallback: FallbackOptions::aggressive(),
+            backoff: BackoffOptions::off(),
+            faults: Some(Arc::clone(&plan)),
+            ..RuntimeOptions::default()
+        },
+    );
+    let stats = rt.stats();
+    assert!(
+        stats.mode_switches >= 1,
+        "{structure_name}/{threads}: the forced abort window must degrade the structure: {stats:?}"
+    );
+    assert!(
+        stats.degraded_commits >= 1,
+        "{structure_name}/{threads}: some commits must have run through the coarse section: {stats:?}"
+    );
+    // Once the structure degrades, remaining scheduled ordinals may be
+    // drawn by degraded executes, which never consult the conflict hook —
+    // so "at least the window-burning prefix, at most all" is the exact
+    // bound here (single-threaded exactness is pinned in
+    // `fault_injection.rs`).
+    let fired = plan.fired().len();
+    assert!((1..=24).contains(&fired), "fired {fired} forced conflicts");
 }
 
 /// The two backends must want pre-states for exactly the same operations:
@@ -274,4 +373,38 @@ fn differential_association_list() {
 #[test]
 fn differential_array_list() {
     differential_all_thread_counts("ArrayList");
+}
+
+#[test]
+fn differential_fallback_hash_set() {
+    differential_fallback_axis("HashSet");
+}
+
+#[test]
+fn differential_fallback_hash_table() {
+    differential_fallback_axis("HashTable");
+}
+
+#[test]
+fn differential_fallback_array_list() {
+    differential_fallback_axis("ArrayList");
+}
+
+#[test]
+fn differential_fallback_accumulator() {
+    differential_fallback_axis("Accumulator");
+}
+
+#[test]
+fn differential_mode_transitions_hash_set() {
+    for threads in [1, 4] {
+        differential_across_mode_transitions("HashSet", threads);
+    }
+}
+
+#[test]
+fn differential_mode_transitions_hash_table() {
+    for threads in [1, 4] {
+        differential_across_mode_transitions("HashTable", threads);
+    }
 }
